@@ -1,0 +1,560 @@
+// Benchmarks regenerating the paper's artifacts, one benchmark (family)
+// per table/figure. Absolute numbers are simulator numbers; the shapes —
+// signing dominating the pipeline, caching collapsing high-inertia
+// evidence cost, sampling trading assurance for overhead, chained vs
+// pointwise composition — are the reproduction targets (see
+// EXPERIMENTS.md).
+//
+// Run: go test -bench=. -benchmem
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"pera/internal/appraiser"
+	"pera/internal/evidence"
+	"pera/internal/harness"
+	"pera/internal/nac"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/rats"
+	"pera/internal/rot"
+	"pera/internal/usecases"
+)
+
+// --- Table 1 ---
+
+// BenchmarkTable1_AP1_Compile measures parsing + binding + compiling AP1
+// against the standard 6-element path (the relying party's cost before
+// sending attested traffic).
+func BenchmarkTable1_AP1_Compile(b *testing.B) {
+	tb, err := usecases.NewTestbed(pera.Config{InBand: true, Composition: evidence.Chained})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := usecases.CompileUC1Policy(tb, []byte("bench")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_AP1_EndToEnd measures a full AP1 round: attested packet
+// across 3 PERA switches with chained evidence, appraised at the end.
+func BenchmarkTable1_AP1_EndToEnd(b *testing.B) {
+	tb, err := usecases.NewTestbed(pera.Config{InBand: true, Composition: evidence.Chained})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonce := []byte(fmt.Sprintf("t1-%d", i))
+		res, err := usecases.RunUC1Round(tb, nonce)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Certificate.Verdict {
+			b.Fatal("verdict false")
+		}
+	}
+}
+
+// BenchmarkTable1_AP2_Compile measures AP2 compilation for a scanner.
+func BenchmarkTable1_AP2_Compile(b *testing.B) {
+	tb, err := usecases.NewTestbed(pera.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := usecases.CompileUC4Policy(tb, usecases.SwACL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_AP2_ScanPacket measures the scanner's per-packet cost
+// when the C2 guard fires (attest packet + program, sign, emit).
+func BenchmarkTable1_AP2_ScanPacket(b *testing.B) {
+	tb, err := usecases.NewTestbed(pera.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled, err := usecases.CompileUC4Policy(tb, usecases.SwACL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := usecases.ArmScanner(tb, usecases.SwACL, compiled); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.SendPlain(true, 40000, usecases.C2Port, []byte("beacon")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_AP3_Compile measures AP3's backtracking binder over a
+// 7-element path with a non-RA gap.
+func BenchmarkTable1_AP3_Compile(b *testing.B) {
+	pol, err := nac.ParsePolicy(nac.AP3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := nac.TestRegistry{
+		"Peer1": {PlacePred: func(p string) bool { return p == "alice" }},
+		"Peer2": {PlacePred: func(p string) bool { return p == "bob" }},
+		"Q":     {PlacePred: func(p string) bool { return p == "swR" }},
+	}
+	path := []nac.PathHop{
+		{Name: "alice", CanSign: true},
+		{Name: "swF1", Attesting: true, CanSign: true},
+		{Name: "swF2", Attesting: true, CanSign: true},
+		{Name: "dumb1"}, {Name: "dumb2"},
+		{Name: "swR", Attesting: true, CanSign: true},
+		{Name: "bob", CanSign: true},
+	}
+	opts := nac.Options{Properties: map[string][]evidence.Detail{
+		"F1": {evidence.DetailProgram}, "F2": {evidence.DetailProgram},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nac.Compile(pol, path, reg, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 1 ---
+
+// BenchmarkFig1_AttestationRound measures one full Fig. 1 round:
+// challenge → attest (hardware+program+tables, signed) → appraise →
+// certificate.
+func BenchmarkFig1_AttestationRound(b *testing.B) {
+	sw, frame, err := harness.NewFig3Switch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = frame
+	appr := appraiser.New("bench", []byte("fig1"))
+	appr.RegisterKey(sw.Name(), sw.RoT().Public())
+	gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range gs {
+		appr.SetGolden(sw.Name(), g.Target, g.Detail, g.Value)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nonce := []byte(fmt.Sprintf("n-%d", i))
+		ev, err := sw.Attest(nonce, evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cert, err := appr.Appraise(sw.Name(), ev, nonce)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cert.Verdict {
+			b.Fatal(cert.Reason)
+		}
+	}
+}
+
+// --- Fig. 2 ---
+
+// BenchmarkFig2_InBand measures one in-band attested flow across the
+// testbed (evidence travels with the packet; one appraisal at the end).
+func BenchmarkFig2_InBand(b *testing.B) {
+	tb, err := usecases.NewTestbed(pera.Config{InBand: true, Composition: evidence.Chained})
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled, err := usecases.CompileUC1Policy(tb, []byte("fig2"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Client.Clear()
+		if err := tb.SendAttested(compiled.Policy, true, 40000, 443, []byte("d")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	var wire uint64
+	for _, sw := range tb.Switches {
+		wire += sw.Stats().InBandBytes
+	}
+	b.ReportMetric(float64(wire)/float64(b.N), "wireB/flow")
+}
+
+// BenchmarkFig2_OutOfBand measures one out-of-band flow: data travels
+// clean; each switch emits evidence to the appraiser separately.
+func BenchmarkFig2_OutOfBand(b *testing.B) {
+	tb, err := usecases.NewTestbed(pera.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sw := range tb.Switches {
+		cfg := sw.Config()
+		cfg.Standing = []pera.Obligation{{
+			Claims:       []evidence.Detail{evidence.DetailProgram, evidence.DetailTables},
+			SignEvidence: true,
+			Appraiser:    usecases.AppraiserName,
+		}}
+		sw.SetConfig(cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tb.SendPlain(true, 40000, 443, []byte("d")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(tb.OOB()))/float64(b.N), "oobMsgs/flow")
+}
+
+// --- Fig. 3 ---
+
+// BenchmarkFig3_PipelineStages times each cumulative stage configuration
+// of the Fig. 3 switch: the gap between successive sub-benchmarks is the
+// cost of the added evidence stage.
+func BenchmarkFig3_PipelineStages(b *testing.B) {
+	for _, stage := range harness.Fig3Stages {
+		b.Run(stage, func(b *testing.B) {
+			sw, frame, err := harness.NewFig3Switch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var inband []byte
+			if stage == "+inband-header" {
+				inband = harness.Fig3InbandFrame(sw, frame)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := harness.RunFig3Stage(stage, sw, frame, inband); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 4 ---
+
+// BenchmarkFig4_DesignSpace sweeps Detail × Sampling at chained
+// composition, reporting per-packet switch cost plus the evidence volume
+// and cache effectiveness at each point.
+func BenchmarkFig4_DesignSpace(b *testing.B) {
+	for _, detail := range evidence.Details() {
+		for _, sampling := range evidence.Samplings() {
+			name := fmt.Sprintf("%s/%s", detail, sampling)
+			b.Run(name, func(b *testing.B) {
+				row, err := harness.RunFig4Point(harness.Fig4Config{
+					Detail: detail, Sampling: sampling, Composition: evidence.Chained,
+				}, b.N, 50)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(row.Signatures)/float64(b.N), "sigs/pkt")
+				b.ReportMetric(float64(row.EvidenceBytes)/float64(b.N), "evB/pkt")
+				b.ReportMetric(row.CacheHitRate, "cacheHit")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4_Composition contrasts chained and pointwise evidence over
+// increasing path lengths (the Fig. 4 composition axis).
+func BenchmarkFig4_Composition(b *testing.B) {
+	for _, comp := range evidence.Compositions() {
+		for _, hops := range []int{1, 3, 5} {
+			name := fmt.Sprintf("%s/%dhops", comp, hops)
+			b.Run(name, func(b *testing.B) {
+				var last *harness.CompositionRow
+				for i := 0; i < b.N; i++ {
+					row, err := harness.RunComposition(comp, hops)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = row
+				}
+				b.ReportMetric(float64(last.FinalEvBytes), "finalEvB")
+				b.ReportMetric(float64(last.OOBMessages), "oobMsgs")
+			})
+		}
+	}
+}
+
+// --- Supporting micro-benchmarks: the primitives the stages are built
+// from, for the ablation discussion in EXPERIMENTS.md. ---
+
+// BenchmarkRoTSign isolates the Ed25519 signing cost that dominates the
+// Fig. 3 "+sign" stage.
+func BenchmarkRoTSign(b *testing.B) {
+	r := rot.NewDeterministic("bench", []byte("sign"))
+	msg := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Sign(msg)
+	}
+}
+
+// BenchmarkRoTQuote measures hardware-quote generation.
+func BenchmarkRoTQuote(b *testing.B) {
+	r := rot.NewDeterministic("bench", []byte("quote"))
+	r.ExtendData(0, []byte("fw"), "fw")
+	nonce := []byte("n")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Quote(nonce, 0, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvidenceEncode measures the canonical codec on a 3-hop chain.
+func BenchmarkEvidenceEncode(b *testing.B) {
+	r := rot.NewDeterministic("bench", []byte("enc"))
+	ev := evidence.Nonce([]byte("n"))
+	for i := 0; i < 3; i++ {
+		m := evidence.Measurement("sw", "prog", "sw", evidence.DetailProgram, rot.Sum([]byte{byte(i)}), nil)
+		ev = evidence.Sign(r, evidence.Seq(ev, m))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evidence.Encode(ev)
+	}
+}
+
+// BenchmarkEvidenceVerifyChain measures appraiser-side verification of the
+// same 3-hop chain.
+func BenchmarkEvidenceVerifyChain(b *testing.B) {
+	r := rot.NewDeterministic("bench", []byte("ver"))
+	ev := evidence.Nonce([]byte("n"))
+	for i := 0; i < 3; i++ {
+		m := evidence.Measurement("sw", "prog", "sw", evidence.DetailProgram, rot.Sum([]byte{byte(i)}), nil)
+		ev = evidence.Sign(r, evidence.Seq(ev, m))
+	}
+	keys := evidence.KeyMap{"bench": r.Public()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evidence.VerifySignatures(ev, keys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeaderPushPop measures the in-band header codec (Fig. 3 cases
+// A/D) in isolation.
+func BenchmarkHeaderPushPop(b *testing.B) {
+	pol := &pera.Policy{ID: 1, Nonce: []byte("n"), Obls: []pera.Obligation{{
+		Claims: []evidence.Detail{evidence.DetailProgram}, SignEvidence: true,
+	}}}
+	inner := make([]byte, 512)
+	wire := pera.WrapFrame(pol, inner)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hdr, rest, err := pera.Pop(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = pera.Push(hdr, rest)
+	}
+}
+
+// --- Ablations: the design choices DESIGN.md calls out ---
+
+// BenchmarkAblation_Cache contrasts the per-packet attestation cost with
+// the inertia cache enabled and disabled (same per-packet sampling,
+// program-detail claims): the cache converts a hash-of-everything per
+// packet into a map lookup.
+func BenchmarkAblation_Cache(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "off"
+		if cached {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cache *evidence.Cache
+			if cached {
+				cache = evidence.NewCache()
+			}
+			sw, frame, err := harness.NewFig3Switch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Populate the forwarding table so the tables digest (what
+			// the obligation attests) costs something worth caching.
+			for v := uint64(0); v < 512; v++ {
+				if err := sw.Instance().InstallEntry("ipv4_fwd", p4ir.Entry{
+					Matches: []p4ir.KeyMatch{{Value: 1000 + v}},
+					Action:  "fwd", Params: map[string]uint64{"port": v % 8},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sw.SetConfig(pera.Config{
+				Cache: cache,
+				Standing: []pera.Obligation{{
+					Claims:       []evidence.Detail{evidence.DetailTables},
+					SignEvidence: true,
+				}},
+			})
+			sw.SetSink(func(string, string, *evidence.Evidence) {})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.Receive(1, frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_HashBeforeSign measures the # -> ! chain vs signing
+// the raw evidence: hashing first shrinks what the signature covers,
+// which matters when evidence carries large claims.
+func BenchmarkAblation_HashBeforeSign(b *testing.B) {
+	r := rot.NewDeterministic("bench", []byte("ablate"))
+	big := evidence.Measurement("sw", "prog", "sw", evidence.DetailPackets,
+		rot.Sum([]byte("x")), make([]byte, 4096))
+	b.Run("sign-raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evidence.Sign(r, big)
+		}
+	})
+	b.Run("hash-then-sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			evidence.Sign(r, evidence.Hash(big))
+		}
+	})
+}
+
+// BenchmarkAblation_SamplerModes isolates the sampler decision cost.
+func BenchmarkAblation_SamplerModes(b *testing.B) {
+	for _, mode := range evidence.Samplings() {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := evidence.NewSampler(evidence.SamplerConfig{Mode: mode})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Sample(uint64(i % 64))
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PolicyCompile measures the nac compiler against
+// growing path lengths (the binder is a backtracking matcher; paths in
+// deployments are short, but the curve matters).
+func BenchmarkAblation_PolicyCompile(b *testing.B) {
+	pol, err := nac.ParsePolicy(nac.AP1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := nac.TestRegistry{
+		"Khop":    {PlacePred: func(string) bool { return true }},
+		"Kclient": {PlacePred: func(string) bool { return true }},
+	}
+	opts := nac.Options{Properties: map[string][]evidence.Detail{"X": {evidence.DetailProgram}}}
+	for _, hops := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("%dhops", hops), func(b *testing.B) {
+			path := []nac.PathHop{{Name: "src", CanSign: true}}
+			for i := 0; i < hops; i++ {
+				path = append(path, nac.PathHop{Name: fmt.Sprintf("sw%d", i), Attesting: true, CanSign: true})
+			}
+			path = append(path, nac.PathHop{Name: "dst", CanSign: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := nac.Compile(pol, path, reg, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SignerOffload contrasts the Sign stage executed on
+// the local RoT with the disaggregated variant (§5.2's remotely-invoked
+// primitive) over an in-memory transport: the offload round trip is the
+// price of moving crypto off the ASIC.
+func BenchmarkAblation_SignerOffload(b *testing.B) {
+	b.Run("local", func(b *testing.B) {
+		sw, _, err := harness.NewFig3Switch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.Attest(nil, evidence.DetailProgram); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("offloaded", func(b *testing.B) {
+		sw, _, err := harness.NewFig3Switch()
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc := pera.NewSignerService()
+		svc.Host(sw.RoT())
+		cc, sc := rats.Pipe()
+		defer cc.Close()
+		defer sc.Close()
+		go rats.Serve(sc, svc.Handler())
+		sw.SetSigner(pera.NewRemoteSigner(sw.Name(), cc))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.Attest(nil, evidence.DetailProgram); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_VerifyStage measures the per-frame cost the Verify
+// half of the Sign/Verify stage adds on a transit switch.
+func BenchmarkAblation_VerifyStage(b *testing.B) {
+	up, frame, err := harness.NewFig3Switch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	up.SetConfig(pera.Config{InBand: true, Composition: evidence.Chained})
+	pol := &pera.Policy{Obls: []pera.Obligation{{
+		Claims: []evidence.Detail{evidence.DetailProgram}, SignEvidence: true,
+	}}}
+	outs, err := up.Receive(1, pera.WrapFrame(pol, frame))
+	if err != nil || len(outs) != 1 {
+		b.Fatalf("upstream: %v %v", outs, err)
+	}
+	wire := outs[0].Frame
+	keys := evidence.KeyMap{up.Name(): up.RoT().Public()}
+	for _, verify := range []bool{false, true} {
+		name := "off"
+		if verify {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			down, _, err := harness.NewFig3Switch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := pera.Config{InBand: true, Composition: evidence.Chained}
+			if verify {
+				cfg.VerifyIncoming = keys
+			}
+			down.SetConfig(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := down.Receive(1, wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

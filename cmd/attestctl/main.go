@@ -1,0 +1,129 @@
+// Command attestctl drives remote-attestation rounds as the Relying
+// Party of Fig. 1: it challenges an attestd switch with a fresh nonce and
+// a claim list, forwards the returned evidence to an appraised daemon,
+// and prints the signed attestation result.
+//
+// Usage:
+//
+//	attestctl -attester 127.0.0.1:7422 -appraiser 127.0.0.1:7421 \
+//	          -claims hardware,program -subject sw1
+//	attestctl -appraiser 127.0.0.1:7421 -retrieve <hex-nonce>
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pera/internal/appraiser"
+	"pera/internal/rats"
+	"pera/internal/rot"
+)
+
+func main() {
+	var (
+		attesterAddr  = flag.String("attester", "127.0.0.1:7422", "attestd address")
+		appraiserAddr = flag.String("appraiser", "127.0.0.1:7421", "appraised address")
+		claims        = flag.String("claims", "hardware,program", "comma-separated claim list")
+		subject       = flag.String("subject", "switch", "subject recorded in the certificate")
+		retrieve      = flag.String("retrieve", "", "retrieve a stored certificate by hex nonce instead of attesting")
+	)
+	flag.Parse()
+
+	if *retrieve != "" {
+		nonce, err := hex.DecodeString(*retrieve)
+		if err != nil {
+			fatal("bad -retrieve nonce: %v", err)
+		}
+		cert, err := retrieveCert(*appraiserAddr, nonce)
+		if err != nil {
+			fatal("%v", err)
+		}
+		printCert(cert)
+		return
+	}
+
+	nonce := rot.NewNonce()
+	fmt.Printf("attestctl: nonce %s\n", hex.EncodeToString(nonce))
+
+	// 1-2: Challenge the attester, receive evidence.
+	att, err := rats.Dial(*attesterAddr)
+	if err != nil {
+		fatal("dial attester: %v", err)
+	}
+	defer att.Close()
+	evResp, err := att.Call(&rats.Message{
+		Type: rats.MsgChallenge, Session: 1, Nonce: nonce,
+		Claims: splitClaims(*claims),
+	})
+	if err != nil {
+		fatal("challenge: %v", err)
+	}
+	fmt.Printf("attestctl: received %d bytes of evidence\n", len(evResp.Body))
+
+	// 3-4: Submit evidence for appraisal, receive the signed result.
+	appr, err := rats.Dial(*appraiserAddr)
+	if err != nil {
+		fatal("dial appraiser: %v", err)
+	}
+	defer appr.Close()
+	res, err := appr.Call(&rats.Message{
+		Type: rats.MsgAppraise, Session: 2, Nonce: nonce,
+		Claims: []string{*subject},
+		Body:   evResp.Body,
+	})
+	if err != nil {
+		fatal("appraise: %v", err)
+	}
+	cert, err := appraiser.DecodeCertificate(res.Body)
+	if err != nil {
+		fatal("decode certificate: %v", err)
+	}
+	printCert(cert)
+	if !cert.Verdict {
+		os.Exit(1)
+	}
+}
+
+func splitClaims(s string) []string {
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func retrieveCert(addr string, nonce []byte) (*appraiser.Certificate, error) {
+	conn, err := rats.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	resp, err := conn.Call(&rats.Message{Type: rats.MsgRetrieve, Session: 3, Nonce: nonce})
+	if err != nil {
+		return nil, err
+	}
+	return appraiser.DecodeCertificate(resp.Body)
+}
+
+func printCert(c *appraiser.Certificate) {
+	verdict := "FAIL"
+	if c.Verdict {
+		verdict = "PASS"
+	}
+	fmt.Printf("attestctl: result %s\n", verdict)
+	fmt.Printf("  issuer:  %s (serial %d)\n", c.Issuer, c.Serial)
+	fmt.Printf("  subject: %s\n", c.Subject)
+	fmt.Printf("  nonce:   %s\n", hex.EncodeToString(c.Nonce))
+	fmt.Printf("  digest:  %s\n", hex.EncodeToString(c.EvidenceDigest[:8]))
+	fmt.Printf("  reason:  %s\n", c.Reason)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "attestctl: "+format+"\n", args...)
+	os.Exit(1)
+}

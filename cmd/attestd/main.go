@@ -1,0 +1,96 @@
+// Command attestd runs a simulated PERA switch and exposes its RATS
+// attester interface over TCP: challenges with claim lists come in,
+// signed evidence goes out. On startup it prints the provisioning lines
+// (AIK key + golden values) an appraised instance needs to trust it, so
+// the attestd/appraised/attestctl trio demonstrates the full Fig. 1 flow
+// across real sockets.
+//
+// Usage:
+//
+//	attestd -listen :7422 -name sw1 -program firewall
+//	attestd -listen :7422 -program-file my_pipeline.p4l
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/rats"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7422", "TCP listen address")
+		name    = flag.String("name", "sw1", "switch platform name")
+		program = flag.String("program", "forwarding", "dataplane program: forwarding, firewall, acl, monitor, rogue")
+		file    = flag.String("program-file", "", "load the dataplane program from a P4-lite source file instead")
+	)
+	flag.Parse()
+
+	prog, err := buildProgram(*program)
+	if *file != "" {
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "attestd: %v\n", rerr)
+			os.Exit(1)
+		}
+		prog, err = p4ir.ParseProgram(string(src))
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+		os.Exit(1)
+	}
+	sw, err := pera.New(*name, prog, pera.Config{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := rats.ListenAndServe(*listen, sw.AttesterHandler())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+		os.Exit(1)
+	}
+	defer ln.Close()
+
+	fmt.Printf("attestd: %s running %s, listening on %s\n", *name, prog.Name, ln.Addr())
+	fmt.Println("attestd: provisioning lines for appraised -config:")
+	fmt.Printf("key %s %s\n", *name, hex.EncodeToString(sw.RoT().Public()))
+	gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+		os.Exit(1)
+	}
+	for _, g := range gs {
+		fmt.Printf("golden %s %s %s %s\n", *name, g.Target, g.Detail, hex.EncodeToString(g.Value[:]))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("attestd: shutting down")
+}
+
+func buildProgram(kind string) (*p4ir.Program, error) {
+	switch kind {
+	case "forwarding":
+		return p4ir.NewForwarding("fwd_v1.p4"), nil
+	case "firewall":
+		return p4ir.NewFirewall("firewall_v5.p4"), nil
+	case "acl":
+		return p4ir.NewACL("ACL_v3.p4"), nil
+	case "monitor":
+		return p4ir.NewMonitor("monitor_v2.p4"), nil
+	case "rogue":
+		return p4ir.NewRogueForwarding("fwd_v1.p4", 99), nil
+	default:
+		return nil, fmt.Errorf("unknown program %q", kind)
+	}
+}

@@ -1,0 +1,74 @@
+// Audittrail: UC4 — evidence as documentation.
+//
+// The operator compiles AP2 from Table 1 for the ACL switch: a traffic
+// test P fingerprints malware command-and-control beacons (dport 4444);
+// each match is attested, signed by the switch's RoT, appraised and
+// stored. The stored certificates justify a deactivation action, which is
+// itself recorded the same way — an appraisable compliance trail.
+//
+// Run: go run ./examples/audittrail
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pera/internal/evidence"
+	"pera/internal/nac"
+	"pera/internal/pera"
+	"pera/internal/usecases"
+)
+
+func main() {
+	tb, err := usecases.NewTestbed(pera.Config{InBand: true, Composition: evidence.Chained})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("AP2 (Table 1):")
+	fmt.Println(" ", nac.AP2)
+
+	compiled, err := usecases.CompileUC4Policy(tb, usecases.SwACL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled for %s: %d obligation(s), packet guard %v\n",
+		usecases.SwACL, len(compiled.Policy.Obls), compiled.Policy.Obls[0].Guards)
+	if err := usecases.ArmScanner(tb, usecases.SwACL, compiled); err != nil {
+		log.Fatal(err)
+	}
+
+	// Traffic: an infected host beacons to its C2 alongside benign flows.
+	fmt.Println("\ntraffic: 4 C2 beacons (dport 4444) interleaved with 8 benign flows")
+	for i := uint64(0); i < 4; i++ {
+		tb.SendPlain(true, 40000+i, usecases.C2Port, []byte("beacon"))
+		tb.SendPlain(true, 50000+i, 443, []byte("https"))
+		tb.SendPlain(false, 60000+i, 80, []byte("http"))
+	}
+
+	records, err := usecases.CollectAudit(tb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscanner evidence appraised and stored: %d records\n", len(records))
+	for i, r := range records {
+		fmt.Printf("  record %d: switch=%s verdict=%v serial=%d\n",
+			i, r.Switch, r.Certificate.Verdict, r.Certificate.Serial)
+	}
+
+	// Sub-case B: the remediation is documented too.
+	cert, err := usecases.RecordAction(tb, usecases.SwACL,
+		"installed drop rule for 100->*:4444 per court order 17-442", []byte("action-1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndeactivation recorded: verdict=%v serial=%d\n", cert.Verdict, cert.Serial)
+
+	// Months later, the compliance officer retrieves the records.
+	got, err := tb.Appraiser.Retrieve([]byte("action-1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrieved for review: issuer=%s subject=%s — \"the limited and focused action\n"+
+		"that was taken to deactivate the malware\" is provable (§2, UC4)\n", got.Issuer, got.Subject)
+}

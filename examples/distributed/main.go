@@ -1,0 +1,130 @@
+// Distributed: the pieces of an attestation deployment living on
+// different machines, connected by the rats protocol.
+//
+// Three separations the in-process examples elide are made real here:
+//
+//  1. Copland places execute remotely — the bank evaluates `@ks [...]`
+//     and `@us [...]` phrases on the client device over a connection;
+//     the bank never holds the client's keys or measurement handlers.
+//  2. The switch's Sign stage is disaggregated (§5.2's "remotely
+//     invoked" primitive): a crypto service beside the switch holds its
+//     signing key; every ! is a service call that fails closed.
+//  3. The appraiser is a TCP daemon speaking the same protocol as
+//     cmd/appraised.
+//
+// Run: go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pera/internal/appraiser"
+	"pera/internal/attester"
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/rats"
+	"pera/internal/rot"
+)
+
+func main() {
+	// --- 1. Remote Copland places ---
+	fmt.Println("== 1. Copland places over the wire ==")
+
+	// The client device hosts its own environment (§4.2's ks/us places).
+	bankScenario := attester.NewBankScenario()
+	deviceConn, deviceServe := rats.Pipe()
+	go rats.Serve(deviceServe, copland.ServeEnv(bankScenario.Env))
+
+	// The bank's environment knows ks/us only as remote names.
+	bankEnv := copland.NewEnv()
+	bankEnv.AddPlace(copland.NewPlace("bank", rot.NewDeterministic("bank", []byte("rp:bank"))))
+	bankEnv.AddRemotePlace("ks", deviceConn)
+	bankEnv.AddRemotePlace("us", deviceConn)
+
+	req, err := copland.ParseRequest(
+		`*bank: @ks [av us bmon -> !] -<- @us [bmon us exts -> !]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := copland.Exec(bankEnv, req, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nsigs, err := evidence.VerifySignatures(res.Evidence, bankScenario.Keys())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bank executed the §4.2 phrase on the remote device: %d signatures verify\n", nsigs)
+	fmt.Printf("evidence: %s\n", res.Evidence)
+
+	// --- 2. Disaggregated signing ---
+	fmt.Println("\n== 2. Crypto offload for the switch Sign stage ==")
+	sw, err := pera.New("sw1", p4ir.NewFirewall("firewall_v5.p4"), pera.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := pera.NewSignerService()
+	svc.Host(sw.RoT()) // the key lives in the offload device
+	offConn, offServe := rats.Pipe()
+	go rats.Serve(offServe, svc.Handler())
+	sw.SetSigner(pera.NewRemoteSigner("sw1", offConn))
+
+	ev, err := sw.Attest([]byte("offload-round"), evidence.DetailHardware, evidence.DetailProgram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := evidence.VerifySignatures(ev, evidence.KeyMap{"sw1": sw.RoT().Public()}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("switch attested via the crypto service (%d sign calls served)\n", svc.Signs())
+
+	// --- 3. TCP appraiser ---
+	fmt.Println("\n== 3. Appraisal over TCP ==")
+	appr := appraiser.New("appraised", []byte("distributed"))
+	appr.RegisterKey("sw1", sw.RoT().Public())
+	gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range gs {
+		appr.SetGolden("sw1", g.Target, g.Detail, g.Value)
+	}
+	ln, err := rats.ListenAndServe("127.0.0.1:0", appr.Handler())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+
+	conn, err := rats.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	resp, err := conn.Call(&rats.Message{
+		Type: rats.MsgAppraise, Session: 1, Nonce: []byte("offload-round"),
+		Claims: []string{"sw1"}, Body: evidence.Encode(ev),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, err := appraiser.DecodeCertificate(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certificate from %s: verdict=%v (%s)\n", ln.Addr(), cert.Verdict, cert.Reason)
+
+	// Fail-closed check: cut the offload and attest again.
+	offConn.Close()
+	ev2, err := sw.Attest([]byte("post-cut"), evidence.DetailProgram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := evidence.VerifySignatures(ev2, evidence.KeyMap{"sw1": sw.RoT().Public()}); err != nil {
+		fmt.Println("\nafter cutting the crypto service: evidence no longer verifies (fail closed) ✓")
+	} else {
+		log.Fatal("severed offload still produced valid signatures")
+	}
+}

@@ -1,0 +1,102 @@
+// Quickstart: one remote-attestation round, exactly the principals of the
+// paper's Fig. 1.
+//
+// A PERA switch (the Attester on its Hardware Platform) is challenged by
+// a Relying Party with a fresh nonce; the switch returns signed Evidence
+// about its hardware, its loaded dataplane program, and its table state;
+// an Appraiser verifies the evidence against golden values and issues a
+// signed Result the Relying Party can act on.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pera/internal/appraiser"
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/rot"
+)
+
+func main() {
+	// --- Setup: the operator provisions a switch and an appraiser. ---
+
+	// The switch boots: its RoT measures the hardware and the loaded
+	// firewall program before the dataplane is enabled.
+	sw, err := pera.New("sw1", p4ir.NewFirewall("firewall_v5.p4"), pera.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An endorsement authority vouches that the switch's attestation key
+	// really belongs to platform "sw1".
+	authority, err := rot.NewAuthority("operator-ca")
+	if err != nil {
+		log.Fatal(err)
+	}
+	aikCert := authority.Issue(sw.RoT())
+
+	// The appraiser pins the authority, learns the AIK from the
+	// certificate, and is provisioned with golden values for what sw1
+	// should be running.
+	appr := appraiser.New("appraiser", []byte("quickstart"))
+	if err := appr.RegisterAIK(authority.Public(), aikCert); err != nil {
+		log.Fatal(err)
+	}
+	golden, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range golden {
+		appr.SetGolden("sw1", g.Target, g.Detail, g.Value)
+	}
+	appr.Strict = true
+	appr.RequireNonce = true
+
+	// --- The Fig. 1 round. ---
+
+	// (1) The Relying Party issues a Claim challenge with a fresh nonce.
+	nonce := rot.NewNonce()
+	fmt.Printf("RP:        challenge sw1 (nonce %x...)\n", nonce[:6])
+
+	// (2) The Attester produces signed Evidence for the claims.
+	ev, err := sw.Attest(nonce,
+		evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Attester:  evidence %s\n", ev)
+	fmt.Printf("Attester:  %d bytes on the wire\n", evidence.EncodedSize(ev))
+
+	// (3) The RP presents the Evidence to the Appraiser.
+	cert, err := appr.Appraise("sw1", ev, nonce)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// (4) The Appraiser returns a signed Result.
+	fmt.Printf("Appraiser: verdict=%v (%s)\n", cert.Verdict, cert.Reason)
+	if err := appraiser.VerifyCertificate(appr.Public(), cert); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RP:        certificate signature verified — trusting sw1")
+
+	// --- What attestation buys: swap the program, attest again. ---
+	if err := sw.ReloadProgram(p4ir.NewRogueForwarding("firewall_v5.p4", 99)); err != nil {
+		log.Fatal(err)
+	}
+	nonce2 := rot.NewNonce()
+	ev2, err := sw.Attest(nonce2, evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert2, err := appr.Appraise("sw1", ev2, nonce2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAfter a rogue program swap (same name, different code):\n")
+	fmt.Printf("Appraiser: verdict=%v (%s)\n", cert2.Verdict, cert2.Reason)
+}

@@ -1,0 +1,3 @@
+module pera
+
+go 1.22

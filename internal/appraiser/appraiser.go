@@ -1,0 +1,396 @@
+// Package appraiser implements the Appraiser/Verifier role of the
+// paper's Fig. 1: it verifies evidence signatures against registered
+// attestation keys, checks measurement values against golden references,
+// enforces nonce freshness, and issues signed attestation-result
+// certificates. It also provides the certificate store used by the
+// out-of-band PERA variant (expression (3)'s store(n)/retrieve(n)).
+package appraiser
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pera/internal/evidence"
+	"pera/internal/rats"
+	"pera/internal/rot"
+)
+
+// Errors from appraisal.
+var (
+	ErrNonceReplayed  = errors.New("appraiser: nonce already used")
+	ErrNonceMissing   = errors.New("appraiser: evidence lacks the session nonce")
+	ErrNoCertificate  = errors.New("appraiser: no stored certificate for nonce")
+	ErrBadCertificate = errors.New("appraiser: certificate signature invalid")
+)
+
+// Certificate is a signed attestation result.
+type Certificate struct {
+	Issuer         string
+	Subject        string
+	Nonce          []byte
+	EvidenceDigest rot.Digest
+	Verdict        bool
+	Reason         string
+	Serial         uint64
+	Signature      []byte
+}
+
+func certMessage(c *Certificate) []byte {
+	var b []byte
+	b = append(b, "PERA-RESULT-V1\x00"...)
+	b = appendLV(b, []byte(c.Issuer))
+	b = appendLV(b, []byte(c.Subject))
+	b = appendLV(b, c.Nonce)
+	b = append(b, c.EvidenceDigest[:]...)
+	if c.Verdict {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendLV(b, []byte(c.Reason))
+	b = binary.BigEndian.AppendUint64(b, c.Serial)
+	return b
+}
+
+func appendLV(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// Encode serializes the certificate (including signature) for transport.
+func (c *Certificate) Encode() []byte {
+	b := certMessage(c)
+	return appendLV(b, c.Signature)
+}
+
+// DecodeCertificate parses a certificate from its wire form.
+func DecodeCertificate(data []byte) (*Certificate, error) {
+	read := func(off int) ([]byte, int, error) {
+		if off+4 > len(data) {
+			return nil, 0, fmt.Errorf("%w: truncated", ErrBadCertificate)
+		}
+		n := binary.BigEndian.Uint32(data[off:])
+		off += 4
+		if off+int(n) > len(data) {
+			return nil, 0, fmt.Errorf("%w: truncated field", ErrBadCertificate)
+		}
+		return data[off : off+int(n)], off + int(n), nil
+	}
+	magic := "PERA-RESULT-V1\x00"
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCertificate)
+	}
+	off := len(magic)
+	c := &Certificate{}
+	var f []byte
+	var err error
+	if f, off, err = read(off); err != nil {
+		return nil, err
+	}
+	c.Issuer = string(f)
+	if f, off, err = read(off); err != nil {
+		return nil, err
+	}
+	c.Subject = string(f)
+	if f, off, err = read(off); err != nil {
+		return nil, err
+	}
+	c.Nonce = append([]byte(nil), f...)
+	if off+rot.DigestSize > len(data) {
+		return nil, fmt.Errorf("%w: truncated digest", ErrBadCertificate)
+	}
+	copy(c.EvidenceDigest[:], data[off:])
+	off += rot.DigestSize
+	if off >= len(data) {
+		return nil, fmt.Errorf("%w: truncated verdict", ErrBadCertificate)
+	}
+	c.Verdict = data[off] == 1
+	off++
+	if f, off, err = read(off); err != nil {
+		return nil, err
+	}
+	c.Reason = string(f)
+	if off+8 > len(data) {
+		return nil, fmt.Errorf("%w: truncated serial", ErrBadCertificate)
+	}
+	c.Serial = binary.BigEndian.Uint64(data[off:])
+	off += 8
+	if f, _, err = read(off); err != nil {
+		return nil, err
+	}
+	c.Signature = append([]byte(nil), f...)
+	return c, nil
+}
+
+// VerifyCertificate checks the certificate's signature under the issuing
+// appraiser's public key.
+func VerifyCertificate(pub ed25519.PublicKey, c *Certificate) error {
+	if len(pub) != ed25519.PublicKeySize ||
+		!ed25519.Verify(pub, certMessage(c), c.Signature) {
+		return ErrBadCertificate
+	}
+	return nil
+}
+
+// goldenKey identifies one reference measurement.
+type goldenKey struct {
+	place  string
+	target string
+	detail evidence.Detail
+}
+
+// Appraiser holds verification keys, golden values, issued certificates
+// and nonce state. It is safe for concurrent use.
+type Appraiser struct {
+	name string
+	key  ed25519.PrivateKey
+	pub  ed25519.PublicKey
+
+	mu     sync.Mutex
+	keys   evidence.KeyMap
+	golden map[goldenKey]rot.Digest
+	// Strict makes measurements with no golden reference a failure;
+	// otherwise they are accepted but noted in the certificate reason.
+	Strict bool
+	// RequireNonce makes appraisal fail when the session nonce does not
+	// appear in the evidence (freshness binding).
+	RequireNonce bool
+
+	serial uint64
+	used   map[string]bool
+	certs  map[string]*Certificate
+	hashes map[rot.Digest]bool // expected digests for hash-collapsed evidence
+}
+
+// New creates an appraiser with a key derived from seed, so simulations
+// are reproducible. Production callers should seed with fresh entropy.
+func New(name string, seed []byte) *Appraiser {
+	h := rot.Sum(append([]byte("appraiser:"), seed...))
+	priv := ed25519.NewKeyFromSeed(h[:])
+	return &Appraiser{
+		name:   name,
+		key:    priv,
+		pub:    priv.Public().(ed25519.PublicKey),
+		keys:   evidence.KeyMap{},
+		golden: make(map[goldenKey]rot.Digest),
+		used:   make(map[string]bool),
+		certs:  make(map[string]*Certificate),
+	}
+}
+
+// Name returns the appraiser identity.
+func (a *Appraiser) Name() string { return a.name }
+
+// Public returns the key relying parties use to verify certificates.
+func (a *Appraiser) Public() ed25519.PublicKey {
+	return append(ed25519.PublicKey(nil), a.pub...)
+}
+
+// RegisterKey trusts pub to sign evidence as signer — typically from a
+// verified AIK certificate.
+func (a *Appraiser) RegisterKey(signer string, pub ed25519.PublicKey) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.keys[signer] = append(ed25519.PublicKey(nil), pub...)
+}
+
+// RegisterAIK verifies cert under the authority key and, on success,
+// trusts the contained AIK for the platform.
+func (a *Appraiser) RegisterAIK(authorityPub ed25519.PublicKey, cert *rot.AIKCertificate) error {
+	if err := rot.VerifyCertificate(authorityPub, cert); err != nil {
+		return err
+	}
+	a.RegisterKey(cert.Platform, cert.AIK)
+	return nil
+}
+
+// SetGolden installs the reference digest for (place, target, detail).
+func (a *Appraiser) SetGolden(place, target string, detail evidence.Detail, d rot.Digest) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.golden[goldenKey{place, target, detail}] = d
+}
+
+// AllowHash registers an expected evidence digest for attesters that
+// collapse their measurements with # before signing (expression (3)'s
+// `attest(...) -> # -> !`). Once any digest is registered, every hash
+// node in appraised evidence must match a registered digest.
+func (a *Appraiser) AllowHash(d rot.Digest) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.hashes == nil {
+		a.hashes = make(map[rot.Digest]bool)
+	}
+	a.hashes[d] = true
+}
+
+// Appraise verifies ev end to end and issues a signed certificate whose
+// Verdict reflects the outcome. A non-nil error is returned only for
+// operational failures (nonce replay); verification failures are reported
+// through the certificate so they remain attributable and storable.
+func (a *Appraiser) Appraise(subject string, ev *evidence.Evidence, nonce []byte) (*Certificate, error) {
+	if len(nonce) > 0 {
+		a.mu.Lock()
+		if a.used[string(nonce)] {
+			a.mu.Unlock()
+			return nil, ErrNonceReplayed
+		}
+		a.used[string(nonce)] = true
+		a.mu.Unlock()
+	}
+	verdict, reason := a.check(ev, nonce)
+	a.mu.Lock()
+	a.serial++
+	c := &Certificate{
+		Issuer:         a.name,
+		Subject:        subject,
+		Nonce:          append([]byte(nil), nonce...),
+		EvidenceDigest: evidence.DigestOf(ev),
+		Verdict:        verdict,
+		Reason:         reason,
+		Serial:         a.serial,
+	}
+	c.Signature = ed25519.Sign(a.key, certMessage(c))
+	a.mu.Unlock()
+	return c, nil
+}
+
+// check runs the verification pipeline and renders a verdict.
+func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
+	if err := evidence.Validate(ev); err != nil {
+		return false, err.Error()
+	}
+	a.mu.Lock()
+	keys := make(evidence.KeyMap, len(a.keys))
+	for k, v := range a.keys {
+		keys[k] = v
+	}
+	strict, requireNonce := a.Strict, a.RequireNonce
+	hashes := make(map[rot.Digest]bool, len(a.hashes))
+	for h := range a.hashes {
+		hashes[h] = true
+	}
+	a.mu.Unlock()
+
+	nsigs, err := evidence.VerifySignatures(ev, keys)
+	if err != nil {
+		return false, err.Error()
+	}
+	if requireNonce && len(nonce) > 0 {
+		found := false
+		for _, n := range evidence.Nonces(ev) {
+			if string(n) == string(nonce) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, ErrNonceMissing.Error()
+		}
+	}
+	if len(hashes) > 0 {
+		for _, h := range evidence.Hashes(ev) {
+			if !hashes[h] {
+				return false, fmt.Sprintf("unrecognized evidence digest %v", h)
+			}
+		}
+	} else if strict && len(evidence.Hashes(ev)) > 0 {
+		return false, "hash-collapsed evidence with no expected digests provisioned"
+	}
+	unknown := 0
+	for _, m := range evidence.Measurements(ev) {
+		// Hardware claims carrying a serialized quote get the deeper
+		// check: the quote must verify under the platform's AIK and
+		// speak for the place that presented it.
+		if m.Detail == evidence.DetailHardware && len(m.Claims) > 0 {
+			q, err := rot.DecodeQuote(m.Claims)
+			if err != nil {
+				return false, fmt.Sprintf("hardware claim at %s: %v", m.Place, err)
+			}
+			if q.Platform != m.Place {
+				return false, fmt.Sprintf("hardware quote speaks for %q but was presented by %q", q.Platform, m.Place)
+			}
+			pub, ok := keys.KeyFor(q.Platform)
+			if !ok {
+				return false, fmt.Sprintf("no key to verify hardware quote from %q", q.Platform)
+			}
+			if err := rot.VerifyQuote(pub, q, nil); err != nil {
+				return false, fmt.Sprintf("hardware quote from %s: %v", q.Platform, err)
+			}
+		}
+		a.mu.Lock()
+		want, ok := a.golden[goldenKey{m.Place, m.Target, m.Detail}]
+		a.mu.Unlock()
+		if !ok {
+			unknown++
+			if strict {
+				return false, fmt.Sprintf("no golden value for %s/%s (%s)", m.Place, m.Target, m.Detail)
+			}
+			continue
+		}
+		if want != m.Value {
+			return false, fmt.Sprintf("measurement mismatch: %s/%s (%s) got %v want %v",
+				m.Place, m.Target, m.Detail, m.Value, want)
+		}
+	}
+	reason := fmt.Sprintf("ok: %d signatures, %d measurements", nsigs, len(evidence.Measurements(ev)))
+	if unknown > 0 {
+		reason += fmt.Sprintf(", %d unreferenced", unknown)
+	}
+	return true, reason
+}
+
+// Store saves a certificate for later retrieval by nonce — the
+// out-of-band variant's store(n).
+func (a *Appraiser) Store(c *Certificate) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.certs[string(c.Nonce)] = c
+}
+
+// Retrieve returns the certificate stored under nonce — retrieve(n).
+func (a *Appraiser) Retrieve(nonce []byte) (*Certificate, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.certs[string(nonce)]
+	if !ok {
+		return nil, ErrNoCertificate
+	}
+	return c, nil
+}
+
+// Handler returns a rats.Handler serving MsgAppraise (verify + certify +
+// store) and MsgRetrieve (fetch stored certificate) requests.
+func (a *Appraiser) Handler() rats.Handler {
+	return func(req *rats.Message) *rats.Message {
+		switch req.Type {
+		case rats.MsgAppraise:
+			ev, err := evidence.Decode(req.Body)
+			if err != nil {
+				return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
+			}
+			subject := "unknown"
+			if len(req.Claims) > 0 {
+				subject = req.Claims[0]
+			}
+			cert, err := a.Appraise(subject, ev, req.Nonce)
+			if err != nil {
+				return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
+			}
+			a.Store(cert)
+			return &rats.Message{Type: rats.MsgResult, Session: req.Session, Nonce: req.Nonce, Body: cert.Encode()}
+		case rats.MsgRetrieve:
+			cert, err := a.Retrieve(req.Nonce)
+			if err != nil {
+				return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
+			}
+			return &rats.Message{Type: rats.MsgResult, Session: req.Session, Nonce: req.Nonce, Body: cert.Encode()}
+		default:
+			return &rats.Message{Type: rats.MsgError, Session: req.Session,
+				Body: []byte(fmt.Sprintf("unsupported message %v", req.Type))}
+		}
+	}
+}

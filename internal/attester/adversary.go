@@ -1,0 +1,80 @@
+package attester
+
+import "fmt"
+
+// Adversary capability models, after Rowe et al. (whom the paper cites
+// for the §4.2 analysis): an adversary with userspace control can
+// corrupt and repair the bmon agent, but differs in *when* it can act
+// relative to protocol steps. Each Strategy is one capability/behaviour
+// profile; arming it against a BankScenario installs the corruptions and
+// the timing hooks that realize it during Copland evaluation.
+
+// Strategy is one adversary behaviour profile.
+type Strategy uint8
+
+const (
+	// StratNone: no agent corruption — the client is merely infected
+	// (exts contains malware) and every agent is honest.
+	StratNone Strategy = iota
+	// StratCorruptOnly: bmon is corrupted before the protocol and stays
+	// corrupted — the naive adversary.
+	StratCorruptOnly
+	// StratRepairAfterLie: the §4.2 attack — corrupt bmon lies about
+	// exts, then the adversary repairs it before anything measures bmon.
+	// Requires control over the *scheduling* of unordered branches.
+	StratRepairAfterLie
+	// StratCorruptAfterCheck: the TOCTOU escalation — bmon starts clean,
+	// and the adversary corrupts it the instant av finishes measuring
+	// it. Requires acting at a precise mid-protocol moment (a strictly
+	// stronger capability than StratRepairAfterLie).
+	StratCorruptAfterCheck
+	stratCount
+)
+
+var stratNames = [...]string{"none", "corrupt-only", "repair-after-lie", "corrupt-after-check"}
+
+func (s Strategy) String() string {
+	if int(s) < len(stratNames) {
+		return stratNames[s]
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// Strategies lists all profiles for sweeps.
+func Strategies() []Strategy {
+	out := make([]Strategy, 0, stratCount)
+	for s := Strategy(0); s < stratCount; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Arm installs strategy s on the scenario. All strategies also infect
+// exts — the adversary's goal is always to hide that infection from the
+// bank.
+func (s *BankScenario) Arm(strategy Strategy) error {
+	s.InfectExts()
+	switch strategy {
+	case StratNone:
+		return nil
+	case StratCorruptOnly:
+		s.CorruptBmon()
+		return nil
+	case StratRepairAfterLie:
+		s.CorruptBmon()
+		s.ScheduleRepairAfterLie()
+		s.Env.AdversarySwapsParallel = true
+		return nil
+	case StratCorruptAfterCheck:
+		// bmon stays clean until av has measured it; the hook fires on
+		// av's measurement of bmon and corrupts it just after.
+		s.US.SetAfterMeasure(func(agent, target string) {
+			if agent == AgentAV && target == AgentBmon {
+				_ = s.US.CorruptAgent(AgentBmon)
+			}
+		})
+		return nil
+	default:
+		return fmt.Errorf("attester: unknown strategy %v", strategy)
+	}
+}

@@ -1,0 +1,332 @@
+package attester
+
+import (
+	"errors"
+	"testing"
+
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/rot"
+)
+
+func TestHostObjects(t *testing.T) {
+	h := NewHost("us")
+	h.AddObject("exts", []byte("clean"))
+	d, err := h.ObjectDigest("exts")
+	if err != nil || d != rot.Sum([]byte("clean")) {
+		t.Fatalf("digest: %v %v", d, err)
+	}
+	if err := h.Tamper("exts", []byte("evil")); err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := h.ObjectDigest("exts")
+	if d2 == d {
+		t.Fatal("tamper invisible")
+	}
+	clean, _ := h.CleanDigest("exts")
+	if clean != d {
+		t.Fatal("clean reference drifted")
+	}
+	if err := h.Restore("exts"); err != nil {
+		t.Fatal(err)
+	}
+	d3, _ := h.ObjectDigest("exts")
+	if d3 != d {
+		t.Fatal("restore failed")
+	}
+	if _, err := h.ObjectDigest("ghost"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("ghost: %v", err)
+	}
+	if _, err := h.CleanDigest("ghost"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("ghost clean: %v", err)
+	}
+	if err := h.Tamper("ghost", nil); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("ghost tamper: %v", err)
+	}
+	if err := h.Restore("ghost"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("ghost restore: %v", err)
+	}
+}
+
+func TestAgentMeasureHonestAndCorrupt(t *testing.T) {
+	h := NewHost("us")
+	h.AddObject("exts", []byte("clean"))
+	h.AddObject("bmon", []byte("bmon-bin"))
+	h.AddAgent("bmon")
+
+	h.Tamper("exts", []byte("malware"))
+
+	// Honest agent reports the infected digest.
+	m, err := h.Measure("bmon", "exts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Value != rot.Sum([]byte("malware")) {
+		t.Fatal("honest agent lied")
+	}
+	// Corrupt agent reports the clean digest (the lie).
+	if err := h.CorruptAgent("bmon"); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = h.Measure("bmon", "exts")
+	if m.Value != rot.Sum([]byte("clean")) {
+		t.Fatal("corrupt agent told the truth")
+	}
+	// Corruption also changed bmon's own digest.
+	bd, _ := h.ObjectDigest("bmon")
+	if bd == rot.Sum([]byte("bmon-bin")) {
+		t.Fatal("corruption left no trace on the binary")
+	}
+	// Repair restores both.
+	if err := h.RepairAgent("bmon"); err != nil {
+		t.Fatal(err)
+	}
+	bd, _ = h.ObjectDigest("bmon")
+	if bd != rot.Sum([]byte("bmon-bin")) {
+		t.Fatal("repair failed")
+	}
+	a, _ := h.Agent("bmon")
+	if a.Corrupt {
+		t.Fatal("agent still corrupt after repair")
+	}
+	if a.Measured != 2 {
+		t.Fatalf("measured count %d", a.Measured)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	h := NewHost("us")
+	if _, err := h.Measure("ghost", "x"); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("ghost agent: %v", err)
+	}
+	h.AddAgent("a")
+	if _, err := h.Measure("a", "ghost"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("ghost target: %v", err)
+	}
+	if err := h.CorruptAgent("ghost"); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("ghost corrupt: %v", err)
+	}
+	if err := h.RepairAgent("ghost"); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("ghost repair: %v", err)
+	}
+	if _, err := h.Agent("ghost"); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("ghost lookup: %v", err)
+	}
+	// Corrupting an agent with no same-named object fails cleanly.
+	h.AddAgent("b")
+	if err := h.CorruptAgent("b"); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("objectless corrupt: %v", err)
+	}
+}
+
+func TestAfterMeasureHook(t *testing.T) {
+	h := NewHost("us")
+	h.AddObject("x", []byte("v"))
+	h.AddAgent("a")
+	var calls []string
+	h.SetAfterMeasure(func(agent, target string) { calls = append(calls, agent+"/"+target) })
+	h.Measure("a", "x")
+	if len(calls) != 1 || calls[0] != "a/x" {
+		t.Fatalf("hook calls: %v", calls)
+	}
+}
+
+func TestHostPlaceIntegration(t *testing.T) {
+	h := NewHost("us")
+	h.AddObject("exts", []byte("clean"))
+	h.AddAgent("bmon")
+	env := copland.NewEnv()
+	env.AddPlace(h.Place())
+
+	term, err := copland.Parse(`bmon us exts -> !`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := copland.ExecTerm(env, "us", term, evidence.Empty(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := evidence.Measurements(res.Evidence)
+	if len(ms) != 1 || ms[0].Place != "us" || ms[0].Target != "exts" {
+		t.Fatalf("evidence: %v", res.Evidence)
+	}
+	if _, err := evidence.VerifySignatures(res.Evidence, evidence.KeyMap{"us": h.Signer().Public()}); err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+}
+
+// --- The §4.2 narrative, end to end ---
+
+// expression (1): parallel composition. The userspace adversary corrupts
+// bmon, lets it lie about exts, repairs it before av looks — and the
+// appraiser is fooled.
+func TestRepairAttackCheatsParallelComposition(t *testing.T) {
+	s := NewBankScenario()
+	s.InfectExts()
+	s.CorruptBmon()
+	s.ScheduleRepairAfterLie()
+	s.Env.AdversarySwapsParallel = true // adversary schedules unordered branches
+
+	req, err := copland.ParseRequest(`*bank: @ks [av us bmon -> !] +~- @us [bmon us exts -> !]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := copland.Exec(s.Env, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All signatures verify...
+	if _, err := evidence.VerifySignatures(res.Evidence, s.Keys()); err != nil {
+		t.Fatalf("signatures: %v", err)
+	}
+	// ...and every reported measurement matches the golden values, even
+	// though exts is infected: the attack succeeded.
+	golden := s.Golden()
+	for _, m := range evidence.Measurements(res.Evidence) {
+		want, ok := golden[m.Place+"/"+m.Target]
+		if !ok {
+			t.Fatalf("unexpected measurement %v", m)
+		}
+		if m.Value != want {
+			t.Fatalf("attack failed: measurement %s/%s differs from golden", m.Place, m.Target)
+		}
+	}
+	// Sanity: exts really is infected.
+	cur, _ := s.US.ObjectDigest(ObjExts)
+	clean, _ := s.US.CleanDigest(ObjExts)
+	if cur == clean {
+		t.Fatal("test premise broken: exts not infected")
+	}
+}
+
+// expression (2): sequencing av's check before bmon's use defeats the
+// same adversary strategy — av sees the corrupt bmon before it can lie
+// and repair.
+func TestSequencingDetectsRepairAttack(t *testing.T) {
+	s := NewBankScenario()
+	s.InfectExts()
+	s.CorruptBmon()
+	s.ScheduleRepairAfterLie()
+
+	req, err := copland.ParseRequest(`*bank: @ks [av us bmon -> !] -<- @us [bmon us exts -> !]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := copland.Exec(s.Env, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := s.Golden()
+	mismatch := false
+	for _, m := range evidence.Measurements(res.Evidence) {
+		if want, ok := golden[m.Place+"/"+m.Target]; ok && m.Value != want {
+			mismatch = true
+		}
+	}
+	if !mismatch {
+		t.Fatal("sequenced protocol failed to expose the corrupt bmon")
+	}
+}
+
+// Honest client: both compositions attest clean.
+func TestHonestClientPassesBoth(t *testing.T) {
+	for _, src := range []string{
+		`*bank: @ks [av us bmon -> !] +~- @us [bmon us exts -> !]`,
+		`*bank: @ks [av us bmon -> !] -<- @us [bmon us exts -> !]`,
+	} {
+		s := NewBankScenario()
+		req, _ := copland.ParseRequest(src)
+		res, err := copland.Exec(s.Env, req, nil)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		golden := s.Golden()
+		for _, m := range evidence.Measurements(res.Evidence) {
+			if want, ok := golden[m.Place+"/"+m.Target]; ok && m.Value != want {
+				t.Fatalf("%q: honest run mismatched %s/%s", src, m.Place, m.Target)
+			}
+		}
+	}
+}
+
+// The static analysis agrees with the dynamic outcome.
+func TestAnalysisMatchesDynamics(t *testing.T) {
+	opts := copland.AnalyzeOptions{TrustedMeasurers: map[string]bool{"av": true}, RootPlace: "bank"}
+	par, _ := copland.ParseRequest(`*bank: @ks [av us bmon -> !] +~- @us [bmon us exts -> !]`)
+	if !copland.Analyze(par.Body, opts).Vulnerable() {
+		t.Fatal("analysis missed the parallel vulnerability")
+	}
+	seq, _ := copland.ParseRequest(`*bank: @ks [av us bmon -> !] -<- @us [bmon us exts -> !]`)
+	if copland.Analyze(seq.Body, opts).Vulnerable() {
+		t.Fatal("analysis flagged the sequenced protocol")
+	}
+}
+
+// An infected client without a corrupted bmon is caught by both forms.
+func TestInfectionWithoutAgentCorruptionDetected(t *testing.T) {
+	s := NewBankScenario()
+	s.InfectExts()
+	req, _ := copland.ParseRequest(`*bank: @ks [av us bmon -> !] +~- @us [bmon us exts -> !]`)
+	res, err := copland.Exec(s.Env, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := s.Golden()
+	caught := false
+	for _, m := range evidence.Measurements(res.Evidence) {
+		if want, ok := golden[m.Place+"/"+m.Target]; ok && m.Value != want {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatal("honest bmon failed to report infection")
+	}
+}
+
+func TestStrategiesEnumerate(t *testing.T) {
+	ss := Strategies()
+	if len(ss) != 4 {
+		t.Fatalf("strategies: %v", ss)
+	}
+	names := map[string]bool{}
+	for _, s := range ss {
+		names[s.String()] = true
+	}
+	for _, want := range []string{"none", "corrupt-only", "repair-after-lie", "corrupt-after-check"} {
+		if !names[want] {
+			t.Errorf("missing strategy %q", want)
+		}
+	}
+	if Strategy(99).String() == "" {
+		t.Error("unknown strategy name")
+	}
+}
+
+func TestArmStrategies(t *testing.T) {
+	for _, strat := range Strategies() {
+		s := NewBankScenario()
+		if err := s.Arm(strat); err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		// Every strategy infects exts.
+		cur, _ := s.US.ObjectDigest(ObjExts)
+		clean, _ := s.US.CleanDigest(ObjExts)
+		if cur == clean {
+			t.Fatalf("%v: exts not infected", strat)
+		}
+	}
+	// Corrupt-only leaves bmon detectably modified.
+	s := NewBankScenario()
+	s.Arm(StratCorruptOnly)
+	a, _ := s.US.Agent(AgentBmon)
+	if !a.Corrupt {
+		t.Fatal("corrupt-only did not corrupt bmon")
+	}
+	// Unknown strategy errors.
+	if err := NewBankScenario().Arm(Strategy(99)); err == nil {
+		t.Fatal("unknown strategy armed")
+	}
+	if NewHost("h").Name() != "h" {
+		t.Fatal("host name")
+	}
+}

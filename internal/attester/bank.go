@@ -1,0 +1,123 @@
+package attester
+
+import (
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/rot"
+)
+
+// BankScenario wires the paper's §4.2 running example: a client device
+// with a kernelspace place (ks) hosting the trusted antivirus agent av,
+// and a userspace place (us) hosting the browser monitor bmon and the
+// browser extensions object exts. The bank (relying party) asks for
+// evidence that bmon is genuine and that exts is malware-free.
+type BankScenario struct {
+	KS  *Host
+	US  *Host
+	Env *copland.Env
+}
+
+// Object and agent names of the scenario.
+const (
+	AgentAV   = "av"
+	AgentBmon = "bmon"
+	ObjExts   = "exts"
+)
+
+// NewBankScenario builds the two host places and a Copland environment
+// containing them plus a signing place for the bank itself.
+func NewBankScenario() *BankScenario {
+	ks := NewHost("ks")
+	us := NewHost("us")
+
+	// av lives in kernelspace and measures userspace objects; because
+	// measurement crosses places in the Copland phrase (`av us bmon`
+	// runs at ks but targets us), the ks host mirrors us's objects via a
+	// shared view: we model this by letting av measure through the us
+	// host. Concretely, register av on the us host too — the paper's
+	// ks/us split is about adversary reach (userspace control cannot
+	// touch av), which we preserve: corrupting bmon never corrupts av.
+	ks.AddAgent(AgentAV)
+	us.AddAgent(AgentAV)
+	bmonAgent := us.AddAgent(AgentBmon)
+	_ = bmonAgent
+	us.AddObject(AgentBmon, []byte("bmon-v1-binary"))
+	us.AddObject(ObjExts, []byte("exts-clean-set"))
+
+	env := copland.NewEnv()
+	env.AddPlace(bankPlace("bank"))
+	// The @ks phrase measures a us-resident object; route its default
+	// handler to the us host's object space while signing as ks.
+	ksPlace := copland.NewPlace("ks", ks.Signer())
+	ksPlace.HandleDefault(func(c *copland.Call) (*evidence.Evidence, error) {
+		// Kernel-resident av is beyond userspace corruption: it reports
+		// the digest as it stands *at measurement time*, before any
+		// adversary hook that reacts to the measurement can fire. The
+		// ordering matters: reading the digest first and firing the
+		// observation hook second is exactly the time-of-check window
+		// the TOCTOU adversary (StratCorruptAfterCheck) exploits.
+		cur, err := us.ObjectDigest(c.ASP.Target)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := us.Measure(c.ASP.Name, c.ASP.Target); err != nil {
+			return nil, err
+		}
+		honest := evidence.Measurement(c.ASP.Name, c.ASP.Target, "ks", evidence.DetailProgram, cur, nil)
+		if c.Input != nil && c.Input.Kind != evidence.KindEmpty {
+			return evidence.Seq(c.Input, honest), nil
+		}
+		return honest, nil
+	})
+	env.AddPlace(ksPlace)
+	env.AddPlace(us.Place())
+
+	return &BankScenario{KS: ks, US: us, Env: env}
+}
+
+func bankPlace(name string) *copland.PlaceRuntime {
+	return copland.NewPlace(name, rot.NewDeterministic(name, []byte("rp:"+name)))
+}
+
+// Golden returns the appraiser's golden values for the scenario: the
+// clean digests of bmon and exts as measured at their places. av's
+// measurement of bmon executes at ks, bmon's of exts at us.
+func (s *BankScenario) Golden() map[string]rot.Digest {
+	bmonClean, _ := s.US.CleanDigest(AgentBmon)
+	extsClean, _ := s.US.CleanDigest(ObjExts)
+	return map[string]rot.Digest{
+		"ks/" + AgentBmon: bmonClean,
+		"us/" + ObjExts:   extsClean,
+	}
+}
+
+// InfectExts plants malware in the browser extensions.
+func (s *BankScenario) InfectExts() {
+	_ = s.US.Tamper(ObjExts, []byte("exts-with-malware"))
+}
+
+// CorruptBmon gives the userspace adversary control of bmon: the agent
+// binary is modified and its measurements now lie.
+func (s *BankScenario) CorruptBmon() {
+	_ = s.US.CorruptAgent(AgentBmon)
+}
+
+// ScheduleRepairAfterLie arms the §4.2 adversary move: the moment the
+// corrupt bmon finishes (falsely) measuring exts, the adversary restores
+// the genuine bmon binary, so a later measurement *of* bmon sees it
+// clean.
+func (s *BankScenario) ScheduleRepairAfterLie() {
+	s.US.SetAfterMeasure(func(agent, target string) {
+		if agent == AgentBmon && target == ObjExts {
+			_ = s.US.RepairAgent(AgentBmon)
+		}
+	})
+}
+
+// Keys returns the verification keys for the scenario's signing places.
+func (s *BankScenario) Keys() evidence.KeyMap {
+	return evidence.KeyMap{
+		"ks": s.KS.Signer().Public(),
+		"us": s.US.Signer().Public(),
+	}
+}

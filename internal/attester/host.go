@@ -1,0 +1,243 @@
+// Package attester implements host-side attestation runtimes: measured
+// objects, measurement agents (the av/bmon/exts cast of the paper's bank
+// example), and their binding into Copland evaluation environments. The
+// agents are deliberately corruptible — reproducing the §4.2 repair
+// attack requires an adversary who can corrupt a userspace agent, have it
+// lie, and then restore it.
+package attester
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/rot"
+)
+
+// Errors from host operations.
+var (
+	ErrUnknownObject = errors.New("attester: unknown object")
+	ErrUnknownAgent  = errors.New("attester: unknown agent")
+)
+
+// Host is one attestation place (a userspace, a kernelspace, a device)
+// holding measurable objects and measurement agents. It is safe for
+// concurrent use.
+type Host struct {
+	name   string
+	signer *rot.RoT
+
+	mu      sync.Mutex
+	objects map[string]rot.Digest // current content digest per object
+	clean   map[string]rot.Digest // known-clean digest per object
+	agents  map[string]*Agent
+
+	// afterMeasure, when set, runs after each agent measurement — the
+	// hook attack orchestrations use to act at precise protocol moments.
+	afterMeasure func(agent, target string)
+}
+
+// Agent is a measurement agent residing on a host. A corrupt agent
+// reports the clean digest for whatever it measures, hiding compromise.
+type Agent struct {
+	Name    string
+	Corrupt bool
+	// Measured counts how many measurements the agent performed.
+	Measured int
+}
+
+// NewHost creates a host place with a deterministic signer derived from
+// the host name, so simulations are reproducible.
+func NewHost(name string) *Host {
+	return &Host{
+		name:    name,
+		signer:  rot.NewDeterministic(name, []byte("host:"+name)),
+		objects: make(map[string]rot.Digest),
+		clean:   make(map[string]rot.Digest),
+		agents:  make(map[string]*Agent),
+	}
+}
+
+// Name returns the host (place) name.
+func (h *Host) Name() string { return h.name }
+
+// Signer returns the host's signing identity for evidence.
+func (h *Host) Signer() *rot.RoT { return h.signer }
+
+// AddObject installs a measurable object with its clean content digest.
+func (h *Host) AddObject(name string, content []byte) {
+	d := rot.Sum(content)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.objects[name] = d
+	h.clean[name] = d
+}
+
+// ObjectDigest returns the object's current digest.
+func (h *Host) ObjectDigest(name string) (rot.Digest, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.objects[name]
+	if !ok {
+		return rot.Digest{}, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	return d, nil
+}
+
+// CleanDigest returns the known-clean digest — what an appraiser's golden
+// store would hold.
+func (h *Host) CleanDigest(name string) (rot.Digest, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.clean[name]
+	if !ok {
+		return rot.Digest{}, fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	return d, nil
+}
+
+// Tamper changes an object's content (infection, rogue patch). The clean
+// reference is unchanged.
+func (h *Host) Tamper(name string, newContent []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.objects[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	h.objects[name] = rot.Sum(newContent)
+	return nil
+}
+
+// Restore returns an object to its clean content.
+func (h *Host) Restore(name string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	d, ok := h.clean[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, name)
+	}
+	h.objects[name] = d
+	return nil
+}
+
+// AddAgent installs a measurement agent. If the agent itself should be
+// measurable (as bmon is by av), also AddObject it under the same name.
+func (h *Host) AddAgent(name string) *Agent {
+	a := &Agent{Name: name}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.agents[name] = a
+	return a
+}
+
+// Agent returns the named agent.
+func (h *Host) Agent(name string) (*Agent, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	a, ok := h.agents[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAgent, name)
+	}
+	return a, nil
+}
+
+// CorruptAgent corrupts both the agent's behaviour (it will lie) and its
+// object digest (it is detectably modified — until repaired).
+func (h *Host) CorruptAgent(name string) error {
+	h.mu.Lock()
+	a, ok := h.agents[name]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAgent, name)
+	}
+	if err := h.Tamper(name, []byte("corrupted:"+name)); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	a.Corrupt = true
+	h.mu.Unlock()
+	return nil
+}
+
+// RepairAgent restores the agent's binary to clean — but note the paper's
+// point: a *repaired* binary with honest behaviour is indistinguishable
+// from one that never lied, which is exactly what the parallel-composition
+// attack exploits. Repair clears Corrupt too (the adversary reinstalls
+// the genuine agent).
+func (h *Host) RepairAgent(name string) error {
+	h.mu.Lock()
+	a, ok := h.agents[name]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAgent, name)
+	}
+	if err := h.Restore(name); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	a.Corrupt = false
+	h.mu.Unlock()
+	return nil
+}
+
+// SetAfterMeasure installs the adversary's scheduling hook.
+func (h *Host) SetAfterMeasure(fn func(agent, target string)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.afterMeasure = fn
+}
+
+// Measure has the named agent measure target, returning measurement
+// evidence. An honest agent reports the target's current digest; a
+// corrupt agent reports the clean digest, hiding any compromise.
+func (h *Host) Measure(agentName, target string) (*evidence.Evidence, error) {
+	h.mu.Lock()
+	a, ok := h.agents[agentName]
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAgent, agentName)
+	}
+	var value rot.Digest
+	if a.Corrupt {
+		value, ok = h.clean[target]
+	} else {
+		value, ok = h.objects[target]
+	}
+	if !ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownObject, target)
+	}
+	a.Measured++
+	hook := h.afterMeasure
+	h.mu.Unlock()
+
+	m := evidence.Measurement(agentName, target, h.name, evidence.DetailProgram, value, nil)
+	if hook != nil {
+		hook(agentName, target)
+	}
+	return m, nil
+}
+
+// Place builds a Copland place runtime for this host: every agent gets a
+// handler producing measurement evidence (threaded after any accrued
+// input), and the host's RoT signs for the `!` operator.
+func (h *Host) Place() *copland.PlaceRuntime {
+	pl := copland.NewPlace(h.name, h.signer)
+	pl.HandleDefault(func(c *copland.Call) (*evidence.Evidence, error) {
+		target := c.ASP.Target
+		if target == "" && len(c.ASP.Args) > 0 {
+			target = c.ASP.Args[0]
+		}
+		m, err := h.Measure(c.ASP.Name, target)
+		if err != nil {
+			return nil, err
+		}
+		if c.Input != nil && c.Input.Kind != evidence.KindEmpty {
+			return evidence.Seq(c.Input, m), nil
+		}
+		return m, nil
+	})
+	return pl
+}

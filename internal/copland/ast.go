@@ -1,0 +1,218 @@
+// Package copland implements the Copland remote-attestation policy
+// language used by the paper (§4.2): an abstract syntax of attestation
+// protocol terms, a concrete ASCII syntax with parser, an evidence
+// semantics (the Copland Virtual Machine), and a static trust analysis
+// that detects measurement-reordering ("repair") attacks of the kind
+// described by Ramsdell et al. and reproduced in the paper's bank example.
+//
+// The ASCII concrete syntax follows the Copland literature:
+//
+//	*bank<n>: @ks [av us bmon -> !] -<- @us [bmon us exts -> !]
+//
+//	term   := branch
+//	branch := linear (FLAG ('<'|'~') FLAG linear)*      left-assoc
+//	linear := unary ('->' unary)*                        left-assoc
+//	unary  := '@' place '[' term ']' | '(' term ')' | asp
+//	asp    := '!' | '#' | '_' | NAME ['(' inner ')'] [NAME [NAME]]
+//
+// where FLAG is '+' or '-', `-<-` is sequential branching and `-~-`
+// parallel branching with evidence-splitting flags, `->` pipes evidence,
+// `!` signs, `#` hashes, `_` copies. An ASP written `av us bmon` is the
+// measurer av measuring target bmon at place us; `attest(n) X` passes the
+// parameter n and measures target X; `attest(Hardware -~- Program)` runs
+// the parenthesized subterm and applies attest to its evidence.
+package copland
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a Copland protocol term.
+type Term interface {
+	fmt.Stringer
+	isTerm()
+}
+
+// SigName, HashName and CopyName are the reserved ASP names for the
+// built-in `!`, `#` and `_` operations.
+const (
+	SigName  = "!"
+	HashName = "#"
+	CopyName = "_"
+)
+
+// ASP (Attestation Service Provider) is a primitive action: a measurement,
+// a transformation such as certify/store, or one of the built-ins.
+type ASP struct {
+	Name        string
+	Args        []string // simple parameters, e.g. the nonce name in certify(n)
+	TargetPlace string   // place of the measured target ("" if none)
+	Target      string   // measured target ("" if none)
+	SubTerm     Term     // non-nil for f(term): run term, apply f to its evidence
+}
+
+// At runs Body at the named Place.
+type At struct {
+	Place string
+	Body  Term
+}
+
+// LSeq pipes the evidence of L into R (the paper's -> operator).
+type LSeq struct {
+	L, R Term
+}
+
+// Flag controls whether a branch receives the evidence accrued so far
+// (true, '+') or starts empty (false, '-').
+type Flag bool
+
+func (f Flag) String() string {
+	if f {
+		return "+"
+	}
+	return "-"
+}
+
+// BSeq evaluates L then R (sequential branching, the `<` operator); their
+// results are combined as sequential evidence.
+type BSeq struct {
+	LFlag, RFlag Flag
+	L, R         Term
+}
+
+// BPar evaluates L and R in parallel (the `~` operator); their results are
+// combined as parallel evidence. Parallel branches give an active
+// adversary interleaving freedom — see Analyze.
+type BPar struct {
+	LFlag, RFlag Flag
+	L, R         Term
+}
+
+func (*ASP) isTerm()  {}
+func (*At) isTerm()   {}
+func (*LSeq) isTerm() {}
+func (*BSeq) isTerm() {}
+func (*BPar) isTerm() {}
+
+func (a *ASP) String() string {
+	var b strings.Builder
+	b.WriteString(a.Name)
+	if a.SubTerm != nil {
+		fmt.Fprintf(&b, "(%s)", a.SubTerm)
+	} else if len(a.Args) > 0 {
+		fmt.Fprintf(&b, "(%s)", strings.Join(a.Args, ", "))
+	}
+	if a.TargetPlace != "" {
+		fmt.Fprintf(&b, " %s", a.TargetPlace)
+	}
+	if a.Target != "" {
+		fmt.Fprintf(&b, " %s", a.Target)
+	}
+	return b.String()
+}
+
+func (a *At) String() string { return fmt.Sprintf("@%s [%s]", a.Place, a.Body) }
+
+func (l *LSeq) String() string { return fmt.Sprintf("%s -> %s", wrap(l.L), wrap(l.R)) }
+
+func (s *BSeq) String() string {
+	return fmt.Sprintf("%s %s<%s %s", wrap(s.L), s.LFlag, s.RFlag, wrap(s.R))
+}
+
+func (p *BPar) String() string {
+	return fmt.Sprintf("%s %s~%s %s", wrap(p.L), p.LFlag, p.RFlag, wrap(p.R))
+}
+
+// wrap parenthesizes composite subterms so String output re-parses to the
+// same tree.
+func wrap(t Term) string {
+	switch t.(type) {
+	case *LSeq, *BSeq, *BPar:
+		return "(" + t.String() + ")"
+	default:
+		return t.String()
+	}
+}
+
+// Request is a top-level phrase `*RP<params>: term` — the relying party RP
+// requests evidence for term, binding the named parameters (the first
+// parameter conventionally being the nonce).
+type Request struct {
+	RelyingParty string
+	Params       []string
+	Body         Term
+}
+
+func (r *Request) String() string {
+	var b strings.Builder
+	b.WriteString("*")
+	b.WriteString(r.RelyingParty)
+	if len(r.Params) > 0 {
+		fmt.Fprintf(&b, "<%s>", strings.Join(r.Params, ", "))
+	}
+	fmt.Fprintf(&b, ": %s", r.Body)
+	return b.String()
+}
+
+// Sig returns the built-in signature ASP.
+func Sig() *ASP { return &ASP{Name: SigName} }
+
+// Hsh returns the built-in hash ASP.
+func Hsh() *ASP { return &ASP{Name: HashName} }
+
+// Cpy returns the built-in copy (identity) ASP.
+func Cpy() *ASP { return &ASP{Name: CopyName} }
+
+// Measure builds the `measurer targetPlace target` measurement ASP.
+func Measure(measurer, targetPlace, target string) *ASP {
+	return &ASP{Name: measurer, TargetPlace: targetPlace, Target: target}
+}
+
+// Walk visits every subterm of t in preorder. Returning false from visit
+// stops descent into that subterm.
+func Walk(t Term, visit func(Term) bool) {
+	if t == nil || !visit(t) {
+		return
+	}
+	switch n := t.(type) {
+	case *ASP:
+		if n.SubTerm != nil {
+			Walk(n.SubTerm, visit)
+		}
+	case *At:
+		Walk(n.Body, visit)
+	case *LSeq:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *BSeq:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *BPar:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	}
+}
+
+// Places returns every place name mentioned by @ or as a measurement
+// target place, in first-seen order.
+func Places(t Term) []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(p string) {
+		if p != "" && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	Walk(t, func(n Term) bool {
+		switch v := n.(type) {
+		case *At:
+			add(v.Place)
+		case *ASP:
+			add(v.TargetPlace)
+		}
+		return true
+	})
+	return out
+}

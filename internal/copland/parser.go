@@ -1,0 +1,299 @@
+package copland
+
+import "fmt"
+
+// Parse parses a single Copland term.
+func Parse(input string) (Term, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseRequest parses a top-level `*RP<params>: term` phrase. Parameters
+// may also be given in the paper's comma style, `*RP, n: term`.
+func ParseRequest(input string) (*Request, error) {
+	p, err := newParser(input)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.request()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+type parser struct {
+	input string
+	toks  []token
+	pos   int
+}
+
+func newParser(input string) (*parser, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{input: input, toks: toks}, nil
+}
+
+func (p *parser) peek() token       { return p.toks[p.pos] }
+func (p *parser) next() token       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool { return p.peek().kind == k }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Input: p.input, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokKind) error {
+	if !p.at(k) {
+		return p.errf("expected %v, found %v %q", k, p.peek().kind, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if !p.at(tokIdent) {
+		return "", p.errf("expected identifier, found %v %q", p.peek().kind, p.peek().text)
+	}
+	return p.next().text, nil
+}
+
+// request := '*' IDENT params? ':' term
+// params  := '<' IDENT (',' IDENT)* '>'  |  (',' IDENT)+
+func (p *parser) request() (*Request, error) {
+	if err := p.expect(tokStar); err != nil {
+		return nil, err
+	}
+	rp, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{RelyingParty: rp}
+	switch {
+	case p.at(tokLess):
+		p.next()
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			req.Params = append(req.Params, name)
+			if p.at(tokComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokGT); err != nil {
+			return nil, err
+		}
+	case p.at(tokComma):
+		for p.at(tokComma) {
+			p.next()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			req.Params = append(req.Params, name)
+		}
+	}
+	if err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	body, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	req.Body = body
+	return req, nil
+}
+
+// term := branch
+func (p *parser) term() (Term, error) { return p.branch() }
+
+// branch := linear (FLAG ('<'|'~') FLAG linear)*
+func (p *parser) branch() (Term, error) {
+	left, err := p.linear()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		lf := Flag(p.next().kind == tokPlus)
+		var par bool
+		switch p.peek().kind {
+		case tokLess, tokGT:
+			// '<' is the Copland sequential branch; the paper also
+			// renders it '>' in expression (3). Both parse to BSeq.
+			par = false
+		case tokTilde:
+			par = true
+		default:
+			return nil, p.errf("expected '<', '>' or '~' after branch flag, found %q", p.peek().text)
+		}
+		p.next()
+		var rf Flag
+		switch p.peek().kind {
+		case tokPlus:
+			rf = true
+		case tokMinus:
+			rf = false
+		default:
+			return nil, p.errf("expected '+' or '-' flag after branch operator, found %q", p.peek().text)
+		}
+		p.next()
+		right, err := p.linear()
+		if err != nil {
+			return nil, err
+		}
+		if par {
+			left = &BPar{LFlag: lf, RFlag: rf, L: left, R: right}
+		} else {
+			left = &BSeq{LFlag: lf, RFlag: rf, L: left, R: right}
+		}
+	}
+	return left, nil
+}
+
+// linear := unary ('->' unary)*
+func (p *parser) linear() (Term, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokArrow) {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &LSeq{L: left, R: right}
+	}
+	return left, nil
+}
+
+// unary := '@' IDENT '[' term ']' | '(' term ')' | asp
+func (p *parser) unary() (Term, error) {
+	switch p.peek().kind {
+	case tokAt:
+		p.next()
+		place, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLBrack); err != nil {
+			return nil, err
+		}
+		body, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRBrack); err != nil {
+			return nil, err
+		}
+		return &At{Place: place, Body: body}, nil
+	case tokLParen:
+		p.next()
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return t, nil
+	default:
+		return p.asp()
+	}
+}
+
+// asp := '!' | '#' | '_' | IDENT ['(' inner ')'] [IDENT [IDENT]]
+func (p *parser) asp() (Term, error) {
+	switch p.peek().kind {
+	case tokBang:
+		p.next()
+		return Sig(), nil
+	case tokHash:
+		p.next()
+		return Hsh(), nil
+	case tokUnder:
+		p.next()
+		return Cpy(), nil
+	case tokIdent:
+		name := p.next().text
+		a := &ASP{Name: name}
+		if p.at(tokLParen) {
+			p.next()
+			if err := p.aspInner(a); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		}
+		// Optional measurement target: one ident = target, two idents =
+		// targetPlace target (the `av us bmon` form).
+		if p.at(tokIdent) {
+			first := p.next().text
+			if p.at(tokIdent) {
+				a.TargetPlace = first
+				a.Target = p.next().text
+			} else {
+				a.Target = first
+			}
+		}
+		return a, nil
+	default:
+		return nil, p.errf("expected a term, found %v %q", p.peek().kind, p.peek().text)
+	}
+}
+
+// aspInner parses the contents of an ASP's parentheses: either a
+// comma-separated list of simple identifiers (arguments) or a full
+// subterm, e.g. attest(Hardware -~- Program).
+func (p *parser) aspInner(a *ASP) error {
+	// Empty argument list: f().
+	if p.at(tokRParen) {
+		return nil
+	}
+	start := p.pos
+	// Try the simple-arguments shape first.
+	var args []string
+	for {
+		if !p.at(tokIdent) {
+			args = nil
+			break
+		}
+		args = append(args, p.next().text)
+		if p.at(tokComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if args != nil && p.at(tokRParen) {
+		a.Args = args
+		return nil
+	}
+	// Not a plain argument list — re-parse as a subterm.
+	p.pos = start
+	t, err := p.term()
+	if err != nil {
+		return err
+	}
+	a.SubTerm = t
+	return nil
+}

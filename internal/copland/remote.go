@@ -1,0 +1,205 @@
+package copland
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pera/internal/evidence"
+	"pera/internal/rats"
+)
+
+// Distributed evaluation: Copland's whole point is that @p [C] executes
+// at place p, which is usually a different machine. This file makes that
+// literal: an Env can register *remote* places reached over the rats
+// protocol; the evaluator ships the serialized subterm, the parameter
+// bindings and the accrued evidence to the remote side, which evaluates
+// it in its own environment (with its own keys — the local side never
+// holds remote signing keys) and returns the resulting evidence plus its
+// execution trace.
+//
+// The term travels in its concrete syntax (String() output re-parses to
+// an identical tree — a property-tested invariant), the payload in a
+// small binary envelope.
+
+// Caller abstracts the client side of a rats request/response exchange;
+// *rats.Conn implements it.
+type Caller interface {
+	Call(*rats.Message) (*rats.Message, error)
+}
+
+// Errors from remote evaluation.
+var (
+	ErrRemote         = errors.New("copland: remote evaluation failed")
+	ErrBadExecPayload = errors.New("copland: malformed exec payload")
+)
+
+// AddRemotePlace registers a place reached via c. Local place runtimes
+// with the same name take precedence (a host is authoritative for
+// itself).
+func (e *Env) AddRemotePlace(name string, c Caller) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.remotes == nil {
+		e.remotes = make(map[string]Caller)
+	}
+	e.remotes[name] = c
+}
+
+// remote looks up a remote place registration.
+func (e *Env) remote(name string) (Caller, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.remotes[name]
+	return c, ok
+}
+
+// encodeExecPayload packs parameter bindings and input evidence.
+func encodeExecPayload(params map[string][]byte, ev *evidence.Evidence) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint32(b, uint32(len(params)))
+	// Deterministic order for testability.
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		b = appendLVc(b, []byte(k))
+		b = appendLVc(b, params[k])
+	}
+	return append(b, evidence.Encode(ev)...)
+}
+
+func appendLVc(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// decodeExecPayload unpacks what encodeExecPayload produced.
+func decodeExecPayload(b []byte) (map[string][]byte, *evidence.Evidence, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrBadExecPayload
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > 1024 {
+		return nil, nil, fmt.Errorf("%w: %d params", ErrBadExecPayload, n)
+	}
+	off := 4
+	params := make(map[string][]byte, n)
+	readLV := func() ([]byte, error) {
+		if off+4 > len(b) {
+			return nil, ErrBadExecPayload
+		}
+		l := int(binary.BigEndian.Uint32(b[off:]))
+		off += 4
+		if l > 1<<20 || off+l > len(b) {
+			return nil, ErrBadExecPayload
+		}
+		v := b[off : off+l]
+		off += l
+		return v, nil
+	}
+	for i := uint32(0); i < n; i++ {
+		k, err := readLV()
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err := readLV()
+		if err != nil {
+			return nil, nil, err
+		}
+		params[string(k)] = append([]byte(nil), v...)
+	}
+	ev, err := evidence.Decode(b[off:])
+	if err != nil {
+		return nil, nil, err
+	}
+	return params, ev, nil
+}
+
+// evalRemote ships an @place subtree to its remote environment.
+func (v *vm) evalRemote(c Caller, place string, body Term, e *evidence.Evidence) (*evidence.Evidence, error) {
+	req := &rats.Message{
+		Type:   rats.MsgExec,
+		Claims: []string{place, body.String()},
+		Body:   encodeExecPayload(v.params, e),
+	}
+	resp, err := c.Call(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	if resp.Type != rats.MsgEvidence {
+		return nil, fmt.Errorf("%w: unexpected response %v", ErrRemote, resp.Type)
+	}
+	out, err := evidence.Decode(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRemote, err)
+	}
+	// Merge the remote trace (rendered events) into the local one.
+	v.mu.Lock()
+	for _, line := range resp.Claims {
+		v.seq++
+		v.trace = append(v.trace, Event{Seq: v.seq, Place: place, ASP: "remote:" + line})
+	}
+	v.mu.Unlock()
+	return out, nil
+}
+
+// ServeEnv returns a rats.Handler that executes MsgExec requests against
+// env: Claims[0] names the place (which must exist locally in env),
+// Claims[1] carries the term source. The response's Body is the
+// resulting evidence; its Claims render the local execution trace.
+//
+// SECURITY: a place served this way executes any term it is sent, under
+// its own measurement handlers and signing key. Deployments gate this on
+// the transport (who may connect) exactly as a local Copland place is
+// gated on who may invoke it; the handlers themselves never expose key
+// material.
+func ServeEnv(env *Env) rats.Handler {
+	return func(req *rats.Message) *rats.Message {
+		fail := func(format string, args ...any) *rats.Message {
+			return &rats.Message{Type: rats.MsgError, Session: req.Session,
+				Body: []byte(fmt.Sprintf(format, args...))}
+		}
+		if req.Type != rats.MsgExec {
+			return fail("place service cannot handle %v", req.Type)
+		}
+		if len(req.Claims) != 2 {
+			return fail("exec needs [place, term] claims, got %d", len(req.Claims))
+		}
+		place, src := req.Claims[0], req.Claims[1]
+		if _, ok := env.Place(place); !ok {
+			return fail("unknown place %q", place)
+		}
+		term, err := Parse(src)
+		if err != nil {
+			return fail("term: %v", err)
+		}
+		params, ev, err := decodeExecPayload(req.Body)
+		if err != nil {
+			return fail("payload: %v", err)
+		}
+		res, err := ExecTerm(env, place, term, ev, params)
+		if err != nil {
+			return fail("exec: %v", err)
+		}
+		var trace []string
+		for _, e := range res.Trace {
+			trace = append(trace, e.String())
+		}
+		return &rats.Message{
+			Type: rats.MsgEvidence, Session: req.Session,
+			Claims: trace,
+			Body:   evidence.Encode(res.Evidence),
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package copland
+
+import (
+	"fmt"
+	"strings"
+
+	"pera/internal/evidence"
+)
+
+// Evidence-shape inference — Copland's evidence type system. A term's
+// evidence shape is derivable statically: relying parties use it to
+// pre-validate policies, predict evidence size, and compute expected
+// evidence structure (e.g. to provision appraiser.AllowHash digests for
+// hash-collapsed attestations) without executing anything.
+//
+// Shapes abstract concrete evidence: a measurement's value digest is
+// runtime data, but who-measured-what-where is fixed by the term.
+//
+// Measurement ASPs follow the convention the standard handlers implement
+// (attester.Host.Place and the evaluator tests): with empty input they
+// return a bare measurement, otherwise Seq(input, measurement). ASPs
+// with different contracts (appraise, certify, ...) register their own
+// ShapeFn; inferring a term that uses an unregistered non-measurement
+// convention is the caller's responsibility to avoid.
+
+// Shape is the static abstraction of an evidence tree.
+type Shape interface {
+	fmt.Stringer
+	isShape()
+}
+
+// ShEmpty is the shape of empty evidence.
+type ShEmpty struct{}
+
+// ShNonce is nonce evidence.
+type ShNonce struct{}
+
+// ShMsmt is a measurement by Measurer of Target at Place.
+type ShMsmt struct {
+	Measurer, Target, Place string
+}
+
+// ShHash is a hash commitment over Of.
+type ShHash struct{ Of Shape }
+
+// ShSig is Signer's signature over Of.
+type ShSig struct {
+	Signer string
+	Of     Shape
+}
+
+// ShSeq is sequential composition.
+type ShSeq struct{ L, R Shape }
+
+// ShPar is parallel composition.
+type ShPar struct{ L, R Shape }
+
+func (ShEmpty) isShape() {}
+func (ShNonce) isShape() {}
+func (ShMsmt) isShape()  {}
+func (ShHash) isShape()  {}
+func (ShSig) isShape()   {}
+func (ShSeq) isShape()   {}
+func (ShPar) isShape()   {}
+
+func (ShEmpty) String() string { return "mt" }
+func (ShNonce) String() string { return "nonce" }
+func (m ShMsmt) String() string {
+	return fmt.Sprintf("msmt(%s,%s,%s)", m.Measurer, m.Target, m.Place)
+}
+func (h ShHash) String() string { return "#(" + h.Of.String() + ")" }
+func (s ShSig) String() string  { return fmt.Sprintf("sig[%s](%s)", s.Signer, s.Of) }
+func (s ShSeq) String() string  { return fmt.Sprintf("(%s ;; %s)", s.L, s.R) }
+func (p ShPar) String() string  { return fmt.Sprintf("(%s || %s)", p.L, p.R) }
+
+// ShapeEqual compares shapes structurally.
+func ShapeEqual(a, b Shape) bool { return a.String() == b.String() }
+
+// ShapeOf abstracts concrete evidence to its shape.
+func ShapeOf(ev *evidence.Evidence) Shape {
+	if ev == nil {
+		return ShEmpty{}
+	}
+	switch ev.Kind {
+	case evidence.KindEmpty:
+		return ShEmpty{}
+	case evidence.KindNonce:
+		return ShNonce{}
+	case evidence.KindMeasurement:
+		return ShMsmt{Measurer: ev.Measurer, Target: ev.Target, Place: ev.Place}
+	case evidence.KindHash:
+		// The hashed subtree is collapsed in the concrete evidence; its
+		// shape is unrecoverable. Represent as a hash of an opaque hole.
+		return ShHash{Of: ShEmpty{}}
+	case evidence.KindSig:
+		return ShSig{Signer: ev.Signer, Of: ShapeOf(ev.Left)}
+	case evidence.KindSeq:
+		return ShSeq{L: ShapeOf(ev.Left), R: ShapeOf(ev.Right)}
+	case evidence.KindPar:
+		return ShPar{L: ShapeOf(ev.Left), R: ShapeOf(ev.Right)}
+	default:
+		return ShEmpty{}
+	}
+}
+
+// ShapeFn computes the output shape of a custom ASP given its input
+// shape and the executing place.
+type ShapeFn func(a *ASP, place string, in Shape) (Shape, error)
+
+// InferOptions parameterize inference.
+type InferOptions struct {
+	// Custom maps ASP names with non-measurement contracts to their
+	// shape functions.
+	Custom map[string]ShapeFn
+}
+
+// Infer computes the evidence shape of t executing at place with input
+// shape in.
+func Infer(t Term, place string, in Shape, opts InferOptions) (Shape, error) {
+	switch n := t.(type) {
+	case *ASP:
+		return inferASP(n, place, in, opts)
+	case *At:
+		return Infer(n.Body, n.Place, in, opts)
+	case *LSeq:
+		mid, err := Infer(n.L, place, in, opts)
+		if err != nil {
+			return nil, err
+		}
+		return Infer(n.R, place, mid, opts)
+	case *BSeq:
+		l, err := Infer(n.L, place, splitShape(n.LFlag, in), opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Infer(n.R, place, splitShape(n.RFlag, in), opts)
+		if err != nil {
+			return nil, err
+		}
+		return ShSeq{L: l, R: r}, nil
+	case *BPar:
+		l, err := Infer(n.L, place, splitShape(n.LFlag, in), opts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Infer(n.R, place, splitShape(n.RFlag, in), opts)
+		if err != nil {
+			return nil, err
+		}
+		return ShPar{L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("copland: cannot infer shape of %T", t)
+	}
+}
+
+func splitShape(f Flag, in Shape) Shape {
+	if f {
+		return in
+	}
+	return ShEmpty{}
+}
+
+func inferASP(a *ASP, place string, in Shape, opts InferOptions) (Shape, error) {
+	input := in
+	if a.SubTerm != nil {
+		sub, err := Infer(a.SubTerm, place, in, opts)
+		if err != nil {
+			return nil, err
+		}
+		input = sub
+	}
+	switch a.Name {
+	case SigName:
+		return ShSig{Signer: place, Of: input}, nil
+	case HashName:
+		return ShHash{Of: ShEmpty{}}, nil
+	case CopyName:
+		return input, nil
+	}
+	if fn, ok := opts.Custom[a.Name]; ok {
+		return fn(a, place, input)
+	}
+	// Measurement convention.
+	target := a.Target
+	if target == "" && len(a.Args) > 0 {
+		target = a.Args[0]
+	}
+	m := ShMsmt{Measurer: a.Name, Target: target, Place: place}
+	if _, empty := input.(ShEmpty); empty {
+		return m, nil
+	}
+	return ShSeq{L: input, R: m}, nil
+}
+
+// InferRequest infers the shape of a full request: the initial shape is
+// nonce evidence when the request binds the conventional n parameter.
+func InferRequest(req *Request, nonceBound bool, opts InferOptions) (Shape, error) {
+	var init Shape = ShEmpty{}
+	if nonceBound {
+		init = ShNonce{}
+	}
+	return Infer(req.Body, req.RelyingParty, init, opts)
+}
+
+// CountShapes tallies node kinds in a shape — the static cost model
+// (how many signatures, measurements, nonce inclusions a policy demands).
+type ShapeCounts struct {
+	Measurements int
+	Signatures   int
+	Hashes       int
+	Nonces       int
+}
+
+// Count walks the shape and tallies.
+func Count(s Shape) ShapeCounts {
+	var c ShapeCounts
+	var walk func(Shape)
+	walk = func(s Shape) {
+		switch n := s.(type) {
+		case ShMsmt:
+			c.Measurements++
+		case ShSig:
+			c.Signatures++
+			walk(n.Of)
+		case ShHash:
+			c.Hashes++
+			walk(n.Of)
+		case ShSeq:
+			walk(n.L)
+			walk(n.R)
+		case ShPar:
+			walk(n.L)
+			walk(n.R)
+		case ShNonce:
+			c.Nonces++
+		}
+	}
+	walk(s)
+	return c
+}
+
+// Render pretty-prints a shape for diagnostics and docs.
+func Render(s Shape) string {
+	return strings.ReplaceAll(s.String(), ";;", "->")
+}

@@ -1,0 +1,200 @@
+package copland
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pera/internal/evidence"
+)
+
+func TestInferBankExpressions(t *testing.T) {
+	// Expression (2): sequenced, both arms signed.
+	req, err := ParseRequest(expr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := InferRequest(req, false, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "(sig[ks](msmt(av,bmon,ks)) ;; sig[us](msmt(bmon,exts,us)))"
+	if shape.String() != want {
+		t.Fatalf("shape %q, want %q", shape, want)
+	}
+	c := Count(shape)
+	if c.Measurements != 2 || c.Signatures != 2 || c.Hashes != 0 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestInferMatchesExecution(t *testing.T) {
+	// The static shape must equal the dynamic evidence's shape for
+	// convention-following environments.
+	env, _ := testEnv(t)
+	srcs := []string{
+		expr1, expr2,
+		`*bank: @ks [av us bmon -> # -> !]`,
+		`*bank: @us [_ -> bmon us exts]`,
+		`*bank: (@ks [av us bmon] +<+ @us [bmon us exts]) -> !`,
+		`*bank: @ks [m1 p t1] -~- @us [m2 p t2]`,
+	}
+	for _, src := range srcs {
+		req, err := ParseRequest(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		for _, withNonce := range []bool{false, true} {
+			var bindings map[string][]byte
+			if withNonce {
+				bindings = map[string][]byte{"n": []byte("n-1")}
+			}
+			res, err := Exec(env, req, bindings)
+			if err != nil {
+				t.Fatalf("%q: exec: %v", src, err)
+			}
+			inferred, err := InferRequest(req, withNonce, InferOptions{})
+			if err != nil {
+				t.Fatalf("%q: infer: %v", src, err)
+			}
+			got := ShapeOf(res.Evidence)
+			if !ShapeEqual(got, inferred) {
+				t.Fatalf("%q (nonce=%v):\n  dynamic: %s\n  static:  %s",
+					src, withNonce, got, inferred)
+			}
+		}
+	}
+}
+
+// Property: inference agrees with execution on randomly generated
+// convention-following terms.
+func TestPropertyInferMatchesExecution(t *testing.T) {
+	env, _ := testEnv(t)
+	names := []string{"m1", "m2", "av", "bmon"}
+	places := []string{"ks", "us", "bank"}
+	var build func(r uint64, depth int) Term
+	build = func(r uint64, depth int) Term {
+		if depth <= 0 {
+			switch r % 4 {
+			case 0:
+				return Sig()
+			case 1:
+				return Cpy()
+			default:
+				return Measure(names[r%4], places[(r>>2)%3], "t"+names[(r>>4)%4])
+			}
+		}
+		l, rr := build(r/5, depth-1), build(r/11, depth-1)
+		switch r % 5 {
+		case 0:
+			return &LSeq{L: l, R: rr}
+		case 1:
+			return &BSeq{LFlag: r&1 == 0, RFlag: r&2 == 0, L: l, R: rr}
+		case 2:
+			return &BPar{LFlag: r&1 == 0, RFlag: r&2 == 0, L: l, R: rr}
+		case 3:
+			return &At{Place: places[r%3], Body: l}
+		default:
+			return l
+		}
+	}
+	f := func(r uint64, d uint8) bool {
+		term := build(r, int(d%4))
+		res, err := ExecTerm(env, "bank", term, evidence.Empty(), nil)
+		if err != nil {
+			return true // e.g. signing at a place without a signer
+		}
+		inferred, err := Infer(term, "bank", ShEmpty{}, InferOptions{})
+		if err != nil {
+			t.Logf("infer failed for %q: %v", term, err)
+			return false
+		}
+		if !ShapeEqual(ShapeOf(res.Evidence), inferred) {
+			t.Logf("%q:\n  dynamic: %s\n  static:  %s", term, ShapeOf(res.Evidence), inferred)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferCustomShapes(t *testing.T) {
+	// attest-style collector: returns its input unchanged.
+	opts := InferOptions{Custom: map[string]ShapeFn{
+		"attest": func(a *ASP, place string, in Shape) (Shape, error) { return in, nil },
+	}}
+	term, err := Parse(`attest(Hardware -~- Program) -> # -> !`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := Infer(term, "Switch", ShEmpty{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "sig[Switch](#(mt))"
+	if shape.String() != want {
+		t.Fatalf("shape %q, want %q", shape, want)
+	}
+}
+
+func TestShapeOfHashOpaque(t *testing.T) {
+	m := evidence.Measurement("a", "t", "p", evidence.DetailProgram, [32]byte{}, nil)
+	h := evidence.Hash(m)
+	if ShapeOf(h).String() != "#(mt)" {
+		t.Fatalf("hash shape: %s", ShapeOf(h))
+	}
+	if ShapeOf(nil).String() != "mt" {
+		t.Fatal("nil shape")
+	}
+}
+
+func TestCountAndRender(t *testing.T) {
+	req, _ := ParseRequest(expr2)
+	shape, _ := InferRequest(req, true, InferOptions{})
+	c := Count(shape)
+	if c.Nonces != 0 { // both arms are '-' flagged: nonce not passed in
+		t.Fatalf("counts: %+v", c)
+	}
+	if Render(shape) == "" {
+		t.Fatal("render")
+	}
+	// A request whose arms receive the nonce counts it.
+	req2, _ := ParseRequest(`*x: _ +<+ _`)
+	s2, _ := InferRequest(req2, true, InferOptions{})
+	if Count(s2).Nonces != 2 {
+		t.Fatalf("nonce counts: %+v", Count(s2))
+	}
+}
+
+func TestInferErrors(t *testing.T) {
+	if _, err := Infer(nil, "p", ShEmpty{}, InferOptions{}); err == nil {
+		t.Fatal("nil term inferred")
+	}
+	// Custom shape functions can refuse.
+	opts := InferOptions{Custom: map[string]ShapeFn{
+		"bad": func(*ASP, string, Shape) (Shape, error) {
+			return nil, errTestRefuse
+		},
+	}}
+	term, _ := Parse(`bad`)
+	if _, err := Infer(term, "p", ShEmpty{}, opts); err == nil {
+		t.Fatal("refusing shape fn ignored")
+	}
+	// Errors propagate through composition and subterms.
+	for _, src := range []string{`bad -> _`, `_ -> bad`, `bad -<- _`, `_ -~- bad`, `f(bad -> _)`, `@p [bad]`} {
+		tm, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Infer(tm, "p", ShEmpty{}, opts); err == nil {
+			t.Fatalf("%q: error swallowed", src)
+		}
+	}
+}
+
+var errTestRefuse = errTest("refused")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

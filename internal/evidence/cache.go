@@ -1,0 +1,148 @@
+package evidence
+
+import (
+	"sync"
+	"time"
+)
+
+// Cache is the inertia-aware evidence cache from the paper's §5.2/Fig. 4:
+// "High-inertia attestations are more easily cached since they take longer
+// to expire." Entries are keyed by (place, target, detail) and expire after
+// the detail level's inertia window. A Clock function is injectable so
+// simulations and tests control time; it defaults to time.Now.
+//
+// The cache also records hit/miss counters, which the Fig. 4 benchmark
+// sweep reads to show the caching cliff between high- and low-inertia
+// detail levels.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]cacheEntry
+	clock   func() time.Time
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheKey struct {
+	place  string
+	target string
+	detail Detail
+}
+
+type cacheEntry struct {
+	ev      *Evidence
+	expires time.Time
+}
+
+// NewCache returns an empty cache using the real clock.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[cacheKey]cacheEntry), clock: time.Now}
+}
+
+// NewCacheWithClock returns a cache driven by the given clock, for
+// simulated time.
+func NewCacheWithClock(clock func() time.Time) *Cache {
+	return &Cache{entries: make(map[cacheKey]cacheEntry), clock: clock}
+}
+
+// Get returns cached evidence for (place, target, detail) if present and
+// unexpired.
+func (c *Cache) Get(place, target string, detail Detail) (*Evidence, bool) {
+	k := cacheKey{place, target, detail}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	if c.clock().After(e.expires) {
+		delete(c.entries, k)
+		c.evictions++
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.ev, true
+}
+
+// Put stores ev under (place, target, detail) with the detail level's
+// inertia as TTL. Zero-inertia details (per-packet evidence) are not
+// cached at all — there is nothing to reuse.
+func (c *Cache) Put(place, target string, detail Detail, ev *Evidence) {
+	ttl := detail.Inertia()
+	if ttl == 0 {
+		return
+	}
+	k := cacheKey{place, target, detail}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = cacheEntry{ev: ev, expires: c.clock().Add(ttl)}
+}
+
+// GetOrProduce returns cached evidence or calls produce, caching its
+// result. produce errors are returned unchanged and nothing is cached.
+func (c *Cache) GetOrProduce(place, target string, detail Detail, produce func() (*Evidence, error)) (*Evidence, bool, error) {
+	if ev, ok := c.Get(place, target, detail); ok {
+		return ev, true, nil
+	}
+	ev, err := produce()
+	if err != nil {
+		return nil, false, err
+	}
+	c.Put(place, target, detail, ev)
+	return ev, false, nil
+}
+
+// Invalidate drops any entry for (place, target, detail); used when the
+// underlying state is known to have changed before its inertia window
+// elapsed (e.g. a program reload).
+func (c *Cache) Invalidate(place, target string, detail Detail) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, cacheKey{place, target, detail})
+}
+
+// InvalidatePlace drops all entries for a place, e.g. after its reboot.
+func (c *Cache) InvalidatePlace(place string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.entries {
+		if k.place == place {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// Stats reports cumulative cache effectiveness counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+}
+
+// ResetStats zeroes the counters without touching cached entries, so a
+// sweep can measure each configuration independently.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}

@@ -1,0 +1,250 @@
+package evidence
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pera/internal/rot"
+)
+
+// Canonical binary encoding of evidence trees.
+//
+// The encoding is a preorder walk; each node starts with a one-byte kind
+// tag followed by its fields, strings and byte slices as u32
+// length-prefixed values. Canonicality (one tree ⇒ one byte string, and
+// vice versa) matters because digests and signatures are computed over the
+// encoding: any ambiguity would let an attacker present one tree to a
+// signer and a different one to an appraiser.
+//
+// The same encoding travels in-band inside the PERA evidence header and
+// out-of-band inside RATS messages.
+
+// encodeLimits bound decoding so a hostile in-band header cannot cause
+// unbounded allocation on a switch.
+const (
+	maxFieldLen = 1 << 20 // 1 MiB per string/bytes field
+	maxNodes    = 1 << 16 // nodes per tree
+)
+
+// ErrDecode wraps all decoding failures.
+var ErrDecode = errors.New("evidence: decode error")
+
+// Encode serializes e into its canonical binary form. A nil tree encodes
+// as the empty node.
+func Encode(e *Evidence) []byte {
+	var b []byte
+	return appendEvidence(b, e)
+}
+
+// AppendEncode appends e's canonical form to buf and returns the extended
+// slice, for allocation-conscious callers on the switch fast path.
+func AppendEncode(buf []byte, e *Evidence) []byte {
+	return appendEvidence(buf, e)
+}
+
+func appendEvidence(b []byte, e *Evidence) []byte {
+	if e == nil {
+		return append(b, byte(KindEmpty))
+	}
+	b = append(b, byte(e.Kind))
+	switch e.Kind {
+	case KindEmpty:
+	case KindNonce:
+		b = appendBytes(b, e.Nonce)
+	case KindMeasurement:
+		b = appendString(b, e.Measurer)
+		b = appendString(b, e.Target)
+		b = appendString(b, e.Place)
+		b = append(b, byte(e.Detail))
+		b = append(b, e.Value[:]...)
+		b = appendBytes(b, e.Claims)
+	case KindHash:
+		b = append(b, e.Digest[:]...)
+	case KindSig:
+		b = appendString(b, e.Signer)
+		b = appendBytes(b, e.Signature)
+		b = appendEvidence(b, e.Left)
+	case KindSeq, KindPar:
+		b = appendEvidence(b, e.Left)
+		b = appendEvidence(b, e.Right)
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// Decode parses a canonical encoding back into a tree. It rejects trailing
+// bytes, oversized fields, and trees beyond maxNodes.
+func Decode(data []byte) (*Evidence, error) {
+	d := decoder{buf: data}
+	e, err := d.evidence()
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(data)-d.off)
+	}
+	return e, nil
+}
+
+// DecodePrefix parses one evidence tree from the front of data and returns
+// it with the number of bytes consumed, for streaming contexts (in-band
+// headers carrying evidence followed by payload).
+func DecodePrefix(data []byte) (*Evidence, int, error) {
+	d := decoder{buf: data}
+	e, err := d.evidence()
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, d.off, nil
+}
+
+type decoder struct {
+	buf   []byte
+	off   int
+	nodes int
+}
+
+func (d *decoder) evidence() (*Evidence, error) {
+	d.nodes++
+	if d.nodes > maxNodes {
+		return nil, fmt.Errorf("%w: tree exceeds %d nodes", ErrDecode, maxNodes)
+	}
+	k, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evidence{Kind: Kind(k)}
+	switch e.Kind {
+	case KindEmpty:
+	case KindNonce:
+		if e.Nonce, err = d.bytes(); err != nil {
+			return nil, err
+		}
+	case KindMeasurement:
+		if e.Measurer, err = d.string(); err != nil {
+			return nil, err
+		}
+		if e.Target, err = d.string(); err != nil {
+			return nil, err
+		}
+		if e.Place, err = d.string(); err != nil {
+			return nil, err
+		}
+		db, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		e.Detail = Detail(db)
+		if !e.Detail.Valid() {
+			return nil, fmt.Errorf("%w: invalid detail %d", ErrDecode, db)
+		}
+		if err := d.digest(&e.Value); err != nil {
+			return nil, err
+		}
+		if e.Claims, err = d.bytes(); err != nil {
+			return nil, err
+		}
+	case KindHash:
+		if err := d.digest(&e.Digest); err != nil {
+			return nil, err
+		}
+	case KindSig:
+		if e.Signer, err = d.string(); err != nil {
+			return nil, err
+		}
+		if e.Signature, err = d.bytes(); err != nil {
+			return nil, err
+		}
+		if e.Left, err = d.evidence(); err != nil {
+			return nil, err
+		}
+	case KindSeq, KindPar:
+		if e.Left, err = d.evidence(); err != nil {
+			return nil, err
+		}
+		if e.Right, err = d.evidence(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrDecode, k)
+	}
+	return e, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("%w: truncated", ErrDecode)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) digest(out *rot.Digest) error {
+	if d.off+rot.DigestSize > len(d.buf) {
+		return fmt.Errorf("%w: truncated digest", ErrDecode)
+	}
+	copy(out[:], d.buf[d.off:d.off+rot.DigestSize])
+	d.off += rot.DigestSize
+	return nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	if d.off+4 > len(d.buf) {
+		return nil, fmt.Errorf("%w: truncated length", ErrDecode)
+	}
+	n := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	if n > maxFieldLen {
+		return nil, fmt.Errorf("%w: field of %d bytes exceeds limit", ErrDecode, n)
+	}
+	if d.off+int(n) > len(d.buf) {
+		return nil, fmt.Errorf("%w: truncated field", ErrDecode)
+	}
+	v := append([]byte(nil), d.buf[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return v, nil
+}
+
+func (d *decoder) string() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+// EncodedSize returns len(Encode(e)) without building the encoding, used
+// by the Fig. 2/Fig. 4 harnesses to account header overhead.
+func EncodedSize(e *Evidence) int {
+	if e == nil {
+		return 1
+	}
+	n := 1
+	switch e.Kind {
+	case KindNonce:
+		n += 4 + len(e.Nonce)
+	case KindMeasurement:
+		n += 4 + len(e.Measurer)
+		n += 4 + len(e.Target)
+		n += 4 + len(e.Place)
+		n += 1 + rot.DigestSize
+		n += 4 + len(e.Claims)
+	case KindHash:
+		n += rot.DigestSize
+	case KindSig:
+		n += 4 + len(e.Signer)
+		n += 4 + len(e.Signature)
+		n += EncodedSize(e.Left)
+	case KindSeq, KindPar:
+		n += EncodedSize(e.Left) + EncodedSize(e.Right)
+	}
+	return n
+}

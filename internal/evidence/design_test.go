@@ -1,0 +1,334 @@
+package evidence
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pera/internal/rot"
+)
+
+func TestDetailInertiaOrdering(t *testing.T) {
+	ds := Details()
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Inertia() < ds[i].Inertia() {
+			t.Fatalf("inertia not monotone: %v (%v) < %v (%v)",
+				ds[i-1], ds[i-1].Inertia(), ds[i], ds[i].Inertia())
+		}
+		if !ds[i-1].MoreInertThan(ds[i]) {
+			t.Fatalf("%v should be more inert than %v", ds[i-1], ds[i])
+		}
+	}
+	if DetailPackets.Inertia() != 0 {
+		t.Fatal("per-packet evidence must be uncacheable")
+	}
+}
+
+func TestDetailNamesAndValidity(t *testing.T) {
+	for _, d := range Details() {
+		if !d.Valid() {
+			t.Errorf("%v invalid", d)
+		}
+		if d.String() == "" {
+			t.Errorf("empty name for %d", d)
+		}
+	}
+	if Detail(200).Valid() {
+		t.Error("out-of-range detail valid")
+	}
+	if Composition(9).Valid() {
+		t.Error("out-of-range composition valid")
+	}
+	if Sampling(9).Valid() {
+		t.Error("out-of-range sampling valid")
+	}
+	// String on out-of-range values must not panic.
+	_ = Detail(200).String()
+	_ = Composition(9).String()
+	_ = Sampling(9).String()
+	_ = Kind(200).String()
+}
+
+type fakeClock struct{ now time.Time }
+
+func (f *fakeClock) Now() time.Time          { return f.now }
+func (f *fakeClock) Advance(d time.Duration) { f.now = f.now.Add(d) }
+
+func TestCacheHitWithinInertia(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := NewCacheWithClock(clk.Now)
+	ev := sampleMeasurement()
+	c.Put("sw1", "prog", DetailProgram, ev)
+
+	got, ok := c.Get("sw1", "prog", DetailProgram)
+	if !ok || !Equal(got, ev) {
+		t.Fatal("fresh entry missed")
+	}
+	clk.Advance(30 * time.Minute) // within the 1h program inertia
+	if _, ok := c.Get("sw1", "prog", DetailProgram); !ok {
+		t.Fatal("entry expired within inertia window")
+	}
+	clk.Advance(31 * time.Minute) // past 1h
+	if _, ok := c.Get("sw1", "prog", DetailProgram); ok {
+		t.Fatal("entry survived past inertia window")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCachePacketsNeverCached(t *testing.T) {
+	c := NewCache()
+	c.Put("sw1", "pkt", DetailPackets, sampleMeasurement())
+	if _, ok := c.Get("sw1", "pkt", DetailPackets); ok {
+		t.Fatal("packet-detail evidence was cached")
+	}
+}
+
+func TestCacheKeyIsolation(t *testing.T) {
+	c := NewCache()
+	c.Put("sw1", "prog", DetailProgram, sampleMeasurement())
+	if _, ok := c.Get("sw2", "prog", DetailProgram); ok {
+		t.Fatal("cross-place hit")
+	}
+	if _, ok := c.Get("sw1", "other", DetailProgram); ok {
+		t.Fatal("cross-target hit")
+	}
+	if _, ok := c.Get("sw1", "prog", DetailTables); ok {
+		t.Fatal("cross-detail hit")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache()
+	c.Put("sw1", "prog", DetailProgram, sampleMeasurement())
+	c.Put("sw1", "tbl", DetailTables, sampleMeasurement())
+	c.Invalidate("sw1", "prog", DetailProgram)
+	if _, ok := c.Get("sw1", "prog", DetailProgram); ok {
+		t.Fatal("invalidated entry hit")
+	}
+	if _, ok := c.Get("sw1", "tbl", DetailTables); !ok {
+		t.Fatal("unrelated entry dropped")
+	}
+	c.InvalidatePlace("sw1")
+	if _, ok := c.Get("sw1", "tbl", DetailTables); ok {
+		t.Fatal("place invalidation missed entry")
+	}
+}
+
+func TestCacheGetOrProduce(t *testing.T) {
+	c := NewCache()
+	calls := 0
+	produce := func() (*Evidence, error) {
+		calls++
+		return sampleMeasurement(), nil
+	}
+	if _, cached, err := c.GetOrProduce("sw1", "p", DetailProgram, produce); err != nil || cached {
+		t.Fatalf("first call: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := c.GetOrProduce("sw1", "p", DetailProgram, produce); err != nil || !cached {
+		t.Fatalf("second call: cached=%v err=%v", cached, err)
+	}
+	if calls != 1 {
+		t.Fatalf("produce called %d times", calls)
+	}
+	wantErr := errors.New("boom")
+	_, _, err := c.GetOrProduce("sw1", "q", DetailProgram, func() (*Evidence, error) { return nil, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCacheResetStats(t *testing.T) {
+	c := NewCache()
+	c.Get("a", "b", DetailProgram)
+	c.ResetStats()
+	if s := c.Stats(); s.Misses != 0 || s.Hits != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate")
+	}
+	if hr := (Stats{Hits: 3, Misses: 1}).HitRate(); hr != 0.75 {
+		t.Fatalf("hit rate %v", hr)
+	}
+}
+
+func TestSamplerPerPacket(t *testing.T) {
+	s := NewSampler(SamplerConfig{Mode: SamplePerPacket})
+	for i := 0; i < 10; i++ {
+		if !s.Sample(uint64(i)) {
+			t.Fatal("per-packet sampler skipped a packet")
+		}
+	}
+	if s.Rate() != 1 {
+		t.Fatalf("rate %v", s.Rate())
+	}
+}
+
+func TestSamplerPerFlow(t *testing.T) {
+	s := NewSampler(SamplerConfig{Mode: SamplePerFlow})
+	if !s.Sample(7) {
+		t.Fatal("first packet of flow not sampled")
+	}
+	for i := 0; i < 5; i++ {
+		if s.Sample(7) {
+			t.Fatal("repeat packet of flow sampled")
+		}
+	}
+	if !s.Sample(9) {
+		t.Fatal("new flow not sampled")
+	}
+	s.ResetFlows()
+	if !s.Sample(7) {
+		t.Fatal("flow not re-sampled after reset")
+	}
+	dec, sam := s.Counts()
+	if dec != 8 || sam != 3 {
+		t.Fatalf("counts = %d/%d", sam, dec)
+	}
+}
+
+func TestSamplerPerEpoch(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(0, 0).Add(time.Hour)}
+	s := NewSampler(SamplerConfig{Mode: SamplePerEpoch, Epoch: time.Second, Clock: clk.Now})
+	if !s.Sample(1) {
+		t.Fatal("first packet of epoch not sampled")
+	}
+	if s.Sample(2) {
+		t.Fatal("same-epoch packet sampled")
+	}
+	clk.Advance(time.Second)
+	if !s.Sample(3) {
+		t.Fatal("new epoch not sampled")
+	}
+}
+
+func TestSamplerEveryN(t *testing.T) {
+	s := NewSampler(SamplerConfig{Mode: SampleEveryN, N: 3})
+	var got []bool
+	for i := 0; i < 9; i++ {
+		got = append(got, s.Sample(0))
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("every-3 pattern wrong at %d: %v", i, got)
+		}
+	}
+	if r := s.Rate(); r < 0.32 || r > 0.34 {
+		t.Fatalf("rate %v, want ~1/3", r)
+	}
+}
+
+func TestSamplerDefaults(t *testing.T) {
+	s := NewSampler(SamplerConfig{Mode: SampleEveryN}) // N defaults to 1
+	if !s.Sample(0) {
+		t.Fatal("every-1 sampler skipped")
+	}
+	if NewSampler(SamplerConfig{Mode: SamplePerPacket}).Rate() != 0 {
+		t.Fatal("rate before any decision")
+	}
+}
+
+func TestPseudonymizerStableAndLiftable(t *testing.T) {
+	p := NewPseudonymizer([]byte("operator-key"), "tenant-a")
+	a1 := p.Pseudonym("sw1")
+	a2 := p.Pseudonym("sw1")
+	if a1 != a2 {
+		t.Fatal("pseudonym unstable")
+	}
+	if a1 == "sw1" {
+		t.Fatal("pseudonym equals cleartext")
+	}
+	name, err := p.Lift(a1)
+	if err != nil || name != "sw1" {
+		t.Fatalf("lift: %q %v", name, err)
+	}
+	if _, err := p.Lift("pn-unknown"); err == nil {
+		t.Fatal("unknown pseudonym lifted")
+	}
+}
+
+func TestPseudonymizerScopeSeparation(t *testing.T) {
+	pa := NewPseudonymizer([]byte("k"), "tenant-a")
+	pb := NewPseudonymizer([]byte("k"), "tenant-b")
+	if pa.Pseudonym("sw1") == pb.Pseudonym("sw1") {
+		t.Fatal("pseudonyms identical across scopes — linkable")
+	}
+}
+
+func TestPseudonymizeTree(t *testing.T) {
+	s := testSigner("sw1")
+	tree := sampleTree(s)
+	p := NewPseudonymizer([]byte("k"), "user")
+	out := Pseudonymize(p, tree)
+	for _, m := range Measurements(out) {
+		if m.Place == "sw1" || m.Place == "sw2" {
+			t.Fatalf("place not pseudonymized: %v", m)
+		}
+		if m.Target == "firewall_v5.p4" {
+			t.Fatalf("target not pseudonymized: %v", m)
+		}
+	}
+	// Original signature becomes a commitment; no signer names leak.
+	if len(Signers(out)) != 0 {
+		t.Fatalf("signers leak: %v", Signers(out))
+	}
+	// The commitment must equal the digest of the original signed node.
+	if out.Left.Kind != KindHash || out.Left.Digest != DigestOf(tree) {
+		t.Fatal("pseudonymized tree lost commitment to original")
+	}
+	if Pseudonymize(p, nil) != nil {
+		t.Fatal("nil tree")
+	}
+}
+
+func TestRedactPlaces(t *testing.T) {
+	s := testSigner("sw1")
+	tree := sampleTree(s)
+	out := RedactPlaces(tree, "sw2")
+	ms := Measurements(out)
+	if len(ms) != 1 || ms[0].Place != "sw1" {
+		t.Fatalf("redaction wrong: %v", ms)
+	}
+	// Redacting nothing preserves the tree (including its signature).
+	same := RedactPlaces(tree, "nowhere")
+	if !Equal(tree, same) {
+		t.Fatal("no-op redaction changed tree")
+	}
+	keys := KeyMap{"sw1": s.Public()}
+	if _, err := VerifySignatures(same, keys); err != nil {
+		t.Fatalf("no-op redaction broke signature: %v", err)
+	}
+}
+
+func TestRedactDetailAbove(t *testing.T) {
+	prog := Measurement("a", "p", "sw1", DetailProgram, rot.Digest{}, nil)
+	pkt := Measurement("a", "pkt", "sw1", DetailPackets, rot.Digest{}, nil)
+	tree := Seq(prog, pkt)
+	out := RedactDetailAbove(tree, DetailTables)
+	ms := Measurements(out)
+	if len(ms) != 1 || ms[0].Detail != DetailProgram {
+		t.Fatalf("detail redaction wrong: %v", ms)
+	}
+}
+
+func TestRedactionCommits(t *testing.T) {
+	m := sampleMeasurement()
+	out := Redact(m, func(*Evidence) bool { return true })
+	if out.Kind != KindHash || out.Digest != DigestOf(m) {
+		t.Fatal("redacted node is not a commitment to the original")
+	}
+	// A signature over a redacted subtree becomes a commitment pair.
+	s := testSigner("sw1")
+	signed := Sign(s, m)
+	red := Redact(signed, func(*Evidence) bool { return true })
+	if red.Kind != KindSeq || red.Left.Kind != KindHash || red.Left.Digest != DigestOf(signed) {
+		t.Fatalf("signature redaction shape wrong: %v", red)
+	}
+}

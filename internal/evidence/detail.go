@@ -1,0 +1,95 @@
+package evidence
+
+import (
+	"fmt"
+	"time"
+)
+
+// Detail is the paper's Fig. 4 y-axis: what class of platform state a
+// measurement covers, ordered from most inert (hardware identity, which
+// never changes) to most volatile (individual packets).
+type Detail uint8
+
+// Detail levels, in decreasing inertia order.
+const (
+	DetailHardware  Detail = iota // platform model / RoT identity
+	DetailProgram                 // loaded dataplane program digest
+	DetailTables                  // match-action table contents
+	DetailProgState               // registers, counters, mutable state
+	DetailPackets                 // individual packet contents
+	detailCount
+)
+
+var detailNames = [...]string{"hardware", "program", "tables", "progstate", "packets"}
+
+func (d Detail) String() string {
+	if int(d) < len(detailNames) {
+		return detailNames[d]
+	}
+	return fmt.Sprintf("detail(%d)", uint8(d))
+}
+
+// Valid reports whether d names a defined detail level.
+func (d Detail) Valid() bool { return d < detailCount }
+
+// Details lists all levels from most to least inert, for sweeps.
+func Details() []Detail {
+	return []Detail{DetailHardware, DetailProgram, DetailTables, DetailProgState, DetailPackets}
+}
+
+// Inertia returns how long evidence at this detail level remains valid for
+// caching purposes — the paper's observation that "high-inertia
+// attestations are more easily cached since they take longer to expire."
+// Hardware identity effectively never expires; per-packet evidence can
+// never be reused. The intermediate values model a deployment where
+// programs are reloaded rarely, tables updated occasionally, and program
+// state churns quickly.
+func (d Detail) Inertia() time.Duration {
+	switch d {
+	case DetailHardware:
+		return 365 * 24 * time.Hour
+	case DetailProgram:
+		return time.Hour
+	case DetailTables:
+		return time.Minute
+	case DetailProgState:
+		return time.Second
+	default: // DetailPackets and anything unknown: uncacheable
+		return 0
+	}
+}
+
+// MoreInertThan reports whether d expires no sooner than other.
+func (d Detail) MoreInertThan(other Detail) bool {
+	return d.Inertia() >= other.Inertia()
+}
+
+// Composition is the paper's Fig. 4 z-axis: how per-hop evidence is
+// combined along a traffic path.
+type Composition uint8
+
+const (
+	// Pointwise evidence is independent per element: each attesting
+	// element reports directly and separately to the appraiser.
+	Pointwise Composition = iota
+	// Chained evidence threads each hop's output into the next hop's
+	// input, producing one linked tree whose order cannot be forged
+	// without breaking a signature.
+	Chained
+	compositionCount
+)
+
+var compositionNames = [...]string{"pointwise", "chained"}
+
+func (c Composition) String() string {
+	if int(c) < len(compositionNames) {
+		return compositionNames[c]
+	}
+	return fmt.Sprintf("composition(%d)", uint8(c))
+}
+
+// Valid reports whether c names a defined composition mode.
+func (c Composition) Valid() bool { return c < compositionCount }
+
+// Compositions lists both modes, for sweeps.
+func Compositions() []Composition { return []Composition{Pointwise, Chained} }

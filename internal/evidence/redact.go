@@ -1,0 +1,177 @@
+package evidence
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+)
+
+// Trusted redaction and pseudonymization.
+//
+// The paper proposes (UC5, and footnotes 1–2 of UC1) that operators give
+// peers "a signed and suitably redacted form" of path evidence: switches
+// are identified by per-user pseudonyms instead of serial numbers, program
+// names may be pseudonymized "that can be lifted by an auditor's request
+// or court order", and whole subtrees sensitive to an enterprise customer
+// can be collapsed to hashes before the evidence reaches a compliance
+// officer.
+//
+// Redaction here is digest-preserving: a redacted subtree is replaced by
+// its Hash node, so the redacted tree still commits to the original
+// content — an auditor who later obtains the cleartext can check it
+// against the commitment.
+
+// Pseudonymizer deterministically maps principal and program names to
+// per-scope pseudonyms using an HMAC key, and retains the reverse mapping
+// so an authorized auditor can lift pseudonyms. It is safe for concurrent
+// use.
+type Pseudonymizer struct {
+	mu      sync.Mutex
+	key     []byte
+	scope   string
+	forward map[string]string
+	reverse map[string]string
+}
+
+// NewPseudonymizer creates a pseudonymizer for the given scope (typically
+// a user or tenant identity) keyed by the operator secret key.
+func NewPseudonymizer(key []byte, scope string) *Pseudonymizer {
+	return &Pseudonymizer{
+		key:     append([]byte(nil), key...),
+		scope:   scope,
+		forward: make(map[string]string),
+		reverse: make(map[string]string),
+	}
+}
+
+// Pseudonym returns the stable pseudonym for name within this scope.
+func (p *Pseudonymizer) Pseudonym(name string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ps, ok := p.forward[name]; ok {
+		return ps
+	}
+	mac := hmac.New(sha256.New, p.key)
+	mac.Write([]byte(p.scope))
+	mac.Write([]byte{0})
+	mac.Write([]byte(name))
+	ps := "pn-" + hex.EncodeToString(mac.Sum(nil)[:8])
+	p.forward[name] = ps
+	p.reverse[ps] = name
+	return ps
+}
+
+// Lift reverses a pseudonym previously produced in this scope — the
+// auditor's "court order" path. It fails for unknown pseudonyms.
+func (p *Pseudonymizer) Lift(pseudonym string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name, ok := p.reverse[pseudonym]
+	if !ok {
+		return "", fmt.Errorf("evidence: unknown pseudonym %q", pseudonym)
+	}
+	return name, nil
+}
+
+// Pseudonymize rewrites measurer, target, place and signer names in e
+// through p, returning a new tree. Signature nodes are converted to hash
+// commitments because the original signatures cover the cleartext names;
+// the caller (the operator, who holds the cleartext) is expected to
+// re-sign the pseudonymized tree, vouching for the translation.
+func Pseudonymize(p *Pseudonymizer, e *Evidence) *Evidence {
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case KindEmpty, KindNonce, KindHash:
+		cp := *e
+		return &cp
+	case KindMeasurement:
+		cp := *e
+		cp.Measurer = p.Pseudonym(e.Measurer)
+		cp.Target = p.Pseudonym(e.Target)
+		cp.Place = p.Pseudonym(e.Place)
+		return &cp
+	case KindSig:
+		// The inner signature binds cleartext names; keep a commitment
+		// to it and pseudonymize the payload it covered.
+		return Seq(Hash(e), Pseudonymize(p, e.Left))
+	case KindSeq:
+		return Seq(Pseudonymize(p, e.Left), Pseudonymize(p, e.Right))
+	case KindPar:
+		return Par(Pseudonymize(p, e.Left), Pseudonymize(p, e.Right))
+	default:
+		cp := *e
+		return &cp
+	}
+}
+
+// RedactFunc decides whether a measurement node must be redacted.
+type RedactFunc func(m *Evidence) bool
+
+// Redact returns a copy of e in which every measurement node selected by
+// keep==false is replaced by its Hash commitment. Composition structure
+// and signatures over untouched subtrees are preserved; a signature whose
+// subtree was modified is replaced by a hash commitment to the original
+// signed unit (it could no longer verify anyway, and the commitment keeps
+// the tree appraisable for structure).
+func Redact(e *Evidence, redact RedactFunc) *Evidence {
+	out, _ := redactWalk(e, redact)
+	return out
+}
+
+// redactWalk returns the rewritten node and whether anything beneath it
+// changed.
+func redactWalk(e *Evidence, redact RedactFunc) (*Evidence, bool) {
+	if e == nil {
+		return nil, false
+	}
+	switch e.Kind {
+	case KindEmpty, KindNonce, KindHash:
+		cp := *e
+		return &cp, false
+	case KindMeasurement:
+		if redact(e) {
+			return Hash(e), true
+		}
+		cp := *e
+		return &cp, false
+	case KindSig:
+		inner, changed := redactWalk(e.Left, redact)
+		if !changed {
+			cp := *e
+			cp.Left = inner
+			return &cp, false
+		}
+		return Seq(Hash(e), inner), true
+	case KindSeq:
+		l, cl := redactWalk(e.Left, redact)
+		r, cr := redactWalk(e.Right, redact)
+		return Seq(l, r), cl || cr
+	case KindPar:
+		l, cl := redactWalk(e.Left, redact)
+		r, cr := redactWalk(e.Right, redact)
+		return Par(l, r), cl || cr
+	default:
+		cp := *e
+		return &cp, false
+	}
+}
+
+// RedactPlaces redacts every measurement taken at one of the named places.
+func RedactPlaces(e *Evidence, places ...string) *Evidence {
+	set := make(map[string]bool, len(places))
+	for _, p := range places {
+		set[p] = true
+	}
+	return Redact(e, func(m *Evidence) bool { return set[m.Place] })
+}
+
+// RedactDetailAbove redacts measurements more detailed (more volatile)
+// than max — e.g. hide packet- and state-level evidence from a regulator
+// while leaving program identities visible.
+func RedactDetailAbove(e *Evidence, max Detail) *Evidence {
+	return Redact(e, func(m *Evidence) bool { return m.Detail > max })
+}

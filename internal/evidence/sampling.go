@@ -1,0 +1,144 @@
+package evidence
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sampling is the paper's Fig. 4 x-axis: how often evidence is produced
+// relative to traffic. "For some situations, it might be adequate to
+// expect evidence to be gathered for each packet ... in other situations,
+// such per-packet overhead might be cumbersome and prohibitive." (§5.2)
+type Sampling uint8
+
+const (
+	// SamplePerPacket attests every packet — maximal assurance and cost.
+	SamplePerPacket Sampling = iota
+	// SamplePerFlow attests the first packet of each flow, relying on
+	// flow affinity for the rest.
+	SamplePerFlow
+	// SamplePerEpoch attests at most once per time epoch regardless of
+	// traffic volume.
+	SamplePerEpoch
+	// SampleEveryN attests every Nth packet (probabilistic coverage).
+	SampleEveryN
+	samplingCount
+)
+
+var samplingNames = [...]string{"per-packet", "per-flow", "per-epoch", "every-n"}
+
+func (s Sampling) String() string {
+	if int(s) < len(samplingNames) {
+		return samplingNames[s]
+	}
+	return fmt.Sprintf("sampling(%d)", uint8(s))
+}
+
+// Valid reports whether s names a defined sampling mode.
+func (s Sampling) Valid() bool { return s < samplingCount }
+
+// Samplings lists the fixed modes used by the Fig. 4 sweep.
+func Samplings() []Sampling {
+	return []Sampling{SamplePerPacket, SamplePerFlow, SamplePerEpoch}
+}
+
+// Sampler decides, per packet, whether to produce evidence. It is safe
+// for concurrent use by one switch's pipeline workers.
+type Sampler struct {
+	mu     sync.Mutex
+	mode   Sampling
+	n      uint64 // for SampleEveryN
+	epoch  time.Duration
+	clock  func() time.Time
+	count  uint64
+	flows  map[uint64]struct{}
+	epochT time.Time
+
+	decisions uint64
+	sampled   uint64
+}
+
+// SamplerConfig configures a Sampler.
+type SamplerConfig struct {
+	Mode  Sampling
+	N     uint64        // SampleEveryN period; 0 defaults to 1
+	Epoch time.Duration // SamplePerEpoch length; 0 defaults to 1s
+	Clock func() time.Time
+}
+
+// NewSampler builds a sampler; zero-value config fields get defaults.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	if cfg.N == 0 {
+		cfg.N = 1
+	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Sampler{
+		mode:  cfg.Mode,
+		n:     cfg.N,
+		epoch: cfg.Epoch,
+		clock: cfg.Clock,
+		flows: make(map[uint64]struct{}),
+	}
+}
+
+// Sample reports whether evidence should be produced for a packet
+// belonging to flow flowHash.
+func (s *Sampler) Sample(flowHash uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.decisions++
+	take := false
+	switch s.mode {
+	case SamplePerPacket:
+		take = true
+	case SamplePerFlow:
+		if _, seen := s.flows[flowHash]; !seen {
+			s.flows[flowHash] = struct{}{}
+			take = true
+		}
+	case SamplePerEpoch:
+		now := s.clock()
+		if s.epochT.IsZero() || now.Sub(s.epochT) >= s.epoch {
+			s.epochT = now
+			take = true
+		}
+	case SampleEveryN:
+		s.count++
+		take = s.count%s.n == 0
+	}
+	if take {
+		s.sampled++
+	}
+	return take
+}
+
+// ResetFlows forgets seen flows (e.g. at a flow-table epoch boundary), so
+// long-lived flows are re-attested periodically even in per-flow mode.
+func (s *Sampler) ResetFlows() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flows = make(map[uint64]struct{})
+}
+
+// Rate returns sampled/decisions, the effective evidence production rate.
+func (s *Sampler) Rate() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.decisions == 0 {
+		return 0
+	}
+	return float64(s.sampled) / float64(s.decisions)
+}
+
+// Counts returns (decisions, sampled).
+func (s *Sampler) Counts() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decisions, s.sampled
+}

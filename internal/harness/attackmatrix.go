@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"pera/internal/attester"
+	"pera/internal/copland"
+	"pera/internal/evidence"
+)
+
+// The §4.2 adversary-capability matrix: each protocol form (parallel
+// expression (1) vs sequenced expression (2)) against each adversary
+// strategy. The cell records whether the bank detects the infected
+// client. This systematizes the paper's narrative — sequencing defeats
+// the repair adversary but a strictly stronger (mid-protocol, TOCTOU)
+// adversary defeats both, which is why the paper says sequencing makes
+// cheating "more difficult", not impossible.
+
+// Protocols under analysis.
+var attackProtocols = []struct {
+	Name string
+	Src  string
+}{
+	{"parallel(1)", `*bank: @ks [av us bmon -> !] +~- @us [bmon us exts -> !]`},
+	{"sequenced(2)", `*bank: @ks [av us bmon -> !] -<- @us [bmon us exts -> !]`},
+}
+
+// MatrixCell is one protocol × strategy outcome.
+type MatrixCell struct {
+	Protocol  string
+	Strategy  attester.Strategy
+	Detected  bool // the bank noticed the infection (some measurement mismatched golden)
+	SigsValid bool // all signatures verified (they always should — lying ≠ forging)
+	// AnalysisVulnerable is the static analyzer's verdict for the
+	// protocol (strategy-independent).
+	AnalysisVulnerable bool
+}
+
+// RunAttackMatrix evaluates every protocol × strategy combination.
+func RunAttackMatrix() ([]MatrixCell, error) {
+	var out []MatrixCell
+	for _, proto := range attackProtocols {
+		req, err := copland.ParseRequest(proto.Src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", proto.Name, err)
+		}
+		analysis := copland.Analyze(req.Body, copland.AnalyzeOptions{
+			TrustedMeasurers: map[string]bool{attester.AgentAV: true},
+			RootPlace:        req.RelyingParty,
+		})
+		for _, strat := range attester.Strategies() {
+			s := attester.NewBankScenario()
+			if err := s.Arm(strat); err != nil {
+				return nil, err
+			}
+			res, err := copland.Exec(s.Env, req, nil)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", proto.Name, strat, err)
+			}
+			_, sigErr := evidence.VerifySignatures(res.Evidence, s.Keys())
+			golden := s.Golden()
+			detected := false
+			for _, m := range evidence.Measurements(res.Evidence) {
+				if want, ok := golden[m.Place+"/"+m.Target]; ok && m.Value != want {
+					detected = true
+				}
+			}
+			out = append(out, MatrixCell{
+				Protocol:           proto.Name,
+				Strategy:           strat,
+				Detected:           detected,
+				SigsValid:          sigErr == nil,
+				AnalysisVulnerable: analysis.Vulnerable(),
+			})
+		}
+	}
+	return out, nil
+}

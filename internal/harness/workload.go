@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/workload"
+)
+
+// Workload sensitivity of the Fig. 4 sampling axis: per-flow sampling's
+// cost depends on how many *distinct* flows the traffic exposes, which
+// depends on the arrival pattern. Skewed traffic concentrates packets in
+// a few flows (head flows get attested once, the long tail arrives
+// slowly); uniform traffic exposes the whole population immediately.
+
+// WorkloadRow is one (pattern, population) measurement.
+type WorkloadRow struct {
+	Pattern       workload.Pattern
+	Flows         int
+	Packets       int
+	Evidences     uint64  // attestations produced under per-flow sampling
+	TopFlowShare  float64 // workload skew measure
+	EvidencePerKp float64 // evidences per 1000 packets
+}
+
+// RunWorkloadSensitivity drives each arrival pattern over a PERA switch
+// with per-flow sampling and program-detail claims.
+func RunWorkloadSensitivity(packets, flows int) ([]WorkloadRow, error) {
+	var rows []WorkloadRow
+	for _, pattern := range []workload.Pattern{workload.Uniform, workload.Skewed, workload.Bursty} {
+		sw, err := pera.New("wl", p4ir.NewForwarding("fwd_v1.p4"), pera.Config{
+			Sampler: evidence.NewSampler(evidence.SamplerConfig{Mode: evidence.SamplePerFlow}),
+			Standing: []pera.Obligation{{
+				Claims:       []evidence.Detail{evidence.DetailProgram},
+				SignEvidence: true,
+				Appraiser:    "Appraiser",
+			}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sw.Instance().InstallEntry("ipv4_fwd", p4ir.Entry{
+			Matches: []p4ir.KeyMatch{{Value: 200}},
+			Action:  "fwd", Params: map[string]uint64{"port": 2},
+		}); err != nil {
+			return nil, err
+		}
+		sw.SetSink(func(string, string, *evidence.Evidence) {})
+
+		gen := workload.New(workload.Config{Flows: flows, Pattern: pattern, Seed: 99})
+		prog := sw.Instance().Program()
+		for i := 0; i < packets; i++ {
+			frame, err := gen.NextFrame(prog, []byte("w"))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sw.Receive(1, frame); err != nil {
+				return nil, err
+			}
+		}
+		st := sw.Stats()
+		rows = append(rows, WorkloadRow{
+			Pattern:       pattern,
+			Flows:         flows,
+			Packets:       packets,
+			Evidences:     st.OutOfBandMsgs,
+			TopFlowShare:  gen.TopFlowShare(),
+			EvidencePerKp: float64(st.OutOfBandMsgs) / float64(packets) * 1000,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,292 @@
+// Package nac implements Network-Aware Copland — the paper's §5.1 hybrid
+// of Copland and NetKAT. It adds three primitives to Copland:
+//
+//   - Prim1, path abstraction: the `*=>` operator (NetKAT's Kleene star)
+//     — the phrase to its left holds for zero or more hops along the
+//     forwarding path;
+//   - Prim2, place abstraction: `forall` binds place variables so
+//     policies need not name concrete switches;
+//   - Prim3, reachability + guarded attestation: the `|>` operator
+//     (NetKAT's Boolean test prefix) gates attestation on a test, to
+//     fail early and to select attestations by predicate.
+//
+// Concrete syntax (ASCII rendering of the paper's Table 1):
+//
+//	*bank<n, X>: forall hop, client:
+//	    (@hop [Khop |> attest(n) X -> !] -<+ @Appraiser [appraise -> store(n)])
+//	  *=> @client [Kclient |> @ks [av us bmon -> !] -<- @us [bmon us exts -> !]]
+//
+// The paper's overset-flag sequential arrow (−+ over >) is written with
+// the same flag syntax as base Copland: `-<+`.
+//
+// Policies are compiled against a concrete network (internal/netsim):
+// variables bind to real nodes, per-hop phrases become pera.Obligations
+// carried in the in-band header or installed out-of-band, and endpoint
+// phrases lower to plain Copland for host execution.
+package nac
+
+import (
+	"fmt"
+	"strings"
+
+	"pera/internal/copland"
+)
+
+// Term is a network-aware Copland term. It mirrors the base Copland
+// grammar plus the Guard node.
+type Term interface {
+	fmt.Stringer
+	isTerm()
+}
+
+// ASP is a primitive action, as in base Copland. Args/Target/SubTerm have
+// the same meaning; SubTerm is a nac.Term to permit nested guards.
+type ASP struct {
+	Name        string
+	Args        []string
+	TargetPlace string
+	Target      string
+	SubTerm     Term
+}
+
+// At runs Body at Place (which may be a forall-bound variable).
+type At struct {
+	Place string
+	Body  Term
+}
+
+// Guard is the |> operator: Body runs only where test Test holds.
+type Guard struct {
+	Test string
+	Body Term
+}
+
+// LSeq pipes evidence (->).
+type LSeq struct{ L, R Term }
+
+// BSeq is sequential branching (flags as in base Copland).
+type BSeq struct {
+	LFlag, RFlag copland.Flag
+	L, R         Term
+}
+
+// BPar is parallel branching.
+type BPar struct {
+	LFlag, RFlag copland.Flag
+	L, R         Term
+}
+
+func (*ASP) isTerm()   {}
+func (*At) isTerm()    {}
+func (*Guard) isTerm() {}
+func (*LSeq) isTerm()  {}
+func (*BSeq) isTerm()  {}
+func (*BPar) isTerm()  {}
+
+func (a *ASP) String() string {
+	var b strings.Builder
+	b.WriteString(a.Name)
+	if a.SubTerm != nil {
+		fmt.Fprintf(&b, "(%s)", a.SubTerm)
+	} else if len(a.Args) > 0 {
+		fmt.Fprintf(&b, "(%s)", strings.Join(a.Args, ", "))
+	}
+	if a.TargetPlace != "" {
+		fmt.Fprintf(&b, " %s", a.TargetPlace)
+	}
+	if a.Target != "" {
+		fmt.Fprintf(&b, " %s", a.Target)
+	}
+	return b.String()
+}
+
+func (a *At) String() string    { return fmt.Sprintf("@%s [%s]", a.Place, a.Body) }
+func (g *Guard) String() string { return fmt.Sprintf("%s |> %s", g.Test, wrap(g.Body)) }
+func (l *LSeq) String() string  { return fmt.Sprintf("%s -> %s", wrap(l.L), wrap(l.R)) }
+func (s *BSeq) String() string {
+	return fmt.Sprintf("%s %s<%s %s", wrap(s.L), s.LFlag, s.RFlag, wrap(s.R))
+}
+func (p *BPar) String() string {
+	return fmt.Sprintf("%s %s~%s %s", wrap(p.L), p.LFlag, p.RFlag, wrap(p.R))
+}
+
+func wrap(t Term) string {
+	switch t.(type) {
+	case *LSeq, *BSeq, *BPar, *Guard:
+		return "(" + t.String() + ")"
+	default:
+		return t.String()
+	}
+}
+
+// Policy is a top-level network-aware phrase: a relying party, request
+// parameters, forall-bound place variables, and path segments joined by
+// the `*=>` operator. Segment i *=> segment i+1 means: segment i holds
+// across zero or more hops, after which segment i+1's pattern continues.
+type Policy struct {
+	RelyingParty string
+	Params       []string
+	Vars         []string
+	Segments     []Term
+}
+
+func (p *Policy) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "*%s", p.RelyingParty)
+	if len(p.Params) > 0 {
+		fmt.Fprintf(&b, "<%s>", strings.Join(p.Params, ", "))
+	}
+	b.WriteString(": ")
+	if len(p.Vars) > 0 {
+		fmt.Fprintf(&b, "forall %s: ", strings.Join(p.Vars, ", "))
+	}
+	for i, s := range p.Segments {
+		if i > 0 {
+			b.WriteString(" *=> ")
+		}
+		b.WriteString(wrap(s))
+	}
+	return b.String()
+}
+
+// IsVar reports whether name is bound by the policy's forall.
+func (p *Policy) IsVar(name string) bool {
+	for _, v := range p.Vars {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Walk visits every subterm in preorder; returning false stops descent.
+func Walk(t Term, visit func(Term) bool) {
+	if t == nil || !visit(t) {
+		return
+	}
+	switch n := t.(type) {
+	case *ASP:
+		if n.SubTerm != nil {
+			Walk(n.SubTerm, visit)
+		}
+	case *At:
+		Walk(n.Body, visit)
+	case *Guard:
+		Walk(n.Body, visit)
+	case *LSeq:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *BSeq:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	case *BPar:
+		Walk(n.L, visit)
+		Walk(n.R, visit)
+	}
+}
+
+// Places returns the @-places of t in first-seen order.
+func Places(t Term) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(t, func(n Term) bool {
+		if at, ok := n.(*At); ok && !seen[at.Place] {
+			seen[at.Place] = true
+			out = append(out, at.Place)
+		}
+		return true
+	})
+	return out
+}
+
+// ToCopland lowers a guard-free nac term to base Copland. Guards must be
+// resolved (checked and stripped) by the binder first; encountering one
+// is an error.
+func ToCopland(t Term) (copland.Term, error) {
+	switch n := t.(type) {
+	case *ASP:
+		out := &copland.ASP{
+			Name: n.Name, Args: append([]string(nil), n.Args...),
+			TargetPlace: n.TargetPlace, Target: n.Target,
+		}
+		if n.SubTerm != nil {
+			sub, err := ToCopland(n.SubTerm)
+			if err != nil {
+				return nil, err
+			}
+			out.SubTerm = sub
+		}
+		return out, nil
+	case *At:
+		body, err := ToCopland(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &copland.At{Place: n.Place, Body: body}, nil
+	case *Guard:
+		return nil, fmt.Errorf("nac: unresolved guard %q in lowering", n.Test)
+	case *LSeq:
+		l, err := ToCopland(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ToCopland(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &copland.LSeq{L: l, R: r}, nil
+	case *BSeq:
+		l, err := ToCopland(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ToCopland(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &copland.BSeq{LFlag: n.LFlag, RFlag: n.RFlag, L: l, R: r}, nil
+	case *BPar:
+		l, err := ToCopland(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ToCopland(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &copland.BPar{LFlag: n.LFlag, RFlag: n.RFlag, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("nac: cannot lower %T", t)
+	}
+}
+
+// substPlaces rewrites variable place names per the binding.
+func substPlaces(t Term, bind map[string]string) Term {
+	switch n := t.(type) {
+	case *ASP:
+		cp := *n
+		if v, ok := bind[cp.TargetPlace]; ok {
+			cp.TargetPlace = v
+		}
+		if n.SubTerm != nil {
+			cp.SubTerm = substPlaces(n.SubTerm, bind)
+		}
+		return &cp
+	case *At:
+		place := n.Place
+		if v, ok := bind[place]; ok {
+			place = v
+		}
+		return &At{Place: place, Body: substPlaces(n.Body, bind)}
+	case *Guard:
+		return &Guard{Test: n.Test, Body: substPlaces(n.Body, bind)}
+	case *LSeq:
+		return &LSeq{L: substPlaces(n.L, bind), R: substPlaces(n.R, bind)}
+	case *BSeq:
+		return &BSeq{LFlag: n.LFlag, RFlag: n.RFlag, L: substPlaces(n.L, bind), R: substPlaces(n.R, bind)}
+	case *BPar:
+		return &BPar{LFlag: n.LFlag, RFlag: n.RFlag, L: substPlaces(n.L, bind), R: substPlaces(n.R, bind)}
+	default:
+		return t
+	}
+}

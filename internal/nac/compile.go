@@ -1,0 +1,535 @@
+package nac
+
+import (
+	"errors"
+	"fmt"
+
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/netsim"
+	"pera/internal/pera"
+)
+
+// Compilation: a parsed Policy is bound against a concrete forwarding
+// path (Prim1–Prim3 resolved), yielding per-hop PERA obligations, lowered
+// Copland terms for endpoint places, and the variable bindings chosen.
+//
+// Binding semantics, matching the paper's Table 1 examples:
+//
+//   - A concrete place atom (@Switch, @peer1) must appear on the path by
+//     name; service places (@Appraiser) are not on the path.
+//   - A variable atom (@p) binds to an attesting hop; non-attesting hops
+//     may sit in between (AP3's "between q and r we do not require nodes
+//     that support RA"). An atom at the end of the path may bind the
+//     destination host (AP1's @client).
+//   - A starred segment whose only path atom is a single variable (@hop)
+//     replicates across every attesting hop in its span — AP1's ∀hop —
+//     and compiles to one place-unbound obligation executed by every
+//     PERA element the traffic crosses.
+//   - `K |>` guards resolve through a TestRegistry: place predicates are
+//     evaluated at bind time ("fail early"); packet predicates compile
+//     into the obligation's guard list and run per packet on the switch.
+
+// TestSpec gives meaning to a guard test name.
+type TestSpec struct {
+	// PlacePred, if non-nil, must hold of the concrete place at bind
+	// time (e.g. Khop: "the operator has keys for this hop").
+	PlacePred func(place string) bool
+	// PacketGuards are compiled into the obligation and evaluated per
+	// packet on the dataplane (e.g. P: "dport=4444").
+	PacketGuards []pera.Guard
+}
+
+// TestRegistry maps guard test names to their specifications.
+type TestRegistry map[string]TestSpec
+
+// PathHop is one element of the concrete path being bound against.
+type PathHop struct {
+	Name      string
+	Attesting bool // PERA-capable (has a RoT and the evidence stages)
+	CanSign   bool // has a signing identity (end hosts, PERA switches)
+}
+
+// HostTerm is an endpoint Copland phrase to run at a concrete place.
+type HostTerm struct {
+	Place string
+	Term  copland.Term
+}
+
+// Compiled is the output of Compile.
+type Compiled struct {
+	// Policy carries the per-hop obligations (wire-encodable for the
+	// in-band header, or installable as standing config out-of-band).
+	Policy *pera.Policy
+	// HostTerms are endpoint phrases (e.g. AP1's client-side bank check)
+	// in plain Copland, with variables substituted.
+	HostTerms []HostTerm
+	// Bindings records what each forall variable resolved to; the
+	// per-hop variable maps to "*".
+	Bindings map[string]string
+}
+
+// Options tune compilation.
+type Options struct {
+	// Nonce binds the policy run (the n parameter).
+	Nonce []byte
+	// Properties resolves property parameters (AP1's X) and attest
+	// arguments to evidence details. Built-in names Hardware, Program,
+	// Tables, State and Packet are always available.
+	Properties map[string][]evidence.Detail
+	// PolicyID stamps the compiled pera policy.
+	PolicyID uint64
+}
+
+// Errors from compilation.
+var (
+	ErrNoBinding   = errors.New("nac: policy does not bind to path")
+	ErrBadSegment  = errors.New("nac: unsupported segment structure")
+	ErrGuardFails  = errors.New("nac: bind-time guard failed")
+	ErrUnknownTest = errors.New("nac: unknown guard test")
+)
+
+var builtinProps = map[string][]evidence.Detail{
+	"Hardware": {evidence.DetailHardware},
+	"Program":  {evidence.DetailProgram},
+	"Tables":   {evidence.DetailTables},
+	"State":    {evidence.DetailProgState},
+	"Packet":   {evidence.DetailPackets},
+}
+
+// serviceASPs mark an atom as an appraiser-service phrase rather than a
+// path hop.
+var serviceASPs = map[string]bool{
+	"appraise": true, "store": true, "retrieve": true, "certify": true,
+}
+
+// atom is one @place phrase extracted from a segment.
+type atom struct {
+	place   string
+	guard   string // test name guarding the phrase ("" = none)
+	body    Term   // the phrase inside @place [...]
+	service bool   // appraiser-service atom (not on the path)
+}
+
+// flatten extracts the ordered atoms of a segment. Segments must be
+// (possibly guarded) @place phrases composed with ->, -<-, or -~-.
+func flatten(t Term) ([]atom, error) {
+	switch n := t.(type) {
+	case *At:
+		a := atom{place: n.Place, body: n.Body}
+		if g, ok := n.Body.(*Guard); ok {
+			a.guard = g.Test
+			a.body = g.Body
+		}
+		a.service = isServiceBody(a.body)
+		return []atom{a}, nil
+	case *Guard:
+		inner, err := flatten(n.Body)
+		if err != nil {
+			return nil, err
+		}
+		if len(inner) > 0 && inner[0].guard == "" {
+			inner[0].guard = n.Test
+		}
+		return inner, nil
+	case *LSeq:
+		return flatten2(n.L, n.R)
+	case *BSeq:
+		return flatten2(n.L, n.R)
+	case *BPar:
+		return flatten2(n.L, n.R)
+	default:
+		return nil, fmt.Errorf("%w: segment atom %T (%s)", ErrBadSegment, t, t)
+	}
+}
+
+func flatten2(l, r Term) ([]atom, error) {
+	la, err := flatten(l)
+	if err != nil {
+		return nil, err
+	}
+	ra, err := flatten(r)
+	if err != nil {
+		return nil, err
+	}
+	return append(la, ra...), nil
+}
+
+// isServiceBody reports whether a phrase is an appraiser-service action
+// chain (appraise -> store(n), retrieve(n), ...).
+func isServiceBody(t Term) bool {
+	switch n := t.(type) {
+	case *ASP:
+		return serviceASPs[n.Name]
+	case *LSeq:
+		return isServiceBody(n.L)
+	case *Guard:
+		return isServiceBody(n.Body)
+	default:
+		return false
+	}
+}
+
+// attestSpec summarizes what an attestation phrase demands.
+type attestSpec struct {
+	claims []evidence.Detail
+	hash   bool
+	sign   bool
+}
+
+// parseAttest interprets an atom body of the shape
+// `attest(args) target -> # -> !` (any subset of the #/! suffix). A bare
+// `!` body (AP3's @peer1 [Peer1 |> !]) yields an empty-claim signing
+// spec.
+func parseAttest(t Term, props map[string][]evidence.Detail) (*attestSpec, error) {
+	spec := &attestSpec{}
+	var walk func(Term) error
+	walk = func(t Term) error {
+		switch n := t.(type) {
+		case *LSeq:
+			if err := walk(n.L); err != nil {
+				return err
+			}
+			return walk(n.R)
+		case *ASP:
+			switch n.Name {
+			case "#":
+				spec.hash = true
+				return nil
+			case "!":
+				spec.sign = true
+				return nil
+			case "_":
+				return nil
+			case "attest":
+				names := append([]string(nil), n.Args...)
+				if n.Target != "" {
+					names = append(names, n.Target)
+				}
+				if n.SubTerm != nil {
+					// attest(Hardware -~- Program): collect ASP names.
+					Walk(n.SubTerm, func(s Term) bool {
+						if a, ok := s.(*ASP); ok {
+							names = append(names, a.Name)
+						}
+						return true
+					})
+				}
+				for _, name := range names {
+					if ds, ok := props[name]; ok {
+						spec.claims = append(spec.claims, ds...)
+						continue
+					}
+					if ds, ok := builtinProps[name]; ok {
+						spec.claims = append(spec.claims, ds...)
+						continue
+					}
+					// The conventional nonce parameter is freshness
+					// binding, not a claim.
+					if name == "n" {
+						continue
+					}
+					return fmt.Errorf("nac: unknown attest property %q", name)
+				}
+				return nil
+			default:
+				return fmt.Errorf("%w: hop action %q", ErrBadSegment, n.Name)
+			}
+		default:
+			return fmt.Errorf("%w: hop phrase %T", ErrBadSegment, t)
+		}
+	}
+	if err := walk(t); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// segInfo is a pre-processed segment.
+type segInfo struct {
+	appraiser string
+	repeated  bool   // single-variable starred segment (∀hop)
+	repVar    string // the per-hop variable
+	pathAtoms []atom // non-service atoms in order
+}
+
+// oblSrc records one matched hop atom pending materialization.
+type oblSrc struct {
+	place string // "" for replicated
+	atom  atom
+	appr  string
+}
+
+// hostSrc records one matched endpoint atom.
+type hostSrc struct {
+	place string
+	atom  atom
+}
+
+// binder holds matcher state (backtracking over small paths).
+type binder struct {
+	policy   *Policy
+	path     []PathHop
+	reg      TestRegistry
+	segs     []segInfo
+	bindings map[string]string
+	obls     []oblSrc
+	hosts    []hostSrc
+}
+
+func (b *binder) checkPlaceGuard(test, place string) error {
+	if test == "" {
+		return nil
+	}
+	spec, ok := b.reg[test]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTest, test)
+	}
+	if spec.PlacePred != nil && !spec.PlacePred(place) {
+		return fmt.Errorf("%w: %s at %s", ErrGuardFails, test, place)
+	}
+	return nil
+}
+
+func (b *binder) match(segIdx, atomIdx, pathPos int) bool {
+	if segIdx == len(b.segs) {
+		// Every attesting hop must be accounted for by the policy: an
+		// unmatched PERA element after the pattern ends means the
+		// binding does not describe this path.
+		for _, h := range b.path[pathPos:] {
+			if h.Attesting {
+				return false
+			}
+		}
+		return true
+	}
+	seg := &b.segs[segIdx]
+	if seg.repeated {
+		a := seg.pathAtoms[0]
+		for end := pathPos; end <= len(b.path); end++ {
+			ok := true
+			for _, h := range b.path[pathPos:end] {
+				if h.Attesting && b.checkPlaceGuard(a.guard, h.Name) != nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			savedO := len(b.obls)
+			b.obls = append(b.obls, oblSrc{place: "", atom: a, appr: seg.appraiser})
+			b.bindings[seg.repVar] = "*"
+			if b.match(segIdx+1, 0, end) {
+				return true
+			}
+			b.obls = b.obls[:savedO]
+			delete(b.bindings, seg.repVar)
+		}
+		return false
+	}
+	if atomIdx == len(seg.pathAtoms) {
+		return b.match(segIdx+1, 0, pathPos)
+	}
+	a := seg.pathAtoms[atomIdx]
+	isVar := b.policy.IsVar(a.place)
+	kind := bodyKind(a.body)
+	for pos := pathPos; pos < len(b.path); pos++ {
+		h := b.path[pos]
+		if b.hopMatches(a, isVar, kind, h) {
+			if isVar {
+				if prev, ok := b.bindings[a.place]; ok && prev != h.Name {
+					// Conflicting rebinding: treat like a mismatch.
+					if h.Attesting {
+						return false
+					}
+					continue
+				}
+				b.bindings[a.place] = h.Name
+			}
+			savedO, savedH := len(b.obls), len(b.hosts)
+			if h.Attesting && kind != bodyHost {
+				b.obls = append(b.obls, oblSrc{place: h.Name, atom: a, appr: seg.appraiser})
+			} else {
+				b.hosts = append(b.hosts, hostSrc{place: h.Name, atom: a})
+			}
+			if b.match(segIdx, atomIdx+1, pos+1) {
+				return true
+			}
+			b.obls, b.hosts = b.obls[:savedO], b.hosts[:savedH]
+			if isVar {
+				delete(b.bindings, a.place)
+			}
+		}
+		// Only non-attesting hops may be passed over silently: an
+		// attesting element the policy does not account for breaks the
+		// binding — path attestation exists to notice exactly that.
+		if h.Attesting {
+			return false
+		}
+	}
+	return false
+}
+
+// hopMatches reports whether atom a can bind hop h.
+func (b *binder) hopMatches(a atom, isVar bool, kind int, h PathHop) bool {
+	if b.checkPlaceGuard(a.guard, h.Name) != nil {
+		return false
+	}
+	if !isVar && h.Name != a.place {
+		return false
+	}
+	switch kind {
+	case bodyAttest:
+		// Attestation claims demand a PERA dataplane.
+		return h.Attesting
+	case bodySign:
+		// Bare !/# phrases need a signing identity of some kind.
+		return h.Attesting || h.CanSign
+	default: // bodyHost
+		// Host-side Copland phrases run on signing end systems.
+		return h.CanSign && !h.Attesting
+	}
+}
+
+// Body kinds for matching.
+const (
+	bodyHost   = iota // arbitrary Copland phrase: runs at an end system
+	bodySign          // bare !/#/_ chain: needs any signing identity
+	bodyAttest        // contains attest claims: needs a PERA dataplane
+)
+
+// bodyKind classifies an atom body for capability matching.
+func bodyKind(t Term) int {
+	hasAttest := false
+	Walk(t, func(n Term) bool {
+		if a, ok := n.(*ASP); ok && a.Name == "attest" {
+			hasAttest = true
+		}
+		return true
+	})
+	if hasAttest {
+		return bodyAttest
+	}
+	if _, err := parseAttest(t, builtinProps); err == nil {
+		return bodySign
+	}
+	return bodyHost
+}
+
+// Compile binds policy against path and produces the executable pieces.
+func Compile(policy *Policy, path []PathHop, reg TestRegistry, opts Options) (*Compiled, error) {
+	props := map[string][]evidence.Detail{}
+	for k, v := range opts.Properties {
+		props[k] = v
+	}
+
+	b := &binder{policy: policy, path: path, reg: reg, bindings: map[string]string{}}
+	for i, segTerm := range policy.Segments {
+		atoms, err := flatten(segTerm)
+		if err != nil {
+			return nil, err
+		}
+		si := segInfo{}
+		for _, a := range atoms {
+			if a.service {
+				si.appraiser = a.place
+			} else {
+				si.pathAtoms = append(si.pathAtoms, a)
+			}
+		}
+		if i < len(policy.Segments)-1 && len(si.pathAtoms) == 1 && policy.IsVar(si.pathAtoms[0].place) {
+			si.repeated = true
+			si.repVar = si.pathAtoms[0].place
+		}
+		b.segs = append(b.segs, si)
+	}
+
+	if !b.match(0, 0, 0) {
+		return nil, fmt.Errorf("%w: %s over path %v", ErrNoBinding, policy.RelyingParty, pathNames(path))
+	}
+
+	out := &Compiled{
+		Policy:   &pera.Policy{ID: opts.PolicyID, Nonce: opts.Nonce},
+		Bindings: map[string]string{},
+	}
+	for _, o := range b.obls {
+		spec, err := parseAttest(o.atom.body, props)
+		if err != nil {
+			return nil, err
+		}
+		obl := pera.Obligation{
+			Place:        o.place,
+			Claims:       spec.claims,
+			HashEvidence: spec.hash,
+			SignEvidence: spec.sign,
+			Appraiser:    o.appr,
+		}
+		if o.atom.guard != "" {
+			obl.Guards = reg[o.atom.guard].PacketGuards
+		}
+		out.Policy.Obls = append(out.Policy.Obls, obl)
+	}
+	for _, h := range b.hosts {
+		body := substPlaces(stripGuards(h.atom.body), b.bindings)
+		ct, err := ToCopland(body)
+		if err != nil {
+			return nil, err
+		}
+		out.HostTerms = append(out.HostTerms, HostTerm{Place: h.place, Term: ct})
+	}
+	for k, v := range b.bindings {
+		out.Bindings[k] = v
+	}
+	return out, nil
+}
+
+func pathNames(path []PathHop) []string {
+	out := make([]string, len(path))
+	for i, h := range path {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// stripGuards removes Guard nodes (their place predicates were evaluated
+// at bind time; packet guards are meaningless on hosts).
+func stripGuards(t Term) Term {
+	switch n := t.(type) {
+	case *Guard:
+		return stripGuards(n.Body)
+	case *At:
+		return &At{Place: n.Place, Body: stripGuards(n.Body)}
+	case *LSeq:
+		return &LSeq{L: stripGuards(n.L), R: stripGuards(n.R)}
+	case *BSeq:
+		return &BSeq{LFlag: n.LFlag, RFlag: n.RFlag, L: stripGuards(n.L), R: stripGuards(n.R)}
+	case *BPar:
+		return &BPar{LFlag: n.LFlag, RFlag: n.RFlag, L: stripGuards(n.L), R: stripGuards(n.R)}
+	case *ASP:
+		if n.SubTerm != nil {
+			cp := *n
+			cp.SubTerm = stripGuards(n.SubTerm)
+			return &cp
+		}
+		return n
+	default:
+		return t
+	}
+}
+
+// PathFromNetwork derives the PathHop list for the shortest path between
+// two nodes in a netsim network, marking PERA switches as attesting.
+func PathFromNetwork(n *netsim.Network, src, dst string) []PathHop {
+	var hops []PathHop
+	for _, name := range n.ShortestPath(src, dst) {
+		node, ok := n.Node(name)
+		if !ok {
+			continue
+		}
+		_, attesting := node.(*pera.Switch)
+		_, isHost := node.(*netsim.Host)
+		hops = append(hops, PathHop{Name: name, Attesting: attesting, CanSign: attesting || isHost})
+	}
+	return hops
+}

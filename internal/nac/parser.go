@@ -1,0 +1,465 @@
+package nac
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"pera/internal/copland"
+)
+
+// Lexer and parser for the network-aware concrete syntax. The token set
+// extends base Copland's with `|>` (guard), `*=>` (path star) and the
+// `forall` keyword.
+
+type tkind uint8
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tStar      // * (request marker)
+	tStarArrow // *=>
+	tGuard     // |>
+	tColon
+	tComma
+	tAt
+	tLBrack
+	tRBrack
+	tLParen
+	tRParen
+	tArrow // ->
+	tPlus
+	tMinus
+	tLess
+	tGT
+	tTilde
+	tBang
+	tHash
+	tUnder
+)
+
+var tnames = map[tkind]string{
+	tEOF: "end of input", tIdent: "identifier", tStar: "'*'", tStarArrow: "'*=>'",
+	tGuard: "'|>'", tColon: "':'", tComma: "','", tAt: "'@'", tLBrack: "'['",
+	tRBrack: "']'", tLParen: "'('", tRParen: "')'", tArrow: "'->'", tPlus: "'+'",
+	tMinus: "'-'", tLess: "'<'", tGT: "'>'", tTilde: "'~'", tBang: "'!'",
+	tHash: "'#'", tUnder: "'_'",
+}
+
+func (k tkind) String() string {
+	if s, ok := tnames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+type tok struct {
+	kind tkind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a parse failure with position info.
+type SyntaxError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	line, col := 1, 1
+	for i, r := range e.Input {
+		if i >= e.Pos {
+			break
+		}
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("nac: %d:%d: %s", line, col, e.Msg)
+}
+
+func lexNAC(input string) ([]tok, error) {
+	var toks []tok
+	i := 0
+	for i < len(input) {
+		r, w := utf8.DecodeRuneInString(input[i:])
+		switch {
+		case unicode.IsSpace(r):
+			i += w
+		case strings.HasPrefix(input[i:], "//"):
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(input[i:], "*=>"):
+			toks = append(toks, tok{tStarArrow, "*=>", i})
+			i += 3
+		case strings.HasPrefix(input[i:], "|>"):
+			toks = append(toks, tok{tGuard, "|>", i})
+			i += 2
+		case strings.HasPrefix(input[i:], "->"):
+			toks = append(toks, tok{tArrow, "->", i})
+			i += 2
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			j := i + w
+			for j < len(input) {
+				r2, w2 := utf8.DecodeRuneInString(input[j:])
+				if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '.' && r2 != '_' {
+					break
+				}
+				j += w2
+			}
+			toks = append(toks, tok{tIdent, input[i:j], i})
+			i = j
+		default:
+			var k tkind
+			switch r {
+			case '*':
+				k = tStar
+			case ':':
+				k = tColon
+			case ',':
+				k = tComma
+			case '@':
+				k = tAt
+			case '[':
+				k = tLBrack
+			case ']':
+				k = tRBrack
+			case '(':
+				k = tLParen
+			case ')':
+				k = tRParen
+			case '+':
+				k = tPlus
+			case '-':
+				k = tMinus
+			case '<':
+				k = tLess
+			case '>':
+				k = tGT
+			case '~':
+				k = tTilde
+			case '!':
+				k = tBang
+			case '#':
+				k = tHash
+			case '_':
+				k = tUnder
+			default:
+				return nil, &SyntaxError{input, i, fmt.Sprintf("unexpected character %q", r)}
+			}
+			toks = append(toks, tok{k, string(r), i})
+			i += w
+		}
+	}
+	return append(toks, tok{tEOF, "", len(input)}), nil
+}
+
+// ParsePolicy parses a top-level network-aware policy.
+func ParsePolicy(input string) (*Policy, error) {
+	toks, err := lexNAC(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &nparser{input: input, toks: toks}
+	pol, err := p.policy()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tEOF); err != nil {
+		return nil, err
+	}
+	return pol, nil
+}
+
+// ParseTerm parses a single network-aware term (no policy header).
+func ParseTerm(input string) (Term, error) {
+	toks, err := lexNAC(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &nparser{input: input, toks: toks}
+	t, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tEOF); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+type nparser struct {
+	input string
+	toks  []tok
+	pos   int
+}
+
+func (p *nparser) peek() tok       { return p.toks[p.pos] }
+func (p *nparser) next() tok       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *nparser) at(k tkind) bool { return p.peek().kind == k }
+
+func (p *nparser) errf(format string, args ...any) error {
+	return &SyntaxError{Input: p.input, Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *nparser) expect(k tkind) error {
+	if !p.at(k) {
+		return p.errf("expected %v, found %v %q", k, p.peek().kind, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *nparser) ident() (string, error) {
+	if !p.at(tIdent) {
+		return "", p.errf("expected identifier, found %v %q", p.peek().kind, p.peek().text)
+	}
+	return p.next().text, nil
+}
+
+// policy := '*' IDENT params? ':' ('forall' IDENT (',' IDENT)* ':')? path
+func (p *nparser) policy() (*Policy, error) {
+	if err := p.expect(tStar); err != nil {
+		return nil, err
+	}
+	rp, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	pol := &Policy{RelyingParty: rp}
+	if p.at(tLess) {
+		p.next()
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			pol.Params = append(pol.Params, name)
+			if p.at(tComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(tGT); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(tColon); err != nil {
+		return nil, err
+	}
+	if p.at(tIdent) && p.peek().text == "forall" {
+		p.next()
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			pol.Vars = append(pol.Vars, name)
+			if p.at(tComma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(tColon); err != nil {
+			return nil, err
+		}
+	}
+	// path := term ('*=>' term)*
+	seg, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	pol.Segments = append(pol.Segments, seg)
+	for p.at(tStarArrow) {
+		p.next()
+		seg, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		pol.Segments = append(pol.Segments, seg)
+	}
+	return pol, nil
+}
+
+// term := branch
+func (p *nparser) term() (Term, error) { return p.branch() }
+
+func (p *nparser) branch() (Term, error) {
+	left, err := p.linear()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tPlus) || p.at(tMinus) {
+		lf := p.next().kind == tPlus
+		var par bool
+		switch p.peek().kind {
+		case tLess, tGT:
+			par = false
+		case tTilde:
+			par = true
+		default:
+			return nil, p.errf("expected '<', '>' or '~' after branch flag")
+		}
+		p.next()
+		var rf bool
+		switch p.peek().kind {
+		case tPlus:
+			rf = true
+		case tMinus:
+			rf = false
+		default:
+			return nil, p.errf("expected '+' or '-' flag")
+		}
+		p.next()
+		right, err := p.linear()
+		if err != nil {
+			return nil, err
+		}
+		if par {
+			left = &BPar{LFlag: copland.Flag(lf), RFlag: copland.Flag(rf), L: left, R: right}
+		} else {
+			left = &BSeq{LFlag: copland.Flag(lf), RFlag: copland.Flag(rf), L: left, R: right}
+		}
+	}
+	return left, nil
+}
+
+func (p *nparser) linear() (Term, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tArrow) {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &LSeq{L: left, R: right}
+	}
+	return left, nil
+}
+
+// unary := '@' IDENT '[' term ']' | '(' term ')' | IDENT '|>' term | asp
+func (p *nparser) unary() (Term, error) {
+	switch p.peek().kind {
+	case tAt:
+		p.next()
+		place, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tLBrack); err != nil {
+			return nil, err
+		}
+		body, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRBrack); err != nil {
+			return nil, err
+		}
+		return &At{Place: place, Body: body}, nil
+	case tLParen:
+		p.next()
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tRParen); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case tIdent:
+		// Guard lookahead: IDENT '|>' ...
+		if p.toks[p.pos+1].kind == tGuard {
+			test := p.next().text
+			p.next() // |>
+			body, err := p.term()
+			if err != nil {
+				return nil, err
+			}
+			return &Guard{Test: test, Body: body}, nil
+		}
+		return p.asp()
+	default:
+		return p.asp()
+	}
+}
+
+func (p *nparser) asp() (Term, error) {
+	switch p.peek().kind {
+	case tBang:
+		p.next()
+		return &ASP{Name: "!"}, nil
+	case tHash:
+		p.next()
+		return &ASP{Name: "#"}, nil
+	case tUnder:
+		p.next()
+		return &ASP{Name: "_"}, nil
+	case tIdent:
+		name := p.next().text
+		a := &ASP{Name: name}
+		if p.at(tLParen) {
+			p.next()
+			if err := p.aspInner(a); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tRParen); err != nil {
+				return nil, err
+			}
+		}
+		if p.at(tIdent) && p.toks[p.pos+1].kind != tGuard {
+			first := p.next().text
+			if p.at(tIdent) && p.toks[p.pos+1].kind != tGuard {
+				a.TargetPlace = first
+				a.Target = p.next().text
+			} else {
+				a.Target = first
+			}
+		}
+		return a, nil
+	default:
+		return nil, p.errf("expected a term, found %v %q", p.peek().kind, p.peek().text)
+	}
+}
+
+func (p *nparser) aspInner(a *ASP) error {
+	if p.at(tRParen) {
+		return nil
+	}
+	start := p.pos
+	var args []string
+	for {
+		if !p.at(tIdent) {
+			args = nil
+			break
+		}
+		args = append(args, p.next().text)
+		if p.at(tComma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if args != nil && p.at(tRParen) {
+		a.Args = args
+		return nil
+	}
+	p.pos = start
+	t, err := p.term()
+	if err != nil {
+		return err
+	}
+	a.SubTerm = t
+	return nil
+}

@@ -1,0 +1,29 @@
+package nac
+
+// Table 1 of the paper, in the ASCII concrete syntax. The paper's
+// overset-flag sequential arrow (e.g. −+ over >) is written `-<+`; its
+// `∗⇒` is `*=>`; its `▶` is `|>`; its `∀` is `forall`.
+
+// AP1 is the bank example with path attestation between bank and client
+// (UC5, and UC1 when X covers configuration detail): every hop on the
+// path that passes the Khop key test attests property X bound to nonce
+// n, signs, and sends the evidence to the Appraiser; at the end of the
+// path the client (passing Kclient) runs the host-based §4.2 phrase.
+const AP1 = `*bank<n, X>: forall hop, client:
+  (@hop [Khop |> attest(n) X -> !] -<+ @Appraiser [appraise -> store(n)])
+  *=> @client [Kclient |> (@ks [av us bmon -> !] -<- @us [bmon us exts -> !])]`
+
+// AP2 is the UC4 audit policy: a switch (the relying party itself) scans
+// for traffic pattern P; when the test fires it attests the match, signs
+// the result and stores it at the Appraiser, creating a referenceable
+// audit trail.
+const AP2 = `*scanner<P>: @scanner [P |> attest(P) -> !] -<+ @Appraiser [appraise -> store]`
+
+// AP3 combines UC2 and UC3: the path between two peers must traverse
+// attested functions F1 and F2 at abstract places p and q — p passes its
+// evidence to q before it reaches the Appraiser — and between q and r no
+// RA-capable nodes are required (the `*=>` gap); r's Q test and the
+// peers' key tests gate signing at the segment ends.
+const AP3 = `*pathCheck<F1, F2, Peer1, Peer2>: forall p, q, r, peer1, peer2:
+  @peer1 [Peer1 |> !] -<+ @p [attest(F1) -> !] -<+ @q [attest(F2) -> !] -<+ @Appraiser [appraise -> store]
+  *=> @r [Q |> !] -<+ @peer2 [Peer2 |> !] -<+ @Appraiser [appraise -> store]`

@@ -1,0 +1,190 @@
+package netkat
+
+import "fmt"
+
+// Pred is a NetKAT predicate — the Boolean algebra fragment.
+type Pred interface {
+	fmt.Stringer
+	isPred()
+	// Eval reports whether the predicate holds of packet p.
+	Eval(p Packet) bool
+}
+
+// PTrue is the true predicate (pass).
+type PTrue struct{}
+
+// PFalse is the false predicate (drop).
+type PFalse struct{}
+
+// PTest tests Field = Value.
+type PTest struct {
+	Field string
+	Value uint64
+}
+
+// PNot negates a predicate.
+type PNot struct{ P Pred }
+
+// PAnd is conjunction.
+type PAnd struct{ L, R Pred }
+
+// POr is disjunction.
+type POr struct{ L, R Pred }
+
+func (PTrue) isPred()  {}
+func (PFalse) isPred() {}
+func (PTest) isPred()  {}
+func (PNot) isPred()   {}
+func (PAnd) isPred()   {}
+func (POr) isPred()    {}
+
+// Eval implementations.
+func (PTrue) Eval(Packet) bool     { return true }
+func (PFalse) Eval(Packet) bool    { return false }
+func (t PTest) Eval(p Packet) bool { return p.Get(t.Field) == t.Value }
+func (n PNot) Eval(p Packet) bool  { return !n.P.Eval(p) }
+func (a PAnd) Eval(p Packet) bool  { return a.L.Eval(p) && a.R.Eval(p) }
+func (o POr) Eval(p Packet) bool   { return o.L.Eval(p) || o.R.Eval(p) }
+
+func (PTrue) String() string   { return "true" }
+func (PFalse) String() string  { return "false" }
+func (t PTest) String() string { return fmt.Sprintf("%s=%d", t.Field, t.Value) }
+func (n PNot) String() string  { return "not " + parenPred(n.P) }
+func (a PAnd) String() string  { return parenPred(a.L) + " and " + parenPred(a.R) }
+func (o POr) String() string   { return parenPred(o.L) + " or " + parenPred(o.R) }
+
+func parenPred(p Pred) string {
+	switch p.(type) {
+	case PAnd, POr, PNot:
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+// Convenience constructors.
+
+// True returns the true predicate.
+func True() Pred { return PTrue{} }
+
+// False returns the false predicate.
+func False() Pred { return PFalse{} }
+
+// Test returns the field=value test.
+func Test(field string, value uint64) Pred { return PTest{field, value} }
+
+// Not negates p.
+func Not(p Pred) Pred { return PNot{p} }
+
+// And folds conjunction over ps (empty = true).
+func And(ps ...Pred) Pred {
+	if len(ps) == 0 {
+		return PTrue{}
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = PAnd{out, p}
+	}
+	return out
+}
+
+// Or folds disjunction over ps (empty = false).
+func Or(ps ...Pred) Pred {
+	if len(ps) == 0 {
+		return PFalse{}
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = POr{out, p}
+	}
+	return out
+}
+
+// Policy is a NetKAT policy.
+type Policy interface {
+	fmt.Stringer
+	isPolicy()
+}
+
+// Filter lifts a predicate to a policy.
+type Filter struct{ Pred Pred }
+
+// Assign sets Field := Value.
+type Assign struct {
+	Field string
+	Value uint64
+}
+
+// Union is nondeterministic choice (p + q).
+type Union struct{ L, R Policy }
+
+// SeqP is sequential composition (p ; q).
+type SeqP struct{ L, R Policy }
+
+// Star is Kleene iteration (p*).
+type Star struct{ P Policy }
+
+// Dup records the current packet on the history trace.
+type Dup struct{}
+
+func (Filter) isPolicy() {}
+func (Assign) isPolicy() {}
+func (Union) isPolicy()  {}
+func (SeqP) isPolicy()   {}
+func (Star) isPolicy()   {}
+func (Dup) isPolicy()    {}
+
+func (f Filter) String() string { return "filter " + f.Pred.String() }
+func (a Assign) String() string { return fmt.Sprintf("%s:=%d", a.Field, a.Value) }
+func (u Union) String() string  { return parenPol(u.L) + " + " + parenPol(u.R) }
+func (s SeqP) String() string   { return parenPol(s.L) + " ; " + parenPol(s.R) }
+func (s Star) String() string   { return parenPol(s.P) + "*" }
+func (Dup) String() string      { return "dup" }
+
+func parenPol(p Policy) string {
+	switch p.(type) {
+	case Union, SeqP:
+		return "(" + p.String() + ")"
+	}
+	return p.String()
+}
+
+// Convenience constructors.
+
+// Id is the identity policy (filter true).
+func Id() Policy { return Filter{PTrue{}} }
+
+// Drop is the empty policy (filter false).
+func Drop() Policy { return Filter{PFalse{}} }
+
+// F lifts a predicate.
+func F(p Pred) Policy { return Filter{p} }
+
+// Mod returns the assignment policy field := value.
+func Mod(field string, value uint64) Policy { return Assign{field, value} }
+
+// Plus folds union over ps (empty = drop).
+func Plus(ps ...Policy) Policy {
+	if len(ps) == 0 {
+		return Drop()
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = Union{out, p}
+	}
+	return out
+}
+
+// Then folds sequencing over ps (empty = id).
+func Then(ps ...Policy) Policy {
+	if len(ps) == 0 {
+		return Id()
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = SeqP{out, p}
+	}
+	return out
+}
+
+// Iterate returns p*.
+func Iterate(p Policy) Policy { return Star{p} }

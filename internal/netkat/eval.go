@@ -1,0 +1,152 @@
+package netkat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Trace semantics: a policy denotes a function from a history to a set of
+// histories (Anderson et al., Fig. 3). Eval computes it by structural
+// recursion; Star is the least fixpoint, computed by iterating until the
+// result set stops growing. Star fixpoints always terminate on finite
+// inputs here because the reachable packet space from a concrete packet
+// under a finite policy is finite; StepLimit guards against pathological
+// field-value growth (e.g. unbounded counters encoded as assignments).
+
+// StepLimit bounds Kleene-star iterations per evaluation.
+const StepLimit = 10_000
+
+// ErrStarDiverges is returned when a Kleene star fails to reach a fixpoint
+// within StepLimit iterations.
+var ErrStarDiverges = errors.New("netkat: star iteration exceeded step limit")
+
+// Eval applies policy to a single history.
+func Eval(pol Policy, h History) (*HistorySet, error) {
+	switch n := pol.(type) {
+	case Filter:
+		if n.Pred.Eval(h.Head()) {
+			return NewHistorySet(h), nil
+		}
+		return NewHistorySet(), nil
+	case Assign:
+		return NewHistorySet(h.withHead(h.Head().With(n.Field, n.Value))), nil
+	case Dup:
+		return NewHistorySet(h.dup()), nil
+	case Union:
+		l, err := Eval(n.L, h)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Eval(n.R, h)
+		if err != nil {
+			return nil, err
+		}
+		l.AddAll(r)
+		return l, nil
+	case SeqP:
+		mid, err := Eval(n.L, h)
+		if err != nil {
+			return nil, err
+		}
+		return EvalSet(n.R, mid)
+	case Star:
+		return evalStar(n.P, h)
+	default:
+		return nil, fmt.Errorf("netkat: unknown policy %T", pol)
+	}
+}
+
+// EvalSet applies policy pointwise to a set of histories and unions the
+// results.
+func EvalSet(pol Policy, hs *HistorySet) (*HistorySet, error) {
+	out := NewHistorySet()
+	for _, h := range hs.Histories() {
+		r, err := Eval(pol, h)
+		if err != nil {
+			return nil, err
+		}
+		out.AddAll(r)
+	}
+	return out, nil
+}
+
+// evalStar computes the least fixpoint of h ∪ p(h) ∪ p(p(h)) ∪ …
+func evalStar(p Policy, h History) (*HistorySet, error) {
+	result := NewHistorySet(h)
+	frontier := NewHistorySet(h)
+	for i := 0; i < StepLimit; i++ {
+		next, err := EvalSet(p, frontier)
+		if err != nil {
+			return nil, err
+		}
+		fresh := NewHistorySet()
+		for _, nh := range next.Histories() {
+			if result.Add(nh) {
+				fresh.Add(nh)
+			}
+		}
+		if fresh.Len() == 0 {
+			return result, nil
+		}
+		frontier = fresh
+	}
+	return nil, ErrStarDiverges
+}
+
+// EvalPacket is a convenience wrapper evaluating pol on a fresh
+// single-packet history.
+func EvalPacket(pol Policy, p Packet) (*HistorySet, error) {
+	return Eval(pol, NewHistory(p))
+}
+
+// Domain describes finite value ranges for fields, enabling exhaustive
+// equivalence checking over the induced packet space. Fields not listed
+// are fixed at zero.
+type Domain map[string][]uint64
+
+// Packets enumerates every packet over the domain (cartesian product).
+func (d Domain) Packets() []Packet {
+	fields := make([]string, 0, len(d))
+	for f := range d {
+		fields = append(fields, f)
+	}
+	// Sort for determinism.
+	for i := range fields {
+		for j := i + 1; j < len(fields); j++ {
+			if fields[j] < fields[i] {
+				fields[i], fields[j] = fields[j], fields[i]
+			}
+		}
+	}
+	out := []Packet{{}}
+	for _, f := range fields {
+		var next []Packet
+		for _, base := range out {
+			for _, v := range d[f] {
+				next = append(next, base.With(f, v))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// EquivalentOn reports whether p and q produce identical history sets for
+// every packet in the domain — a complete equivalence check for programs
+// whose behaviour depends only on the domain fields.
+func EquivalentOn(d Domain, p, q Policy) (bool, Packet, error) {
+	for _, pkt := range d.Packets() {
+		rp, err := EvalPacket(p, pkt)
+		if err != nil {
+			return false, pkt, err
+		}
+		rq, err := EvalPacket(q, pkt)
+		if err != nil {
+			return false, pkt, err
+		}
+		if !rp.Equal(rq) {
+			return false, pkt, nil
+		}
+	}
+	return true, nil, nil
+}

@@ -1,0 +1,139 @@
+package netkat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Network-level reasoning in the standard NetKAT encoding:
+//
+//	net = in ; (prog ; topo)* ; prog ; out
+//
+// where prog is the union of all switch programs and topo the union of
+// all link policies. Reachability and path enumeration over this encoding
+// are what the hybrid Copland+NetKAT compiler (internal/nac) uses to bind
+// abstract places to concrete hops.
+
+// Link is a unidirectional link between switch ports.
+type Link struct {
+	FromSwitch, FromPort uint64
+	ToSwitch, ToPort     uint64
+}
+
+// TopologyPolicy encodes links as a NetKAT policy: a packet at the
+// from-switch's from-port is moved to the to-switch's to-port.
+func TopologyPolicy(links []Link) Policy {
+	pols := make([]Policy, 0, len(links))
+	for _, l := range links {
+		pols = append(pols, Then(
+			F(And(Test(FSwitch, l.FromSwitch), Test(FPort, l.FromPort))),
+			Mod(FSwitch, l.ToSwitch),
+			Mod(FPort, l.ToPort),
+		))
+	}
+	return Plus(pols...)
+}
+
+// NetworkPolicy builds the standard in;(p;t)*;p;out encoding. A Dup is
+// sequenced after each application of prog so that histories record the
+// per-hop packets — those histories are the network paths.
+func NetworkPolicy(ingress, egress Pred, prog, topo Policy) Policy {
+	hop := Then(prog, Dup{}, topo)
+	return Then(F(ingress), Iterate(hop), prog, Dup{}, F(egress))
+}
+
+// Reachable reports whether any packet satisfying ingress can reach a
+// state satisfying egress under prog/topo, starting from concrete packet
+// pkt (which should satisfy ingress; if not, the result is trivially
+// false).
+func Reachable(pkt Packet, ingress, egress Pred, prog, topo Policy) (bool, error) {
+	res, err := EvalPacket(NetworkPolicy(ingress, egress, prog, topo), pkt)
+	if err != nil {
+		return false, err
+	}
+	return res.Len() > 0, nil
+}
+
+// Hop is one step of a concrete network path.
+type Hop struct {
+	Switch uint64
+	Port   uint64
+	Packet Packet
+}
+
+func (h Hop) String() string { return fmt.Sprintf("sw%d:pt%d", h.Switch, h.Port) }
+
+// Path is a sequence of hops from ingress to egress.
+type Path []Hop
+
+// Switches returns the switch ids along the path in order.
+func (p Path) Switches() []uint64 {
+	out := make([]uint64, len(p))
+	for i, h := range p {
+		out[i] = h.Switch
+	}
+	return out
+}
+
+func (p Path) String() string {
+	s := ""
+	for i, h := range p {
+		if i > 0 {
+			s += " -> "
+		}
+		s += h.String()
+	}
+	return s
+}
+
+// Paths enumerates the concrete paths packet pkt can take from ingress to
+// egress under prog/topo, extracted from the dup-traces of the network
+// policy. Each history yields one path, oldest hop first.
+func Paths(pkt Packet, ingress, egress Pred, prog, topo Policy) ([]Path, error) {
+	res, err := EvalPacket(NetworkPolicy(ingress, egress, prog, topo), pkt)
+	if err != nil {
+		return nil, err
+	}
+	var paths []Path
+	for _, h := range res.Histories() {
+		// History is newest-first; the head duplicates the final dup
+		// entry (dup copies rather than moves), so skip index 0 and
+		// reverse the rest.
+		var path Path
+		for i := len(h) - 1; i >= 1; i-- {
+			p := h[i]
+			path = append(path, Hop{Switch: p.Get(FSwitch), Port: p.Get(FPort), Packet: p})
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// SwitchProgram builds a per-switch forwarding policy from (match, action)
+// rules: on switch sw, a packet matching pred has its fields set per sets
+// and is emitted on outPort. Rules are unioned; overlapping rules emit
+// multiple copies, exactly as NetKAT's + prescribes.
+type Rule struct {
+	Match   Pred
+	Sets    map[string]uint64
+	OutPort uint64
+}
+
+// SwitchProgram encodes rules for switch sw as a policy guarded on sw.
+func SwitchProgram(sw uint64, rules []Rule) Policy {
+	pols := make([]Policy, 0, len(rules))
+	for _, r := range rules {
+		seq := []Policy{F(And(Test(FSwitch, sw), r.Match))}
+		fields := make([]string, 0, len(r.Sets))
+		for f := range r.Sets {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		for _, f := range fields {
+			seq = append(seq, Mod(f, r.Sets[f]))
+		}
+		seq = append(seq, Mod(FPort, r.OutPort))
+		pols = append(pols, Then(seq...))
+	}
+	return Plus(pols...)
+}

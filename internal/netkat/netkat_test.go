@@ -1,0 +1,390 @@
+package netkat
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pk(kv ...uint64) Packet {
+	p := Packet{}
+	fields := []string{FSwitch, FPort, FSrc, FDst}
+	for i := 0; i+1 < len(kv); i += 2 {
+		p[fields[kv[i]]] = kv[i+1]
+	}
+	return p
+}
+
+func TestPacketBasics(t *testing.T) {
+	p := Packet{FSwitch: 1, FPort: 2}
+	if p.Get(FSwitch) != 1 || p.Get("absent") != 0 {
+		t.Fatal("get")
+	}
+	q := p.With(FPort, 3)
+	if p.Get(FPort) != 2 || q.Get(FPort) != 3 {
+		t.Fatal("with mutated original")
+	}
+	if !p.Equal(Packet{FSwitch: 1, FPort: 2, FSrc: 0}) {
+		t.Fatal("zero fields must not affect equality")
+	}
+	if p.Equal(q) {
+		t.Fatal("distinct packets equal")
+	}
+	if got := (Packet{}).String(); got != "<zero>" {
+		t.Fatalf("zero string: %q", got)
+	}
+	if !strings.Contains(p.String(), "sw=1") {
+		t.Fatalf("string: %q", p.String())
+	}
+}
+
+func TestHistoryOps(t *testing.T) {
+	h := NewHistory(Packet{FSwitch: 1})
+	h2 := h.dup()
+	if len(h2) != 2 || !h2[0].Equal(h2[1]) {
+		t.Fatalf("dup: %v", h2)
+	}
+	h3 := h2.withHead(Packet{FSwitch: 9})
+	if h3.Head().Get(FSwitch) != 9 || h2.Head().Get(FSwitch) != 1 {
+		t.Fatal("withHead aliasing")
+	}
+	if !strings.Contains(h2.String(), ">>") {
+		t.Fatalf("history string: %q", h2.String())
+	}
+}
+
+func TestHistorySet(t *testing.T) {
+	a := NewHistory(Packet{FSwitch: 1})
+	b := NewHistory(Packet{FSwitch: 2})
+	s := NewHistorySet(a, b, a)
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	if !s.Equal(NewHistorySet(b, a)) {
+		t.Fatal("order-independent equality failed")
+	}
+	if s.Equal(NewHistorySet(a)) {
+		t.Fatal("unequal sets equal")
+	}
+	if len(s.Heads()) != 2 {
+		t.Fatal("heads")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	p := Packet{FSwitch: 1, FPort: 2}
+	cases := []struct {
+		pred Pred
+		want bool
+	}{
+		{True(), true},
+		{False(), false},
+		{Test(FSwitch, 1), true},
+		{Test(FSwitch, 2), false},
+		{Not(Test(FSwitch, 2)), true},
+		{And(Test(FSwitch, 1), Test(FPort, 2)), true},
+		{And(Test(FSwitch, 1), Test(FPort, 3)), false},
+		{Or(Test(FSwitch, 9), Test(FPort, 2)), true},
+		{Or(), false},
+		{And(), true},
+	}
+	for i, c := range cases {
+		if c.pred.Eval(p) != c.want {
+			t.Errorf("case %d (%v): got %v", i, c.pred, !c.want)
+		}
+	}
+}
+
+func TestEvalFilterAssign(t *testing.T) {
+	h := NewHistory(Packet{FSwitch: 1})
+	res, err := Eval(F(Test(FSwitch, 1)), h)
+	if err != nil || res.Len() != 1 {
+		t.Fatalf("pass filter: %v %v", res, err)
+	}
+	res, _ = Eval(F(Test(FSwitch, 2)), h)
+	if res.Len() != 0 {
+		t.Fatal("drop filter passed")
+	}
+	res, _ = Eval(Mod(FPort, 7), h)
+	if res.Histories()[0].Head().Get(FPort) != 7 {
+		t.Fatal("assign")
+	}
+}
+
+func TestEvalDupRecordsTrace(t *testing.T) {
+	pol := Then(Dup{}, Mod(FPort, 2), Dup{})
+	res, _ := EvalPacket(pol, Packet{FPort: 1})
+	hs := res.Histories()
+	if len(hs) != 1 || len(hs[0]) != 3 {
+		t.Fatalf("trace: %v", hs)
+	}
+	if hs[0][2].Get(FPort) != 1 || hs[0][1].Get(FPort) != 2 {
+		t.Fatalf("trace contents: %v", hs[0])
+	}
+}
+
+func TestEvalUnionBranches(t *testing.T) {
+	pol := Plus(Mod(FPort, 1), Mod(FPort, 2))
+	res, _ := EvalPacket(pol, Packet{})
+	if res.Len() != 2 {
+		t.Fatalf("union: %v", res.Histories())
+	}
+}
+
+func TestEvalStarGeneratesClosure(t *testing.T) {
+	// Star over "increment port up to 3 via tests".
+	step := Plus(
+		Then(F(Test(FPort, 0)), Mod(FPort, 1)),
+		Then(F(Test(FPort, 1)), Mod(FPort, 2)),
+	)
+	res, err := EvalPacket(Iterate(step), Packet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heads: pt=0 (zero iterations), 1, 2.
+	if len(res.Heads()) != 3 {
+		t.Fatalf("star closure: %v", res.Heads())
+	}
+}
+
+func TestStarDivergenceGuard(t *testing.T) {
+	// A policy that fabricates ever-new values cannot exist in NetKAT
+	// (assignments are constant), so star always converges; verify a
+	// large but convergent chain completes.
+	var pols []Policy
+	for i := uint64(0); i < 100; i++ {
+		pols = append(pols, Then(F(Test(FPort, i)), Mod(FPort, i+1)))
+	}
+	res, err := EvalPacket(Iterate(Plus(pols...)), Packet{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Heads()) != 101 {
+		t.Fatalf("chain closure: %d", len(res.Heads()))
+	}
+}
+
+func TestEquivalenceAxioms(t *testing.T) {
+	// Spot-check KAT axioms over a small domain.
+	d := Domain{FSwitch: {0, 1}, FPort: {0, 1, 2}}
+	a := Then(F(Test(FSwitch, 0)), Mod(FPort, 1))
+	b := Mod(FPort, 2)
+	c := F(Test(FPort, 2))
+
+	cases := []struct {
+		name string
+		p, q Policy
+	}{
+		{"union-comm", Plus(a, b), Plus(b, a)},
+		{"union-idem", Plus(a, a), a},
+		{"seq-assoc", Then(a, Then(b, c)), Then(Then(a, b), c)},
+		{"dist-l", Then(a, Plus(b, c)), Plus(Then(a, b), Then(a, c))},
+		{"id-l", Then(Id(), a), a},
+		{"drop-l", Then(Drop(), a), Drop()},
+		{"star-unroll", Iterate(a), Plus(Id(), Then(a, Iterate(a)))},
+		{"filter-and", F(And(Test(FSwitch, 0), Test(FPort, 1))), Then(F(Test(FSwitch, 0)), F(Test(FPort, 1)))},
+		{"assign-test", Then(Mod(FPort, 2), c), Mod(FPort, 2)},
+	}
+	for _, tc := range cases {
+		eq, witness, err := EquivalentOn(d, tc.p, tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !eq {
+			t.Errorf("%s: not equivalent, witness %v", tc.name, witness)
+		}
+	}
+}
+
+func TestInequivalenceDetected(t *testing.T) {
+	d := Domain{FPort: {0, 1}}
+	eq, witness, err := EquivalentOn(d, Mod(FPort, 1), Id())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("distinct policies judged equivalent")
+	}
+	if witness == nil {
+		t.Fatal("no witness")
+	}
+}
+
+func TestDomainPackets(t *testing.T) {
+	d := Domain{FSwitch: {1, 2}, FPort: {0, 1, 2}}
+	pkts := d.Packets()
+	if len(pkts) != 6 {
+		t.Fatalf("cartesian size %d", len(pkts))
+	}
+	seen := map[string]bool{}
+	for _, p := range pkts {
+		if seen[p.key()] {
+			t.Fatal("duplicate packet")
+		}
+		seen[p.key()] = true
+	}
+}
+
+// A 3-switch line topology: h1 -(sw1)-(sw2)-(sw3)- h2.
+// Port 1 faces "left", port 2 faces "right" on every switch.
+func lineNet() (prog, topo Policy) {
+	topo = TopologyPolicy([]Link{
+		{1, 2, 2, 1}, {2, 2, 3, 1}, // rightward links
+		{3, 1, 2, 2}, {2, 1, 1, 2}, // leftward links (unused here)
+	})
+	rules := []Rule{{Match: Test(FDst, 2), OutPort: 2}}
+	prog = Plus(SwitchProgram(1, rules), SwitchProgram(2, rules), SwitchProgram(3, rules))
+	return prog, topo
+}
+
+func TestReachabilityLine(t *testing.T) {
+	prog, topo := lineNet()
+	in := And(Test(FSwitch, 1), Test(FPort, 1))
+	out := Test(FSwitch, 3)
+	pkt := Packet{FSwitch: 1, FPort: 1, FDst: 2}
+	ok, err := Reachable(pkt, in, out, prog, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("dst 2 unreachable over line")
+	}
+	// A packet for an unknown destination is dropped at sw1.
+	ok, _ = Reachable(Packet{FSwitch: 1, FPort: 1, FDst: 9}, in, out, prog, topo)
+	if ok {
+		t.Fatal("undeliverable packet reached egress")
+	}
+	// Ingress must gate.
+	ok, _ = Reachable(Packet{FSwitch: 2, FPort: 1, FDst: 2}, in, out, prog, topo)
+	if ok {
+		t.Fatal("packet not at ingress accepted")
+	}
+}
+
+func TestPathsLine(t *testing.T) {
+	prog, topo := lineNet()
+	in := And(Test(FSwitch, 1), Test(FPort, 1))
+	out := Test(FSwitch, 3)
+	paths, err := Paths(Packet{FSwitch: 1, FPort: 1, FDst: 2}, in, out, prog, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths: %v", paths)
+	}
+	sws := paths[0].Switches()
+	want := []uint64{1, 2, 3}
+	if len(sws) != 3 || sws[0] != want[0] || sws[1] != want[1] || sws[2] != want[2] {
+		t.Fatalf("path switches %v, want %v", sws, want)
+	}
+	if !strings.Contains(paths[0].String(), "sw1") {
+		t.Fatalf("path string %q", paths[0])
+	}
+}
+
+func TestPathsMultipath(t *testing.T) {
+	// sw1 forwards out both port 2 and port 3; two disjoint next hops
+	// lead to sw4.
+	topo := TopologyPolicy([]Link{
+		{1, 2, 2, 1}, {1, 3, 3, 1}, {2, 2, 4, 1}, {3, 2, 4, 2},
+	})
+	prog := Plus(
+		SwitchProgram(1, []Rule{{Match: True(), OutPort: 2}, {Match: True(), OutPort: 3}}),
+		SwitchProgram(2, []Rule{{Match: True(), OutPort: 2}}),
+		SwitchProgram(3, []Rule{{Match: True(), OutPort: 2}}),
+		SwitchProgram(4, []Rule{{Match: True(), OutPort: 9}}),
+	)
+	in := And(Test(FSwitch, 1), Test(FPort, 1))
+	out := Test(FSwitch, 4)
+	paths, err := Paths(Packet{FSwitch: 1, FPort: 1}, in, out, prog, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("want 2 paths, got %d: %v", len(paths), paths)
+	}
+	seen := map[uint64]bool{}
+	for _, p := range paths {
+		if len(p.Switches()) != 3 {
+			t.Fatalf("path length: %v", p)
+		}
+		seen[p.Switches()[1]] = true
+	}
+	if !seen[2] || !seen[3] {
+		t.Fatalf("middle hops: %v", seen)
+	}
+}
+
+func TestSwitchProgramSetsFields(t *testing.T) {
+	prog := SwitchProgram(1, []Rule{{
+		Match:   Test(FDst, 5),
+		Sets:    map[string]uint64{FVLAN: 42, FType: 7},
+		OutPort: 3,
+	}})
+	res, _ := EvalPacket(prog, Packet{FSwitch: 1, FDst: 5})
+	heads := res.Heads()
+	if len(heads) != 1 || heads[0].Get(FVLAN) != 42 || heads[0].Get(FType) != 7 || heads[0].Get(FPort) != 3 {
+		t.Fatalf("rewrite: %v", heads)
+	}
+	// Wrong switch: dropped.
+	res, _ = EvalPacket(prog, Packet{FSwitch: 2, FDst: 5})
+	if res.Len() != 0 {
+		t.Fatal("rule fired on wrong switch")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	pol := Then(F(And(Test(FSwitch, 1), Not(Test(FPort, 2)))), Plus(Mod(FPort, 1), Dup{}), Iterate(Id()))
+	s := pol.String()
+	for _, want := range []string{"filter", "sw=1", "not", "pt:=1", "dup", "*", "+", ";"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("%q missing %q", s, want)
+		}
+	}
+	if Or(Test(FPort, 1), Test(FPort, 2)).String() == "" {
+		t.Error("empty or-string")
+	}
+}
+
+// Property: filters are idempotent — filter p ; filter p ≡ filter p.
+func TestPropertyFilterIdempotent(t *testing.T) {
+	d := Domain{FSwitch: {0, 1, 2}, FPort: {0, 1}}
+	f := func(field bool, v uint64) bool {
+		fl := FSwitch
+		if field {
+			fl = FPort
+		}
+		p := F(Test(fl, v%3))
+		eq, _, err := EquivalentOn(d, Then(p, p), p)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: assignment overwrites — f:=a ; f:=b ≡ f:=b.
+func TestPropertyAssignOverwrite(t *testing.T) {
+	d := Domain{FPort: {0, 1, 2, 3}}
+	f := func(a, b uint64) bool {
+		p := Then(Mod(FPort, a%4), Mod(FPort, b%4))
+		q := Mod(FPort, b%4)
+		eq, _, err := EquivalentOn(d, p, q)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: star of a filter is the identity — (filter p)* ≡ id.
+func TestPropertyStarFilterIsId(t *testing.T) {
+	d := Domain{FSwitch: {0, 1}}
+	f := func(v uint64) bool {
+		eq, _, err := EquivalentOn(d, Iterate(F(Test(FSwitch, v%2))), Id())
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

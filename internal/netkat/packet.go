@@ -1,0 +1,199 @@
+// Package netkat implements the core of the NetKAT network programming
+// language (Anderson et al., POPL 2014): packets as field assignments,
+// predicates and policies with union, sequencing, Kleene star and dup,
+// and the standard trace semantics mapping a packet history to a set of
+// histories.
+//
+// The paper borrows three things from NetKAT for its network-aware
+// Copland (§5.1): the Kleene star (path abstraction, `*=>`), Boolean test
+// prefixes (the `|>` guard), and reasoning about reachability. This
+// package provides all three: policies model both dataplane programs and
+// topologies, and Reachability/Paths answer the queries the hybrid
+// language compiler needs.
+package netkat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Field names a packet header field. NetKAT is protocol-independent: any
+// string may be used. Conventional fields used across this repository:
+const (
+	FSwitch = "sw"   // switch id
+	FPort   = "pt"   // port id
+	FSrc    = "src"  // abstract source address
+	FDst    = "dst"  // abstract destination address
+	FType   = "typ"  // protocol/type tag
+	FVLAN   = "vlan" // segment tag
+)
+
+// Packet is a total assignment of values to the fields it mentions;
+// unmentioned fields read as zero, like uninitialized P4 metadata.
+type Packet map[string]uint64
+
+// Get returns the value of field f (zero if absent).
+func (p Packet) Get(f string) uint64 { return p[f] }
+
+// Clone returns an independent copy of p.
+func (p Packet) Clone() Packet {
+	q := make(Packet, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}
+
+// With returns a copy of p with field f set to v.
+func (p Packet) With(f string, v uint64) Packet {
+	q := p.Clone()
+	q[f] = v
+	return q
+}
+
+// key returns a canonical string key for use in sets. Zero-valued fields
+// are omitted so that explicit zero and absent agree.
+func (p Packet) key() string {
+	fields := make([]string, 0, len(p))
+	for f, v := range p {
+		if v != 0 {
+			fields = append(fields, f)
+		}
+	}
+	sort.Strings(fields)
+	var b strings.Builder
+	for _, f := range fields {
+		fmt.Fprintf(&b, "%s=%d;", f, p[f])
+	}
+	return b.String()
+}
+
+// String renders the packet's non-zero fields in sorted order.
+func (p Packet) String() string {
+	s := p.key()
+	if s == "" {
+		return "<zero>"
+	}
+	return strings.TrimSuffix(s, ";")
+}
+
+// Equal reports field-wise equality treating absent fields as zero.
+func (p Packet) Equal(q Packet) bool { return p.key() == q.key() }
+
+// History is a non-empty packet trace: index 0 is the current packet,
+// subsequent entries are past observations recorded by dup, newest first.
+type History []Packet
+
+// NewHistory makes a single-packet history.
+func NewHistory(p Packet) History { return History{p} }
+
+// Head returns the current packet.
+func (h History) Head() Packet { return h[0] }
+
+// withHead returns a history like h but with head replaced by p.
+func (h History) withHead(p Packet) History {
+	out := make(History, len(h))
+	copy(out[1:], h[1:])
+	out[0] = p
+	return out
+}
+
+// dup returns a history with the head duplicated onto the trace.
+func (h History) dup() History {
+	out := make(History, len(h)+1)
+	out[0] = h[0]
+	copy(out[1:], h)
+	return out
+}
+
+func (h History) key() string {
+	var b strings.Builder
+	for _, p := range h {
+		b.WriteString(p.key())
+		b.WriteString("|")
+	}
+	return b.String()
+}
+
+// String renders the history oldest-first as a path-like chain.
+func (h History) String() string {
+	parts := make([]string, len(h))
+	for i, p := range h {
+		parts[len(h)-1-i] = p.String()
+	}
+	return strings.Join(parts, " >> ")
+}
+
+// HistorySet is a set of histories with deterministic iteration order.
+type HistorySet struct {
+	m     map[string]History
+	order []string
+}
+
+// NewHistorySet builds a set from the given histories.
+func NewHistorySet(hs ...History) *HistorySet {
+	s := &HistorySet{m: make(map[string]History)}
+	for _, h := range hs {
+		s.Add(h)
+	}
+	return s
+}
+
+// Add inserts h, returning true if it was not already present.
+func (s *HistorySet) Add(h History) bool {
+	k := h.key()
+	if _, ok := s.m[k]; ok {
+		return false
+	}
+	s.m[k] = h
+	s.order = append(s.order, k)
+	return true
+}
+
+// AddAll inserts every history of t into s.
+func (s *HistorySet) AddAll(t *HistorySet) {
+	for _, k := range t.order {
+		s.Add(t.m[k])
+	}
+}
+
+// Len returns the number of histories.
+func (s *HistorySet) Len() int { return len(s.order) }
+
+// Histories returns the set contents in insertion order.
+func (s *HistorySet) Histories() []History {
+	out := make([]History, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.m[k])
+	}
+	return out
+}
+
+// Heads returns the distinct head packets of the set.
+func (s *HistorySet) Heads() []Packet {
+	seen := map[string]bool{}
+	var out []Packet
+	for _, k := range s.order {
+		h := s.m[k]
+		pk := h.Head().key()
+		if !seen[pk] {
+			seen[pk] = true
+			out = append(out, h.Head())
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets contain the same histories.
+func (s *HistorySet) Equal(t *HistorySet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for k := range s.m {
+		if _, ok := t.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

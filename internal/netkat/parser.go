@@ -1,0 +1,329 @@
+package netkat
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Concrete syntax for NetKAT policies, matching the String() rendering:
+//
+//	policy := seq ('+' seq)*                    union (lowest precedence)
+//	seq    := star (';' star)*                  sequencing
+//	star   := atom '*'*                         Kleene iteration
+//	atom   := 'id' | 'drop' | 'dup'
+//	        | 'filter' pred                     predicate filter
+//	        | FIELD '=' NUM                     bare test (sugar for filter)
+//	        | FIELD ':=' NUM                    assignment
+//	        | '(' policy ')'
+//	pred   := conj ('or' conj)*
+//	conj   := unit ('and' unit)*
+//	unit   := 'true' | 'false' | 'not' unit | FIELD '=' NUM | '(' pred ')'
+//
+// Parse(String(p)) yields a policy with the same semantics as p (and the
+// same tree for the constructors in this package) — property-tested.
+
+// ParsePolicy parses the concrete syntax.
+func ParsePolicy(input string) (Policy, error) {
+	p := &kparser{input: input}
+	if err := p.lex(); err != nil {
+		return nil, err
+	}
+	pol, err := p.policy()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(kEOF) {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return pol, nil
+}
+
+// ParsePred parses a predicate on its own.
+func ParsePred(input string) (Pred, error) {
+	p := &kparser{input: input}
+	if err := p.lex(); err != nil {
+		return nil, err
+	}
+	pr, err := p.pred()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(kEOF) {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return pr, nil
+}
+
+type kKind uint8
+
+const (
+	kEOF kKind = iota
+	kIdent
+	kNum
+	kPlus
+	kSemi
+	kStar
+	kAssign // :=
+	kEq     // =
+	kLParen
+	kRParen
+)
+
+type ktok struct {
+	kind kKind
+	text string
+	pos  int
+}
+
+type kparser struct {
+	input string
+	toks  []ktok
+	pos   int
+}
+
+func (p *kparser) lex() error {
+	i := 0
+	in := p.input
+	for i < len(in) {
+		c := rune(in[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case strings.HasPrefix(in[i:], ":="):
+			p.toks = append(p.toks, ktok{kAssign, ":=", i})
+			i += 2
+		case c == '+':
+			p.toks = append(p.toks, ktok{kPlus, "+", i})
+			i++
+		case c == ';':
+			p.toks = append(p.toks, ktok{kSemi, ";", i})
+			i++
+		case c == '*':
+			p.toks = append(p.toks, ktok{kStar, "*", i})
+			i++
+		case c == '=':
+			p.toks = append(p.toks, ktok{kEq, "=", i})
+			i++
+		case c == '(':
+			p.toks = append(p.toks, ktok{kLParen, "(", i})
+			i++
+		case c == ')':
+			p.toks = append(p.toks, ktok{kRParen, ")", i})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(in) && in[j] >= '0' && in[j] <= '9' {
+				j++
+			}
+			p.toks = append(p.toks, ktok{kNum, in[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(in) && (unicode.IsLetter(rune(in[j])) || unicode.IsDigit(rune(in[j])) || in[j] == '_' || in[j] == '.') {
+				j++
+			}
+			p.toks = append(p.toks, ktok{kIdent, in[i:j], i})
+			i = j
+		default:
+			return fmt.Errorf("netkat: offset %d: unexpected character %q", i, c)
+		}
+	}
+	p.toks = append(p.toks, ktok{kEOF, "", len(in)})
+	return nil
+}
+
+func (p *kparser) peek() ktok      { return p.toks[p.pos] }
+func (p *kparser) next() ktok      { t := p.toks[p.pos]; p.pos++; return t }
+func (p *kparser) at(k kKind) bool { return p.peek().kind == k }
+
+func (p *kparser) errf(format string, args ...any) error {
+	return fmt.Errorf("netkat: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *kparser) expect(k kKind, what string) error {
+	if !p.at(k) {
+		return p.errf("expected %s, found %q", what, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *kparser) number() (uint64, error) {
+	if !p.at(kNum) {
+		return 0, p.errf("expected number, found %q", p.peek().text)
+	}
+	v, err := strconv.ParseUint(p.next().text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	return v, nil
+}
+
+func (p *kparser) policy() (Policy, error) {
+	left, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(kPlus) {
+		p.next()
+		right, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		left = Union{left, right}
+	}
+	return left, nil
+}
+
+func (p *kparser) seq() (Policy, error) {
+	left, err := p.star()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(kSemi) {
+		p.next()
+		right, err := p.star()
+		if err != nil {
+			return nil, err
+		}
+		left = SeqP{left, right}
+	}
+	return left, nil
+}
+
+func (p *kparser) star() (Policy, error) {
+	a, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(kStar) {
+		p.next()
+		a = Star{a}
+	}
+	return a, nil
+}
+
+func (p *kparser) atom() (Policy, error) {
+	switch {
+	case p.at(kLParen):
+		p.next()
+		pol, err := p.policy()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(kRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return pol, nil
+	case p.at(kIdent):
+		word := p.next().text
+		switch word {
+		case "id":
+			return Id(), nil
+		case "drop":
+			return Drop(), nil
+		case "dup":
+			return Dup{}, nil
+		case "filter":
+			pr, err := p.pred()
+			if err != nil {
+				return nil, err
+			}
+			return Filter{pr}, nil
+		}
+		// FIELD '=' NUM (bare test) or FIELD ':=' NUM (assignment).
+		switch p.peek().kind {
+		case kEq:
+			p.next()
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			return Filter{Test(word, v)}, nil
+		case kAssign:
+			p.next()
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			return Assign{word, v}, nil
+		default:
+			return nil, p.errf("expected '=' or ':=' after field %q", word)
+		}
+	default:
+		return nil, p.errf("expected a policy, found %q", p.peek().text)
+	}
+}
+
+func (p *kparser) pred() (Pred, error) {
+	left, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(kIdent) && p.peek().text == "or" {
+		p.next()
+		right, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		left = POr{left, right}
+	}
+	return left, nil
+}
+
+func (p *kparser) conj() (Pred, error) {
+	left, err := p.punit()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(kIdent) && p.peek().text == "and" {
+		p.next()
+		right, err := p.punit()
+		if err != nil {
+			return nil, err
+		}
+		left = PAnd{left, right}
+	}
+	return left, nil
+}
+
+func (p *kparser) punit() (Pred, error) {
+	switch {
+	case p.at(kLParen):
+		p.next()
+		pr, err := p.pred()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(kRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return pr, nil
+	case p.at(kIdent):
+		word := p.next().text
+		switch word {
+		case "true":
+			return PTrue{}, nil
+		case "false":
+			return PFalse{}, nil
+		case "not":
+			inner, err := p.punit()
+			if err != nil {
+				return nil, err
+			}
+			return PNot{inner}, nil
+		}
+		if err := p.expect(kEq, "'='"); err != nil {
+			return nil, err
+		}
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return PTest{word, v}, nil
+	default:
+		return nil, p.errf("expected a predicate, found %q", p.peek().text)
+	}
+}

@@ -1,0 +1,140 @@
+package netkat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePolicyBasics(t *testing.T) {
+	cases := map[string]Policy{
+		"id":                             Id(),
+		"drop":                           Drop(),
+		"dup":                            Dup{},
+		"pt:=2":                          Mod(FPort, 2),
+		"sw=1":                           F(Test(FSwitch, 1)),
+		"filter sw=1":                    F(Test(FSwitch, 1)),
+		"filter true":                    Id(),
+		"id ; dup":                       Then(Id(), Dup{}),
+		"id + drop":                      Plus(Id(), Drop()),
+		"id*":                            Iterate(Id()),
+		"(id + drop)*":                   Iterate(Plus(Id(), Drop())),
+		"id**":                           Iterate(Iterate(Id())),
+		"sw=1 ; pt:=2":                   Then(F(Test(FSwitch, 1)), Mod(FPort, 2)),
+		"filter not sw=1":                F(Not(Test(FSwitch, 1))),
+		"filter sw=1 and pt=2":           F(And(Test(FSwitch, 1), Test(FPort, 2))),
+		"filter sw=1 or sw=2":            F(Or(Test(FSwitch, 1), Test(FSwitch, 2))),
+		"filter (sw=1 or sw=2) and pt=3": F(And(Or(Test(FSwitch, 1), Test(FSwitch, 2)), Test(FPort, 3))),
+	}
+	for src, want := range cases {
+		got, err := ParsePolicy(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if got.String() != want.String() {
+			t.Errorf("%q parsed to %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestParsePolicyPrecedence(t *testing.T) {
+	// ';' binds tighter than '+'; '*' tighter than ';'.
+	got, err := ParsePolicy("id + drop ; dup*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plus(Id(), Then(Drop(), Iterate(Dup{})))
+	if got.String() != want.String() {
+		t.Fatalf("precedence: %q vs %q", got, want)
+	}
+}
+
+func TestParsePredStandalone(t *testing.T) {
+	pr, err := ParsePred("not (sw=1 or sw=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Eval(Packet{FSwitch: 1}) || !pr.Eval(Packet{FSwitch: 3}) {
+		t.Fatalf("pred semantics: %v", pr)
+	}
+}
+
+func TestParseErrorsNetKAT(t *testing.T) {
+	bad := []string{
+		"", "(", "(id", "id +", "id ;", "filter", "pt:=", "pt:=x", "sw=",
+		"sw", "filter sw", "filter not", "id id", "$", "filter sw=1 or",
+		"99", "pt:=18446744073709551616x",
+	}
+	for _, src := range bad {
+		if _, err := ParsePolicy(src); err == nil {
+			t.Errorf("%q parsed", src)
+		}
+	}
+	if _, err := ParsePred("sw=1 sw=2"); err == nil {
+		t.Error("trailing pred parsed")
+	}
+	if _, err := ParsePred("filter"); err == nil {
+		t.Error("keyword as pred parsed")
+	}
+}
+
+// Property: String → Parse round-trips to an identical rendering and an
+// equivalent policy on a small domain.
+func TestPropertyPolicyStringRoundTrip(t *testing.T) {
+	d := Domain{FSwitch: {0, 1}, FPort: {0, 1}}
+	var build func(r uint64, depth int) Policy
+	build = func(r uint64, depth int) Policy {
+		if depth <= 0 {
+			switch r % 6 {
+			case 0:
+				return Id()
+			case 1:
+				return Drop()
+			case 2:
+				// Dup is excluded here: dup under * diverges in trace
+				// semantics (each iteration lengthens the history), so
+				// equivalence checking cannot terminate. Dup's own
+				// round-trip is covered by TestParsePolicyBasics.
+				return Id()
+			case 3:
+				return Mod(FPort, r%2)
+			case 4:
+				return F(Test(FSwitch, r%2))
+			default:
+				return F(Not(And(Test(FSwitch, r%2), Test(FPort, (r>>1)%2))))
+			}
+		}
+		l, rr := build(r/3, depth-1), build(r/7, depth-1)
+		switch r % 4 {
+		case 0:
+			return Union{l, rr}
+		case 1:
+			return SeqP{l, rr}
+		case 2:
+			return Star{l}
+		default:
+			return l
+		}
+	}
+	f := func(r uint64, dRaw uint8) bool {
+		pol := build(r, int(dRaw%4))
+		parsed, err := ParsePolicy(pol.String())
+		if err != nil {
+			t.Logf("%q: %v", pol, err)
+			return false
+		}
+		if parsed.String() != pol.String() {
+			t.Logf("render drift: %q vs %q", parsed, pol)
+			return false
+		}
+		eq, w, err := EquivalentOn(d, pol, parsed)
+		if err != nil || !eq {
+			t.Logf("semantic drift at %v: %v", w, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

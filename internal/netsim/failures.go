@@ -1,0 +1,87 @@
+package netsim
+
+import "fmt"
+
+// Failure injection: links can be taken administratively down, and a
+// deterministic per-link drop pattern can be installed, so scenarios can
+// exercise evidence loss, partial paths, and appraisal behaviour under
+// degraded networks without nondeterministic tests.
+
+// SetLinkUp sets the administrative state of the link at (node, port)
+// (both directions). Frames crossing a down link vanish.
+func (n *Network) SetLinkUp(node string, port uint64, up bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := endpoint{node, port}
+	peer, ok := n.links[ep]
+	if !ok {
+		return fmt.Errorf("%w: no link at %s:%d", ErrUnknownNode, node, port)
+	}
+	if n.down == nil {
+		n.down = make(map[endpoint]bool)
+	}
+	n.down[ep] = !up
+	n.down[peer] = !up
+	return nil
+}
+
+// LinkUp reports the administrative state of the link at (node, port).
+// Unlinked ports report false.
+func (n *Network) LinkUp(node string, port uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := endpoint{node, port}
+	if _, ok := n.links[ep]; !ok {
+		return false
+	}
+	return !n.down[ep]
+}
+
+// SetDropEvery installs a deterministic loss pattern on the link at
+// (node, port): every k-th frame crossing it (in either direction) is
+// dropped. k=0 clears the pattern.
+func (n *Network) SetDropEvery(node string, port uint64, k int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := endpoint{node, port}
+	peer, ok := n.links[ep]
+	if !ok {
+		return fmt.Errorf("%w: no link at %s:%d", ErrUnknownNode, node, port)
+	}
+	if n.lossEvery == nil {
+		n.lossEvery = make(map[endpoint]int)
+		n.lossCount = make(map[endpoint]int)
+	}
+	if k <= 0 {
+		delete(n.lossEvery, ep)
+		delete(n.lossEvery, peer)
+		return nil
+	}
+	n.lossEvery[ep] = k
+	n.lossEvery[peer] = k
+	return nil
+}
+
+// linkPasses decides whether a frame may cross the link leaving from ep,
+// updating loss counters. Caller holds n.mu.
+func (n *Network) linkPasses(ep endpoint) bool {
+	if n.down[ep] {
+		n.dropped++
+		return false
+	}
+	if k, ok := n.lossEvery[ep]; ok && k > 0 {
+		n.lossCount[ep]++
+		if n.lossCount[ep]%k == 0 {
+			n.dropped++
+			return false
+		}
+	}
+	return true
+}
+
+// Dropped reports how many frames failure injection has discarded.
+func (n *Network) Dropped() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped
+}

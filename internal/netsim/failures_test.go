@@ -1,0 +1,91 @@
+package netsim
+
+import "testing"
+
+func TestLinkDownBlocksTraffic(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	if !n.LinkUp("sw2", 2) {
+		t.Fatal("fresh link reported down")
+	}
+	if err := n.SetLinkUp("sw2", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if n.LinkUp("sw2", 2) || n.LinkUp("sw3", 1) {
+		t.Fatal("link state not symmetric")
+	}
+	if err := h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("frame crossed a down link")
+	}
+	if n.Dropped() != 1 {
+		t.Fatalf("dropped = %d", n.Dropped())
+	}
+	// Bring it back.
+	if err := n.SetLinkUp("sw2", 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 1 {
+		t.Fatal("restored link does not pass traffic")
+	}
+}
+
+func TestLinkDownAtSource(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	if err := n.SetLinkUp("h1", HostPort, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("frame left a downed host uplink")
+	}
+}
+
+func TestSetLinkUpUnknown(t *testing.T) {
+	n, _, _ := buildLine(t)
+	if err := n.SetLinkUp("h1", 99, false); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+	if err := n.SetDropEvery("h1", 99, 2); err == nil {
+		t.Fatal("unknown port accepted for loss")
+	}
+	if n.LinkUp("h1", 99) {
+		t.Fatal("unlinked port up")
+	}
+}
+
+func TestDropEveryPattern(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	if err := n.SetDropEvery("sw1", 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := h1.SendIP(n, fwdProg(), h2.Addr(), uint64(i), 443, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every 3rd frame crossing sw1:2 is dropped: 3 of 9.
+	if h2.ReceivedCount() != 6 {
+		t.Fatalf("delivered %d frames, want 6", h2.ReceivedCount())
+	}
+	if n.Dropped() != 3 {
+		t.Fatalf("dropped = %d", n.Dropped())
+	}
+	// Clearing restores full delivery.
+	if err := n.SetDropEvery("sw1", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	h2.Clear()
+	for i := 0; i < 4; i++ {
+		h1.SendIP(n, fwdProg(), h2.Addr(), uint64(i), 443, nil)
+	}
+	if h2.ReceivedCount() != 4 {
+		t.Fatalf("after clear: %d of 4", h2.ReceivedCount())
+	}
+}

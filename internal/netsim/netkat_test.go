@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNetKATModelExtraction(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	m, err := n.NetKATModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.IDs) != 5 {
+		t.Fatalf("ids: %v", m.IDs)
+	}
+	// Traffic from h1's uplink toward h2's address reaches h2's node.
+	ok, err := m.Reachable("sw1", 1, h2.Addr(), "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("h2 unreachable in extracted model")
+	}
+	// Reverse direction.
+	ok, err = m.Reachable("sw3", 2, h1.Addr(), "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("h1 unreachable in extracted model")
+	}
+	// Undeliverable address: unreachable.
+	ok, err = m.Reachable("sw1", 1, 999, "h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ghost address reachable")
+	}
+	// Unknown nodes error.
+	if _, err := m.Reachable("ghost", 1, 1, "h2"); err == nil {
+		t.Fatal("ghost src accepted")
+	}
+	if _, err := m.Reachable("sw1", 1, 1, "ghost"); err == nil {
+		t.Fatal("ghost dst accepted")
+	}
+}
+
+func TestNetKATModelAgreesWithSimulation(t *testing.T) {
+	// The model's predicted hop sequence must match the hops the live
+	// simulation actually takes.
+	n, h1, h2 := buildLine(t)
+	m, err := n.NetKATModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := m.PathsTo("sw1", 1, h2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths: %v", paths)
+	}
+	predicted := strings.Join(paths[0], ",")
+
+	n.SetTracing(true)
+	if err := h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	var actual []string
+	for _, tr := range n.Trace() {
+		if strings.HasPrefix(tr.From, "sw") {
+			actual = append(actual, tr.From)
+		}
+	}
+	if got := strings.Join(actual, ","); got != predicted {
+		t.Fatalf("model predicts %q, simulation took %q", predicted, got)
+	}
+}
+
+func TestNetKATModelNoDataplanes(t *testing.T) {
+	n := New()
+	n.MustAdd(NewHost("a", 1))
+	if _, err := n.NetKATModel(); !errors.Is(err, ErrNoModel) {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestNetKATModelCollectorReachability(t *testing.T) {
+	// The Prim3 use: before arming a policy, check every evidence
+	// producer can reach the collector host.
+	n, h1, h2 := buildLine(t)
+	_ = h1
+	collector := NewHost("collector", 300)
+	n.MustAdd(collector)
+	n.MustLink("sw2", 3, "collector", HostPort)
+	if err := n.InstallRoutes([]*Host{collector}, "ipv4_fwd", "fwd", "port"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := n.NetKATModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every switch can deliver evidence to the collector.
+	for _, sw := range []string{"sw1", "sw2", "sw3"} {
+		ok, err := m.Reachable(sw, 1, collector.Addr(), "collector")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("collector unreachable from %s", sw)
+		}
+	}
+	_ = h2
+}
+
+func TestNetKATModelPathsToUnknownNode(t *testing.T) {
+	n, _, _ := buildLine(t)
+	m, _ := n.NetKATModel()
+	if _, err := m.PathsTo("ghost", 1, 1); err == nil {
+		t.Fatal("ghost src accepted")
+	}
+}

@@ -1,0 +1,284 @@
+// Package netsim is a synchronous network simulator: named nodes joined
+// by bidirectional links carry raw frames between hosts, PISA switches
+// and middlebox appliances. It is the substrate over which the paper's
+// use cases run — abstract enough that any multi-hop topology with
+// per-hop programmable elements can be expressed, concrete enough that
+// frames really traverse pipelines hop by hop.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Emission is one frame a node wants to transmit on one of its ports.
+type Emission struct {
+	Port  uint64
+	Frame []byte
+}
+
+// Node is anything attachable to the network.
+type Node interface {
+	// Name returns the unique node name.
+	Name() string
+	// Receive handles a frame arriving on port and returns frames to
+	// emit. Implementations must be safe for sequential reentrant calls
+	// (the simulator is single-threaded per Run).
+	Receive(port uint64, frame []byte) ([]Emission, error)
+}
+
+// endpoint is one side of a link.
+type endpoint struct {
+	node string
+	port uint64
+}
+
+// TraceEntry records one frame delivery during a run.
+type TraceEntry struct {
+	From     string
+	FromPort uint64
+	To       string
+	ToPort   uint64
+	Bytes    int
+}
+
+func (t TraceEntry) String() string {
+	return fmt.Sprintf("%s:%d -> %s:%d (%dB)", t.From, t.FromPort, t.To, t.ToPort, t.Bytes)
+}
+
+// Network is a set of nodes and links. Construction is concurrency-safe;
+// Run is not (one Run at a time).
+type Network struct {
+	mu    sync.Mutex
+	nodes map[string]Node
+	links map[endpoint]endpoint
+
+	trace   []TraceEntry
+	tracing bool
+
+	// Failure-injection state (failures.go).
+	down      map[endpoint]bool
+	lossEvery map[endpoint]int
+	lossCount map[endpoint]int
+	dropped   uint64
+
+	// MaxDeliveries bounds one Run to protect against forwarding loops;
+	// zero means the default.
+	MaxDeliveries int
+}
+
+// DefaultMaxDeliveries bounds frame deliveries per Run.
+const DefaultMaxDeliveries = 100_000
+
+// Errors from network operations.
+var (
+	ErrUnknownNode   = errors.New("netsim: unknown node")
+	ErrPortInUse     = errors.New("netsim: port already linked")
+	ErrLoopDetected  = errors.New("netsim: delivery budget exhausted (forwarding loop?)")
+	ErrDuplicateNode = errors.New("netsim: duplicate node name")
+)
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{nodes: make(map[string]Node), links: make(map[endpoint]endpoint)}
+}
+
+// Add attaches a node.
+func (n *Network) Add(node Node) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[node.Name()]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, node.Name())
+	}
+	n.nodes[node.Name()] = node
+	return nil
+}
+
+// MustAdd attaches a node, panicking on error — for topology literals in
+// tests and examples.
+func (n *Network) MustAdd(node Node) {
+	if err := n.Add(node); err != nil {
+		panic(err)
+	}
+}
+
+// Node returns a node by name.
+func (n *Network) Node(name string) (Node, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd, ok := n.nodes[name]
+	return nd, ok
+}
+
+// Link joins a:aPort to b:bPort bidirectionally.
+func (n *Network) Link(a string, aPort uint64, b string, bPort uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[a]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, a)
+	}
+	if _, ok := n.nodes[b]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, b)
+	}
+	ea, eb := endpoint{a, aPort}, endpoint{b, bPort}
+	if _, ok := n.links[ea]; ok {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, a, aPort)
+	}
+	if _, ok := n.links[eb]; ok {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, b, bPort)
+	}
+	n.links[ea] = eb
+	n.links[eb] = ea
+	return nil
+}
+
+// MustLink is Link panicking on error.
+func (n *Network) MustLink(a string, aPort uint64, b string, bPort uint64) {
+	if err := n.Link(a, aPort, b, bPort); err != nil {
+		panic(err)
+	}
+}
+
+// Peer returns the endpoint linked to node:port.
+func (n *Network) Peer(node string, port uint64) (string, uint64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.links[endpoint{node, port}]
+	return e.node, e.port, ok
+}
+
+// SetTracing enables per-delivery trace recording.
+func (n *Network) SetTracing(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracing = on
+	if !on {
+		n.trace = nil
+	}
+}
+
+// Trace returns the recorded deliveries since tracing was enabled.
+func (n *Network) Trace() []TraceEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]TraceEntry(nil), n.trace...)
+}
+
+// ClearTrace drops recorded deliveries.
+func (n *Network) ClearTrace() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trace = nil
+}
+
+type delivery struct {
+	to    endpoint
+	from  endpoint
+	frame []byte
+}
+
+// Inject delivers a frame into a node as if it arrived on the given port,
+// then runs the network to quiescence.
+func (n *Network) Inject(node string, port uint64, frame []byte) error {
+	n.mu.Lock()
+	if _, ok := n.nodes[node]; !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	n.mu.Unlock()
+	return n.run([]delivery{{to: endpoint{node, port}, frame: frame}})
+}
+
+// Send has node transmit a frame out of one of its ports (following the
+// link), then runs to quiescence. Frames sent on unlinked ports vanish,
+// like a cable that is not plugged in.
+func (n *Network) Send(node string, port uint64, frame []byte) error {
+	from := endpoint{node, port}
+	n.mu.Lock()
+	peer, ok := n.links[from]
+	pass := ok && n.linkPasses(from)
+	n.mu.Unlock()
+	if !pass {
+		return nil
+	}
+	return n.run([]delivery{{to: peer, from: from, frame: frame}})
+}
+
+func (n *Network) run(queue []delivery) error {
+	budget := n.MaxDeliveries
+	if budget == 0 {
+		budget = DefaultMaxDeliveries
+	}
+	for len(queue) > 0 {
+		if budget == 0 {
+			return ErrLoopDetected
+		}
+		budget--
+		d := queue[0]
+		queue = queue[1:]
+
+		n.mu.Lock()
+		node := n.nodes[d.to.node]
+		if n.tracing && d.from.node != "" {
+			n.trace = append(n.trace, TraceEntry{
+				From: d.from.node, FromPort: d.from.port,
+				To: d.to.node, ToPort: d.to.port, Bytes: len(d.frame),
+			})
+		}
+		n.mu.Unlock()
+		if node == nil {
+			continue
+		}
+		emits, err := node.Receive(d.to.port, d.frame)
+		if err != nil {
+			return fmt.Errorf("netsim: node %q: %w", d.to.node, err)
+		}
+		for _, e := range emits {
+			from := endpoint{d.to.node, e.Port}
+			n.mu.Lock()
+			peer, ok := n.links[from]
+			pass := ok && n.linkPasses(from)
+			n.mu.Unlock()
+			if !pass {
+				continue // unplugged, down or lossy link
+			}
+			queue = append(queue, delivery{to: peer, from: from, frame: e.Frame})
+		}
+	}
+	return nil
+}
+
+// Nodes returns all node names sorted.
+func (n *Network) Nodes() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Neighbors returns the (port, peer) adjacency of a node, sorted by port.
+type Adjacency struct {
+	Port     uint64
+	Peer     string
+	PeerPort uint64
+}
+
+// NeighborsOf lists a node's links.
+func (n *Network) NeighborsOf(name string) []Adjacency {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []Adjacency
+	for ep, peer := range n.links {
+		if ep.node == name {
+			out = append(out, Adjacency{Port: ep.port, Peer: peer.node, PeerPort: peer.port})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
+	return out
+}

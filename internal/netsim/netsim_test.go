@@ -1,0 +1,321 @@
+package netsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pera/internal/p4ir"
+	"pera/internal/pisa"
+)
+
+// buildLine constructs h1 -(sw1)-(sw2)-(sw3)- h2 with forwarding routes
+// installed, returning the network and hosts.
+func buildLine(t *testing.T) (*Network, *Host, *Host) {
+	t.Helper()
+	n := New()
+	h1, h2 := NewHost("h1", 100), NewHost("h2", 200)
+	n.MustAdd(h1)
+	n.MustAdd(h2)
+	for _, name := range []string{"sw1", "sw2", "sw3"} {
+		inst, err := pisa.Load(p4ir.NewForwarding("fwd_v1.p4"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.MustAdd(NewSwitch(name, inst))
+	}
+	n.MustLink("h1", HostPort, "sw1", 1)
+	n.MustLink("sw1", 2, "sw2", 1)
+	n.MustLink("sw2", 2, "sw3", 1)
+	n.MustLink("sw3", 2, "h2", HostPort)
+	if err := n.InstallRoutes([]*Host{h1, h2}, "ipv4_fwd", "fwd", "port"); err != nil {
+		t.Fatal(err)
+	}
+	return n, h1, h2
+}
+
+func fwdProg() *p4ir.Program { return p4ir.NewForwarding("fwd_v1.p4") }
+
+func TestEndToEndDelivery(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	if err := h1.SendIP(n, fwdProg(), h2.Addr(), 1234, 80, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 1 {
+		t.Fatalf("h2 received %d frames", h2.ReceivedCount())
+	}
+	// Parse the delivered frame and check payload integrity.
+	inst, _ := pisa.Load(fwdProg())
+	pkt := pisa.NewPacket(h2.Received()[0], 1)
+	if err := inst.Parse(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Get("ip.src") != 100 || pkt.Get("ip.dst") != 200 {
+		t.Fatalf("addresses: %s", pkt)
+	}
+	if string(pkt.Payload()) != "hello" {
+		t.Fatalf("payload %q", pkt.Payload())
+	}
+}
+
+func TestReverseDelivery(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	if err := h2.SendIP(n, fwdProg(), h1.Addr(), 80, 1234, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if h1.ReceivedCount() != 1 {
+		t.Fatalf("h1 received %d", h1.ReceivedCount())
+	}
+}
+
+func TestUnroutableDstDropped(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	if err := h1.SendIP(n, fwdProg(), 999, 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("unroutable frame delivered")
+	}
+}
+
+func TestTracing(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	n.SetTracing(true)
+	h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil)
+	tr := n.Trace()
+	// h1->sw1, sw1->sw2, sw2->sw3, sw3->h2 = 4 deliveries.
+	if len(tr) != 4 {
+		t.Fatalf("trace: %v", tr)
+	}
+	if tr[0].From != "h1" || tr[3].To != "h2" {
+		t.Fatalf("trace ends: %v", tr)
+	}
+	if !strings.Contains(tr[0].String(), "->") {
+		t.Fatal("trace string")
+	}
+	n.ClearTrace()
+	if len(n.Trace()) != 0 {
+		t.Fatal("clear failed")
+	}
+	n.SetTracing(false)
+	h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil)
+	if len(n.Trace()) != 0 {
+		t.Fatal("tracing off still recorded")
+	}
+}
+
+func TestHostBookkeeping(t *testing.T) {
+	h := NewHost("h", 5)
+	if h.Addr() != 5 || h.Name() != "h" {
+		t.Fatal("identity")
+	}
+	h.Receive(1, []byte("a"))
+	h.Receive(1, []byte("b"))
+	got := h.Received()
+	if len(got) != 2 || string(got[1]) != "b" {
+		t.Fatalf("received: %q", got)
+	}
+	// Mutating the returned copy must not affect stored frames.
+	got[0][0] = 'z'
+	if string(h.Received()[0]) != "a" {
+		t.Fatal("received aliases internal state")
+	}
+	h.Clear()
+	if h.ReceivedCount() != 0 {
+		t.Fatal("clear")
+	}
+}
+
+func TestDuplicateNodeRejected(t *testing.T) {
+	n := New()
+	n.MustAdd(NewHost("h", 1))
+	if err := n.Add(NewHost("h", 2)); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("dup: %v", err)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	n := New()
+	n.MustAdd(NewHost("a", 1))
+	n.MustAdd(NewHost("b", 2))
+	if err := n.Link("a", 1, "ghost", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown: %v", err)
+	}
+	if err := n.Link("ghost", 1, "b", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown: %v", err)
+	}
+	n.MustLink("a", 1, "b", 1)
+	if err := n.Link("a", 1, "b", 2); !errors.Is(err, ErrPortInUse) {
+		t.Fatalf("port reuse: %v", err)
+	}
+	if _, _, ok := n.Peer("a", 1); !ok {
+		t.Fatal("peer lookup")
+	}
+	if _, _, ok := n.Peer("a", 99); ok {
+		t.Fatal("ghost peer")
+	}
+}
+
+func TestInjectUnknownNode(t *testing.T) {
+	n := New()
+	if err := n.Inject("ghost", 1, nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("inject: %v", err)
+	}
+}
+
+func TestSendOnUnpluggedPortVanishes(t *testing.T) {
+	n := New()
+	n.MustAdd(NewHost("a", 1))
+	if err := n.Send("a", 42, []byte("x")); err != nil {
+		t.Fatalf("unplugged send: %v", err)
+	}
+}
+
+func TestForwardingLoopGuard(t *testing.T) {
+	// Two switches forwarding to each other forever.
+	n := New()
+	n.MaxDeliveries = 100
+	for _, name := range []string{"swA", "swB"} {
+		prog := p4ir.NewForwarding("loop")
+		inst, _ := pisa.Load(prog)
+		inst.InstallEntry("ipv4_fwd", p4ir.Entry{
+			Matches: []p4ir.KeyMatch{{Value: 5}}, Action: "fwd", Params: map[string]uint64{"port": 1}})
+		n.MustAdd(NewSwitch(name, inst))
+	}
+	n.MustLink("swA", 1, "swB", 1)
+	frame, _ := pisa.IPFrame(p4ir.NewForwarding("loop"), 1, 5, 0, 0, nil)
+	if err := n.Inject("swA", 2, frame); !errors.Is(err, ErrLoopDetected) {
+		t.Fatalf("loop: %v", err)
+	}
+}
+
+func TestApplianceTransforms(t *testing.T) {
+	n := New()
+	h1, h2 := NewHost("h1", 1), NewHost("h2", 2)
+	n.MustAdd(h1)
+	n.MustAdd(h2)
+	drop := 0
+	dpi := NewAppliance("dpi", 1, 2, func(f []byte) [][]byte {
+		if len(f) > 0 && f[0] == 0xFF {
+			drop++
+			return nil // scrub
+		}
+		return [][]byte{f}
+	})
+	n.MustAdd(dpi)
+	n.MustLink("h1", HostPort, "dpi", 1)
+	n.MustLink("dpi", 2, "h2", HostPort)
+
+	n.Send("h1", HostPort, []byte{0x01, 0x02})
+	n.Send("h1", HostPort, []byte{0xFF, 0x02})
+	if h2.ReceivedCount() != 1 {
+		t.Fatalf("h2 got %d frames", h2.ReceivedCount())
+	}
+	if dpi.Seen() != 2 || drop != 1 {
+		t.Fatalf("dpi seen=%d drop=%d", dpi.Seen(), drop)
+	}
+	// Symmetric direction.
+	n.Send("h2", HostPort, []byte{0x03})
+	if h1.ReceivedCount() != 1 {
+		t.Fatal("reverse direction broken")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	n, _, _ := buildLine(t)
+	path := n.ShortestPath("h1", "h2")
+	want := []string{"h1", "sw1", "sw2", "sw3", "h2"}
+	if len(path) != len(want) {
+		t.Fatalf("path: %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path: %v", path)
+		}
+	}
+	if p := n.ShortestPath("h1", "h1"); len(p) != 1 {
+		t.Fatalf("self path: %v", p)
+	}
+	if p := n.ShortestPath("h1", "ghost"); p != nil {
+		t.Fatalf("ghost path: %v", p)
+	}
+	mid := n.PathNodes("h1", "h2")
+	if len(mid) != 3 || mid[0] != "sw1" {
+		t.Fatalf("middle: %v", mid)
+	}
+	if PathNodesEmpty := n.PathNodes("h1", "h1"); PathNodesEmpty != nil {
+		t.Fatal("self middle")
+	}
+}
+
+func TestPathSwitches(t *testing.T) {
+	n, _, _ := buildLine(t)
+	dps := n.PathSwitches("h1", "h2")
+	if len(dps) != 3 {
+		t.Fatalf("dataplanes: %d", len(dps))
+	}
+	if dps[0].Name() != "sw1" || dps[2].Name() != "sw3" {
+		t.Fatalf("order: %v %v", dps[0].Name(), dps[2].Name())
+	}
+}
+
+func TestNodesAndNeighbors(t *testing.T) {
+	n, _, _ := buildLine(t)
+	names := n.Nodes()
+	if len(names) != 5 || names[0] != "h1" {
+		t.Fatalf("nodes: %v", names)
+	}
+	adj := n.NeighborsOf("sw2")
+	if len(adj) != 2 || adj[0].Peer != "sw1" || adj[1].Peer != "sw3" {
+		t.Fatalf("adjacency: %v", adj)
+	}
+}
+
+func TestMultipathTopologyRoutes(t *testing.T) {
+	// Diamond: h1 - sw1 - {sw2, sw3} - sw4 - h2. BFS picks one shortest
+	// path deterministically and traffic flows.
+	n := New()
+	h1, h2 := NewHost("h1", 1), NewHost("h2", 2)
+	n.MustAdd(h1)
+	n.MustAdd(h2)
+	for _, name := range []string{"sw1", "sw2", "sw3", "sw4"} {
+		inst, _ := pisa.Load(p4ir.NewForwarding("fwd"))
+		n.MustAdd(NewSwitch(name, inst))
+	}
+	n.MustLink("h1", HostPort, "sw1", 1)
+	n.MustLink("sw1", 2, "sw2", 1)
+	n.MustLink("sw1", 3, "sw3", 1)
+	n.MustLink("sw2", 2, "sw4", 1)
+	n.MustLink("sw3", 2, "sw4", 2)
+	n.MustLink("sw4", 3, "h2", HostPort)
+	if err := n.InstallRoutes([]*Host{h1, h2}, "ipv4_fwd", "fwd", "port"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.SendIP(n, fwdProg(), 2, 1, 2, []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 1 {
+		t.Fatal("diamond delivery failed")
+	}
+}
+
+func TestSwitchReceiveErrorPropagates(t *testing.T) {
+	// A program whose table default references a vanished action cannot
+	// be constructed via Load (validated), so instead check that node
+	// errors surface: appliance fn panics are not recovered — use a
+	// Receive error from a custom node.
+	n := New()
+	n.MustAdd(&errNode{})
+	n.MustAdd(NewHost("h", 1))
+	n.MustLink("h", HostPort, "err", 1)
+	if err := n.Send("h", HostPort, []byte("x")); err == nil {
+		t.Fatal("node error swallowed")
+	}
+}
+
+type errNode struct{}
+
+func (e *errNode) Name() string { return "err" }
+func (e *errNode) Receive(uint64, []byte) ([]Emission, error) {
+	return nil, errors.New("boom")
+}

@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pera/internal/p4ir"
+	"pera/internal/pisa"
+)
+
+// Control-plane helpers: compute shortest-path routes over the topology
+// and install forwarding entries into every dataplane-bearing node.
+
+// Dataplane is implemented by nodes whose forwarding is a pisa instance
+// (netsim.Switch and pera.Switch).
+type Dataplane interface {
+	Node
+	Instance() *pisa.Instance
+}
+
+// ShortestPath returns the node names along a shortest path from src to
+// dst (inclusive), or nil if unreachable. Ties break deterministically by
+// port order.
+func (n *Network) ShortestPath(src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	parent := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, adj := range n.NeighborsOf(cur) {
+			if _, seen := parent[adj.Peer]; seen {
+				continue
+			}
+			parent[adj.Peer] = cur
+			if adj.Peer == dst {
+				return buildPath(parent, src, dst)
+			}
+			queue = append(queue, adj.Peer)
+		}
+	}
+	return nil
+}
+
+func buildPath(parent map[string]string, src, dst string) []string {
+	var rev []string
+	for cur := dst; ; cur = parent[cur] {
+		rev = append(rev, cur)
+		if cur == src {
+			break
+		}
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// portToward returns node's port leading to neighbor next.
+func (n *Network) portToward(node, next string) (uint64, bool) {
+	for _, adj := range n.NeighborsOf(node) {
+		if adj.Peer == next {
+			return adj.Port, true
+		}
+	}
+	return 0, false
+}
+
+// InstallRoutes computes shortest paths from every Dataplane node to
+// every host and installs destination-based forwarding entries:
+// match table.key == host address → action(portParam=next-hop port).
+// The table must have a single exact-match key on the destination field.
+func (n *Network) InstallRoutes(hosts []*Host, table, action, portParam string) error {
+	n.mu.Lock()
+	var planes []Dataplane
+	for _, nd := range n.nodes {
+		if dp, ok := nd.(Dataplane); ok {
+			planes = append(planes, dp)
+		}
+	}
+	n.mu.Unlock()
+
+	for _, dp := range planes {
+		for _, h := range hosts {
+			path := n.ShortestPath(dp.Name(), h.Name())
+			if len(path) < 2 {
+				continue // unreachable or self
+			}
+			port, ok := n.portToward(dp.Name(), path[1])
+			if !ok {
+				return fmt.Errorf("netsim: no port from %s to %s", dp.Name(), path[1])
+			}
+			err := dp.Instance().InstallEntry(table, p4ir.Entry{
+				Matches: []p4ir.KeyMatch{{Value: h.Addr()}},
+				Action:  action,
+				Params:  map[string]uint64{portParam: port},
+			})
+			if err != nil {
+				return fmt.Errorf("netsim: routing %s on %s: %w", h.Name(), dp.Name(), err)
+			}
+		}
+	}
+	return nil
+}
+
+// PathSwitches returns the Dataplane nodes along the shortest path
+// between two hosts, in order — the concrete hop list that network-aware
+// Copland policies bind their abstract places against.
+func (n *Network) PathSwitches(srcHost, dstHost string) []Dataplane {
+	path := n.ShortestPath(srcHost, dstHost)
+	var out []Dataplane
+	for _, name := range path {
+		if nd, ok := n.Node(name); ok {
+			if dp, ok := nd.(Dataplane); ok {
+				out = append(out, dp)
+			}
+		}
+	}
+	return out
+}
+
+// PathNodes returns all node names on the shortest path between two
+// nodes, excluding the endpoints.
+func (n *Network) PathNodes(src, dst string) []string {
+	path := n.ShortestPath(src, dst)
+	if len(path) <= 2 {
+		return nil
+	}
+	return path[1 : len(path)-1]
+}

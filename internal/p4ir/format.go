@@ -1,0 +1,116 @@
+package p4ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program in P4-lite syntax; ParseProgram(Format(p))
+// reproduces p for valid programs (a tested round-trip invariant).
+func Format(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n\n", p.Name)
+	for _, h := range p.Headers {
+		fmt.Fprintf(&b, "header %s {", h.Name)
+		for _, f := range h.Fields {
+			fmt.Fprintf(&b, " %s:%d", f.Name, f.Bits)
+		}
+		b.WriteString(" }\n")
+	}
+	if len(p.Parser) > 0 {
+		b.WriteString("\nparser {\n")
+		for _, st := range p.Parser {
+			fmt.Fprintf(&b, "  state %s {", st.Name)
+			if st.Extract != "" {
+				fmt.Fprintf(&b, " extract %s", st.Extract)
+			}
+			if st.SelectField != "" {
+				fmt.Fprintf(&b, " select %s {", st.SelectField)
+				for _, tr := range st.Transitions {
+					fmt.Fprintf(&b, " %d -> %s", tr.Value, tr.Next)
+				}
+				fmt.Fprintf(&b, " default -> %s }", st.Default)
+			} else if st.Default != StateAccept {
+				fmt.Fprintf(&b, " goto %s", st.Default)
+			}
+			b.WriteString(" }\n")
+		}
+		b.WriteString("}\n")
+	}
+	for _, r := range p.Registers {
+		fmt.Fprintf(&b, "\nregister %s[%d]\n", r.Name, r.Size)
+	}
+	for _, a := range p.Actions {
+		fmt.Fprintf(&b, "\naction %s(%s) {", a.Name, strings.Join(a.Params, ", "))
+		for _, op := range a.Ops {
+			b.WriteString(" ")
+			b.WriteString(formatOp(op))
+		}
+		b.WriteString(" }\n")
+	}
+	writeTable := func(t *Table) {
+		fmt.Fprintf(&b, "\ntable %s {\n  key {", t.Name)
+		for _, k := range t.Keys {
+			fmt.Fprintf(&b, " %s: %s", k.Field, k.Kind)
+		}
+		b.WriteString(" }\n  actions {")
+		for _, a := range t.Actions {
+			fmt.Fprintf(&b, " %s", a)
+		}
+		b.WriteString(" }\n")
+		if t.DefaultAction != "" {
+			fmt.Fprintf(&b, "  default %s\n", t.DefaultAction)
+		}
+		if t.MaxEntries > 0 {
+			fmt.Fprintf(&b, "  max %d\n", t.MaxEntries)
+		}
+		b.WriteString("}\n")
+	}
+	for _, t := range p.Ingress {
+		writeTable(t)
+	}
+	for _, t := range p.Egress {
+		writeTable(t)
+	}
+	names := func(ts []*Table) string {
+		var ns []string
+		for _, t := range ts {
+			ns = append(ns, t.Name)
+		}
+		return strings.Join(ns, " ")
+	}
+	fmt.Fprintf(&b, "\ningress { %s }\negress { %s }\n", names(p.Ingress), names(p.Egress))
+	return b.String()
+}
+
+func formatOp(op Op) string {
+	switch op.Kind {
+	case OpDrop:
+		return "drop"
+	case OpForward:
+		return "forward " + formatVal(op.Src)
+	case OpSet:
+		return fmt.Sprintf("set %s = %s", op.Dst, formatVal(op.Src))
+	case OpAdd:
+		return fmt.Sprintf("add %s += %s", op.Dst, formatVal(op.Src))
+	case OpCount:
+		return fmt.Sprintf("count %s[%s]", op.Reg, formatVal(op.Index))
+	case OpRegWrite:
+		return fmt.Sprintf("regwrite %s[%s] = %s", op.Reg, formatVal(op.Index), formatVal(op.Src))
+	case OpRegRead:
+		return fmt.Sprintf("regread %s = %s[%s]", op.Dst, op.Reg, formatVal(op.Index))
+	default:
+		return op.Kind.String()
+	}
+}
+
+func formatVal(v Val) string {
+	switch v.Kind {
+	case ValParam:
+		return "$" + v.Name
+	case ValField:
+		return v.Name
+	default:
+		return fmt.Sprintf("%d", v.Const)
+	}
+}

@@ -1,0 +1,240 @@
+package p4ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderTypeAccessors(t *testing.T) {
+	h := &HeaderType{Name: "eth", Fields: []Field{{"dst", 48}, {"src", 48}, {"typ", 16}}}
+	if h.BitWidth() != 112 {
+		t.Fatalf("bitwidth %d", h.BitWidth())
+	}
+	f, ok := h.Field("src")
+	if !ok || f.Bits != 48 {
+		t.Fatalf("field: %+v ok=%v", f, ok)
+	}
+	if _, ok := h.Field("nope"); ok {
+		t.Fatal("ghost field found")
+	}
+	if QName("eth", "dst") != "eth.dst" {
+		t.Fatal("qname")
+	}
+}
+
+func TestValAndOpStrings(t *testing.T) {
+	if C(7).String() != "7" || Fld("ip.dst").String() != "ip.dst" || P("port").String() != "$port" {
+		t.Fatal("val strings")
+	}
+	ops := []Op{
+		{Kind: OpSet, Dst: "ip.ttl", Src: C(64)},
+		{Kind: OpAdd, Dst: "ip.ttl", Src: C(1)},
+		{Kind: OpForward, Src: P("port")},
+		{Kind: OpDrop},
+		{Kind: OpRegWrite, Reg: "r", Index: C(0), Src: C(1)},
+		{Kind: OpRegRead, Dst: "meta.x", Reg: "r", Index: C(0)},
+		{Kind: OpCount, Reg: "c", Index: Fld("meta.idx")},
+	}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("empty op string for %v", op.Kind)
+		}
+	}
+	if (Val{Kind: ValKind(9)}).String() != "?" {
+		t.Fatal("unknown val kind")
+	}
+	if !strings.Contains(OpKind(99).String(), "99") {
+		t.Fatal("unknown op kind")
+	}
+	if !strings.Contains(MatchKind(99).String(), "99") {
+		t.Fatal("unknown match kind")
+	}
+}
+
+func TestLibraryProgramsValidate(t *testing.T) {
+	progs := []*Program{
+		NewForwarding("fwd_v1.p4"),
+		NewFirewall("firewall_v5.p4"),
+		NewACL("ACL_v3.p4"),
+		NewMonitor("monitor_v2.p4"),
+		NewRogueForwarding("fwd_v1.p4", 99),
+	}
+	for _, p := range progs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	base := func() *Program { return NewForwarding("p") }
+	cases := []struct {
+		name  string
+		wreck func(*Program)
+	}{
+		{"no name", func(p *Program) { p.Name = "" }},
+		{"dup header", func(p *Program) { p.Headers = append(p.Headers, p.Headers[0]) }},
+		{"empty header", func(p *Program) { p.Headers[0].Fields = nil }},
+		{"bad width", func(p *Program) { p.Headers[0].Fields[0].Bits = 65 }},
+		{"zero width", func(p *Program) { p.Headers[0].Fields[0].Bits = 0 }},
+		{"dup field", func(p *Program) {
+			p.Headers[0].Fields = append(p.Headers[0].Fields, p.Headers[0].Fields[0])
+		}},
+		{"no parser", func(p *Program) { p.Parser = nil }},
+		{"dup state", func(p *Program) { p.Parser = append(p.Parser, p.Parser[0]) }},
+		{"reserved state", func(p *Program) { p.Parser[0].Name = StateAccept }},
+		{"unknown extract", func(p *Program) { p.Parser[0].Extract = "ghost" }},
+		{"unknown select", func(p *Program) { p.Parser[0].SelectField = "ghost.f" }},
+		{"unknown next", func(p *Program) { p.Parser[0].Default = "ghost" }},
+		{"empty next", func(p *Program) { p.Parser[0].Default = "" }},
+		{"dup register", func(p *Program) {
+			p.Registers = []*Register{{Name: "r", Size: 1}, {Name: "r", Size: 1}}
+		}},
+		{"zero register", func(p *Program) { p.Registers = []*Register{{Name: "r", Size: 0}} }},
+		{"dup action", func(p *Program) { p.Actions = append(p.Actions, p.Actions[0]) }},
+		{"unknown param", func(p *Program) {
+			p.Actions = append(p.Actions, &Action{Name: "bad", Ops: []Op{{Kind: OpForward, Src: P("ghost")}}})
+		}},
+		{"unknown src field", func(p *Program) {
+			p.Actions = append(p.Actions, &Action{Name: "bad", Ops: []Op{{Kind: OpSet, Dst: "meta.x", Src: Fld("ghost.f")}}})
+		}},
+		{"unknown dst field", func(p *Program) {
+			p.Actions = append(p.Actions, &Action{Name: "bad", Ops: []Op{{Kind: OpSet, Dst: "ghost.f", Src: C(1)}}})
+		}},
+		{"unknown register use", func(p *Program) {
+			p.Actions = append(p.Actions, &Action{Name: "bad", Ops: []Op{{Kind: OpCount, Reg: "ghost", Index: C(0)}}})
+		}},
+		{"dup table", func(p *Program) { p.Ingress = append(p.Ingress, p.Ingress[0]) }},
+		{"unknown key", func(p *Program) { p.Ingress[0].Keys[0].Field = "ghost.f" }},
+		{"unknown table action", func(p *Program) { p.Ingress[0].Actions = []string{"ghost"} }},
+		{"unknown default", func(p *Program) { p.Ingress[0].DefaultAction = "ghost" }},
+	}
+	for _, tc := range cases {
+		p := base()
+		tc.wreck(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+func TestProgramLookups(t *testing.T) {
+	p := NewRogueForwarding("r", 9)
+	if _, ok := p.Header("ip"); !ok {
+		t.Fatal("header lookup")
+	}
+	if _, ok := p.Action("mirror"); !ok {
+		t.Fatal("action lookup")
+	}
+	if _, ok := p.Table("ipv4_fwd"); !ok {
+		t.Fatal("ingress table lookup")
+	}
+	if _, ok := p.Table("intercept"); !ok {
+		t.Fatal("egress table lookup")
+	}
+	if _, ok := p.State("parse_ip"); !ok {
+		t.Fatal("state lookup")
+	}
+	if _, ok := p.Table("ghost"); ok {
+		t.Fatal("ghost table found")
+	}
+	if _, ok := p.State("ghost"); ok {
+		t.Fatal("ghost state found")
+	}
+	if _, ok := p.Header("ghost"); ok {
+		t.Fatal("ghost header found")
+	}
+	if _, ok := p.Action("ghost"); ok {
+		t.Fatal("ghost action found")
+	}
+}
+
+// The UC1 property: the rogue program is a different attestable identity
+// even though its name matches the legitimate one.
+func TestDigestDetectsRogueSwap(t *testing.T) {
+	good := NewForwarding("fwd_v1.p4")
+	rogue := NewRogueForwarding("fwd_v1.p4", 99)
+	if good.Name != rogue.Name {
+		t.Fatal("test premise: names must collide")
+	}
+	if good.Digest() == rogue.Digest() {
+		t.Fatal("rogue program shares digest with legitimate program")
+	}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a := NewFirewall("firewall_v5.p4")
+	b := NewFirewall("firewall_v5.p4")
+	if a.Digest() != b.Digest() {
+		t.Fatal("same source, different digests")
+	}
+	if a.Digest() == NewFirewall("firewall_v6.p4").Digest() {
+		t.Fatal("name change not reflected")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := NewForwarding("p").Digest()
+	mutants := []func(*Program){
+		func(p *Program) { p.Ingress[0].DefaultAction = "nop" },
+		func(p *Program) { p.Ingress[0].MaxEntries = 9 },
+		func(p *Program) { p.Actions[0].Ops[0].Src = C(3) },
+		func(p *Program) { p.Parser[0].Default = StateReject },
+		func(p *Program) { p.Headers[0].Fields[0].Bits = 32 },
+		func(p *Program) { p.Registers = []*Register{{Name: "r", Size: 8}} },
+	}
+	for i, mutate := range mutants {
+		p := NewForwarding("p")
+		mutate(p)
+		if p.Digest() == base {
+			t.Errorf("mutant %d not reflected in digest", i)
+		}
+	}
+}
+
+func TestEntriesDigestOrderIndependent(t *testing.T) {
+	e1 := Entry{Matches: []KeyMatch{{Value: 1}}, Action: "fwd", Params: map[string]uint64{"port": 2}}
+	e2 := Entry{Matches: []KeyMatch{{Value: 2}}, Action: "fwd", Params: map[string]uint64{"port": 3}}
+	d1 := EntriesDigest("t", []Entry{e1, e2})
+	d2 := EntriesDigest("t", []Entry{e2, e1})
+	if d1 != d2 {
+		t.Fatal("entry order changed digest")
+	}
+	d3 := EntriesDigest("t", []Entry{e1})
+	if d1 == d3 {
+		t.Fatal("missing entry not reflected")
+	}
+	if EntriesDigest("t", nil) == EntriesDigest("u", nil) {
+		t.Fatal("table name not bound")
+	}
+}
+
+func TestEntriesDigestParamSensitive(t *testing.T) {
+	e := Entry{Matches: []KeyMatch{{Value: 1}}, Action: "fwd", Params: map[string]uint64{"port": 2}}
+	e2 := Entry{Matches: []KeyMatch{{Value: 1}}, Action: "fwd", Params: map[string]uint64{"port": 4}}
+	if EntriesDigest("t", []Entry{e}) == EntriesDigest("t", []Entry{e2}) {
+		t.Fatal("param change not reflected")
+	}
+}
+
+// Property: canonicalization is injective across random small mutations
+// of table defaults and action constants.
+func TestPropertyCanonicalInjective(t *testing.T) {
+	f := func(port uint64, max int) bool {
+		p := NewForwarding("p")
+		p.Ingress[0].MaxEntries = max
+		p.Actions[0].Ops[0].Src = C(port)
+		q := NewForwarding("p")
+		q.Ingress[0].MaxEntries = max
+		q.Actions[0].Ops[0].Src = C(port)
+		if p.Canonical() != q.Canonical() {
+			return false
+		}
+		q.Actions[0].Ops[0].Src = C(port + 1)
+		return p.Canonical() != q.Canonical()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,600 @@
+package p4ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// P4-lite: a compact textual syntax for the IR, so dataplane programs can
+// live in files and be loaded by tools (attestd -program-file). The
+// grammar, one declaration per block:
+//
+//	program demo
+//
+//	header eth { dst:48 src:48 typ:16 }
+//
+//	parser {
+//	  state start {
+//	    extract eth
+//	    select eth.typ { 0x0800 -> parse_ip  default -> accept }
+//	  }
+//	  state parse_ip { extract ip  goto accept }
+//	}
+//
+//	register flow_count[4096]
+//
+//	action fwd(port) { forward $port }
+//	action bump()    { add ip.ttl += 1  count flow_count[$idx] }
+//
+//	table ipv4_fwd {
+//	  key { ip.dst: exact }
+//	  actions { fwd drop }
+//	  default drop
+//	  max 1024
+//	}
+//
+//	ingress { ipv4_fwd }
+//	egress  { }
+//
+// Numbers are decimal or 0x-hex. `$name` reads an action parameter,
+// `a.b` a field, bare digits a constant. Comments run `//` to newline.
+// Format emits this syntax; Parse(Format(p)) reproduces p (tested).
+
+// ParseProgram parses P4-lite source.
+func ParseProgram(src string) (*Program, error) {
+	p := &pparser{src: src}
+	if err := p.lex(); err != nil {
+		return nil, err
+	}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type ptok struct {
+	text string
+	pos  int
+}
+
+type pparser struct {
+	src  string
+	toks []ptok
+	pos  int
+}
+
+// lex splits into words and single-char punctuation. Identifiers keep
+// dots (field refs); `$name` stays one token.
+func (p *pparser) lex() error {
+	i := 0
+	for i < len(p.src) {
+		c := rune(p.src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case strings.HasPrefix(p.src[i:], "//"):
+			for i < len(p.src) && p.src[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(p.src[i:], "+="), strings.HasPrefix(p.src[i:], "->"):
+			p.toks = append(p.toks, ptok{p.src[i : i+2], i})
+			i += 2
+		case strings.ContainsRune("{}()[]:;=,", c):
+			p.toks = append(p.toks, ptok{string(c), i})
+			i++
+		case c == '$' || unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_':
+			j := i + 1
+			for j < len(p.src) {
+				r := rune(p.src[j])
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '.' {
+					break
+				}
+				j++
+			}
+			p.toks = append(p.toks, ptok{p.src[i:j], i})
+			i = j
+		default:
+			return p.errAt(i, "unexpected character %q", c)
+		}
+	}
+	p.toks = append(p.toks, ptok{"", len(p.src)})
+	return nil
+}
+
+func (p *pparser) errAt(pos int, format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:pos], "\n")
+	return fmt.Errorf("p4ir: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *pparser) errf(format string, args ...any) error {
+	return p.errAt(p.peek().pos, format, args...)
+}
+
+func (p *pparser) peek() ptok       { return p.toks[p.pos] }
+func (p *pparser) next() ptok       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *pparser) at(s string) bool { return p.peek().text == s }
+func (p *pparser) eof() bool        { return p.peek().text == "" }
+
+func (p *pparser) expect(s string) error {
+	if !p.at(s) {
+		return p.errf("expected %q, found %q", s, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *pparser) ident() (string, error) {
+	t := p.peek()
+	if t.text == "" || strings.ContainsAny(t.text[:1], "0123456789$") {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	return p.next().text, nil
+}
+
+func (p *pparser) number() (uint64, error) {
+	t := p.next().text
+	v, err := strconv.ParseUint(strings.TrimPrefix(t, "0x"), base(t), 64)
+	if err != nil {
+		return 0, p.errAt(p.toks[p.pos-1].pos, "bad number %q", t)
+	}
+	return v, nil
+}
+
+func base(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func (p *pparser) val() (Val, error) {
+	t := p.peek().text
+	switch {
+	case t == "":
+		return Val{}, p.errf("expected a value")
+	case strings.HasPrefix(t, "$"):
+		p.next()
+		return P(t[1:]), nil
+	case t[0] >= '0' && t[0] <= '9':
+		v, err := p.number()
+		if err != nil {
+			return Val{}, err
+		}
+		return C(v), nil
+	default:
+		p.next()
+		return Fld(t), nil
+	}
+}
+
+func (p *pparser) program() (*Program, error) {
+	if err := p.expect("program"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Name: name}
+	tables := map[string]*Table{}
+	var ingressNames, egressNames []string
+	for !p.eof() {
+		switch p.peek().text {
+		case "header":
+			h, err := p.header()
+			if err != nil {
+				return nil, err
+			}
+			prog.Headers = append(prog.Headers, h)
+		case "parser":
+			states, err := p.parserBlock()
+			if err != nil {
+				return nil, err
+			}
+			prog.Parser = append(prog.Parser, states...)
+		case "register":
+			r, err := p.register()
+			if err != nil {
+				return nil, err
+			}
+			prog.Registers = append(prog.Registers, r)
+		case "action":
+			a, err := p.action()
+			if err != nil {
+				return nil, err
+			}
+			prog.Actions = append(prog.Actions, a)
+		case "table":
+			t, err := p.table()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := tables[t.Name]; dup {
+				return nil, p.errf("duplicate table %q", t.Name)
+			}
+			tables[t.Name] = t
+		case "ingress":
+			ns, err := p.nameBlock("ingress")
+			if err != nil {
+				return nil, err
+			}
+			ingressNames = append(ingressNames, ns...)
+		case "egress":
+			ns, err := p.nameBlock("egress")
+			if err != nil {
+				return nil, err
+			}
+			egressNames = append(egressNames, ns...)
+		default:
+			return nil, p.errf("expected a declaration, found %q", p.peek().text)
+		}
+	}
+	resolve := func(names []string) ([]*Table, error) {
+		var out []*Table
+		for _, n := range names {
+			t, ok := tables[n]
+			if !ok {
+				return nil, fmt.Errorf("p4ir: pipeline references undeclared table %q", n)
+			}
+			out = append(out, t)
+			delete(tables, n)
+		}
+		return out, nil
+	}
+	if prog.Ingress, err = resolve(ingressNames); err != nil {
+		return nil, err
+	}
+	if prog.Egress, err = resolve(egressNames); err != nil {
+		return nil, err
+	}
+	for n := range tables {
+		return nil, fmt.Errorf("p4ir: table %q declared but not placed in a pipeline", n)
+	}
+	return prog, nil
+}
+
+func (p *pparser) header() (*HeaderType, error) {
+	p.next() // header
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	h := &HeaderType{Name: name}
+	for !p.at("}") {
+		fname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		bits, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		h.Fields = append(h.Fields, Field{Name: fname, Bits: int(bits)})
+	}
+	p.next() // }
+	return h, nil
+}
+
+func (p *pparser) parserBlock() ([]*ParserState, error) {
+	p.next() // parser
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var states []*ParserState
+	for !p.at("}") {
+		if err := p.expect("state"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		st := &ParserState{Name: name, Default: StateAccept}
+		for !p.at("}") {
+			switch p.peek().text {
+			case "extract":
+				p.next()
+				hn, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.Extract = hn
+			case "goto":
+				p.next()
+				nx, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.Default = nx
+			case "select":
+				p.next()
+				fld, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				st.SelectField = fld
+				if err := p.expect("{"); err != nil {
+					return nil, err
+				}
+				for !p.at("}") {
+					if p.at("default") {
+						p.next()
+						if err := p.expect("->"); err != nil {
+							return nil, err
+						}
+						nx, err := p.ident()
+						if err != nil {
+							return nil, err
+						}
+						st.Default = nx
+						continue
+					}
+					v, err := p.number()
+					if err != nil {
+						return nil, err
+					}
+					if err := p.expect("->"); err != nil {
+						return nil, err
+					}
+					nx, err := p.ident()
+					if err != nil {
+						return nil, err
+					}
+					st.Transitions = append(st.Transitions, Transition{Value: v, Next: nx})
+				}
+				p.next() // }
+			default:
+				return nil, p.errf("expected extract/select/goto, found %q", p.peek().text)
+			}
+		}
+		p.next() // }
+		states = append(states, st)
+	}
+	p.next() // }
+	return states, nil
+}
+
+func (p *pparser) register() (*Register, error) {
+	p.next() // register
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	size, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	return &Register{Name: name, Size: int(size)}, nil
+}
+
+func (p *pparser) action() (*Action, error) {
+	p.next() // action
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	a := &Action{Name: name}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for !p.at(")") {
+		prm, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		a.Params = append(a.Params, prm)
+		if p.at(",") {
+			p.next()
+		}
+	}
+	p.next() // )
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.at("}") {
+		op, err := p.op()
+		if err != nil {
+			return nil, err
+		}
+		a.Ops = append(a.Ops, op)
+	}
+	p.next() // }
+	return a, nil
+}
+
+func (p *pparser) op() (Op, error) {
+	switch p.peek().text {
+	case "drop":
+		p.next()
+		return Op{Kind: OpDrop}, nil
+	case "forward":
+		p.next()
+		v, err := p.val()
+		return Op{Kind: OpForward, Src: v}, err
+	case "set":
+		p.next()
+		dst, err := p.ident()
+		if err != nil {
+			return Op{}, err
+		}
+		if err := p.expect("="); err != nil {
+			return Op{}, err
+		}
+		v, err := p.val()
+		return Op{Kind: OpSet, Dst: dst, Src: v}, err
+	case "add":
+		p.next()
+		dst, err := p.ident()
+		if err != nil {
+			return Op{}, err
+		}
+		if err := p.expect("+="); err != nil {
+			return Op{}, err
+		}
+		v, err := p.val()
+		return Op{Kind: OpAdd, Dst: dst, Src: v}, err
+	case "count":
+		p.next()
+		reg, idx, err := p.regIndex()
+		return Op{Kind: OpCount, Reg: reg, Index: idx}, err
+	case "regwrite":
+		p.next()
+		reg, idx, err := p.regIndex()
+		if err != nil {
+			return Op{}, err
+		}
+		if err := p.expect("="); err != nil {
+			return Op{}, err
+		}
+		v, err := p.val()
+		return Op{Kind: OpRegWrite, Reg: reg, Index: idx, Src: v}, err
+	case "regread":
+		p.next()
+		dst, err := p.ident()
+		if err != nil {
+			return Op{}, err
+		}
+		if err := p.expect("="); err != nil {
+			return Op{}, err
+		}
+		reg, idx, err := p.regIndex()
+		return Op{Kind: OpRegRead, Dst: dst, Reg: reg, Index: idx}, err
+	default:
+		return Op{}, p.errf("expected an operation, found %q", p.peek().text)
+	}
+}
+
+func (p *pparser) regIndex() (string, Val, error) {
+	reg, err := p.ident()
+	if err != nil {
+		return "", Val{}, err
+	}
+	if err := p.expect("["); err != nil {
+		return "", Val{}, err
+	}
+	idx, err := p.val()
+	if err != nil {
+		return "", Val{}, err
+	}
+	if err := p.expect("]"); err != nil {
+		return "", Val{}, err
+	}
+	return reg, idx, nil
+}
+
+func (p *pparser) table() (*Table, error) {
+	p.next() // table
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.at("}") {
+		switch p.peek().text {
+		case "key":
+			p.next()
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.at("}") {
+				fld, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect(":"); err != nil {
+					return nil, err
+				}
+				kindName, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				var kind MatchKind
+				switch kindName {
+				case "exact":
+					kind = MatchExact
+				case "lpm":
+					kind = MatchLPM
+				case "ternary":
+					kind = MatchTernary
+				default:
+					return nil, p.errf("unknown match kind %q", kindName)
+				}
+				t.Keys = append(t.Keys, Key{Field: fld, Kind: kind})
+			}
+			p.next() // }
+		case "actions":
+			p.next()
+			if err := p.expect("{"); err != nil {
+				return nil, err
+			}
+			for !p.at("}") {
+				an, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				t.Actions = append(t.Actions, an)
+			}
+			p.next() // }
+		case "default":
+			p.next()
+			an, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			t.DefaultAction = an
+		case "max":
+			p.next()
+			n, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			t.MaxEntries = int(n)
+		default:
+			return nil, p.errf("expected key/actions/default/max, found %q", p.peek().text)
+		}
+	}
+	p.next() // }
+	return t, nil
+}
+
+func (p *pparser) nameBlock(kw string) ([]string, error) {
+	p.next() // kw
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []string
+	for !p.at("}") {
+		n, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	p.next() // }
+	_ = kw
+	return out, nil
+}

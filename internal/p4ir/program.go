@@ -1,0 +1,307 @@
+package p4ir
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pera/internal/rot"
+)
+
+// Program is a complete dataplane program: header declarations, a parser,
+// actions, the ingress and egress table pipelines, and register
+// declarations. Table *contents* are runtime state owned by the pisa
+// switch, not part of the Program (mirroring P4, where entries are
+// installed by a control plane); the program digest therefore covers code
+// only, and table digests are computed separately.
+type Program struct {
+	Name      string
+	Headers   []*HeaderType
+	Parser    []*ParserState
+	Actions   []*Action
+	Ingress   []*Table // applied in order
+	Egress    []*Table
+	Registers []*Register
+}
+
+// Errors from validation.
+var (
+	ErrValidate = errors.New("p4ir: invalid program")
+)
+
+func validationErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrValidate, fmt.Sprintf(format, args...))
+}
+
+// Header returns the named header type.
+func (p *Program) Header(name string) (*HeaderType, bool) {
+	for _, h := range p.Headers {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// Action returns the named action.
+func (p *Program) Action(name string) (*Action, bool) {
+	for _, a := range p.Actions {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Table returns the named table from either pipeline.
+func (p *Program) Table(name string) (*Table, bool) {
+	for _, t := range p.Ingress {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	for _, t := range p.Egress {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// State returns the named parser state.
+func (p *Program) State(name string) (*ParserState, bool) {
+	for _, s := range p.Parser {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Validate checks structural consistency: referenced headers, fields,
+// actions, states and registers all exist; field widths are in range;
+// parser terminal states are reachable names.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return validationErr("program has no name")
+	}
+	seenHdr := map[string]bool{}
+	for _, h := range p.Headers {
+		if seenHdr[h.Name] {
+			return validationErr("duplicate header %q", h.Name)
+		}
+		seenHdr[h.Name] = true
+		if len(h.Fields) == 0 {
+			return validationErr("header %q has no fields", h.Name)
+		}
+		seenF := map[string]bool{}
+		for _, f := range h.Fields {
+			if f.Bits < 1 || f.Bits > 64 {
+				return validationErr("field %s.%s width %d out of range", h.Name, f.Name, f.Bits)
+			}
+			if seenF[f.Name] {
+				return validationErr("duplicate field %s.%s", h.Name, f.Name)
+			}
+			seenF[f.Name] = true
+		}
+	}
+
+	fieldExists := func(qname string) bool {
+		if strings.HasPrefix(qname, "meta.") {
+			return true
+		}
+		dot := strings.IndexByte(qname, '.')
+		if dot < 0 {
+			return false
+		}
+		h, ok := p.Header(qname[:dot])
+		if !ok {
+			return false
+		}
+		_, ok = h.Field(qname[dot+1:])
+		return ok
+	}
+
+	if len(p.Parser) == 0 {
+		return validationErr("program has no parser states")
+	}
+	seenState := map[string]bool{StateAccept: true, StateReject: true}
+	for _, s := range p.Parser {
+		if seenState[s.Name] {
+			return validationErr("duplicate or reserved parser state %q", s.Name)
+		}
+		seenState[s.Name] = true
+	}
+	for _, s := range p.Parser {
+		if s.Extract != "" {
+			if _, ok := p.Header(s.Extract); !ok {
+				return validationErr("state %q extracts unknown header %q", s.Name, s.Extract)
+			}
+		}
+		if s.SelectField != "" && !fieldExists(s.SelectField) {
+			return validationErr("state %q selects unknown field %q", s.Name, s.SelectField)
+		}
+		next := append([]Transition(nil), s.Transitions...)
+		next = append(next, Transition{Next: s.Default})
+		for _, tr := range next {
+			if tr.Next == "" {
+				return validationErr("state %q has empty next state", s.Name)
+			}
+			if !seenState[tr.Next] && !stateDeclaredLater(p.Parser, tr.Next) {
+				return validationErr("state %q transitions to unknown state %q", s.Name, tr.Next)
+			}
+		}
+	}
+
+	regs := map[string]bool{}
+	for _, r := range p.Registers {
+		if regs[r.Name] {
+			return validationErr("duplicate register %q", r.Name)
+		}
+		if r.Size <= 0 {
+			return validationErr("register %q has size %d", r.Name, r.Size)
+		}
+		regs[r.Name] = true
+	}
+
+	seenAct := map[string]bool{}
+	for _, a := range p.Actions {
+		if seenAct[a.Name] {
+			return validationErr("duplicate action %q", a.Name)
+		}
+		seenAct[a.Name] = true
+		params := map[string]bool{}
+		for _, prm := range a.Params {
+			params[prm] = true
+		}
+		for _, op := range a.Ops {
+			for _, v := range []Val{op.Src, op.Index} {
+				switch v.Kind {
+				case ValField:
+					if v.Name != "" && !fieldExists(v.Name) {
+						return validationErr("action %q references unknown field %q", a.Name, v.Name)
+					}
+				case ValParam:
+					if !params[v.Name] {
+						return validationErr("action %q references undeclared param %q", a.Name, v.Name)
+					}
+				}
+			}
+			switch op.Kind {
+			case OpSet, OpAdd, OpRegRead:
+				if !fieldExists(op.Dst) {
+					return validationErr("action %q writes unknown field %q", a.Name, op.Dst)
+				}
+			}
+			switch op.Kind {
+			case OpRegWrite, OpRegRead, OpCount:
+				if !regs[op.Reg] {
+					return validationErr("action %q uses unknown register %q", a.Name, op.Reg)
+				}
+			}
+		}
+	}
+
+	tables := map[string]bool{}
+	for _, t := range append(append([]*Table(nil), p.Ingress...), p.Egress...) {
+		if tables[t.Name] {
+			return validationErr("duplicate table %q", t.Name)
+		}
+		tables[t.Name] = true
+		for _, k := range t.Keys {
+			if !fieldExists(k.Field) {
+				return validationErr("table %q keys on unknown field %q", t.Name, k.Field)
+			}
+		}
+		for _, an := range t.Actions {
+			if !seenAct[an] {
+				return validationErr("table %q permits unknown action %q", t.Name, an)
+			}
+		}
+		if t.DefaultAction != "" && !seenAct[t.DefaultAction] {
+			return validationErr("table %q default action %q unknown", t.Name, t.DefaultAction)
+		}
+	}
+	return nil
+}
+
+func stateDeclaredLater(states []*ParserState, name string) bool {
+	for _, s := range states {
+		if s.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonical returns the deterministic textual form of the program over
+// which its digest is computed. Two programs are attestation-equal iff
+// their canonical forms agree.
+func (p *Program) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	for _, h := range p.Headers {
+		fmt.Fprintf(&b, "header %s {", h.Name)
+		for _, f := range h.Fields {
+			fmt.Fprintf(&b, " %s:%d", f.Name, f.Bits)
+		}
+		b.WriteString(" }\n")
+	}
+	for _, s := range p.Parser {
+		fmt.Fprintf(&b, "state %s extract=%s select=%s", s.Name, s.Extract, s.SelectField)
+		for _, tr := range s.Transitions {
+			fmt.Fprintf(&b, " %d->%s", tr.Value, tr.Next)
+		}
+		fmt.Fprintf(&b, " default->%s\n", s.Default)
+	}
+	for _, r := range p.Registers {
+		fmt.Fprintf(&b, "register %s[%d]\n", r.Name, r.Size)
+	}
+	for _, a := range p.Actions {
+		fmt.Fprintf(&b, "action %s(%s) {", a.Name, strings.Join(a.Params, ","))
+		for _, op := range a.Ops {
+			fmt.Fprintf(&b, " %s;", op)
+		}
+		b.WriteString(" }\n")
+	}
+	writeTables := func(label string, ts []*Table) {
+		for _, t := range ts {
+			fmt.Fprintf(&b, "%s table %s keys=[", label, t.Name)
+			for _, k := range t.Keys {
+				fmt.Fprintf(&b, "%s:%s ", k.Field, k.Kind)
+			}
+			fmt.Fprintf(&b, "] actions=[%s] default=%s(%s) max=%d\n",
+				strings.Join(t.Actions, ","), t.DefaultAction,
+				canonicalParams(t.DefaultParams), t.MaxEntries)
+		}
+	}
+	writeTables("ingress", p.Ingress)
+	writeTables("egress", p.Egress)
+	return b.String()
+}
+
+// Digest returns the attestable program digest — what a PERA switch
+// extends into its RoT when the program is loaded (UC1's "which dataplane
+// program is running").
+func (p *Program) Digest() rot.Digest {
+	return rot.Sum([]byte(p.Canonical()))
+}
+
+// EntriesDigest computes the attestable digest of a set of installed
+// table entries (the Fig. 4 "tables" detail level). Entries are
+// canonicalized independent of installation order.
+func EntriesDigest(tableName string, entries []Entry) rot.Digest {
+	lines := make([]string, 0, len(entries))
+	for _, e := range entries {
+		var b strings.Builder
+		fmt.Fprintf(&b, "entry prio=%d action=%s(%s) match=[", e.Priority, e.Action, canonicalParams(e.Params))
+		for _, m := range e.Matches {
+			fmt.Fprintf(&b, "%d/%d/%x ", m.Value, m.PrefixLen, m.Mask)
+		}
+		b.WriteString("]")
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return rot.Sum([]byte("table " + tableName + "\n" + strings.Join(lines, "\n")))
+}

@@ -1,0 +1,153 @@
+package p4ir
+
+// Canonical program library.
+//
+// These are the dataplane programs the paper's narrative names or
+// implies: plain L2/L3 forwarding, the firewall and ACL of UC1
+// ("firewall_v5.p4", "ACL_v3.p4"), a flow monitor (the §1 monitoring
+// discussion and UC4's C2 fingerprinting), and the Athens-affair rogue
+// variant that silently duplicates selected traffic to an exfiltration
+// port. All are built from the same header set so any of them can be
+// loaded on any pisa switch in the simulations.
+
+// Standard headers shared by the program library.
+func stdHeaders() []*HeaderType {
+	return []*HeaderType{
+		{Name: "eth", Fields: []Field{{"dst", 48}, {"src", 48}, {"typ", 16}}},
+		{Name: "ip", Fields: []Field{{"src", 32}, {"dst", 32}, {"proto", 8}, {"ttl", 8}}},
+		{Name: "tp", Fields: []Field{{"sport", 16}, {"dport", 16}, {"flags", 8}}},
+	}
+}
+
+// EtherTypeIP is the eth.typ value that selects the IP parser branch.
+const EtherTypeIP = 0x0800
+
+func stdParser() []*ParserState {
+	return []*ParserState{
+		{
+			Name: "start", Extract: "eth", SelectField: "eth.typ",
+			Transitions: []Transition{{Value: EtherTypeIP, Next: "parse_ip"}},
+			Default:     StateAccept,
+		},
+		{
+			Name: "parse_ip", Extract: "ip", SelectField: "ip.proto",
+			Transitions: []Transition{{Value: 6, Next: "parse_tp"}, {Value: 17, Next: "parse_tp"}},
+			Default:     StateAccept,
+		},
+		{Name: "parse_tp", Extract: "tp", Default: StateAccept},
+	}
+}
+
+func fwdActions() []*Action {
+	return []*Action{
+		{Name: "fwd", Params: []string{"port"}, Ops: []Op{{Kind: OpForward, Src: P("port")}}},
+		{Name: "drop", Ops: []Op{{Kind: OpDrop}}},
+		{Name: "nop"},
+	}
+}
+
+// NewForwarding returns a plain destination-based forwarder: one ingress
+// table keyed exactly on ip.dst choosing an output port.
+func NewForwarding(name string) *Program {
+	return &Program{
+		Name:    name,
+		Headers: stdHeaders(),
+		Parser:  stdParser(),
+		Actions: fwdActions(),
+		Ingress: []*Table{{
+			Name:          "ipv4_fwd",
+			Keys:          []Key{{Field: "ip.dst", Kind: MatchExact}},
+			Actions:       []string{"fwd", "drop", "nop"},
+			DefaultAction: "drop",
+			MaxEntries:    1024,
+		}},
+	}
+}
+
+// NewFirewall returns "firewall_v5.p4": a stateless firewall with a
+// ternary 5-tuple-ish filter table applied before destination forwarding.
+// Denied traffic is dropped; permitted traffic proceeds to ipv4_fwd.
+func NewFirewall(name string) *Program {
+	p := NewForwarding(name)
+	p.Ingress = append([]*Table{{
+		Name: "acl_filter",
+		Keys: []Key{
+			{Field: "ip.src", Kind: MatchTernary},
+			{Field: "ip.dst", Kind: MatchTernary},
+			{Field: "tp.dport", Kind: MatchTernary},
+		},
+		Actions:       []string{"drop", "nop"},
+		DefaultAction: "nop",
+		MaxEntries:    512,
+	}}, p.Ingress...)
+	return p
+}
+
+// NewACL returns "ACL_v3.p4": an exact-match allowlist on (ip.src,
+// tp.dport) whose default denies, followed by forwarding — stricter than
+// the firewall's default-allow.
+func NewACL(name string) *Program {
+	p := NewForwarding(name)
+	p.Ingress = append([]*Table{{
+		Name: "allowlist",
+		Keys: []Key{
+			{Field: "ip.src", Kind: MatchExact},
+			{Field: "tp.dport", Kind: MatchExact},
+		},
+		Actions:       []string{"nop", "drop"},
+		DefaultAction: "drop",
+		MaxEntries:    256,
+	}}, p.Ingress...)
+	return p
+}
+
+// NewMonitor returns a flow monitor: forwarding plus per-flow packet
+// counting into a register indexed by a flow-hash table entry, the
+// substrate for UC4's traffic-pattern scanning.
+func NewMonitor(name string) *Program {
+	p := NewForwarding(name)
+	p.Registers = []*Register{{Name: "flow_count", Size: 4096}}
+	p.Actions = append(p.Actions, &Action{
+		Name:   "count_flow",
+		Params: []string{"idx"},
+		Ops:    []Op{{Kind: OpCount, Reg: "flow_count", Index: P("idx")}},
+	})
+	p.Ingress = append([]*Table{{
+		Name: "flow_stats",
+		Keys: []Key{
+			{Field: "ip.src", Kind: MatchExact},
+			{Field: "ip.dst", Kind: MatchExact},
+		},
+		Actions:       []string{"count_flow", "nop"},
+		DefaultAction: "nop",
+		MaxEntries:    4096,
+	}}, p.Ingress...)
+	return p
+}
+
+// NewRogueForwarding returns the Athens-affair variant of NewForwarding:
+// behaviourally identical on all traffic except that packets from
+// targeted sources are *also* emitted on a mirror port via a second
+// ternary table. Loaded in place of the legitimate program, it is
+// invisible to functional probing of non-targeted flows — only
+// attestation of the program digest reveals the swap (UC1).
+func NewRogueForwarding(name string, mirrorPort uint64) *Program {
+	p := NewForwarding(name)
+	p.Actions = append(p.Actions, &Action{
+		// The mirror action forwards to the tap; in the pisa runtime the
+		// clone is modelled by the mirror table running in egress after
+		// normal forwarding chose its port.
+		Name: "mirror", Ops: []Op{
+			{Kind: OpSet, Dst: "meta.mirror_port", Src: C(mirrorPort)},
+			{Kind: OpSet, Dst: "meta.mirrored", Src: C(1)},
+		},
+	})
+	p.Egress = append(p.Egress, &Table{
+		Name:          "intercept",
+		Keys:          []Key{{Field: "ip.src", Kind: MatchTernary}},
+		Actions:       []string{"mirror", "nop"},
+		DefaultAction: "nop",
+		MaxEntries:    128,
+	})
+	return p
+}

@@ -1,0 +1,266 @@
+// Package p4ir defines a small protocol-independent intermediate
+// representation for dataplane programs, modelled on P4: header types
+// with bit-level fields, a parser state machine, actions built from
+// primitive operations, and match+action tables with exact, LPM and
+// ternary matching.
+//
+// Programs in this IR are what PERA attests: the package provides
+// deterministic digests of a program's code (Detail level "program"), of
+// its table contents ("tables"), and — via the pisa runtime — of its
+// mutable register state ("progstate"), matching the evidence detail axis
+// of the paper's Fig. 4.
+package p4ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Field is one header field with a width in bits (1..64).
+type Field struct {
+	Name string
+	Bits int
+}
+
+// HeaderType declares a header layout. Fields are extracted in order.
+type HeaderType struct {
+	Name   string
+	Fields []Field
+}
+
+// BitWidth returns the total width of the header in bits.
+func (h *HeaderType) BitWidth() int {
+	n := 0
+	for _, f := range h.Fields {
+		n += f.Bits
+	}
+	return n
+}
+
+// Field returns the named field declaration.
+func (h *HeaderType) Field(name string) (Field, bool) {
+	for _, f := range h.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// QName returns the qualified runtime name of a field, e.g. "eth.dst".
+func QName(header, field string) string { return header + "." + field }
+
+// Well-known metadata fields maintained by the pisa runtime. Metadata
+// lives beside header fields in the same value space under the "meta."
+// prefix.
+const (
+	MetaIngressPort = "meta.ingress_port"
+	MetaEgressPort  = "meta.egress_port"
+	MetaDrop        = "meta.drop"
+)
+
+// ValKind discriminates value sources in actions and expressions.
+type ValKind uint8
+
+const (
+	// ValConst is an immediate constant.
+	ValConst ValKind = iota
+	// ValField reads a qualified header or metadata field.
+	ValField
+	// ValParam reads an action parameter bound by the table entry.
+	ValParam
+)
+
+// Val is a value source.
+type Val struct {
+	Kind  ValKind
+	Const uint64
+	Name  string // field qname or parameter name
+}
+
+// C returns a constant value source.
+func C(v uint64) Val { return Val{Kind: ValConst, Const: v} }
+
+// Fld returns a field value source.
+func Fld(qname string) Val { return Val{Kind: ValField, Name: qname} }
+
+// P returns a parameter value source.
+func P(name string) Val { return Val{Kind: ValParam, Name: name} }
+
+func (v Val) String() string {
+	switch v.Kind {
+	case ValConst:
+		return fmt.Sprintf("%d", v.Const)
+	case ValField:
+		return v.Name
+	case ValParam:
+		return "$" + v.Name
+	default:
+		return "?"
+	}
+}
+
+// OpKind discriminates primitive action operations.
+type OpKind uint8
+
+const (
+	// OpSet sets Dst to the value of Src.
+	OpSet OpKind = iota
+	// OpAdd adds Src to Dst (modular in the field width).
+	OpAdd
+	// OpForward sets the egress port to Src.
+	OpForward
+	// OpDrop marks the packet dropped.
+	OpDrop
+	// OpRegWrite writes Src to register Reg at index Index.
+	OpRegWrite
+	// OpRegRead reads register Reg at index Index into Dst.
+	OpRegRead
+	// OpCount increments counter Reg at index Index.
+	OpCount
+)
+
+var opNames = [...]string{"set", "add", "forward", "drop", "regwrite", "regread", "count"}
+
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one primitive operation inside an action.
+type Op struct {
+	Kind  OpKind
+	Dst   string // field qname (OpSet/OpAdd/OpRegRead)
+	Src   Val    // value source (OpSet/OpAdd/OpForward/OpRegWrite)
+	Reg   string // register/counter name
+	Index Val    // register index
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpSet:
+		return fmt.Sprintf("set %s = %s", o.Dst, o.Src)
+	case OpAdd:
+		return fmt.Sprintf("add %s += %s", o.Dst, o.Src)
+	case OpForward:
+		return fmt.Sprintf("forward %s", o.Src)
+	case OpDrop:
+		return "drop"
+	case OpRegWrite:
+		return fmt.Sprintf("regwrite %s[%s] = %s", o.Reg, o.Index, o.Src)
+	case OpRegRead:
+		return fmt.Sprintf("regread %s = %s[%s]", o.Dst, o.Reg, o.Index)
+	case OpCount:
+		return fmt.Sprintf("count %s[%s]", o.Reg, o.Index)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Action is a named sequence of operations with declared parameters.
+type Action struct {
+	Name   string
+	Params []string
+	Ops    []Op
+}
+
+// MatchKind is the match semantics of one table key.
+type MatchKind uint8
+
+const (
+	// MatchExact requires equality.
+	MatchExact MatchKind = iota
+	// MatchLPM is longest-prefix match on the key field.
+	MatchLPM
+	// MatchTernary matches under a mask; highest priority entry wins.
+	MatchTernary
+)
+
+var matchNames = [...]string{"exact", "lpm", "ternary"}
+
+func (k MatchKind) String() string {
+	if int(k) < len(matchNames) {
+		return matchNames[k]
+	}
+	return fmt.Sprintf("match(%d)", uint8(k))
+}
+
+// Key is one table key: a field and how it is matched.
+type Key struct {
+	Field string
+	Kind  MatchKind
+	Bits  int // field width, needed for LPM; 64 if unset
+}
+
+// KeyMatch is the per-entry match spec for one key.
+type KeyMatch struct {
+	Value     uint64
+	PrefixLen int    // MatchLPM: number of leading bits that must match
+	Mask      uint64 // MatchTernary: 1-bits must match
+}
+
+// Entry is one table entry.
+type Entry struct {
+	Matches  []KeyMatch
+	Priority int // ternary tie-break: higher wins
+	Action   string
+	Params   map[string]uint64
+}
+
+// Table is a match+action table declaration.
+type Table struct {
+	Name          string
+	Keys          []Key
+	Actions       []string // permitted action names
+	DefaultAction string
+	DefaultParams map[string]uint64
+	MaxEntries    int
+}
+
+// Register declares a stateful register array.
+type Register struct {
+	Name string
+	Size int
+}
+
+// Transition is one parser branch: if the select field equals Value, go
+// to state Next.
+type Transition struct {
+	Value uint64
+	Next  string
+}
+
+// ParserState extracts a header (optional) and selects the next state on
+// one of its fields. The distinguished state names "accept" and "reject"
+// terminate parsing.
+type ParserState struct {
+	Name        string
+	Extract     string // header type to extract; "" for none
+	SelectField string // qualified field to branch on; "" = always Default
+	Transitions []Transition
+	Default     string
+}
+
+// Terminal parser state names.
+const (
+	StateAccept = "accept"
+	StateReject = "reject"
+)
+
+// canonical writes a deterministic textual form used for digests; any
+// semantic change to the program changes this string.
+func canonicalParams(m map[string]uint64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%d,", k, m[k])
+	}
+	return b.String()
+}

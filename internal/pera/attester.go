@@ -1,0 +1,92 @@
+package pera
+
+import (
+	"fmt"
+
+	"pera/internal/evidence"
+	"pera/internal/rats"
+)
+
+// RATS integration: a PERA switch as the Attester of Fig. 1, answering
+// challenge messages with signed evidence for the requested claims, and
+// relying-party helpers for originating in-band traffic.
+
+// Claim names accepted in rats challenge messages, mapping to the Fig. 4
+// detail levels.
+var claimNames = map[string]evidence.Detail{
+	"hardware":  evidence.DetailHardware,
+	"program":   evidence.DetailProgram,
+	"tables":    evidence.DetailTables,
+	"progstate": evidence.DetailProgState,
+	"packets":   evidence.DetailPackets,
+}
+
+// ParseClaims converts claim-name strings to detail levels.
+func ParseClaims(names []string) ([]evidence.Detail, error) {
+	var out []evidence.Detail
+	for _, n := range names {
+		d, ok := claimNames[n]
+		if !ok {
+			return nil, fmt.Errorf("pera: unknown claim %q", n)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ClaimName returns the wire name of a detail level.
+func ClaimName(d evidence.Detail) string {
+	for n, dd := range claimNames {
+		if dd == d {
+			return n
+		}
+	}
+	return d.String()
+}
+
+// AttesterHandler returns a rats.Handler exposing the switch as a RATS
+// attester: MsgChallenge(nonce, claims) → MsgEvidence(signed evidence).
+func (s *Switch) AttesterHandler() rats.Handler {
+	return func(req *rats.Message) *rats.Message {
+		if req.Type != rats.MsgChallenge {
+			return &rats.Message{Type: rats.MsgError, Session: req.Session,
+				Body: []byte(fmt.Sprintf("attester cannot service %v", req.Type))}
+		}
+		claims := req.Claims
+		if len(claims) == 0 {
+			claims = []string{"hardware", "program"}
+		}
+		details, err := ParseClaims(claims)
+		if err != nil {
+			return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
+		}
+		ev, err := s.Attest(req.Nonce, details...)
+		if err != nil {
+			return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
+		}
+		return &rats.Message{
+			Type: rats.MsgEvidence, Session: req.Session, Nonce: req.Nonce,
+			Body: evidence.Encode(ev),
+		}
+	}
+}
+
+// WrapFrame attaches a fresh in-band header carrying policy (and the
+// policy's nonce as initial evidence) to a frame — what the relying
+// party's stack does when originating attested traffic (§5.2).
+func WrapFrame(policy *Policy, frame []byte) []byte {
+	var init *evidence.Evidence
+	if len(policy.Nonce) > 0 {
+		init = evidence.Nonce(policy.Nonce)
+	} else {
+		init = evidence.Empty()
+	}
+	return Push(&Header{Policy: policy, Evidence: init}, frame)
+}
+
+// UnwrapFrame recovers the header and inner frame at the receiving end of
+// an attested path — what the destination (or RP2 in the in-band variant
+// of Fig. 2) does before submitting the evidence for appraisal.
+func UnwrapFrame(frame []byte) (*Header, []byte, error) {
+	return Pop(frame)
+}

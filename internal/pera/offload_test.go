@@ -1,0 +1,166 @@
+package pera
+
+import (
+	"testing"
+
+	"pera/internal/evidence"
+	"pera/internal/rats"
+	"pera/internal/rot"
+)
+
+func TestVerifyStageDropsTamperedChains(t *testing.T) {
+	upstream := newSwitch(t, "up", Config{InBand: true, Composition: evidence.Chained})
+	keys := evidence.KeyMap{"up": upstream.RoT().Public()}
+	downstream := newSwitch(t, "down", Config{
+		InBand: true, Composition: evidence.Chained,
+		VerifyIncoming: keys,
+	})
+
+	pol := &Policy{Obls: []Obligation{{
+		Claims: []evidence.Detail{evidence.DetailProgram}, SignEvidence: true,
+	}}}
+	outs, err := upstream.Receive(1, WrapFrame(pol, testFrame(t, upstream)))
+	if err != nil || len(outs) != 1 {
+		t.Fatalf("upstream: %v %v", outs, err)
+	}
+	good := outs[0].Frame
+
+	// Clean chain passes the verify stage.
+	outs, err = downstream.Receive(1, good)
+	if err != nil || len(outs) != 1 {
+		t.Fatalf("verified frame dropped: %v %v", outs, err)
+	}
+	st := downstream.Stats()
+	if st.VerifyOps != 1 || st.VerifyFails != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Tamper inside the evidence region: decode, flip a measurement,
+	// re-encode — the signature no longer covers the content.
+	hdr, inner, err := Pop(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evidence.Measurements(hdr.Evidence)[0].Value[0] ^= 1
+	bad := Push(hdr, inner)
+	outs, err = downstream.Receive(1, bad)
+	if err != nil || len(outs) != 0 {
+		t.Fatalf("tampered frame forwarded: %v %v", outs, err)
+	}
+	st = downstream.Stats()
+	if st.VerifyOps != 2 || st.VerifyFails != 1 {
+		t.Fatalf("stats after tamper: %+v", st)
+	}
+
+	// A chain from an unknown signer is also refused.
+	rogue := newSwitch(t, "rogue", Config{InBand: true, Composition: evidence.Chained})
+	outs, _ = rogue.Receive(1, WrapFrame(pol, testFrame(t, rogue)))
+	if outs2, err := downstream.Receive(1, outs[0].Frame); err != nil || len(outs2) != 0 {
+		t.Fatalf("unknown signer forwarded: %v %v", outs2, err)
+	}
+}
+
+func TestVerifyStageDisabledByDefault(t *testing.T) {
+	sw := newSwitch(t, "sw", Config{InBand: true, Composition: evidence.Chained})
+	pol := &Policy{Obls: []Obligation{{Claims: []evidence.Detail{evidence.DetailProgram}, SignEvidence: true}}}
+	up := newSwitch(t, "up", Config{InBand: true, Composition: evidence.Chained})
+	outs, _ := up.Receive(1, WrapFrame(pol, testFrame(t, up)))
+	hdr, inner, _ := Pop(outs[0].Frame)
+	evidence.Measurements(hdr.Evidence)[0].Value[0] ^= 1
+	// Without VerifyIncoming, the switch forwards even tampered chains —
+	// verification is the appraiser's job in that deployment.
+	if outs2, err := sw.Receive(1, Push(hdr, inner)); err != nil || len(outs2) != 1 {
+		t.Fatalf("default-mode drop: %v %v", outs2, err)
+	}
+	if sw.Stats().VerifyOps != 0 {
+		t.Fatal("verify ran while disabled")
+	}
+}
+
+func newOffloadPair(t *testing.T) (*SignerService, *RemoteSigner, func()) {
+	t.Helper()
+	svc := NewSignerService()
+	cc, sc := rats.Pipe()
+	go rats.Serve(sc, svc.Handler())
+	rs := NewRemoteSigner("sw1", cc)
+	return svc, rs, func() { cc.Close(); sc.Close() }
+}
+
+func TestRemoteSignerProducesValidSignatures(t *testing.T) {
+	svc, rs, cleanup := newOffloadPair(t)
+	defer cleanup()
+
+	// The service hosts sw1's signing key (same seed as the switch's
+	// local RoT, modelling the key living in the offload device).
+	keyHolder := rot.NewDeterministic("sw1", []byte("pera:sw1"))
+	svc.Host(keyHolder)
+
+	sw := newSwitch(t, "sw1", Config{})
+	sw.SetSigner(rs)
+
+	ev, err := sw.Attest([]byte("offload"), evidence.DetailProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := evidence.VerifySignatures(ev, evidence.KeyMap{"sw1": keyHolder.Public()})
+	if err != nil || n != 1 {
+		t.Fatalf("offloaded signature: %d %v", n, err)
+	}
+	if rs.Err() != nil {
+		t.Fatalf("signer error: %v", rs.Err())
+	}
+	if svc.Signs() != 1 || rs.Calls() != 1 {
+		t.Fatalf("counters: svc=%d rs=%d", svc.Signs(), rs.Calls())
+	}
+}
+
+func TestRemoteSignerFailsClosed(t *testing.T) {
+	svc, rs, cleanup := newOffloadPair(t)
+	defer cleanup()
+	// Service does NOT host sw1: signing returns an error → nil sig.
+	_ = svc
+	sig := rs.Sign([]byte("msg"))
+	if sig != nil {
+		t.Fatalf("signature from unhosted key: %x", sig)
+	}
+	if rs.Err() == nil {
+		t.Fatal("error not recorded")
+	}
+	// Evidence signed this way never verifies.
+	sw := newSwitch(t, "sw1", Config{})
+	sw.SetSigner(rs)
+	ev, err := sw.Attest(nil, evidence.DetailProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := evidence.VerifySignatures(ev, evidence.KeyMap{"sw1": sw.RoT().Public()}); err == nil {
+		t.Fatal("fail-closed signature verified")
+	}
+}
+
+func TestRemoteSignerDeadTransport(t *testing.T) {
+	cc, sc := rats.Pipe()
+	cc.Close()
+	sc.Close()
+	rs := NewRemoteSigner("sw1", cc)
+	if rs.Sign([]byte("m")) != nil {
+		t.Fatal("signature over dead transport")
+	}
+	if rs.Err() == nil {
+		t.Fatal("transport error not recorded")
+	}
+}
+
+func TestSignerServiceHandlerErrors(t *testing.T) {
+	svc := NewSignerService()
+	h := svc.Handler()
+	if h(&rats.Message{Type: rats.MsgChallenge}).Type != rats.MsgError {
+		t.Fatal("wrong type serviced")
+	}
+	if h(&rats.Message{Type: rats.MsgSign}).Type != rats.MsgError {
+		t.Fatal("missing identity serviced")
+	}
+	if h(&rats.Message{Type: rats.MsgSign, Claims: []string{"ghost"}}).Type != rats.MsgError {
+		t.Fatal("unhosted identity serviced")
+	}
+}

@@ -1,0 +1,457 @@
+package pera
+
+import (
+	"fmt"
+	"sync"
+
+	"pera/internal/evidence"
+	"pera/internal/netsim"
+	"pera/internal/p4ir"
+	"pera/internal/pisa"
+	"pera/internal/rot"
+)
+
+// PCR allocation for PERA platforms, mirroring measured-boot conventions:
+// PCR 0 holds the hardware/firmware identity, PCR 4 the loaded dataplane
+// program, PCR 5 rolling table state.
+const (
+	PCRHardware = 0
+	PCRProgram  = 4
+	PCRTables   = 5
+)
+
+// Claim target names used in measurement evidence.
+const (
+	TargetHardware = "hardware"
+	TargetTables   = "tables"
+	TargetState    = "state"
+	TargetPacket   = "packet"
+)
+
+// Sink receives out-of-band evidence emitted by a switch (Fig. 3 cases B,
+// C and E): the harness wires it to an appraiser, a collector host, or a
+// rats connection.
+type Sink func(sw, appraiser string, ev *evidence.Evidence)
+
+// Config tunes a switch's evidence production — the paper's §5.2
+// "configuration interface that can tune the level of detail and
+// frequency of evidence" (Fig. 4).
+type Config struct {
+	// InBand enables the in-band header path (pop/compose/push).
+	InBand bool
+	// Composition selects chained vs pointwise evidence.
+	Composition evidence.Composition
+	// Sampler decides per packet whether evidence is produced. Nil means
+	// attest every sampled packet... nil defaults to per-packet.
+	Sampler *evidence.Sampler
+	// Cache reuses high-inertia evidence. Nil disables caching.
+	Cache *evidence.Cache
+	// Standing obligations applied to all traffic (out-of-band
+	// configuration); in-band policies arrive in headers.
+	Standing []Obligation
+	// VerifyIncoming enables the Verify half of the Fig. 3 Sign/Verify
+	// stage: in-band evidence arriving on a frame is checked against
+	// these keys and the frame is dropped if the chain does not verify
+	// — upstream tampering never propagates. Nil disables verification.
+	VerifyIncoming evidence.KeyResolver
+}
+
+// Stats are cumulative counters the benchmarks read.
+type Stats struct {
+	Packets       uint64 // frames processed
+	Attested      uint64 // frames for which evidence was produced
+	SignOps       uint64 // RoT signature operations
+	EvidenceBytes uint64 // evidence bytes emitted (in-band + out-of-band)
+	InBandBytes   uint64 // header bytes carried on egress frames
+	OutOfBandMsgs uint64 // sink emissions
+	GuardRejects  uint64 // obligations skipped by failed ▶ tests
+	SampleSkips   uint64 // obligations skipped by the sampler
+	VerifyOps     uint64 // incoming chains checked by the Verify stage
+	VerifyFails   uint64 // frames dropped for unverifiable chains
+}
+
+// Switch is a PERA switch: a PISA dataplane plus a root of trust, the
+// Sign/Verify stage, and the evidence Create/Inspect/Compose block.
+// It implements netsim.Node and netsim.Dataplane.
+type Switch struct {
+	name   string
+	rot    *rot.RoT
+	signer evidence.Signer // defaults to the local RoT; see SetSigner
+	inst   *pisa.Instance
+
+	mu     sync.Mutex
+	cfg    Config
+	sink   Sink
+	stats  Stats
+	serial uint64
+}
+
+// New creates a PERA switch, measures the platform into PCR 0 and loads
+// prog, measuring it into PCR 4 (the measured-boot sequence a deployed
+// switch would perform before enabling its dataplane).
+func New(name string, prog *p4ir.Program, cfg Config) (*Switch, error) {
+	inst, err := pisa.Load(prog)
+	if err != nil {
+		return nil, err
+	}
+	r := rot.NewDeterministic(name, []byte("pera:"+name))
+	s := &Switch{name: name, rot: r, signer: r, inst: inst, cfg: cfg}
+	if cfg.Sampler == nil {
+		s.cfg.Sampler = evidence.NewSampler(evidence.SamplerConfig{Mode: evidence.SamplePerPacket})
+	}
+	if err := r.ExtendData(PCRHardware, []byte("PERA-ASIC-v1:"+name), "hardware identity"); err != nil {
+		return nil, err
+	}
+	pd := prog.Digest()
+	if err := r.Extend(PCRProgram, pd, "program "+prog.Name); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements netsim.Node.
+func (s *Switch) Name() string { return s.name }
+
+// Instance implements netsim.Dataplane.
+func (s *Switch) Instance() *pisa.Instance { return s.inst }
+
+// RoT exposes the root of trust (read-only use: keys, quotes).
+func (s *Switch) RoT() *rot.RoT { return s.rot }
+
+// SetSigner replaces the Sign-stage backend — e.g. with a RemoteSigner
+// when the crypto primitive is disaggregated onto a neighbouring device
+// (§5.2). The signer's Name must resolve to a key the appraiser trusts
+// for this switch. Quotes still come from the local RoT.
+func (s *Switch) SetSigner(signer evidence.Signer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.signer = signer
+}
+
+// currentSigner returns the active Sign-stage backend.
+func (s *Switch) currentSigner() evidence.Signer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.signer
+}
+
+// SetSink installs the out-of-band evidence destination.
+func (s *Switch) SetSink(sink Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+}
+
+// SetConfig replaces the evidence configuration.
+func (s *Switch) SetConfig(cfg Config) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cfg.Sampler == nil {
+		cfg.Sampler = evidence.NewSampler(evidence.SamplerConfig{Mode: evidence.SamplePerPacket})
+	}
+	s.cfg = cfg
+}
+
+// Config returns the current configuration.
+func (s *Switch) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Switch) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the counters.
+func (s *Switch) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats = Stats{}
+}
+
+// ReloadProgram swaps the dataplane program, re-measuring PCR 4 — the
+// extend chain records both the old and new program, so a swap is always
+// visible to an appraiser comparing against a single-program golden log
+// (UC1's protection).
+func (s *Switch) ReloadProgram(prog *p4ir.Program) error {
+	inst, err := pisa.Load(prog)
+	if err != nil {
+		return err
+	}
+	if err := s.rot.Extend(PCRProgram, prog.Digest(), "program "+prog.Name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.inst = inst
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.InvalidatePlace(s.name)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// ClaimValue returns the attestable digest for one detail level. The
+// packet argument is used only for DetailPackets and may be nil
+// otherwise.
+func (s *Switch) ClaimValue(d evidence.Detail, frame []byte) (target string, value rot.Digest, err error) {
+	switch d {
+	case evidence.DetailHardware:
+		v, err := s.rot.PCR(PCRHardware)
+		return TargetHardware, v, err
+	case evidence.DetailProgram:
+		return s.inst.Program().Name, s.inst.ProgramDigest(), nil
+	case evidence.DetailTables:
+		return TargetTables, s.inst.TablesDigest(), nil
+	case evidence.DetailProgState:
+		return TargetState, s.inst.StateDigest(), nil
+	case evidence.DetailPackets:
+		return TargetPacket, rot.Sum(frame), nil
+	default:
+		return "", rot.Digest{}, fmt.Errorf("pera: unknown detail %v", d)
+	}
+}
+
+// Attest produces signed evidence for the requested details bound to
+// nonce — the switch half of Fig. 1 and the `attest(...) -> # -> !`
+// phrase of expressions (3)/(4). The hardware claim carries a serialized
+// RoT quote in the measurement's Claims bytes so appraisers can verify
+// hardware rooting independently.
+func (s *Switch) Attest(nonce []byte, details ...evidence.Detail) (*evidence.Evidence, error) {
+	var parts []*evidence.Evidence
+	if len(nonce) > 0 {
+		parts = append(parts, evidence.Nonce(nonce))
+	}
+	for _, d := range details {
+		m, err := s.claimEvidence(d, nil)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, m)
+	}
+	ev := evidence.SeqAll(parts...)
+	s.mu.Lock()
+	s.stats.SignOps++
+	signer := s.signer
+	s.mu.Unlock()
+	return evidence.Sign(signer, ev), nil
+}
+
+// claimTarget returns the cache/evidence target name for a detail level
+// without computing the (possibly expensive) claim digest.
+func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
+	switch d {
+	case evidence.DetailHardware:
+		return TargetHardware, nil
+	case evidence.DetailProgram:
+		return s.inst.Program().Name, nil
+	case evidence.DetailTables:
+		return TargetTables, nil
+	case evidence.DetailProgState:
+		return TargetState, nil
+	case evidence.DetailPackets:
+		return TargetPacket, nil
+	default:
+		return "", fmt.Errorf("pera: unknown detail %v", d)
+	}
+}
+
+// claimEvidence builds (or fetches from cache) the measurement node for
+// one detail level.
+func (s *Switch) claimEvidence(d evidence.Detail, frame []byte) (*evidence.Evidence, error) {
+	s.mu.Lock()
+	cache := s.cfg.Cache
+	s.mu.Unlock()
+	target, err := s.claimTarget(d)
+	if err != nil {
+		return nil, err
+	}
+	build := func() (*evidence.Evidence, error) {
+		tgt, val, err := s.ClaimValue(d, frame)
+		if err != nil {
+			return nil, err
+		}
+		var claims []byte
+		if d == evidence.DetailHardware {
+			// The hardware claim carries a full serialized quote over
+			// the identity and program PCRs, so appraisers can verify
+			// the hardware rooting independently of the evidence
+			// signature.
+			q, err := s.rot.Quote(nil, PCRHardware, PCRProgram)
+			if err != nil {
+				return nil, err
+			}
+			claims = rot.EncodeQuote(q)
+		}
+		return evidence.Measurement(s.name, tgt, s.name, d, val, claims), nil
+	}
+	if cache == nil {
+		return build()
+	}
+	ev, _, err := cache.GetOrProduce(s.name, target, d, build)
+	return ev, err
+}
+
+// Receive implements netsim.Node: the full Fig. 3 pipeline with the
+// evidence stages around the PISA core.
+func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
+	s.mu.Lock()
+	cfg := s.cfg
+	sink := s.sink
+	s.stats.Packets++
+	s.mu.Unlock()
+
+	var hdr *Header
+	inner := frame
+	if cfg.InBand && HasHeader(frame) {
+		h, rest, err := Pop(frame)
+		if err != nil {
+			return nil, err
+		}
+		hdr, inner = h, rest
+		// The Verify half of the Sign/Verify stage (Fig. 3): inspect the
+		// incoming chain before doing any work on its behalf; a frame
+		// whose evidence does not verify is dropped here, so upstream
+		// tampering cannot ride further along the path.
+		if cfg.VerifyIncoming != nil {
+			s.bump(func(st *Stats) { st.VerifyOps++ })
+			if _, err := evidence.VerifySignatures(hdr.Evidence, cfg.VerifyIncoming); err != nil {
+				s.bump(func(st *Stats) { st.VerifyFails++ })
+				return nil, nil
+			}
+		}
+	}
+
+	outs, err := s.inst.Process(inner, port)
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) == 0 {
+		return nil, nil
+	}
+
+	// Evidence stage: gather obligations from the standing config and
+	// any in-band policy.
+	obls := cfg.Standing
+	if hdr != nil {
+		obls = append(append([]Obligation(nil), obls...), hdr.Policy.Obls...)
+	}
+	pkt := outs[0].Packet
+	attested := false
+	for i := range obls {
+		o := &obls[i]
+		if !o.AppliesAt(s.name) {
+			continue
+		}
+		if !MatchAll(o.Guards, pkt) {
+			s.bump(func(st *Stats) { st.GuardRejects++ })
+			continue
+		}
+		if !cfg.Sampler.Sample(pkt.FlowHash()) {
+			s.bump(func(st *Stats) { st.SampleSkips++ })
+			continue
+		}
+		ev, err := s.obligationEvidence(o, inner, hdr)
+		if err != nil {
+			return nil, err
+		}
+		attested = true
+		switch {
+		case hdr != nil && cfg.Composition == evidence.Chained:
+			hdr.Evidence = ev
+		default:
+			// Pointwise (or no header to thread through): out-of-band.
+			s.emitOOB(sink, o.Appraiser, ev)
+		}
+	}
+	if attested {
+		s.bump(func(st *Stats) { st.Attested++ })
+	}
+
+	emissions := make([]netsim.Emission, 0, len(outs))
+	for _, o := range outs {
+		data := o.Packet.Data
+		if hdr != nil {
+			data = Push(hdr, data)
+			s.bump(func(st *Stats) {
+				st.InBandBytes += uint64(len(data) - len(o.Packet.Data))
+			})
+		}
+		emissions = append(emissions, netsim.Emission{Port: o.Port, Frame: data})
+	}
+	return emissions, nil
+}
+
+// obligationEvidence builds the evidence one obligation demands,
+// composing with the header chain when chained.
+func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header) (*evidence.Evidence, error) {
+	var parts []*evidence.Evidence
+	for _, d := range o.Claims {
+		m, err := s.claimEvidence(d, frame)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, m)
+	}
+	local := evidence.SeqAll(parts...)
+	if o.HashEvidence {
+		local = evidence.Hash(local)
+	}
+	cfg := s.Config()
+	if hdr != nil && cfg.Composition == evidence.Chained {
+		// Thread the incoming chain through this hop: local evidence is
+		// sequenced after everything accumulated so far, and the switch
+		// signs the whole chain, committing to its position on the path.
+		composed := evidence.Seq(hdr.Evidence, local)
+		if o.SignEvidence {
+			s.bump(func(st *Stats) { st.SignOps++ })
+			composed = evidence.Sign(s.currentSigner(), composed)
+		}
+		s.bump(func(st *Stats) { st.EvidenceBytes += uint64(evidence.EncodedSize(composed)) })
+		return composed, nil
+	}
+	if o.SignEvidence {
+		s.bump(func(st *Stats) { st.SignOps++ })
+		local = evidence.Sign(s.currentSigner(), local)
+	}
+	s.bump(func(st *Stats) { st.EvidenceBytes += uint64(evidence.EncodedSize(local)) })
+	return local, nil
+}
+
+func (s *Switch) emitOOB(sink Sink, appraiserPlace string, ev *evidence.Evidence) {
+	s.bump(func(st *Stats) { st.OutOfBandMsgs++ })
+	if sink != nil {
+		sink(s.name, appraiserPlace, ev)
+	}
+}
+
+func (s *Switch) bump(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// GoldenValues returns the appraiser-side reference digests for this
+// switch's current configuration, keyed by (target, detail). Operators
+// distribute these when provisioning appraisal policies.
+type GoldenValue struct {
+	Target string
+	Detail evidence.Detail
+	Value  rot.Digest
+}
+
+// Golden lists reference values for the given details.
+func (s *Switch) Golden(details ...evidence.Detail) ([]GoldenValue, error) {
+	var out []GoldenValue
+	for _, d := range details {
+		t, v, err := s.ClaimValue(d, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, GoldenValue{Target: t, Detail: d, Value: v})
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+// Package pisa executes p4ir programs as a PISA-style switch pipeline:
+// programmable parser, ingress match+action stages, egress stages,
+// deparser, plus registers and counters. It is the reproduction's
+// substitute for Tofino-class hardware — stage-accurate rather than
+// cycle-accurate, which is what the paper's Fig. 3 pipeline claims need.
+package pisa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when the parser runs off the end of a packet.
+var ErrTruncated = errors.New("pisa: packet truncated during parse")
+
+// bitReader extracts big-endian bit fields from a byte slice.
+type bitReader struct {
+	data []byte
+	off  int // bit offset
+}
+
+// read extracts the next n bits (1..64) as a big-endian unsigned value.
+func (r *bitReader) read(n int) (uint64, error) {
+	if n < 1 || n > 64 {
+		return 0, fmt.Errorf("pisa: bad field width %d", n)
+	}
+	if r.off+n > len(r.data)*8 {
+		return 0, ErrTruncated
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := (r.off + i) / 8
+		bitIdx := 7 - (r.off+i)%8
+		v = v<<1 | uint64(r.data[byteIdx]>>bitIdx&1)
+	}
+	r.off += n
+	return v, nil
+}
+
+// bitWriter appends big-endian bit fields to a buffer.
+type bitWriter struct {
+	data []byte
+	off  int // bit offset into data (always == bits written)
+}
+
+// write appends the low n bits of v.
+func (w *bitWriter) write(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		if w.off%8 == 0 {
+			w.data = append(w.data, 0)
+		}
+		bit := byte(v >> uint(i) & 1)
+		w.data[w.off/8] |= bit << (7 - w.off%8)
+		w.off++
+	}
+}
+
+// mask returns the n-bit mask (n in 1..64).
+func mask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}

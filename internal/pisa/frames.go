@@ -1,0 +1,40 @@
+package pisa
+
+import (
+	"fmt"
+
+	"pera/internal/p4ir"
+)
+
+// BuildFrame serializes the named headers of prog, taking field values
+// from fields (absent fields are zero), and appends payload. It is the
+// inverse of Parse for well-formed inputs and is used by tests, examples
+// and the traffic generators.
+func BuildFrame(prog *p4ir.Program, headers []string, fields map[string]uint64, payload []byte) ([]byte, error) {
+	w := bitWriter{}
+	for _, hname := range headers {
+		hdr, ok := prog.Header(hname)
+		if !ok {
+			return nil, fmt.Errorf("pisa: unknown header %q", hname)
+		}
+		for _, f := range hdr.Fields {
+			w.write(fields[p4ir.QName(hname, f.Name)], f.Bits)
+		}
+	}
+	return append(w.data, payload...), nil
+}
+
+// IPFrame builds an eth+ip+tp frame for the standard program library
+// headers, with eth.typ and ip.proto set so the std parser walks all
+// three headers (proto 6 = "TCP-like").
+func IPFrame(prog *p4ir.Program, src, dst uint64, sport, dport uint64, payload []byte) ([]byte, error) {
+	return BuildFrame(prog, []string{"eth", "ip", "tp"}, map[string]uint64{
+		"eth.typ":  p4ir.EtherTypeIP,
+		"ip.src":   src,
+		"ip.dst":   dst,
+		"ip.proto": 6,
+		"ip.ttl":   64,
+		"tp.sport": sport,
+		"tp.dport": dport,
+	}, payload)
+}

@@ -1,0 +1,112 @@
+package pisa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pera/internal/p4ir"
+)
+
+// Packet is a frame travelling through the pipeline: the raw bytes it
+// arrived with, the header fields the parser extracted (plus metadata),
+// and bookkeeping to re-serialize modified headers on the way out.
+type Packet struct {
+	// Data is the original frame.
+	Data []byte
+	// Fields holds parsed header fields under qualified names
+	// ("eth.dst") and pipeline metadata under "meta.*".
+	Fields map[string]uint64
+
+	extracted  []string // header type names in extraction order
+	payloadOff int      // bit offset where the unparsed payload begins
+}
+
+// NewPacket wraps raw frame bytes arriving on ingressPort.
+func NewPacket(data []byte, ingressPort uint64) *Packet {
+	return &Packet{
+		Data: data,
+		Fields: map[string]uint64{
+			p4ir.MetaIngressPort: ingressPort,
+		},
+	}
+}
+
+// Get returns a field value (absent fields read zero, like P4 metadata).
+func (p *Packet) Get(qname string) uint64 { return p.Fields[qname] }
+
+// Set assigns a field value.
+func (p *Packet) Set(qname string, v uint64) { p.Fields[qname] = v }
+
+// Dropped reports whether the pipeline marked the packet dropped.
+func (p *Packet) Dropped() bool { return p.Fields[p4ir.MetaDrop] != 0 }
+
+// EgressPort returns the selected output port.
+func (p *Packet) EgressPort() uint64 { return p.Fields[p4ir.MetaEgressPort] }
+
+// Payload returns the unparsed remainder of the frame. The parser always
+// leaves the payload byte-aligned when headers are byte-multiples; for
+// odd header widths the payload begins at the next full byte.
+func (p *Packet) Payload() []byte {
+	byteOff := (p.payloadOff + 7) / 8
+	if byteOff >= len(p.Data) {
+		return nil
+	}
+	return p.Data[byteOff:]
+}
+
+// Extracted returns the header type names extracted by the parser, in
+// order.
+func (p *Packet) Extracted() []string {
+	return append([]string(nil), p.extracted...)
+}
+
+// Clone returns a deep copy, used for mirroring/cloning.
+func (p *Packet) Clone() *Packet {
+	cp := &Packet{
+		Data:       append([]byte(nil), p.Data...),
+		Fields:     make(map[string]uint64, len(p.Fields)),
+		extracted:  append([]string(nil), p.extracted...),
+		payloadOff: p.payloadOff,
+	}
+	for k, v := range p.Fields {
+		cp.Fields[k] = v
+	}
+	return cp
+}
+
+// String renders the parsed fields deterministically, for logs and tests.
+func (p *Packet) String() string {
+	keys := make([]string, 0, len(p.Fields))
+	for k := range p.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, p.Fields[k])
+	}
+	return b.String()
+}
+
+// FlowHash returns a stable non-cryptographic hash over the packet's
+// addressing fields, used by evidence samplers (per-flow sampling) and
+// load distribution. FNV-1a over the canonical flow fields.
+func (p *Packet) FlowHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, f := range []string{"ip.src", "ip.dst", "ip.proto", "tp.sport", "tp.dport"} {
+		v := p.Fields[f]
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * uint(i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}

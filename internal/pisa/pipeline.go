@@ -1,0 +1,238 @@
+package pisa
+
+import (
+	"errors"
+	"fmt"
+
+	"pera/internal/p4ir"
+)
+
+// Pipeline execution: parse → ingress tables → egress tables → deparse.
+//
+// The stages mirror the paper's Fig. 3 switch diagram. Evidence-handling
+// stages (Sign/Verify, Create/Inspect/Compose) are layered on top by
+// internal/pera; this file is the plain PISA forwarding substrate those
+// stages extend.
+
+// Errors from pipeline execution.
+var (
+	ErrParseReject   = errors.New("pisa: parser rejected packet")
+	ErrNoParserStart = errors.New("pisa: parser has no start state")
+)
+
+// maxParserSteps bounds parser state transitions per packet, so cyclic
+// parser graphs (legal to declare, ill-advised to run) terminate.
+const maxParserSteps = 64
+
+// Output is one frame emitted by the pipeline.
+type Output struct {
+	Port   uint64
+	Packet *Packet
+	Mirror bool // true if this output came from a mirror/clone
+}
+
+// Parse runs the parser state machine over pkt.Data, populating
+// pkt.Fields. The first declared state is the start state.
+func (in *Instance) Parse(pkt *Packet) error {
+	if len(in.prog.Parser) == 0 {
+		return ErrNoParserStart
+	}
+	r := bitReader{data: pkt.Data}
+	state := in.prog.Parser[0]
+	for steps := 0; steps < maxParserSteps; steps++ {
+		if state.Extract != "" {
+			hdr, _ := in.prog.Header(state.Extract)
+			for _, f := range hdr.Fields {
+				v, err := r.read(f.Bits)
+				if err != nil {
+					return fmt.Errorf("extracting %s.%s: %w", hdr.Name, f.Name, err)
+				}
+				pkt.Fields[p4ir.QName(hdr.Name, f.Name)] = v
+			}
+			pkt.extracted = append(pkt.extracted, hdr.Name)
+		}
+		next := state.Default
+		if state.SelectField != "" {
+			v := pkt.Get(state.SelectField)
+			for _, tr := range state.Transitions {
+				if tr.Value == v {
+					next = tr.Next
+					break
+				}
+			}
+		}
+		switch next {
+		case p4ir.StateAccept:
+			pkt.payloadOff = r.off
+			in.mu.Lock()
+			in.parsedN++
+			in.mu.Unlock()
+			return nil
+		case p4ir.StateReject:
+			return ErrParseReject
+		}
+		ns, ok := in.prog.State(next)
+		if !ok {
+			return fmt.Errorf("pisa: parser transition to unknown state %q", next)
+		}
+		state = ns
+	}
+	return fmt.Errorf("pisa: parser exceeded %d steps", maxParserSteps)
+}
+
+// applyTables runs a pipeline of tables in order. Processing stops early
+// if the packet is dropped.
+func (in *Instance) applyTables(tables []*p4ir.Table, pkt *Packet) error {
+	for _, decl := range tables {
+		if pkt.Dropped() {
+			return nil
+		}
+		in.mu.RLock()
+		ts := in.tables[decl.Name]
+		entry, hit := in.lookup(ts, pkt)
+		in.mu.RUnlock()
+		var actName string
+		var params map[string]uint64
+		if hit {
+			actName, params = entry.Action, entry.Params
+		} else {
+			actName, params = decl.DefaultAction, decl.DefaultParams
+		}
+		if actName == "" {
+			continue // no default: table miss is a no-op
+		}
+		act, ok := in.prog.Action(actName)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownAction, actName)
+		}
+		if err := in.execAction(act, params, pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execAction runs an action's operations against the packet.
+func (in *Instance) execAction(act *p4ir.Action, params map[string]uint64, pkt *Packet) error {
+	eval := func(v p4ir.Val) uint64 {
+		switch v.Kind {
+		case p4ir.ValConst:
+			return v.Const
+		case p4ir.ValField:
+			return pkt.Get(v.Name)
+		case p4ir.ValParam:
+			return params[v.Name]
+		default:
+			return 0
+		}
+	}
+	for _, op := range act.Ops {
+		switch op.Kind {
+		case p4ir.OpSet:
+			pkt.Set(op.Dst, in.maskToWidth(op.Dst, eval(op.Src)))
+		case p4ir.OpAdd:
+			pkt.Set(op.Dst, in.maskToWidth(op.Dst, pkt.Get(op.Dst)+eval(op.Src)))
+		case p4ir.OpForward:
+			pkt.Set(p4ir.MetaEgressPort, eval(op.Src))
+		case p4ir.OpDrop:
+			pkt.Set(p4ir.MetaDrop, 1)
+		case p4ir.OpRegWrite:
+			in.RegWrite(op.Reg, eval(op.Index), eval(op.Src))
+		case p4ir.OpRegRead:
+			pkt.Set(op.Dst, in.RegRead(op.Reg, eval(op.Index)))
+		case p4ir.OpCount:
+			in.count(op.Reg, eval(op.Index))
+		default:
+			return fmt.Errorf("pisa: unknown op %v", op.Kind)
+		}
+	}
+	return nil
+}
+
+func (in *Instance) count(reg string, idx uint64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	arr := in.counts[reg]
+	if int(idx) < len(arr) {
+		arr[idx]++
+	}
+}
+
+// maskToWidth truncates a value to the declared width of a header field;
+// metadata fields are full 64-bit.
+func (in *Instance) maskToWidth(qname string, v uint64) uint64 {
+	hdrName, fieldName, ok := splitQName(qname)
+	if !ok || hdrName == "meta" {
+		return v
+	}
+	hdr, ok := in.prog.Header(hdrName)
+	if !ok {
+		return v
+	}
+	f, ok := hdr.Field(fieldName)
+	if !ok {
+		return v
+	}
+	return v & mask(f.Bits)
+}
+
+func splitQName(qname string) (hdr, field string, ok bool) {
+	for i := 0; i < len(qname); i++ {
+		if qname[i] == '.' {
+			return qname[:i], qname[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// Deparse re-serializes the packet: extracted headers (with any field
+// modifications) followed by the original payload.
+func (in *Instance) Deparse(pkt *Packet) []byte {
+	w := bitWriter{}
+	for _, hname := range pkt.extracted {
+		hdr, ok := in.prog.Header(hname)
+		if !ok {
+			continue
+		}
+		for _, f := range hdr.Fields {
+			w.write(pkt.Get(p4ir.QName(hdr.Name, f.Name)), f.Bits)
+		}
+	}
+	return append(w.data, pkt.Payload()...)
+}
+
+// Process runs the full pipeline over raw frame bytes arriving on
+// ingressPort and returns the emitted outputs (possibly several, when the
+// program mirrors). A parse reject or a drop yields no outputs and no
+// error; substrate errors (unknown actions, etc.) are returned.
+func (in *Instance) Process(data []byte, ingressPort uint64) ([]Output, error) {
+	pkt := NewPacket(data, ingressPort)
+	if err := in.Parse(pkt); err != nil {
+		if errors.Is(err, ErrParseReject) || errors.Is(err, ErrTruncated) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if err := in.applyTables(in.prog.Ingress, pkt); err != nil {
+		return nil, err
+	}
+	if pkt.Dropped() {
+		return nil, nil
+	}
+	if err := in.applyTables(in.prog.Egress, pkt); err != nil {
+		return nil, err
+	}
+	if pkt.Dropped() {
+		return nil, nil
+	}
+	pkt.Data = in.Deparse(pkt)
+	outs := []Output{{Port: pkt.EgressPort(), Packet: pkt}}
+	// Mirroring convention: programs set meta.mirrored=1 and
+	// meta.mirror_port to clone the frame (see p4ir.NewRogueForwarding).
+	if pkt.Get("meta.mirrored") != 0 {
+		cl := pkt.Clone()
+		cl.Set(p4ir.MetaEgressPort, pkt.Get("meta.mirror_port"))
+		outs = append(outs, Output{Port: cl.EgressPort(), Packet: cl, Mirror: true})
+	}
+	return outs, nil
+}

@@ -1,0 +1,549 @@
+package pisa
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pera/internal/p4ir"
+)
+
+func TestBitReaderWriter(t *testing.T) {
+	w := bitWriter{}
+	w.write(0xABCD, 16)
+	w.write(0x5, 3)
+	w.write(0x1FF, 13)
+	r := bitReader{data: w.data}
+	for _, c := range []struct {
+		bits int
+		want uint64
+	}{{16, 0xABCD}, {3, 0x5}, {13, 0x1FF}} {
+		got, err := r.read(c.bits)
+		if err != nil || got != c.want {
+			t.Fatalf("read %d bits: %x (want %x), err %v", c.bits, got, c.want, err)
+		}
+	}
+	if _, err := r.read(8); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overread: %v", err)
+	}
+	if _, err := (&bitReader{}).read(0); err == nil {
+		t.Fatal("zero-width read accepted")
+	}
+	if _, err := (&bitReader{}).read(65); err == nil {
+		t.Fatal("65-bit read accepted")
+	}
+}
+
+// Property: write-then-read round-trips arbitrary field sequences.
+func TestPropertyBitsRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		w := bitWriter{}
+		type fld struct {
+			v    uint64
+			bits int
+		}
+		var flds []fld
+		for i := 0; i < n; i++ {
+			bits := int(widths[i]%64) + 1
+			v := vals[i] & mask(bits)
+			flds = append(flds, fld{v, bits})
+			w.write(v, bits)
+		}
+		r := bitReader{data: w.data}
+		for _, f := range flds {
+			got, err := r.read(f.bits)
+			if err != nil || got != f.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMask(t *testing.T) {
+	if mask(1) != 1 || mask(8) != 0xff || mask(64) != ^uint64(0) || mask(70) != ^uint64(0) {
+		t.Fatal("mask values")
+	}
+}
+
+func loadFwd(t *testing.T) *Instance {
+	t.Helper()
+	in, err := Load(p4ir.NewForwarding("fwd_v1.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10}},
+		Action:  "fwd",
+		Params:  map[string]uint64{"port": 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	bad := p4ir.NewForwarding("")
+	if _, err := Load(bad); err == nil {
+		t.Fatal("invalid program loaded")
+	}
+}
+
+func TestParseExtractsFields(t *testing.T) {
+	in := loadFwd(t)
+	frame, err := IPFrame(in.Program(), 7, 10, 1234, 80, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := NewPacket(frame, 1)
+	if err := in.Parse(pkt); err != nil {
+		t.Fatal(err)
+	}
+	for q, want := range map[string]uint64{
+		"eth.typ": p4ir.EtherTypeIP, "ip.src": 7, "ip.dst": 10,
+		"ip.proto": 6, "ip.ttl": 64, "tp.sport": 1234, "tp.dport": 80,
+	} {
+		if pkt.Get(q) != want {
+			t.Errorf("%s = %d, want %d", q, pkt.Get(q), want)
+		}
+	}
+	if string(pkt.Payload()) != "hello" {
+		t.Fatalf("payload %q", pkt.Payload())
+	}
+	if got := pkt.Extracted(); len(got) != 3 || got[2] != "tp" {
+		t.Fatalf("extracted: %v", got)
+	}
+	if in.PacketsParsed() != 1 {
+		t.Fatal("parse counter")
+	}
+}
+
+func TestParseNonIPStopsAtEth(t *testing.T) {
+	in := loadFwd(t)
+	frame, _ := BuildFrame(in.Program(), []string{"eth"}, map[string]uint64{"eth.typ": 0x0806}, nil)
+	pkt := NewPacket(frame, 1)
+	if err := in.Parse(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt.Extracted()) != 1 {
+		t.Fatalf("extracted %v", pkt.Extracted())
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	in := loadFwd(t)
+	pkt := NewPacket([]byte{1, 2, 3}, 1)
+	if err := in.Parse(pkt); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated frame: %v", err)
+	}
+	// Process treats truncation as a silent drop.
+	outs, err := in.Process([]byte{1, 2, 3}, 1)
+	if err != nil || len(outs) != 0 {
+		t.Fatalf("process truncated: %v %v", outs, err)
+	}
+}
+
+func TestProcessForwards(t *testing.T) {
+	in := loadFwd(t)
+	frame, _ := IPFrame(in.Program(), 7, 10, 1234, 80, []byte("pp"))
+	outs, err := in.Process(frame, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].Port != 2 {
+		t.Fatalf("outputs: %+v", outs)
+	}
+	// Deparsed frame preserves bytes when nothing was modified.
+	if string(outs[0].Packet.Data) != string(frame) {
+		t.Fatal("deparse changed an unmodified frame")
+	}
+}
+
+func TestProcessDefaultDrop(t *testing.T) {
+	in := loadFwd(t)
+	frame, _ := IPFrame(in.Program(), 7, 99, 1, 2, nil) // unknown dst
+	outs, err := in.Process(frame, 1)
+	if err != nil || len(outs) != 0 {
+		t.Fatalf("miss should drop: %v %v", outs, err)
+	}
+}
+
+func TestFirewallDropsDeniedFlows(t *testing.T) {
+	in, err := Load(p4ir.NewFirewall("firewall_v5.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward dst 10 out port 2; deny src 66 to any dst port 22.
+	if err := in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10}}, Action: "fwd", Params: map[string]uint64{"port": 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.InstallEntry("acl_filter", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{
+			{Value: 66, Mask: ^uint64(0)},
+			{Value: 0, Mask: 0},
+			{Value: 22, Mask: ^uint64(0)},
+		},
+		Priority: 10,
+		Action:   "drop",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Denied flow.
+	frame, _ := IPFrame(in.Program(), 66, 10, 999, 22, nil)
+	outs, _ := in.Process(frame, 1)
+	if len(outs) != 0 {
+		t.Fatal("firewall passed denied flow")
+	}
+	// Allowed flow (different port).
+	frame, _ = IPFrame(in.Program(), 66, 10, 999, 443, nil)
+	outs, _ = in.Process(frame, 1)
+	if len(outs) != 1 {
+		t.Fatal("firewall dropped allowed flow")
+	}
+}
+
+func TestACLDefaultDeny(t *testing.T) {
+	in, _ := Load(p4ir.NewACL("ACL_v3.p4"))
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10}}, Action: "fwd", Params: map[string]uint64{"port": 2}})
+	in.InstallEntry("allowlist", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 7}, {Value: 80}}, Action: "nop"})
+	allowed, _ := IPFrame(in.Program(), 7, 10, 5, 80, nil)
+	if outs, _ := in.Process(allowed, 1); len(outs) != 1 {
+		t.Fatal("allowlisted flow dropped")
+	}
+	denied, _ := IPFrame(in.Program(), 8, 10, 5, 80, nil)
+	if outs, _ := in.Process(denied, 1); len(outs) != 0 {
+		t.Fatal("non-allowlisted flow passed")
+	}
+}
+
+func TestMonitorCountsFlows(t *testing.T) {
+	in, _ := Load(p4ir.NewMonitor("mon"))
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10}}, Action: "fwd", Params: map[string]uint64{"port": 2}})
+	in.InstallEntry("flow_stats", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 7}, {Value: 10}},
+		Action:  "count_flow", Params: map[string]uint64{"idx": 42}})
+	frame, _ := IPFrame(in.Program(), 7, 10, 5, 80, nil)
+	for i := 0; i < 3; i++ {
+		in.Process(frame, 1)
+	}
+	if got := in.CounterValue("flow_count", 42); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if in.CounterValue("flow_count", 9999) != 0 {
+		t.Fatal("out-of-range counter read")
+	}
+}
+
+func TestRogueMirrorsTargetedTraffic(t *testing.T) {
+	in, _ := Load(p4ir.NewRogueForwarding("fwd_v1.p4", 99))
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10}}, Action: "fwd", Params: map[string]uint64{"port": 2}})
+	in.InstallEntry("intercept", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 7, Mask: ^uint64(0)}},
+		Action:  "mirror", Priority: 1})
+
+	// Targeted source: two outputs, one mirrored to the tap port.
+	frame, _ := IPFrame(in.Program(), 7, 10, 5, 80, []byte("secret"))
+	outs, err := in.Process(frame, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outputs: %+v", outs)
+	}
+	if outs[0].Port != 2 || outs[1].Port != 99 || !outs[1].Mirror {
+		t.Fatalf("mirror routing: %+v", outs)
+	}
+	// Untargeted source behaves identically to the legit program.
+	frame, _ = IPFrame(in.Program(), 8, 10, 5, 80, nil)
+	outs, _ = in.Process(frame, 1)
+	if len(outs) != 1 || outs[0].Port != 2 {
+		t.Fatalf("untargeted: %+v", outs)
+	}
+}
+
+func TestFieldModificationDeparses(t *testing.T) {
+	prog := p4ir.NewForwarding("ttl")
+	prog.Actions = append(prog.Actions, &p4ir.Action{
+		Name: "dec_ttl",
+		Ops: []p4ir.Op{
+			{Kind: p4ir.OpAdd, Dst: "ip.ttl", Src: p4ir.C(0xff)}, // -1 mod 256
+			{Kind: p4ir.OpForward, Src: p4ir.C(2)},
+		},
+	})
+	prog.Ingress[0].Actions = append(prog.Ingress[0].Actions, "dec_ttl")
+	in, err := Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10}}, Action: "dec_ttl"})
+	frame, _ := IPFrame(prog, 7, 10, 5, 80, []byte("xyz"))
+	outs, _ := in.Process(frame, 1)
+	if len(outs) != 1 {
+		t.Fatal("no output")
+	}
+	// Re-parse the deparsed frame: ttl must be 63, payload preserved.
+	in2 := loadFwd(t)
+	pkt := NewPacket(outs[0].Packet.Data, 1)
+	if err := in2.Parse(pkt); err != nil {
+		t.Fatal(err)
+	}
+	if pkt.Get("ip.ttl") != 63 {
+		t.Fatalf("ttl = %d, want 63", pkt.Get("ip.ttl"))
+	}
+	if string(pkt.Payload()) != "xyz" {
+		t.Fatalf("payload %q", pkt.Payload())
+	}
+}
+
+func TestLPMMatching(t *testing.T) {
+	prog := p4ir.NewForwarding("lpm")
+	prog.Ingress[0].Keys[0] = p4ir.Key{Field: "ip.dst", Kind: p4ir.MatchLPM, Bits: 32}
+	in, _ := Load(prog)
+	// 10.x/8 → port 1; 10.1.x/16 → port 2 (longer prefix wins).
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10 << 24, PrefixLen: 8}},
+		Action:  "fwd", Params: map[string]uint64{"port": 1}})
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10<<24 | 1<<16, PrefixLen: 16}},
+		Action:  "fwd", Params: map[string]uint64{"port": 2}})
+
+	fr1, _ := IPFrame(prog, 1, 10<<24|2<<16, 0, 0, nil) // 10.2.0.0
+	outs, _ := in.Process(fr1, 1)
+	if len(outs) != 1 || outs[0].Port != 1 {
+		t.Fatalf("/8 match: %+v", outs)
+	}
+	fr2, _ := IPFrame(prog, 1, 10<<24|1<<16|5, 0, 0, nil) // 10.1.0.5
+	outs, _ = in.Process(fr2, 1)
+	if len(outs) != 1 || outs[0].Port != 2 {
+		t.Fatalf("/16 match: %+v", outs)
+	}
+	// Zero-length prefix matches anything.
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 0, PrefixLen: 0}},
+		Action:  "fwd", Params: map[string]uint64{"port": 9}})
+	fr3, _ := IPFrame(prog, 1, 99, 0, 0, nil)
+	outs, _ = in.Process(fr3, 1)
+	if len(outs) != 1 || outs[0].Port != 9 {
+		t.Fatalf("/0 match: %+v", outs)
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	prog := p4ir.NewFirewall("f")
+	in, _ := Load(prog)
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 10}}, Action: "fwd", Params: map[string]uint64{"port": 2}})
+	// Low priority: drop everything from src 7.
+	in.InstallEntry("acl_filter", p4ir.Entry{
+		Matches:  []p4ir.KeyMatch{{Value: 7, Mask: ^uint64(0)}, {}, {}},
+		Priority: 1, Action: "drop"})
+	// High priority: allow src 7 to dport 443.
+	in.InstallEntry("acl_filter", p4ir.Entry{
+		Matches:  []p4ir.KeyMatch{{Value: 7, Mask: ^uint64(0)}, {}, {Value: 443, Mask: ^uint64(0)}},
+		Priority: 10, Action: "nop"})
+
+	blocked, _ := IPFrame(prog, 7, 10, 1, 80, nil)
+	if outs, _ := in.Process(blocked, 1); len(outs) != 0 {
+		t.Fatal("low-priority drop skipped")
+	}
+	allowed, _ := IPFrame(prog, 7, 10, 1, 443, nil)
+	if outs, _ := in.Process(allowed, 1); len(outs) != 1 {
+		t.Fatal("high-priority allow skipped")
+	}
+}
+
+func TestInstallEntryErrors(t *testing.T) {
+	in := loadFwd(t)
+	if err := in.InstallEntry("ghost", p4ir.Entry{}); !errors.Is(err, ErrUnknownTable) {
+		t.Fatalf("unknown table: %v", err)
+	}
+	if err := in.InstallEntry("ipv4_fwd", p4ir.Entry{Action: "fwd"}); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("arity: %v", err)
+	}
+	if err := in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 1}}, Action: "mirror"}); !errors.Is(err, ErrUnknownAction) {
+		t.Fatalf("unpermitted action: %v", err)
+	}
+	// Fill to MaxEntries.
+	small := p4ir.NewForwarding("small")
+	small.Ingress[0].MaxEntries = 1
+	in2, _ := Load(small)
+	in2.InstallEntry("ipv4_fwd", p4ir.Entry{Matches: []p4ir.KeyMatch{{Value: 1}}, Action: "drop"})
+	if err := in2.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 2}}, Action: "drop"}); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("table full: %v", err)
+	}
+}
+
+func TestClearTableAndEntries(t *testing.T) {
+	in := loadFwd(t)
+	es, err := in.Entries("ipv4_fwd")
+	if err != nil || len(es) != 1 {
+		t.Fatalf("entries: %v %v", es, err)
+	}
+	if err := in.ClearTable("ipv4_fwd"); err != nil {
+		t.Fatal(err)
+	}
+	es, _ = in.Entries("ipv4_fwd")
+	if len(es) != 0 {
+		t.Fatal("clear failed")
+	}
+	if err := in.ClearTable("ghost"); err == nil {
+		t.Fatal("ghost clear")
+	}
+	if _, err := in.Entries("ghost"); err == nil {
+		t.Fatal("ghost entries")
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	in, _ := Load(p4ir.NewMonitor("m"))
+	in.RegWrite("flow_count", 3, 77)
+	if in.RegRead("flow_count", 3) != 77 {
+		t.Fatal("reg rw")
+	}
+	in.RegWrite("flow_count", 1<<40, 1) // out of range: ignored
+	if in.RegRead("flow_count", 1<<40) != 0 {
+		t.Fatal("oob read")
+	}
+}
+
+func TestDigests(t *testing.T) {
+	a := loadFwd(t)
+	b := loadFwd(t)
+	if a.ProgramDigest() != b.ProgramDigest() {
+		t.Fatal("program digest unstable")
+	}
+	if a.TablesDigest() != b.TablesDigest() {
+		t.Fatal("tables digest unstable for same entries")
+	}
+	b.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 11}}, Action: "fwd", Params: map[string]uint64{"port": 3}})
+	if a.TablesDigest() == b.TablesDigest() {
+		t.Fatal("table change not reflected")
+	}
+	// State digest moves when registers change.
+	m, _ := Load(p4ir.NewMonitor("m"))
+	s0 := m.StateDigest()
+	m.RegWrite("flow_count", 0, 5)
+	if m.StateDigest() == s0 {
+		t.Fatal("register change not reflected")
+	}
+	// ...but program digest does not.
+	if m.ProgramDigest() != p4ir.NewMonitor("m").Digest() {
+		t.Fatal("program digest drifted with state")
+	}
+}
+
+func TestTableNamesAndDump(t *testing.T) {
+	in, _ := Load(p4ir.NewFirewall("f"))
+	names := in.TableNames()
+	if len(names) != 2 || names[0] != "acl_filter" || names[1] != "ipv4_fwd" {
+		t.Fatalf("names: %v", names)
+	}
+	in.InstallEntry("ipv4_fwd", p4ir.Entry{
+		Matches: []p4ir.KeyMatch{{Value: 1}}, Action: "drop"})
+	dump := in.DumpTables()
+	if dump == "" || !contains(dump, "ipv4_fwd") || !contains(dump, "drop") {
+		t.Fatalf("dump: %q", dump)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestPacketHelpers(t *testing.T) {
+	p := NewPacket([]byte{1}, 4)
+	if p.Get(p4ir.MetaIngressPort) != 4 {
+		t.Fatal("ingress port")
+	}
+	p.Set("meta.x", 9)
+	cl := p.Clone()
+	cl.Set("meta.x", 10)
+	if p.Get("meta.x") != 9 {
+		t.Fatal("clone aliases fields")
+	}
+	if p.String() == "" {
+		t.Fatal("string")
+	}
+	if p.FlowHash() == 0 {
+		t.Fatal("flow hash zero")
+	}
+	q := NewPacket(nil, 4)
+	q.Set("ip.src", 1)
+	if p.FlowHash() == q.FlowHash() {
+		t.Fatal("flow hash collision on different flows")
+	}
+}
+
+func TestIPFrameParsesUnderAllLibraryPrograms(t *testing.T) {
+	progs := []*p4ir.Program{
+		p4ir.NewForwarding("a"), p4ir.NewFirewall("b"),
+		p4ir.NewACL("c"), p4ir.NewMonitor("d"), p4ir.NewRogueForwarding("e", 9),
+	}
+	for _, prog := range progs {
+		in, err := Load(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := IPFrame(prog, 1, 2, 3, 4, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt := NewPacket(frame, 0)
+		if err := in.Parse(pkt); err != nil {
+			t.Errorf("%s: %v", prog.Name, err)
+		}
+	}
+}
+
+func TestBuildFrameUnknownHeader(t *testing.T) {
+	if _, err := BuildFrame(p4ir.NewForwarding("x"), []string{"ghost"}, nil, nil); err == nil {
+		t.Fatal("unknown header accepted")
+	}
+}
+
+// Property: Parse∘Deparse is the identity on well-formed frames.
+func TestPropertyParseDeparseIdentity(t *testing.T) {
+	in := loadFwd(t)
+	prog := in.Program()
+	f := func(src, dst uint64, sport, dport uint16, payload []byte) bool {
+		frame, err := IPFrame(prog, src&0xffffffff, dst&0xffffffff, uint64(sport), uint64(dport), payload)
+		if err != nil {
+			return false
+		}
+		pkt := NewPacket(frame, 1)
+		if err := in.Parse(pkt); err != nil {
+			return false
+		}
+		out := in.Deparse(pkt)
+		return string(out) == string(frame)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

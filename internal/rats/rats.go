@@ -1,0 +1,337 @@
+// Package rats implements the remote-attestation message flow of the
+// paper's Fig. 1, following the IETF RATS architecture roles: a Relying
+// Party challenges an Attester with a nonce and a claim specification,
+// the Attester answers with evidence, an Appraiser verifies the evidence
+// and produces an attestation result. Messages have a compact binary wire
+// form and travel over any io.ReadWriter — the package provides in-memory
+// pipes for simulations and TCP framing for the cmd/ daemons.
+package rats
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+const (
+	// MsgChallenge: RP → Attester. Carries nonce and claim spec.
+	MsgChallenge MsgType = iota + 1
+	// MsgEvidence: Attester → RP/Appraiser. Body is encoded evidence.
+	MsgEvidence
+	// MsgAppraise: RP → Appraiser. Body is encoded evidence to verify.
+	MsgAppraise
+	// MsgResult: Appraiser → requester. Body is an encoded certificate.
+	MsgResult
+	// MsgRetrieve: RP2 → Appraiser. Asks for a stored certificate by
+	// nonce (the out-of-band variant's retrieve(n)).
+	MsgRetrieve
+	// MsgError carries a failure reason in Body.
+	MsgError
+	// MsgExec asks a place to execute a serialized Copland term:
+	// Claims[0] is the place name, Claims[1] the term source, Body the
+	// execution payload (parameters + input evidence). The response is a
+	// MsgEvidence whose Body is the resulting evidence and whose Claims
+	// carry the remote execution trace. Used by distributed Copland
+	// evaluation (copland.ServeEnv / Env.AddRemotePlace).
+	MsgExec
+	// MsgSign asks a crypto-offload service to sign Body under the
+	// identity named by Claims[0]; the response is a MsgResult whose
+	// Body is the detached signature. Used by the disaggregated
+	// Sign/Verify stage (pera.SignerHandler / pera.RemoteSigner),
+	// following the paper's note that evidence primitives "might be
+	// remotely invoked by the programmable switch".
+	MsgSign
+)
+
+var msgNames = map[MsgType]string{
+	MsgChallenge: "challenge", MsgEvidence: "evidence", MsgAppraise: "appraise",
+	MsgResult: "result", MsgRetrieve: "retrieve", MsgError: "error",
+	MsgExec: "exec", MsgSign: "sign",
+}
+
+func (t MsgType) String() string {
+	if n, ok := msgNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Message is the single wire envelope for all protocol messages. Fields
+// unused by a type are left empty.
+type Message struct {
+	Type    MsgType
+	Session uint64   // correlates request/response pairs
+	Nonce   []byte   // freshness; also the retrieval key for MsgRetrieve
+	Claims  []string // claim spec for challenges (e.g. "program","tables")
+	Body    []byte   // evidence encoding, certificate encoding, or reason
+}
+
+// Wire format limits: one message may not exceed MaxMessageSize on the
+// wire, bounding allocation on receipt.
+const MaxMessageSize = 4 << 20
+
+// Errors from codec and transport.
+var (
+	ErrMessageTooLarge = errors.New("rats: message exceeds size limit")
+	ErrBadMessage      = errors.New("rats: malformed message")
+)
+
+// Encode serializes m to its wire form (excluding the outer length
+// frame, which WriteMessage adds).
+func Encode(m *Message) []byte {
+	var b []byte
+	b = append(b, byte(m.Type))
+	b = binary.BigEndian.AppendUint64(b, m.Session)
+	b = appendLV(b, m.Nonce)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Claims)))
+	for _, c := range m.Claims {
+		b = appendLV(b, []byte(c))
+	}
+	b = appendLV(b, m.Body)
+	return b
+}
+
+func appendLV(b, v []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v)))
+	return append(b, v...)
+}
+
+// Decode parses a wire-form message.
+func Decode(data []byte) (*Message, error) {
+	d := &lvReader{buf: data}
+	tb, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	m := &Message{Type: MsgType(tb)}
+	if m.Type < MsgChallenge || m.Type > MsgSign {
+		return nil, fmt.Errorf("%w: type %d", ErrBadMessage, tb)
+	}
+	if m.Session, err = d.u64(); err != nil {
+		return nil, err
+	}
+	if m.Nonce, err = d.lv(); err != nil {
+		return nil, err
+	}
+	nclaims, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nclaims > 1024 {
+		return nil, fmt.Errorf("%w: %d claims", ErrBadMessage, nclaims)
+	}
+	for i := uint32(0); i < nclaims; i++ {
+		c, err := d.lv()
+		if err != nil {
+			return nil, err
+		}
+		m.Claims = append(m.Claims, string(c))
+	}
+	if m.Body, err = d.lv(); err != nil {
+		return nil, err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	}
+	return m, nil
+}
+
+type lvReader struct {
+	buf []byte
+	off int
+}
+
+func (r *lvReader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated", ErrBadMessage)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *lvReader) u32() (uint32, error) {
+	if r.off+4 > len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated", ErrBadMessage)
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *lvReader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, fmt.Errorf("%w: truncated", ErrBadMessage)
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *lvReader) lv() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	if r.off+int(n) > len(r.buf) {
+		return nil, fmt.Errorf("%w: truncated field", ErrBadMessage)
+	}
+	v := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return v, nil
+}
+
+// Conn frames messages over a byte stream: u32 big-endian length followed
+// by the encoded message. Reads and writes are independently locked, so
+// one goroutine may read while another writes.
+type Conn struct {
+	cmu sync.Mutex // serializes whole Call exchanges
+	rmu sync.Mutex
+	wmu sync.Mutex
+	r   *bufio.Reader
+	w   io.Writer
+	c   io.Closer
+}
+
+// NewConn wraps a stream. If rw implements io.Closer, Close closes it.
+func NewConn(rw io.ReadWriter) *Conn {
+	c, _ := rw.(io.Closer)
+	return &Conn{r: bufio.NewReader(rw), w: rw, c: c}
+}
+
+// Write sends one message.
+func (c *Conn) Write(m *Message) error {
+	data := Encode(m)
+	if len(data) > MaxMessageSize {
+		return ErrMessageTooLarge
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(data)
+	return err
+}
+
+// Read receives one message.
+func (c *Conn) Read() (*Message, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, ErrMessageTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// Close closes the underlying stream when it supports closing.
+func (c *Conn) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// Call writes a request and reads one response — the client half of a
+// request/response exchange. The protocol has no response correlation
+// beyond ordering, so Call serializes the whole exchange: concurrent
+// Calls on one Conn (e.g. parallel Copland branches sharing a remote
+// place) queue rather than stealing each other's responses.
+func (c *Conn) Call(req *Message) (*Message, error) {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	if err := c.Write(req); err != nil {
+		return nil, err
+	}
+	resp, err := c.Read()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == MsgError {
+		return resp, fmt.Errorf("rats: remote error: %s", resp.Body)
+	}
+	return resp, nil
+}
+
+// Handler services one request message, returning the response.
+type Handler func(*Message) *Message
+
+// Serve reads requests from conn and writes back h's responses until the
+// connection fails (io.EOF on orderly shutdown returns nil).
+func Serve(conn *Conn, h Handler) error {
+	for {
+		req, err := conn.Read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		resp := h(req)
+		if resp == nil {
+			resp = &Message{Type: MsgError, Session: req.Session, Body: []byte("no response")}
+		}
+		if err := conn.Write(resp); err != nil {
+			return err
+		}
+	}
+}
+
+// ListenAndServe accepts TCP connections on addr, servicing each with h
+// in its own goroutine. It returns the listener so callers can close it
+// and the bound address (useful with ":0").
+func ListenAndServe(addr string, h Handler) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				_ = Serve(NewConn(c), h)
+			}()
+		}
+	}()
+	return ln, nil
+}
+
+// Dial connects to a rats TCP endpoint.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+// Pipe returns two in-memory connected Conns, for simulations.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}

@@ -1,0 +1,96 @@
+package rot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire codec for quotes, so hardware evidence can carry the full quote
+// and appraisers can verify the hardware rooting independently of the
+// evidence signature (the measurement's Claims bytes in PERA hardware
+// claims hold exactly this encoding).
+
+// ErrQuoteDecode wraps quote decoding failures.
+var ErrQuoteDecode = errors.New("rot: quote decode error")
+
+// EncodeQuote serializes q.
+func EncodeQuote(q *Quote) []byte {
+	var b []byte
+	b = append(b, "PERA-QUOTEWIRE-V1\x00"...)
+	b = appendLV(b, []byte(q.Platform))
+	b = appendLV(b, q.Nonce)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(q.PCRSelect)))
+	for _, i := range q.PCRSelect {
+		b = binary.BigEndian.AppendUint32(b, uint32(i))
+	}
+	b = append(b, q.PCRDigest[:]...)
+	b = binary.BigEndian.AppendUint64(b, q.Boots)
+	b = binary.BigEndian.AppendUint64(b, q.Counter)
+	b = appendLV(b, q.Signature)
+	return b
+}
+
+// DecodeQuote parses an encoded quote.
+func DecodeQuote(data []byte) (*Quote, error) {
+	const magic = "PERA-QUOTEWIRE-V1\x00"
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrQuoteDecode)
+	}
+	off := len(magic)
+	readLV := func() ([]byte, error) {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated length", ErrQuoteDecode)
+		}
+		n := binary.BigEndian.Uint32(data[off:])
+		off += 4
+		if n > 1<<20 || off+int(n) > len(data) {
+			return nil, fmt.Errorf("%w: bad field length", ErrQuoteDecode)
+		}
+		v := append([]byte(nil), data[off:off+int(n)]...)
+		off += int(n)
+		return v, nil
+	}
+	q := &Quote{}
+	p, err := readLV()
+	if err != nil {
+		return nil, err
+	}
+	q.Platform = string(p)
+	if q.Nonce, err = readLV(); err != nil {
+		return nil, err
+	}
+	if off+4 > len(data) {
+		return nil, fmt.Errorf("%w: truncated selection", ErrQuoteDecode)
+	}
+	nsel := binary.BigEndian.Uint32(data[off:])
+	off += 4
+	if nsel > NumPCRs {
+		return nil, fmt.Errorf("%w: %d selected PCRs", ErrQuoteDecode, nsel)
+	}
+	for i := uint32(0); i < nsel; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated selection entry", ErrQuoteDecode)
+		}
+		q.PCRSelect = append(q.PCRSelect, int(binary.BigEndian.Uint32(data[off:])))
+		off += 4
+	}
+	if off+DigestSize > len(data) {
+		return nil, fmt.Errorf("%w: truncated digest", ErrQuoteDecode)
+	}
+	copy(q.PCRDigest[:], data[off:])
+	off += DigestSize
+	if off+16 > len(data) {
+		return nil, fmt.Errorf("%w: truncated counters", ErrQuoteDecode)
+	}
+	q.Boots = binary.BigEndian.Uint64(data[off:])
+	q.Counter = binary.BigEndian.Uint64(data[off+8:])
+	off += 16
+	if q.Signature, err = readLV(); err != nil {
+		return nil, err
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrQuoteDecode)
+	}
+	return q, nil
+}

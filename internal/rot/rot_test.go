@@ -1,0 +1,463 @@
+package rot
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testRoT(t *testing.T) *RoT {
+	t.Helper()
+	return NewDeterministic("sw1", []byte("seed"))
+}
+
+func TestExtendChangesPCR(t *testing.T) {
+	r := testRoT(t)
+	before, err := r.PCR(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !before.IsZero() {
+		t.Fatalf("fresh PCR not zero: %v", before)
+	}
+	if err := r.ExtendData(0, []byte("firmware"), "fw"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := r.PCR(0)
+	if after.IsZero() || after == before {
+		t.Fatalf("extend did not change PCR: %v -> %v", before, after)
+	}
+}
+
+func TestExtendOrderMatters(t *testing.T) {
+	a := NewDeterministic("a", []byte("x"))
+	b := NewDeterministic("b", []byte("y"))
+	a.ExtendData(1, []byte("p"), "p")
+	a.ExtendData(1, []byte("q"), "q")
+	b.ExtendData(1, []byte("q"), "q")
+	b.ExtendData(1, []byte("p"), "p")
+	pa, _ := a.PCR(1)
+	pb, _ := b.PCR(1)
+	if pa == pb {
+		t.Fatal("PCR extend must be order-sensitive")
+	}
+}
+
+func TestExtendIsNotIdempotent(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(2, []byte("m"), "m")
+	once, _ := r.PCR(2)
+	r.ExtendData(2, []byte("m"), "m")
+	twice, _ := r.PCR(2)
+	if once == twice {
+		t.Fatal("double extend must change PCR (no silent replay)")
+	}
+}
+
+func TestPCRIndexBounds(t *testing.T) {
+	r := testRoT(t)
+	if err := r.Extend(-1, Digest{}, ""); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := r.Extend(NumPCRs, Digest{}, ""); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := r.PCR(NumPCRs); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if _, err := r.Quote([]byte("n"), NumPCRs+3); err == nil {
+		t.Fatal("quote over bad selection accepted")
+	}
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(0, []byte("fw"), "fw")
+	r.ExtendData(4, []byte("prog"), "prog")
+	nonce := []byte("nonce-123")
+	q, err := r.Quote(nonce, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(r.Public(), q, nonce); err != nil {
+		t.Fatalf("good quote rejected: %v", err)
+	}
+}
+
+func TestQuoteNonceMismatch(t *testing.T) {
+	r := testRoT(t)
+	q, _ := r.Quote([]byte("fresh"), 0)
+	if err := VerifyQuote(r.Public(), q, []byte("stale")); err != ErrQuoteNonce {
+		t.Fatalf("want ErrQuoteNonce, got %v", err)
+	}
+}
+
+func TestQuoteTamperDetected(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(0, []byte("fw"), "fw")
+	q, _ := r.Quote([]byte("n"), 0)
+	q.PCRDigest[0] ^= 0xff
+	if err := VerifyQuote(r.Public(), q, []byte("n")); err != ErrQuoteSignature {
+		t.Fatalf("tampered quote accepted: %v", err)
+	}
+}
+
+func TestQuoteWrongKeyRejected(t *testing.T) {
+	r := testRoT(t)
+	other := NewDeterministic("sw2", []byte("other"))
+	q, _ := r.Quote([]byte("n"), 0)
+	if err := VerifyQuote(other.Public(), q, []byte("n")); err != ErrQuoteSignature {
+		t.Fatalf("quote verified under wrong AIK: %v", err)
+	}
+}
+
+func TestQuoteSelectionNormalized(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(1, []byte("a"), "a")
+	q1, _ := r.Quote([]byte("n"), 3, 1, 1, 3)
+	q2, _ := r.Quote([]byte("n"), 1, 3)
+	if q1.PCRDigest != q2.PCRDigest {
+		t.Fatal("selection order/duplicates changed quote digest")
+	}
+	if len(q1.PCRSelect) != 2 {
+		t.Fatalf("selection not deduplicated: %v", q1.PCRSelect)
+	}
+}
+
+func TestVerifyQuoteAgainstGolden(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(4, []byte("firewall_v5.p4"), "program")
+	good, _ := r.PCR(4)
+	q, _ := r.Quote([]byte("n"), 4)
+
+	if err := VerifyQuoteAgainst(r.Public(), q, []byte("n"), map[int]Digest{4: good}); err != nil {
+		t.Fatalf("golden match rejected: %v", err)
+	}
+	bad := good
+	bad[0] ^= 1
+	if err := VerifyQuoteAgainst(r.Public(), q, []byte("n"), map[int]Digest{4: bad}); err != ErrQuotePCRs {
+		t.Fatalf("golden mismatch accepted: %v", err)
+	}
+	if err := VerifyQuoteAgainst(r.Public(), q, []byte("n"), map[int]Digest{}); err == nil {
+		t.Fatal("missing golden value accepted")
+	}
+}
+
+func TestRebootResetsAndCounts(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(0, []byte("fw"), "fw")
+	if r.Boots() != 1 {
+		t.Fatalf("boots = %d, want 1", r.Boots())
+	}
+	r.Reboot()
+	p, _ := r.PCR(0)
+	if !p.IsZero() {
+		t.Fatal("reboot did not clear PCR")
+	}
+	if len(r.EventLog()) != 0 {
+		t.Fatal("reboot did not clear event log")
+	}
+	if r.Boots() != 2 {
+		t.Fatalf("boots = %d, want 2", r.Boots())
+	}
+}
+
+func TestRebootVisibleInQuote(t *testing.T) {
+	r := testRoT(t)
+	q1, _ := r.Quote([]byte("n"), 0)
+	r.Reboot()
+	q2, _ := r.Quote([]byte("n"), 0)
+	if q1.Boots == q2.Boots {
+		t.Fatal("reboot not reflected in quote boot counter")
+	}
+}
+
+func TestMonotonicCounter(t *testing.T) {
+	r := testRoT(t)
+	a := r.CounterIncrement()
+	b := r.CounterIncrement()
+	if b != a+1 {
+		t.Fatalf("counter not monotonic: %d then %d", a, b)
+	}
+	if r.Counter() != b {
+		t.Fatalf("Counter() = %d, want %d", r.Counter(), b)
+	}
+}
+
+func TestEventLogReplay(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(0, []byte("fw"), "fw")
+	r.ExtendData(4, []byte("prog"), "prog")
+	r.ExtendData(4, []byte("tables"), "tables")
+	q, _ := r.Quote([]byte("n"), 0, 4)
+	if err := VerifyLogAgainstQuote(r.EventLog(), q); err != nil {
+		t.Fatalf("honest log rejected: %v", err)
+	}
+	// A log with one event removed must not replay.
+	log := r.EventLog()
+	if err := VerifyLogAgainstQuote(log[:len(log)-1], q); err != ErrLogReplay {
+		t.Fatalf("truncated log accepted: %v", err)
+	}
+	// A log with a swapped event must not replay.
+	swapped := append([]Event(nil), log...)
+	swapped[1], swapped[2] = swapped[2], swapped[1]
+	if err := VerifyLogAgainstQuote(swapped, q); err != ErrLogReplay {
+		t.Fatalf("reordered log accepted: %v", err)
+	}
+}
+
+func TestReplayLogBadPCR(t *testing.T) {
+	if _, err := ReplayLog([]Event{{PCR: 99}}); err == nil {
+		t.Fatal("bad event PCR accepted")
+	}
+}
+
+func TestSignVerifyDomainSeparation(t *testing.T) {
+	r := testRoT(t)
+	msg := []byte("evidence-chunk")
+	sig := r.Sign(msg)
+	if !Verify(r.Public(), msg, sig) {
+		t.Fatal("good signature rejected")
+	}
+	if Verify(r.Public(), []byte("other"), sig) {
+		t.Fatal("signature verified for wrong message")
+	}
+	// A Sign signature must not verify as a quote signature (domain
+	// separation between the two signing uses of the AIK).
+	q, _ := r.Quote([]byte("n"), 0)
+	if Verify(r.Public(), quoteBytesForTest(q), q.Signature) {
+		t.Fatal("quote signature verified in sign domain")
+	}
+}
+
+func quoteBytesForTest(q *Quote) []byte {
+	return quoteMessage(q.Platform, q.Nonce, q.PCRSelect, q.PCRDigest, q.Boots, q.Counter)
+}
+
+func TestVerifyRejectsShortKeys(t *testing.T) {
+	if Verify(ed25519.PublicKey{1, 2}, []byte("m"), []byte("s")) {
+		t.Fatal("short key accepted")
+	}
+	if err := VerifyQuote(ed25519.PublicKey{1}, &Quote{}, nil); err != ErrQuoteSignature {
+		t.Fatal("short key accepted for quote")
+	}
+}
+
+func TestDeterministicSeedsStable(t *testing.T) {
+	a := NewDeterministic("p", []byte("s"))
+	b := NewDeterministic("p", []byte("s"))
+	if !bytes.Equal(a.Public(), b.Public()) {
+		t.Fatal("same seed produced different AIKs")
+	}
+	c := NewDeterministic("p", []byte("s2"))
+	if bytes.Equal(a.Public(), c.Public()) {
+		t.Fatal("different seeds produced same AIK")
+	}
+}
+
+func TestNewGeneratesDistinctKeys(t *testing.T) {
+	a, err := New("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Public(), b.Public()) {
+		t.Fatal("two fresh RoTs share an AIK")
+	}
+}
+
+func TestNonceFreshness(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		n := NewNonce()
+		if len(n) != 32 {
+			t.Fatalf("nonce length %d", len(n))
+		}
+		if seen[string(n)] {
+			t.Fatal("nonce repeated")
+		}
+		seen[string(n)] = true
+	}
+}
+
+func TestConcurrentExtendQuote(t *testing.T) {
+	r := testRoT(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r.ExtendData(i%4, []byte{byte(i), byte(j)}, "c")
+				if q, err := r.Quote([]byte("n"), i%4); err != nil || q == nil {
+					t.Errorf("quote failed: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Final log must replay to final PCR state.
+	q, _ := r.Quote([]byte("n"), 0, 1, 2, 3)
+	if err := VerifyLogAgainstQuote(r.EventLog(), q); err != nil {
+		t.Fatalf("concurrent log does not replay: %v", err)
+	}
+}
+
+// Property: for any sequence of measured data, replaying the event log
+// reproduces the PCR bank (extend chain integrity).
+func TestPropertyReplayMatchesExtend(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		r := NewDeterministic("p", []byte("prop"))
+		for i, c := range chunks {
+			r.ExtendData(i%NumPCRs, c, "chunk")
+		}
+		replayed, err := ReplayLog(r.EventLog())
+		if err != nil {
+			return false
+		}
+		for i := 0; i < NumPCRs; i++ {
+			got, _ := r.PCR(i)
+			if replayed[i] != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quotes over distinct PCR states have distinct digests
+// (second-preimage-free in practice for our state space).
+func TestPropertyQuoteBindsState(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return true
+		}
+		r1 := NewDeterministic("p", []byte("q"))
+		r2 := NewDeterministic("p", []byte("q"))
+		r1.ExtendData(0, a, "a")
+		r2.ExtendData(0, b, "b")
+		q1, _ := r1.Quote([]byte("n"), 0)
+		q2, _ := r2.Quote([]byte("n"), 0)
+		return q1.PCRDigest != q2.PCRDigest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthorityIssueVerify(t *testing.T) {
+	auth := NewDeterministicAuthority("operator", []byte("ca"))
+	r := testRoT(t)
+	cert := auth.Issue(r)
+	if err := VerifyCertificate(auth.Public(), cert); err != nil {
+		t.Fatalf("good cert rejected: %v", err)
+	}
+	if cert.Platform != "sw1" {
+		t.Fatalf("cert platform %q", cert.Platform)
+	}
+	other := NewDeterministicAuthority("evil", []byte("ca2"))
+	if err := VerifyCertificate(other.Public(), cert); err == nil {
+		t.Fatal("cert verified under wrong authority")
+	}
+}
+
+func TestAuthorityTamperedCert(t *testing.T) {
+	auth := NewDeterministicAuthority("op", []byte("ca"))
+	cert := auth.Issue(testRoT(t))
+	cert.Platform = "sw-imposter"
+	if err := VerifyCertificate(auth.Public(), cert); err == nil {
+		t.Fatal("tampered cert accepted")
+	}
+}
+
+func TestAuthorityRevocation(t *testing.T) {
+	auth := NewDeterministicAuthority("op", []byte("ca"))
+	cert := auth.Issue(testRoT(t))
+	if auth.IsRevoked(cert.Serial) {
+		t.Fatal("fresh cert reported revoked")
+	}
+	if !auth.Revoke(cert.Serial) {
+		t.Fatal("revoke failed")
+	}
+	if !auth.IsRevoked(cert.Serial) {
+		t.Fatal("revoked cert reported valid")
+	}
+	if auth.Revoke(9999) {
+		t.Fatal("revoking unknown serial succeeded")
+	}
+	if !auth.IsRevoked(9999) {
+		t.Fatal("unknown serial treated as valid")
+	}
+}
+
+func TestAuthoritySerialsIncrease(t *testing.T) {
+	auth := NewDeterministicAuthority("op", []byte("ca"))
+	c1 := auth.Issue(testRoT(t))
+	c2 := auth.Issue(testRoT(t))
+	if c2.Serial <= c1.Serial {
+		t.Fatalf("serials not increasing: %d then %d", c1.Serial, c2.Serial)
+	}
+}
+
+func TestNewAuthorityDistinctKeys(t *testing.T) {
+	a, err := NewAuthority("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAuthority("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Public(), b.Public()) {
+		t.Fatal("fresh authorities share keys")
+	}
+}
+
+func TestQuoteCodecRoundTrip(t *testing.T) {
+	r := testRoT(t)
+	r.ExtendData(0, []byte("fw"), "fw")
+	r.CounterIncrement()
+	q, _ := r.Quote([]byte("wire-nonce"), 0, 4)
+	dec, err := DecodeQuote(EncodeQuote(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Platform != q.Platform || !bytes.Equal(dec.Nonce, q.Nonce) ||
+		dec.PCRDigest != q.PCRDigest || dec.Boots != q.Boots || dec.Counter != q.Counter ||
+		len(dec.PCRSelect) != len(q.PCRSelect) {
+		t.Fatalf("round trip: %+v vs %+v", dec, q)
+	}
+	// The decoded quote still verifies.
+	if err := VerifyQuote(r.Public(), dec, []byte("wire-nonce")); err != nil {
+		t.Fatalf("decoded quote: %v", err)
+	}
+}
+
+func TestDecodeQuoteGarbage(t *testing.T) {
+	r := testRoT(t)
+	q, _ := r.Quote([]byte("n"), 0)
+	enc := EncodeQuote(q)
+	cases := [][]byte{
+		nil, []byte("junk"), enc[:10], enc[:len(enc)-3],
+		append(append([]byte{}, enc...), 1),
+	}
+	for i, data := range cases {
+		if _, err := DecodeQuote(data); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+	// Excessive selection count.
+	bad := append([]byte("PERA-QUOTEWIRE-V1\x00"), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF)
+	if _, err := DecodeQuote(bad); err == nil {
+		t.Error("huge selection decoded")
+	}
+}

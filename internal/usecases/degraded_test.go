@@ -1,0 +1,104 @@
+package usecases
+
+import (
+	"testing"
+
+	"pera/internal/evidence"
+	"pera/internal/pera"
+)
+
+// Degraded-network behaviour: attestation must fail closed. A relying
+// party that receives no evidence (link down) or partial traffic (loss)
+// must never conclude the path is trustworthy.
+
+func TestAttestationFailsClosedOnLinkDown(t *testing.T) {
+	tb := inBandTestbed(t)
+	// Cut the link between the ACL switch and the DPI appliance.
+	if err := tb.Net.SetLinkUp(SwACL, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := CompileUC1Policy(tb, []byte("degraded-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Client.Clear()
+	if err := tb.SendAttested(compiled.Policy, true, 1, 443, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing arrives: the RP gets no evidence and therefore no
+	// certificate — fail closed, not open.
+	if tb.Client.ReceivedCount() != 0 {
+		t.Fatal("frame crossed a down link")
+	}
+	if _, _, err := LastDelivered(tb.Client); err == nil {
+		t.Fatal("evidence conjured from nothing")
+	}
+}
+
+func TestLossyLinkYieldsPartialButValidEvidence(t *testing.T) {
+	tb := inBandTestbed(t)
+	// Drop every 2nd frame on the first hop.
+	if err := tb.Net.SetDropEvery(HostBank, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := CompileUC1Policy(tb, []byte("degraded-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for i := 0; i < 6; i++ {
+		tb.Client.Clear()
+		if err := tb.SendAttested(compiled.Policy, true, uint64(i), 443, nil); err != nil {
+			t.Fatal(err)
+		}
+		if tb.Client.ReceivedCount() == 0 {
+			continue
+		}
+		delivered++
+		// Frames that do arrive carry complete, verifiable chains: loss
+		// degrades availability, never evidence integrity.
+		hdr, _, err := LastDelivered(tb.Client)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := evidence.VerifySignatures(hdr.Evidence, tb.Keys()); err != nil {
+			t.Fatalf("surviving frame has broken evidence: %v", err)
+		}
+		if got := len(evidence.Signers(hdr.Evidence)); got != 3 {
+			t.Fatalf("surviving frame attested by %d hops, want 3", got)
+		}
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d of 6 with 1-in-2 loss", delivered)
+	}
+}
+
+func TestOutOfBandEvidenceUnaffectedByDataPathLoss(t *testing.T) {
+	// Out-of-band evidence takes the management path (the sink), so data
+	// loss beyond the attesting switch doesn't lose evidence the switch
+	// already produced.
+	tb, err := NewTestbed(pera.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := tb.Switches[SwFirewall]
+	cfg := sw.Config()
+	cfg.Standing = []pera.Obligation{{
+		Claims: []evidence.Detail{evidence.DetailProgram}, SignEvidence: true,
+		Appraiser: AppraiserName,
+	}}
+	sw.SetConfig(cfg)
+	// Cut the network after sw1.
+	if err := tb.Net.SetLinkUp(SwFirewall, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SendPlain(true, 1, 443, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Client.ReceivedCount() != 0 {
+		t.Fatal("data crossed a cut")
+	}
+	if len(tb.OOB()) != 1 {
+		t.Fatalf("oob evidence: %d, want 1 (sw1 attested before the cut)", len(tb.OOB()))
+	}
+}

@@ -1,0 +1,212 @@
+package usecases
+
+import (
+	"fmt"
+	"sync"
+
+	"pera/internal/appraiser"
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/rot"
+)
+
+// §5 expressions (3) and (4), executed literally through the Copland VM:
+// the Switch place's attest/Hardware/Program ASPs are backed by a real
+// PERA switch, and the Appraiser place's appraise/certify/store/retrieve
+// ASPs by a real appraiser with golden values. This is the out-of-band /
+// in-band pair of Fig. 2 with every step driven by the policy text.
+
+// Expr3RP1 and Expr3RP2 are expression (3) — the out-of-band variant —
+// split into its two relying-party phrases, and Expr4 is expression (4),
+// the in-band variant, in the ASCII syntax.
+//
+// Rendering note: the paper writes the switch→appraiser step of (3) with
+// the branching operator (++ over >) but annotates it "➁ & ➂: Evidence"
+// — the switch's evidence must reach the appraiser. In executable
+// Copland, evidence flows along the *linear* operator (branching splits
+// the initial evidence instead, as TestEvalBranchFlags pins down), so
+// the step is rendered `->` here; expression (4) uses `->` in the paper
+// as well.
+const (
+	Expr3RP1 = `*RP1, n: @Switch [attest(Hardware -~- Program) -> # -> !] -> @Appraiser [appraise -> certify(n) -> ! -> store(n)]`
+	Expr3RP2 = `*RP2, n: @Appraiser [retrieve(n)]`
+	Expr4    = `*RP1: @Switch [attest(Hardware -~- Program) -> # -> !] -> @RP2 [@Appraiser [appraise -> certify -> !]]`
+)
+
+// Expr34Env wires the principals of Fig. 2 into a Copland environment.
+type Expr34Env struct {
+	Env       *copland.Env
+	Switch    *pera.Switch
+	Appraiser *appraiser.Appraiser
+
+	mu       sync.Mutex
+	lastCert *appraiser.Certificate
+}
+
+// NewExpr34Env provisions the switch, the appraiser (with golden values
+// and the switch AIK) and the Copland places for RP1, RP2, Switch and
+// Appraiser.
+func NewExpr34Env() (*Expr34Env, error) {
+	sw, err := pera.New("Switch", p4ir.NewFirewall("firewall_v5.p4"), pera.Config{})
+	if err != nil {
+		return nil, err
+	}
+	appr := appraiser.New("Appraiser", []byte("expr34"))
+	appr.RegisterKey("Switch", sw.RoT().Public())
+	gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range gs {
+		appr.SetGolden("Switch", g.Target, g.Detail, g.Value)
+	}
+	// The switch hashes its claims before signing (`attest(...) -> #`),
+	// so the appraiser sees a digest, not the measurements. Provision
+	// the digest of the *expected* claim tree — par(hardware, program)
+	// as the -~- composition produces it — as the allowed commitment.
+	expected := evidence.Par(
+		evidence.Measurement("Switch", gs[0].Target, "Switch", gs[0].Detail, gs[0].Value, nil),
+		evidence.Measurement("Switch", gs[1].Target, "Switch", gs[1].Detail, gs[1].Value, nil),
+	)
+	appr.AllowHash(evidence.DigestOf(expected))
+
+	e := &Expr34Env{Env: copland.NewEnv(), Switch: sw, Appraiser: appr}
+
+	// Relying parties are plain signing places.
+	e.Env.AddPlace(copland.NewPlace("RP1", rot.NewDeterministic("RP1", []byte("rp1"))))
+	e.Env.AddPlace(copland.NewPlace("RP2", rot.NewDeterministic("RP2", []byte("rp2"))))
+
+	// The Switch place: Hardware and Program are measurement ASPs backed
+	// by the switch's claim values; attest collects what its subterm
+	// gathered (the phrase's # and ! then hash and sign it).
+	swPlace := copland.NewPlace("Switch", sw.RoT())
+	claim := func(d evidence.Detail) copland.Handler {
+		return func(c *copland.Call) (*evidence.Evidence, error) {
+			target, v, err := sw.ClaimValue(d, nil)
+			if err != nil {
+				return nil, err
+			}
+			m := evidence.Measurement("Switch", target, "Switch", d, v, nil)
+			if c.Input != nil && c.Input.Kind != evidence.KindEmpty {
+				return evidence.Seq(c.Input, m), nil
+			}
+			return m, nil
+		}
+	}
+	swPlace.Handle("Hardware", claim(evidence.DetailHardware))
+	swPlace.Handle("Program", claim(evidence.DetailProgram))
+	swPlace.Handle("attest", func(c *copland.Call) (*evidence.Evidence, error) {
+		return c.Input, nil // the subterm gathered the claims
+	})
+	e.Env.AddPlace(swPlace)
+
+	// The Appraiser place: appraise → certify(n) → ! → store(n), plus
+	// retrieve(n) for RP2. The place signs with its own messaging key;
+	// certificates carry the appraiser's result signature independently.
+	apPlace := copland.NewPlace("Appraiser", rot.NewDeterministic("Appraiser", []byte("appraiser-place")))
+	apPlace.Handle("appraise", func(c *copland.Call) (*evidence.Evidence, error) {
+		cert, err := appr.Appraise("Switch", c.Input, c.Params["n"])
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.lastCert = cert
+		e.mu.Unlock()
+		return evidence.Seq(c.Input, certEvidence(cert)), nil
+	})
+	apPlace.Handle("certify", func(c *copland.Call) (*evidence.Evidence, error) {
+		// Certification binds the (optional) nonce into the result the
+		// relying parties see.
+		if n := c.Params["n"]; len(n) > 0 {
+			return evidence.Seq(c.Input, evidence.Nonce(n)), nil
+		}
+		return c.Input, nil
+	})
+	apPlace.Handle("store", func(c *copland.Call) (*evidence.Evidence, error) {
+		e.mu.Lock()
+		cert := e.lastCert
+		e.mu.Unlock()
+		if cert == nil {
+			return nil, fmt.Errorf("usecases: store before appraise")
+		}
+		appr.Store(cert)
+		return c.Input, nil
+	})
+	apPlace.Handle("retrieve", func(c *copland.Call) (*evidence.Evidence, error) {
+		cert, err := appr.Retrieve(c.Params["n"])
+		if err != nil {
+			return nil, err
+		}
+		return certEvidence(cert), nil
+	})
+	e.Env.AddPlace(apPlace)
+	return e, nil
+}
+
+// certEvidence embeds a certificate into the evidence stream as a
+// measurement whose Claims carry the encoded certificate.
+func certEvidence(cert *appraiser.Certificate) *evidence.Evidence {
+	enc := cert.Encode()
+	return evidence.Measurement(cert.Issuer, "certificate", cert.Issuer,
+		evidence.DetailProgState, rot.Sum(enc), enc)
+}
+
+// CertificateFrom extracts and decodes the certificate embedded in
+// evidence produced by the Appraiser place.
+func CertificateFrom(ev *evidence.Evidence) (*appraiser.Certificate, error) {
+	for _, m := range evidence.Measurements(ev) {
+		if m.Target == "certificate" {
+			return appraiser.DecodeCertificate(m.Claims)
+		}
+	}
+	return nil, fmt.Errorf("usecases: no certificate in evidence")
+}
+
+// RunExpr3 executes the out-of-band variant: RP1's phrase produces,
+// appraises, certifies and stores; RP2's phrase retrieves by nonce.
+func (e *Expr34Env) RunExpr3(nonce []byte) (rp1Cert, rp2Cert *appraiser.Certificate, err error) {
+	req1, err := copland.ParseRequest(Expr3RP1)
+	if err != nil {
+		return nil, nil, err
+	}
+	res1, err := copland.Exec(e.Env, req1, map[string][]byte{"n": nonce})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rp1Cert, err = CertificateFrom(res1.Evidence); err != nil {
+		return nil, nil, err
+	}
+	req2, err := copland.ParseRequest(Expr3RP2)
+	if err != nil {
+		return nil, nil, err
+	}
+	res2, err := copland.Exec(e.Env, req2, map[string][]byte{"n": nonce})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rp2Cert, err = CertificateFrom(res2.Evidence); err != nil {
+		return nil, nil, err
+	}
+	return rp1Cert, rp2Cert, nil
+}
+
+// RunExpr4 executes the in-band variant: a single expression whose
+// evidence flows Switch → RP2 → Appraiser, the certificate returning
+// with the result — no store, no second enquiry.
+func (e *Expr34Env) RunExpr4() (*appraiser.Certificate, *copland.Result, error) {
+	req, err := copland.ParseRequest(Expr4)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := copland.Exec(e.Env, req, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	cert, err := CertificateFrom(res.Evidence)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cert, res, nil
+}

@@ -1,0 +1,182 @@
+package usecases
+
+import (
+	"strings"
+	"testing"
+
+	"pera/internal/appraiser"
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/rot"
+)
+
+// The §5 expressions, executed as written.
+
+func TestExpr3OutOfBand(t *testing.T) {
+	e, err := NewExpr34Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := rot.NewNonce()
+	rp1Cert, rp2Cert, err := e.RunExpr3(nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp1Cert.Verdict {
+		t.Fatalf("RP1 certificate: %s", rp1Cert.Reason)
+	}
+	// RP2's later retrieval by the shared nonce returns the very same
+	// certificate — the store(n)/retrieve(n) linkage the paper draws.
+	if rp2Cert.Serial != rp1Cert.Serial {
+		t.Fatalf("RP2 retrieved serial %d, RP1 saw %d", rp2Cert.Serial, rp1Cert.Serial)
+	}
+	if string(rp2Cert.Nonce) != string(nonce) {
+		t.Fatal("nonce not bound into the stored certificate")
+	}
+	// Both verify under the appraiser's result key.
+	for _, c := range []*appraiser.Certificate{rp1Cert, rp2Cert} {
+		if err := appraiser.VerifyCertificate(e.Appraiser.Public(), c); err != nil {
+			t.Fatalf("certificate: %v", err)
+		}
+	}
+}
+
+func TestExpr3NonceMismatchFindsNothing(t *testing.T) {
+	e, err := NewExpr34Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.RunExpr3(rot.NewNonce()); err != nil {
+		t.Fatal(err)
+	}
+	// RP2 asking with a different nonce gets nothing — the nonce is the
+	// linkage between the two phrases.
+	req2, _ := copland.ParseRequest(Expr3RP2)
+	if _, err := copland.Exec(e.Env, req2, map[string][]byte{"n": []byte("wrong")}); err == nil {
+		t.Fatal("retrieve with foreign nonce succeeded")
+	}
+}
+
+func TestExpr4InBand(t *testing.T) {
+	e, err := NewExpr34Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, res, err := e.RunExpr4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Verdict {
+		t.Fatalf("in-band certificate: %s", cert.Reason)
+	}
+	if err := appraiser.VerifyCertificate(e.Appraiser.Public(), cert); err != nil {
+		t.Fatal(err)
+	}
+	// No store round: the certificate came back with the evidence flow,
+	// and nothing is parked at the appraiser.
+	if _, err := e.Appraiser.Retrieve(cert.Nonce); err == nil {
+		t.Fatal("in-band variant stored a certificate")
+	}
+	// The trace shows the expression's step order: attest at Switch,
+	// then appraise/certify at the Appraiser.
+	var steps []string
+	for _, ev := range res.Trace {
+		steps = append(steps, ev.ASP+"@"+ev.Place)
+	}
+	joined := strings.Join(steps, " ")
+	for _, want := range []string{"attest@Switch", "#@Switch", "!@Switch", "appraise@Appraiser", "certify@Appraiser"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace %q missing %q", joined, want)
+		}
+	}
+	if strings.Index(joined, "attest@Switch") > strings.Index(joined, "appraise@Appraiser") {
+		t.Fatalf("step order wrong: %q", joined)
+	}
+}
+
+func TestExpr3DetectsRogueProgram(t *testing.T) {
+	e, err := NewExpr34Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap the switch program before the protocol runs.
+	if err := e.Switch.ReloadProgram(p4ir.NewRogueForwarding("firewall_v5.p4", 99)); err != nil {
+		t.Fatal(err)
+	}
+	rp1Cert, _, err := e.RunExpr3(rot.NewNonce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp1Cert.Verdict {
+		t.Fatal("rogue program certified")
+	}
+	// The switch hashed its claims, so detection surfaces as an
+	// unrecognized evidence digest rather than a per-claim mismatch.
+	if !strings.Contains(rp1Cert.Reason, "unrecognized evidence digest") {
+		t.Fatalf("reason: %s", rp1Cert.Reason)
+	}
+}
+
+func TestExpr3StoreBeforeAppraiseFails(t *testing.T) {
+	e, err := NewExpr34Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	term, err := copland.Parse(`@Appraiser [store(n)]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := copland.ExecTerm(e.Env, "RP1", term, evidence.Empty(), map[string][]byte{"n": []byte("x")}); err == nil {
+		t.Fatal("store before appraise succeeded")
+	}
+}
+
+func TestCertificateFromMissing(t *testing.T) {
+	if _, err := CertificateFrom(evidence.Empty()); err == nil {
+		t.Fatal("certificate conjured from empty evidence")
+	}
+}
+
+// The static shape of expression (3)'s RP1 phrase predicts exactly what
+// the run produced — policy authors can see the evidence structure (and
+// the static cost: one switch signature, one hash) before deploying.
+func TestExpr3ShapeInference(t *testing.T) {
+	e, err := NewExpr34Env()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := copland.ParseRequest(Expr3RP1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := copland.InferOptions{Custom: map[string]copland.ShapeFn{
+		"attest": func(_ *copland.ASP, _ string, in copland.Shape) (copland.Shape, error) {
+			return in, nil
+		},
+		"appraise": func(_ *copland.ASP, place string, in copland.Shape) (copland.Shape, error) {
+			return copland.ShSeq{L: in, R: copland.ShMsmt{Measurer: place, Target: "certificate", Place: place}}, nil
+		},
+		"certify": func(_ *copland.ASP, _ string, in copland.Shape) (copland.Shape, error) {
+			return copland.ShSeq{L: in, R: copland.ShNonce{}}, nil
+		},
+		"store": func(_ *copland.ASP, _ string, in copland.Shape) (copland.Shape, error) {
+			return in, nil
+		},
+	}}
+	inferred, err := copland.InferRequest(req, true, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := copland.Exec(e.Env, req, map[string][]byte{"n": []byte("shape-n")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := copland.ShapeOf(res.Evidence); !copland.ShapeEqual(got, inferred) {
+		t.Fatalf("shape mismatch:\n  dynamic: %s\n  static:  %s", got, inferred)
+	}
+	c := copland.Count(inferred)
+	if c.Signatures != 2 || c.Hashes != 1 {
+		t.Fatalf("static cost: %+v", c)
+	}
+}

@@ -1,0 +1,133 @@
+package usecases
+
+import (
+	"fmt"
+	"sync"
+
+	"pera/internal/appraiser"
+	"pera/internal/evidence"
+	"pera/internal/pera"
+	"pera/internal/rot"
+)
+
+// ContinuousAssessor realizes the paper's central hypothesis sentence:
+// "RA can be used to enable dynamic assessments of network security
+// characteristics through automated generation, collection, and
+// evaluation of rigorous evidence of trustworthiness." It periodically
+// challenges every PERA switch in a network, appraises the evidence, and
+// tracks per-switch trust status over time; any transition (trusted →
+// untrusted or back) is reported as an alert with the certificate that
+// caused it.
+//
+// Rounds are driven explicitly by Tick, so simulations control time and
+// tests are deterministic; a deployment would call Tick from a timer.
+type ContinuousAssessor struct {
+	appr   *appraiser.Appraiser
+	claims []evidence.Detail
+
+	mu       sync.Mutex
+	switches map[string]*pera.Switch
+	status   map[string]bool // last verdict per switch
+	rounds   uint64
+	alerts   []Alert
+}
+
+// Alert records one trust-status transition.
+type Alert struct {
+	Round       uint64
+	Switch      string
+	Trusted     bool // the new status
+	Certificate *appraiser.Certificate
+}
+
+func (a Alert) String() string {
+	state := "UNTRUSTED"
+	if a.Trusted {
+		state = "trusted"
+	}
+	return fmt.Sprintf("round %d: %s -> %s (%s)", a.Round, a.Switch, state, a.Certificate.Reason)
+}
+
+// NewContinuousAssessor builds an assessor over the given appraiser.
+// claims defaults to hardware+program+tables.
+func NewContinuousAssessor(appr *appraiser.Appraiser, claims ...evidence.Detail) *ContinuousAssessor {
+	if len(claims) == 0 {
+		claims = []evidence.Detail{
+			evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables,
+		}
+	}
+	return &ContinuousAssessor{
+		appr:     appr,
+		claims:   claims,
+		switches: map[string]*pera.Switch{},
+		status:   map[string]bool{},
+	}
+}
+
+// Watch adds a switch to the assessment set.
+func (c *ContinuousAssessor) Watch(sw *pera.Switch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.switches[sw.Name()] = sw
+}
+
+// Tick runs one assessment round: fresh nonce per switch, attest,
+// appraise, record transitions. It returns the alerts raised this round.
+func (c *ContinuousAssessor) Tick() ([]Alert, error) {
+	c.mu.Lock()
+	c.rounds++
+	round := c.rounds
+	sws := make([]*pera.Switch, 0, len(c.switches))
+	for _, sw := range c.switches {
+		sws = append(sws, sw)
+	}
+	c.mu.Unlock()
+
+	var raised []Alert
+	for _, sw := range sws {
+		nonce := rot.NewNonce()
+		ev, err := sw.Attest(nonce, c.claims...)
+		if err != nil {
+			return nil, fmt.Errorf("usecases: attesting %s: %w", sw.Name(), err)
+		}
+		cert, err := c.appr.Appraise(sw.Name(), ev, nonce)
+		if err != nil {
+			return nil, fmt.Errorf("usecases: appraising %s: %w", sw.Name(), err)
+		}
+		c.mu.Lock()
+		prev, seen := c.status[sw.Name()]
+		if !seen || prev != cert.Verdict {
+			alert := Alert{Round: round, Switch: sw.Name(), Trusted: cert.Verdict, Certificate: cert}
+			c.alerts = append(c.alerts, alert)
+			raised = append(raised, alert)
+		}
+		c.status[sw.Name()] = cert.Verdict
+		c.mu.Unlock()
+	}
+	return raised, nil
+}
+
+// Status returns the latest verdict per switch.
+func (c *ContinuousAssessor) Status() map[string]bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]bool, len(c.status))
+	for k, v := range c.status {
+		out[k] = v
+	}
+	return out
+}
+
+// Alerts returns every transition recorded so far.
+func (c *ContinuousAssessor) Alerts() []Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Alert(nil), c.alerts...)
+}
+
+// Rounds reports how many assessment rounds have run.
+func (c *ContinuousAssessor) Rounds() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rounds
+}

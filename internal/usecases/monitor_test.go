@@ -1,0 +1,121 @@
+package usecases
+
+import (
+	"strings"
+	"testing"
+
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+)
+
+func TestContinuousAssessmentDetectsSwapAndRecovery(t *testing.T) {
+	tb := inBandTestbed(t)
+	ca := NewContinuousAssessor(tb.Appraiser)
+	for _, sw := range tb.Switches {
+		ca.Watch(sw)
+	}
+
+	// Round 1: everything comes up trusted (one alert per switch — the
+	// initial status observation).
+	alerts, err := ca.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 3 {
+		t.Fatalf("initial alerts: %d", len(alerts))
+	}
+	for _, a := range alerts {
+		if !a.Trusted {
+			t.Fatalf("initial status untrusted: %s", a)
+		}
+	}
+
+	// Round 2: steady state, no alerts.
+	alerts, err = ca.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("steady state alerted: %v", alerts)
+	}
+
+	// The Athens swap happens between rounds.
+	if err := AthensSwap(tb, SwACL, 9); err != nil {
+		t.Fatal(err)
+	}
+	alerts, err = ca.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Switch != SwACL || alerts[0].Trusted {
+		t.Fatalf("swap alerts: %v", alerts)
+	}
+	if !strings.Contains(alerts[0].String(), "UNTRUSTED") {
+		t.Fatalf("alert string: %s", alerts[0])
+	}
+	if ca.Status()[SwACL] {
+		t.Fatal("status not downgraded")
+	}
+	if ca.Status()[SwFirewall] != true {
+		t.Fatal("unaffected switch downgraded")
+	}
+
+	// The operator reprovisions: restore the legitimate program and
+	// update golden values (new tables too — routes must be reinstalled).
+	sw := tb.Switches[SwACL]
+	if err := sw.ReloadProgram(p4ir.NewACL("ACL_v3.p4")); err != nil {
+		t.Fatal(err)
+	}
+	// Re-install just this switch's routes (a global InstallRoutes would
+	// append duplicate entries on the untouched switches and change
+	// *their* table digests).
+	for _, rt := range []struct{ addr, port uint64 }{{AddrBank, 1}, {AddrClient, 2}} {
+		if err := sw.Instance().InstallEntry("ipv4_fwd", p4ir.Entry{
+			Matches: []p4ir.KeyMatch{{Value: rt.addr}},
+			Action:  "fwd", Params: map[string]uint64{"port": rt.port},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gs {
+		tb.Appraiser.SetGolden(SwACL, g.Target, g.Detail, g.Value)
+	}
+	alerts, err = ca.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || !alerts[0].Trusted {
+		t.Fatalf("recovery alerts: %v", alerts)
+	}
+	if ca.Rounds() != 4 {
+		t.Fatalf("rounds: %d", ca.Rounds())
+	}
+	// Full history: 3 initial + 1 down + 1 up.
+	if len(ca.Alerts()) != 5 {
+		t.Fatalf("history: %v", ca.Alerts())
+	}
+}
+
+func TestContinuousAssessorDefaults(t *testing.T) {
+	tb := inBandTestbed(t)
+	ca := NewContinuousAssessor(tb.Appraiser, evidence.DetailProgram)
+	sw, err := pera.New("lone", SwitchProgram("lone"), pera.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unregistered switch: appraisal fails (unknown AIK) but assessment
+	// continues, recording untrusted status.
+	ca.Watch(sw)
+	alerts, err := ca.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 1 || alerts[0].Trusted {
+		t.Fatalf("unknown switch alerts: %v", alerts)
+	}
+}

@@ -1,0 +1,263 @@
+// Package usecases wires the paper's five motivating use cases (§2) end
+// to end over the full substrate: netsim topology, PERA switches running
+// p4ir programs, host attesters, network-aware Copland policies compiled
+// by nac, and an appraiser verifying the produced evidence.
+//
+// The package doubles as the integration layer: examples/ and the
+// benchmark harness reuse the same testbed and scenario functions the
+// tests exercise.
+package usecases
+
+import (
+	"fmt"
+	"sync"
+
+	"pera/internal/appraiser"
+	"pera/internal/evidence"
+	"pera/internal/nac"
+	"pera/internal/netsim"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/pisa"
+	"pera/internal/rot"
+)
+
+// Node names and addresses of the standard testbed.
+const (
+	HostBank   = "bank"
+	HostClient = "client"
+	SwFirewall = "sw1" // runs firewall_v5.p4
+	SwACL      = "sw2" // runs ACL_v3.p4
+	SwEdge     = "sw3" // runs fwd_v1.p4 (the client's edge)
+	ApplDPI    = "dpi" // bump-in-the-wire appliance between sw2 and sw3
+
+	AddrBank   = 100
+	AddrClient = 200
+
+	AppraiserName = "Appraiser"
+)
+
+// Testbed is the standard topology used across the use cases:
+//
+//	bank — sw1(firewall) — sw2(acl) — dpi — sw3(fwd) — client
+//
+// with an off-path appraiser receiving out-of-band evidence through the
+// switches' sinks, an operator authority endorsing switch AIKs, and
+// golden values provisioned for every switch at program/tables detail.
+type Testbed struct {
+	Net       *netsim.Network
+	Bank      *netsim.Host
+	Client    *netsim.Host
+	Switches  map[string]*pera.Switch
+	DPI       *netsim.Appliance
+	Appraiser *appraiser.Appraiser
+	Authority *rot.Authority
+
+	mu      sync.Mutex
+	oob     []OOBEvidence
+	nonceCt uint64
+}
+
+// NextNonce returns a testbed-unique nonce for ad-hoc appraisals, so
+// repeated scenario runs never trip the appraiser's replay protection.
+func (tb *Testbed) NextNonce(prefix string) []byte {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.nonceCt++
+	return []byte(fmt.Sprintf("%s-%d", prefix, tb.nonceCt))
+}
+
+// OOBEvidence records one out-of-band emission.
+type OOBEvidence struct {
+	Switch    string
+	Appraiser string
+	Evidence  *evidence.Evidence
+}
+
+// SwitchProgram returns the program each testbed switch runs.
+func SwitchProgram(name string) *p4ir.Program {
+	switch name {
+	case SwFirewall:
+		return p4ir.NewFirewall("firewall_v5.p4")
+	case SwACL:
+		return p4ir.NewACL("ACL_v3.p4")
+	default:
+		return p4ir.NewForwarding("fwd_v1.p4")
+	}
+}
+
+// NewTestbed builds the standard topology. cfg applies to every switch
+// (composition, in-band mode, sampling, caching).
+func NewTestbed(cfg pera.Config) (*Testbed, error) {
+	tb := &Testbed{
+		Net:       netsim.New(),
+		Switches:  map[string]*pera.Switch{},
+		Appraiser: appraiser.New(AppraiserName, []byte("testbed-appraiser")),
+		Authority: rot.NewDeterministicAuthority("operator", []byte("testbed-authority")),
+	}
+	tb.Bank = netsim.NewHost(HostBank, AddrBank)
+	tb.Client = netsim.NewHost(HostClient, AddrClient)
+	tb.Net.MustAdd(tb.Bank)
+	tb.Net.MustAdd(tb.Client)
+
+	for _, name := range []string{SwFirewall, SwACL, SwEdge} {
+		sw, err := pera.New(name, SwitchProgram(name), cfg)
+		if err != nil {
+			return nil, err
+		}
+		sw.SetSink(tb.sink)
+		tb.Switches[name] = sw
+		tb.Net.MustAdd(sw)
+
+		// Endorse the switch AIK and register it with the appraiser.
+		cert := tb.Authority.Issue(sw.RoT())
+		if err := tb.Appraiser.RegisterAIK(tb.Authority.Public(), cert); err != nil {
+			return nil, err
+		}
+		// Provision golden values for the inert details.
+		gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range gs {
+			tb.Appraiser.SetGolden(name, g.Target, g.Detail, g.Value)
+		}
+	}
+
+	tb.DPI = netsim.NewAppliance(ApplDPI, 1, 2, nil)
+	tb.Net.MustAdd(tb.DPI)
+
+	tb.Net.MustLink(HostBank, netsim.HostPort, SwFirewall, 1)
+	tb.Net.MustLink(SwFirewall, 2, SwACL, 1)
+	tb.Net.MustLink(SwACL, 2, ApplDPI, 1)
+	tb.Net.MustLink(ApplDPI, 2, SwEdge, 1)
+	tb.Net.MustLink(SwEdge, 2, HostClient, netsim.HostPort)
+
+	if err := tb.Net.InstallRoutes([]*netsim.Host{tb.Bank, tb.Client}, "ipv4_fwd", "fwd", "port"); err != nil {
+		return nil, err
+	}
+	// The ACL switch default-denies: allowlist the service ports the
+	// scenarios use, for both hosts (including the C2 port — the
+	// operator doesn't know it's malicious until UC4 fingerprints it).
+	for _, src := range []uint64{AddrBank, AddrClient} {
+		for _, dport := range []uint64{80, 443, 1000, C2Port} {
+			if err := tb.Switches[SwACL].Instance().InstallEntry("allowlist", p4ir.Entry{
+				Matches: []p4ir.KeyMatch{{Value: src}, {Value: dport}},
+				Action:  "nop",
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Re-provision table golden values now that routes are installed.
+	for name, sw := range tb.Switches {
+		gs, err := sw.Golden(evidence.DetailTables)
+		if err != nil {
+			return nil, err
+		}
+		tb.Appraiser.SetGolden(name, gs[0].Target, gs[0].Detail, gs[0].Value)
+	}
+	return tb, nil
+}
+
+func (tb *Testbed) sink(sw, appr string, ev *evidence.Evidence) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.oob = append(tb.oob, OOBEvidence{Switch: sw, Appraiser: appr, Evidence: ev})
+}
+
+// OOB returns the out-of-band evidence collected so far.
+func (tb *Testbed) OOB() []OOBEvidence {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return append([]OOBEvidence(nil), tb.oob...)
+}
+
+// ClearOOB drops collected evidence.
+func (tb *Testbed) ClearOOB() {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.oob = nil
+}
+
+// Keys returns the verification keys of all switches.
+func (tb *Testbed) Keys() evidence.KeyMap {
+	keys := evidence.KeyMap{}
+	for name, sw := range tb.Switches {
+		keys[name] = sw.RoT().Public()
+	}
+	return keys
+}
+
+// PathHops returns the nac binding view of the bank→client path.
+func (tb *Testbed) PathHops() []nac.PathHop {
+	return nac.PathFromNetwork(tb.Net, HostBank, HostClient)
+}
+
+// Registry returns a test registry where every switch and host has a key
+// relationship (Khop/Kclient hold) and the C2 fingerprint test P matches
+// destination port 4444.
+func (tb *Testbed) Registry() nac.TestRegistry {
+	known := map[string]bool{
+		HostBank: true, HostClient: true,
+		SwFirewall: true, SwACL: true, SwEdge: true,
+	}
+	return nac.TestRegistry{
+		"Khop":    {PlacePred: func(p string) bool { return known[p] }},
+		"Kclient": {PlacePred: func(p string) bool { return p == HostClient }},
+		"P":       {PacketGuards: []pera.Guard{{Field: "tp.dport", Value: C2Port}}},
+		"Q":       {PlacePred: func(p string) bool { return known[p] }},
+		"Peer1":   {PlacePred: func(p string) bool { return p == HostBank }},
+		"Peer2":   {PlacePred: func(p string) bool { return p == HostClient }},
+	}
+}
+
+// C2Port is the destination port of the simulated malware
+// command-and-control channel (UC4).
+const C2Port = 4444
+
+// SendAttested wraps an IP frame from src to dst in an in-band header
+// carrying policy and transmits it from the source host.
+func (tb *Testbed) SendAttested(policy *pera.Policy, fromBank bool, sport, dport uint64, payload []byte) error {
+	src, dst := uint64(AddrBank), uint64(AddrClient)
+	host := HostBank
+	if !fromBank {
+		src, dst = dst, src
+		host = HostClient
+	}
+	prog := SwitchProgram(SwEdge)
+	inner, err := pisa.IPFrame(prog, src, dst, sport, dport, payload)
+	if err != nil {
+		return err
+	}
+	return tb.Net.Send(host, netsim.HostPort, pera.WrapFrame(policy, inner))
+}
+
+// SendPlain transmits an unattested IP frame.
+func (tb *Testbed) SendPlain(fromBank bool, sport, dport uint64, payload []byte) error {
+	src, dst := uint64(AddrBank), uint64(AddrClient)
+	host := HostBank
+	if !fromBank {
+		src, dst = dst, src
+		host = HostClient
+	}
+	inner, err := pisa.IPFrame(SwitchProgram(SwEdge), src, dst, sport, dport, payload)
+	if err != nil {
+		return err
+	}
+	return tb.Net.Send(host, netsim.HostPort, inner)
+}
+
+// LastDelivered returns the most recent frame a host received, unwrapped
+// if it carries a PERA header.
+func LastDelivered(h *netsim.Host) (*pera.Header, []byte, error) {
+	frames := h.Received()
+	if len(frames) == 0 {
+		return nil, nil, fmt.Errorf("usecases: host %s received nothing", h.Name())
+	}
+	last := frames[len(frames)-1]
+	if pera.HasHeader(last) {
+		return pera.UnwrapFrame(last)
+	}
+	return nil, last, nil
+}

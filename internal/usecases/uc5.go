@@ -1,0 +1,142 @@
+package usecases
+
+import (
+	"fmt"
+
+	"pera/internal/appraiser"
+	"pera/internal/attester"
+	"pera/internal/copland"
+	"pera/internal/evidence"
+	"pera/internal/rot"
+)
+
+// UC5 — Cross-Referenced Attestation. Host-based and network-based
+// evidence are composed: (a) the bank example's host phrase runs on the
+// client while path evidence covers the network between them, giving the
+// full AP1 picture; (b) an egress policy admits only TLS traffic whose
+// producing host attested a verified stack implementation; (c) trusted
+// redaction lets a cloud customer hand a compliance officer evidence with
+// tenant-sensitive hops collapsed to commitments.
+
+// CrossEvidence is composed host+network evidence with its appraisal.
+type CrossEvidence struct {
+	Host        *evidence.Evidence
+	Network     *evidence.Evidence
+	Composed    *evidence.Evidence
+	Certificate *appraiser.Certificate
+}
+
+// RunCrossAttestation executes AP1 fully: the network half collects
+// chained path evidence bank→client; the host half runs the §4.2 phrase
+// on the client's attester scenario; both are composed (sequentially —
+// the path is attested, then the endpoint) and appraised together.
+func RunCrossAttestation(tb *Testbed, bank *attester.BankScenario, nonce []byte) (*CrossEvidence, error) {
+	netEv, err := CollectPathEvidence(tb, nonce)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := CompileUC1Policy(tb, nonce)
+	if err != nil {
+		return nil, err
+	}
+	if len(compiled.HostTerms) == 0 {
+		return nil, fmt.Errorf("uc5: AP1 produced no host terms")
+	}
+	// Run the client-side phrase through the Copland VM. The compiled
+	// host term is the §4.2 bank check with places already concrete.
+	res, err := copland.ExecTerm(bank.Env, compiled.HostTerms[0].Place, compiled.HostTerms[0].Term, evidence.Nonce(nonce), nil)
+	if err != nil {
+		return nil, err
+	}
+	composed := evidence.Seq(netEv, res.Evidence)
+
+	// The appraiser needs the host-side keys and golden values too.
+	for name, key := range bank.Keys() {
+		tb.Appraiser.RegisterKey(name, key)
+	}
+	for k, v := range bank.Golden() {
+		place, target := splitGolden(k)
+		tb.Appraiser.SetGolden(place, target, evidence.DetailProgram, v)
+	}
+	cert, err := tb.Appraiser.Appraise("uc5:cross", composed, append([]byte("uc5:"), nonce...))
+	if err != nil {
+		return nil, err
+	}
+	return &CrossEvidence{Host: res.Evidence, Network: netEv, Composed: composed, Certificate: cert}, nil
+}
+
+func splitGolden(k string) (place, target string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '/' {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}
+
+// --- Verified-TLS egress gating ---
+
+// StackIdentity describes a host's network stack implementation.
+type StackIdentity struct {
+	Host     string
+	Stack    string // e.g. "miTLS-verified-1.2", "openssl-3.1"
+	Verified bool
+}
+
+// Digest returns the attestable digest of the stack identity.
+func (s StackIdentity) Digest() rot.Digest {
+	v := byte(0)
+	if s.Verified {
+		v = 1
+	}
+	return rot.Sum(append([]byte(s.Stack+"@"+s.Host), v))
+}
+
+// TLSEgressGate decides, per flow, whether TLS traffic may leave the
+// network: only hosts that attested a *verified* TLS implementation pass.
+type TLSEgressGate struct {
+	appr     *appraiser.Appraiser
+	verified map[string]bool // host → attested-verified
+}
+
+// NewTLSEgressGate builds the gate around an appraiser that holds golden
+// stack digests for the verified implementations.
+func NewTLSEgressGate(appr *appraiser.Appraiser) *TLSEgressGate {
+	return &TLSEgressGate{appr: appr, verified: map[string]bool{}}
+}
+
+// RegisterGolden provisions the golden digest for a verified stack on a
+// host.
+func (g *TLSEgressGate) RegisterGolden(id StackIdentity) {
+	g.appr.SetGolden(id.Host, "tls-stack", evidence.DetailProgram, id.Digest())
+}
+
+// SubmitHostAttestation processes a host's stack attestation: on
+// successful appraisal against the verified golden value, the host's TLS
+// egress is enabled.
+func (g *TLSEgressGate) SubmitHostAttestation(host *attester.Host, id StackIdentity, nonce []byte) (bool, error) {
+	m := evidence.Measurement(host.Name(), "tls-stack", id.Host, evidence.DetailProgram, id.Digest(), nil)
+	signed := evidence.Sign(host.Signer(), evidence.Seq(evidence.Nonce(nonce), m))
+	g.appr.RegisterKey(host.Name(), host.Signer().Public())
+	cert, err := g.appr.Appraise("uc5:tls:"+id.Host, signed, nonce)
+	if err != nil {
+		return false, err
+	}
+	g.verified[id.Host] = cert.Verdict
+	return cert.Verdict, nil
+}
+
+// AllowEgress reports whether TLS traffic from the host may leave.
+func (g *TLSEgressGate) AllowEgress(host string) bool { return g.verified[host] }
+
+// --- Trusted redaction for compliance (the paper's cloud scenario) ---
+
+// RedactForCompliance prepares path evidence for a compliance officer:
+// hops at tenant-sensitive places are collapsed to hash commitments,
+// place and program names are pseudonymized for the officer's scope, and
+// the operator re-signs the redacted tree to vouch for the translation.
+func RedactForCompliance(ev *evidence.Evidence, operator evidence.Signer, pseudo *evidence.Pseudonymizer, sensitivePlaces ...string) *evidence.Evidence {
+	redacted := evidence.RedactPlaces(ev, sensitivePlaces...)
+	pseudonymized := evidence.Pseudonymize(pseudo, redacted)
+	return evidence.Sign(operator, pseudonymized)
+}

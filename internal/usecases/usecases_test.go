@@ -1,0 +1,477 @@
+package usecases
+
+import (
+	"strings"
+	"testing"
+
+	"pera/internal/appraiser"
+	"pera/internal/attester"
+	"pera/internal/evidence"
+	"pera/internal/pera"
+	"pera/internal/rot"
+)
+
+func inBandTestbed(t *testing.T) *Testbed {
+	t.Helper()
+	tb, err := NewTestbed(pera.Config{InBand: true, Composition: evidence.Chained})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTestbedPlainDelivery(t *testing.T) {
+	tb := inBandTestbed(t)
+	if err := tb.SendPlain(true, 1000, 443, []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Client.ReceivedCount() != 1 {
+		t.Fatal("plain frame not delivered")
+	}
+	if err := tb.SendPlain(false, 443, 1000, []byte("reply")); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Bank.ReceivedCount() != 1 {
+		t.Fatal("reverse plain frame not delivered")
+	}
+}
+
+func TestTestbedPathHops(t *testing.T) {
+	tb := inBandTestbed(t)
+	hops := tb.PathHops()
+	names := make([]string, len(hops))
+	attesting := 0
+	for i, h := range hops {
+		names[i] = h.Name
+		if h.Attesting {
+			attesting++
+		}
+	}
+	want := []string{HostBank, SwFirewall, SwACL, ApplDPI, SwEdge, HostClient}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("path: %v", names)
+	}
+	if attesting != 3 {
+		t.Fatalf("attesting hops: %d", attesting)
+	}
+}
+
+// --- UC1 ---
+
+func TestUC1HonestPathAttests(t *testing.T) {
+	tb := inBandTestbed(t)
+	res, err := RunUC1Round(tb, []byte("uc1-honest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certificate.Verdict {
+		t.Fatalf("honest path rejected: %s", res.Certificate.Reason)
+	}
+	// The evidence names the programs at each hop, in path order —
+	// exactly the paper's UC1 narrative ("processed by firewall_v5.p4
+	// and forwarded to S2 which was running ACL_v3.p4 ...").
+	want := []string{"firewall_v5.p4", "ACL_v3.p4", "fwd_v1.p4"}
+	if strings.Join(res.HopPrograms, ",") != strings.Join(want, ",") {
+		t.Fatalf("hop programs: %v", res.HopPrograms)
+	}
+}
+
+func TestUC1AthensSwapDetected(t *testing.T) {
+	tb := inBandTestbed(t)
+	if _, err := RunUC1Round(tb, []byte("uc1-pre")); err != nil {
+		t.Fatal(err)
+	}
+	// The adversary swaps sw1's firewall for a same-named mirroring
+	// rogue, wired to tap traffic from the bank.
+	if err := AthensSwap(tb, SwEdge, 9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunUC1Round(tb, []byte("uc1-post"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate.Verdict {
+		t.Fatal("rogue program swap went undetected")
+	}
+	if !strings.Contains(res.Certificate.Reason, "mismatch") {
+		t.Fatalf("reason: %s", res.Certificate.Reason)
+	}
+}
+
+func TestUC1BootLogRecordsSwap(t *testing.T) {
+	tb := inBandTestbed(t)
+	if err := AthensSwap(tb, SwACL, 9); err != nil {
+		t.Fatal(err)
+	}
+	events, consistent, err := VerifyBootLog(tb, SwACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !consistent {
+		t.Fatal("boot log does not replay against quote")
+	}
+	// Two program events: the original ACL and the rogue swap.
+	progEvents := 0
+	for _, e := range events {
+		if e.PCR == pera.PCRProgram {
+			progEvents++
+		}
+	}
+	if progEvents != 2 {
+		t.Fatalf("program measurements in log: %d", progEvents)
+	}
+	if _, _, err := VerifyBootLog(tb, "ghost"); err == nil {
+		t.Fatal("ghost switch accepted")
+	}
+	if err := AthensSwap(tb, "ghost", 1); err == nil {
+		t.Fatal("ghost swap accepted")
+	}
+}
+
+// --- UC2 ---
+
+func TestUC2PathFactorAuthentication(t *testing.T) {
+	tb := inBandTestbed(t)
+	pa := NewPathAuthenticator(tb.Appraiser, tb.Keys())
+
+	// Enrollment from a trusted session.
+	enrollEv, err := CollectPathEvidence(tb, []byte("uc2-enroll"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Enroll("alice", enrollEv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh password-less login over the same path: granted (limited).
+	loginEv, err := CollectPathEvidence(tb, []byte("uc2-login"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := pa.Authenticate("alice", loginEv, []byte("uc2-login"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Granted || !dec.Limited {
+		t.Fatalf("decision: %+v", dec)
+	}
+
+	// Unknown user.
+	dec, _ = pa.Authenticate("mallory", loginEv, []byte("uc2-m"))
+	if dec.Granted {
+		t.Fatal("unenrolled user granted")
+	}
+}
+
+func TestUC2DifferentPathRejected(t *testing.T) {
+	tb := inBandTestbed(t)
+	pa := NewPathAuthenticator(tb.Appraiser, tb.Keys())
+	enrollEv, err := CollectPathEvidence(tb, []byte("uc2b-enroll"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pa.Enroll("alice", enrollEv); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker replays evidence from a different vantage: simulate a
+	// changed path by swapping a program (path tag depends on program
+	// digests — a different environment yields a different tag).
+	if err := AthensSwap(tb, SwEdge, 9); err != nil {
+		t.Fatal(err)
+	}
+	loginEv, err := CollectPathEvidence(tb, []byte("uc2b-login"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := pa.Authenticate("alice", loginEv, []byte("uc2b-login"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Granted {
+		t.Fatal("changed path accepted as home path")
+	}
+}
+
+func TestUC2TamperedEvidenceRejected(t *testing.T) {
+	tb := inBandTestbed(t)
+	pa := NewPathAuthenticator(tb.Appraiser, tb.Keys())
+	ev, _ := CollectPathEvidence(tb, []byte("uc2c-enroll"))
+	if err := pa.Enroll("alice", ev); err != nil {
+		t.Fatal(err)
+	}
+	login, _ := CollectPathEvidence(tb, []byte("uc2c-login"))
+	// Tamper a measurement inside the signed chain.
+	evidence.Measurements(login)[0].Value[0] ^= 1
+	dec, err := pa.Authenticate("alice", login, []byte("uc2c-login"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Granted {
+		t.Fatal("tampered evidence authenticated")
+	}
+	// Enrollment with garbage evidence fails.
+	bad := evidence.Sign(rot.NewDeterministic("fake", []byte("x")), evidence.Empty())
+	if err := pa.Enroll("bob", bad); err == nil {
+		t.Fatal("unkeyed enrollment accepted")
+	}
+}
+
+// --- UC3 ---
+
+func TestUC3DDoSGating(t *testing.T) {
+	tb := inBandTestbed(t)
+	gate := NewGatekeeper("gate", 1, 2, tb.Keys())
+
+	compiled, err := CompileUC1Policy(tb, []byte("uc3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run one attested round to learn the legitimate path tag.
+	if err := tb.SendAttested(compiled.Policy, true, 1, 443, nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr, _, err := LastDelivered(tb.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legitFrame := tb.Client.Received()[0]
+
+	// Normal mode: everything passes.
+	if out, _ := gate.Receive(1, []byte("junk")); len(out) != 1 {
+		t.Fatal("normal mode dropped traffic")
+	}
+
+	// Under attack: unattested junk is dropped; attested traffic with
+	// the allowed tag passes.
+	gate.SetUnderAttack(true)
+	if out, _ := gate.Receive(1, []byte("junk")); len(out) != 0 {
+		t.Fatal("attack mode passed unattested traffic")
+	}
+	if out, _ := gate.Receive(1, legitFrame); len(out) != 0 {
+		t.Fatal("unallowed tag passed before allowlisting")
+	}
+	gate.AllowTag(pathTagOf(t, hdr.Evidence))
+	if out, _ := gate.Receive(1, legitFrame); len(out) != 1 {
+		t.Fatal("allowed attested traffic dropped")
+	}
+	// Reverse direction is never gated.
+	if out, _ := gate.Receive(2, []byte("reply")); len(out) != 1 {
+		t.Fatal("reverse direction gated")
+	}
+	fwd, dropped := gate.Counts()
+	if fwd != 3 || dropped != 2 {
+		t.Fatalf("counts: fwd=%d dropped=%d", fwd, dropped)
+	}
+}
+
+func pathTagOf(t *testing.T, ev *evidence.Evidence) rot.Digest {
+	t.Helper()
+	return appraiser.PathTag(ev)
+}
+
+func TestUC3TamperedHeaderDropped(t *testing.T) {
+	tb := inBandTestbed(t)
+	gate := NewGatekeeper("gate", 1, 2, tb.Keys())
+	gate.SetUnderAttack(true)
+	compiled, _ := CompileUC1Policy(tb, []byte("uc3b"))
+	tb.SendAttested(compiled.Policy, true, 1, 443, nil)
+	frame := tb.Client.Received()[0]
+	// Corrupt a byte inside the header's evidence region.
+	bad := append([]byte(nil), frame...)
+	bad[40] ^= 0xFF
+	if out, _ := gate.Receive(1, bad); len(out) != 0 {
+		t.Fatal("tampered header admitted")
+	}
+}
+
+// --- UC4 ---
+
+func TestUC4AuditTrail(t *testing.T) {
+	tb := inBandTestbed(t)
+	compiled, err := CompileUC4Policy(tb, SwACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ArmScanner(tb, SwACL, compiled); err != nil {
+		t.Fatal(err)
+	}
+	// Malware C2 beacons (dport 4444) interleaved with benign traffic.
+	for i := 0; i < 3; i++ {
+		tb.SendPlain(true, 40000+uint64(i), C2Port, []byte("beacon"))
+		tb.SendPlain(true, 50000+uint64(i), 443, []byte("benign"))
+	}
+	oob := tb.OOB()
+	if len(oob) != 3 {
+		t.Fatalf("scanner produced %d evidences, want 3 (C2 only)", len(oob))
+	}
+	for _, o := range oob {
+		if o.Switch != SwACL {
+			t.Fatalf("evidence from %s", o.Switch)
+		}
+	}
+	records, err := CollectAudit(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records: %d", len(records))
+	}
+	for _, r := range records {
+		if !r.Certificate.Verdict {
+			t.Fatalf("audit record rejected: %s", r.Certificate.Reason)
+		}
+		// Stored for later retrieval (the court-order workflow).
+		got, err := tb.Appraiser.Retrieve(r.Certificate.Nonce)
+		if err != nil || got.Serial != r.Certificate.Serial {
+			t.Fatalf("retrieval: %v %v", got, err)
+		}
+	}
+}
+
+func TestUC4ActionRecord(t *testing.T) {
+	tb := inBandTestbed(t)
+	cert, err := RecordAction(tb, SwACL, "blocked C2 flow 100->200:4444 per order 17-442", []byte("uc4-action"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Verdict {
+		t.Fatalf("action record rejected: %s", cert.Reason)
+	}
+	got, err := tb.Appraiser.Retrieve([]byte("uc4-action"))
+	if err != nil || got.Serial != cert.Serial {
+		t.Fatalf("retrieve: %v", err)
+	}
+	if _, err := RecordAction(tb, "ghost", "x", nil); err == nil {
+		t.Fatal("ghost actor accepted")
+	}
+}
+
+func TestUC4ScannerIgnoresBenign(t *testing.T) {
+	tb := inBandTestbed(t)
+	compiled, _ := CompileUC4Policy(tb, SwACL)
+	ArmScanner(tb, SwACL, compiled)
+	for i := 0; i < 10; i++ {
+		tb.SendPlain(true, 1000+uint64(i), 443, []byte("https"))
+	}
+	if len(tb.OOB()) != 0 {
+		t.Fatal("benign traffic attested")
+	}
+	if tb.Switches[SwACL].Stats().GuardRejects == 0 {
+		t.Fatal("guard rejects not counted")
+	}
+}
+
+// --- UC5 ---
+
+func TestUC5CrossAttestationHonest(t *testing.T) {
+	tb := inBandTestbed(t)
+	bank := attester.NewBankScenario()
+	res, err := RunCrossAttestation(tb, bank, []byte("uc5-honest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certificate.Verdict {
+		t.Fatalf("honest cross attestation rejected: %s", res.Certificate.Reason)
+	}
+	// The composed evidence covers both worlds.
+	ms := evidence.Measurements(res.Composed)
+	places := map[string]bool{}
+	for _, m := range ms {
+		places[m.Place] = true
+	}
+	for _, want := range []string{SwFirewall, SwACL, SwEdge, "ks", "us"} {
+		if !places[want] {
+			t.Fatalf("composed evidence missing place %s (have %v)", want, places)
+		}
+	}
+}
+
+func TestUC5DetectsHostInfection(t *testing.T) {
+	tb := inBandTestbed(t)
+	bank := attester.NewBankScenario()
+	bank.InfectExts()
+	res, err := RunCrossAttestation(tb, bank, []byte("uc5-infected"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate.Verdict {
+		t.Fatal("infected host passed cross attestation")
+	}
+}
+
+func TestUC5DetectsNetworkSwap(t *testing.T) {
+	tb := inBandTestbed(t)
+	if err := AthensSwap(tb, SwEdge, 9); err != nil {
+		t.Fatal(err)
+	}
+	bank := attester.NewBankScenario()
+	res, err := RunCrossAttestation(tb, bank, []byte("uc5-swapped"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certificate.Verdict {
+		t.Fatal("network swap passed cross attestation")
+	}
+}
+
+func TestUC5TLSEgressGate(t *testing.T) {
+	tb := inBandTestbed(t)
+	gate := NewTLSEgressGate(tb.Appraiser)
+
+	verified := StackIdentity{Host: "h-verified", Stack: "miTLS-verified-1.2", Verified: true}
+	unverified := StackIdentity{Host: "h-legacy", Stack: "legacy-ssl-0.9", Verified: false}
+	gate.RegisterGolden(verified)
+	// The legacy host's golden value is the verified stack it *should*
+	// run; attesting its actual stack will mismatch.
+	gate.RegisterGolden(StackIdentity{Host: "h-legacy", Stack: "miTLS-verified-1.2", Verified: true})
+
+	hv := attester.NewHost("h-verified")
+	hl := attester.NewHost("h-legacy")
+
+	ok, err := gate.SubmitHostAttestation(hv, verified, []byte("tls-1"))
+	if err != nil || !ok {
+		t.Fatalf("verified host rejected: %v %v", ok, err)
+	}
+	ok, err = gate.SubmitHostAttestation(hl, unverified, []byte("tls-2"))
+	if err != nil || ok {
+		t.Fatalf("unverified host accepted: %v %v", ok, err)
+	}
+	if !gate.AllowEgress("h-verified") || gate.AllowEgress("h-legacy") {
+		t.Fatal("egress decisions wrong")
+	}
+	if gate.AllowEgress("h-unknown") {
+		t.Fatal("unknown host allowed")
+	}
+}
+
+func TestUC5ComplianceRedaction(t *testing.T) {
+	tb := inBandTestbed(t)
+	ev, err := CollectPathEvidence(tb, []byte("uc5-redact"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	operator := rot.NewDeterministic("operator", []byte("op-sign"))
+	pseudo := evidence.NewPseudonymizer([]byte("op-secret"), "compliance-officer")
+	out := RedactForCompliance(ev, operator, pseudo, SwACL)
+
+	// The officer can verify the operator's signature...
+	if _, err := evidence.VerifySignatures(out, evidence.KeyMap{"operator": operator.Public()}); err != nil {
+		t.Fatalf("operator signature: %v", err)
+	}
+	// ...sees no cleartext switch names...
+	for _, m := range evidence.Measurements(out) {
+		if m.Place == SwFirewall || m.Place == SwACL || m.Place == SwEdge {
+			t.Fatalf("cleartext place leaked: %v", m)
+		}
+	}
+	// ...and the sensitive hop's content is gone but committed.
+	if len(evidence.Measurements(out)) >= len(evidence.Measurements(ev)) {
+		t.Fatal("sensitive hop not redacted")
+	}
+	// The operator (holding the pseudonymizer) can still lift names for
+	// an auditor with a court order.
+	lifted, err := pseudo.Lift(evidence.Measurements(out)[0].Place)
+	if err != nil || lifted == "" {
+		t.Fatalf("lift: %q %v", lifted, err)
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"pera/internal/p4ir"
+	"pera/internal/pisa"
+)
+
+func TestUniformCoversAllFlows(t *testing.T) {
+	g := New(Config{Flows: 8, Pattern: Uniform})
+	for i := 0; i < 80; i++ {
+		g.NextFlow()
+	}
+	for i, c := range g.Emitted() {
+		if c != 10 {
+			t.Fatalf("flow %d got %d packets, want 10", i, c)
+		}
+	}
+	if g.Total() != 80 {
+		t.Fatalf("total %d", g.Total())
+	}
+	// Uniform top share = 1/flows.
+	if s := g.TopFlowShare(); s != 0.125 {
+		t.Fatalf("top share %v", s)
+	}
+}
+
+func TestSkewedConcentratesTraffic(t *testing.T) {
+	g := New(Config{Flows: 16, Pattern: Skewed, Seed: 7})
+	for i := 0; i < 4000; i++ {
+		g.NextFlow()
+	}
+	share := g.TopFlowShare()
+	if share < 0.4 || share > 0.6 {
+		t.Fatalf("top flow share %v, want ~0.5 (power-law head)", share)
+	}
+	counts := g.Emitted()
+	if counts[0] < counts[1] || counts[1] < counts[2] {
+		t.Fatalf("popularity not decreasing: %v", counts[:4])
+	}
+}
+
+func TestBurstyRunsConsecutive(t *testing.T) {
+	g := New(Config{Flows: 4, Pattern: Bursty, Burst: 5, Seed: 3})
+	var seq []Flow
+	for i := 0; i < 40; i++ {
+		seq = append(seq, g.NextFlow())
+	}
+	// Runs of 5 identical flows.
+	for start := 0; start+5 <= len(seq); start += 5 {
+		for i := 1; i < 5; i++ {
+			if seq[start+i] != seq[start] {
+				t.Fatalf("burst broken at %d: %v vs %v", start+i, seq[start+i], seq[start])
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(Config{Flows: 8, Pattern: Skewed, Seed: 42})
+	b := New(Config{Flows: 8, Pattern: Skewed, Seed: 42})
+	for i := 0; i < 200; i++ {
+		if a.NextFlow() != b.NextFlow() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(Config{Flows: 8, Pattern: Skewed, Seed: 43})
+	same := true
+	for i := 0; i < 200; i++ {
+		if a.NextFlow() != c.NextFlow() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestNextFrameParses(t *testing.T) {
+	prog := p4ir.NewForwarding("w")
+	inst, err := pisa.Load(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(Config{Flows: 4})
+	seenPorts := map[uint64]bool{}
+	for i := 0; i < 8; i++ {
+		frame, err := g.NextFrame(prog, []byte("pay"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt := pisa.NewPacket(frame, 1)
+		if err := inst.Parse(pkt); err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Get("ip.dst") != 200 || pkt.Get("tp.dport") != 443 {
+			t.Fatalf("frame fields: %s", pkt)
+		}
+		seenPorts[pkt.Get("tp.sport")] = true
+	}
+	if len(seenPorts) != 4 {
+		t.Fatalf("distinct flows: %d", len(seenPorts))
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	g := New(Config{})
+	if len(g.flows) != 16 || g.burst != 8 {
+		t.Fatalf("defaults: %d flows burst %d", len(g.flows), g.burst)
+	}
+	if g.TopFlowShare() != 0 {
+		t.Fatal("share before traffic")
+	}
+	if !strings.Contains(Uniform.String()+Skewed.String()+Bursty.String()+Pattern(9).String(),
+		"uniform") {
+		t.Fatal("pattern names")
+	}
+}
