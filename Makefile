@@ -1,0 +1,42 @@
+# PERA simulator build/test entry points.
+#
+# Tier-1 flow (what CI and reviewers run):
+#
+#     make build test race
+#
+# The race target is part of tier-1: the attestation pipeline is
+# explicitly concurrent (pool appraisal, concurrent switch ingestion,
+# sharded caches) and every regression test for it must pass under the
+# race detector.
+
+GO ?= go
+
+.PHONY: all build test race vet bench bench-throughput fmt clean
+
+all: build test race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Just the concurrent-appraisal families (the BENCH_throughput.json
+# source); see README "Performance".
+bench-throughput:
+	$(GO) test -bench 'BenchmarkThroughput|BenchmarkVerifyMemo' -benchmem -run '^$$' .
+
+fmt:
+	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)
+
+clean:
+	$(GO) clean ./...

@@ -291,6 +291,108 @@ func BenchmarkFig4_Composition(b *testing.B) {
 	}
 }
 
+// --- Throughput: the concurrent appraisal pipeline ---
+
+// benchThroughputPool times pool appraisal of a pre-generated UC1 corpus
+// at one width, reporting pkts/sec. Corpus generation and pool setup stay
+// outside the timer.
+func benchThroughputPool(b *testing.B, workers int, memo bool) {
+	const packets, flows = 256, 16
+	jobs, tb, _, err := harness.ThroughputCorpus(packets, flows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := tb.Appraiser
+	if memo {
+		a.EnableMemo(0)
+	}
+	pool := appraiser.NewPool(a, workers)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range pool.AppraiseAll(jobs) {
+			if r.Err != nil || !r.Certificate.Verdict {
+				b.Fatalf("job %d: err=%v verdict=%v", r.Index, r.Err, r.Certificate != nil && r.Certificate.Verdict)
+			}
+		}
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N*packets)/s, "pkts/sec")
+	}
+	if memo {
+		b.ReportMetric(a.MemoStats().HitRate(), "memoHit")
+	}
+}
+
+// BenchmarkThroughput_Workers sweeps the appraisal pool width with
+// memoization off: pure ed25519 verification fanned across workers.
+// Wall-clock scaling tracks GOMAXPROCS; at GOMAXPROCS=1 the sweep is
+// flat by construction (see README "Performance").
+func BenchmarkThroughput_Workers(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dworkers", w), func(b *testing.B) {
+			benchThroughputPool(b, w, false)
+		})
+	}
+}
+
+// BenchmarkThroughput_WorkersMemo repeats the sweep with the verification
+// memo enabled: re-presented per-flow chains collapse to hash lookups,
+// which lifts throughput at every width independent of core count.
+func BenchmarkThroughput_WorkersMemo(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dworkers", w), func(b *testing.B) {
+			benchThroughputPool(b, w, true)
+		})
+	}
+}
+
+// BenchmarkThroughput_EndToEnd measures harness.RunThroughput whole —
+// corpus generation on the testbed plus pooled appraisal — at the default
+// production configuration (memo on, GOMAXPROCS workers).
+func BenchmarkThroughput_EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunThroughput(0, 128, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Pass != 128 {
+			b.Fatalf("pass=%d, want 128", res.Pass)
+		}
+	}
+}
+
+// BenchmarkVerifyMemo isolates the memo win on a single 3-hop chain:
+// "cold" pays ed25519 every time (unique memo per iteration would defeat
+// the point, so it uses no memo); "warm" hits the memo after the first
+// verification.
+func BenchmarkVerifyMemo(b *testing.B) {
+	r := rot.NewDeterministic("bench", []byte("memo"))
+	ev := evidence.Nonce([]byte("n"))
+	for i := 0; i < 3; i++ {
+		m := evidence.Measurement("sw", "prog", "sw", evidence.DetailProgram, rot.Sum([]byte{byte(i)}), nil)
+		ev = evidence.Sign(r, evidence.Seq(ev, m))
+	}
+	keys := evidence.KeyMap{"bench": r.Public()}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := evidence.VerifySignaturesMemo(ev, keys, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		memo := evidence.NewVerifyMemo(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := evidence.VerifySignaturesMemo(ev, keys, memo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Supporting micro-benchmarks: the primitives the stages are built
 // from, for the ablation discussion in EXPERIMENTS.md. ---
 

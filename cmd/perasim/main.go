@@ -12,27 +12,70 @@
 //	perasim -uc 5      # cross-referenced host+network attestation
 //	perasim -uc all      # use cases 1-5
 //	perasim -uc monitor  # continuous assessment with a mid-run swap
+//	perasim -uc throughput -workers 4 -packets 2000 -flows 50
+//	                     # concurrent appraisal pipeline sweep
+//
+// -cpuprofile / -memprofile write pprof profiles for any use case.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"pera/internal/appraiser"
 	"pera/internal/attester"
 	"pera/internal/evidence"
+	"pera/internal/harness"
 	"pera/internal/pera"
 	"pera/internal/usecases"
 )
 
+var (
+	workers = flag.Int("workers", 0, "appraisal pool width for -uc throughput; 0 sweeps 1,2,4,8")
+	packets = flag.Int("packets", 2000, "packets to appraise in -uc throughput")
+	flows   = flag.Int("flows", 50, "distinct flows in the -uc throughput corpus")
+	memoOff = flag.Bool("no-memo", false, "disable verification memoization in -uc throughput")
+)
+
 func main() {
-	uc := flag.String("uc", "all", "use case to run: 1..5 or all")
+	uc := flag.String("uc", "all", "use case to run: 1..5, all, monitor or throughput")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+	}()
 
 	runners := map[string]func() error{
 		"1": runUC1, "2": runUC2, "3": runUC3, "4": runUC4, "5": runUC5,
-		"monitor": runMonitor,
+		"monitor": runMonitor, "throughput": runThroughput,
 	}
 	if *uc == "all" {
 		for _, k := range []string{"1", "2", "3", "4", "5"} {
@@ -265,5 +308,27 @@ func runMonitor() error {
 		}
 	}
 	fmt.Printf("final status: %v\n", ca.Status())
+	return nil
+}
+
+func runThroughput() error {
+	fmt.Println("== Appraisal throughput: concurrent Verify/Appraise pipeline ==")
+	counts := []int{1, 2, 4, 8}
+	if *workers > 0 {
+		counts = []int{*workers}
+	}
+	fmt.Printf("corpus: %d packets over %d flows (chained UC1 path evidence), GOMAXPROCS=%d, memo=%v\n",
+		*packets, *flows, runtime.GOMAXPROCS(0), !*memoOff)
+	rows, err := harness.RunThroughputSweep(counts, *packets, *flows, !*memoOff)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %10s %8s %8s %8s %9s\n",
+		"workers", "pkts/sec", "elapsed", "pass", "fail", "speedup", "memoHit")
+	for _, r := range rows {
+		fmt.Printf("%-8d %12.0f %10s %8d %8d %7.2fx %8.1f%%\n",
+			r.Workers, r.PacketsPerSec, r.Elapsed.Round(time.Millisecond),
+			r.Pass, r.Fail, r.Speedup, 100*r.MemoHitRate)
+	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pera/internal/evidence"
 	"pera/internal/rats"
@@ -143,15 +144,25 @@ type goldenKey struct {
 }
 
 // Appraiser holds verification keys, golden values, issued certificates
-// and nonce state. It is safe for concurrent use.
+// and nonce state. It is safe for true concurrent use: appraisal workers
+// read the key/golden/hash tables as immutable copy-on-write snapshots
+// (writers replace whole maps under mu, so the per-packet read path takes
+// one brief RLock and never copies), the nonce store and certificate
+// store sit behind their own mutexes, and the certificate serial is
+// atomic so signing happens outside every lock.
 type Appraiser struct {
 	name string
 	key  ed25519.PrivateKey
 	pub  ed25519.PublicKey
 
-	mu     sync.Mutex
+	// mu guards the copy-on-write configuration tables below. Writers
+	// clone-and-swap; readers snapshot the map references under RLock and
+	// then read lock-free (the maps themselves are never mutated in
+	// place).
+	mu     sync.RWMutex
 	keys   evidence.KeyMap
 	golden map[goldenKey]rot.Digest
+	hashes map[rot.Digest]bool // expected digests for hash-collapsed evidence
 	// Strict makes measurements with no golden reference a failure;
 	// otherwise they are accepted but noted in the certificate reason.
 	Strict bool
@@ -159,10 +170,18 @@ type Appraiser struct {
 	// appear in the evidence (freshness binding).
 	RequireNonce bool
 
-	serial uint64
-	used   map[string]bool
+	// memo, when enabled, caches signature-verification outcomes so
+	// re-presented high-inertia evidence costs one hash per signature
+	// node instead of one ed25519.Verify. Set via EnableMemo.
+	memo *evidence.VerifyMemo
+
+	serial atomic.Uint64
+
+	nonceMu sync.Mutex
+	used    map[string]bool
+
+	certMu sync.Mutex
 	certs  map[string]*Certificate
-	hashes map[rot.Digest]bool // expected digests for hash-collapsed evidence
 }
 
 // New creates an appraiser with a key derived from seed, so simulations
@@ -181,6 +200,25 @@ func New(name string, seed []byte) *Appraiser {
 	}
 }
 
+// EnableMemo installs a verification memo bounded to capacity entries
+// (capacity <= 0 selects evidence.DefaultMemoCapacity). Subsequent
+// appraisals memoize signature and quote checks; MemoStats exposes the
+// hit/miss counters.
+func (a *Appraiser) EnableMemo(capacity int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.memo = evidence.NewVerifyMemo(capacity)
+}
+
+// MemoStats reports the verification memo's counters; zeros when no memo
+// is enabled.
+func (a *Appraiser) MemoStats() evidence.MemoStats {
+	a.mu.RLock()
+	m := a.memo
+	a.mu.RUnlock()
+	return m.Stats()
+}
+
 // Name returns the appraiser identity.
 func (a *Appraiser) Name() string { return a.name }
 
@@ -194,7 +232,12 @@ func (a *Appraiser) Public() ed25519.PublicKey {
 func (a *Appraiser) RegisterKey(signer string, pub ed25519.PublicKey) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.keys[signer] = append(ed25519.PublicKey(nil), pub...)
+	keys := make(evidence.KeyMap, len(a.keys)+1)
+	for k, v := range a.keys {
+		keys[k] = v
+	}
+	keys[signer] = append(ed25519.PublicKey(nil), pub...)
+	a.keys = keys
 }
 
 // RegisterAIK verifies cert under the authority key and, on success,
@@ -211,7 +254,12 @@ func (a *Appraiser) RegisterAIK(authorityPub ed25519.PublicKey, cert *rot.AIKCer
 func (a *Appraiser) SetGolden(place, target string, detail evidence.Detail, d rot.Digest) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.golden[goldenKey{place, target, detail}] = d
+	golden := make(map[goldenKey]rot.Digest, len(a.golden)+1)
+	for k, v := range a.golden {
+		golden[k] = v
+	}
+	golden[goldenKey{place, target, detail}] = d
+	a.golden = golden
 }
 
 // AllowHash registers an expected evidence digest for attesters that
@@ -221,10 +269,12 @@ func (a *Appraiser) SetGolden(place, target string, detail evidence.Detail, d ro
 func (a *Appraiser) AllowHash(d rot.Digest) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.hashes == nil {
-		a.hashes = make(map[rot.Digest]bool)
+	hashes := make(map[rot.Digest]bool, len(a.hashes)+1)
+	for k := range a.hashes {
+		hashes[k] = true
 	}
-	a.hashes[d] = true
+	hashes[d] = true
+	a.hashes = hashes
 }
 
 // Appraise verifies ev end to end and issues a signed certificate whose
@@ -233,17 +283,15 @@ func (a *Appraiser) AllowHash(d rot.Digest) {
 // through the certificate so they remain attributable and storable.
 func (a *Appraiser) Appraise(subject string, ev *evidence.Evidence, nonce []byte) (*Certificate, error) {
 	if len(nonce) > 0 {
-		a.mu.Lock()
+		a.nonceMu.Lock()
 		if a.used[string(nonce)] {
-			a.mu.Unlock()
+			a.nonceMu.Unlock()
 			return nil, ErrNonceReplayed
 		}
 		a.used[string(nonce)] = true
-		a.mu.Unlock()
+		a.nonceMu.Unlock()
 	}
 	verdict, reason := a.check(ev, nonce)
-	a.mu.Lock()
-	a.serial++
 	c := &Certificate{
 		Issuer:         a.name,
 		Subject:        subject,
@@ -251,10 +299,11 @@ func (a *Appraiser) Appraise(subject string, ev *evidence.Evidence, nonce []byte
 		EvidenceDigest: evidence.DigestOf(ev),
 		Verdict:        verdict,
 		Reason:         reason,
-		Serial:         a.serial,
+		Serial:         a.serial.Add(1),
 	}
+	// Signing happens outside every lock: concurrent appraisal workers
+	// must not serialize their Ed25519 work behind shared state.
 	c.Signature = ed25519.Sign(a.key, certMessage(c))
-	a.mu.Unlock()
 	return c, nil
 }
 
@@ -263,19 +312,15 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 	if err := evidence.Validate(ev); err != nil {
 		return false, err.Error()
 	}
-	a.mu.Lock()
-	keys := make(evidence.KeyMap, len(a.keys))
-	for k, v := range a.keys {
-		keys[k] = v
-	}
+	// Snapshot the copy-on-write tables: the referenced maps are immutable
+	// once published, so the verification work below runs lock-free.
+	a.mu.RLock()
+	keys, golden, hashes := a.keys, a.golden, a.hashes
 	strict, requireNonce := a.Strict, a.RequireNonce
-	hashes := make(map[rot.Digest]bool, len(a.hashes))
-	for h := range a.hashes {
-		hashes[h] = true
-	}
-	a.mu.Unlock()
+	memo := a.memo
+	a.mu.RUnlock()
 
-	nsigs, err := evidence.VerifySignatures(ev, keys)
+	nsigs, err := evidence.VerifySignaturesMemo(ev, keys, memo)
 	if err != nil {
 		return false, err.Error()
 	}
@@ -317,13 +362,18 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 			if !ok {
 				return false, fmt.Sprintf("no key to verify hardware quote from %q", q.Platform)
 			}
-			if err := rot.VerifyQuote(pub, q, nil); err != nil {
-				return false, fmt.Sprintf("hardware quote from %s: %v", q.Platform, err)
+			// Quote checks ride the same memo as evidence signatures: a
+			// cached hardware quote re-presented across packets is
+			// byte-identical, so the serialized claim bytes key the
+			// memoized verdict.
+			ok = memo.Check(pub, m.Claims, q.Signature, func() bool {
+				return rot.VerifyQuote(pub, q, nil) == nil
+			})
+			if !ok {
+				return false, fmt.Sprintf("hardware quote from %s: verification failed", q.Platform)
 			}
 		}
-		a.mu.Lock()
-		want, ok := a.golden[goldenKey{m.Place, m.Target, m.Detail}]
-		a.mu.Unlock()
+		want, ok := golden[goldenKey{m.Place, m.Target, m.Detail}]
 		if !ok {
 			unknown++
 			if strict {
@@ -346,15 +396,15 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 // Store saves a certificate for later retrieval by nonce — the
 // out-of-band variant's store(n).
 func (a *Appraiser) Store(c *Certificate) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.certMu.Lock()
+	defer a.certMu.Unlock()
 	a.certs[string(c.Nonce)] = c
 }
 
 // Retrieve returns the certificate stored under nonce — retrieve(n).
 func (a *Appraiser) Retrieve(nonce []byte) (*Certificate, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.certMu.Lock()
+	defer a.certMu.Unlock()
 	c, ok := a.certs[string(nonce)]
 	if !ok {
 		return nil, ErrNoCertificate

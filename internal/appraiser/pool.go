@@ -1,0 +1,193 @@
+// Worker-pool appraisal engine: fans evidence chains out to N goroutines
+// while preserving per-nonce ordering. This is the verify/appraise half of
+// the paper's Fig. 2/3 throughput story — evidence Create/Sign runs at
+// dataplane speed on the switch, so the off-switch Verify/Appraise stage
+// must scale with cores to keep up.
+package appraiser
+
+import (
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pera/internal/evidence"
+)
+
+// Job is one appraisal request submitted to a Pool.
+type Job struct {
+	Subject  string
+	Evidence *evidence.Evidence
+	// Nonce is passed to Appraise (replay-checked when non-empty). Jobs
+	// sharing a nonce are guaranteed to be appraised in submission order
+	// on the same worker, so replay verdicts are deterministic.
+	Nonce []byte
+}
+
+// Result is one appraisal outcome. Index is the submission sequence number
+// (0-based), so callers can correlate results with jobs regardless of
+// worker interleaving.
+type Result struct {
+	Index       int
+	Certificate *Certificate
+	Err         error
+}
+
+// PoolStats aggregates verdicts across a pool's lifetime.
+type PoolStats struct {
+	Jobs   uint64 // jobs completed
+	Pass   uint64 // certificates with Verdict true
+	Fail   uint64 // certificates with Verdict false
+	Errors uint64 // operational errors (e.g. nonce replay)
+}
+
+// Pool appraises evidence on a fixed set of worker goroutines.
+//
+// Dispatch preserves per-nonce ordering: every job is routed to a worker
+// chosen by hashing its nonce, so two submissions with the same nonce are
+// appraised in submission order (the first wins the replay check, the
+// second deterministically gets ErrNonceReplayed). Nonce-less jobs are
+// spread round-robin.
+type Pool struct {
+	a       *Appraiser
+	workers int
+	queues  []chan poolTask
+	wg      sync.WaitGroup
+
+	// OnResult, when set before the first Submit, is invoked from the
+	// worker goroutine for every completed job. It must be safe for
+	// concurrent use.
+	OnResult func(Result)
+
+	next   atomic.Uint64 // submission index + round-robin source
+	closed atomic.Bool
+
+	jobs   atomic.Uint64
+	pass   atomic.Uint64
+	fail   atomic.Uint64
+	errors atomic.Uint64
+}
+
+type poolTask struct {
+	job  Job
+	idx  int
+	res  *Result         // AppraiseAll: slot to fill
+	done *sync.WaitGroup // AppraiseAll: completion signal
+}
+
+// NewPool starts workers goroutines appraising against a. workers <= 0
+// selects GOMAXPROCS. Close must be called to release the workers.
+func NewPool(a *Appraiser, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{a: a, workers: workers, queues: make([]chan poolTask, workers)}
+	for i := range p.queues {
+		p.queues[i] = make(chan poolTask, 64)
+		p.wg.Add(1)
+		go p.worker(p.queues[i])
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker(queue <-chan poolTask) {
+	defer p.wg.Done()
+	for t := range queue {
+		cert, err := p.a.Appraise(t.job.Subject, t.job.Evidence, t.job.Nonce)
+		r := Result{Index: t.idx, Certificate: cert, Err: err}
+		p.jobs.Add(1)
+		switch {
+		case err != nil:
+			p.errors.Add(1)
+		case cert.Verdict:
+			p.pass.Add(1)
+		default:
+			p.fail.Add(1)
+		}
+		if t.res != nil {
+			*t.res = r
+		}
+		if p.OnResult != nil {
+			p.OnResult(r)
+		}
+		if t.done != nil {
+			t.done.Done()
+		}
+	}
+}
+
+// route picks the worker queue for a job: nonce-affine for non-empty
+// nonces, round-robin otherwise.
+func (p *Pool) route(job *Job, idx int) chan poolTask {
+	if len(job.Nonce) > 0 {
+		h := fnv.New32a()
+		h.Write(job.Nonce)
+		return p.queues[h.Sum32()%uint32(p.workers)]
+	}
+	return p.queues[idx%p.workers]
+}
+
+// Submit enqueues a job and returns its submission index. It blocks only
+// when the routed worker's queue is full (natural backpressure on the
+// producer). Submit must not be called after Close.
+func (p *Pool) Submit(job Job) int {
+	idx := int(p.next.Add(1) - 1)
+	p.route(&job, idx) <- poolTask{job: job, idx: idx}
+	return idx
+}
+
+// submitTracked is Submit with a result slot and completion group, used by
+// AppraiseAll.
+func (p *Pool) submitTracked(job Job, res *Result, done *sync.WaitGroup) {
+	idx := int(p.next.Add(1) - 1)
+	p.route(&job, idx) <- poolTask{job: job, idx: idx, res: res, done: done}
+}
+
+// AppraiseAll runs every job through the pool and returns results in
+// submission order. It may be interleaved with concurrent Submit calls;
+// only the jobs passed here are waited on.
+func (p *Pool) AppraiseAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	var done sync.WaitGroup
+	done.Add(len(jobs))
+	for i := range jobs {
+		p.submitTracked(jobs[i], &results[i], &done)
+	}
+	done.Wait()
+	return results
+}
+
+// Stats returns a snapshot of the aggregate verdict counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Jobs:   p.jobs.Load(),
+		Pass:   p.pass.Load(),
+		Fail:   p.fail.Load(),
+		Errors: p.errors.Load(),
+	}
+}
+
+// Close drains the queues, stops the workers and returns the final
+// aggregate stats. The pool must not be used afterwards.
+func (p *Pool) Close() PoolStats {
+	if p.closed.CompareAndSwap(false, true) {
+		for _, q := range p.queues {
+			close(q)
+		}
+		p.wg.Wait()
+	}
+	return p.Stats()
+}
+
+// AppraiseParallel is the one-shot form: it appraises jobs on a temporary
+// pool of the given width and returns results in submission order. The
+// serial appraiser is the workers == 1 case, so differential tests can
+// compare widths directly.
+func AppraiseParallel(a *Appraiser, jobs []Job, workers int) []Result {
+	p := NewPool(a, workers)
+	defer p.Close()
+	return p.AppraiseAll(jobs)
+}

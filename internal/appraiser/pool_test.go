@@ -1,0 +1,191 @@
+package appraiser
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"pera/internal/evidence"
+	"pera/internal/rot"
+)
+
+// poolCorpus builds a deterministic corpus of appraisal jobs over mixed
+// good and tampered evidence chains: every third chain has its outer
+// signature corrupted, and every tenth job reuses the previous job's
+// nonce to exercise the replay path. good reports how many chains are
+// untampered.
+func poolCorpus(t testing.TB, signer *rot.RoT, n int) (jobs []Job, good int) {
+	t.Helper()
+	val := rot.Sum([]byte("golden"))
+	for i := 0; i < n; i++ {
+		nonce := []byte("pool-" + strconv.Itoa(i))
+		if i%10 == 9 {
+			nonce = []byte("pool-" + strconv.Itoa(i-1)) // deliberate replay
+		}
+		m := evidence.Measurement(signer.Name(), "prog", signer.Name(), evidence.DetailProgram, val, nil)
+		ev := evidence.Sign(signer, evidence.Seq(evidence.Nonce(nonce), m))
+		if i%3 == 2 {
+			// Tamper after signing: flip a signature byte.
+			sig := append([]byte(nil), ev.Signature...)
+			sig[0] ^= 0xff
+			ev = &evidence.Evidence{Kind: evidence.KindSig, Signer: ev.Signer, Signature: sig, Left: ev.Left}
+		} else if i%10 != 9 {
+			good++
+		}
+		jobs = append(jobs, Job{Subject: "sw-under-test", Evidence: ev, Nonce: nonce})
+	}
+	return jobs, good
+}
+
+func poolAppraiser(signer *rot.RoT) *Appraiser {
+	a := New("pool-appraiser", []byte("pool-test"))
+	a.RegisterKey(signer.Name(), signer.Public())
+	a.SetGolden(signer.Name(), "prog", evidence.DetailProgram, rot.Sum([]byte("golden")))
+	return a
+}
+
+// TestPoolDifferential runs 100 mixed good/tampered chains through the
+// serial appraiser (1 worker) and the parallel pool (8 workers) and
+// requires identical per-job verdicts, reasons and errors — the parallel
+// engine must be observationally equivalent to the serial one.
+func TestPoolDifferential(t *testing.T) {
+	signer := rot.NewDeterministic("sw1", []byte("pool-signer"))
+	jobs, good := poolCorpus(t, signer, 100)
+
+	serial := AppraiseParallel(poolAppraiser(signer), jobs, 1)
+	parallel := AppraiseParallel(poolAppraiser(signer), jobs, 8)
+
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("result lengths: serial=%d parallel=%d want %d", len(serial), len(parallel), len(jobs))
+	}
+	var sPass, pPass int
+	for i := range jobs {
+		s, p := serial[i], parallel[i]
+		if (s.Err == nil) != (p.Err == nil) {
+			t.Fatalf("job %d: err mismatch serial=%v parallel=%v", i, s.Err, p.Err)
+		}
+		if s.Err != nil {
+			if s.Err.Error() != p.Err.Error() {
+				t.Fatalf("job %d: error text mismatch %q vs %q", i, s.Err, p.Err)
+			}
+			continue
+		}
+		if s.Certificate.Verdict != p.Certificate.Verdict {
+			t.Fatalf("job %d: verdict mismatch serial=%v parallel=%v", i, s.Certificate.Verdict, p.Certificate.Verdict)
+		}
+		if s.Certificate.Reason != p.Certificate.Reason {
+			t.Fatalf("job %d: reason mismatch %q vs %q", i, s.Certificate.Reason, p.Certificate.Reason)
+		}
+		if s.Certificate.Verdict {
+			sPass++
+		}
+		if p.Certificate.Verdict {
+			pPass++
+		}
+	}
+	if sPass != good || pPass != good {
+		t.Fatalf("pass counts: serial=%d parallel=%d want %d", sPass, pPass, good)
+	}
+}
+
+// TestPoolDifferentialMemo repeats the differential check with the
+// verification memo enabled on the parallel side: memoized verification
+// must never change a verdict, and re-presented chains must actually hit.
+func TestPoolDifferentialMemo(t *testing.T) {
+	signer := rot.NewDeterministic("sw1", []byte("pool-signer"))
+	jobs, _ := poolCorpus(t, signer, 60)
+	// Re-present every chain three times (nonce-less so replay protection
+	// does not interfere) — the memoized pass must agree with the serial
+	// appraiser on all of them.
+	var repeated []Job
+	for round := 0; round < 3; round++ {
+		for _, j := range jobs {
+			repeated = append(repeated, Job{Subject: j.Subject, Evidence: j.Evidence})
+		}
+	}
+
+	serial := AppraiseParallel(poolAppraiser(signer), repeated, 1)
+
+	memoed := poolAppraiser(signer)
+	memoed.EnableMemo(0)
+	parallel := AppraiseParallel(memoed, repeated, 4)
+
+	for i := range repeated {
+		if serial[i].Certificate.Verdict != parallel[i].Certificate.Verdict {
+			t.Fatalf("job %d: verdict mismatch with memo", i)
+		}
+	}
+	st := memoed.MemoStats()
+	if st.Hits == 0 {
+		t.Fatalf("memo recorded no hits over %d re-presented chains: %+v", len(repeated), st)
+	}
+	if st.HitRate() < 0.5 {
+		t.Fatalf("memo hit rate %.2f, want >= 0.5 over 3x re-presented corpus: %+v", st.HitRate(), st)
+	}
+}
+
+// TestPoolNonceOrdering submits many jobs sharing one nonce and checks
+// exactly the first submission wins the replay check, deterministically,
+// at every pool width.
+func TestPoolNonceOrdering(t *testing.T) {
+	signer := rot.NewDeterministic("sw1", []byte("pool-signer"))
+	val := rot.Sum([]byte("golden"))
+	nonce := []byte("shared-nonce")
+	m := evidence.Measurement(signer.Name(), "prog", signer.Name(), evidence.DetailProgram, val, nil)
+	ev := evidence.Sign(signer, evidence.Seq(evidence.Nonce(nonce), m))
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{Subject: "sw", Evidence: ev, Nonce: nonce}
+	}
+	for _, workers := range []int{1, 4} {
+		results := AppraiseParallel(poolAppraiser(signer), jobs, workers)
+		if results[0].Err != nil {
+			t.Fatalf("workers=%d: first submission should win the replay check: %v", workers, results[0].Err)
+		}
+		for i := 1; i < len(results); i++ {
+			if results[i].Err != ErrNonceReplayed {
+				t.Fatalf("workers=%d job %d: want ErrNonceReplayed, got %v", workers, i, results[i].Err)
+			}
+		}
+	}
+}
+
+// TestPoolSubmitStream exercises the streaming Submit/OnResult/Close path
+// under contention from multiple producers.
+func TestPoolSubmitStream(t *testing.T) {
+	signer := rot.NewDeterministic("sw1", []byte("pool-signer"))
+	jobs, good := poolCorpus(t, signer, 100)
+
+	p := NewPool(poolAppraiser(signer), 4)
+	var mu sync.Mutex
+	got := map[int]bool{}
+	p.OnResult = func(r Result) {
+		mu.Lock()
+		got[r.Index] = true
+		mu.Unlock()
+	}
+	var producers sync.WaitGroup
+	for part := 0; part < 4; part++ {
+		producers.Add(1)
+		go func(part int) {
+			defer producers.Done()
+			for i := part * 25; i < (part+1)*25; i++ {
+				p.Submit(jobs[i])
+			}
+		}(part)
+	}
+	producers.Wait()
+	st := p.Close()
+	if st.Jobs != 100 {
+		t.Fatalf("jobs completed = %d, want 100", st.Jobs)
+	}
+	if len(got) != 100 {
+		t.Fatalf("OnResult saw %d distinct indices, want 100", len(got))
+	}
+	if st.Pass == 0 || st.Fail == 0 || st.Errors == 0 {
+		t.Fatalf("expected mixed outcomes over the corpus, got %+v", st)
+	}
+	if int(st.Pass) > good {
+		t.Fatalf("pass=%d exceeds good corpus size %d", st.Pass, good)
+	}
+}

@@ -47,11 +47,8 @@ func (a *Appraiser) AppraiseWith(spec Spec, ev *evidence.Evidence, nonce []byte)
 		c.Verdict = false
 		c.Reason = reason
 		// Re-sign the amended certificate under a fresh serial.
-		a.mu.Lock()
-		a.serial++
-		c.Serial = a.serial
+		c.Serial = a.serial.Add(1)
 		c.Signature = ed25519.Sign(a.key, certMessage(&c))
-		a.mu.Unlock()
 		return &c, nil
 	}
 

@@ -1,6 +1,7 @@
 package evidence
 
 import (
+	"hash/fnv"
 	"sync"
 	"time"
 )
@@ -11,13 +12,25 @@ import (
 // the detail level's inertia window. A Clock function is injectable so
 // simulations and tests control time; it defaults to time.Now.
 //
+// The cache is striped into lock shards so concurrent switch pipelines
+// (and many switches sharing one cache) do not serialize behind a single
+// mutex; each shard owns its own entry map and counters. Expired entries
+// are reaped on both Get and Put, so an entry that is never re-requested
+// still cannot leak past the next insertion into its shard.
+//
 // The cache also records hit/miss counters, which the Fig. 4 benchmark
 // sweep reads to show the caching cliff between high- and low-inertia
 // detail levels.
 type Cache struct {
+	shards [cacheShards]cacheShard
+	clock  func() time.Time
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
 	mu      sync.Mutex
 	entries map[cacheKey]cacheEntry
-	clock   func() time.Time
 
 	hits      uint64
 	misses    uint64
@@ -37,48 +50,72 @@ type cacheEntry struct {
 
 // NewCache returns an empty cache using the real clock.
 func NewCache() *Cache {
-	return &Cache{entries: make(map[cacheKey]cacheEntry), clock: time.Now}
+	return NewCacheWithClock(time.Now)
 }
 
 // NewCacheWithClock returns a cache driven by the given clock, for
 // simulated time.
 func NewCacheWithClock(clock func() time.Time) *Cache {
-	return &Cache{entries: make(map[cacheKey]cacheEntry), clock: clock}
+	c := &Cache{clock: clock}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]cacheEntry)
+	}
+	return c
+}
+
+// shard maps a key onto its lock stripe.
+func (c *Cache) shard(k cacheKey) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(k.place))
+	h.Write([]byte{0, byte(k.detail)})
+	h.Write([]byte(k.target))
+	return &c.shards[h.Sum32()%cacheShards]
 }
 
 // Get returns cached evidence for (place, target, detail) if present and
 // unexpired.
 func (c *Cache) Get(place, target string, detail Detail) (*Evidence, bool) {
 	k := cacheKey{place, target, detail}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[k]
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
 	if c.clock().After(e.expires) {
-		delete(c.entries, k)
-		c.evictions++
-		c.misses++
+		delete(s.entries, k)
+		s.evictions++
+		s.misses++
 		return nil, false
 	}
-	c.hits++
+	s.hits++
 	return e.ev, true
 }
 
 // Put stores ev under (place, target, detail) with the detail level's
 // inertia as TTL. Zero-inertia details (per-packet evidence) are not
-// cached at all — there is nothing to reuse.
+// cached at all — there is nothing to reuse. Put also reaps any expired
+// entries in the key's shard, so entries that are never re-requested are
+// still evicted rather than leaking forever.
 func (c *Cache) Put(place, target string, detail Detail, ev *Evidence) {
 	ttl := detail.Inertia()
 	if ttl == 0 {
 		return
 	}
 	k := cacheKey{place, target, detail}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[k] = cacheEntry{ev: ev, expires: c.clock().Add(ttl)}
+	now := c.clock()
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ek, e := range s.entries {
+		if now.After(e.expires) {
+			delete(s.entries, ek)
+			s.evictions++
+		}
+	}
+	s.entries[k] = cacheEntry{ev: ev, expires: now.Add(ttl)}
 }
 
 // GetOrProduce returns cached evidence or calls produce, caching its
@@ -99,20 +136,38 @@ func (c *Cache) GetOrProduce(place, target string, detail Detail, produce func()
 // underlying state is known to have changed before its inertia window
 // elapsed (e.g. a program reload).
 func (c *Cache) Invalidate(place, target string, detail Detail) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.entries, cacheKey{place, target, detail})
+	k := cacheKey{place, target, detail}
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, k)
 }
 
 // InvalidatePlace drops all entries for a place, e.g. after its reboot.
 func (c *Cache) InvalidatePlace(place string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for k := range c.entries {
-		if k.place == place {
-			delete(c.entries, k)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			if k.place == place {
+				delete(s.entries, k)
+			}
 		}
+		s.mu.Unlock()
 	}
+}
+
+// Len returns the number of live (possibly expired but not yet reaped)
+// entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats reports cumulative cache effectiveness counters.
@@ -132,17 +187,28 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters summed over shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.entries)}
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // ResetStats zeroes the counters without touching cached entries, so a
 // sweep can measure each configuration independently.
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits, c.misses, c.evictions = 0, 0, 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.hits, s.misses, s.evictions = 0, 0, 0
+		s.mu.Unlock()
+	}
 }

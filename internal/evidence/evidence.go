@@ -186,6 +186,14 @@ func (m KeyMap) KeyFor(signer string) (ed25519.PublicKey, bool) {
 // signature fails the whole tree: path evidence is only as strong as its
 // weakest link.
 func VerifySignatures(e *Evidence, keys KeyResolver) (int, error) {
+	return VerifySignaturesMemo(e, keys, nil)
+}
+
+// VerifySignaturesMemo is VerifySignatures with an optional verification
+// memo: signature nodes whose (key, message, signature) triple was checked
+// before cost one hash lookup instead of one ed25519.Verify. A nil memo
+// verifies everything in full.
+func VerifySignaturesMemo(e *Evidence, keys KeyResolver, memo *VerifyMemo) (int, error) {
 	if e == nil {
 		return 0, ErrMalformed
 	}
@@ -203,7 +211,7 @@ func VerifySignatures(e *Evidence, keys KeyResolver) (int, error) {
 			if !ok {
 				return fmt.Errorf("%w: %q", ErrUnknownKey, ev.Signer)
 			}
-			if !rot.Verify(pub, sigMessage(ev.Signer, ev.Left), ev.Signature) {
+			if !memo.Verify(pub, sigMessage(ev.Signer, ev.Left), ev.Signature) {
 				return fmt.Errorf("%w: signer %q", ErrBadSignature, ev.Signer)
 			}
 			n++

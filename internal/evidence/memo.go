@@ -1,0 +1,182 @@
+package evidence
+
+import (
+	"container/list"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"pera/internal/rot"
+)
+
+// VerifyMemo is a bounded, sharded LRU memo of signature-verification
+// outcomes: (public key, message digest, signature) → verdict. It is the
+// paper's §5.2 inertia axis applied to the verifier side — high-inertia
+// evidence re-presented across thousands of packets is byte-identical
+// (claims are cached on the switch and Ed25519 signing is deterministic),
+// so after the first full verification each re-presentation costs one
+// SHA-256 over the candidate triple instead of one ed25519.Verify.
+//
+// Both verdicts are cacheable: a (key, message, signature) triple that
+// failed once fails forever, so negative results are memoized too and a
+// replayed forgery never earns a second full verification.
+//
+// The memo is safe for concurrent use; it is sharded so appraisal workers
+// verifying different chains do not serialize behind one lock.
+type VerifyMemo struct {
+	shards   [memoShards]memoShard
+	perShard int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+const memoShards = 16
+
+// DefaultMemoCapacity bounds a memo built with capacity <= 0.
+const DefaultMemoCapacity = 8192
+
+type memoShard struct {
+	mu      sync.Mutex
+	entries map[memoKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+// memoKey is the SHA-256 of the canonical (pubkey, signature, message)
+// triple. Hashing the full triple (not just the message) means a colliding
+// key would need a full SHA-256 collision to alias two verdicts.
+type memoKey [sha256.Size]byte
+
+type memoEntry struct {
+	key     memoKey
+	verdict bool
+}
+
+// NewVerifyMemo returns a memo bounded to capacity entries (rounded up to
+// at least one entry per shard). capacity <= 0 selects
+// DefaultMemoCapacity.
+func NewVerifyMemo(capacity int) *VerifyMemo {
+	if capacity <= 0 {
+		capacity = DefaultMemoCapacity
+	}
+	per := (capacity + memoShards - 1) / memoShards
+	if per < 1 {
+		per = 1
+	}
+	m := &VerifyMemo{perShard: per}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[memoKey]*list.Element)
+		m.shards[i].order = list.New()
+	}
+	return m
+}
+
+// memoKeyOf builds the lookup key. Fields are length-prefixed so the
+// boundary between public key, signature and message is unambiguous.
+func memoKeyOf(pub ed25519.PublicKey, message, sig []byte) memoKey {
+	h := sha256.New()
+	var lp [4]byte
+	binary.BigEndian.PutUint32(lp[:], uint32(len(pub)))
+	h.Write(lp[:])
+	h.Write(pub)
+	binary.BigEndian.PutUint32(lp[:], uint32(len(sig)))
+	h.Write(lp[:])
+	h.Write(sig)
+	h.Write(message)
+	var k memoKey
+	h.Sum(k[:0])
+	return k
+}
+
+// Verify checks the detached rot.Sign-style signature under pub, consulting
+// the memo first. A nil memo is valid and always verifies in full.
+func (m *VerifyMemo) Verify(pub ed25519.PublicKey, message, sig []byte) bool {
+	if m == nil {
+		return rot.Verify(pub, message, sig)
+	}
+	return m.Check(pub, message, sig, func() bool {
+		return rot.Verify(pub, message, sig)
+	})
+}
+
+// Check returns the memoized verdict for (pub, message, sig), calling
+// verify and recording its result on a miss. It is the generic entry point
+// for memoizing any signature-shaped check (evidence signatures, quotes).
+func (m *VerifyMemo) Check(pub ed25519.PublicKey, message, sig []byte, verify func() bool) bool {
+	if m == nil {
+		return verify()
+	}
+	k := memoKeyOf(pub, message, sig)
+	s := &m.shards[binary.BigEndian.Uint32(k[:4])%memoShards]
+
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		s.order.MoveToFront(el)
+		v := el.Value.(*memoEntry).verdict
+		s.mu.Unlock()
+		m.hits.Add(1)
+		return v
+	}
+	s.mu.Unlock()
+	m.misses.Add(1)
+
+	v := verify()
+
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		// Another worker verified the same triple concurrently; keep the
+		// existing entry (verdicts for identical triples are identical).
+		s.order.MoveToFront(el)
+	} else {
+		s.entries[k] = s.order.PushFront(&memoEntry{key: k, verdict: v})
+		for s.order.Len() > m.perShard {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*memoEntry).key)
+		}
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// MemoStats reports memo effectiveness counters.
+type MemoStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s MemoStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the counters. A nil memo reports zeros.
+func (m *VerifyMemo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	st := MemoStats{Hits: m.hits.Load(), Misses: m.misses.Load()}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// ResetStats zeroes the hit/miss counters without dropping entries.
+func (m *VerifyMemo) ResetStats() {
+	if m == nil {
+		return
+	}
+	m.hits.Store(0)
+	m.misses.Store(0)
+}

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"pera/internal/appraiser"
+	"pera/internal/evidence"
+	"pera/internal/pera"
+	"pera/internal/usecases"
+)
+
+// Throughput harness: the off-switch half of the pipeline under load.
+// Evidence Create/Sign happens per packet on the switches; the relying
+// party's Verify/Appraise stage must keep up with the aggregate rate of
+// every attested flow, and it is the half we can scale with cores. This
+// harness drives the UC1 testbed to produce a realistic corpus of chained
+// path evidence, then appraises it on a worker pool and reports
+// packets/sec — the concurrency counterpart of the Fig. 3 stage costs.
+
+// ThroughputResult reports one appraisal-throughput measurement.
+type ThroughputResult struct {
+	Workers int
+	Packets int
+	Flows   int
+
+	Pass   uint64
+	Fail   uint64
+	Errors uint64
+
+	Elapsed       time.Duration
+	PacketsPerSec float64
+	// Speedup is relative to the first entry of a sweep (1.0 standalone).
+	Speedup float64
+
+	MemoEnabled bool
+	MemoHits    uint64
+	MemoMisses  uint64
+	MemoHitRate float64
+	// CacheHitRate is the switches' high-inertia evidence cache hit rate
+	// during corpus generation (the on-switch analogue of the memo).
+	CacheHitRate float64
+}
+
+// ThroughputCorpus sends one attested packet per flow through the UC1
+// testbed (bank → sw1 → sw2 → dpi → sw3 → client, chained in-band
+// evidence) and replicates the delivered chains across `packets` jobs.
+// Within a flow the chain bytes are identical packet to packet — exactly
+// the high-inertia re-presentation the verification memo exploits. The
+// returned testbed's appraiser is provisioned to appraise the jobs; the
+// cache is the switches' shared evidence cache. Exported so the
+// benchmarks can time the appraisal phase without the generation cost.
+func ThroughputCorpus(packets, flows int) ([]appraiser.Job, *usecases.Testbed, *evidence.Cache, error) {
+	if flows <= 0 {
+		flows = 1
+	}
+	cache := evidence.NewCache()
+	tb, err := usecases.NewTestbed(pera.Config{
+		InBand:      true,
+		Composition: evidence.Chained,
+		Cache:       cache,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	chains := make([]*evidence.Evidence, flows)
+	for f := 0; f < flows; f++ {
+		nonce := tb.NextNonce("tp")
+		compiled, err := usecases.CompileUC1Policy(tb, nonce)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("harness: compile flow %d: %w", f, err)
+		}
+		tb.Client.Clear()
+		if err := tb.SendAttested(compiled.Policy, true, 40000+uint64(f), 443, []byte("tp-data")); err != nil {
+			return nil, nil, nil, err
+		}
+		hdr, _, err := usecases.LastDelivered(tb.Client)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if hdr == nil {
+			return nil, nil, nil, fmt.Errorf("harness: flow %d delivered without header", f)
+		}
+		chains[f] = hdr.Evidence
+	}
+	jobs := make([]appraiser.Job, packets)
+	for i := range jobs {
+		// Nonce-less jobs: replay protection is per attestation session,
+		// not per packet, so the timed phase measures pure appraisal.
+		jobs[i] = appraiser.Job{Subject: "bank→client path", Evidence: chains[i%flows]}
+	}
+	return jobs, tb, cache, nil
+}
+
+// RunThroughput measures appraisal throughput at the given pool width
+// with the verification memo enabled (the production configuration).
+func RunThroughput(workers, packets, flows int) (*ThroughputResult, error) {
+	return RunThroughputMemo(workers, packets, flows, true)
+}
+
+// RunThroughputMemo is RunThroughput with explicit memo control, so the
+// benchmarks can isolate the memoization win from the worker scaling.
+func RunThroughputMemo(workers, packets, flows int, memo bool) (*ThroughputResult, error) {
+	jobs, tb, cache, err := ThroughputCorpus(packets, flows)
+	if err != nil {
+		return nil, err
+	}
+	a := tb.Appraiser
+	if memo {
+		a.EnableMemo(0)
+	}
+	start := time.Now()
+	results := appraiser.AppraiseParallel(a, jobs, workers)
+	elapsed := time.Since(start)
+
+	res := &ThroughputResult{
+		Workers: workers, Packets: packets, Flows: flows,
+		Elapsed:     elapsed,
+		Speedup:     1.0,
+		MemoEnabled: memo,
+	}
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			res.Errors++
+		case r.Certificate.Verdict:
+			res.Pass++
+		default:
+			res.Fail++
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.PacketsPerSec = float64(packets) / s
+	}
+	if memo {
+		ms := a.MemoStats()
+		res.MemoHits, res.MemoMisses, res.MemoHitRate = ms.Hits, ms.Misses, ms.HitRate()
+	}
+	res.CacheHitRate = cache.Stats().HitRate()
+	return res, nil
+}
+
+// RunThroughputSweep measures throughput at each worker count (sharing
+// nothing between runs — each gets a fresh testbed and appraiser) and
+// reports speedup relative to the first entry. Note that wall-clock
+// speedup requires GOMAXPROCS >= the worker count; on a single-core host
+// the sweep is flat and the memo comparison carries the win.
+func RunThroughputSweep(workerCounts []int, packets, flows int, memo bool) ([]ThroughputResult, error) {
+	rows := make([]ThroughputResult, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		r, err := RunThroughputMemo(w, packets, flows, memo)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) > 0 && r.PacketsPerSec > 0 {
+			r.Speedup = r.PacketsPerSec / rows[0].PacketsPerSec
+		}
+		rows = append(rows, *r)
+	}
+	return rows, nil
+}

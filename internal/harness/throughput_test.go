@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRunThroughput checks the end-to-end harness: every replicated
+// chain must appraise to a passing verdict, and with the memo enabled
+// the re-presented per-flow chains must produce a substantial hit rate
+// (the acceptance criterion for the verification memo).
+func TestRunThroughput(t *testing.T) {
+	const packets, flows = 60, 3
+	res, err := RunThroughput(4, packets, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass != packets || res.Fail != 0 || res.Errors != 0 {
+		t.Fatalf("verdicts: pass=%d fail=%d errors=%d, want %d/0/0", res.Pass, res.Fail, res.Errors, packets)
+	}
+	if res.PacketsPerSec <= 0 {
+		t.Fatalf("packets/sec not measured: %+v", res)
+	}
+	if res.MemoHits == 0 {
+		t.Fatalf("memo recorded no hits over %d packets of %d flows: %+v", packets, flows, res)
+	}
+	if res.MemoHitRate < 0.5 {
+		t.Fatalf("memo hit rate %.2f, want >= 0.5 (each flow chain re-presented %d times)", res.MemoHitRate, packets/flows)
+	}
+}
+
+// TestRunThroughputMemoDifferential ensures the memo changes cost, never
+// verdicts: memo-on and memo-off runs over identical corpora must agree.
+func TestRunThroughputMemoDifferential(t *testing.T) {
+	const packets, flows = 40, 2
+	on, err := RunThroughputMemo(2, packets, flows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunThroughputMemo(2, packets, flows, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Pass != off.Pass || on.Fail != off.Fail || on.Errors != off.Errors {
+		t.Fatalf("memo changed verdicts: on=%d/%d/%d off=%d/%d/%d",
+			on.Pass, on.Fail, on.Errors, off.Pass, off.Fail, off.Errors)
+	}
+	if off.MemoHits != 0 || off.MemoMisses != 0 {
+		t.Fatalf("memo-off run reported memo traffic: %+v", off)
+	}
+}
+
+// TestRunThroughputSweep checks the sweep mechanics: one row per worker
+// count, correct verdict totals everywhere, and a baseline speedup of 1.
+// Wall-clock scaling assertions are only meaningful with real cores, so
+// they are gated on GOMAXPROCS.
+func TestRunThroughputSweep(t *testing.T) {
+	const packets, flows = 40, 2
+	rows, err := RunThroughputSweep([]int{1, 2, 4}, packets, flows, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Fatalf("baseline speedup = %v, want 1.0", rows[0].Speedup)
+	}
+	for _, r := range rows {
+		if r.Pass != packets {
+			t.Fatalf("workers=%d: pass=%d, want %d", r.Workers, r.Pass, packets)
+		}
+		if r.Speedup <= 0 {
+			t.Fatalf("workers=%d: speedup %v not computed", r.Workers, r.Speedup)
+		}
+	}
+	if runtime.GOMAXPROCS(0) >= 4 {
+		// With real parallelism available the 4-worker row should beat the
+		// serial baseline; keep the bar modest to stay robust in CI.
+		if rows[2].Speedup < 1.2 {
+			t.Logf("note: 4-worker speedup %.2f on %d procs (timing-sensitive, not fatal)",
+				rows[2].Speedup, runtime.GOMAXPROCS(0))
+		}
+	}
+}

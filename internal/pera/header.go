@@ -34,6 +34,23 @@ const headerVersion = 1
 type Header struct {
 	Policy   *Policy
 	Evidence *evidence.Evidence
+
+	// rawPolicy caches the encoded policy bytes recovered by Pop, valid
+	// while Policy still points at rawPolicyOf. The policy travels the
+	// whole path unchanged, so every per-hop Push would otherwise
+	// re-encode identical bytes — on the hot path that re-encoding
+	// dominated header construction.
+	rawPolicy   []byte
+	rawPolicyOf *Policy
+}
+
+// encodedPolicy returns the policy wire bytes, reusing the bytes Pop
+// recovered when the policy has not been replaced since.
+func (h *Header) encodedPolicy() []byte {
+	if h.rawPolicy != nil && h.rawPolicyOf == h.Policy {
+		return h.rawPolicy
+	}
+	return h.Policy.Encode()
 }
 
 // Errors from header codec.
@@ -48,17 +65,19 @@ func HasHeader(frame []byte) bool {
 		frame[2] == headerMagic[2] && frame[3] == headerMagic[3]
 }
 
-// Push prepends a header to inner, producing the on-wire frame.
+// Push prepends a header to inner, producing the on-wire frame. The
+// evidence tree is encoded straight into the output buffer (one exact
+// allocation) rather than via an intermediate Encode slice.
 func Push(h *Header, inner []byte) []byte {
-	pol := h.Policy.Encode()
-	ev := evidence.Encode(h.Evidence)
-	out := make([]byte, 0, 4+1+8+len(pol)+len(ev)+len(inner))
+	pol := h.encodedPolicy()
+	evSize := evidence.EncodedSize(h.Evidence)
+	out := make([]byte, 0, 4+1+4+len(pol)+4+evSize+len(inner))
 	out = append(out, headerMagic[:]...)
 	out = append(out, headerVersion)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(pol)))
 	out = append(out, pol...)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(ev)))
-	out = append(out, ev...)
+	out = binary.BigEndian.AppendUint32(out, uint32(evSize))
+	out = evidence.AppendEncode(out, h.Evidence)
 	return append(out, inner...)
 }
 
@@ -91,7 +110,10 @@ func Pop(frame []byte) (*Header, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Header{Policy: policy, Evidence: ev}, frame[off:], nil
+	// Keep the policy wire bytes (copied, so the header does not alias a
+	// frame buffer the caller may reuse) for the egress Push to replay.
+	raw := append([]byte(nil), pol...)
+	return &Header{Policy: policy, Evidence: ev, rawPolicy: raw, rawPolicyOf: policy}, frame[off:], nil
 }
 
 func lv(frame []byte, off int) ([]byte, int, error) {
@@ -109,5 +131,5 @@ func lv(frame []byte, off int) ([]byte, int, error) {
 // HeaderOverhead returns the wire bytes the header adds to a frame — the
 // quantity the Fig. 2/Fig. 4 harnesses report as in-band overhead.
 func HeaderOverhead(h *Header) int {
-	return 4 + 1 + 4 + len(h.Policy.Encode()) + 4 + evidence.EncodedSize(h.Evidence)
+	return 4 + 1 + 4 + len(h.encodedPolicy()) + 4 + evidence.EncodedSize(h.Evidence)
 }

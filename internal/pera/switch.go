@@ -3,6 +3,7 @@ package pera
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pera/internal/evidence"
 	"pera/internal/netsim"
@@ -54,9 +55,16 @@ type Config struct {
 	// these keys and the frame is dropped if the chain does not verify
 	// — upstream tampering never propagates. Nil disables verification.
 	VerifyIncoming evidence.KeyResolver
+	// VerifyMemo, when non-nil, memoizes the Verify stage's signature
+	// checks, so a high-inertia chain re-presented across packets costs
+	// one hash instead of one ed25519.Verify per signature node.
+	VerifyMemo *evidence.VerifyMemo
 }
 
-// Stats are cumulative counters the benchmarks read.
+// Stats are cumulative counters the benchmarks read. It is a plain
+// snapshot type; the switch maintains the live counters atomically (see
+// statCounters) so concurrent Inject callers never serialize on a stats
+// lock.
 type Stats struct {
 	Packets       uint64 // frames processed
 	Attested      uint64 // frames for which evidence was produced
@@ -70,20 +78,66 @@ type Stats struct {
 	VerifyFails   uint64 // frames dropped for unverifiable chains
 }
 
+// statCounters is the live, lock-free representation of Stats. Plain
+// uint64 increments under a mutex were both a scalability bottleneck and a
+// latent data race for any increment added outside the lock; atomics make
+// every counter safe under concurrent Inject by construction.
+type statCounters struct {
+	packets       atomic.Uint64
+	attested      atomic.Uint64
+	signOps       atomic.Uint64
+	evidenceBytes atomic.Uint64
+	inBandBytes   atomic.Uint64
+	outOfBandMsgs atomic.Uint64
+	guardRejects  atomic.Uint64
+	sampleSkips   atomic.Uint64
+	verifyOps     atomic.Uint64
+	verifyFails   atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		Packets:       c.packets.Load(),
+		Attested:      c.attested.Load(),
+		SignOps:       c.signOps.Load(),
+		EvidenceBytes: c.evidenceBytes.Load(),
+		InBandBytes:   c.inBandBytes.Load(),
+		OutOfBandMsgs: c.outOfBandMsgs.Load(),
+		GuardRejects:  c.guardRejects.Load(),
+		SampleSkips:   c.sampleSkips.Load(),
+		VerifyOps:     c.verifyOps.Load(),
+		VerifyFails:   c.verifyFails.Load(),
+	}
+}
+
+func (c *statCounters) reset() {
+	c.packets.Store(0)
+	c.attested.Store(0)
+	c.signOps.Store(0)
+	c.evidenceBytes.Store(0)
+	c.inBandBytes.Store(0)
+	c.outOfBandMsgs.Store(0)
+	c.guardRejects.Store(0)
+	c.sampleSkips.Store(0)
+	c.verifyOps.Store(0)
+	c.verifyFails.Store(0)
+}
+
 // Switch is a PERA switch: a PISA dataplane plus a root of trust, the
 // Sign/Verify stage, and the evidence Create/Inspect/Compose block.
-// It implements netsim.Node and netsim.Dataplane.
+// It implements netsim.Node and netsim.Dataplane, and is safe for
+// concurrent Inject: configuration is read under a read lock, the PISA
+// instance guards its own tables/registers, and all counters are atomic.
 type Switch struct {
-	name   string
-	rot    *rot.RoT
+	name  string
+	rot   *rot.RoT
+	stats statCounters
+
+	mu     sync.RWMutex
 	signer evidence.Signer // defaults to the local RoT; see SetSigner
 	inst   *pisa.Instance
-
-	mu     sync.Mutex
 	cfg    Config
 	sink   Sink
-	stats  Stats
-	serial uint64
 }
 
 // New creates a PERA switch, measures the platform into PCR 0 and loads
@@ -130,9 +184,17 @@ func (s *Switch) SetSigner(signer evidence.Signer) {
 
 // currentSigner returns the active Sign-stage backend.
 func (s *Switch) currentSigner() evidence.Signer {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.signer
+}
+
+// instance returns the live PISA instance under the read lock, so a
+// concurrent ReloadProgram cannot race frame processing.
+func (s *Switch) instance() *pisa.Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.inst
 }
 
 // SetSink installs the out-of-band evidence destination.
@@ -154,23 +216,19 @@ func (s *Switch) SetConfig(cfg Config) {
 
 // Config returns the current configuration.
 func (s *Switch) Config() Config {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.cfg
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Switch) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return s.stats.snapshot()
 }
 
 // ResetStats zeroes the counters.
 func (s *Switch) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats = Stats{}
+	s.stats.reset()
 }
 
 // ReloadProgram swaps the dataplane program, re-measuring PCR 4 — the
@@ -198,16 +256,17 @@ func (s *Switch) ReloadProgram(prog *p4ir.Program) error {
 // packet argument is used only for DetailPackets and may be nil
 // otherwise.
 func (s *Switch) ClaimValue(d evidence.Detail, frame []byte) (target string, value rot.Digest, err error) {
+	inst := s.instance()
 	switch d {
 	case evidence.DetailHardware:
 		v, err := s.rot.PCR(PCRHardware)
 		return TargetHardware, v, err
 	case evidence.DetailProgram:
-		return s.inst.Program().Name, s.inst.ProgramDigest(), nil
+		return inst.Program().Name, inst.ProgramDigest(), nil
 	case evidence.DetailTables:
-		return TargetTables, s.inst.TablesDigest(), nil
+		return TargetTables, inst.TablesDigest(), nil
 	case evidence.DetailProgState:
-		return TargetState, s.inst.StateDigest(), nil
+		return TargetState, inst.StateDigest(), nil
 	case evidence.DetailPackets:
 		return TargetPacket, rot.Sum(frame), nil
 	default:
@@ -233,11 +292,8 @@ func (s *Switch) Attest(nonce []byte, details ...evidence.Detail) (*evidence.Evi
 		parts = append(parts, m)
 	}
 	ev := evidence.SeqAll(parts...)
-	s.mu.Lock()
-	s.stats.SignOps++
-	signer := s.signer
-	s.mu.Unlock()
-	return evidence.Sign(signer, ev), nil
+	s.stats.signOps.Add(1)
+	return evidence.Sign(s.currentSigner(), ev), nil
 }
 
 // claimTarget returns the cache/evidence target name for a detail level
@@ -247,7 +303,7 @@ func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
 	case evidence.DetailHardware:
 		return TargetHardware, nil
 	case evidence.DetailProgram:
-		return s.inst.Program().Name, nil
+		return s.instance().Program().Name, nil
 	case evidence.DetailTables:
 		return TargetTables, nil
 	case evidence.DetailProgState:
@@ -262,9 +318,9 @@ func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
 // claimEvidence builds (or fetches from cache) the measurement node for
 // one detail level.
 func (s *Switch) claimEvidence(d evidence.Detail, frame []byte) (*evidence.Evidence, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	cache := s.cfg.Cache
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	target, err := s.claimTarget(d)
 	if err != nil {
 		return nil, err
@@ -295,14 +351,23 @@ func (s *Switch) claimEvidence(d evidence.Detail, frame []byte) (*evidence.Evide
 	return ev, err
 }
 
+// Inject delivers one frame to the switch's pipeline. It is the
+// concurrent-ingestion entry point: multiple goroutines may Inject into
+// the same switch simultaneously (the throughput harness's per-worker
+// traffic sources do exactly that).
+func (s *Switch) Inject(port uint64, frame []byte) ([]netsim.Emission, error) {
+	return s.Receive(port, frame)
+}
+
 // Receive implements netsim.Node: the full Fig. 3 pipeline with the
-// evidence stages around the PISA core.
+// evidence stages around the PISA core. Safe for concurrent use.
 func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	cfg := s.cfg
 	sink := s.sink
-	s.stats.Packets++
-	s.mu.Unlock()
+	inst := s.inst
+	s.mu.RUnlock()
+	s.stats.packets.Add(1)
 
 	var hdr *Header
 	inner := frame
@@ -317,15 +382,15 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		// whose evidence does not verify is dropped here, so upstream
 		// tampering cannot ride further along the path.
 		if cfg.VerifyIncoming != nil {
-			s.bump(func(st *Stats) { st.VerifyOps++ })
-			if _, err := evidence.VerifySignatures(hdr.Evidence, cfg.VerifyIncoming); err != nil {
-				s.bump(func(st *Stats) { st.VerifyFails++ })
+			s.stats.verifyOps.Add(1)
+			if _, err := evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, cfg.VerifyMemo); err != nil {
+				s.stats.verifyFails.Add(1)
 				return nil, nil
 			}
 		}
 	}
 
-	outs, err := s.inst.Process(inner, port)
+	outs, err := inst.Process(inner, port)
 	if err != nil {
 		return nil, err
 	}
@@ -347,11 +412,11 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 			continue
 		}
 		if !MatchAll(o.Guards, pkt) {
-			s.bump(func(st *Stats) { st.GuardRejects++ })
+			s.stats.guardRejects.Add(1)
 			continue
 		}
 		if !cfg.Sampler.Sample(pkt.FlowHash()) {
-			s.bump(func(st *Stats) { st.SampleSkips++ })
+			s.stats.sampleSkips.Add(1)
 			continue
 		}
 		ev, err := s.obligationEvidence(o, inner, hdr)
@@ -368,7 +433,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		}
 	}
 	if attested {
-		s.bump(func(st *Stats) { st.Attested++ })
+		s.stats.attested.Add(1)
 	}
 
 	emissions := make([]netsim.Emission, 0, len(outs))
@@ -376,9 +441,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		data := o.Packet.Data
 		if hdr != nil {
 			data = Push(hdr, data)
-			s.bump(func(st *Stats) {
-				st.InBandBytes += uint64(len(data) - len(o.Packet.Data))
-			})
+			s.stats.inBandBytes.Add(uint64(len(data) - len(o.Packet.Data)))
 		}
 		emissions = append(emissions, netsim.Emission{Port: o.Port, Frame: data})
 	}
@@ -407,31 +470,25 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header) (*
 		// signs the whole chain, committing to its position on the path.
 		composed := evidence.Seq(hdr.Evidence, local)
 		if o.SignEvidence {
-			s.bump(func(st *Stats) { st.SignOps++ })
+			s.stats.signOps.Add(1)
 			composed = evidence.Sign(s.currentSigner(), composed)
 		}
-		s.bump(func(st *Stats) { st.EvidenceBytes += uint64(evidence.EncodedSize(composed)) })
+		s.stats.evidenceBytes.Add(uint64(evidence.EncodedSize(composed)))
 		return composed, nil
 	}
 	if o.SignEvidence {
-		s.bump(func(st *Stats) { st.SignOps++ })
+		s.stats.signOps.Add(1)
 		local = evidence.Sign(s.currentSigner(), local)
 	}
-	s.bump(func(st *Stats) { st.EvidenceBytes += uint64(evidence.EncodedSize(local)) })
+	s.stats.evidenceBytes.Add(uint64(evidence.EncodedSize(local)))
 	return local, nil
 }
 
 func (s *Switch) emitOOB(sink Sink, appraiserPlace string, ev *evidence.Evidence) {
-	s.bump(func(st *Stats) { st.OutOfBandMsgs++ })
+	s.stats.outOfBandMsgs.Add(1)
 	if sink != nil {
 		sink(s.name, appraiserPlace, ev)
 	}
-}
-
-func (s *Switch) bump(f func(*Stats)) {
-	s.mu.Lock()
-	f(&s.stats)
-	s.mu.Unlock()
 }
 
 // GoldenValues returns the appraiser-side reference digests for this

@@ -10,7 +10,9 @@ package usecases
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"pera/internal/appraiser"
 	"pera/internal/evidence"
@@ -60,11 +62,14 @@ type Testbed struct {
 
 // NextNonce returns a testbed-unique nonce for ad-hoc appraisals, so
 // repeated scenario runs never trip the appraiser's replay protection.
+// It is called once per attested packet in the throughput harness, so it
+// builds the nonce with a single exact-size append rather than Sprintf.
 func (tb *Testbed) NextNonce(prefix string) []byte {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	tb.nonceCt++
-	return []byte(fmt.Sprintf("%s-%d", prefix, tb.nonceCt))
+	ct := atomic.AddUint64(&tb.nonceCt, 1)
+	nonce := make([]byte, 0, len(prefix)+1+20)
+	nonce = append(nonce, prefix...)
+	nonce = append(nonce, '-')
+	return strconv.AppendUint(nonce, ct, 10)
 }
 
 // OOBEvidence records one out-of-band emission.
