@@ -11,15 +11,19 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-throughput fmt clean
+.PHONY: all build test race vet bench bench-throughput telemetry-smoke fmt clean
 
 all: build test race vet
 
 build:
 	$(GO) build ./...
 
-test:
+# test is unit tests + vet + the end-to-end telemetry smoke: a scrape of
+# a live perasim run must expose every pipeline stage (see
+# scripts/telemetry_smoke.sh).
+test: vet
 	$(GO) test ./...
+	$(MAKE) telemetry-smoke
 
 race:
 	$(GO) test -race ./...
@@ -34,6 +38,11 @@ bench:
 # source); see README "Performance".
 bench-throughput:
 	$(GO) test -bench 'BenchmarkThroughput|BenchmarkVerifyMemo' -benchmem -run '^$$' .
+
+# End-to-end observability check: run perasim with a live endpoint,
+# scrape /metrics, assert the per-stage histograms are populated.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

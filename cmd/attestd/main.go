@@ -9,6 +9,7 @@
 //
 //	attestd -listen :7422 -name sw1 -program firewall
 //	attestd -listen :7422 -program-file my_pipeline.p4l
+//	attestd -listen :7422 -telemetry :9464   # live /metrics for the switch
 package main
 
 import (
@@ -23,14 +24,16 @@ import (
 	"pera/internal/p4ir"
 	"pera/internal/pera"
 	"pera/internal/rats"
+	"pera/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7422", "TCP listen address")
-		name    = flag.String("name", "sw1", "switch platform name")
-		program = flag.String("program", "forwarding", "dataplane program: forwarding, firewall, acl, monitor, rogue")
-		file    = flag.String("program-file", "", "load the dataplane program from a P4-lite source file instead")
+		listen    = flag.String("listen", "127.0.0.1:7422", "TCP listen address")
+		name      = flag.String("name", "sw1", "switch platform name")
+		program   = flag.String("program", "forwarding", "dataplane program: forwarding, firewall, acl, monitor, rogue")
+		file      = flag.String("program-file", "", "load the dataplane program from a P4-lite source file instead")
+		telemAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /metrics.json) on this address, e.g. :9464")
 	)
 	flag.Parse()
 
@@ -51,6 +54,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *telemAddr != "" {
+		reg := telemetry.NewRegistry()
+		sw.Instrument(reg)
+		srv, err := telemetry.Serve(*telemAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("attestd: telemetry serving on http://%s/metrics\n", srv.Addr())
 	}
 
 	ln, err := rats.ListenAndServe(*listen, sw.AttesterHandler())

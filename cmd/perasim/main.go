@@ -15,15 +15,32 @@
 //	perasim -uc throughput -workers 4 -packets 2000 -flows 50
 //	                     # concurrent appraisal pipeline sweep
 //
+// Observability (see docs/METRICS.md):
+//
+//	perasim -uc throughput -telemetry :9464
+//	                     # serve /metrics, /metrics.json and /trace live,
+//	                     # then print a Prometheus-text dump on stdout
+//	perasim -uc throughput -telemetry :0 -telemetry-hold -trace 1
+//	                     # pick a free port, trace every flow, keep the
+//	                     # endpoint up after the run until interrupted
+//	perasim -uc throughput -json > results.json
+//	                     # machine-readable results + telemetry snapshot
+//
+// In throughput mode all progress text goes to stderr, so stdout is
+// clean Prometheus text (-telemetry), JSON (-json) or the results table.
+//
 // -cpuprofile / -memprofile write pprof profiles for any use case.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"pera/internal/appraiser"
@@ -31,6 +48,7 @@ import (
 	"pera/internal/evidence"
 	"pera/internal/harness"
 	"pera/internal/pera"
+	"pera/internal/telemetry"
 	"pera/internal/usecases"
 )
 
@@ -39,6 +57,16 @@ var (
 	packets = flag.Int("packets", 2000, "packets to appraise in -uc throughput")
 	flows   = flag.Int("flows", 50, "distinct flows in the -uc throughput corpus")
 	memoOff = flag.Bool("no-memo", false, "disable verification memoization in -uc throughput")
+
+	telemetryAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /metrics.json, /trace) on this address during the run, e.g. :9464 (:0 picks a free port)")
+	telemetryHold = flag.Bool("telemetry-hold", false, "with -telemetry: keep serving after the run completes, until interrupted")
+	jsonOut       = flag.Bool("json", false, "with -uc throughput: write JSON results (rows + telemetry snapshot) to stdout")
+	traceEvery    = flag.Uint("trace", 0, "record RATS flow-trace spans for 1-in-N flows (0 disables, 1 traces every flow)")
+
+	// Telemetry plumbing shared by the runners; nil when not requested.
+	reg    *telemetry.Registry
+	tracer *telemetry.FlowTracer
+	tsrv   *telemetry.Server
 )
 
 func main() {
@@ -46,6 +74,23 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *traceEvery > 0 {
+		tracer = telemetry.NewFlowTracer(0)
+		tracer.SetSampleEvery(uint32(*traceEvery))
+	}
+	if *telemetryAddr != "" || *jsonOut {
+		reg = telemetry.NewRegistry()
+	}
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg, tracer)
+		if err != nil {
+			fail(err)
+		}
+		tsrv = srv
+		defer tsrv.Close()
+		fmt.Fprintf(os.Stderr, "perasim: telemetry serving on http://%s/metrics\n", tsrv.Addr())
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -84,6 +129,7 @@ func main() {
 			}
 			fmt.Println()
 		}
+		holdTelemetry()
 		return
 	}
 	r, ok := runners[*uc]
@@ -94,6 +140,20 @@ func main() {
 	if err := r(); err != nil {
 		fail(err)
 	}
+	holdTelemetry()
+}
+
+// holdTelemetry keeps the telemetry endpoint alive after the run when
+// -telemetry-hold is set, so scrapers (and the telemetry-smoke target)
+// read final counters instead of racing the run.
+func holdTelemetry() {
+	if tsrv == nil || !*telemetryHold {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "perasim: run complete; telemetry still serving on http://%s/metrics (interrupt to exit)\n", tsrv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
 }
 
 func fail(err error) {
@@ -102,7 +162,25 @@ func fail(err error) {
 }
 
 func newTB() (*usecases.Testbed, error) {
-	return usecases.NewTestbed(pera.Config{InBand: true, Composition: evidence.Chained})
+	tb, err := usecases.NewTestbed(pera.Config{InBand: true, Composition: evidence.Chained})
+	if err != nil {
+		return nil, err
+	}
+	// With telemetry requested, every use-case testbed reports in too.
+	if reg != nil {
+		for _, sw := range tb.Switches {
+			sw.Instrument(reg)
+		}
+		tb.Net.Instrument(reg)
+		tb.Appraiser.Instrument(reg)
+		tracer.Instrument(reg)
+	}
+	if tracer != nil {
+		for _, sw := range tb.Switches {
+			sw.SetTracer(tracer)
+		}
+	}
+	return tb, nil
 }
 
 func verdict(c *appraiser.Certificate) string {
@@ -312,23 +390,55 @@ func runMonitor() error {
 }
 
 func runThroughput() error {
-	fmt.Println("== Appraisal throughput: concurrent Verify/Appraise pipeline ==")
+	// Progress and human-readable output go to stderr so stdout stays
+	// machine-parseable: Prometheus text with -telemetry, JSON with
+	// -json, or just the results table otherwise.
+	fmt.Fprintln(os.Stderr, "== Appraisal throughput: concurrent Verify/Appraise pipeline ==")
 	counts := []int{1, 2, 4, 8}
 	if *workers > 0 {
 		counts = []int{*workers}
 	}
-	fmt.Printf("corpus: %d packets over %d flows (chained UC1 path evidence), GOMAXPROCS=%d, memo=%v\n",
+	fmt.Fprintf(os.Stderr, "corpus: %d packets over %d flows (chained UC1 path evidence), GOMAXPROCS=%d, memo=%v\n",
 		*packets, *flows, runtime.GOMAXPROCS(0), !*memoOff)
-	rows, err := harness.RunThroughputSweep(counts, *packets, *flows, !*memoOff)
+	rows, err := harness.RunThroughputSweepOpts(counts, harness.ThroughputOptions{
+		Packets:  *packets,
+		Flows:    *flows,
+		Memo:     !*memoOff,
+		Registry: reg,
+		Tracer:   tracer,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %12s %10s %8s %8s %8s %9s\n",
+
+	table := os.Stdout
+	machine := *jsonOut || reg != nil
+	if machine {
+		table = os.Stderr
+	}
+	fmt.Fprintf(table, "%-8s %12s %10s %8s %8s %8s %9s\n",
 		"workers", "pkts/sec", "elapsed", "pass", "fail", "speedup", "memoHit")
 	for _, r := range rows {
-		fmt.Printf("%-8d %12.0f %10s %8d %8d %7.2fx %8.1f%%\n",
+		fmt.Fprintf(table, "%-8d %12.0f %10s %8d %8d %7.2fx %8.1f%%\n",
 			r.Workers, r.PacketsPerSec, r.Elapsed.Round(time.Millisecond),
 			r.Pass, r.Fail, r.Speedup, 100*r.MemoHitRate)
+	}
+
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Rows []harness.ThroughputResult `json:"rows"`
+		}{rows}); err != nil {
+			return err
+		}
+	case reg != nil:
+		// One-shot exposition dump: the same text a /metrics scrape of
+		// the final state would return.
+		if err := reg.Snapshot().WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

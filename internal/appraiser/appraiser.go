@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pera/internal/evidence"
 	"pera/internal/rats"
 	"pera/internal/rot"
+	"pera/internal/telemetry"
 )
 
 // Errors from appraisal.
@@ -175,6 +177,12 @@ type Appraiser struct {
 	// node instead of one ed25519.Verify. Set via EnableMemo.
 	memo *evidence.VerifyMemo
 
+	// verifySec, when instrumented, times the Verify half of each
+	// appraisal (signature + quote chain checks) separately from the
+	// golden-value appraisal logic — the relying party's view of the
+	// Fig. 3 Verify stage.
+	verifySec *telemetry.Histogram
+
 	serial atomic.Uint64
 
 	nonceMu sync.Mutex
@@ -217,6 +225,19 @@ func (a *Appraiser) MemoStats() evidence.MemoStats {
 	m := a.memo
 	a.mu.RUnlock()
 	return m.Stats()
+}
+
+// Instrument registers the appraiser's Verify-stage latency histogram
+// (pera_verify_seconds, labelled with the appraiser name) with reg and
+// arms the timing. The memo, when enabled, is exported too.
+func (a *Appraiser) Instrument(reg *telemetry.Registry) {
+	h := telemetry.NewHistogram("pera_verify_seconds", nil, telemetry.L("appraiser", a.name))
+	reg.Register(h)
+	a.mu.Lock()
+	a.verifySec = h
+	memo := a.memo
+	a.mu.Unlock()
+	memo.Instrument(reg)
 }
 
 // Name returns the appraiser identity.
@@ -318,9 +339,15 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 	keys, golden, hashes := a.keys, a.golden, a.hashes
 	strict, requireNonce := a.Strict, a.RequireNonce
 	memo := a.memo
+	verifySec := a.verifySec
 	a.mu.RUnlock()
 
+	var start time.Time
+	if verifySec != nil {
+		start = time.Now()
+	}
 	nsigs, err := evidence.VerifySignaturesMemo(ev, keys, memo)
+	verifySec.ObserveSince(start)
 	if err != nil {
 		return false, err.Error()
 	}

@@ -6,12 +6,16 @@
 package appraiser
 
 import (
+	"encoding/hex"
 	"hash/fnv"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pera/internal/evidence"
+	"pera/internal/telemetry"
 )
 
 // Job is one appraisal request submitted to a Pool.
@@ -66,6 +70,11 @@ type Pool struct {
 	pass   atomic.Uint64
 	fail   atomic.Uint64
 	errors atomic.Uint64
+
+	// latency[i], when instrumented, is worker i's appraisal-latency
+	// histogram; tracer records appraise/verdict spans for sampled flows.
+	latency []*telemetry.Histogram
+	tracer  *telemetry.FlowTracer
 }
 
 type poolTask struct {
@@ -85,7 +94,7 @@ func NewPool(a *Appraiser, workers int) *Pool {
 	for i := range p.queues {
 		p.queues[i] = make(chan poolTask, 64)
 		p.wg.Add(1)
-		go p.worker(p.queues[i])
+		go p.worker(i, p.queues[i])
 	}
 	return p
 }
@@ -93,10 +102,81 @@ func NewPool(a *Appraiser, workers int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-func (p *Pool) worker(queue <-chan poolTask) {
+// Instrument registers the pool's verdict counters, live queue depth and
+// per-worker appraisal-latency histograms (pera_appraise_seconds with a
+// worker label) with reg. Like OnResult, it must be called before the
+// first Submit: workers observe the instruments only through the task
+// channel's happens-before edge.
+func (p *Pool) Instrument(reg *telemetry.Registry) {
+	p.latency = make([]*telemetry.Histogram, p.workers)
+	for i := range p.latency {
+		p.latency[i] = reg.Histogram("pera_appraise_seconds", nil, telemetry.L("worker", strconv.Itoa(i)))
+	}
+	reg.RegisterFunc("pera_pool_jobs_total", telemetry.KindCounter,
+		func() float64 { return float64(p.jobs.Load()) })
+	reg.RegisterFunc("pera_pool_pass_total", telemetry.KindCounter,
+		func() float64 { return float64(p.pass.Load()) })
+	reg.RegisterFunc("pera_pool_fail_total", telemetry.KindCounter,
+		func() float64 { return float64(p.fail.Load()) })
+	reg.RegisterFunc("pera_pool_errors_total", telemetry.KindCounter,
+		func() float64 { return float64(p.errors.Load()) })
+	reg.RegisterFunc("pera_pool_workers", telemetry.KindGauge,
+		func() float64 { return float64(p.workers) })
+	reg.RegisterFunc("pera_pool_queue_depth", telemetry.KindGauge, func() float64 {
+		depth := 0
+		for _, q := range p.queues {
+			depth += len(q)
+		}
+		return float64(depth)
+	})
+}
+
+// SetTracer attaches a flow tracer recording appraise/verdict spans for
+// sampled flows. Like Instrument, call before the first Submit.
+func (p *Pool) SetTracer(tr *telemetry.FlowTracer) { p.tracer = tr }
+
+// jobFlowID is the trace correlation ID the appraisal side can see: the
+// job nonce (hex) when present — matching the switch side's in-band
+// nonce ID — else the first nonce inside the evidence, else the subject.
+func jobFlowID(job *Job) string {
+	if len(job.Nonce) > 0 {
+		return hex.EncodeToString(job.Nonce)
+	}
+	if ns := evidence.Nonces(job.Evidence); len(ns) > 0 {
+		return hex.EncodeToString(ns[0])
+	}
+	return job.Subject
+}
+
+func (p *Pool) worker(id int, queue <-chan poolTask) {
 	defer p.wg.Done()
 	for t := range queue {
+		var hist *telemetry.Histogram
+		if p.latency != nil {
+			hist = p.latency[id]
+		}
+		var start time.Time
+		if hist != nil || p.tracer != nil {
+			start = time.Now()
+		}
 		cert, err := p.a.Appraise(t.job.Subject, t.job.Evidence, t.job.Nonce)
+		hist.ObserveSince(start)
+		if tr := p.tracer; tr != nil {
+			flow := jobFlowID(&t.job)
+			var dur time.Duration
+			if !start.IsZero() {
+				dur = time.Since(start)
+			}
+			note := "PASS"
+			switch {
+			case err != nil:
+				note = "error: " + err.Error()
+			case !cert.Verdict:
+				note = "FAIL"
+			}
+			tr.Record(flow, p.a.Name(), telemetry.StageAppraise, dur, "worker "+strconv.Itoa(id))
+			tr.Record(flow, p.a.Name(), telemetry.StageVerdict, 0, note)
+		}
 		r := Result{Index: t.idx, Certificate: cert, Err: err}
 		p.jobs.Add(1)
 		switch {

@@ -4,6 +4,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"time"
+
+	"pera/internal/telemetry"
 )
 
 // Cache is the inertia-aware evidence cache from the paper's §5.2/Fig. 4:
@@ -15,8 +17,9 @@ import (
 // The cache is striped into lock shards so concurrent switch pipelines
 // (and many switches sharing one cache) do not serialize behind a single
 // mutex; each shard owns its own entry map and counters. Expired entries
-// are reaped on both Get and Put, so an entry that is never re-requested
-// still cannot leak past the next insertion into its shard.
+// are reaped on Put (and on demand via Reap), so an entry that is never
+// re-requested still cannot leak past the next insertion into its shard;
+// Len is a pure read and never mutates.
 //
 // The cache also records hit/miss counters, which the Fig. 4 benchmark
 // sweep reads to show the caching cliff between high- and low-inertia
@@ -109,13 +112,38 @@ func (c *Cache) Put(place, target string, detail Detail, ev *Evidence) {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for ek, e := range s.entries {
+	s.reapLocked(now)
+	s.entries[k] = cacheEntry{ev: ev, expires: now.Add(ttl)}
+}
+
+// reapLocked deletes expired entries from the shard and returns how many
+// were evicted. Caller holds s.mu.
+func (s *cacheShard) reapLocked(now time.Time) int {
+	n := 0
+	for k, e := range s.entries {
 		if now.After(e.expires) {
-			delete(s.entries, ek)
+			delete(s.entries, k)
 			s.evictions++
+			n++
 		}
 	}
-	s.entries[k] = cacheEntry{ev: ev, expires: now.Add(ttl)}
+	return n
+}
+
+// Reap evicts every expired entry across all shards and returns the
+// number removed. It is the explicit form of the reaping Put performs on
+// its own shard; telemetry and tests that want a fresh entry count call
+// Reap then Len, keeping Len itself a pure read.
+func (c *Cache) Reap() int {
+	now := c.clock()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.reapLocked(now)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // GetOrProduce returns cached evidence or calls produce, caching its
@@ -157,8 +185,10 @@ func (c *Cache) InvalidatePlace(place string) {
 	}
 }
 
-// Len returns the number of live (possibly expired but not yet reaped)
-// entries across all shards.
+// Len returns the number of resident (possibly expired but not yet
+// reaped) entries across all shards. It is a pure read — no reaping, no
+// mutation — so telemetry gauges can sample cache size without changing
+// it; call Reap first for a count of unexpired entries only.
 func (c *Cache) Len() int {
 	n := 0
 	for i := range c.shards {
@@ -200,6 +230,24 @@ func (c *Cache) Stats() Stats {
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// Instrument publishes the cache's counters as lazy telemetry metrics.
+// Everything is computed at scrape time from state the cache already
+// keeps, so Get/Put stay untouched; the entries gauge reads Len() — a
+// pure read, never a reap. Nil-safe on both arguments.
+func (c *Cache) Instrument(reg *telemetry.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.RegisterFunc("pera_evidence_cache_hits_total", telemetry.KindCounter,
+		func() float64 { return float64(c.Stats().Hits) })
+	reg.RegisterFunc("pera_evidence_cache_misses_total", telemetry.KindCounter,
+		func() float64 { return float64(c.Stats().Misses) })
+	reg.RegisterFunc("pera_evidence_cache_evictions_total", telemetry.KindCounter,
+		func() float64 { return float64(c.Stats().Evictions) })
+	reg.RegisterFunc("pera_evidence_cache_entries", telemetry.KindGauge,
+		func() float64 { return float64(c.Len()) })
 }
 
 // ResetStats zeroes the counters without touching cached entries, so a

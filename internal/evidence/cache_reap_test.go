@@ -1,0 +1,105 @@
+package evidence
+
+import (
+	"testing"
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+// TestCacheLenIsPure pins the Len/Reap split: Len must not evict, so a
+// telemetry gauge sampling cache size cannot change what it observes.
+func TestCacheLenIsPure(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := NewCacheWithClock(clk.Now)
+	c.Put("sw1", "prog", DetailProgram, sampleMeasurement())
+	c.Put("sw2", "prog", DetailProgram, sampleMeasurement())
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	clk.Advance(2 * time.Hour) // past the 1h program inertia
+
+	// Expired entries are still resident: Len reads, never reaps.
+	if got := c.Len(); got != 2 {
+		t.Fatalf("len after expiry = %d, want 2 (expired but unreaped)", got)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("second len = %d — Len mutated the cache", got)
+	}
+	if ev := c.Stats().Evictions; ev != 0 {
+		t.Fatalf("Len drove %d evictions", ev)
+	}
+
+	// Reap is the explicit eviction pass.
+	if n := c.Reap(); n != 2 {
+		t.Fatalf("reap removed %d, want 2", n)
+	}
+	if c.Len() != 0 || c.Stats().Evictions != 2 {
+		t.Fatalf("after reap: len=%d stats=%+v", c.Len(), c.Stats())
+	}
+	if n := c.Reap(); n != 0 {
+		t.Fatalf("second reap removed %d", n)
+	}
+}
+
+// TestCachePutReaps pins the other half of the split: entries that are
+// never re-requested still get evicted, because Put sweeps its shard.
+func TestCachePutReaps(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := NewCacheWithClock(clk.Now)
+	c.Put("sw1", "prog", DetailProgram, sampleMeasurement())
+	clk.Advance(2 * time.Hour)
+	// Same (place, target, detail) → same shard: the expired entry is
+	// reaped before the new one is stored.
+	c.Put("sw1", "prog", DetailProgram, sampleMeasurement())
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("put-side reaping evicted %d, want 1", ev)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheInstrument(t *testing.T) {
+	c := NewCache()
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	c.Put("sw1", "prog", DetailProgram, sampleMeasurement())
+	c.Get("sw1", "prog", DetailProgram) // hit
+	c.Get("sw1", "none", DetailProgram) // miss
+	snap := reg.Snapshot()
+	if v := snap.Value("pera_evidence_cache_hits_total"); v != 1 {
+		t.Fatalf("hits = %v", v)
+	}
+	if v := snap.Value("pera_evidence_cache_misses_total"); v != 1 {
+		t.Fatalf("misses = %v", v)
+	}
+	if v := snap.Value("pera_evidence_cache_entries"); v != 1 {
+		t.Fatalf("entries = %v", v)
+	}
+}
+
+func TestVerifyMemoInstrument(t *testing.T) {
+	m := NewVerifyMemo(0)
+	reg := telemetry.NewRegistry()
+	m.Instrument(reg)
+	s := testSigner("sw1")
+	ev := Sign(s, Seq(sampleMeasurement(), Nonce([]byte("n"))))
+	keys := KeyMap{"sw1": s.Public()}
+	if _, err := VerifySignaturesMemo(ev, keys, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifySignaturesMemo(ev, keys, m); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if v := snap.Value("pera_verify_memo_misses_total"); v != 1 {
+		t.Fatalf("misses = %v", v)
+	}
+	if v := snap.Value("pera_verify_memo_hits_total"); v != 1 {
+		t.Fatalf("hits = %v", v)
+	}
+	if v := snap.Value("pera_verify_memo_entries"); v != 1 {
+		t.Fatalf("entries = %v", v)
+	}
+}

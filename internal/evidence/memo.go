@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"pera/internal/rot"
+	"pera/internal/telemetry"
 )
 
 // VerifyMemo is a bounded, sharded LRU memo of signature-verification
@@ -179,4 +180,19 @@ func (m *VerifyMemo) ResetStats() {
 	}
 	m.hits.Store(0)
 	m.misses.Store(0)
+}
+
+// Instrument publishes the memo's effectiveness counters as lazy
+// telemetry metrics, read from the counters the memo already maintains —
+// the Check hot path is untouched. Nil-safe on both arguments.
+func (m *VerifyMemo) Instrument(reg *telemetry.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.RegisterFunc("pera_verify_memo_hits_total", telemetry.KindCounter,
+		func() float64 { return float64(m.hits.Load()) })
+	reg.RegisterFunc("pera_verify_memo_misses_total", telemetry.KindCounter,
+		func() float64 { return float64(m.misses.Load()) })
+	reg.RegisterFunc("pera_verify_memo_entries", telemetry.KindGauge,
+		func() float64 { return float64(m.Stats().Entries) })
 }

@@ -7,6 +7,7 @@ import (
 	"pera/internal/appraiser"
 	"pera/internal/evidence"
 	"pera/internal/pera"
+	"pera/internal/telemetry"
 	"pera/internal/usecases"
 )
 
@@ -40,6 +41,30 @@ type ThroughputResult struct {
 	// CacheHitRate is the switches' high-inertia evidence cache hit rate
 	// during corpus generation (the on-switch analogue of the memo).
 	CacheHitRate float64
+
+	// Telemetry is the end-of-run registry snapshot when the run was
+	// instrumented (ThroughputOptions.Registry non-nil): per-stage
+	// histograms and per-component counters alongside the end-to-end
+	// number above. Nil for uninstrumented runs.
+	Telemetry *telemetry.Snapshot `json:",omitempty"`
+}
+
+// ThroughputOptions parameterizes one throughput measurement.
+type ThroughputOptions struct {
+	Workers int
+	Packets int
+	Flows   int
+	Memo    bool
+
+	// Registry, when non-nil, has every pipeline component report into
+	// it: switches (counters + sign/verify histograms), the appraiser
+	// (verify histogram), the pool (queue depth, per-worker appraisal
+	// latency), the evidence cache, the verification memo and the
+	// network. The run's final snapshot lands in ThroughputResult.
+	Registry *telemetry.Registry
+	// Tracer, when non-nil, records per-packet RATS stage spans for
+	// sampled flows across the switches and the appraisal pool.
+	Tracer *telemetry.FlowTracer
 }
 
 // ThroughputCorpus sends one attested packet per flow through the UC1
@@ -51,6 +76,15 @@ type ThroughputResult struct {
 // cache is the switches' shared evidence cache. Exported so the
 // benchmarks can time the appraisal phase without the generation cost.
 func ThroughputCorpus(packets, flows int) ([]appraiser.Job, *usecases.Testbed, *evidence.Cache, error) {
+	return throughputCorpus(ThroughputOptions{Packets: packets, Flows: flows})
+}
+
+// throughputCorpus is ThroughputCorpus with telemetry wiring: when a
+// registry/tracer is present, the switches and network are instrumented
+// before any traffic flows, so the Sign-stage histograms and trace spans
+// cover corpus generation (the on-switch half of the pipeline).
+func throughputCorpus(o ThroughputOptions) ([]appraiser.Job, *usecases.Testbed, *evidence.Cache, error) {
+	packets, flows := o.Packets, o.Flows
 	if flows <= 0 {
 		flows = 1
 	}
@@ -62,6 +96,19 @@ func ThroughputCorpus(packets, flows int) ([]appraiser.Job, *usecases.Testbed, *
 	})
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if o.Registry != nil {
+		for _, sw := range tb.Switches {
+			sw.Instrument(o.Registry)
+		}
+		tb.Net.Instrument(o.Registry)
+		cache.Instrument(o.Registry)
+		o.Tracer.Instrument(o.Registry)
+	}
+	if o.Tracer != nil {
+		for _, sw := range tb.Switches {
+			sw.SetTracer(o.Tracer)
+		}
 	}
 	chains := make([]*evidence.Evidence, flows)
 	for f := 0; f < flows; f++ {
@@ -101,23 +148,43 @@ func RunThroughput(workers, packets, flows int) (*ThroughputResult, error) {
 // RunThroughputMemo is RunThroughput with explicit memo control, so the
 // benchmarks can isolate the memoization win from the worker scaling.
 func RunThroughputMemo(workers, packets, flows int, memo bool) (*ThroughputResult, error) {
-	jobs, tb, cache, err := ThroughputCorpus(packets, flows)
+	return RunThroughputOpts(ThroughputOptions{Workers: workers, Packets: packets, Flows: flows, Memo: memo})
+}
+
+// RunThroughputOpts is the fully-parameterized throughput run. With a
+// Registry attached, every stage of the pipeline reports in and the
+// result carries the final telemetry snapshot; the timed appraisal phase
+// is otherwise identical to the uninstrumented run.
+func RunThroughputOpts(o ThroughputOptions) (*ThroughputResult, error) {
+	jobs, tb, cache, err := throughputCorpus(o)
 	if err != nil {
 		return nil, err
 	}
 	a := tb.Appraiser
-	if memo {
+	if o.Memo {
 		a.EnableMemo(0)
 	}
+	if o.Registry != nil {
+		// After EnableMemo, so the memo's counters are exported too.
+		a.Instrument(o.Registry)
+	}
+	pool := appraiser.NewPool(a, o.Workers)
+	if o.Registry != nil {
+		pool.Instrument(o.Registry)
+	}
+	if o.Tracer != nil {
+		pool.SetTracer(o.Tracer)
+	}
 	start := time.Now()
-	results := appraiser.AppraiseParallel(a, jobs, workers)
+	results := pool.AppraiseAll(jobs)
 	elapsed := time.Since(start)
+	pool.Close()
 
 	res := &ThroughputResult{
-		Workers: workers, Packets: packets, Flows: flows,
+		Workers: pool.Workers(), Packets: o.Packets, Flows: o.Flows,
 		Elapsed:     elapsed,
 		Speedup:     1.0,
-		MemoEnabled: memo,
+		MemoEnabled: o.Memo,
 	}
 	for _, r := range results {
 		switch {
@@ -130,13 +197,17 @@ func RunThroughputMemo(workers, packets, flows int, memo bool) (*ThroughputResul
 		}
 	}
 	if s := elapsed.Seconds(); s > 0 {
-		res.PacketsPerSec = float64(packets) / s
+		res.PacketsPerSec = float64(o.Packets) / s
 	}
-	if memo {
+	if o.Memo {
 		ms := a.MemoStats()
 		res.MemoHits, res.MemoMisses, res.MemoHitRate = ms.Hits, ms.Misses, ms.HitRate()
 	}
 	res.CacheHitRate = cache.Stats().HitRate()
+	if o.Registry != nil {
+		snap := o.Registry.Snapshot()
+		res.Telemetry = &snap
+	}
 	return res, nil
 }
 
@@ -146,9 +217,19 @@ func RunThroughputMemo(workers, packets, flows int, memo bool) (*ThroughputResul
 // speedup requires GOMAXPROCS >= the worker count; on a single-core host
 // the sweep is flat and the memo comparison carries the win.
 func RunThroughputSweep(workerCounts []int, packets, flows int, memo bool) ([]ThroughputResult, error) {
+	return RunThroughputSweepOpts(workerCounts, ThroughputOptions{Packets: packets, Flows: flows, Memo: memo})
+}
+
+// RunThroughputSweepOpts is RunThroughputSweep with telemetry options.
+// Each run re-creates its testbed; instruments re-register under the
+// same names, so a live endpoint scraping o.Registry always shows the
+// current generation of the sweep.
+func RunThroughputSweepOpts(workerCounts []int, o ThroughputOptions) ([]ThroughputResult, error) {
 	rows := make([]ThroughputResult, 0, len(workerCounts))
 	for _, w := range workerCounts {
-		r, err := RunThroughputMemo(w, packets, flows, memo)
+		ro := o
+		ro.Workers = w
+		r, err := RunThroughputOpts(ro)
 		if err != nil {
 			return nil, err
 		}

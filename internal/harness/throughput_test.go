@@ -2,7 +2,10 @@ package harness
 
 import (
 	"runtime"
+	"strconv"
 	"testing"
+
+	"pera/internal/telemetry"
 )
 
 // TestRunThroughput checks the end-to-end harness: every replicated
@@ -81,5 +84,76 @@ func TestRunThroughputSweep(t *testing.T) {
 			t.Logf("note: 4-worker speedup %.2f on %d procs (timing-sensitive, not fatal)",
 				rows[2].Speedup, runtime.GOMAXPROCS(0))
 		}
+	}
+}
+
+// TestRunThroughputInstrumented drives a fully-wired run: every pipeline
+// stage reports into the registry, and the result carries the snapshot.
+// This is the acceptance check that the per-stage histograms (sign,
+// verify, appraise) come back with non-zero counts.
+func TestRunThroughputInstrumented(t *testing.T) {
+	const packets, flows, workers = 40, 2, 2
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewFlowTracer(256)
+	res, err := RunThroughputOpts(ThroughputOptions{
+		Workers: workers, Packets: packets, Flows: flows, Memo: true,
+		Registry: reg, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass != packets {
+		t.Fatalf("pass=%d, want %d", res.Pass, packets)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("instrumented run returned no telemetry snapshot")
+	}
+	snap := *res.Telemetry
+
+	// Per-stage latency histograms with non-zero counts.
+	histCount := func(name string, labels ...telemetry.Label) uint64 {
+		m, ok := snap.Get(name, labels...)
+		if !ok || m.Hist == nil {
+			t.Fatalf("%s%v missing from snapshot", name, labels)
+		}
+		return m.Hist.Count
+	}
+	if n := histCount("pera_sign_seconds", telemetry.L("switch", "sw1")); n == 0 {
+		t.Fatal("sign histogram empty for sw1")
+	}
+	if n := histCount("pera_verify_seconds", telemetry.L("appraiser", "Appraiser")); n != packets {
+		t.Fatalf("verify histogram count = %d, want %d", n, packets)
+	}
+	var appraised uint64
+	for w := 0; w < workers; w++ {
+		appraised += histCount("pera_appraise_seconds", telemetry.L("worker", strconv.Itoa(w)))
+	}
+	if appraised != packets {
+		t.Fatalf("appraise histograms total %d, want %d", appraised, packets)
+	}
+
+	// Pool, cache and memo counters agree with the result struct.
+	if v := snap.Value("pera_pool_jobs_total"); v != packets {
+		t.Fatalf("pool jobs = %v, want %d", v, packets)
+	}
+	if v := snap.Value("pera_pool_pass_total"); v != float64(res.Pass) {
+		t.Fatalf("pool pass = %v, result says %d", v, res.Pass)
+	}
+	if v := snap.Value("pera_verify_memo_hits_total"); v != float64(res.MemoHits) {
+		t.Fatalf("memo hits = %v, result says %d", v, res.MemoHits)
+	}
+	if snap.Value("netsim_deliveries_total") == 0 {
+		t.Fatal("network deliveries not counted")
+	}
+	if tr.Recorded() == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+	// Spans from both halves of the pipeline: on-switch and appraisal.
+	stages := map[telemetry.Stage]bool{}
+	for _, sp := range tr.Spans() {
+		stages[sp.Stage] = true
+	}
+	if !stages[telemetry.StageSign] || !stages[telemetry.StageAppraise] || !stages[telemetry.StageVerdict] {
+		t.Fatalf("missing pipeline stages in trace: %v", stages)
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"pera/internal/telemetry"
 )
 
 // Emission is one frame a node wants to transmit on one of its ports.
@@ -63,6 +65,12 @@ type Network struct {
 	lossEvery map[endpoint]int
 	lossCount map[endpoint]int
 	dropped   uint64
+
+	// Delivery accounting (telemetry): total frames handed to nodes and
+	// a per-node breakdown. Maintained under mu, which run() already
+	// holds at every delivery.
+	deliveries uint64
+	delivered  map[string]uint64
 
 	// MaxDeliveries bounds one Run to protect against forwarding loops;
 	// zero means the default.
@@ -221,6 +229,11 @@ func (n *Network) run(queue []delivery) error {
 
 		n.mu.Lock()
 		node := n.nodes[d.to.node]
+		n.deliveries++
+		if n.delivered == nil {
+			n.delivered = make(map[string]uint64)
+		}
+		n.delivered[d.to.node]++
 		if n.tracing && d.from.node != "" {
 			n.trace = append(n.trace, TraceEntry{
 				From: d.from.node, FromPort: d.from.port,
@@ -267,6 +280,40 @@ type Adjacency struct {
 	Port     uint64
 	Peer     string
 	PeerPort uint64
+}
+
+// Deliveries returns the total frames delivered to nodes across all
+// runs.
+func (n *Network) Deliveries() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.deliveries
+}
+
+// DeliveredTo returns the frames delivered to one node.
+func (n *Network) DeliveredTo(name string) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered[name]
+}
+
+// Instrument publishes the network's delivery and loss counters as lazy
+// telemetry metrics: the aggregate delivery/drop counts plus a per-node
+// delivery counter for every node attached at call time (instrument
+// after the topology is built).
+func (n *Network) Instrument(reg *telemetry.Registry) {
+	if n == nil || reg == nil {
+		return
+	}
+	reg.RegisterFunc("netsim_link_drops_total", telemetry.KindCounter,
+		func() float64 { return float64(n.Dropped()) })
+	reg.RegisterFunc("netsim_deliveries_total", telemetry.KindCounter,
+		func() float64 { return float64(n.Deliveries()) })
+	for _, name := range n.Nodes() {
+		name := name
+		reg.RegisterFunc("netsim_node_deliveries_total", telemetry.KindCounter,
+			func() float64 { return float64(n.DeliveredTo(name)) }, telemetry.L("node", name))
+	}
 }
 
 // NeighborsOf lists a node's links.

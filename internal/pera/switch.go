@@ -1,15 +1,19 @@
 package pera
 
 import (
+	"encoding/hex"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pera/internal/evidence"
 	"pera/internal/netsim"
 	"pera/internal/p4ir"
 	"pera/internal/pisa"
 	"pera/internal/rot"
+	"pera/internal/telemetry"
 )
 
 // PCR allocation for PERA platforms, mirroring measured-boot conventions:
@@ -62,9 +66,9 @@ type Config struct {
 }
 
 // Stats are cumulative counters the benchmarks read. It is a plain
-// snapshot type; the switch maintains the live counters atomically (see
-// statCounters) so concurrent Inject callers never serialize on a stats
-// lock.
+// snapshot type; the switch maintains the live counters as telemetry
+// instruments (see switchMetrics) so concurrent Inject callers never
+// serialize on a stats lock.
 type Stats struct {
 	Packets       uint64 // frames processed
 	Attested      uint64 // frames for which evidence was produced
@@ -78,49 +82,101 @@ type Stats struct {
 	VerifyFails   uint64 // frames dropped for unverifiable chains
 }
 
-// statCounters is the live, lock-free representation of Stats. Plain
-// uint64 increments under a mutex were both a scalability bottleneck and a
-// latent data race for any increment added outside the lock; atomics make
-// every counter safe under concurrent Inject by construction.
-type statCounters struct {
-	packets       atomic.Uint64
-	attested      atomic.Uint64
-	signOps       atomic.Uint64
-	evidenceBytes atomic.Uint64
-	inBandBytes   atomic.Uint64
-	outOfBandMsgs atomic.Uint64
-	guardRejects  atomic.Uint64
-	sampleSkips   atomic.Uint64
-	verifyOps     atomic.Uint64
-	verifyFails   atomic.Uint64
+// switchMetrics is the live, lock-free representation of Stats: every
+// counter is a telemetry instrument (striped atomics), so the same
+// storage backs both the Stats() snapshot API and the telemetry
+// registry — there is no second set of books to drift. The duration
+// histograms and trace spans are armed only once Instrument or
+// SetTracer is called, so an un-instrumented switch pays no time.Now
+// calls on the packet path.
+type switchMetrics struct {
+	timing atomic.Bool // take stage timestamps (Instrument arms this)
+
+	packets       *telemetry.Counter
+	attested      *telemetry.Counter
+	signOps       *telemetry.Counter
+	evidenceBytes *telemetry.Counter
+	inBandBytes   *telemetry.Counter
+	outOfBandMsgs *telemetry.Counter
+	guardRejects  *telemetry.Counter
+	sampleSkips   *telemetry.Counter
+	verifyOps     *telemetry.Counter
+	verifyFails   *telemetry.Counter
+
+	signSeconds   *telemetry.Histogram // Fig. 3 Sign stage latency
+	verifySeconds *telemetry.Histogram // Fig. 3 Verify stage latency (in-band)
 }
 
-func (c *statCounters) snapshot() Stats {
-	return Stats{
-		Packets:       c.packets.Load(),
-		Attested:      c.attested.Load(),
-		SignOps:       c.signOps.Load(),
-		EvidenceBytes: c.evidenceBytes.Load(),
-		InBandBytes:   c.inBandBytes.Load(),
-		OutOfBandMsgs: c.outOfBandMsgs.Load(),
-		GuardRejects:  c.guardRejects.Load(),
-		SampleSkips:   c.sampleSkips.Load(),
-		VerifyOps:     c.verifyOps.Load(),
-		VerifyFails:   c.verifyFails.Load(),
+func newSwitchMetrics(name string) switchMetrics {
+	sw := telemetry.L("switch", name)
+	return switchMetrics{
+		packets:       telemetry.NewCounter("pera_packets_total", sw),
+		attested:      telemetry.NewCounter("pera_attested_total", sw),
+		signOps:       telemetry.NewCounter("pera_sign_ops_total", sw),
+		evidenceBytes: telemetry.NewCounter("pera_evidence_bytes_total", sw),
+		inBandBytes:   telemetry.NewCounter("pera_inband_bytes_total", sw),
+		outOfBandMsgs: telemetry.NewCounter("pera_oob_msgs_total", sw),
+		guardRejects:  telemetry.NewCounter("pera_guard_rejects_total", sw),
+		sampleSkips:   telemetry.NewCounter("pera_sample_skips_total", sw),
+		verifyOps:     telemetry.NewCounter("pera_verify_ops_total", sw),
+		verifyFails:   telemetry.NewCounter("pera_verify_fails_total", sw),
+		signSeconds:   telemetry.NewHistogram("pera_sign_seconds", nil, sw),
+		verifySeconds: telemetry.NewHistogram("pera_switch_verify_seconds", nil, sw),
 	}
 }
 
-func (c *statCounters) reset() {
-	c.packets.Store(0)
-	c.attested.Store(0)
-	c.signOps.Store(0)
-	c.evidenceBytes.Store(0)
-	c.inBandBytes.Store(0)
-	c.outOfBandMsgs.Store(0)
-	c.guardRejects.Store(0)
-	c.sampleSkips.Store(0)
-	c.verifyOps.Store(0)
-	c.verifyFails.Store(0)
+func (m *switchMetrics) instruments() []telemetry.Instrument {
+	return []telemetry.Instrument{
+		m.packets, m.attested, m.signOps, m.evidenceBytes, m.inBandBytes,
+		m.outOfBandMsgs, m.guardRejects, m.sampleSkips, m.verifyOps,
+		m.verifyFails, m.signSeconds, m.verifySeconds,
+	}
+}
+
+func (m *switchMetrics) snapshot() Stats {
+	return Stats{
+		Packets:       m.packets.Value(),
+		Attested:      m.attested.Value(),
+		SignOps:       m.signOps.Value(),
+		EvidenceBytes: m.evidenceBytes.Value(),
+		InBandBytes:   m.inBandBytes.Value(),
+		OutOfBandMsgs: m.outOfBandMsgs.Value(),
+		GuardRejects:  m.guardRejects.Value(),
+		SampleSkips:   m.sampleSkips.Value(),
+		VerifyOps:     m.verifyOps.Value(),
+		VerifyFails:   m.verifyFails.Value(),
+	}
+}
+
+func (m *switchMetrics) reset() {
+	m.packets.Reset()
+	m.attested.Reset()
+	m.signOps.Reset()
+	m.evidenceBytes.Reset()
+	m.inBandBytes.Reset()
+	m.outOfBandMsgs.Reset()
+	m.guardRejects.Reset()
+	m.sampleSkips.Reset()
+	m.verifyOps.Reset()
+	m.verifyFails.Reset()
+}
+
+// start returns a stage timestamp when timing is armed (Instrument was
+// called or a tracer is attached), else the zero time — downstream
+// ObserveSince/elapsed treat zero as "not timed".
+func (m *switchMetrics) start(tr *telemetry.FlowTracer) time.Time {
+	if tr != nil || m.timing.Load() {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// elapsed converts a start timestamp into a span duration.
+func elapsed(start time.Time) time.Duration {
+	if start.IsZero() {
+		return 0
+	}
+	return time.Since(start)
 }
 
 // Switch is a PERA switch: a PISA dataplane plus a root of trust, the
@@ -129,9 +185,10 @@ func (c *statCounters) reset() {
 // concurrent Inject: configuration is read under a read lock, the PISA
 // instance guards its own tables/registers, and all counters are atomic.
 type Switch struct {
-	name  string
-	rot   *rot.RoT
-	stats statCounters
+	name string
+	rot  *rot.RoT
+	met  switchMetrics
+	trc  atomic.Pointer[telemetry.FlowTracer]
 
 	mu     sync.RWMutex
 	signer evidence.Signer // defaults to the local RoT; see SetSigner
@@ -149,7 +206,7 @@ func New(name string, prog *p4ir.Program, cfg Config) (*Switch, error) {
 		return nil, err
 	}
 	r := rot.NewDeterministic(name, []byte("pera:"+name))
-	s := &Switch{name: name, rot: r, signer: r, inst: inst, cfg: cfg}
+	s := &Switch{name: name, rot: r, signer: r, inst: inst, cfg: cfg, met: newSwitchMetrics(name)}
 	if cfg.Sampler == nil {
 		s.cfg.Sampler = evidence.NewSampler(evidence.SamplerConfig{Mode: evidence.SamplePerPacket})
 	}
@@ -221,14 +278,53 @@ func (s *Switch) Config() Config {
 	return s.cfg
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The values are read from
+// the same telemetry instruments a registry exposes, so Stats() and a
+// /metrics scrape can never disagree.
 func (s *Switch) Stats() Stats {
-	return s.stats.snapshot()
+	return s.met.snapshot()
 }
 
 // ResetStats zeroes the counters.
 func (s *Switch) ResetStats() {
-	s.stats.reset()
+	s.met.reset()
+}
+
+// Instrument registers the switch's counters and stage-latency
+// histograms with reg (metric names carry a switch=<name> label) and
+// arms stage timing. Counters keep accumulating whether or not they are
+// registered; registration only exposes them.
+func (s *Switch) Instrument(reg *telemetry.Registry) {
+	for _, m := range s.met.instruments() {
+		reg.Register(m)
+	}
+	s.met.timing.Store(true)
+}
+
+// SetTracer attaches a flow tracer: per-packet spans for the Verify,
+// cache, Sign and compose stages are recorded for sampled flows,
+// correlated by the evidence nonce (in-band) or the packet's flow hash.
+// A nil tracer detaches.
+func (s *Switch) SetTracer(tr *telemetry.FlowTracer) {
+	s.trc.Store(tr)
+}
+
+// tracer returns the attached flow tracer, or nil.
+func (s *Switch) tracer() *telemetry.FlowTracer {
+	return s.trc.Load()
+}
+
+// flowIDOf derives the trace correlation ID visible at this stage: the
+// first nonce in the in-band chain (hex) when present — the same nonce
+// the appraiser side sees — falling back to the literal tag for
+// nonce-less traffic.
+func flowIDOf(hdr *Header) string {
+	if hdr != nil && hdr.Evidence != nil {
+		if ns := evidence.Nonces(hdr.Evidence); len(ns) > 0 {
+			return hex.EncodeToString(ns[0])
+		}
+	}
+	return "-"
 }
 
 // ReloadProgram swaps the dataplane program, re-measuring PCR 4 — the
@@ -280,20 +376,24 @@ func (s *Switch) ClaimValue(d evidence.Detail, frame []byte) (target string, val
 // RoT quote in the measurement's Claims bytes so appraisers can verify
 // hardware rooting independently.
 func (s *Switch) Attest(nonce []byte, details ...evidence.Detail) (*evidence.Evidence, error) {
+	tr := s.tracer()
+	flow := ""
+	if tr != nil && len(nonce) > 0 {
+		flow = hex.EncodeToString(nonce)
+	}
 	var parts []*evidence.Evidence
 	if len(nonce) > 0 {
 		parts = append(parts, evidence.Nonce(nonce))
 	}
 	for _, d := range details {
-		m, err := s.claimEvidence(d, nil)
+		m, err := s.claimEvidence(d, nil, flow, tr)
 		if err != nil {
 			return nil, err
 		}
 		parts = append(parts, m)
 	}
 	ev := evidence.SeqAll(parts...)
-	s.stats.signOps.Add(1)
-	return evidence.Sign(s.currentSigner(), ev), nil
+	return s.signEvidence(ev, flow, tr), nil
 }
 
 // claimTarget returns the cache/evidence target name for a detail level
@@ -316,8 +416,8 @@ func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
 }
 
 // claimEvidence builds (or fetches from cache) the measurement node for
-// one detail level.
-func (s *Switch) claimEvidence(d evidence.Detail, frame []byte) (*evidence.Evidence, error) {
+// one detail level. flow/tr carry the trace context.
+func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr *telemetry.FlowTracer) (*evidence.Evidence, error) {
 	s.mu.RLock()
 	cache := s.cfg.Cache
 	s.mu.RUnlock()
@@ -345,9 +445,20 @@ func (s *Switch) claimEvidence(d evidence.Detail, frame []byte) (*evidence.Evide
 		return evidence.Measurement(s.name, tgt, s.name, d, val, claims), nil
 	}
 	if cache == nil {
-		return build()
+		start := s.met.start(tr)
+		ev, err := build()
+		tr.Record(flow, s.name, telemetry.StageEvidence, elapsed(start), target)
+		return ev, err
 	}
-	ev, _, err := cache.GetOrProduce(s.name, target, d, build)
+	start := s.met.start(tr)
+	ev, hit, err := cache.GetOrProduce(s.name, target, d, build)
+	if tr != nil {
+		stage := telemetry.StageCacheMiss
+		if hit {
+			stage = telemetry.StageCacheHit
+		}
+		tr.Record(flow, s.name, stage, elapsed(start), target)
+	}
 	return ev, err
 }
 
@@ -367,26 +478,36 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	sink := s.sink
 	inst := s.inst
 	s.mu.RUnlock()
-	s.stats.packets.Add(1)
+	s.met.packets.Inc()
+	tr := s.tracer()
 
 	var hdr *Header
 	inner := frame
+	flow := ""
 	if cfg.InBand && HasHeader(frame) {
 		h, rest, err := Pop(frame)
 		if err != nil {
 			return nil, err
 		}
 		hdr, inner = h, rest
+		if tr != nil {
+			flow = flowIDOf(hdr)
+		}
 		// The Verify half of the Sign/Verify stage (Fig. 3): inspect the
 		// incoming chain before doing any work on its behalf; a frame
 		// whose evidence does not verify is dropped here, so upstream
 		// tampering cannot ride further along the path.
 		if cfg.VerifyIncoming != nil {
-			s.stats.verifyOps.Add(1)
-			if _, err := evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, cfg.VerifyMemo); err != nil {
-				s.stats.verifyFails.Add(1)
+			s.met.verifyOps.Inc()
+			start := s.met.start(tr)
+			_, err := evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, cfg.VerifyMemo)
+			s.met.verifySeconds.ObserveSince(start)
+			if err != nil {
+				s.met.verifyFails.Inc()
+				tr.Record(flow, s.name, telemetry.StageVerifyFail, elapsed(start), err.Error())
 				return nil, nil
 			}
+			tr.Record(flow, s.name, telemetry.StageVerify, elapsed(start), "")
 		}
 	}
 
@@ -405,6 +526,9 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		obls = append(append([]Obligation(nil), obls...), hdr.Policy.Obls...)
 	}
 	pkt := outs[0].Packet
+	if tr != nil && flow == "" {
+		flow = strconv.FormatUint(pkt.FlowHash(), 16)
+	}
 	attested := false
 	for i := range obls {
 		o := &obls[i]
@@ -412,14 +536,14 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 			continue
 		}
 		if !MatchAll(o.Guards, pkt) {
-			s.stats.guardRejects.Add(1)
+			s.met.guardRejects.Inc()
 			continue
 		}
 		if !cfg.Sampler.Sample(pkt.FlowHash()) {
-			s.stats.sampleSkips.Add(1)
+			s.met.sampleSkips.Inc()
 			continue
 		}
-		ev, err := s.obligationEvidence(o, inner, hdr)
+		ev, err := s.obligationEvidence(o, inner, hdr, flow, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -433,7 +557,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		}
 	}
 	if attested {
-		s.stats.attested.Add(1)
+		s.met.attested.Inc()
 	}
 
 	emissions := make([]netsim.Emission, 0, len(outs))
@@ -441,7 +565,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		data := o.Packet.Data
 		if hdr != nil {
 			data = Push(hdr, data)
-			s.stats.inBandBytes.Add(uint64(len(data) - len(o.Packet.Data)))
+			s.met.inBandBytes.Add(uint64(len(data) - len(o.Packet.Data)))
 		}
 		emissions = append(emissions, netsim.Emission{Port: o.Port, Frame: data})
 	}
@@ -449,11 +573,12 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 }
 
 // obligationEvidence builds the evidence one obligation demands,
-// composing with the header chain when chained.
-func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header) (*evidence.Evidence, error) {
+// composing with the header chain when chained. flow/tr carry the trace
+// context ("" / nil when tracing is off).
+func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, tr *telemetry.FlowTracer) (*evidence.Evidence, error) {
 	var parts []*evidence.Evidence
 	for _, d := range o.Claims {
-		m, err := s.claimEvidence(d, frame)
+		m, err := s.claimEvidence(d, frame, flow, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -469,23 +594,33 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header) (*
 		// sequenced after everything accumulated so far, and the switch
 		// signs the whole chain, committing to its position on the path.
 		composed := evidence.Seq(hdr.Evidence, local)
+		tr.Record(flow, s.name, telemetry.StageCompose, 0, "chained")
 		if o.SignEvidence {
-			s.stats.signOps.Add(1)
-			composed = evidence.Sign(s.currentSigner(), composed)
+			composed = s.signEvidence(composed, flow, tr)
 		}
-		s.stats.evidenceBytes.Add(uint64(evidence.EncodedSize(composed)))
+		s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(composed)))
 		return composed, nil
 	}
 	if o.SignEvidence {
-		s.stats.signOps.Add(1)
-		local = evidence.Sign(s.currentSigner(), local)
+		local = s.signEvidence(local, flow, tr)
 	}
-	s.stats.evidenceBytes.Add(uint64(evidence.EncodedSize(local)))
+	s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(local)))
 	return local, nil
 }
 
+// signEvidence is the instrumented Sign stage: one signature op counted,
+// timed into the sign histogram and traced for sampled flows.
+func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, tr *telemetry.FlowTracer) *evidence.Evidence {
+	s.met.signOps.Inc()
+	start := s.met.start(tr)
+	signed := evidence.Sign(s.currentSigner(), ev)
+	s.met.signSeconds.ObserveSince(start)
+	tr.Record(flow, s.name, telemetry.StageSign, elapsed(start), "")
+	return signed
+}
+
 func (s *Switch) emitOOB(sink Sink, appraiserPlace string, ev *evidence.Evidence) {
-	s.stats.outOfBandMsgs.Add(1)
+	s.met.outOfBandMsgs.Inc()
 	if sink != nil {
 		sink(s.name, appraiserPlace, ev)
 	}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// numStripes is the per-instrument stripe count. Counters and histograms
+// spread their increments over this many cache-line-padded atomics so
+// concurrent switch pipelines and appraisal workers do not contend on a
+// single word; a snapshot sums the stripes. Must be a power of two.
+const numStripes = 16
+
+// stripeIdx picks a stripe. math/rand/v2's top-level generator is
+// per-thread in the runtime (no lock, no allocation), so concurrent
+// writers scatter across stripes instead of queueing on one.
+func stripeIdx() uint32 { return rand.Uint32() & (numStripes - 1) }
+
+// padUint64 is an atomic counter padded out to its own cache line.
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing metric with striped storage.
+// The zero value is not usable; construct via NewCounter or
+// Registry.Counter.
+type Counter struct {
+	desc
+	stripes [numStripes]padUint64
+}
+
+// NewCounter builds a standalone counter; Register it to expose it.
+func NewCounter(name string, labels ...Label) *Counter {
+	return &Counter{desc: desc{name: name, labels: labels, kind: KindCounter}}
+}
+
+// Add increments the counter by n. Nil-safe so optional instrumentation
+// needs no guards at call sites.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripeIdx()].v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the stripes.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var n uint64
+	for i := range c.stripes {
+		n += c.stripes[i].v.Load()
+	}
+	return n
+}
+
+// Reset zeroes the counter. Exposition-wise a counter should only ever
+// rise, but the simulator's Stats APIs offer per-run resets (sweeps
+// measure configurations independently), so the instrument supports it.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.stripes {
+		c.stripes[i].v.Store(0)
+	}
+}
+
+// Sample implements Instrument.
+func (c *Counter) Sample() MetricSnapshot {
+	return MetricSnapshot{Name: c.name, Labels: c.Labels(), Kind: KindCounter, Type: KindCounter.String(), Value: float64(c.Value())}
+}
+
+// Gauge is a settable instantaneous value. Unlike counters, gauges are a
+// single atomic: they are written from slow paths (sizes, depths) where
+// striping would only blur last-writer-wins semantics.
+type Gauge struct {
+	desc
+	bits atomic.Uint64
+}
+
+// NewGauge builds a standalone gauge; Register it to expose it.
+func NewGauge(name string, labels ...Label) *Gauge {
+	return &Gauge{desc: desc{name: name, labels: labels, kind: KindGauge}}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta (CAS loop; gauges are off the hot path).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Sample implements Instrument.
+func (g *Gauge) Sample() MetricSnapshot {
+	return MetricSnapshot{Name: g.name, Labels: g.Labels(), Kind: KindGauge, Type: KindGauge.String(), Value: g.Value()}
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # TYPE line per metric family, histogram
+// families expanded into cumulative _bucket/_sum/_count series. Output
+// order is deterministic (the snapshot is sorted).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	for _, m := range s.Metrics {
+		if !typed[m.Name] {
+			typed[m.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+		}
+		if m.Kind == KindHistogram && m.Hist != nil {
+			if err := writePromHistogram(w, m); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), formatValue(m.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m MetricSnapshot) error {
+	for _, b := range m.Hist.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatValue(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelStringWith(m.Labels, L("le", le)), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelString(m.Labels), formatValue(m.Hist.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels), m.Hist.Count)
+	return err
+}
+
+// labelStringWith renders labels plus one extra (the histogram le).
+func labelStringWith(labels []Label, extra Label) string {
+	return labelString(append(append([]Label(nil), labels...), extra))
+}
+
+// formatValue renders a float the way Prometheus clients do: integers
+// without an exponent, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Handler serves the registry (and optionally a tracer) over HTTP:
+//
+//	GET /metrics       Prometheus text format
+//	GET /metrics.json  JSON snapshot
+//	GET /trace         JSON span dump (404 when no tracer is attached)
+func Handler(reg *Registry, tracer *FlowTracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		if tracer == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Recorded uint64 `json:"recorded_total"`
+			Spans    []Span `json:"spans"`
+		}{Recorded: tracer.Recorded(), Spans: tracer.Spans()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, "pera telemetry\n/metrics\n/metrics.json\n/trace\n")
+	})
+	return mux
+}
+
+// Server is a live telemetry endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts an HTTP server for the registry/tracer on addr (":0"
+// picks a free port; Addr reports the bound address). The server runs
+// until Close.
+func Serve(addr string, reg *Registry, tracer *FlowTracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, tracer)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string {
+	a := s.ln.Addr().String()
+	// Normalize the unspecified address for clickable/curlable output.
+	if host, port, err := net.SplitHostPort(a); err == nil {
+		if host == "::" || host == "0.0.0.0" || host == "" {
+			return net.JoinHostPort("127.0.0.1", port)
+		}
+	}
+	return a
+}
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,277 @@
+// Package telemetry is the unified observability layer for the PERA
+// pipeline: a zero-dependency metrics registry plus a per-packet flow
+// tracer, with Prometheus-text and JSON exposition.
+//
+// The paper's appraisal loop (Fig. 1: Claim → Evidence → Appraisal →
+// Result) and its Inertia×Detail×Composition design space (Fig. 4) are
+// about where time and trust are spent; every stage of the repo's
+// pipeline — Sign, evidence Create/Compose, cache, Verify, Appraise —
+// reports into one registry here so a single scrape answers that
+// question. Instruments are built for the dataplane-shaped hot path:
+// counters and histograms stripe their atomics across cache lines so
+// concurrent switch pipelines and appraisal workers do not contend on a
+// shared word, and snapshots are taken without stopping writers.
+//
+// Components can also export metrics lazily: RegisterFunc publishes a
+// value computed at scrape time (cache sizes, queue depths), which costs
+// the hot path nothing at all.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies an instrument for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name="value" dimension on a metric.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelString renders labels canonically (sorted, escaped) for identity
+// and Prometheus exposition. Empty label sets render as "".
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// metricID is the registry key: name plus canonical label string.
+func metricID(name string, labels []Label) string {
+	return name + labelString(labels)
+}
+
+// Instrument is anything the registry can hold and snapshot.
+type Instrument interface {
+	// Name returns the metric family name (e.g. "pera_packets_total").
+	Name() string
+	// Labels returns the instrument's label set.
+	Labels() []Label
+	// Kind returns the exposition kind.
+	Kind() Kind
+	// Sample captures the instrument's current value.
+	Sample() MetricSnapshot
+}
+
+// desc is the shared identity of every instrument.
+type desc struct {
+	name   string
+	labels []Label
+	kind   Kind
+}
+
+func (d *desc) Name() string    { return d.name }
+func (d *desc) Labels() []Label { return append([]Label(nil), d.labels...) }
+func (d *desc) Kind() Kind      { return d.kind }
+func (d *desc) id() string      { return metricID(d.name, d.labels) }
+
+// MetricSnapshot is one sampled metric.
+type MetricSnapshot struct {
+	Name   string        `json:"name"`
+	Labels []Label       `json:"labels,omitempty"`
+	Kind   Kind          `json:"-"`
+	Type   string        `json:"type"`
+	Value  float64       `json:"value"`
+	Hist   *HistSnapshot `json:"histogram,omitempty"`
+}
+
+// Snapshot is a point-in-time view of a registry, sorted by metric
+// identity so encodings are deterministic.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// Get returns the sampled metric with the given name and labels, if
+// present. Labels must match exactly (order-insensitive).
+func (s Snapshot) Get(name string, labels ...Label) (MetricSnapshot, bool) {
+	want := metricID(name, labels)
+	for _, m := range s.Metrics {
+		if metricID(m.Name, m.Labels) == want {
+			return m, true
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// Value returns the value of a counter/gauge metric, or 0 when absent.
+func (s Snapshot) Value(name string, labels ...Label) float64 {
+	m, _ := s.Get(name, labels...)
+	return m.Value
+}
+
+// Registry is a concurrent collection of instruments. Registration is
+// infrequent (component construction); sampling walks the collection
+// without blocking writers of the underlying atomics.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]Instrument
+	order   []string // registration order is irrelevant; ids re-sorted on snapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]Instrument)}
+}
+
+// Register adopts an instrument built standalone (NewCounter et al.). An
+// instrument with the same name and labels replaces the previous one:
+// harness sweeps re-create switches run over run and the endpoint should
+// expose the live generation, not the first. Nil registries and nil
+// instruments are ignored, so call sites need no guards.
+func (r *Registry) Register(m Instrument) {
+	if r == nil || m == nil {
+		return
+	}
+	id := metricID(m.Name(), m.Labels())
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.metrics[id]; !ok {
+		r.order = append(r.order, id)
+	}
+	r.metrics[id] = m
+}
+
+// Counter returns the registered counter with this identity, creating
+// and registering it if absent.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		if c, ok := m.(*Counter); ok {
+			return c
+		}
+	}
+	c := NewCounter(name, labels...)
+	if _, ok := r.metrics[id]; !ok {
+		r.order = append(r.order, id)
+	}
+	r.metrics[id] = c
+	return c
+}
+
+// Gauge returns the registered gauge with this identity, creating and
+// registering it if absent.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		if g, ok := m.(*Gauge); ok {
+			return g
+		}
+	}
+	g := NewGauge(name, labels...)
+	if _, ok := r.metrics[id]; !ok {
+		r.order = append(r.order, id)
+	}
+	r.metrics[id] = g
+	return g
+}
+
+// Histogram returns the registered histogram with this identity,
+// creating one over the given bucket bounds if absent. bounds nil
+// selects DurationBuckets.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[id]; ok {
+		if h, ok := m.(*Histogram); ok {
+			return h
+		}
+	}
+	h := NewHistogram(name, bounds, labels...)
+	if _, ok := r.metrics[id]; !ok {
+		r.order = append(r.order, id)
+	}
+	r.metrics[id] = h
+	return h
+}
+
+// RegisterFunc publishes a lazily-computed metric: fn runs at snapshot
+// time, never on the instrumented hot path. Use it to expose values a
+// component already maintains (cache sizes, queue depths, hit counters)
+// without double-counting machinery.
+func (r *Registry) RegisterFunc(name string, kind Kind, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.Register(&funcMetric{desc: desc{name: name, labels: labels, kind: kind}, fn: fn})
+}
+
+// funcMetric adapts a closure into an Instrument.
+type funcMetric struct {
+	desc
+	fn func() float64
+}
+
+func (f *funcMetric) Sample() MetricSnapshot {
+	return MetricSnapshot{Name: f.name, Labels: f.Labels(), Kind: f.kind, Type: f.kind.String(), Value: f.fn()}
+}
+
+// Snapshot samples every instrument. The result is sorted by (name,
+// labels) so text encodings are stable for golden tests and diffs.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	ms := make([]Instrument, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	out := Snapshot{Metrics: make([]MetricSnapshot, 0, len(ms))}
+	for _, m := range ms {
+		out.Metrics = append(out.Metrics, m.Sample())
+	}
+	sort.Slice(out.Metrics, func(i, j int) bool {
+		a, b := out.Metrics[i], out.Metrics[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelString(a.Labels) < labelString(b.Labels)
+	})
+	return out
+}

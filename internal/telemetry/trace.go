@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names the RATS pipeline step a span belongs to, mirroring the
+// paper's Fig. 3 switch stages plus the off-switch appraisal half.
+type Stage string
+
+const (
+	StageSign       Stage = "sign"        // RoT/remote signature over evidence
+	StageEvidence   Stage = "evidence"    // claim/measurement creation
+	StageCompose    Stage = "compose"     // chaining local evidence onto the header chain
+	StageCacheHit   Stage = "cache_hit"   // high-inertia evidence served from cache
+	StageCacheMiss  Stage = "cache_miss"  // evidence rebuilt on cache miss
+	StageVerify     Stage = "verify"      // signature/quote chain verification
+	StageVerifyFail Stage = "verify_fail" // frame dropped for an unverifiable chain
+	StageAppraise   Stage = "appraise"    // full appraisal of a chain
+	StageVerdict    Stage = "verdict"     // appraisal outcome (note carries PASS/FAIL)
+)
+
+// Span is one recorded pipeline step, correlated across components by
+// flow ID (nonce hex or flow hash — whatever the stage can see).
+type Span struct {
+	Seq   uint64        `json:"seq"`
+	Flow  string        `json:"flow"`
+	Place string        `json:"place"`
+	Stage Stage         `json:"stage"`
+	Dur   time.Duration `json:"dur_ns"`
+	Note  string        `json:"note,omitempty"`
+}
+
+// FlowTracer records spans into a bounded ring buffer with flow-level
+// sampling — the paper's Fig. 4 "Detail" axis applied to observability:
+// tracing every packet is per-packet detail, sampling 1-in-N trades
+// detail for overhead. All methods are nil-safe so instrumented code
+// paths need no tracer guards.
+type FlowTracer struct {
+	sampleEvery atomic.Uint32 // 1 = every flow, N = flows whose hash%N==0, 0 = disabled
+	recorded    atomic.Uint64
+	seq         atomic.Uint64
+
+	mu   sync.Mutex
+	buf  []Span
+	next int  // ring write cursor
+	full bool // buffer has wrapped
+}
+
+// DefaultTraceCapacity bounds a tracer built with capacity <= 0.
+const DefaultTraceCapacity = 4096
+
+// NewFlowTracer returns a tracer holding the last capacity spans,
+// sampling every flow until SetSampleEvery changes the knob.
+func NewFlowTracer(capacity int) *FlowTracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	t := &FlowTracer{buf: make([]Span, capacity)}
+	t.sampleEvery.Store(1)
+	return t
+}
+
+// SetSampleEvery sets the sampling knob: 1 records every flow, n > 1
+// records flows whose hash falls in one of n classes, 0 disables
+// recording entirely.
+func (t *FlowTracer) SetSampleEvery(n uint32) {
+	if t == nil {
+		return
+	}
+	t.sampleEvery.Store(n)
+}
+
+// Sampled reports whether spans for this flow would be recorded. The
+// decision is a pure hash of the flow ID, so every stage of a sampled
+// flow is captured end to end (sampling whole flows, not random spans).
+func (t *FlowTracer) Sampled(flow string) bool {
+	if t == nil {
+		return false
+	}
+	n := t.sampleEvery.Load()
+	switch {
+	case n == 0:
+		return false
+	case n == 1:
+		return true
+	}
+	h := fnv.New32a()
+	h.Write([]byte(flow))
+	return h.Sum32()%n == 0
+}
+
+// Record appends a span if the flow is sampled.
+func (t *FlowTracer) Record(flow, place string, stage Stage, dur time.Duration, note string) {
+	if t == nil || !t.Sampled(flow) {
+		return
+	}
+	s := Span{Seq: t.seq.Add(1), Flow: flow, Place: place, Stage: stage, Dur: dur, Note: note}
+	t.recorded.Add(1)
+	t.mu.Lock()
+	t.buf[t.next] = s
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the buffered spans, oldest first.
+func (t *FlowTracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Span(nil), t.buf[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Flow returns the buffered spans for one flow ID, oldest first.
+func (t *FlowTracer) Flow(flow string) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Flow == flow {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Len returns the number of buffered spans.
+func (t *FlowTracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Recorded returns the total spans recorded over the tracer's lifetime
+// (including those since evicted from the ring).
+func (t *FlowTracer) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// Instrument publishes the tracer's own health as lazy metrics.
+func (t *FlowTracer) Instrument(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.RegisterFunc("pera_trace_spans", KindGauge, func() float64 { return float64(t.Len()) })
+	reg.RegisterFunc("pera_trace_recorded_total", KindCounter, func() float64 { return float64(t.Recorded()) })
+	reg.RegisterFunc("pera_trace_sample_every", KindGauge, func() float64 { return float64(t.sampleEvery.Load()) })
+}
