@@ -11,19 +11,21 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-throughput telemetry-smoke fmt clean
+.PHONY: all build test race vet bench bench-throughput telemetry-smoke audit-smoke cover fmt clean
 
 all: build test race vet
 
 build:
 	$(GO) build ./...
 
-# test is unit tests + vet + the end-to-end telemetry smoke: a scrape of
-# a live perasim run must expose every pipeline stage (see
-# scripts/telemetry_smoke.sh).
+# test is unit tests + vet + the end-to-end smokes: a scrape of a live
+# perasim run must expose every pipeline stage (telemetry_smoke.sh), and
+# a perasim-written audit ledger must verify, query, explain, and catch
+# a one-byte tamper through attestctl (audit_smoke.sh).
 test: vet
 	$(GO) test ./...
 	$(MAKE) telemetry-smoke
+	$(MAKE) audit-smoke
 
 race:
 	$(GO) test -race ./...
@@ -43,6 +45,24 @@ bench-throughput:
 # scrape /metrics, assert the per-stage histograms are populated.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# End-to-end tamper-evidence check: perasim writes the audit ledger,
+# attestctl verifies/queries/explains it, and a one-byte flip must fail
+# verification at the damaged record.
+audit-smoke:
+	sh scripts/audit_smoke.sh
+
+# Coverage over the library packages with a floor: the build fails if
+# total statement coverage regresses below COVER_FLOOR percent.
+COVER_FLOOR ?= 80.0
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@$(GO) tool cover -func=coverage.out | awk -v floor=$(COVER_FLOOR) ' \
+		/^total:/ { total = $$3; sub("%", "", total) } \
+		END { \
+			printf "coverage: %s%% total (floor %.1f%%)\n", total, floor; \
+			if (total + 0 < floor + 0) { print "cover: FAIL — below floor"; exit 1 } \
+		}'
 
 fmt:
 	gofmt -w $$($(GO) list -f '{{.Dir}}' ./...)

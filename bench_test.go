@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"pera/internal/appraiser"
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/harness"
 	"pera/internal/nac"
@@ -361,6 +362,43 @@ func BenchmarkThroughput_EndToEnd(b *testing.B) {
 			b.Fatalf("pass=%d, want 128", res.Pass)
 		}
 	}
+}
+
+// BenchmarkThroughput_Audit measures what the audit ledger costs the
+// end-to-end throughput run: "off" is BenchmarkThroughput_EndToEnd's
+// configuration, "on" additionally records every RATS lifecycle event of
+// the run onto a hash-chained ledger file (async writer, create + seal
+// inside the timer — the whole real overhead). The delta between the
+// two is the audit-overhead entry in BENCH_throughput.json.
+func BenchmarkThroughput_Audit(b *testing.B) {
+	run := func(b *testing.B, audited bool) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			o := harness.ThroughputOptions{Workers: 0, Packets: 128, Flows: 8, Memo: true}
+			var w *auditlog.Writer
+			if audited {
+				var err error
+				w, err = auditlog.Create(fmt.Sprintf("%s/trail-%d.jsonl", dir, i), auditlog.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				o.Audit = w
+			}
+			res, err := harness.RunThroughputOpts(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Close()
+			if res.Pass != 128 {
+				b.Fatalf("pass=%d, want 128", res.Pass)
+			}
+		}
+		if audited && b.N > 0 {
+			b.ReportMetric(float64(128), "pkts/run")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkVerifyMemo isolates the memo win on a single 3-hop chain:

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pera/internal/auditlog"
+)
+
+// runAudit dispatches the `attestctl audit <verb>` subcommands operating
+// on a hash-chained ledger file produced by perasim -audit or attestd
+// -audit.
+func runAudit(args []string) {
+	if len(args) == 0 {
+		auditUsage()
+		os.Exit(2)
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "verify":
+		auditVerify(rest)
+	case "query":
+		auditQuery(rest)
+	case "explain":
+		auditExplain(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "attestctl audit: unknown verb %q\n", verb)
+		auditUsage()
+		os.Exit(2)
+	}
+}
+
+func auditUsage() {
+	fmt.Fprint(os.Stderr, `usage:
+  attestctl audit verify  -ledger <path> [-key <hex>|-secret <string>]
+  attestctl audit query   -ledger <path> [-nonce h] [-flow h] [-place p]
+                          [-event e] [-verdict PASS|FAIL] [-since t] [-until t]
+                          [-limit n] [-json]
+  attestctl audit explain -ledger <path> <nonce-hex>
+`)
+}
+
+// auditFlags returns a FlagSet preloaded with the options every audit
+// verb shares, plus pointers to read them after Parse.
+func auditFlags(verb string) (*flag.FlagSet, *string, *string, *string) {
+	fs := flag.NewFlagSet("attestctl audit "+verb, flag.ExitOnError)
+	ledger := fs.String("ledger", "", "path to the audit ledger (JSONL)")
+	keyHex := fs.String("key", "", "ledger MAC key as hex (overrides -secret)")
+	secret := fs.String("secret", "", "derive the MAC key from this secret (default: dev key)")
+	return fs, ledger, keyHex, secret
+}
+
+// resolveKey turns the -key/-secret flags into the MAC key bytes.
+func resolveKey(keyHex, secret string) []byte {
+	switch {
+	case keyHex != "":
+		k, err := hex.DecodeString(keyHex)
+		if err != nil {
+			fatal("bad -key hex: %v", err)
+		}
+		return k
+	case secret != "":
+		return auditlog.DeriveKey([]byte(secret))
+	default:
+		return auditlog.DevKey()
+	}
+}
+
+func auditVerify(args []string) {
+	fs, ledger, keyHex, secret := auditFlags("verify")
+	fs.Parse(args)
+	if *ledger == "" {
+		fatal("audit verify: -ledger is required")
+	}
+	n, err := auditlog.VerifyFile(*ledger, resolveKey(*keyHex, *secret))
+	if err != nil {
+		var te *auditlog.TamperError
+		if errors.As(err, &te) {
+			fmt.Printf("attestctl: ledger TAMPERED at record %d (%s); %d records before it are intact\n",
+				te.Index, te.Reason, n)
+			os.Exit(1)
+		}
+		fatal("audit verify: %v", err)
+	}
+	fmt.Printf("attestctl: ledger OK — %d records, chain intact\n", n)
+}
+
+func auditQuery(args []string) {
+	fs, ledger, _, _ := auditFlags("query")
+	var (
+		nonce   = fs.String("nonce", "", "filter by session nonce (hex)")
+		flow    = fs.String("flow", "", "filter by flow ID")
+		place   = fs.String("place", "", "filter by switch/appraiser name")
+		event   = fs.String("event", "", "filter by event name")
+		verdict = fs.String("verdict", "", "filter by verdict (PASS|FAIL)")
+		since   = fs.String("since", "", "lower time bound (RFC3339 or unix ns)")
+		until   = fs.String("until", "", "upper time bound (RFC3339 or unix ns)")
+		limit   = fs.Int("limit", 0, "max records (0 = all)")
+		asJSON  = fs.Bool("json", false, "emit matching records as JSONL")
+	)
+	fs.Parse(args)
+	if *ledger == "" {
+		fatal("audit query: -ledger is required")
+	}
+	recs, err := auditlog.ReadLedger(*ledger)
+	if err != nil {
+		fatal("audit query: %v", err)
+	}
+	q := auditlog.Query{
+		Nonce: *nonce, Flow: *flow, Place: *place, Event: *event,
+		Verdict: *verdict, Limit: *limit,
+		Since: parseTimeFlag("since", *since),
+		Until: parseTimeFlag("until", *until),
+	}
+	matched := q.Filter(recs)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range matched {
+			enc.Encode(r)
+		}
+		return
+	}
+	for _, r := range matched {
+		line := fmt.Sprintf("%6d  %s  %-12s %-10s", r.Seq,
+			time.Unix(0, r.TS).Format(time.RFC3339Nano), r.Event, r.Place)
+		if r.Flow != "" {
+			line += " flow=" + r.Flow
+		}
+		if r.Verdict != "" {
+			line += " verdict=" + r.Verdict
+		}
+		if r.Prov != nil {
+			line += fmt.Sprintf(" clause=%q", r.Prov.Clause)
+		}
+		if r.Note != "" {
+			line += " (" + r.Note + ")"
+		}
+		fmt.Println(line)
+	}
+	fmt.Fprintf(os.Stderr, "attestctl: %d of %d records matched\n", len(matched), len(recs))
+}
+
+func auditExplain(args []string) {
+	fs, ledger, _, _ := auditFlags("explain")
+	fs.Parse(args)
+	if *ledger == "" {
+		fatal("audit explain: -ledger is required")
+	}
+	if fs.NArg() != 1 {
+		fatal("audit explain: exactly one <nonce-hex> argument is required")
+	}
+	nonce := fs.Arg(0)
+	recs, err := auditlog.ReadLedger(*ledger)
+	if err != nil {
+		fatal("audit explain: %v", err)
+	}
+	timeline := auditlog.Explain(recs, nonce)
+	if len(timeline) == 0 {
+		fatal("audit explain: no records for nonce %s", nonce)
+	}
+	fmt.Printf("attestctl: RATS timeline for %s (%d records)\n", nonce, len(timeline))
+	auditlog.FormatTimeline(os.Stdout, timeline)
+}
+
+// parseTimeFlag accepts RFC3339 or raw unix nanoseconds; empty is 0.
+func parseTimeFlag(name, v string) int64 {
+	if v == "" {
+		return 0
+	}
+	if t, err := time.Parse(time.RFC3339, v); err == nil {
+		return t.UnixNano()
+	}
+	var ns int64
+	if _, err := fmt.Sscanf(v, "%d", &ns); err != nil {
+		fatal("bad -%s %q: want RFC3339 or unix nanoseconds", name, v)
+	}
+	return ns
+}

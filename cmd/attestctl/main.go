@@ -8,6 +8,13 @@
 //	attestctl -attester 127.0.0.1:7422 -appraiser 127.0.0.1:7421 \
 //	          -claims hardware,program -subject sw1
 //	attestctl -appraiser 127.0.0.1:7421 -retrieve <hex-nonce>
+//
+// It also queries the tamper-evident audit ledgers that perasim -audit
+// and attestd -audit write:
+//
+//	attestctl audit verify  -ledger trail.jsonl
+//	attestctl audit query   -ledger trail.jsonl -place sw1 -event verdict
+//	attestctl audit explain -ledger trail.jsonl <hex-nonce>
 package main
 
 import (
@@ -23,6 +30,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "audit" {
+		runAudit(os.Args[2:])
+		return
+	}
 	var (
 		attesterAddr  = flag.String("attester", "127.0.0.1:7422", "attestd address")
 		appraiserAddr = flag.String("appraiser", "127.0.0.1:7421", "appraised address")

@@ -10,6 +10,7 @@
 //	attestd -listen :7422 -name sw1 -program firewall
 //	attestd -listen :7422 -program-file my_pipeline.p4l
 //	attestd -listen :7422 -telemetry :9464   # live /metrics for the switch
+//	attestd -listen :7422 -audit sw1.jsonl   # hash-chained RATS audit ledger
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/p4ir"
 	"pera/internal/pera"
@@ -34,6 +36,7 @@ func main() {
 		program   = flag.String("program", "forwarding", "dataplane program: forwarding, firewall, acl, monitor, rogue")
 		file      = flag.String("program-file", "", "load the dataplane program from a P4-lite source file instead")
 		telemAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /metrics.json) on this address, e.g. :9464")
+		auditPath = flag.String("audit", "", "write the hash-chained RATS audit ledger to this file (MAC key derived from the switch RoT)")
 	)
 	flag.Parse()
 
@@ -56,9 +59,27 @@ func main() {
 		os.Exit(1)
 	}
 
+	var audit *auditlog.Writer
+	if *auditPath != "" {
+		// The ledger MAC key is derived from this switch's RoT AIK seed,
+		// so the party that provisioned the switch — and only that party —
+		// can re-derive it to verify the chain.
+		key := sw.RoT().AuditKey()
+		audit, err = auditlog.Create(*auditPath, auditlog.Options{KeyID: *name, Key: key})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+			os.Exit(1)
+		}
+		defer audit.Close()
+		sw.SetAudit(audit)
+		fmt.Printf("attestd: audit ledger at %s (verify with `attestctl audit verify -ledger %s -key <audit-key>`)\n", *auditPath, *auditPath)
+		fmt.Printf("audit-key %s %s\n", *name, hex.EncodeToString(key))
+	}
+
 	if *telemAddr != "" {
 		reg := telemetry.NewRegistry()
 		sw.Instrument(reg)
+		audit.Instrument(reg)
 		srv, err := telemetry.Serve(*telemAddr, reg, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
@@ -91,6 +112,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("attestd: shutting down")
+	if audit != nil {
+		audit.Close()
+		fmt.Printf("attestd: audit ledger sealed — %d records, %d dropped\n", audit.Records(), audit.Dropped())
+	}
 }
 
 func buildProgram(kind string) (*p4ir.Program, error) {

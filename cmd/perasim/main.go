@@ -25,6 +25,10 @@
 //	                     # endpoint up after the run until interrupted
 //	perasim -uc throughput -json > results.json
 //	                     # machine-readable results + telemetry snapshot
+//	perasim -uc 1 -audit trail.jsonl
+//	                     # write every RATS lifecycle event to a
+//	                     # hash-chained ledger; inspect with
+//	                     # attestctl audit verify/query/explain
 //
 // In throughput mode all progress text goes to stderr, so stdout is
 // clean Prometheus text (-telemetry), JSON (-json) or the results table.
@@ -45,8 +49,10 @@ import (
 
 	"pera/internal/appraiser"
 	"pera/internal/attester"
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/harness"
+	"pera/internal/nac"
 	"pera/internal/pera"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
@@ -62,11 +68,13 @@ var (
 	telemetryHold = flag.Bool("telemetry-hold", false, "with -telemetry: keep serving after the run completes, until interrupted")
 	jsonOut       = flag.Bool("json", false, "with -uc throughput: write JSON results (rows + telemetry snapshot) to stdout")
 	traceEvery    = flag.Uint("trace", 0, "record RATS flow-trace spans for 1-in-N flows (0 disables, 1 traces every flow)")
+	auditPath     = flag.String("audit", "", "write the hash-chained RATS audit ledger to this file (dev key; inspect with `attestctl audit`)")
 
 	// Telemetry plumbing shared by the runners; nil when not requested.
 	reg    *telemetry.Registry
 	tracer *telemetry.FlowTracer
 	tsrv   *telemetry.Server
+	audit  *auditlog.Writer
 )
 
 func main() {
@@ -90,6 +98,32 @@ func main() {
 		tsrv = srv
 		defer tsrv.Close()
 		fmt.Fprintf(os.Stderr, "perasim: telemetry serving on http://%s/metrics\n", tsrv.Addr())
+	}
+	if *auditPath != "" {
+		w, err := auditlog.Create(*auditPath, auditlog.Options{KeyID: "dev"})
+		if err != nil {
+			fail(err)
+		}
+		audit = w
+		audit.Instrument(reg)
+		fmt.Fprintf(os.Stderr, "perasim: audit ledger -> %s (verify: attestctl audit verify -ledger %s)\n",
+			*auditPath, *auditPath)
+		// Flush-on-shutdown: an interrupt mid-run still leaves a complete,
+		// verifiable chain on disk rather than a truncated record.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			fmt.Fprintln(os.Stderr, "perasim: interrupted — flushing audit ledger")
+			audit.Close()
+			if reg != nil {
+				// Same one-shot exposition dump a completed run would
+				// print, so an interrupted run still leaves usable data.
+				reg.Snapshot().WritePrometheus(os.Stdout)
+			}
+			os.Exit(130)
+		}()
+		defer audit.Close()
 	}
 
 	if *cpuprofile != "" {
@@ -129,6 +163,7 @@ func main() {
 			}
 			fmt.Println()
 		}
+		finishAudit()
 		holdTelemetry()
 		return
 	}
@@ -140,7 +175,21 @@ func main() {
 	if err := r(); err != nil {
 		fail(err)
 	}
+	finishAudit()
 	holdTelemetry()
+}
+
+// finishAudit seals the ledger as soon as the run completes (Close is
+// idempotent; the deferred/signal-path closes become no-ops), so the
+// file on disk is complete and verifiable even while -telemetry-hold
+// keeps the process alive.
+func finishAudit() {
+	if audit == nil {
+		return
+	}
+	audit.Close()
+	fmt.Fprintf(os.Stderr, "perasim: audit ledger sealed — %d records, %d dropped\n",
+		audit.Records(), audit.Dropped())
 }
 
 // holdTelemetry keeps the telemetry endpoint alive after the run when
@@ -179,6 +228,13 @@ func newTB() (*usecases.Testbed, error) {
 		for _, sw := range tb.Switches {
 			sw.SetTracer(tracer)
 		}
+	}
+	if audit != nil {
+		for _, sw := range tb.Switches {
+			sw.SetAudit(audit)
+		}
+		tb.Appraiser.SetAudit(audit)
+		tb.Appraiser.SetPolicy("AP1", nac.AP1)
 	}
 	return tb, nil
 }
@@ -406,6 +462,7 @@ func runThroughput() error {
 		Memo:     !*memoOff,
 		Registry: reg,
 		Tracer:   tracer,
+		Audit:    audit,
 	})
 	if err != nil {
 		return err

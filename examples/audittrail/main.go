@@ -6,13 +6,24 @@
 // stored. The stored certificates justify a deactivation action, which is
 // itself recorded the same way — an appraisable compliance trail.
 //
+// Every step also lands on the tamper-evident audit ledger: a
+// hash-chained JSONL file whose records carry verdict provenance (the
+// Copland/NetKAT clause each verdict rests on). After the run the
+// program verifies the chain, queries the verdicts, and replays the
+// deactivation's timeline — the same operations `attestctl audit`
+// offers from the command line.
+//
 // Run: go run ./examples/audittrail
 package main
 
 import (
+	"encoding/hex"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/nac"
 	"pera/internal/pera"
@@ -25,7 +36,22 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("AP2 (Table 1):")
+	// The compliance trail goes on a real hash-chained ledger, not just
+	// in-memory certificates. Dev key, so `attestctl audit verify -ledger
+	// <path>` works on the file without extra flags.
+	ledgerPath := filepath.Join(os.TempDir(), "uc4-audittrail.jsonl")
+	ledger, err := auditlog.Create(ledgerPath, auditlog.Options{KeyID: "uc4"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sw := range tb.Switches {
+		sw.SetAudit(ledger)
+	}
+	tb.Appraiser.SetAudit(ledger)
+	tb.Appraiser.SetPolicy("AP2", nac.AP2)
+	fmt.Printf("audit ledger: %s\n", ledgerPath)
+
+	fmt.Println("\nAP2 (Table 1):")
 	fmt.Println(" ", nac.AP2)
 
 	compiled, err := usecases.CompileUC4Policy(tb, usecases.SwACL)
@@ -57,18 +83,52 @@ func main() {
 	}
 
 	// Sub-case B: the remediation is documented too.
+	actionNonce := []byte("action-1")
 	cert, err := usecases.RecordAction(tb, usecases.SwACL,
-		"installed drop rule for 100->*:4444 per court order 17-442", []byte("action-1"))
+		"installed drop rule for 100->*:4444 per court order 17-442", actionNonce)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ndeactivation recorded: verdict=%v serial=%d\n", cert.Verdict, cert.Serial)
 
 	// Months later, the compliance officer retrieves the records.
-	got, err := tb.Appraiser.Retrieve([]byte("action-1"))
+	got, err := tb.Appraiser.Retrieve(actionNonce)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("retrieved for review: issuer=%s subject=%s — \"the limited and focused action\n"+
 		"that was taken to deactivate the malware\" is provable (§2, UC4)\n", got.Issuer, got.Subject)
+
+	// Seal the ledger and put it through the same checks the compliance
+	// officer would run with attestctl.
+	ledger.Close()
+	fmt.Printf("\nledger sealed: %d records, %d dropped\n", ledger.Records(), ledger.Dropped())
+
+	n, err := auditlog.VerifyFile(ledgerPath, auditlog.DevKey())
+	if err != nil {
+		log.Fatalf("ledger verification failed: %v", err)
+	}
+	fmt.Printf("chain verified: %d records intact\n", n)
+
+	recs, err := auditlog.ReadLedger(ledgerPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdicts := auditlog.Query{Event: string(auditlog.EventVerdict)}.Filter(recs)
+	fmt.Printf("\nverdicts on the ledger (%d):\n", len(verdicts))
+	for _, r := range verdicts {
+		clause := ""
+		if r.Prov != nil {
+			clause = r.Prov.Clause
+		}
+		fmt.Printf("  seq=%d %s target=%s policy=%s clause=%q\n",
+			r.Seq, r.Verdict, r.Target, r.Policy, clause)
+	}
+
+	// The deactivation's full RATS timeline, reconstructed from the chain
+	// — what `attestctl audit explain` prints.
+	nonceHex := hex.EncodeToString(actionNonce)
+	timeline := auditlog.Explain(recs, nonceHex)
+	fmt.Printf("\ntimeline for the deactivation (nonce %s):\n", nonceHex)
+	auditlog.FormatTimeline(os.Stdout, timeline)
 }

@@ -9,12 +9,14 @@ package appraiser
 import (
 	"crypto/ed25519"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/rats"
 	"pera/internal/rot"
@@ -183,6 +185,15 @@ type Appraiser struct {
 	// Fig. 3 Verify stage.
 	verifySec *telemetry.Histogram
 
+	// aud, when attached, records appraise/verdict events (with clause
+	// provenance) on the durable audit ledger. policyName/policyTerm name
+	// the Copland policy in force so every verdict is attributable to a
+	// written-down term, not just "the code". All three live behind mu
+	// with the copy-on-write tables.
+	aud        *auditlog.Writer
+	policyName string
+	policyTerm string
+
 	serial atomic.Uint64
 
 	nonceMu sync.Mutex
@@ -216,6 +227,7 @@ func (a *Appraiser) EnableMemo(capacity int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.memo = evidence.NewVerifyMemo(capacity)
+	a.memo.SetAudit(a.aud)
 }
 
 // MemoStats reports the verification memo's counters; zeros when no memo
@@ -238,6 +250,41 @@ func (a *Appraiser) Instrument(reg *telemetry.Registry) {
 	memo := a.memo
 	a.mu.Unlock()
 	memo.Instrument(reg)
+}
+
+// SetAudit attaches the durable audit ledger: every appraisal emits an
+// appraise record when it starts and a verdict record carrying clause
+// provenance when it completes. A nil writer detaches.
+func (a *Appraiser) SetAudit(w *auditlog.Writer) {
+	a.mu.Lock()
+	a.aud = w
+	a.memo.SetAudit(w) // nil-safe; order vs EnableMemo doesn't matter
+	a.mu.Unlock()
+}
+
+// SetPolicy binds the appraiser to a named Copland policy term (AP1–AP3
+// from nac.Table1, or an operator policy). The name is stamped on every
+// subsequent verdict's provenance, and the binding itself is recorded on
+// the ledger so an auditor can see which policy governed which span of
+// the trail.
+func (a *Appraiser) SetPolicy(name, term string) {
+	a.mu.Lock()
+	a.policyName, a.policyTerm = name, term
+	aud := a.aud
+	a.mu.Unlock()
+	if aud != nil {
+		aud.Emit(auditlog.Record{
+			Event: auditlog.EventPolicyBound, Place: a.name,
+			Policy: name, Note: term,
+		})
+	}
+}
+
+// auditCtx snapshots the audit binding for one appraisal.
+func (a *Appraiser) auditCtx() (*auditlog.Writer, string) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.aud, a.policyName
 }
 
 // Name returns the appraiser identity.
@@ -303,16 +350,59 @@ func (a *Appraiser) AllowHash(d rot.Digest) {
 // operational failures (nonce replay); verification failures are reported
 // through the certificate so they remain attributable and storable.
 func (a *Appraiser) Appraise(subject string, ev *evidence.Evidence, nonce []byte) (*Certificate, error) {
+	return a.AppraiseNoted(subject, ev, nonce, "")
+}
+
+// appraisalFlowID correlates appraisal-side audit records with the
+// switch side: the session nonce (hex) when present, else the first
+// nonce inside the evidence — the same ID flowIDOf derives in-band.
+func appraisalFlowID(ev *evidence.Evidence, nonce []byte) string {
+	if len(nonce) > 0 {
+		return hex.EncodeToString(nonce)
+	}
+	if ns := evidence.Nonces(ev); len(ns) > 0 {
+		return hex.EncodeToString(ns[0])
+	}
+	return "-"
+}
+
+// AppraiseNoted is Appraise with an attribution note (e.g. "worker 3")
+// stamped on the audit records, so pool-dispatched appraisals remain
+// attributable to the goroutine that ran them.
+func (a *Appraiser) AppraiseNoted(subject string, ev *evidence.Evidence, nonce []byte, note string) (*Certificate, error) {
+	aud, policy := a.auditCtx()
+	flow, nonceHex := "", ""
+	var start time.Time
+	if aud != nil {
+		flow = appraisalFlowID(ev, nonce)
+		nonceHex = hex.EncodeToString(nonce)
+		start = time.Now()
+		aud.Emit(auditlog.Record{
+			Event: auditlog.EventAppraise, Place: a.name, Flow: flow,
+			Nonce: nonceHex, Policy: policy, Target: subject, Note: note,
+		})
+	}
 	if len(nonce) > 0 {
 		a.nonceMu.Lock()
-		if a.used[string(nonce)] {
-			a.nonceMu.Unlock()
-			return nil, ErrNonceReplayed
-		}
+		replayed := a.used[string(nonce)]
 		a.used[string(nonce)] = true
 		a.nonceMu.Unlock()
+		if replayed {
+			if aud != nil {
+				aud.Emit(auditlog.Record{
+					Event: auditlog.EventVerdict, Place: a.name, Flow: flow,
+					Nonce: nonceHex, Policy: policy, Target: subject,
+					Verdict: "FAIL", DurNS: int64(time.Since(start)), Note: note,
+					Prov: &auditlog.Provenance{
+						Policy: policy, Clause: "*bank<n, X>", Stage: "nonce",
+						Accept: false, Reason: ErrNonceReplayed.Error(),
+					},
+				})
+			}
+			return nil, ErrNonceReplayed
+		}
 	}
-	verdict, reason := a.check(ev, nonce)
+	verdict, reason, prov := a.check(ev, nonce)
 	c := &Certificate{
 		Issuer:         a.name,
 		Subject:        subject,
@@ -325,13 +415,49 @@ func (a *Appraiser) Appraise(subject string, ev *evidence.Evidence, nonce []byte
 	// Signing happens outside every lock: concurrent appraisal workers
 	// must not serialize their Ed25519 work behind shared state.
 	c.Signature = ed25519.Sign(a.key, certMessage(c))
+	if aud != nil {
+		v := "PASS"
+		if !verdict {
+			v = "FAIL"
+		}
+		prov.Policy = policy
+		aud.Emit(auditlog.Record{
+			Event: auditlog.EventVerdict, Place: a.name, Flow: flow,
+			Nonce: nonceHex, Policy: policy, Target: subject,
+			Verdict: v, DurNS: int64(time.Since(start)), Note: note,
+			Prov: &prov,
+		})
+	}
 	return c, nil
 }
 
-// check runs the verification pipeline and renders a verdict.
-func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
+// Clause fragments of the Copland policy terms (nac.Table1) that each
+// appraisal stage enforces — the provenance a verdict record carries.
+// Rejecting a chain at the signature stage is rejecting the `!` (sign)
+// phrase of `@hop [Khop |> attest(n) X -> !]`; a golden-value mismatch
+// is the measurement claim `attest(n) X` failing the appraiser's golden
+// comparison (same phrase as the structure check, distinguished by the
+// provenance stage); and so on.
+const (
+	clauseStructure = "attest(n) X"
+	clauseSignature = "@hop [Khop |> attest(n) X -> !]"
+	clauseNonce     = "*bank<n, X>"
+	clauseHash      = "attest(n) X -> # -> !"
+	clauseQuote     = "Khop |> attest(n) hardware -> !"
+	clauseGolden    = "attest(n) X"
+	clauseAppraise  = "@Appraiser [appraise -> store(n)]"
+)
+
+// reject builds the provenance for a failed stage.
+func reject(stage, clause, reason string) auditlog.Provenance {
+	return auditlog.Provenance{Clause: clause, Stage: stage, Accept: false, Reason: reason}
+}
+
+// check runs the verification pipeline and renders a verdict together
+// with the provenance naming the exact policy clause that decided.
+func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string, auditlog.Provenance) {
 	if err := evidence.Validate(ev); err != nil {
-		return false, err.Error()
+		return false, err.Error(), reject("structure", clauseStructure, err.Error())
 	}
 	// Snapshot the copy-on-write tables: the referenced maps are immutable
 	// once published, so the verification work below runs lock-free.
@@ -349,7 +475,7 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 	nsigs, err := evidence.VerifySignaturesMemo(ev, keys, memo)
 	verifySec.ObserveSince(start)
 	if err != nil {
-		return false, err.Error()
+		return false, err.Error(), reject("signature", clauseSignature, err.Error())
 	}
 	if requireNonce && len(nonce) > 0 {
 		found := false
@@ -360,17 +486,19 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 			}
 		}
 		if !found {
-			return false, ErrNonceMissing.Error()
+			return false, ErrNonceMissing.Error(), reject("nonce", clauseNonce, ErrNonceMissing.Error())
 		}
 	}
 	if len(hashes) > 0 {
 		for _, h := range evidence.Hashes(ev) {
 			if !hashes[h] {
-				return false, fmt.Sprintf("unrecognized evidence digest %v", h)
+				reason := fmt.Sprintf("unrecognized evidence digest %v", h)
+				return false, reason, reject("hash", clauseHash, reason)
 			}
 		}
 	} else if strict && len(evidence.Hashes(ev)) > 0 {
-		return false, "hash-collapsed evidence with no expected digests provisioned"
+		reason := "hash-collapsed evidence with no expected digests provisioned"
+		return false, reason, reject("hash", clauseHash, reason)
 	}
 	unknown := 0
 	for _, m := range evidence.Measurements(ev) {
@@ -380,14 +508,17 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 		if m.Detail == evidence.DetailHardware && len(m.Claims) > 0 {
 			q, err := rot.DecodeQuote(m.Claims)
 			if err != nil {
-				return false, fmt.Sprintf("hardware claim at %s: %v", m.Place, err)
+				reason := fmt.Sprintf("hardware claim at %s: %v", m.Place, err)
+				return false, reason, reject("quote", clauseQuote, reason)
 			}
 			if q.Platform != m.Place {
-				return false, fmt.Sprintf("hardware quote speaks for %q but was presented by %q", q.Platform, m.Place)
+				reason := fmt.Sprintf("hardware quote speaks for %q but was presented by %q", q.Platform, m.Place)
+				return false, reason, reject("quote", clauseQuote, reason)
 			}
 			pub, ok := keys.KeyFor(q.Platform)
 			if !ok {
-				return false, fmt.Sprintf("no key to verify hardware quote from %q", q.Platform)
+				reason := fmt.Sprintf("no key to verify hardware quote from %q", q.Platform)
+				return false, reason, reject("quote", clauseQuote, reason)
 			}
 			// Quote checks ride the same memo as evidence signatures: a
 			// cached hardware quote re-presented across packets is
@@ -397,27 +528,32 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string) {
 				return rot.VerifyQuote(pub, q, nil) == nil
 			})
 			if !ok {
-				return false, fmt.Sprintf("hardware quote from %s: verification failed", q.Platform)
+				reason := fmt.Sprintf("hardware quote from %s: verification failed", q.Platform)
+				return false, reason, reject("quote", clauseQuote, reason)
 			}
 		}
 		want, ok := golden[goldenKey{m.Place, m.Target, m.Detail}]
 		if !ok {
 			unknown++
 			if strict {
-				return false, fmt.Sprintf("no golden value for %s/%s (%s)", m.Place, m.Target, m.Detail)
+				reason := fmt.Sprintf("no golden value for %s/%s (%s)", m.Place, m.Target, m.Detail)
+				return false, reason, reject("golden", clauseGolden, reason)
 			}
 			continue
 		}
 		if want != m.Value {
-			return false, fmt.Sprintf("measurement mismatch: %s/%s (%s) got %v want %v",
+			reason := fmt.Sprintf("measurement mismatch: %s/%s (%s) got %v want %v",
 				m.Place, m.Target, m.Detail, m.Value, want)
+			return false, reason, reject("golden", clauseGolden, reason)
 		}
 	}
 	reason := fmt.Sprintf("ok: %d signatures, %d measurements", nsigs, len(evidence.Measurements(ev)))
 	if unknown > 0 {
 		reason += fmt.Sprintf(", %d unreferenced", unknown)
 	}
-	return true, reason
+	return true, reason, auditlog.Provenance{
+		Clause: clauseAppraise, Stage: "accept", Accept: true, Reason: reason,
+	}
 }
 
 // Store saves a certificate for later retrieval by nonce — the

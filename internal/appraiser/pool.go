@@ -7,6 +7,7 @@ package appraiser
 
 import (
 	"encoding/hex"
+	"fmt"
 	"hash/fnv"
 	"runtime"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/telemetry"
 )
@@ -75,6 +77,10 @@ type Pool struct {
 	// histogram; tracer records appraise/verdict spans for sampled flows.
 	latency []*telemetry.Histogram
 	tracer  *telemetry.FlowTracer
+	// aud, when attached, receives the pool_drained summary record at
+	// Close (per-job appraise/verdict records come from the Appraiser
+	// itself, with worker attribution in their notes).
+	aud *auditlog.Writer
 }
 
 type poolTask struct {
@@ -135,6 +141,11 @@ func (p *Pool) Instrument(reg *telemetry.Registry) {
 // sampled flows. Like Instrument, call before the first Submit.
 func (p *Pool) SetTracer(tr *telemetry.FlowTracer) { p.tracer = tr }
 
+// SetAudit attaches the audit ledger for the pool's lifecycle records
+// and arms worker attribution on per-job records. Like Instrument, call
+// before the first Submit.
+func (p *Pool) SetAudit(w *auditlog.Writer) { p.aud = w }
+
 // jobFlowID is the trace correlation ID the appraisal side can see: the
 // job nonce (hex) when present — matching the switch side's in-band
 // nonce ID — else the first nonce inside the evidence, else the subject.
@@ -159,7 +170,11 @@ func (p *Pool) worker(id int, queue <-chan poolTask) {
 		if hist != nil || p.tracer != nil {
 			start = time.Now()
 		}
-		cert, err := p.a.Appraise(t.job.Subject, t.job.Evidence, t.job.Nonce)
+		attr := ""
+		if p.aud != nil {
+			attr = "worker " + strconv.Itoa(id)
+		}
+		cert, err := p.a.AppraiseNoted(t.job.Subject, t.job.Evidence, t.job.Nonce, attr)
 		hist.ObserveSince(start)
 		if tr := p.tracer; tr != nil {
 			flow := jobFlowID(&t.job)
@@ -258,6 +273,14 @@ func (p *Pool) Close() PoolStats {
 			close(q)
 		}
 		p.wg.Wait()
+		if p.aud != nil {
+			st := p.Stats()
+			p.aud.Emit(auditlog.Record{
+				Event: auditlog.EventPoolDrained, Place: p.a.Name(),
+				Note: fmt.Sprintf("workers=%d jobs=%d pass=%d fail=%d errors=%d",
+					p.workers, st.Jobs, st.Pass, st.Fail, st.Errors),
+			})
+		}
 	}
 	return p.Stats()
 }

@@ -1,0 +1,223 @@
+package auditlog
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TamperError reports the first record whose chain link does not
+// recompute. Index is the zero-based record (line) number; every earlier
+// record is intact.
+type TamperError struct {
+	Index  int
+	Reason string
+}
+
+func (e *TamperError) Error() string {
+	return fmt.Sprintf("auditlog: ledger tampered at record %d: %s", e.Index, e.Reason)
+}
+
+// VerifyReader recomputes the full hash chain from the raw ledger bytes
+// and returns the number of intact records. Any modification — to a
+// record body, a prev pointer, a mac, or the line framing itself —
+// yields a *TamperError whose Index is the record carrying the flipped
+// byte. Verification operates on the exact sealed bytes; records are
+// never re-marshalled.
+func VerifyReader(r io.Reader, key []byte) (int, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return 0, fmt.Errorf("auditlog: read ledger: %w", err)
+	}
+	if key == nil {
+		key = DevKey()
+	}
+	if len(raw) == 0 {
+		return 0, &TamperError{Index: 0, Reason: "empty ledger (missing ledger_open record)"}
+	}
+	// Strict framing: every sealed line is newline-terminated, so content
+	// not ending in '\n' means the tail record was truncated or its
+	// terminator flipped.
+	lines := bytes.Split(raw, []byte{'\n'})
+	last := len(lines) - 1
+	if len(lines[last]) != 0 {
+		return 0, &TamperError{Index: last, Reason: "record not newline-terminated (truncated or corrupted tail)"}
+	}
+	lines = lines[:last]
+	prev := genesis(key)
+	for i, line := range lines {
+		body, macHex, ok := splitMAC(line)
+		if !ok {
+			return i, &TamperError{Index: i, Reason: "malformed record framing (no trailing mac member)"}
+		}
+		want := chainLink(key, prev, body)
+		got, err := hex.DecodeString(macHex)
+		if err != nil || !hmac.Equal(want, got) {
+			return i, &TamperError{Index: i, Reason: "mac mismatch (record, prev pointer, or mac modified)"}
+		}
+		prev = want
+	}
+	return len(lines), nil
+}
+
+// VerifyFile verifies the ledger at path; see VerifyReader.
+func VerifyFile(path string, key []byte) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("auditlog: %w", err)
+	}
+	defer f.Close()
+	return VerifyReader(f, key)
+}
+
+// ReadLedger parses every record in the ledger at path, without chain
+// verification (use VerifyFile first when integrity matters).
+func ReadLedger(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("auditlog: %w", err)
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}
+
+// ReadRecords parses JSONL records from r.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("auditlog: read ledger: %w", err)
+	}
+	var out []Record
+	for i, line := range bytes.Split(raw, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return out, fmt.Errorf("auditlog: parse record %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// Query filters ledger records. Zero-valued fields match everything, so
+// a Query composes like the attestctl flag set it backs.
+type Query struct {
+	Nonce   string // exact nonce match
+	Flow    string // exact flow ID match
+	Place   string // switch / appraiser name
+	Event   string // event name
+	Verdict string // PASS / FAIL
+	Since   int64  // unix ns, inclusive (0 = unbounded)
+	Until   int64  // unix ns, inclusive (0 = unbounded)
+	Limit   int    // max results (0 = unbounded)
+}
+
+// Match reports whether one record satisfies the query.
+func (q Query) Match(r Record) bool {
+	if q.Nonce != "" && r.Nonce != q.Nonce {
+		return false
+	}
+	if q.Flow != "" && r.Flow != q.Flow {
+		return false
+	}
+	if q.Place != "" && r.Place != q.Place {
+		return false
+	}
+	if q.Event != "" && string(r.Event) != q.Event {
+		return false
+	}
+	if q.Verdict != "" && r.Verdict != q.Verdict {
+		return false
+	}
+	if q.Since != 0 && r.TS < q.Since {
+		return false
+	}
+	if q.Until != 0 && r.TS > q.Until {
+		return false
+	}
+	return true
+}
+
+// Filter returns the records matching q, in ledger order, honoring
+// q.Limit.
+func (q Query) Filter(records []Record) []Record {
+	var out []Record
+	for _, r := range records {
+		if !q.Match(r) {
+			continue
+		}
+		out = append(out, r)
+		if q.Limit > 0 && len(out) == q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Explain returns the per-stage timeline for one nonce: every record
+// whose Nonce or Flow equals the nonce (flow IDs are nonce hex for
+// attested traffic), in sequence order — Fig. 1's Claim → Evidence →
+// Appraisal → Result reconstructed from the durable trail.
+func Explain(records []Record, nonce string) []Record {
+	var out []Record
+	for _, r := range records {
+		if r.Nonce == nonce || r.Flow == nonce {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// FormatTimeline renders an Explain result as a human-readable per-stage
+// timeline with relative timestamps, one line per record.
+func FormatTimeline(w io.Writer, timeline []Record) {
+	if len(timeline) == 0 {
+		fmt.Fprintln(w, "no records")
+		return
+	}
+	t0 := timeline[0].TS
+	for _, r := range timeline {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%10s  %-12s %-10s", fmtRelNS(r.TS-t0), r.Event, r.Place)
+		if r.Target != "" {
+			fmt.Fprintf(&b, " target=%s", r.Target)
+		}
+		if r.Detail != "" {
+			fmt.Fprintf(&b, " detail=%s", r.Detail)
+		}
+		if r.Verdict != "" {
+			fmt.Fprintf(&b, " verdict=%s", r.Verdict)
+		}
+		if r.DurNS > 0 {
+			fmt.Fprintf(&b, " dur=%s", time.Duration(r.DurNS))
+		}
+		if r.Note != "" {
+			fmt.Fprintf(&b, " (%s)", r.Note)
+		}
+		fmt.Fprintln(w, b.String())
+		if p := r.Prov; p != nil {
+			verdict := "rejected"
+			if p.Accept {
+				verdict = "accepted"
+			}
+			fmt.Fprintf(w, "%10s    └─ %s by %s/%s: %s\n", "", verdict, p.Policy, p.Stage, p.Clause)
+			if p.Reason != "" {
+				fmt.Fprintf(w, "%10s       %s\n", "", p.Reason)
+			}
+		}
+	}
+}
+
+func fmtRelNS(ns int64) string {
+	return fmt.Sprintf("+%s", time.Duration(ns).Round(time.Microsecond))
+}

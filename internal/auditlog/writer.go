@@ -1,0 +1,248 @@
+package auditlog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+// Options tunes a Writer.
+type Options struct {
+	// KeyID names the MAC key in the ledger_open header so an offline
+	// verifier knows which key to fetch. Defaults to "dev".
+	KeyID string
+	// Key is the 32-byte ledger MAC key (DeriveKey / rot.AuditKey). Nil
+	// selects DevKey.
+	Key []byte
+	// Queue bounds the async emission queue. When the queue is full the
+	// hot path drops the record and counts it (pera_audit_dropped_total)
+	// rather than blocking the packet pipeline. <= 0 selects 4096.
+	Queue int
+	// FlushEvery is the periodic flush/fsync cadence. <= 0 selects 250ms.
+	FlushEvery time.Duration
+}
+
+// Writer is the append-only ledger writer. Emission is asynchronous: the
+// instrumented hot path enqueues onto a bounded channel and a single
+// background goroutine assigns sequence numbers, timestamps, computes the
+// HMAC chain, and writes JSONL lines with periodic flush+fsync — so the
+// packet path never takes the serialization or I/O cost, and chain order
+// is total by construction.
+//
+// All methods are nil-safe, so components wire audit emission without
+// guards, exactly like the flow tracer.
+type Writer struct {
+	ch   chan Record
+	quit chan struct{}
+	done chan struct{}
+
+	key   []byte
+	keyID string
+
+	out   *bufio.Writer
+	file  *os.File // non-nil when backed by a file (fsync target)
+	owned io.Closer
+
+	flushEvery time.Duration
+
+	records atomic.Uint64
+	dropped atomic.Uint64
+	bytes   atomic.Uint64
+	closed  atomic.Bool
+}
+
+// NewWriter starts a ledger writer over w. If w is an *os.File the
+// periodic flush also fsyncs. The writer does not close w unless w was
+// opened by Create.
+func NewWriter(w io.Writer, opt Options) *Writer {
+	if opt.Key == nil {
+		opt.Key = DevKey()
+	}
+	if opt.KeyID == "" {
+		opt.KeyID = "dev"
+	}
+	if opt.Queue <= 0 {
+		opt.Queue = 4096
+	}
+	if opt.FlushEvery <= 0 {
+		opt.FlushEvery = 250 * time.Millisecond
+	}
+	lw := &Writer{
+		ch:         make(chan Record, opt.Queue),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+		key:        opt.Key,
+		keyID:      opt.KeyID,
+		out:        bufio.NewWriterSize(w, 64<<10),
+		flushEvery: opt.FlushEvery,
+	}
+	if f, ok := w.(*os.File); ok {
+		lw.file = f
+	}
+	go lw.run()
+	return lw
+}
+
+// Create opens (truncating) a ledger file at path and starts a writer
+// over it; Close closes the file.
+func Create(path string, opt Options) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("auditlog: %w", err)
+	}
+	w := NewWriter(f, opt)
+	w.owned = f
+	return w, nil
+}
+
+// Emit enqueues one record. It never blocks: when the queue is full the
+// record is dropped and counted, keeping the attestation hot path
+// allocation-light and latency-bounded. Seq, TS, Prev and MAC are
+// assigned by the writer goroutine and may be left zero.
+func (w *Writer) Emit(r Record) {
+	if w == nil {
+		return
+	}
+	if w.closed.Load() {
+		w.dropped.Add(1)
+		return
+	}
+	select {
+	case w.ch <- r:
+	default:
+		w.dropped.Add(1)
+	}
+}
+
+// run is the single writer goroutine: it owns the chain state, so links
+// are computed over a total order without any hot-path locking.
+func (w *Writer) run() {
+	defer close(w.done)
+	prev := genesis(w.key)
+	seq := uint64(0)
+	ticker := time.NewTicker(w.flushEvery)
+	defer ticker.Stop()
+
+	write := func(r Record) {
+		r.Seq = seq
+		if r.TS == 0 {
+			r.TS = time.Now().UnixNano()
+		}
+		r.Prev = fmt.Sprintf("%x", prev[:8]) // truncated pointer: locator, not integrity
+		line, link, err := sealLine(w.key, prev, &r)
+		if err != nil {
+			// Marshal failures are programming errors (all fields are
+			// plain strings/ints); count the loss rather than crash the
+			// pipeline.
+			w.dropped.Add(1)
+			return
+		}
+		if _, err := w.out.Write(line); err != nil {
+			w.dropped.Add(1)
+			return
+		}
+		prev = link
+		seq++
+		w.records.Add(1)
+		w.bytes.Add(uint64(len(line)))
+	}
+
+	write(Record{Event: EventLedgerOpen, Note: "schema=1 chain=hmac-sha256", Target: w.keyID})
+
+	flush := func(sync bool) {
+		w.out.Flush()
+		if sync && w.file != nil {
+			w.file.Sync()
+		}
+	}
+	for {
+		select {
+		case r := <-w.ch:
+			write(r)
+		case <-ticker.C:
+			flush(true)
+		case <-w.quit:
+			// Drain whatever made it into the queue before the close.
+			for {
+				select {
+				case r := <-w.ch:
+					write(r)
+					continue
+				default:
+				}
+				break
+			}
+			write(Record{
+				Event: EventLedgerClose,
+				Note:  fmt.Sprintf("records=%d dropped=%d", w.records.Load(), w.dropped.Load()),
+			})
+			flush(true)
+			if w.owned != nil {
+				w.owned.Close()
+			}
+			return
+		}
+	}
+}
+
+// Close drains the queue, writes the ledger_close terminator, flushes,
+// fsyncs and (for Create-opened writers) closes the file. Emissions
+// racing Close are dropped and counted. Safe to call more than once.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	if w.closed.CompareAndSwap(false, true) {
+		close(w.quit)
+	}
+	<-w.done
+	return nil
+}
+
+// Records returns the number of records written (including the header).
+func (w *Writer) Records() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.records.Load()
+}
+
+// Dropped returns the number of records lost to a full queue (or to
+// emission after Close) — the bounded-queue price of never blocking the
+// packet path. Surfaced as pera_audit_dropped_total.
+func (w *Writer) Dropped() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.dropped.Load()
+}
+
+// Bytes returns the total ledger bytes written.
+func (w *Writer) Bytes() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.bytes.Load()
+}
+
+// Instrument publishes the writer's health through the telemetry
+// registry: records/dropped/bytes counters and the live queue depth. All
+// values are read lazily at scrape time. Nil-safe on both arguments.
+func (w *Writer) Instrument(reg *telemetry.Registry) {
+	if w == nil || reg == nil {
+		return
+	}
+	reg.RegisterFunc("pera_audit_records_total", telemetry.KindCounter,
+		func() float64 { return float64(w.records.Load()) })
+	reg.RegisterFunc("pera_audit_dropped_total", telemetry.KindCounter,
+		func() float64 { return float64(w.dropped.Load()) })
+	reg.RegisterFunc("pera_audit_bytes_total", telemetry.KindCounter,
+		func() float64 { return float64(w.bytes.Load()) })
+	reg.RegisterFunc("pera_audit_queue_depth", telemetry.KindGauge,
+		func() float64 { return float64(len(w.ch)) })
+}

@@ -3,8 +3,10 @@ package evidence
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pera/internal/auditlog"
 	"pera/internal/telemetry"
 )
 
@@ -27,6 +29,7 @@ import (
 type Cache struct {
 	shards [cacheShards]cacheShard
 	clock  func() time.Time
+	aud    atomic.Pointer[auditlog.Writer]
 }
 
 const cacheShards = 16
@@ -66,6 +69,28 @@ func NewCacheWithClock(clock func() time.Time) *Cache {
 	return c
 }
 
+// SetAudit attaches the audit ledger: expirations (reaped on Put, Reap,
+// or an expired Get) are recorded as cache_evict events, so an auditor
+// can see exactly when high-inertia evidence aged out and forced fresh
+// measurement. Hit/miss events are emitted by the switch, which knows
+// the flow context the cache cannot see. A nil writer detaches.
+func (c *Cache) SetAudit(w *auditlog.Writer) {
+	if c == nil {
+		return
+	}
+	c.aud.Store(w)
+}
+
+// emitEvict records one expiry on the ledger (nil-safe).
+func emitEvict(aud *auditlog.Writer, k cacheKey) {
+	if aud != nil {
+		aud.Emit(auditlog.Record{
+			Event: auditlog.EventCacheEvict, Place: k.place,
+			Target: k.target, Detail: k.detail.String(), Note: "inertia window elapsed",
+		})
+	}
+}
+
 // shard maps a key onto its lock stripe.
 func (c *Cache) shard(k cacheKey) *cacheShard {
 	h := fnv.New32a()
@@ -91,6 +116,7 @@ func (c *Cache) Get(place, target string, detail Detail) (*Evidence, bool) {
 		delete(s.entries, k)
 		s.evictions++
 		s.misses++
+		emitEvict(c.aud.Load(), k)
 		return nil, false
 	}
 	s.hits++
@@ -112,19 +138,21 @@ func (c *Cache) Put(place, target string, detail Detail, ev *Evidence) {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.reapLocked(now)
+	s.reapLocked(now, c.aud.Load())
 	s.entries[k] = cacheEntry{ev: ev, expires: now.Add(ttl)}
 }
 
 // reapLocked deletes expired entries from the shard and returns how many
-// were evicted. Caller holds s.mu.
-func (s *cacheShard) reapLocked(now time.Time) int {
+// were evicted, recording each on the ledger when one is attached.
+// Caller holds s.mu (Emit never blocks, so holding it is safe).
+func (s *cacheShard) reapLocked(now time.Time, aud *auditlog.Writer) int {
 	n := 0
 	for k, e := range s.entries {
 		if now.After(e.expires) {
 			delete(s.entries, k)
 			s.evictions++
 			n++
+			emitEvict(aud, k)
 		}
 	}
 	return n
@@ -136,11 +164,12 @@ func (s *cacheShard) reapLocked(now time.Time) int {
 // Reap then Len, keeping Len itself a pure read.
 func (c *Cache) Reap() int {
 	now := c.clock()
+	aud := c.aud.Load()
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += s.reapLocked(now)
+		n += s.reapLocked(now, aud)
 		s.mu.Unlock()
 	}
 	return n

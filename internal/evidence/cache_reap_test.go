@@ -1,9 +1,14 @@
 package evidence
 
 import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"pera/internal/auditlog"
 	"pera/internal/telemetry"
 )
 
@@ -57,6 +62,78 @@ func TestCachePutReaps(t *testing.T) {
 	}
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheConcurrentPutReap races explicit Reap passes against Puts
+// (which sweep their own shard) over a population of expired entries.
+// Whatever the interleaving, each expired entry must be evicted exactly
+// once — the eviction counter can neither double-count an entry claimed
+// by two sweepers nor miss one — and every eviction must land on the
+// audit ledger as a cache_evict record with the chain still intact.
+func TestCacheConcurrentPutReap(t *testing.T) {
+	const expired = 64
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := NewCacheWithClock(clk.Now)
+
+	var ledger bytes.Buffer
+	aud := auditlog.NewWriter(&ledger, auditlog.Options{})
+	c.SetAudit(aud)
+
+	for i := 0; i < expired; i++ {
+		c.Put(fmt.Sprintf("sw%d", i), "prog", DetailProgram, sampleMeasurement())
+	}
+	clk.Advance(2 * time.Hour) // past the 1h program inertia
+
+	var (
+		wg      sync.WaitGroup
+		reaped  atomic.Int64
+		workers = 8
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				reaped.Add(int64(c.Reap()))
+			}
+		}(g)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				// Fresh keys: stored at the advanced clock, not expired.
+				c.Put(fmt.Sprintf("fresh%d-%d", g, i), "prog", DetailProgram, sampleMeasurement())
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if ev := c.Stats().Evictions; ev != expired {
+		t.Fatalf("evictions = %d, want exactly %d", ev, expired)
+	}
+	if n := reaped.Load(); n > expired {
+		t.Fatalf("Reap calls claimed %d removals, more than the %d expired entries", n, expired)
+	}
+	if got, want := c.Len(), workers*4; got != want {
+		t.Fatalf("len = %d, want %d fresh entries", got, want)
+	}
+	if n := c.Reap(); n != 0 {
+		t.Fatalf("follow-up reap removed %d fresh entries", n)
+	}
+
+	// Every eviction is on the ledger exactly once, and the chain holds.
+	aud.Close()
+	if _, err := auditlog.VerifyReader(bytes.NewReader(ledger.Bytes()), auditlog.DevKey()); err != nil {
+		t.Fatalf("ledger verification: %v", err)
+	}
+	recs, err := auditlog.ReadRecords(bytes.NewReader(ledger.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evicts := auditlog.Query{Event: string(auditlog.EventCacheEvict)}.Filter(recs)
+	if len(evicts) != expired {
+		t.Fatalf("cache_evict records = %d, want %d", len(evicts), expired)
 	}
 }
 

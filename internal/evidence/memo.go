@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pera/internal/auditlog"
 	"pera/internal/rot"
 	"pera/internal/telemetry"
 )
@@ -32,6 +33,19 @@ type VerifyMemo struct {
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
+	aud    atomic.Pointer[auditlog.Writer]
+}
+
+// SetAudit attaches the audit ledger: the first full verification of
+// each signature triple (the memo-miss path, where the real Ed25519
+// check runs) is recorded as a memo_insert event with its verdict, so
+// the ledger shows exactly which cryptographic checks were actually
+// performed versus served from memory. A nil writer detaches.
+func (m *VerifyMemo) SetAudit(w *auditlog.Writer) {
+	if m == nil {
+		return
+	}
+	m.aud.Store(w)
 }
 
 const memoShards = 16
@@ -124,6 +138,17 @@ func (m *VerifyMemo) Check(pub ed25519.PublicKey, message, sig []byte, verify fu
 	m.misses.Add(1)
 
 	v := verify()
+
+	if aud := m.aud.Load(); aud != nil {
+		verdict := "PASS"
+		if !v {
+			verdict = "FAIL"
+		}
+		aud.Emit(auditlog.Record{
+			Event: auditlog.EventMemoInsert, Verdict: verdict,
+			Note: "full signature verification (memo miss)",
+		})
+	}
 
 	s.mu.Lock()
 	if el, ok := s.entries[k]; ok {

@@ -5,7 +5,9 @@ import (
 	"time"
 
 	"pera/internal/appraiser"
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
+	"pera/internal/nac"
 	"pera/internal/pera"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
@@ -65,6 +67,12 @@ type ThroughputOptions struct {
 	// Tracer, when non-nil, records per-packet RATS stage spans for
 	// sampled flows across the switches and the appraisal pool.
 	Tracer *telemetry.FlowTracer
+	// Audit, when non-nil, records every RATS lifecycle event of the run
+	// — corpus generation and appraisal both — on the hash-chained audit
+	// ledger: switches, evidence cache, verification memo, appraiser and
+	// pool all emit. The caller owns the writer and must Close it to
+	// flush the chain.
+	Audit *auditlog.Writer
 }
 
 // ThroughputCorpus sends one attested packet per flow through the UC1
@@ -108,6 +116,15 @@ func throughputCorpus(o ThroughputOptions) ([]appraiser.Job, *usecases.Testbed, 
 	if o.Tracer != nil {
 		for _, sw := range tb.Switches {
 			sw.SetTracer(o.Tracer)
+		}
+	}
+	if o.Audit != nil {
+		for _, sw := range tb.Switches {
+			sw.SetAudit(o.Audit)
+		}
+		cache.SetAudit(o.Audit)
+		if o.Registry != nil {
+			o.Audit.Instrument(o.Registry)
 		}
 	}
 	chains := make([]*evidence.Evidence, flows)
@@ -168,12 +185,21 @@ func RunThroughputOpts(o ThroughputOptions) (*ThroughputResult, error) {
 		// After EnableMemo, so the memo's counters are exported too.
 		a.Instrument(o.Registry)
 	}
+	if o.Audit != nil {
+		a.SetAudit(o.Audit)
+		// UC1 path attestation is governed by Table 1's AP1 term; binding
+		// it here stamps every verdict's provenance with the policy name.
+		a.SetPolicy("AP1", nac.AP1)
+	}
 	pool := appraiser.NewPool(a, o.Workers)
 	if o.Registry != nil {
 		pool.Instrument(o.Registry)
 	}
 	if o.Tracer != nil {
 		pool.SetTracer(o.Tracer)
+	}
+	if o.Audit != nil {
+		pool.SetAudit(o.Audit)
 	}
 	start := time.Now()
 	results := pool.AppraiseAll(jobs)

@@ -4,10 +4,12 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/netsim"
 	"pera/internal/p4ir"
@@ -189,6 +191,7 @@ type Switch struct {
 	rot  *rot.RoT
 	met  switchMetrics
 	trc  atomic.Pointer[telemetry.FlowTracer]
+	aud  atomic.Pointer[auditlog.Writer]
 
 	mu     sync.RWMutex
 	signer evidence.Signer // defaults to the local RoT; see SetSigner
@@ -314,6 +317,19 @@ func (s *Switch) tracer() *telemetry.FlowTracer {
 	return s.trc.Load()
 }
 
+// SetAudit attaches the durable audit ledger: the same lifecycle events
+// the tracer samples into its ring are emitted as hash-chained records
+// (every flow, not 1-in-N — the ledger is the compliance trail, the
+// tracer the debugging aid). A nil writer detaches.
+func (s *Switch) SetAudit(w *auditlog.Writer) {
+	s.aud.Store(w)
+}
+
+// audit returns the attached ledger writer, or nil.
+func (s *Switch) audit() *auditlog.Writer {
+	return s.aud.Load()
+}
+
 // flowIDOf derives the trace correlation ID visible at this stage: the
 // first nonce in the in-band chain (hex) when present — the same nonce
 // the appraiser side sees — falling back to the literal tag for
@@ -377,23 +393,34 @@ func (s *Switch) ClaimValue(d evidence.Detail, frame []byte) (target string, val
 // hardware rooting independently.
 func (s *Switch) Attest(nonce []byte, details ...evidence.Detail) (*evidence.Evidence, error) {
 	tr := s.tracer()
+	aud := s.audit()
 	flow := ""
-	if tr != nil && len(nonce) > 0 {
+	if (tr != nil || aud != nil) && len(nonce) > 0 {
 		flow = hex.EncodeToString(nonce)
+	}
+	if aud != nil {
+		names := make([]string, len(details))
+		for i, d := range details {
+			names[i] = d.String()
+		}
+		aud.Emit(auditlog.Record{
+			Event: auditlog.EventClaimIssued, Place: s.name, Flow: flow,
+			Nonce: flow, Detail: strings.Join(names, ","),
+		})
 	}
 	var parts []*evidence.Evidence
 	if len(nonce) > 0 {
 		parts = append(parts, evidence.Nonce(nonce))
 	}
 	for _, d := range details {
-		m, err := s.claimEvidence(d, nil, flow, tr)
+		m, err := s.claimEvidence(d, nil, flow, tr, aud)
 		if err != nil {
 			return nil, err
 		}
 		parts = append(parts, m)
 	}
 	ev := evidence.SeqAll(parts...)
-	return s.signEvidence(ev, flow, tr), nil
+	return s.signEvidence(ev, flow, tr, aud), nil
 }
 
 // claimTarget returns the cache/evidence target name for a detail level
@@ -416,8 +443,8 @@ func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
 }
 
 // claimEvidence builds (or fetches from cache) the measurement node for
-// one detail level. flow/tr carry the trace context.
-func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr *telemetry.FlowTracer) (*evidence.Evidence, error) {
+// one detail level. flow/tr/aud carry the trace and audit context.
+func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer) (*evidence.Evidence, error) {
 	s.mu.RLock()
 	cache := s.cfg.Cache
 	s.mu.RUnlock()
@@ -448,16 +475,28 @@ func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr 
 		start := s.met.start(tr)
 		ev, err := build()
 		tr.Record(flow, s.name, telemetry.StageEvidence, elapsed(start), target)
+		if aud != nil {
+			aud.Emit(auditlog.Record{
+				Event: auditlog.EventEvidence, Place: s.name, Flow: flow,
+				Target: target, Detail: d.String(), DurNS: int64(elapsed(start)),
+			})
+		}
 		return ev, err
 	}
 	start := s.met.start(tr)
 	ev, hit, err := cache.GetOrProduce(s.name, target, d, build)
-	if tr != nil {
+	if tr != nil || aud != nil {
 		stage := telemetry.StageCacheMiss
 		if hit {
 			stage = telemetry.StageCacheHit
 		}
 		tr.Record(flow, s.name, stage, elapsed(start), target)
+		if aud != nil {
+			aud.Emit(auditlog.Record{
+				Event: auditlog.Event(stage), Place: s.name, Flow: flow,
+				Target: target, Detail: d.String(), DurNS: int64(elapsed(start)),
+			})
+		}
 	}
 	return ev, err
 }
@@ -480,6 +519,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	s.mu.RUnlock()
 	s.met.packets.Inc()
 	tr := s.tracer()
+	aud := s.audit()
 
 	var hdr *Header
 	inner := frame
@@ -490,7 +530,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 			return nil, err
 		}
 		hdr, inner = h, rest
-		if tr != nil {
+		if tr != nil || aud != nil {
 			flow = flowIDOf(hdr)
 		}
 		// The Verify half of the Sign/Verify stage (Fig. 3): inspect the
@@ -505,9 +545,25 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 			if err != nil {
 				s.met.verifyFails.Inc()
 				tr.Record(flow, s.name, telemetry.StageVerifyFail, elapsed(start), err.Error())
+				if aud != nil {
+					aud.Emit(auditlog.Record{
+						Event: auditlog.EventVerifyFail, Place: s.name, Flow: flow,
+						DurNS: int64(elapsed(start)), Note: err.Error(),
+						Prov: &auditlog.Provenance{
+							Clause: "Khop |> attest(n) X -> !", Stage: "signature",
+							Accept: false, Reason: err.Error(),
+						},
+					})
+				}
 				return nil, nil
 			}
 			tr.Record(flow, s.name, telemetry.StageVerify, elapsed(start), "")
+			if aud != nil {
+				aud.Emit(auditlog.Record{
+					Event: auditlog.EventVerify, Place: s.name, Flow: flow,
+					DurNS: int64(elapsed(start)),
+				})
+			}
 		}
 	}
 
@@ -526,7 +582,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		obls = append(append([]Obligation(nil), obls...), hdr.Policy.Obls...)
 	}
 	pkt := outs[0].Packet
-	if tr != nil && flow == "" {
+	if (tr != nil || aud != nil) && flow == "" {
 		flow = strconv.FormatUint(pkt.FlowHash(), 16)
 	}
 	attested := false
@@ -537,13 +593,22 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		}
 		if !MatchAll(o.Guards, pkt) {
 			s.met.guardRejects.Inc()
+			if aud != nil {
+				aud.Emit(auditlog.Record{
+					Event: auditlog.EventGuardReject, Place: s.name, Flow: flow,
+					Prov: &auditlog.Provenance{
+						Clause: guardClause(o.Guards), Stage: "guard",
+						Accept: false, Reason: "NetKAT guard test failed; obligation skipped",
+					},
+				})
+			}
 			continue
 		}
 		if !cfg.Sampler.Sample(pkt.FlowHash()) {
 			s.met.sampleSkips.Inc()
 			continue
 		}
-		ev, err := s.obligationEvidence(o, inner, hdr, flow, tr)
+		ev, err := s.obligationEvidence(o, inner, hdr, flow, tr, aud)
 		if err != nil {
 			return nil, err
 		}
@@ -573,12 +638,12 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 }
 
 // obligationEvidence builds the evidence one obligation demands,
-// composing with the header chain when chained. flow/tr carry the trace
-// context ("" / nil when tracing is off).
-func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, tr *telemetry.FlowTracer) (*evidence.Evidence, error) {
+// composing with the header chain when chained. flow/tr/aud carry the
+// trace and audit context ("" / nil when tracing is off).
+func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer) (*evidence.Evidence, error) {
 	var parts []*evidence.Evidence
 	for _, d := range o.Claims {
-		m, err := s.claimEvidence(d, frame, flow, tr)
+		m, err := s.claimEvidence(d, frame, flow, tr, aud)
 		if err != nil {
 			return nil, err
 		}
@@ -595,28 +660,54 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, fl
 		// signs the whole chain, committing to its position on the path.
 		composed := evidence.Seq(hdr.Evidence, local)
 		tr.Record(flow, s.name, telemetry.StageCompose, 0, "chained")
+		if aud != nil {
+			aud.Emit(auditlog.Record{
+				Event: auditlog.EventCompose, Place: s.name, Flow: flow, Note: "chained",
+			})
+		}
 		if o.SignEvidence {
-			composed = s.signEvidence(composed, flow, tr)
+			composed = s.signEvidence(composed, flow, tr, aud)
 		}
 		s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(composed)))
 		return composed, nil
 	}
 	if o.SignEvidence {
-		local = s.signEvidence(local, flow, tr)
+		local = s.signEvidence(local, flow, tr, aud)
 	}
 	s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(local)))
 	return local, nil
 }
 
 // signEvidence is the instrumented Sign stage: one signature op counted,
-// timed into the sign histogram and traced for sampled flows.
-func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, tr *telemetry.FlowTracer) *evidence.Evidence {
+// timed into the sign histogram, traced for sampled flows and recorded
+// on the audit ledger.
+func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer) *evidence.Evidence {
 	s.met.signOps.Inc()
 	start := s.met.start(tr)
 	signed := evidence.Sign(s.currentSigner(), ev)
 	s.met.signSeconds.ObserveSince(start)
 	tr.Record(flow, s.name, telemetry.StageSign, elapsed(start), "")
+	if aud != nil {
+		aud.Emit(auditlog.Record{
+			Event: auditlog.EventSign, Place: s.name, Flow: flow,
+			DurNS: int64(elapsed(start)),
+		})
+	}
 	return signed
+}
+
+// guardClause renders a guard list as the NetKAT test expression it
+// encodes — a sequential composition of field tests — for verdict
+// provenance on guard_reject records.
+func guardClause(gs []Guard) string {
+	if len(gs) == 0 {
+		return "true"
+	}
+	terms := make([]string, len(gs))
+	for i, g := range gs {
+		terms[i] = fmt.Sprintf("%s = %d", g.Field, g.Value)
+	}
+	return strings.Join(terms, " · ")
 }
 
 func (s *Switch) emitOOB(sink Sink, appraiserPlace string, ev *evidence.Evidence) {

@@ -1,0 +1,162 @@
+package rats_test
+
+// Full Fig. 1 round-trip over the rats wire protocol: a relying party
+// challenges a real PERA switch through its AttesterHandler, forwards the
+// returned evidence to a provisioned appraiser through its Handler, and
+// checks the signed attestation result — the attestd/appraised/attestctl
+// trio collapsed onto in-process pipes.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pera/internal/appraiser"
+	"pera/internal/evidence"
+	"pera/internal/p4ir"
+	"pera/internal/pera"
+	"pera/internal/rats"
+	"pera/internal/rot"
+)
+
+// provision builds a switch and an appraiser that trusts it: the
+// authority endorses the switch AIK, and the switch's golden values for
+// the inert details are installed — the same steps attestd prints as
+// provisioning lines for appraised.
+func provision(t *testing.T) (*pera.Switch, *appraiser.Appraiser) {
+	t.Helper()
+	sw, err := pera.New("sw1", p4ir.NewFirewall("firewall_v5.p4"), pera.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	authority := rot.NewDeterministicAuthority("operator", []byte("rt-authority"))
+	a := appraiser.New("Appraiser", []byte("rt-appraiser"))
+	if err := a.RegisterAIK(authority.Public(), authority.Issue(sw.RoT())); err != nil {
+		t.Fatal(err)
+	}
+	gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gs {
+		a.SetGolden("sw1", g.Target, g.Detail, g.Value)
+	}
+	return sw, a
+}
+
+func TestFullRoundTrip(t *testing.T) {
+	sw, a := provision(t)
+
+	attRP, attSw := rats.Pipe()
+	defer attRP.Close()
+	go rats.Serve(attSw, sw.AttesterHandler())
+	apprRP, apprSrv := rats.Pipe()
+	defer apprRP.Close()
+	go rats.Serve(apprSrv, a.Handler())
+
+	// 1-2: Challenge → Evidence.
+	nonce := rot.NewNonce()
+	evResp, err := attRP.Call(&rats.Message{
+		Type: rats.MsgChallenge, Session: 1, Nonce: nonce,
+		Claims: []string{"hardware", "program", "tables"},
+	})
+	if err != nil {
+		t.Fatalf("challenge: %v", err)
+	}
+	if evResp.Type != rats.MsgEvidence || !bytes.Equal(evResp.Nonce, nonce) {
+		t.Fatalf("evidence response: %+v", evResp)
+	}
+	if len(evResp.Body) == 0 {
+		t.Fatal("empty evidence body")
+	}
+
+	// 3-4: Appraise → Result.
+	res, err := apprRP.Call(&rats.Message{
+		Type: rats.MsgAppraise, Session: 2, Nonce: nonce,
+		Claims: []string{"sw1"}, Body: evResp.Body,
+	})
+	if err != nil {
+		t.Fatalf("appraise: %v", err)
+	}
+	cert, err := appraiser.DecodeCertificate(res.Body)
+	if err != nil {
+		t.Fatalf("decode certificate: %v", err)
+	}
+	if !cert.Verdict {
+		t.Fatalf("verdict FAIL: %s", cert.Reason)
+	}
+	if cert.Subject != "sw1" || !bytes.Equal(cert.Nonce, nonce) {
+		t.Fatalf("certificate: %+v", cert)
+	}
+	if err := appraiser.VerifyCertificate(a.Public(), cert); err != nil {
+		t.Fatalf("certificate signature: %v", err)
+	}
+
+	// Retrieve the stored certificate by nonce — same bytes back.
+	got, err := apprRP.Call(&rats.Message{Type: rats.MsgRetrieve, Session: 3, Nonce: nonce})
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	if !bytes.Equal(got.Body, res.Body) {
+		t.Fatal("retrieved certificate differs from issued one")
+	}
+
+	// Replaying the session nonce must be refused, not re-certified.
+	if _, err := apprRP.Call(&rats.Message{
+		Type: rats.MsgAppraise, Session: 4, Nonce: nonce,
+		Claims: []string{"sw1"}, Body: evResp.Body,
+	}); err == nil || !strings.Contains(err.Error(), "nonce already used") {
+		t.Fatalf("nonce replay accepted: %v", err)
+	}
+}
+
+func TestRoundTripRejectsUnknownClaim(t *testing.T) {
+	sw, _ := provision(t)
+	rp, srv := rats.Pipe()
+	defer rp.Close()
+	go rats.Serve(srv, sw.AttesterHandler())
+	_, err := rp.Call(&rats.Message{
+		Type: rats.MsgChallenge, Session: 1, Nonce: rot.NewNonce(),
+		Claims: []string{"firmware"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "unknown claim") {
+		t.Fatalf("unknown claim: %v", err)
+	}
+}
+
+func TestRoundTripTamperedEvidenceFails(t *testing.T) {
+	sw, a := provision(t)
+	attRP, attSw := rats.Pipe()
+	defer attRP.Close()
+	go rats.Serve(attSw, sw.AttesterHandler())
+	apprRP, apprSrv := rats.Pipe()
+	defer apprRP.Close()
+	go rats.Serve(apprSrv, a.Handler())
+
+	nonce := rot.NewNonce()
+	evResp, err := attRP.Call(&rats.Message{
+		Type: rats.MsgChallenge, Session: 1, Nonce: nonce,
+		Claims: []string{"hardware", "program"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte mid-evidence: the appraisal must end in a FAIL
+	// verdict or a decode refusal, never a PASS.
+	body := append([]byte(nil), evResp.Body...)
+	body[len(body)/2] ^= 0x01
+	res, err := apprRP.Call(&rats.Message{
+		Type: rats.MsgAppraise, Session: 2, Nonce: nonce,
+		Claims: []string{"sw1"}, Body: body,
+	})
+	if err != nil {
+		return // refused at decode/verify — fine
+	}
+	cert, err := appraiser.DecodeCertificate(res.Body)
+	if err != nil {
+		t.Fatalf("decode certificate: %v", err)
+	}
+	if cert.Verdict {
+		t.Fatal("tampered evidence passed appraisal")
+	}
+}

@@ -260,6 +260,22 @@ func (r *RoT) Sign(message []byte) []byte {
 	return ed25519.Sign(r.aik, msg)
 }
 
+// AuditKey derives the platform's audit-ledger MAC key from the AIK
+// seed, domain-separated from every signing use of the key. It matches
+// auditlog.DeriveKey's construction (SHA-256 over "PERA-AUDIT-KEY-V1" ||
+// secret) with the AIK seed as the secret, so a ledger written by a
+// platform verifies against the key that platform's RoT reports —
+// without the auditlog package depending on rot or vice versa.
+func (r *RoT) AuditKey() []byte {
+	r.mu.Lock()
+	seed := r.aik.Seed()
+	r.mu.Unlock()
+	h := sha256.New()
+	h.Write([]byte("PERA-AUDIT-KEY-V1"))
+	h.Write(seed)
+	return h.Sum(nil)
+}
+
 // Verify checks a detached signature produced by Sign under pub.
 func Verify(pub ed25519.PublicKey, message, sig []byte) bool {
 	if len(pub) != ed25519.PublicKeySize {

@@ -49,6 +49,44 @@ func TestWritePrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusHostileLabels pins the 0.0.4 escaping rules against
+// a switch named by an adversary: backslash, double quote and newline
+// must be escaped, while tabs and multi-byte UTF-8 must pass through raw
+// (Go's %q would rewrite them into escapes scrapers reject).
+func TestWritePrometheusHostileLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pera_packets_total", L("switch", "sw\\1\"evil\"\nnext")).Add(1)
+	reg.Counter("pera_packets_total", L("switch", "tab\there·é")).Add(2)
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE pera_packets_total counter
+pera_packets_total{switch="sw\\1\"evil\"\nnext"} 1
+pera_packets_total{switch="tab	here·é"} 2
+`
+	if b.String() != want {
+		t.Fatalf("hostile label escaping drifted.\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line\nbreak", `line\nbreak`},
+		{"tab\tstays", "tab\tstays"},
+		{"utf8 é漢", "utf8 é漢"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := promEscape(c.in); got != c.want {
+			t.Errorf("promEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
 func TestWriteJSONRoundTrip(t *testing.T) {
 	var b strings.Builder
 	if err := goldenRegistry().Snapshot().WriteJSON(&b); err != nil {

@@ -18,7 +18,6 @@
 package telemetry
 
 import (
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -70,9 +69,38 @@ func labelString(labels []Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the Prometheus text exposition
+// format 0.0.4: backslash, double quote and newline get a backslash
+// escape; every other byte — including multi-byte UTF-8 — passes through
+// raw. (Go's %q is close but not conformant: it rewrites tabs, control
+// bytes and invalid UTF-8 into Go escapes scrapers don't understand.)
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
 	return b.String()
 }
 

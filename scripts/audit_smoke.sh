@@ -1,0 +1,80 @@
+#!/bin/sh
+# Audit-ledger smoke test: run perasim with -audit, then prove the chain
+# end to end with the real CLI — verify passes on the pristine ledger,
+# query and explain find the run's verdicts, and flipping a single byte
+# makes verify fail at the damaged record. This is the tamper-evidence
+# property exercised through the shipped binaries rather than the unit
+# tests — run via `make audit-smoke` (part of tier-1 `make test`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT INT TERM
+
+echo "audit-smoke: building perasim + attestctl"
+go build -o "$TMP/perasim" ./cmd/perasim
+go build -o "$TMP/attestctl" ./cmd/attestctl
+
+LEDGER="$TMP/trail.jsonl"
+"$TMP/perasim" -uc 1 -audit "$LEDGER" >"$TMP/stdout" 2>"$TMP/stderr" || {
+    echo "audit-smoke: FAIL — perasim -audit exited non-zero"
+    cat "$TMP/stderr"
+    exit 1
+}
+grep -q "audit ledger sealed" "$TMP/stderr" || {
+    echo "audit-smoke: FAIL — perasim never sealed the ledger"
+    cat "$TMP/stderr"
+    exit 1
+}
+[ -s "$LEDGER" ] || { echo "audit-smoke: FAIL — ledger is empty"; exit 1; }
+
+echo "audit-smoke: verifying pristine ledger"
+"$TMP/attestctl" audit verify -ledger "$LEDGER" >"$TMP/verify" || {
+    echo "audit-smoke: FAIL — pristine ledger did not verify"
+    cat "$TMP/verify"
+    exit 1
+}
+grep -q "chain intact" "$TMP/verify"
+
+# The run's verdicts are queryable, and at least one nonce explains into
+# a timeline ending in a verdict.
+"$TMP/attestctl" audit query -ledger "$LEDGER" -event verdict >"$TMP/verdicts" 2>/dev/null
+[ -s "$TMP/verdicts" ] || {
+    echo "audit-smoke: FAIL — no verdict records on the ledger"
+    exit 1
+}
+NONCE=$("$TMP/attestctl" audit query -ledger "$LEDGER" -event verdict -json 2>/dev/null |
+    sed -n 's/.*"nonce":"\([0-9a-f]\{1,\}\)".*/\1/p' | head -1)
+if [ -n "$NONCE" ]; then
+    "$TMP/attestctl" audit explain -ledger "$LEDGER" "$NONCE" >"$TMP/explain"
+    grep -q "verdict" "$TMP/explain" || {
+        echo "audit-smoke: FAIL — explain timeline for $NONCE has no verdict"
+        cat "$TMP/explain"
+        exit 1
+    }
+fi
+
+# Tamper with one byte in the middle of the file: verify must now fail
+# (exit 1) and name a record index. A raw 0x01 never occurs in the
+# JSONL output, so the overwrite is guaranteed to change the byte.
+SIZE=$(wc -c <"$LEDGER")
+OFF=$((SIZE / 2))
+cp "$LEDGER" "$TMP/tampered.jsonl"
+printf '\001' | dd of="$TMP/tampered.jsonl" bs=1 seek="$OFF" conv=notrunc 2>/dev/null
+
+echo "audit-smoke: verifying tampered ledger (byte $OFF of $SIZE flipped)"
+if "$TMP/attestctl" audit verify -ledger "$TMP/tampered.jsonl" >"$TMP/tampered_out"; then
+    echo "audit-smoke: FAIL — tampered ledger verified clean"
+    cat "$TMP/tampered_out"
+    exit 1
+fi
+grep -q "TAMPERED at record" "$TMP/tampered_out" || {
+    echo "audit-smoke: FAIL — tamper not attributed to a record:"
+    cat "$TMP/tampered_out"
+    exit 1
+}
+
+RECORDS=$(sed -n 's/.*ledger OK — \([0-9]\{1,\}\) records.*/\1/p' "$TMP/verify")
+echo "audit-smoke: OK (${RECORDS:-?} records; tamper detected: $(cat "$TMP/tampered_out"))"
