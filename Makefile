@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-throughput telemetry-smoke audit-smoke cover fmt clean
+.PHONY: all build test race vet bench bench-throughput telemetry-smoke audit-smoke observe-smoke cover fmt clean
 
 all: build test race vet
 
@@ -19,13 +19,16 @@ build:
 	$(GO) build ./...
 
 # test is unit tests + vet + the end-to-end smokes: a scrape of a live
-# perasim run must expose every pipeline stage (telemetry_smoke.sh), and
-# a perasim-written audit ledger must verify, query, explain, and catch
-# a one-byte tamper through attestctl (audit_smoke.sh).
+# perasim run must expose every pipeline stage (telemetry_smoke.sh), a
+# perasim-written audit ledger must verify, query, explain, and catch a
+# one-byte tamper through attestctl (audit_smoke.sh), and an observed
+# UC1 run must name every hop and localize a mid-run program swap
+# through the collector and attestctl top/paths (observe_smoke.sh).
 test: vet
 	$(GO) test ./...
 	$(MAKE) telemetry-smoke
 	$(MAKE) audit-smoke
+	$(MAKE) observe-smoke
 
 race:
 	$(GO) test -race ./...
@@ -51,6 +54,12 @@ telemetry-smoke:
 # verification at the damaged record.
 audit-smoke:
 	sh scripts/audit_smoke.sh
+
+# End-to-end observatory check: perasim -observe serves the collector,
+# the snapshot names every hop and localizes the program swap, and
+# attestctl top/paths render the same state.
+observe-smoke:
+	sh scripts/observe_smoke.sh
 
 # Coverage over the library packages with a floor: the build fails if
 # total statement coverage regresses below COVER_FLOOR percent.

@@ -17,6 +17,7 @@ import (
 	"pera/internal/evidence"
 	"pera/internal/harness"
 	"pera/internal/nac"
+	"pera/internal/observatory"
 	"pera/internal/p4ir"
 	"pera/internal/pera"
 	"pera/internal/rats"
@@ -399,6 +400,35 @@ func BenchmarkThroughput_Audit(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, false) })
 	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkThroughput_Observe measures what the observatory plane costs
+// the end-to-end throughput run: "off" is BenchmarkThroughput_EndToEnd's
+// configuration; "sample1" additionally puts a hop span on every flow at
+// every switch and attaches a collector that ingests every span trail
+// and appraisal verdict; "sample8" spans 1-in-8 flows — the Fig. 4
+// Inertia knob that amortizes the span cost (see BENCH_throughput.json
+// observe_overhead).
+func BenchmarkThroughput_Observe(b *testing.B) {
+	run := func(b *testing.B, sampleEvery uint32, observed bool) {
+		for i := 0; i < b.N; i++ {
+			o := harness.ThroughputOptions{Workers: 0, Packets: 128, Flows: 8, Memo: true}
+			if observed {
+				o.Spans = pera.SpanConfig{Enabled: true, SampleEvery: sampleEvery}
+				o.Collector = observatory.New("bench", observatory.Config{})
+			}
+			res, err := harness.RunThroughputOpts(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Pass != 128 {
+				b.Fatalf("pass=%d, want 128", res.Pass)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0, false) })
+	b.Run("sample1", func(b *testing.B) { run(b, 1, true) })
+	b.Run("sample8", func(b *testing.B) { run(b, 8, true) })
 }
 
 // BenchmarkVerifyMemo isolates the memo win on a single 3-hop chain:

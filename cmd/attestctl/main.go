@@ -15,6 +15,12 @@
 //	attestctl audit verify  -ledger trail.jsonl
 //	attestctl audit query   -ledger trail.jsonl -place sw1 -event verdict
 //	attestctl audit explain -ledger trail.jsonl <hex-nonce>
+//
+// And it watches the observatory collector a `perasim -observe
+// -telemetry <addr>` run serves (see docs/OBSERVATORY.md):
+//
+//	attestctl top   -collector http://127.0.0.1:9464
+//	attestctl paths -collector http://127.0.0.1:9464 -n 5
 package main
 
 import (
@@ -30,9 +36,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "audit" {
-		runAudit(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "audit":
+			runAudit(os.Args[2:])
+			return
+		case "top", "paths":
+			runObserve(os.Args[1], os.Args[2:])
+			return
+		}
 	}
 	var (
 		attesterAddr  = flag.String("attester", "127.0.0.1:7422", "attestd address")

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pera/internal/observatory"
+)
+
+// runObserve dispatches the observatory subcommands: `attestctl top`
+// (live refreshing place/link health) and `attestctl paths` (recent
+// end-to-end traces with per-hop timing bars). Both read the collector
+// snapshot a `perasim -observe -telemetry <addr>` run serves at
+// /observatory.json.
+func runObserve(verb string, args []string) {
+	fs := flag.NewFlagSet("attestctl "+verb, flag.ExitOnError)
+	collectorURL := fs.String("collector", "http://127.0.0.1:9464", "base URL of the telemetry server hosting /observatory.json")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval for top")
+	iterations := fs.Int("n", 0, "top: stop after N refreshes (0 = until interrupted); paths: traces to print (0 = all retained)")
+	jsonOut := fs.Bool("json", false, "dump the raw snapshot JSON once and exit")
+	fs.Parse(args)
+
+	fetch := func() (observatory.Snapshot, error) {
+		var s observatory.Snapshot
+		url := strings.TrimSuffix(*collectorURL, "/") + observatory.SnapshotPath
+		resp, err := http.Get(url)
+		if err != nil {
+			return s, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return s, fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		return s, json.NewDecoder(resp.Body).Decode(&s)
+	}
+
+	if *jsonOut {
+		s, err := fetch()
+		if err != nil {
+			fatal("%v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(s)
+		return
+	}
+
+	switch verb {
+	case "paths":
+		s, err := fetch()
+		if err != nil {
+			fatal("%v", err)
+		}
+		observatory.RenderPaths(os.Stdout, s, *iterations)
+	case "top":
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		for i := 0; *iterations == 0 || i < *iterations; i++ {
+			s, err := fetch()
+			if err != nil {
+				fatal("%v", err)
+			}
+			if i > 0 || *iterations != 1 {
+				// ANSI clear+home, so the table refreshes in place like top.
+				fmt.Print("\033[H\033[2J")
+			}
+			observatory.RenderTop(os.Stdout, s)
+			if *iterations != 0 && i == *iterations-1 {
+				break
+			}
+			select {
+			case <-sig:
+				return
+			case <-time.After(*interval):
+			}
+		}
+	}
+}

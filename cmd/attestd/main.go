@@ -37,6 +37,7 @@ func main() {
 		file      = flag.String("program-file", "", "load the dataplane program from a P4-lite source file instead")
 		telemAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /metrics.json) on this address, e.g. :9464")
 		auditPath = flag.String("audit", "", "write the hash-chained RATS audit ledger to this file (MAC key derived from the switch RoT)")
+		pprofOn   = flag.Bool("pprof", false, "with -telemetry: also expose /debug/pprof/* on the telemetry server")
 	)
 	flag.Parse()
 
@@ -80,7 +81,11 @@ func main() {
 		reg := telemetry.NewRegistry()
 		sw.Instrument(reg)
 		audit.Instrument(reg)
-		srv, err := telemetry.Serve(*telemAddr, reg, nil)
+		var extras []telemetry.Endpoint
+		if *pprofOn {
+			extras = telemetry.PprofEndpoints()
+		}
+		srv, err := telemetry.Serve(*telemAddr, reg, nil, extras...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
 			os.Exit(1)

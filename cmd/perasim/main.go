@@ -29,6 +29,15 @@
 //	                     # write every RATS lifecycle event to a
 //	                     # hash-chained ledger; inspect with
 //	                     # attestctl audit verify/query/explain
+//	perasim -observe -observe-hops 4 -observe-sample 1
+//	                     # observatory: linear UC1 chain with in-band hop
+//	                     # spans, out-of-band collector, mid-run program
+//	                     # swap and compromise localization; with
+//	                     # -telemetry the collector serves
+//	                     # /observatory.json (watch with attestctl top)
+//	perasim -uc throughput -telemetry :9464 -pprof
+//	                     # additionally expose /debug/pprof/* on the
+//	                     # telemetry server (off by default)
 //
 // In throughput mode all progress text goes to stderr, so stdout is
 // clean Prometheus text (-telemetry), JSON (-json) or the results table.
@@ -53,6 +62,7 @@ import (
 	"pera/internal/evidence"
 	"pera/internal/harness"
 	"pera/internal/nac"
+	"pera/internal/observatory"
 	"pera/internal/pera"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
@@ -66,22 +76,34 @@ var (
 
 	telemetryAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /metrics.json, /trace) on this address during the run, e.g. :9464 (:0 picks a free port)")
 	telemetryHold = flag.Bool("telemetry-hold", false, "with -telemetry: keep serving after the run completes, until interrupted")
-	jsonOut       = flag.Bool("json", false, "with -uc throughput: write JSON results (rows + telemetry snapshot) to stdout")
+	jsonOut       = flag.Bool("json", false, "with -uc throughput/observe: write JSON results to stdout")
 	traceEvery    = flag.Uint("trace", 0, "record RATS flow-trace spans for 1-in-N flows (0 disables, 1 traces every flow)")
 	auditPath     = flag.String("audit", "", "write the hash-chained RATS audit ledger to this file (dev key; inspect with `attestctl audit`)")
+	pprofOn       = flag.Bool("pprof", false, "with -telemetry: also expose /debug/pprof/* on the telemetry server")
+
+	observe       = flag.Bool("observe", false, "run the observatory scenario (shorthand for -uc observe)")
+	observeHops   = flag.Int("observe-hops", 4, "switches on the observatory's linear chain")
+	observePkts   = flag.Int("observe-packets", 96, "attested packets to drive through the observatory run")
+	observeSample = flag.Uint("observe-sample", 1, "hop-span 1-in-N flow sampling (Fig. 4 Inertia knob; 1 spans every flow)")
+	observeBudget = flag.Int("observe-budget", 0, "in-band span-section byte budget (Fig. 4 Detail knob; 0 = default)")
+	observeAttack = flag.String("observe-attack", "", "switch to program-swap mid-run (default the middle hop; 'none' disables)")
 
 	// Telemetry plumbing shared by the runners; nil when not requested.
-	reg    *telemetry.Registry
-	tracer *telemetry.FlowTracer
-	tsrv   *telemetry.Server
-	audit  *auditlog.Writer
+	reg       *telemetry.Registry
+	tracer    *telemetry.FlowTracer
+	tsrv      *telemetry.Server
+	audit     *auditlog.Writer
+	collector *observatory.Collector
 )
 
 func main() {
-	uc := flag.String("uc", "all", "use case to run: 1..5, all, monitor or throughput")
+	uc := flag.String("uc", "all", "use case to run: 1..5, all, monitor, throughput or observe")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+	if *observe {
+		*uc = "observe"
+	}
 
 	if *traceEvery > 0 {
 		tracer = telemetry.NewFlowTracer(0)
@@ -90,8 +112,18 @@ func main() {
 	if *telemetryAddr != "" || *jsonOut {
 		reg = telemetry.NewRegistry()
 	}
+	if *uc == "observe" {
+		collector = observatory.New("collector", observatory.Config{})
+	}
 	if *telemetryAddr != "" {
-		srv, err := telemetry.Serve(*telemetryAddr, reg, tracer)
+		var extras []telemetry.Endpoint
+		if collector != nil {
+			extras = append(extras, collector.Endpoint())
+		}
+		if *pprofOn {
+			extras = append(extras, telemetry.PprofEndpoints()...)
+		}
+		srv, err := telemetry.Serve(*telemetryAddr, reg, tracer, extras...)
 		if err != nil {
 			fail(err)
 		}
@@ -154,7 +186,7 @@ func main() {
 
 	runners := map[string]func() error{
 		"1": runUC1, "2": runUC2, "3": runUC3, "4": runUC4, "5": runUC5,
-		"monitor": runMonitor, "throughput": runThroughput,
+		"monitor": runMonitor, "throughput": runThroughput, "observe": runObserve,
 	}
 	if *uc == "all" {
 		for _, k := range []string{"1", "2", "3", "4", "5"} {

@@ -194,6 +194,12 @@ type Appraiser struct {
 	policyName string
 	policyTerm string
 
+	// obs, when attached, sees every rendered verdict with its place
+	// attribution — the hook an observatory collector uses to correlate
+	// appraisal outcomes with in-band path traces. Lives behind mu with
+	// the other attachments.
+	obs Observer
+
 	serial atomic.Uint64
 
 	nonceMu sync.Mutex
@@ -287,6 +293,29 @@ func (a *Appraiser) auditCtx() (*auditlog.Writer, string) {
 	return a.aud, a.policyName
 }
 
+// Observer receives appraisal outcomes as they are rendered. place names
+// the switch whose claim decided a rejection ("" when no single place is
+// attributable — e.g. structural or signature failures over the whole
+// chain, or a pass). Implementations must be safe for concurrent calls:
+// pool workers appraise in parallel.
+type Observer interface {
+	ObserveVerdict(flow, subject string, verdict bool, place, stage, reason string)
+}
+
+// SetObserver attaches the verdict observer; nil detaches.
+func (a *Appraiser) SetObserver(o Observer) {
+	a.mu.Lock()
+	a.obs = o
+	a.mu.Unlock()
+}
+
+// observer snapshots the attached verdict observer.
+func (a *Appraiser) observer() Observer {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.obs
+}
+
 // Name returns the appraiser identity.
 func (a *Appraiser) Name() string { return a.name }
 
@@ -371,10 +400,13 @@ func appraisalFlowID(ev *evidence.Evidence, nonce []byte) string {
 // attributable to the goroutine that ran them.
 func (a *Appraiser) AppraiseNoted(subject string, ev *evidence.Evidence, nonce []byte, note string) (*Certificate, error) {
 	aud, policy := a.auditCtx()
+	obs := a.observer()
 	flow, nonceHex := "", ""
 	var start time.Time
-	if aud != nil {
+	if aud != nil || obs != nil {
 		flow = appraisalFlowID(ev, nonce)
+	}
+	if aud != nil {
 		nonceHex = hex.EncodeToString(nonce)
 		start = time.Now()
 		aud.Emit(auditlog.Record{
@@ -415,6 +447,9 @@ func (a *Appraiser) AppraiseNoted(subject string, ev *evidence.Evidence, nonce [
 	// Signing happens outside every lock: concurrent appraisal workers
 	// must not serialize their Ed25519 work behind shared state.
 	c.Signature = ed25519.Sign(a.key, certMessage(c))
+	if obs != nil {
+		obs.ObserveVerdict(flow, subject, verdict, prov.Place, prov.Stage, reason)
+	}
 	if aud != nil {
 		v := "PASS"
 		if !verdict {
@@ -451,6 +486,16 @@ const (
 // reject builds the provenance for a failed stage.
 func reject(stage, clause, reason string) auditlog.Provenance {
 	return auditlog.Provenance{Clause: clause, Stage: stage, Accept: false, Reason: reason}
+}
+
+// rejectAt is reject with the deciding place stamped on — golden and
+// quote failures always name the switch whose claim mismatched, which is
+// what lets a collector localize a compromise instead of reporting
+// "path failed".
+func rejectAt(stage, clause, place, reason string) auditlog.Provenance {
+	p := reject(stage, clause, reason)
+	p.Place = place
+	return p
 }
 
 // check runs the verification pipeline and renders a verdict together
@@ -509,16 +554,16 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string, au
 			q, err := rot.DecodeQuote(m.Claims)
 			if err != nil {
 				reason := fmt.Sprintf("hardware claim at %s: %v", m.Place, err)
-				return false, reason, reject("quote", clauseQuote, reason)
+				return false, reason, rejectAt("quote", clauseQuote, m.Place, reason)
 			}
 			if q.Platform != m.Place {
 				reason := fmt.Sprintf("hardware quote speaks for %q but was presented by %q", q.Platform, m.Place)
-				return false, reason, reject("quote", clauseQuote, reason)
+				return false, reason, rejectAt("quote", clauseQuote, m.Place, reason)
 			}
 			pub, ok := keys.KeyFor(q.Platform)
 			if !ok {
 				reason := fmt.Sprintf("no key to verify hardware quote from %q", q.Platform)
-				return false, reason, reject("quote", clauseQuote, reason)
+				return false, reason, rejectAt("quote", clauseQuote, m.Place, reason)
 			}
 			// Quote checks ride the same memo as evidence signatures: a
 			// cached hardware quote re-presented across packets is
@@ -529,7 +574,7 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string, au
 			})
 			if !ok {
 				reason := fmt.Sprintf("hardware quote from %s: verification failed", q.Platform)
-				return false, reason, reject("quote", clauseQuote, reason)
+				return false, reason, rejectAt("quote", clauseQuote, m.Place, reason)
 			}
 		}
 		want, ok := golden[goldenKey{m.Place, m.Target, m.Detail}]
@@ -537,14 +582,14 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte) (bool, string, au
 			unknown++
 			if strict {
 				reason := fmt.Sprintf("no golden value for %s/%s (%s)", m.Place, m.Target, m.Detail)
-				return false, reason, reject("golden", clauseGolden, reason)
+				return false, reason, rejectAt("golden", clauseGolden, m.Place, reason)
 			}
 			continue
 		}
 		if want != m.Value {
 			reason := fmt.Sprintf("measurement mismatch: %s/%s (%s) got %v want %v",
 				m.Place, m.Target, m.Detail, m.Value, want)
-			return false, reason, reject("golden", clauseGolden, reason)
+			return false, reason, rejectAt("golden", clauseGolden, m.Place, reason)
 		}
 	}
 	reason := fmt.Sprintf("ok: %d signatures, %d measurements", nsigs, len(evidence.Measurements(ev)))

@@ -71,6 +71,7 @@ type Provenance struct {
 	Policy string `json:"policy,omitempty"` // policy term name, e.g. "AP1"
 	Clause string `json:"clause"`           // Copland/NetKAT clause that decided
 	Stage  string `json:"stage"`            // structure|signature|nonce|hash|quote|golden|guard|accept
+	Place  string `json:"place,omitempty"`  // the place whose claim decided (golden/quote rejections)
 	Accept bool   `json:"accept"`
 	Reason string `json:"reason,omitempty"`
 }

@@ -8,6 +8,7 @@ import (
 	"pera/internal/auditlog"
 	"pera/internal/evidence"
 	"pera/internal/nac"
+	"pera/internal/observatory"
 	"pera/internal/pera"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
@@ -73,6 +74,12 @@ type ThroughputOptions struct {
 	// pool all emit. The caller owns the writer and must Close it to
 	// flush the chain.
 	Audit *auditlog.Writer
+	// Spans enables in-band hop spans on every switch — the observatory
+	// overhead the BenchmarkThroughput_Observe variants measure.
+	Spans pera.SpanConfig
+	// Collector, when non-nil, shadows the client host (ingesting span
+	// trails) and observes every appraisal verdict.
+	Collector *observatory.Collector
 }
 
 // ThroughputCorpus sends one attested packet per flow through the UC1
@@ -101,9 +108,13 @@ func throughputCorpus(o ThroughputOptions) ([]appraiser.Job, *usecases.Testbed, 
 		InBand:      true,
 		Composition: evidence.Chained,
 		Cache:       cache,
+		Spans:       o.Spans,
 	})
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if o.Collector != nil {
+		o.Collector.AttachHost(tb.Client)
 	}
 	if o.Registry != nil {
 		for _, sw := range tb.Switches {
@@ -178,6 +189,9 @@ func RunThroughputOpts(o ThroughputOptions) (*ThroughputResult, error) {
 		return nil, err
 	}
 	a := tb.Appraiser
+	if o.Collector != nil {
+		a.SetObserver(o.Collector)
+	}
 	if o.Memo {
 		a.EnableMemo(0)
 	}

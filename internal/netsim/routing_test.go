@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"pera/internal/p4ir"
+	"pera/internal/pisa"
+)
+
+// Dedicated routing.go coverage: disconnected components, equal-cost
+// ties, self-loop links, and the InstallRoutes error paths that the
+// happy-path topology tests never reach.
+
+func addFwdSwitch(t *testing.T, n *Network, name string) *Switch {
+	t.Helper()
+	inst, err := pisa.Load(p4ir.NewForwarding("fwd_v1.p4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwitch(name, inst)
+	n.MustAdd(sw)
+	return sw
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	// Two islands: h1—sw1 and sw2—h2, no bridge.
+	n := New()
+	h1, h2 := NewHost("h1", 1), NewHost("h2", 2)
+	n.MustAdd(h1)
+	n.MustAdd(h2)
+	addFwdSwitch(t, n, "sw1")
+	addFwdSwitch(t, n, "sw2")
+	n.MustLink("h1", HostPort, "sw1", 1)
+	n.MustLink("sw2", 1, "h2", HostPort)
+
+	if p := n.ShortestPath("h1", "h2"); p != nil {
+		t.Fatalf("disconnected path: %v", p)
+	}
+	if p := n.ShortestPath("sw1", "sw2"); p != nil {
+		t.Fatalf("disconnected switches: %v", p)
+	}
+	// InstallRoutes skips unreachable destinations rather than failing:
+	// each island still gets routes toward its own host.
+	if err := n.InstallRoutes([]*Host{h1, h2}, "ipv4_fwd", "fwd", "port"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 0 {
+		t.Fatal("frame crossed disconnected islands")
+	}
+}
+
+func TestShortestPathUnknownEndpoints(t *testing.T) {
+	n := New()
+	n.MustAdd(NewHost("h1", 1))
+	if p := n.ShortestPath("h1", "ghost"); p != nil {
+		t.Fatalf("ghost dst: %v", p)
+	}
+	if p := n.ShortestPath("ghost", "h1"); p != nil {
+		t.Fatalf("ghost src: %v", p)
+	}
+	// Isolated node: reachable only from itself.
+	if p := n.ShortestPath("h1", "h1"); len(p) != 1 || p[0] != "h1" {
+		t.Fatalf("self: %v", p)
+	}
+}
+
+// TestShortestPathTieDeterministic: with two equal-length branches, BFS
+// must pick the same branch every time (ties break by port order), so
+// installed routes and policy path bindings never flap between runs.
+func TestShortestPathTieDeterministic(t *testing.T) {
+	build := func() *Network {
+		n := New()
+		n.MustAdd(NewHost("h1", 1))
+		n.MustAdd(NewHost("h2", 2))
+		for _, name := range []string{"swA", "up", "down", "swB"} {
+			addFwdSwitch(t, n, name)
+		}
+		n.MustLink("h1", HostPort, "swA", 1)
+		// Port 2 toward "up" is enumerated before port 3 toward "down".
+		n.MustLink("swA", 2, "up", 1)
+		n.MustLink("swA", 3, "down", 1)
+		n.MustLink("up", 2, "swB", 1)
+		n.MustLink("down", 2, "swB", 2)
+		n.MustLink("swB", 3, "h2", HostPort)
+		return n
+	}
+	want := strings.Join(build().ShortestPath("h1", "h2"), ">")
+	if !strings.Contains(want, "up") {
+		t.Fatalf("tie did not break by port order: %s", want)
+	}
+	for i := 0; i < 10; i++ {
+		if got := strings.Join(build().ShortestPath("h1", "h2"), ">"); got != want {
+			t.Fatalf("tie flapped: %s vs %s", got, want)
+		}
+	}
+}
+
+// TestShortestPathSelfLoop: a self-loop link must neither wedge BFS nor
+// appear inside a computed path.
+func TestShortestPathSelfLoop(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	n.MustLink("sw2", 7, "sw2", 8) // patch cable looped back on sw2
+	path := n.ShortestPath("h1", "h2")
+	if len(path) != 5 {
+		t.Fatalf("path with self-loop: %v", path)
+	}
+	for i, hop := range path {
+		if i > 0 && path[i-1] == hop {
+			t.Fatalf("self-loop leaked into path: %v", path)
+		}
+	}
+	// Traffic still flows, and the loop port never routes.
+	if err := h1.SendIP(n, fwdProg(), h2.Addr(), 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2.ReceivedCount() != 1 {
+		t.Fatalf("delivery with self-loop: %d", h2.ReceivedCount())
+	}
+}
+
+func TestInstallRoutesBadTable(t *testing.T) {
+	n, h1, h2 := buildLine(t)
+	err := n.InstallRoutes([]*Host{h1, h2}, "no_such_table", "fwd", "port")
+	if err == nil || !strings.Contains(err.Error(), "routing") {
+		t.Fatalf("bad table error: %v", err)
+	}
+}
+
+func TestPortToward(t *testing.T) {
+	n, _, _ := buildLine(t)
+	port, ok := n.portToward("sw1", "sw2")
+	if !ok || port != 2 {
+		t.Fatalf("sw1->sw2 port: %d %v", port, ok)
+	}
+	if _, ok := n.portToward("sw1", "sw3"); ok {
+		t.Fatal("non-adjacent portToward succeeded")
+	}
+	if _, ok := n.portToward("ghost", "sw1"); ok {
+		t.Fatal("ghost portToward succeeded")
+	}
+}
+
+// TestPathSwitchesSkipsNonDataplanes: hosts and appliances on the path
+// are not Dataplanes and must be filtered out.
+func TestPathSwitchesSkipsNonDataplanes(t *testing.T) {
+	n := New()
+	h1, h2 := NewHost("h1", 1), NewHost("h2", 2)
+	n.MustAdd(h1)
+	n.MustAdd(h2)
+	addFwdSwitch(t, n, "sw1")
+	n.MustAdd(NewAppliance("mbox", 1, 2, nil))
+	n.MustLink("h1", HostPort, "sw1", 1)
+	n.MustLink("sw1", 2, "mbox", 1)
+	n.MustLink("mbox", 2, "h2", HostPort)
+	dps := n.PathSwitches("h1", "h2")
+	if len(dps) != 1 || dps[0].Name() != "sw1" {
+		t.Fatalf("dataplanes: %v", dps)
+	}
+}

@@ -1,0 +1,322 @@
+// Package observatory is the network-wide observability plane for PERA
+// paths. The paper's Fig. 1 appraiser sees only end-of-path evidence;
+// the observatory answers the question that view cannot: *which hop* is
+// slow, failing, or compromised.
+//
+// Three pieces compose it:
+//
+//   - In-band hop spans (pera.HopSpan): each span-enabled hop appends a
+//     compact record of its processing to the in-band header, riding
+//     the same frame as the evidence chain (INT lineage).
+//   - The out-of-band Collector here: attachable to any netsim topology
+//     (as a node or as a terminal-host observer), it pops terminal
+//     spans, reassembles end-to-end path traces keyed by nonce/flow,
+//     ingests periodic telemetry pushes from every place, and maintains
+//     per-place and per-link health.
+//   - Compromise localization: the Collector implements
+//     appraiser.Observer, so every verdict's place attribution (which
+//     switch's claim failed the golden comparison) trains a rolling
+//     window per place; the first place whose failure rate departs its
+//     baseline is flagged — a UC1 program swap is attributed to the
+//     specific switch, not just "path failed".
+package observatory
+
+import (
+	"fmt"
+	"sync"
+
+	"pera/internal/netsim"
+	"pera/internal/pera"
+)
+
+// Config tunes the collector's retention and anomaly model.
+type Config struct {
+	// PathCapacity bounds retained end-to-end traces (ring). Default 256.
+	PathCapacity int
+	// Window is the rolling appraisal-outcome window per place. Default 64.
+	Window int
+	// Baseline is how many initial observations per place form its
+	// baseline failure rate. Default 16.
+	Baseline int
+	// Threshold is the window-vs-baseline failure-rate departure that
+	// flags a place. Default 0.25.
+	Threshold float64
+	// MinFails is the minimum window failures before flagging — guards
+	// against flagging on one unlucky packet. Default 3.
+	MinFails int
+	// LatencyRing bounds retained per-place hop latencies. Default 256.
+	LatencyRing int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PathCapacity <= 0 {
+		c.PathCapacity = 256
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.Baseline <= 0 {
+		c.Baseline = 16
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.25
+	}
+	if c.MinFails <= 0 {
+		c.MinFails = 3
+	}
+	if c.LatencyRing <= 0 {
+		c.LatencyRing = 256
+	}
+	return c
+}
+
+// PathTrace is one reassembled end-to-end trace: the ordered hop spans a
+// frame accumulated, joined with the appraisal verdict for its flow.
+type PathTrace struct {
+	Seq       uint64         `json:"seq"`
+	Flow      string         `json:"flow"`
+	Hops      []pera.HopSpan `json:"hops"`
+	Truncated bool           `json:"truncated"`
+	Verdict   string         `json:"verdict,omitempty"` // PASS / FAIL, "" until appraised
+	FailPlace string         `json:"fail_place,omitempty"`
+	FailStage string         `json:"fail_stage,omitempty"`
+	Reason    string         `json:"reason,omitempty"`
+}
+
+// Localization names the place a rolling-window anomaly attributed a
+// compromise to, with the rates that decided.
+type Localization struct {
+	Place        string  `json:"place"`
+	AtVerdict    uint64  `json:"at_verdict"`  // verdict count when flagged
+	AtPathSeq    uint64  `json:"at_path_seq"` // trace count when flagged
+	WindowRate   float64 `json:"window_fail_rate"`
+	BaselineRate float64 `json:"baseline_fail_rate"`
+	Reason       string  `json:"reason"`
+}
+
+type linkKey struct{ from, to string }
+
+// Collector is the out-of-band observatory node. It is safe for
+// concurrent use (netsim delivery, appraisal workers and stats pushers
+// may all feed it at once) and implements netsim.Node and
+// appraiser.Observer.
+type Collector struct {
+	name string
+	cfg  Config
+
+	mu       sync.Mutex
+	places   map[string]*place
+	placeSeq []string // first-seen order ≈ path order
+	links    map[linkKey]*link
+	linkSeq  []linkKey
+	paths    []*PathTrace // ring, capacity cfg.PathCapacity
+	pathHead int
+	byFlow   map[string]*PathTrace // awaiting a verdict
+	seq      uint64                // traces ingested (monotonic)
+	verdicts uint64
+	pushes   uint64 // stats/audit/memo pushes
+	frames   uint64 // frames inspected
+	loc      *Localization
+}
+
+// New creates a collector. The name is its netsim node identity.
+func New(name string, cfg Config) *Collector {
+	return &Collector{
+		name:   name,
+		cfg:    cfg.withDefaults(),
+		places: make(map[string]*place),
+		links:  make(map[linkKey]*link),
+		byFlow: make(map[string]*PathTrace),
+	}
+}
+
+// Name implements netsim.Node.
+func (c *Collector) Name() string { return c.name }
+
+// Receive implements netsim.Node: frames routed to the collector are
+// ingested and sunk (it never forwards).
+func (c *Collector) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
+	c.IngestFrame(frame)
+	return nil, nil
+}
+
+// AttachHost taps a terminal host so every delivered frame is ingested —
+// the usual deployment: the collector shadows the path's destination
+// without occupying a topology port.
+func (c *Collector) AttachHost(h *netsim.Host) {
+	h.SetObserver(func(_ uint64, frame []byte) { c.IngestFrame(frame) })
+}
+
+// IngestFrame inspects one terminal frame: if it carries a PERA header
+// with hop spans, the span trail becomes a path trace. Returns whether a
+// trace was ingested.
+func (c *Collector) IngestFrame(frame []byte) bool {
+	c.mu.Lock()
+	c.frames++
+	c.mu.Unlock()
+	if !pera.HasHeader(frame) {
+		return false
+	}
+	hdr, _, err := pera.Pop(frame)
+	if err != nil || (len(hdr.Spans) == 0 && !hdr.SpansTruncated) {
+		return false
+	}
+	c.IngestPath(pera.FlowID(hdr), hdr.Spans, hdr.SpansTruncated)
+	return true
+}
+
+// IngestPath records one reassembled path trace (flow-keyed) and folds
+// each hop's span into that place's health. Exposed for out-of-band
+// span transports; in-band callers use IngestFrame.
+func (c *Collector) IngestPath(flow string, hops []pera.HopSpan, truncated bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	pt := &PathTrace{Seq: c.seq, Flow: flow, Hops: append([]pera.HopSpan(nil), hops...), Truncated: truncated}
+	// Ring insert; evict the oldest trace's pending-verdict entry with it.
+	if len(c.paths) < c.cfg.PathCapacity {
+		c.paths = append(c.paths, pt)
+	} else {
+		old := c.paths[c.pathHead]
+		if c.byFlow[old.Flow] == old {
+			delete(c.byFlow, old.Flow)
+		}
+		c.paths[c.pathHead] = pt
+		c.pathHead = (c.pathHead + 1) % c.cfg.PathCapacity
+	}
+	c.byFlow[flow] = pt
+	for i := range hops {
+		sp := &hops[i]
+		p := c.place(sp.Place)
+		p.spans++
+		p.evBytes += uint64(sp.EvBytes)
+		p.cacheHits += uint64(sp.CacheHits)
+		p.cacheMisses += uint64(sp.CacheMisses)
+		p.guardRejects += uint64(sp.GuardRejects)
+		p.sampleSkips += uint64(sp.SampleSkips)
+		p.lat.push(float64(sp.TotalNS))
+		if i > 0 {
+			l := c.link(hops[i-1].Place, sp.Place)
+			l.frames++
+			l.evBytes += uint64(sp.EvBytes)
+		}
+	}
+}
+
+// ObserveVerdict implements appraiser.Observer: the verdict joins the
+// pending path trace for its flow, and every hop on that path receives
+// an appraisal outcome — a failure is attributed only to the place the
+// appraiser's provenance names, which is what trains the per-place
+// anomaly windows to localize rather than blame the whole path.
+func (c *Collector) ObserveVerdict(flow, subject string, verdict bool, failPlace, stage, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.verdicts++
+	pt := c.byFlow[flow]
+	if pt != nil {
+		delete(c.byFlow, flow)
+		if verdict {
+			pt.Verdict = "PASS"
+		} else {
+			pt.Verdict = "FAIL"
+			pt.FailPlace = failPlace
+			pt.FailStage = stage
+			pt.Reason = reason
+		}
+	}
+	var hops []string
+	if pt != nil {
+		for i := range pt.Hops {
+			hops = append(hops, pt.Hops[i].Place)
+		}
+	} else if failPlace != "" {
+		// No trace for this flow (unsampled or out-of-band evidence):
+		// the attributed place still learns of its failure.
+		hops = []string{failPlace}
+	}
+	for _, h := range hops {
+		p := c.place(h)
+		fail := !verdict && h == failPlace
+		p.observe(fail, c.cfg)
+		if p.flagged && p.flaggedAt == 0 {
+			p.flaggedAt = c.verdicts
+			if c.loc == nil {
+				c.loc = &Localization{
+					Place:        h,
+					AtVerdict:    c.verdicts,
+					AtPathSeq:    c.seq,
+					WindowRate:   p.windowRate(),
+					BaselineRate: p.baselineRate(),
+					Reason: fmt.Sprintf("window fail rate %.2f departed baseline %.2f by more than %.2f (stage %s: %s)",
+						p.windowRate(), p.baselineRate(), c.cfg.Threshold, stage, reason),
+				}
+			}
+		}
+	}
+}
+
+// IngestStats folds one place's periodic telemetry push (cumulative
+// switch counters) into its health row.
+func (c *Collector) IngestStats(placeName string, st pera.Stats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pushes++
+	p := c.place(placeName)
+	p.stats = st
+	p.statsSet = true
+}
+
+// IngestAudit folds one place's audit-writer health push.
+func (c *Collector) IngestAudit(placeName string, records, dropped uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pushes++
+	p := c.place(placeName)
+	p.auditRecords, p.auditDropped = records, dropped
+}
+
+// IngestMemo folds one place's verification-memo health push.
+func (c *Collector) IngestMemo(placeName string, hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pushes++
+	p := c.place(placeName)
+	p.memoHits, p.memoMisses = hits, misses
+}
+
+// Localized returns the compromise localization, or nil while the
+// anomaly model has flagged nothing.
+func (c *Collector) Localized() *Localization {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.loc == nil {
+		return nil
+	}
+	l := *c.loc
+	return &l
+}
+
+// place returns (creating on first sight) one place's health row.
+// Caller holds mu.
+func (c *Collector) place(name string) *place {
+	p, ok := c.places[name]
+	if !ok {
+		p = newPlace(name, c.cfg)
+		c.places[name] = p
+		c.placeSeq = append(c.placeSeq, name)
+	}
+	return p
+}
+
+// link returns (creating on first sight) one link's health row.
+// Caller holds mu.
+func (c *Collector) link(from, to string) *link {
+	k := linkKey{from, to}
+	l, ok := c.links[k]
+	if !ok {
+		l = &link{from: from, to: to}
+		c.links[k] = l
+		c.linkSeq = append(c.linkSeq, k)
+	}
+	return l
+}

@@ -1,0 +1,199 @@
+package observatory
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pera/internal/pera"
+)
+
+func pathHops(places ...string) []pera.HopSpan {
+	hops := make([]pera.HopSpan, len(places))
+	for i, p := range places {
+		hops[i] = pera.HopSpan{
+			Place: p, Flags: pera.SpanAttested,
+			SignNS: 100_000, TotalNS: uint64(150_000 * (i + 1)),
+			EvBytes: 200, CacheMisses: 1,
+		}
+	}
+	return hops
+}
+
+func TestCollectorReassemblesPaths(t *testing.T) {
+	c := New("collector", Config{})
+	c.IngestPath("f1", pathHops("sw1", "sw2", "sw3"), false)
+	c.IngestPath("f2", pathHops("sw1", "sw2", "sw3"), true)
+	s := c.Snapshot()
+	if s.Traces != 2 || len(s.Paths) != 2 {
+		t.Fatalf("traces: %d paths: %d", s.Traces, len(s.Paths))
+	}
+	// Newest first.
+	if s.Paths[0].Flow != "f2" || !s.Paths[0].Truncated || s.Paths[1].Flow != "f1" {
+		t.Fatalf("paths: %+v", s.Paths)
+	}
+	if len(s.Places) != 3 || s.Places[0].Place != "sw1" || s.Places[2].Place != "sw3" {
+		t.Fatalf("places: %+v", s.Places)
+	}
+	if s.Places[1].Spans != 2 || s.Places[1].LatP50NS == 0 {
+		t.Fatalf("sw2 health: %+v", s.Places[1])
+	}
+	if len(s.Links) != 2 || s.Links[0].From != "sw1" || s.Links[0].To != "sw2" || s.Links[0].Frames != 2 {
+		t.Fatalf("links: %+v", s.Links)
+	}
+}
+
+func TestCollectorPathRingBounded(t *testing.T) {
+	c := New("collector", Config{PathCapacity: 4})
+	for i := 0; i < 10; i++ {
+		c.IngestPath(fmt.Sprintf("f%d", i), pathHops("sw1"), false)
+	}
+	s := c.Snapshot()
+	if s.Traces != 10 || len(s.Paths) != 4 {
+		t.Fatalf("traces %d, retained %d", s.Traces, len(s.Paths))
+	}
+	if s.Paths[0].Flow != "f9" || s.Paths[3].Flow != "f6" {
+		t.Fatalf("ring order: %s .. %s", s.Paths[0].Flow, s.Paths[3].Flow)
+	}
+}
+
+func TestVerdictJoinsTrace(t *testing.T) {
+	c := New("collector", Config{})
+	c.IngestPath("f1", pathHops("sw1", "sw2"), false)
+	c.ObserveVerdict("f1", "path", false, "sw2", "golden", "measurement mismatch")
+	s := c.Snapshot()
+	pt := s.Paths[0]
+	if pt.Verdict != "FAIL" || pt.FailPlace != "sw2" || pt.FailStage != "golden" {
+		t.Fatalf("trace: %+v", pt)
+	}
+	// Both hops observed; only sw2 carries the failure.
+	if s.Places[0].Observed != 1 || s.Places[0].Fails != 0 {
+		t.Fatalf("sw1: %+v", s.Places[0])
+	}
+	if s.Places[1].Observed != 1 || s.Places[1].Fails != 1 {
+		t.Fatalf("sw2: %+v", s.Places[1])
+	}
+}
+
+// TestLocalizationFlagsCompromisedPlace drives the UC1 shape: a healthy
+// baseline on every hop, then every appraisal fails with place
+// attribution to one switch. The anomaly model must flag exactly that
+// switch, within the window.
+func TestLocalizationFlagsCompromisedPlace(t *testing.T) {
+	c := New("collector", Config{Baseline: 8, MinFails: 3})
+	hops := []string{"sw1", "sw2", "sw3", "sw4"}
+	flow := 0
+	send := func(verdict bool, failPlace string) {
+		flow++
+		f := fmt.Sprintf("flow%d", flow)
+		c.IngestPath(f, pathHops(hops...), false)
+		stage, reason := "accept", "ok"
+		if !verdict {
+			stage, reason = "golden", "measurement mismatch: "+failPlace+"/fwd_v1.p4"
+		}
+		c.ObserveVerdict(f, "path", verdict, failPlace, stage, reason)
+	}
+	for i := 0; i < 16; i++ {
+		send(true, "")
+	}
+	if c.Localized() != nil {
+		t.Fatal("localized during healthy baseline")
+	}
+	var locAt int
+	for i := 0; i < 32; i++ {
+		send(false, "sw3")
+		if c.Localized() != nil {
+			locAt = i + 1
+			break
+		}
+	}
+	loc := c.Localized()
+	if loc == nil {
+		t.Fatal("compromise never localized")
+	}
+	if loc.Place != "sw3" {
+		t.Fatalf("localized %q, want sw3", loc.Place)
+	}
+	if locAt > 8 {
+		t.Fatalf("took %d failing packets to localize", locAt)
+	}
+	s := c.Snapshot()
+	for _, p := range s.Places {
+		if p.Place == "sw3" && !p.Anomalous {
+			t.Fatal("sw3 not marked anomalous")
+		}
+		if p.Place != "sw3" && p.Anomalous {
+			t.Fatalf("%s spuriously anomalous", p.Place)
+		}
+	}
+}
+
+func TestStatsAndHealthPushes(t *testing.T) {
+	c := New("collector", Config{})
+	c.IngestStats("sw1", pera.Stats{Packets: 100, VerifyOps: 80, VerifyFails: 8})
+	c.IngestAudit("sw1", 500, 2)
+	c.IngestMemo("sw1", 90, 10)
+	s := c.Snapshot()
+	p := s.Places[0]
+	if p.Packets != 100 || p.VerifyFailRate != 0.1 {
+		t.Fatalf("stats: %+v", p)
+	}
+	if p.AuditRecords != 500 || p.AuditDropped != 2 {
+		t.Fatalf("audit: %+v", p)
+	}
+	if p.MemoHitRate != 0.9 {
+		t.Fatalf("memo: %+v", p)
+	}
+	if s.Pushes != 3 {
+		t.Fatalf("pushes: %d", s.Pushes)
+	}
+}
+
+func TestSnapshotHTTPAndRender(t *testing.T) {
+	c := New("collector", Config{})
+	c.IngestPath("f1", pathHops("sw1", "sw2"), false)
+	c.ObserveVerdict("f1", "path", true, "", "accept", "ok")
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + SnapshotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Collector != "collector" || len(s.Places) != 2 {
+		t.Fatalf("snapshot over HTTP: %+v", s)
+	}
+
+	var top, paths strings.Builder
+	RenderTop(&top, s)
+	if !strings.Contains(top.String(), "sw1") || !strings.Contains(top.String(), "no anomaly localized") {
+		t.Fatalf("top:\n%s", top.String())
+	}
+	RenderPaths(&paths, s, 5)
+	if !strings.Contains(paths.String(), "PASS") || !strings.Contains(paths.String(), "sw2") {
+		t.Fatalf("paths:\n%s", paths.String())
+	}
+}
+
+// TestVerdictWithoutTrace: out-of-band or unsampled flows still train
+// the attributed place's window.
+func TestVerdictWithoutTrace(t *testing.T) {
+	c := New("collector", Config{Baseline: 4, MinFails: 2})
+	for i := 0; i < 4; i++ {
+		c.IngestPath(fmt.Sprintf("w%d", i), pathHops("sw1"), false)
+		c.ObserveVerdict(fmt.Sprintf("w%d", i), "path", true, "", "accept", "ok")
+	}
+	for i := 0; i < 4; i++ {
+		c.ObserveVerdict(fmt.Sprintf("x%d", i), "path", false, "sw1", "golden", "mismatch")
+	}
+	if loc := c.Localized(); loc == nil || loc.Place != "sw1" {
+		t.Fatalf("localization: %+v", loc)
+	}
+}

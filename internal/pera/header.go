@@ -26,14 +26,28 @@ import (
 // headerMagic marks a PERA in-band header.
 var headerMagic = [4]byte{'P', 'E', 'R', 'A'}
 
-// headerVersion is the current wire version.
-const headerVersion = 1
+// Wire versions: v1 carries policy + evidence; v2 appends a third LV
+// section of hop spans (see hopspan.go). Push emits v1 whenever the
+// header carries no spans, so span-free traffic is byte-identical to
+// the v1 wire and older parsers keep working on it.
+const (
+	headerVersion   = 1
+	headerVersionV2 = 2
+)
 
-// Header is the in-band unit: the policy being executed and the evidence
-// accumulated so far along the path.
+// Header is the in-band unit: the policy being executed, the evidence
+// accumulated so far along the path, and (v2) the hop spans recording
+// each place's processing of this frame.
 type Header struct {
 	Policy   *Policy
 	Evidence *evidence.Evidence
+
+	// Spans is the observability section: one compact record per hop
+	// that processed this frame with span recording enabled.
+	Spans []HopSpan
+	// SpansTruncated marks that at least one hop dropped its span to
+	// honor the section byte budget — the trace is a prefix, not a lie.
+	SpansTruncated bool
 
 	// rawPolicy caches the encoded policy bytes recovered by Pop, valid
 	// while Policy still points at rawPolicyOf. The policy travels the
@@ -71,13 +85,28 @@ func HasHeader(frame []byte) bool {
 func Push(h *Header, inner []byte) []byte {
 	pol := h.encodedPolicy()
 	evSize := evidence.EncodedSize(h.Evidence)
-	out := make([]byte, 0, 4+1+4+len(pol)+4+evSize+len(inner))
+	withSpans := len(h.Spans) > 0 || h.SpansTruncated
+	size := 4 + 1 + 4 + len(pol) + 4 + evSize + len(inner)
+	spanSize := 0
+	if withSpans {
+		spanSize = SpanSectionSize(h.Spans)
+		size += 4 + spanSize
+	}
+	out := make([]byte, 0, size)
 	out = append(out, headerMagic[:]...)
-	out = append(out, headerVersion)
+	if withSpans {
+		out = append(out, headerVersionV2)
+	} else {
+		out = append(out, headerVersion)
+	}
 	out = binary.BigEndian.AppendUint32(out, uint32(len(pol)))
 	out = append(out, pol...)
 	out = binary.BigEndian.AppendUint32(out, uint32(evSize))
 	out = evidence.AppendEncode(out, h.Evidence)
+	if withSpans {
+		out = binary.BigEndian.AppendUint32(out, uint32(spanSize))
+		out = appendSpanSection(out, h.Spans, h.SpansTruncated)
+	}
 	return append(out, inner...)
 }
 
@@ -90,8 +119,9 @@ func Pop(frame []byte) (*Header, []byte, error) {
 	if off >= len(frame) {
 		return nil, nil, fmt.Errorf("%w: truncated version", ErrHeaderDecode)
 	}
-	if frame[off] != headerVersion {
-		return nil, nil, fmt.Errorf("%w: version %d", ErrHeaderDecode, frame[off])
+	version := frame[off]
+	if version != headerVersion && version != headerVersionV2 {
+		return nil, nil, fmt.Errorf("%w: version %d", ErrHeaderDecode, version)
 	}
 	off++
 	pol, off, err := lv(frame, off)
@@ -101,6 +131,19 @@ func Pop(frame []byte) (*Header, []byte, error) {
 	evb, off, err := lv(frame, off)
 	if err != nil {
 		return nil, nil, err
+	}
+	var spans []HopSpan
+	truncated := false
+	if version == headerVersionV2 {
+		var spb []byte
+		spb, off, err = lv(frame, off)
+		if err != nil {
+			return nil, nil, err
+		}
+		spans, truncated, err = decodeSpanSection(spb)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	policy, err := DecodePolicy(pol)
 	if err != nil {
@@ -113,7 +156,11 @@ func Pop(frame []byte) (*Header, []byte, error) {
 	// Keep the policy wire bytes (copied, so the header does not alias a
 	// frame buffer the caller may reuse) for the egress Push to replay.
 	raw := append([]byte(nil), pol...)
-	return &Header{Policy: policy, Evidence: ev, rawPolicy: raw, rawPolicyOf: policy}, frame[off:], nil
+	return &Header{
+		Policy: policy, Evidence: ev,
+		Spans: spans, SpansTruncated: truncated,
+		rawPolicy: raw, rawPolicyOf: policy,
+	}, frame[off:], nil
 }
 
 func lv(frame []byte, off int) ([]byte, int, error) {
@@ -131,5 +178,9 @@ func lv(frame []byte, off int) ([]byte, int, error) {
 // HeaderOverhead returns the wire bytes the header adds to a frame — the
 // quantity the Fig. 2/Fig. 4 harnesses report as in-band overhead.
 func HeaderOverhead(h *Header) int {
-	return 4 + 1 + 4 + len(h.encodedPolicy()) + 4 + evidence.EncodedSize(h.Evidence)
+	n := 4 + 1 + 4 + len(h.encodedPolicy()) + 4 + evidence.EncodedSize(h.Evidence)
+	if len(h.Spans) > 0 || h.SpansTruncated {
+		n += 4 + SpanSectionSize(h.Spans)
+	}
+	return n
 }

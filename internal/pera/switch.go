@@ -65,6 +65,10 @@ type Config struct {
 	// checks, so a high-inertia chain re-presented across packets costs
 	// one hash instead of one ed25519.Verify per signature node.
 	VerifyMemo *evidence.VerifyMemo
+	// Spans tunes in-band hop-span production for the observatory plane
+	// (see hopspan.go): per-hop place/timing/outcome records appended to
+	// the header alongside the evidence.
+	Spans SpanConfig
 }
 
 // Stats are cumulative counters the benchmarks read. It is a plain
@@ -82,6 +86,9 @@ type Stats struct {
 	SampleSkips   uint64 // obligations skipped by the sampler
 	VerifyOps     uint64 // incoming chains checked by the Verify stage
 	VerifyFails   uint64 // frames dropped for unverifiable chains
+	HopSpans      uint64 // hop spans appended to in-band headers
+	HopSpanBytes  uint64 // encoded bytes those spans added
+	HopSpanDrops  uint64 // spans dropped for the section byte budget
 }
 
 // switchMetrics is the live, lock-free representation of Stats: every
@@ -104,6 +111,9 @@ type switchMetrics struct {
 	sampleSkips   *telemetry.Counter
 	verifyOps     *telemetry.Counter
 	verifyFails   *telemetry.Counter
+	hopSpans      *telemetry.Counter
+	hopSpanBytes  *telemetry.Counter
+	hopSpanDrops  *telemetry.Counter
 
 	signSeconds   *telemetry.Histogram // Fig. 3 Sign stage latency
 	verifySeconds *telemetry.Histogram // Fig. 3 Verify stage latency (in-band)
@@ -122,6 +132,9 @@ func newSwitchMetrics(name string) switchMetrics {
 		sampleSkips:   telemetry.NewCounter("pera_sample_skips_total", sw),
 		verifyOps:     telemetry.NewCounter("pera_verify_ops_total", sw),
 		verifyFails:   telemetry.NewCounter("pera_verify_fails_total", sw),
+		hopSpans:      telemetry.NewCounter("pera_hop_spans_total", sw),
+		hopSpanBytes:  telemetry.NewCounter("pera_hop_span_bytes_total", sw),
+		hopSpanDrops:  telemetry.NewCounter("pera_hop_span_drops_total", sw),
 		signSeconds:   telemetry.NewHistogram("pera_sign_seconds", nil, sw),
 		verifySeconds: telemetry.NewHistogram("pera_switch_verify_seconds", nil, sw),
 	}
@@ -131,7 +144,8 @@ func (m *switchMetrics) instruments() []telemetry.Instrument {
 	return []telemetry.Instrument{
 		m.packets, m.attested, m.signOps, m.evidenceBytes, m.inBandBytes,
 		m.outOfBandMsgs, m.guardRejects, m.sampleSkips, m.verifyOps,
-		m.verifyFails, m.signSeconds, m.verifySeconds,
+		m.verifyFails, m.hopSpans, m.hopSpanBytes, m.hopSpanDrops,
+		m.signSeconds, m.verifySeconds,
 	}
 }
 
@@ -147,6 +161,9 @@ func (m *switchMetrics) snapshot() Stats {
 		SampleSkips:   m.sampleSkips.Value(),
 		VerifyOps:     m.verifyOps.Value(),
 		VerifyFails:   m.verifyFails.Value(),
+		HopSpans:      m.hopSpans.Value(),
+		HopSpanBytes:  m.hopSpanBytes.Value(),
+		HopSpanDrops:  m.hopSpanDrops.Value(),
 	}
 }
 
@@ -161,13 +178,17 @@ func (m *switchMetrics) reset() {
 	m.sampleSkips.Reset()
 	m.verifyOps.Reset()
 	m.verifyFails.Reset()
+	m.hopSpans.Reset()
+	m.hopSpanBytes.Reset()
+	m.hopSpanDrops.Reset()
 }
 
 // start returns a stage timestamp when timing is armed (Instrument was
-// called or a tracer is attached), else the zero time — downstream
-// ObserveSince/elapsed treat zero as "not timed".
-func (m *switchMetrics) start(tr *telemetry.FlowTracer) time.Time {
-	if tr != nil || m.timing.Load() {
+// called, a tracer is attached, or this frame carries a hop span), else
+// the zero time — downstream ObserveSince/elapsed treat zero as "not
+// timed".
+func (m *switchMetrics) start(tr *telemetry.FlowTracer, sp *HopSpan) time.Time {
+	if tr != nil || sp != nil || m.timing.Load() {
 		return time.Now()
 	}
 	return time.Time{}
@@ -413,14 +434,14 @@ func (s *Switch) Attest(nonce []byte, details ...evidence.Detail) (*evidence.Evi
 		parts = append(parts, evidence.Nonce(nonce))
 	}
 	for _, d := range details {
-		m, err := s.claimEvidence(d, nil, flow, tr, aud)
+		m, err := s.claimEvidence(d, nil, flow, tr, aud, nil)
 		if err != nil {
 			return nil, err
 		}
 		parts = append(parts, m)
 	}
 	ev := evidence.SeqAll(parts...)
-	return s.signEvidence(ev, flow, tr, aud), nil
+	return s.signEvidence(ev, flow, tr, aud, nil), nil
 }
 
 // claimTarget returns the cache/evidence target name for a detail level
@@ -443,8 +464,9 @@ func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
 }
 
 // claimEvidence builds (or fetches from cache) the measurement node for
-// one detail level. flow/tr/aud carry the trace and audit context.
-func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer) (*evidence.Evidence, error) {
+// one detail level. flow/tr/aud/sp carry the trace, audit and hop-span
+// context (nil when off).
+func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
 	s.mu.RLock()
 	cache := s.cfg.Cache
 	s.mu.RUnlock()
@@ -472,7 +494,7 @@ func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr 
 		return evidence.Measurement(s.name, tgt, s.name, d, val, claims), nil
 	}
 	if cache == nil {
-		start := s.met.start(tr)
+		start := s.met.start(tr, sp)
 		ev, err := build()
 		tr.Record(flow, s.name, telemetry.StageEvidence, elapsed(start), target)
 		if aud != nil {
@@ -483,8 +505,15 @@ func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr 
 		}
 		return ev, err
 	}
-	start := s.met.start(tr)
+	start := s.met.start(tr, sp)
 	ev, hit, err := cache.GetOrProduce(s.name, target, d, build)
+	if sp != nil {
+		if hit {
+			sp.CacheHits++
+		} else {
+			sp.CacheMisses++
+		}
+	}
 	if tr != nil || aud != nil {
 		stage := telemetry.StageCacheMiss
 		if hit {
@@ -522,6 +551,9 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	aud := s.audit()
 
 	var hdr *Header
+	var sp *HopSpan
+	var spanStart time.Time
+	evBefore := 0
 	inner := frame
 	flow := ""
 	if cfg.InBand && HasHeader(frame) {
@@ -530,8 +562,13 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 			return nil, err
 		}
 		hdr, inner = h, rest
-		if tr != nil || aud != nil {
+		if tr != nil || aud != nil || cfg.Spans.Enabled {
 			flow = flowIDOf(hdr)
+		}
+		if cfg.Spans.Enabled && cfg.Spans.Sampled(flow) {
+			sp = &HopSpan{Place: s.name}
+			spanStart = time.Now()
+			evBefore = evidence.EncodedSize(hdr.Evidence)
 		}
 		// The Verify half of the Sign/Verify stage (Fig. 3): inspect the
 		// incoming chain before doing any work on its behalf; a frame
@@ -539,7 +576,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		// tampering cannot ride further along the path.
 		if cfg.VerifyIncoming != nil {
 			s.met.verifyOps.Inc()
-			start := s.met.start(tr)
+			start := s.met.start(tr, sp)
 			_, err := evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, cfg.VerifyMemo)
 			s.met.verifySeconds.ObserveSince(start)
 			if err != nil {
@@ -556,6 +593,10 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 					})
 				}
 				return nil, nil
+			}
+			if sp != nil {
+				sp.VerifyNS = uint64(elapsed(start))
+				sp.Flags |= SpanVerified
 			}
 			tr.Record(flow, s.name, telemetry.StageVerify, elapsed(start), "")
 			if aud != nil {
@@ -593,6 +634,9 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		}
 		if !MatchAll(o.Guards, pkt) {
 			s.met.guardRejects.Inc()
+			if sp != nil {
+				sp.GuardRejects++
+			}
 			if aud != nil {
 				aud.Emit(auditlog.Record{
 					Event: auditlog.EventGuardReject, Place: s.name, Flow: flow,
@@ -606,9 +650,12 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		}
 		if !cfg.Sampler.Sample(pkt.FlowHash()) {
 			s.met.sampleSkips.Inc()
+			if sp != nil {
+				sp.SampleSkips++
+			}
 			continue
 		}
-		ev, err := s.obligationEvidence(o, inner, hdr, flow, tr, aud)
+		ev, err := s.obligationEvidence(o, inner, hdr, flow, tr, aud, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -623,6 +670,32 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	}
 	if attested {
 		s.met.attested.Inc()
+		if sp != nil {
+			sp.Flags |= SpanAttested
+		}
+	}
+
+	// Seal this hop's span into the header, budget permitting. EvBytes is
+	// the chain growth across the hop, TotalNS the whole-pipeline time —
+	// measured here so the span itself is the last thing the hop does.
+	if sp != nil && hdr != nil {
+		if grown := evidence.EncodedSize(hdr.Evidence) - evBefore; grown > 0 {
+			sp.EvBytes = uint32(grown)
+		}
+		sp.TotalNS = uint64(time.Since(spanStart))
+		before := 0
+		if len(hdr.Spans) > 0 || hdr.SpansTruncated {
+			before = SpanSectionSize(hdr.Spans)
+		}
+		withSelf := SpanSectionSize(append(hdr.Spans[:len(hdr.Spans):len(hdr.Spans)], *sp))
+		if withSelf <= cfg.Spans.Budget() {
+			hdr.Spans = append(hdr.Spans, *sp)
+			s.met.hopSpans.Inc()
+			s.met.hopSpanBytes.Add(uint64(withSelf - before))
+		} else {
+			hdr.SpansTruncated = true
+			s.met.hopSpanDrops.Inc()
+		}
 	}
 
 	emissions := make([]netsim.Emission, 0, len(outs))
@@ -638,12 +711,12 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 }
 
 // obligationEvidence builds the evidence one obligation demands,
-// composing with the header chain when chained. flow/tr/aud carry the
-// trace and audit context ("" / nil when tracing is off).
-func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer) (*evidence.Evidence, error) {
+// composing with the header chain when chained. flow/tr/aud/sp carry
+// the trace, audit and hop-span context ("" / nil when off).
+func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
 	var parts []*evidence.Evidence
 	for _, d := range o.Claims {
-		m, err := s.claimEvidence(d, frame, flow, tr, aud)
+		m, err := s.claimEvidence(d, frame, flow, tr, aud, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -666,13 +739,13 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, fl
 			})
 		}
 		if o.SignEvidence {
-			composed = s.signEvidence(composed, flow, tr, aud)
+			composed = s.signEvidence(composed, flow, tr, aud, sp)
 		}
 		s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(composed)))
 		return composed, nil
 	}
 	if o.SignEvidence {
-		local = s.signEvidence(local, flow, tr, aud)
+		local = s.signEvidence(local, flow, tr, aud, sp)
 	}
 	s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(local)))
 	return local, nil
@@ -681,11 +754,14 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, fl
 // signEvidence is the instrumented Sign stage: one signature op counted,
 // timed into the sign histogram, traced for sampled flows and recorded
 // on the audit ledger.
-func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer) *evidence.Evidence {
+func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) *evidence.Evidence {
 	s.met.signOps.Inc()
-	start := s.met.start(tr)
+	start := s.met.start(tr, sp)
 	signed := evidence.Sign(s.currentSigner(), ev)
 	s.met.signSeconds.ObserveSince(start)
+	if sp != nil {
+		sp.SignNS += uint64(elapsed(start))
+	}
 	tr.Record(flow, s.name, telemetry.StageSign, elapsed(start), "")
 	if aud != nil {
 		aud.Emit(auditlog.Record{

@@ -74,12 +74,23 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// Endpoint mounts one extra handler on the telemetry mux — how optional
+// surfaces (an observatory collector's JSON, pprof) ride the same
+// listener as /metrics without the telemetry package importing them.
+type Endpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // Handler serves the registry (and optionally a tracer) over HTTP:
 //
 //	GET /metrics       Prometheus text format
 //	GET /metrics.json  JSON snapshot
 //	GET /trace         JSON span dump (404 when no tracer is attached)
-func Handler(reg *Registry, tracer *FlowTracer) http.Handler {
+//
+// Additional endpoints (observatory JSON, pprof, ...) are mounted at
+// their own paths and listed on the index page.
+func Handler(reg *Registry, tracer *FlowTracer, extras ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -102,12 +113,17 @@ func Handler(reg *Registry, tracer *FlowTracer) http.Handler {
 			Spans    []Span `json:"spans"`
 		}{Recorded: tracer.Recorded(), Spans: tracer.Spans()})
 	})
+	index := "pera telemetry\n/metrics\n/metrics.json\n/trace\n"
+	for _, e := range extras {
+		mux.Handle(e.Path, e.Handler)
+		index += e.Path + "\n"
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		io.WriteString(w, "pera telemetry\n/metrics\n/metrics.json\n/trace\n")
+		io.WriteString(w, index)
 	})
 	return mux
 }
@@ -120,13 +136,13 @@ type Server struct {
 
 // Serve starts an HTTP server for the registry/tracer on addr (":0"
 // picks a free port; Addr reports the bound address). The server runs
-// until Close.
-func Serve(addr string, reg *Registry, tracer *FlowTracer) (*Server, error) {
+// until Close. Extra endpoints are mounted alongside /metrics.
+func Serve(addr string, reg *Registry, tracer *FlowTracer, extras ...Endpoint) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, tracer)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(reg, tracer, extras...)}}
 	go s.srv.Serve(ln)
 	return s, nil
 }

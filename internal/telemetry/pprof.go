@@ -1,0 +1,21 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofEndpoints returns the standard /debug/pprof/* handlers as extra
+// telemetry endpoints — live profiling on the same listener as /metrics,
+// complementing the file-based -cpuprofile/-memprofile flags. Callers
+// gate this behind an explicit flag: the profiles expose internals and
+// cost CPU while active, so they are never mounted by default.
+func PprofEndpoints() []Endpoint {
+	return []Endpoint{
+		{Path: "/debug/pprof/", Handler: http.HandlerFunc(pprof.Index)},
+		{Path: "/debug/pprof/cmdline", Handler: http.HandlerFunc(pprof.Cmdline)},
+		{Path: "/debug/pprof/profile", Handler: http.HandlerFunc(pprof.Profile)},
+		{Path: "/debug/pprof/symbol", Handler: http.HandlerFunc(pprof.Symbol)},
+		{Path: "/debug/pprof/trace", Handler: http.HandlerFunc(pprof.Trace)},
+	}
+}

@@ -113,19 +113,10 @@ func NewTestbed(cfg pera.Config) (*Testbed, error) {
 		sw.SetSink(tb.sink)
 		tb.Switches[name] = sw
 		tb.Net.MustAdd(sw)
-
-		// Endorse the switch AIK and register it with the appraiser.
-		cert := tb.Authority.Issue(sw.RoT())
-		if err := tb.Appraiser.RegisterAIK(tb.Authority.Public(), cert); err != nil {
+		// Endorse the switch AIK with the appraiser and provision golden
+		// values for the inert details.
+		if err := tb.provision(name, sw); err != nil {
 			return nil, err
-		}
-		// Provision golden values for the inert details.
-		gs, err := sw.Golden(evidence.DetailHardware, evidence.DetailProgram, evidence.DetailTables)
-		if err != nil {
-			return nil, err
-		}
-		for _, g := range gs {
-			tb.Appraiser.SetGolden(name, g.Target, g.Detail, g.Value)
 		}
 	}
 
@@ -201,11 +192,12 @@ func (tb *Testbed) PathHops() []nac.PathHop {
 
 // Registry returns a test registry where every switch and host has a key
 // relationship (Khop/Kclient hold) and the C2 fingerprint test P matches
-// destination port 4444.
+// destination port 4444. The known set is derived from the live switch
+// map, so it holds for any topology (standard or linear).
 func (tb *Testbed) Registry() nac.TestRegistry {
-	known := map[string]bool{
-		HostBank: true, HostClient: true,
-		SwFirewall: true, SwACL: true, SwEdge: true,
+	known := map[string]bool{HostBank: true, HostClient: true}
+	for name := range tb.Switches {
+		known[name] = true
 	}
 	return nac.TestRegistry{
 		"Khop":    {PlacePred: func(p string) bool { return known[p] }},
