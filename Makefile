@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-throughput telemetry-smoke audit-smoke observe-smoke cover fmt clean
+.PHONY: all build test race vet bench bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke cover fmt clean
 
 all: build test race vet
 
@@ -23,12 +23,15 @@ build:
 # perasim-written audit ledger must verify, query, explain, and catch a
 # one-byte tamper through attestctl (audit_smoke.sh), and an observed
 # UC1 run must name every hop and localize a mid-run program swap
-# through the collector and attestctl top/paths (observe_smoke.sh).
+# through the collector and attestctl top/paths (observe_smoke.sh), and
+# a trust-decay run with recovery disabled must leave the frozen place
+# lapsed with a firing, ledger-recorded staleness alert (slo_smoke.sh).
 test: vet
 	$(GO) test ./...
 	$(MAKE) telemetry-smoke
 	$(MAKE) audit-smoke
 	$(MAKE) observe-smoke
+	$(MAKE) slo-smoke
 
 race:
 	$(GO) test -race ./...
@@ -60,6 +63,13 @@ audit-smoke:
 # attestctl top/paths render the same state.
 observe-smoke:
 	sh scripts/observe_smoke.sh
+
+# End-to-end trust-decay check: perasim -slo (no recovery) serves the
+# watchdog, /coverage.json marks the frozen place lapsed, /alerts.json
+# and attestctl coverage/alerts show the firing staleness alert, and
+# the audit ledger records it and verifies.
+slo-smoke:
+	sh scripts/slo_smoke.sh
 
 # Coverage over the library packages with a floor: the build fails if
 # total statement coverage regresses below COVER_FLOOR percent.

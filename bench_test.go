@@ -15,6 +15,7 @@ import (
 	"pera/internal/appraiser"
 	"pera/internal/auditlog"
 	"pera/internal/evidence"
+	"pera/internal/freshness"
 	"pera/internal/harness"
 	"pera/internal/nac"
 	"pera/internal/observatory"
@@ -429,6 +430,38 @@ func BenchmarkThroughput_Observe(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, 0, false) })
 	b.Run("sample1", func(b *testing.B) { run(b, 1, true) })
 	b.Run("sample8", func(b *testing.B) { run(b, 8, true) })
+}
+
+// BenchmarkThroughput_SLO measures what the trust-decay watchdog costs
+// on top of the full observatory configuration: "off" is the end_to_end
+// baseline; "watchdog" additionally wires a freshness watchdog into all
+// three feeds (cache events, span trails via the collector's path sink,
+// appraisal verdicts with a tee to the collector), so every packet pays
+// the coverage bookkeeping and both alert-rule evaluations (see
+// BENCH_throughput.json slo_overhead).
+func BenchmarkThroughput_SLO(b *testing.B) {
+	run := func(b *testing.B, watched bool) {
+		for i := 0; i < b.N; i++ {
+			o := harness.ThroughputOptions{Workers: 0, Packets: 128, Flows: 8, Memo: true}
+			if watched {
+				o.Spans = pera.SpanConfig{Enabled: true}
+				o.Collector = observatory.New("bench", observatory.Config{})
+				o.Watchdog = freshness.New("bench", freshness.Config{})
+			}
+			res, err := harness.RunThroughputOpts(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Pass != 128 {
+				b.Fatalf("pass=%d, want 128", res.Pass)
+			}
+			if watched && o.Watchdog.Coverage().Evaluations == 0 {
+				b.Fatal("watchdog never evaluated")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("watchdog", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkVerifyMemo isolates the memo win on a single 3-hop chain:

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"pera/internal/freshness"
+)
+
+// runFreshness dispatches the trust-decay subcommands: `attestctl
+// coverage` (the freshness coverage map — which places are fresh, stale,
+// lapsed or never attested against the staleness budget) and `attestctl
+// alerts` (the watchdog's alert ring and probe tallies). Both read the
+// JSON surfaces a `perasim -slo -telemetry <addr>` run serves at
+// /coverage.json and /alerts.json.
+func runFreshness(verb string, args []string) {
+	fs := flag.NewFlagSet("attestctl "+verb, flag.ExitOnError)
+	collectorURL := fs.String("collector", "http://127.0.0.1:9464", "base URL of the telemetry server hosting /coverage.json and /alerts.json")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval with -watch")
+	watch := fs.Bool("watch", false, "refresh in place until interrupted")
+	jsonOut := fs.Bool("json", false, "dump the raw snapshot JSON once and exit")
+	fs.Parse(args)
+
+	path := freshness.CoveragePath
+	if verb == "alerts" {
+		path = freshness.AlertsPath
+	}
+	get := func(out any) error {
+		url := strings.TrimSuffix(*collectorURL, "/") + path
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	render := func() error {
+		if verb == "alerts" {
+			var s freshness.AlertsSnapshot
+			if err := get(&s); err != nil {
+				return err
+			}
+			freshness.RenderAlerts(os.Stdout, s)
+			return nil
+		}
+		var c freshness.Coverage
+		if err := get(&c); err != nil {
+			return err
+		}
+		freshness.RenderCoverage(os.Stdout, c)
+		return nil
+	}
+
+	if *jsonOut {
+		var raw json.RawMessage
+		if err := get(&raw); err != nil {
+			fatal("%v", err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
+	}
+	if !*watch {
+		if err := render(); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for i := 0; ; i++ {
+		if i > 0 {
+			// ANSI clear+home, so the table refreshes in place like top.
+			fmt.Print("\033[H\033[2J")
+		}
+		if err := render(); err != nil {
+			fatal("%v", err)
+		}
+		select {
+		case <-sig:
+			return
+		case <-time.After(*interval):
+		}
+	}
+}

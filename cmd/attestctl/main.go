@@ -21,6 +21,12 @@
 //
 //	attestctl top   -collector http://127.0.0.1:9464
 //	attestctl paths -collector http://127.0.0.1:9464 -n 5
+//
+// And the trust-decay watchdog a `perasim -slo -telemetry <addr>` run
+// serves (see docs/FRESHNESS.md):
+//
+//	attestctl coverage -collector http://127.0.0.1:9464
+//	attestctl alerts   -collector http://127.0.0.1:9464 -watch
 package main
 
 import (
@@ -43,6 +49,9 @@ func main() {
 			return
 		case "top", "paths":
 			runObserve(os.Args[1], os.Args[2:])
+			return
+		case "coverage", "alerts":
+			runFreshness(os.Args[1], os.Args[2:])
 			return
 		}
 	}

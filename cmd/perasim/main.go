@@ -35,6 +35,13 @@
 //	                     # swap and compromise localization; with
 //	                     # -telemetry the collector serves
 //	                     # /observatory.json (watch with attestctl top)
+//	perasim -slo -slo-freeze 16 -slo-recover 96
+//	                     # trust decay: freeze one switch's re-attestation
+//	                     # mid-run, watch the freshness watchdog burn its
+//	                     # SLO, fire an alert, probe the dark device and
+//	                     # resolve after recovery; with -telemetry the
+//	                     # watchdog serves /coverage.json and /alerts.json
+//	                     # (inspect with attestctl coverage / alerts)
 //	perasim -uc throughput -telemetry :9464 -pprof
 //	                     # additionally expose /debug/pprof/* on the
 //	                     # telemetry server (off by default)
@@ -60,6 +67,7 @@ import (
 	"pera/internal/attester"
 	"pera/internal/auditlog"
 	"pera/internal/evidence"
+	"pera/internal/freshness"
 	"pera/internal/harness"
 	"pera/internal/nac"
 	"pera/internal/observatory"
@@ -88,21 +96,34 @@ var (
 	observeBudget = flag.Int("observe-budget", 0, "in-band span-section byte budget (Fig. 4 Detail knob; 0 = default)")
 	observeAttack = flag.String("observe-attack", "", "switch to program-swap mid-run (default the middle hop; 'none' disables)")
 
+	slo         = flag.Bool("slo", false, "run the trust-decay scenario (shorthand for -uc slo)")
+	sloHops     = flag.Int("slo-hops", 4, "switches on the trust-decay run's linear chain")
+	sloPkts     = flag.Int("slo-packets", 160, "attested packets to drive through the trust-decay run")
+	sloFreeze   = flag.Int("slo-freeze", 16, "freeze the target switch's re-attestation after this many packets (negative disables)")
+	sloFreezeSw = flag.String("slo-freeze-switch", "", "switch to freeze (default the middle hop)")
+	sloRecover  = flag.Int("slo-recover", 96, "restore the frozen switch at this packet and probe the firing alerts (negative disables; alerts stay firing)")
+	sloTTL      = flag.Int("slo-ttl", 16, "evidence cache TTL in simulated seconds (Fig. 4 Inertia knob; the staleness budget derives from it)")
+	sloTick     = flag.Int("slo-tick", 1, "simulated seconds per packet")
+
 	// Telemetry plumbing shared by the runners; nil when not requested.
 	reg       *telemetry.Registry
 	tracer    *telemetry.FlowTracer
 	tsrv      *telemetry.Server
 	audit     *auditlog.Writer
 	collector *observatory.Collector
+	watchdog  *freshness.Watchdog
 )
 
 func main() {
-	uc := flag.String("uc", "all", "use case to run: 1..5, all, monitor, throughput or observe")
+	uc := flag.String("uc", "all", "use case to run: 1..5, all, monitor, throughput, observe or slo")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 	if *observe {
 		*uc = "observe"
+	}
+	if *slo {
+		*uc = "slo"
 	}
 
 	if *traceEvery > 0 {
@@ -112,14 +133,21 @@ func main() {
 	if *telemetryAddr != "" || *jsonOut {
 		reg = telemetry.NewRegistry()
 	}
-	if *uc == "observe" {
+	if *uc == "observe" || *uc == "slo" {
 		collector = observatory.New("collector", observatory.Config{})
+	}
+	if *uc == "slo" {
+		// Created up front so /coverage.json and /alerts.json are live
+		// from the first packet; RunSLO reconfigures it onto the
+		// simulated clock.
+		watchdog = freshness.New("watchdog", freshness.Config{})
 	}
 	if *telemetryAddr != "" {
 		var extras []telemetry.Endpoint
 		if collector != nil {
 			extras = append(extras, collector.Endpoint())
 		}
+		extras = append(extras, watchdog.Endpoints()...)
 		if *pprofOn {
 			extras = append(extras, telemetry.PprofEndpoints()...)
 		}
@@ -187,6 +215,7 @@ func main() {
 	runners := map[string]func() error{
 		"1": runUC1, "2": runUC2, "3": runUC3, "4": runUC4, "5": runUC5,
 		"monitor": runMonitor, "throughput": runThroughput, "observe": runObserve,
+		"slo": runSLO,
 	}
 	if *uc == "all" {
 		for _, k := range []string{"1", "2", "3", "4", "5"} {

@@ -56,11 +56,15 @@ const (
 	EventLedgerClose Event = "ledger_close" // orderly shutdown marker
 	EventClaimIssued Event = "claim_issued" // out-of-band challenge received (Fig. 1 step 1)
 	EventGuardReject Event = "guard_reject" // obligation skipped by a failed ▶ test
-	EventCacheEvict  Event = "cache_evict"  // expired evidence reaped from the cache
 	EventMemoInsert  Event = "memo_insert"  // first full verification of a signature triple
 	EventPolicyBound Event = "policy_bound" // appraiser bound to a Copland policy term
 	EventPoolDrained Event = "pool_drained" // appraisal pool closed; note carries totals
 	EventAction      Event = "action"       // operator remediation recorded (UC4 sub-case B)
+
+	EventCacheExpire   Event = "cache_expire"   // evidence aged past its inertia window (reap or stale read)
+	EventAlertFired    Event = "alert_fired"    // freshness watchdog alert transitioned to firing
+	EventAlertResolved Event = "alert_resolved" // firing alert resolved by fresh clean evidence
+	EventAlertProbe    Event = "alert_probe"    // active re-attestation probe issued for a firing alert
 )
 
 // Provenance names the exact Copland/NetKAT clause that accepted or

@@ -30,6 +30,8 @@ type Cache struct {
 	shards [cacheShards]cacheShard
 	clock  func() time.Time
 	aud    atomic.Pointer[auditlog.Writer]
+	notify atomic.Pointer[func(CacheEvent)]
+	ttls   [detailCount]atomic.Int64 // per-detail TTL override in ns; 0 = detail.Inertia()
 }
 
 const cacheShards = 16
@@ -51,7 +53,46 @@ type cacheKey struct {
 
 type cacheEntry struct {
 	ev      *Evidence
+	added   time.Time
 	expires time.Time
+}
+
+// CacheEventKind discriminates the cache lifecycle moments a notify hook
+// can observe.
+type CacheEventKind uint8
+
+const (
+	CachePut    CacheEventKind = iota // fresh evidence inserted
+	CacheHit                          // unexpired evidence served
+	CacheExpire                       // entry aged past its inertia window
+)
+
+// String names the kind for logs and JSON.
+func (k CacheEventKind) String() string {
+	switch k {
+	case CachePut:
+		return "put"
+	case CacheHit:
+		return "hit"
+	case CacheExpire:
+		return "expire"
+	}
+	return "unknown"
+}
+
+// CacheEvent is one cache lifecycle moment: evidence inserted, served,
+// or expired. Age is how long the entry had been resident at the event
+// (zero on Put), TTL the inertia window it was stored under, and At the
+// cache clock's reading when the event happened — consumers like the
+// freshness watchdog track evidence age without re-deriving cache time.
+type CacheEvent struct {
+	Kind   CacheEventKind
+	Place  string
+	Target string
+	Detail Detail
+	Age    time.Duration
+	TTL    time.Duration
+	At     time.Time
 }
 
 // NewCache returns an empty cache using the real clock.
@@ -70,7 +111,7 @@ func NewCacheWithClock(clock func() time.Time) *Cache {
 }
 
 // SetAudit attaches the audit ledger: expirations (reaped on Put, Reap,
-// or an expired Get) are recorded as cache_evict events, so an auditor
+// or a stale Get) are recorded as cache_expire events, so an auditor
 // can see exactly when high-inertia evidence aged out and forced fresh
 // measurement. Hit/miss events are emitted by the switch, which knows
 // the flow context the cache cannot see. A nil writer detaches.
@@ -81,12 +122,61 @@ func (c *Cache) SetAudit(w *auditlog.Writer) {
 	c.aud.Store(w)
 }
 
-// emitEvict records one expiry on the ledger (nil-safe).
-func emitEvict(aud *auditlog.Writer, k cacheKey) {
+// SetNotify attaches a cache-event hook invoked on every Put, Hit, and
+// Expire — the feed the freshness watchdog uses to track evidence age
+// per place. The hook runs inline under the entry's shard lock, so it
+// must be fast and must not call back into the cache. Single slot; nil
+// detaches.
+func (c *Cache) SetNotify(fn func(CacheEvent)) {
+	if c == nil {
+		return
+	}
+	if fn == nil {
+		c.notify.Store(nil)
+		return
+	}
+	c.notify.Store(&fn)
+}
+
+// SetTTL overrides the inertia window for one detail level, replacing
+// detail.Inertia() as the TTL on subsequent Puts — the Fig. 4 Inertia
+// knob made explicit, so simulations can compress a 1-minute tables
+// window into seconds of simulated time. A zero or negative ttl restores
+// the paper's default; already-resident entries keep the TTL they were
+// stored under.
+func (c *Cache) SetTTL(detail Detail, ttl time.Duration) {
+	if c == nil || !detail.Valid() {
+		return
+	}
+	if ttl < 0 {
+		ttl = 0
+	}
+	c.ttls[detail].Store(int64(ttl))
+}
+
+// ttl resolves the effective inertia window for a detail level.
+func (c *Cache) ttl(detail Detail) time.Duration {
+	if !detail.Valid() {
+		return detail.Inertia()
+	}
+	if o := c.ttls[detail].Load(); o > 0 {
+		return time.Duration(o)
+	}
+	return detail.Inertia()
+}
+
+// emitExpire records one expiry on the ledger and notify hook (nil-safe).
+func emitExpire(aud *auditlog.Writer, fn *func(CacheEvent), k cacheKey, e cacheEntry, now time.Time) {
 	if aud != nil {
 		aud.Emit(auditlog.Record{
-			Event: auditlog.EventCacheEvict, Place: k.place,
+			Event: auditlog.EventCacheExpire, Place: k.place,
 			Target: k.target, Detail: k.detail.String(), Note: "inertia window elapsed",
+		})
+	}
+	if fn != nil {
+		(*fn)(CacheEvent{
+			Kind: CacheExpire, Place: k.place, Target: k.target, Detail: k.detail,
+			Age: now.Sub(e.added), TTL: e.expires.Sub(e.added), At: now,
 		})
 	}
 }
@@ -101,7 +191,10 @@ func (c *Cache) shard(k cacheKey) *cacheShard {
 }
 
 // Get returns cached evidence for (place, target, detail) if present and
-// unexpired.
+// unexpired. The expiry comparison is half-open: a read in the same tick
+// the entry expires counts stale — evidence that has lived its full
+// inertia window is no longer fresh, and serving it would make the
+// freshness boundary depend on clock granularity.
 func (c *Cache) Get(place, target string, detail Detail) (*Evidence, bool) {
 	k := cacheKey{place, target, detail}
 	s := c.shard(k)
@@ -112,14 +205,21 @@ func (c *Cache) Get(place, target string, detail Detail) (*Evidence, bool) {
 		s.misses++
 		return nil, false
 	}
-	if c.clock().After(e.expires) {
+	now := c.clock()
+	if !now.Before(e.expires) {
 		delete(s.entries, k)
 		s.evictions++
 		s.misses++
-		emitEvict(c.aud.Load(), k)
+		emitExpire(c.aud.Load(), c.notify.Load(), k, e, now)
 		return nil, false
 	}
 	s.hits++
+	if fn := c.notify.Load(); fn != nil {
+		(*fn)(CacheEvent{
+			Kind: CacheHit, Place: place, Target: target, Detail: detail,
+			Age: now.Sub(e.added), TTL: e.expires.Sub(e.added), At: now,
+		})
+	}
 	return e.ev, true
 }
 
@@ -129,7 +229,7 @@ func (c *Cache) Get(place, target string, detail Detail) (*Evidence, bool) {
 // entries in the key's shard, so entries that are never re-requested are
 // still evicted rather than leaking forever.
 func (c *Cache) Put(place, target string, detail Detail, ev *Evidence) {
-	ttl := detail.Inertia()
+	ttl := c.ttl(detail)
 	if ttl == 0 {
 		return
 	}
@@ -138,21 +238,27 @@ func (c *Cache) Put(place, target string, detail Detail, ev *Evidence) {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.reapLocked(now, c.aud.Load())
-	s.entries[k] = cacheEntry{ev: ev, expires: now.Add(ttl)}
+	s.reapLocked(now, c.aud.Load(), c.notify.Load())
+	s.entries[k] = cacheEntry{ev: ev, added: now, expires: now.Add(ttl)}
+	if fn := c.notify.Load(); fn != nil {
+		(*fn)(CacheEvent{
+			Kind: CachePut, Place: place, Target: target, Detail: detail,
+			TTL: ttl, At: now,
+		})
+	}
 }
 
 // reapLocked deletes expired entries from the shard and returns how many
 // were evicted, recording each on the ledger when one is attached.
 // Caller holds s.mu (Emit never blocks, so holding it is safe).
-func (s *cacheShard) reapLocked(now time.Time, aud *auditlog.Writer) int {
+func (s *cacheShard) reapLocked(now time.Time, aud *auditlog.Writer, fn *func(CacheEvent)) int {
 	n := 0
 	for k, e := range s.entries {
-		if now.After(e.expires) {
+		if !now.Before(e.expires) {
 			delete(s.entries, k)
 			s.evictions++
 			n++
-			emitEvict(aud, k)
+			emitExpire(aud, fn, k, e, now)
 		}
 	}
 	return n
@@ -165,11 +271,12 @@ func (s *cacheShard) reapLocked(now time.Time, aud *auditlog.Writer) int {
 func (c *Cache) Reap() int {
 	now := c.clock()
 	aud := c.aud.Load()
+	fn := c.notify.Load()
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += s.reapLocked(now, aud)
+		n += s.reapLocked(now, aud, fn)
 		s.mu.Unlock()
 	}
 	return n

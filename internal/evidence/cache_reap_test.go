@@ -70,7 +70,7 @@ func TestCachePutReaps(t *testing.T) {
 // Whatever the interleaving, each expired entry must be evicted exactly
 // once — the eviction counter can neither double-count an entry claimed
 // by two sweepers nor miss one — and every eviction must land on the
-// audit ledger as a cache_evict record with the chain still intact.
+// audit ledger as a cache_expire record with the chain still intact.
 func TestCacheConcurrentPutReap(t *testing.T) {
 	const expired = 64
 	clk := &fakeClock{now: time.Unix(1000, 0)}
@@ -131,9 +131,109 @@ func TestCacheConcurrentPutReap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	evicts := auditlog.Query{Event: string(auditlog.EventCacheEvict)}.Filter(recs)
+	evicts := auditlog.Query{Event: string(auditlog.EventCacheExpire)}.Filter(recs)
 	if len(evicts) != expired {
-		t.Fatalf("cache_evict records = %d, want %d", len(evicts), expired)
+		t.Fatalf("cache_expire records = %d, want %d", len(evicts), expired)
+	}
+}
+
+// TestCacheExpiryBoundary pins the freshness boundary: an entry read in
+// the exact tick its inertia window closes counts stale, not fresh.
+// One tick earlier it is still served; at the boundary it expires, is
+// counted as a miss+eviction, and lands on the ledger as cache_expire.
+func TestCacheExpiryBoundary(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := NewCacheWithClock(clk.Now)
+	var ledger bytes.Buffer
+	aud := auditlog.NewWriter(&ledger, auditlog.Options{})
+	c.SetAudit(aud)
+
+	c.Put("sw1", "prog", DetailProgram, sampleMeasurement())
+	ttl := DetailProgram.Inertia()
+
+	clk.Advance(ttl - time.Nanosecond)
+	if _, ok := c.Get("sw1", "prog", DetailProgram); !ok {
+		t.Fatal("one tick before expiry: entry must still be fresh")
+	}
+
+	clk.Advance(time.Nanosecond) // now == expires exactly
+	if _, ok := c.Get("sw1", "prog", DetailProgram); ok {
+		t.Fatal("read in the expiry tick returned fresh evidence")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 eviction", st)
+	}
+
+	aud.Close()
+	recs, err := auditlog.ReadRecords(bytes.NewReader(ledger.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(auditlog.Query{Event: string(auditlog.EventCacheExpire)}.Filter(recs)); n != 1 {
+		t.Fatalf("cache_expire records = %d, want 1", n)
+	}
+}
+
+// TestCacheNotify exercises the SetNotify hook: Put, Hit, and Expire
+// events arrive in order with the resident age and stored TTL, and a
+// per-detail SetTTL override replaces the paper's inertia window.
+func TestCacheNotify(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	c := NewCacheWithClock(clk.Now)
+	c.SetTTL(DetailTables, 16*time.Second) // compress the 1min window
+
+	var mu sync.Mutex
+	var events []CacheEvent
+	c.SetNotify(func(e CacheEvent) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+
+	c.Put("sw1", "tables", DetailTables, sampleMeasurement())
+	clk.Advance(10 * time.Second)
+	if _, ok := c.Get("sw1", "tables", DetailTables); !ok {
+		t.Fatal("entry should be fresh at 10s under the 16s override")
+	}
+	clk.Advance(6 * time.Second) // age 16s == overridden TTL
+	if _, ok := c.Get("sw1", "tables", DetailTables); ok {
+		t.Fatal("entry must be stale at the overridden TTL")
+	}
+
+	mu.Lock()
+	got := append([]CacheEvent(nil), events...)
+	mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("events = %d, want 3 (put, hit, expire)", len(got))
+	}
+	want := []CacheEventKind{CachePut, CacheHit, CacheExpire}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Fatalf("event %d kind = %v, want %v", i, got[i].Kind, k)
+		}
+		if got[i].Place != "sw1" || got[i].Detail != DetailTables {
+			t.Fatalf("event %d = %+v", i, got[i])
+		}
+		if got[i].TTL != 16*time.Second {
+			t.Fatalf("event %d TTL = %v, want overridden 16s", i, got[i].TTL)
+		}
+	}
+	if got[1].Age != 10*time.Second {
+		t.Fatalf("hit age = %v, want 10s", got[1].Age)
+	}
+	if got[2].Age != 16*time.Second {
+		t.Fatalf("expire age = %v, want 16s", got[2].Age)
+	}
+
+	// Restoring the default re-arms the paper's inertia table.
+	c.SetTTL(DetailTables, 0)
+	c.Put("sw1", "tables", DetailTables, sampleMeasurement())
+	mu.Lock()
+	last := events[len(events)-1]
+	mu.Unlock()
+	if last.Kind != CachePut || last.TTL != DetailTables.Inertia() {
+		t.Fatalf("post-restore put = %+v, want default inertia TTL", last)
 	}
 }
 

@@ -1,0 +1,35 @@
+package freshness
+
+import (
+	"sync"
+	"time"
+)
+
+// SimClock is a mutex-guarded manual clock. Simulations share one
+// instance between the evidence cache, the sampler, and the watchdog so
+// freshness arithmetic is deterministic: one Advance per injected
+// packet turns packet counts into simulated seconds.
+type SimClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewSimClock starts a clock at start.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// Now returns the current simulated instant; pass the method value as
+// any Clock func.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d.
+func (c *SimClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

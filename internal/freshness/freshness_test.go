@@ -1,0 +1,384 @@
+package freshness
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pera/internal/auditlog"
+	"pera/internal/evidence"
+	"pera/internal/pera"
+	"pera/internal/telemetry"
+)
+
+func TestDeriveBudget(t *testing.T) {
+	b := DeriveBudget(16*time.Second, 1)
+	if b.FreshFor != 24*time.Second || b.LapsedAfter != 48*time.Second {
+		t.Fatalf("budget = %+v, want 24s/48s", b)
+	}
+	// SampleEvery scales the refresh period (Fig. 4): 1-in-4 sampling
+	// quadruples the expected gap between refreshes.
+	b = DeriveBudget(time.Minute, 4)
+	if b.FreshFor != 6*time.Minute || b.LapsedAfter != 12*time.Minute {
+		t.Fatalf("sampled budget = %+v, want 6m/12m", b)
+	}
+	if b = DeriveBudget(time.Second, 0); b != DeriveBudget(time.Second, 1) {
+		t.Fatal("sampleEvery 0 must clamp to 1")
+	}
+}
+
+// newTestWatchdog builds a watchdog with second-scale budgets and no
+// firing hysteresis slack beyond one confirming evaluation.
+func newTestWatchdog(clk *SimClock) *Watchdog {
+	return New("wd-test", Config{
+		Policy:       "AP1",
+		Budget:       Budget{FreshFor: 24 * time.Second, LapsedAfter: 48 * time.Second},
+		Clock:        clk.Now,
+		Window:       16,
+		MinSamples:   4,
+		SLOTarget:    0.9,
+		BurnMax:      2,
+		FireAfter:    2,
+		ResolveAfter: 2,
+		AlertRing:    8,
+		ProbeEvery:   4,
+	})
+}
+
+func TestStatusBoundaries(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk)
+	w.Track("sw1")
+	w.RecordFresh("sw1", clk.Now())
+
+	at := func(age time.Duration, want Status) {
+		t.Helper()
+		cov := w.Coverage()
+		if len(cov.Places) != 1 || cov.Places[0].Status != want {
+			t.Fatalf("age %v: coverage = %+v, want %s", age, cov.Places, want)
+		}
+	}
+	at(0, StatusFresh)
+	clk.Advance(24*time.Second - time.Nanosecond)
+	at(24*time.Second-time.Nanosecond, StatusFresh)
+	clk.Advance(time.Nanosecond) // age == FreshFor: half-open → stale
+	at(24*time.Second, StatusStale)
+	clk.Advance(24*time.Second - time.Nanosecond)
+	at(48*time.Second-time.Nanosecond, StatusStale)
+	clk.Advance(time.Nanosecond) // age == LapsedAfter → lapsed
+	at(48*time.Second, StatusLapsed)
+}
+
+// recordSink captures events for assertions.
+type recordSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *recordSink) Emit(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *recordSink) kinds() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.events))
+	for i, e := range s.events {
+		out[i] = e.Kind + ":" + e.Alert.Place
+	}
+	return out
+}
+
+func TestAlertLifecycle(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk)
+	sink := &recordSink{}
+	w.AddSink(sink)
+	w.Track("sw1")
+	w.RecordFresh("sw1", clk.Now())
+
+	var probed []string
+	w.SetProber(ProbeFunc(func(place string) error {
+		probed = append(probed, place)
+		return errors.New("attester unreachable")
+	}))
+
+	// Decay past the lapse budget, then evaluate. FireAfter=2 means the
+	// first breaching evaluation must NOT fire (hysteresis).
+	clk.Advance(49 * time.Second)
+	w.Tick()
+	if got := w.Alerts(); got.FiredTotal != 0 {
+		t.Fatalf("fired after one breaching eval, want hysteresis hold: %+v", got)
+	}
+	w.Tick()
+	snap := w.Alerts()
+	if snap.FiredTotal == 0 || snap.Firing == 0 {
+		t.Fatalf("no alert after %d breaching evals: %+v", 2, snap)
+	}
+	var stale *Alert
+	for i := range snap.Alerts {
+		if snap.Alerts[i].Rule == RuleStaleness && snap.Alerts[i].State == StateFiring {
+			stale = &snap.Alerts[i]
+		}
+	}
+	if stale == nil {
+		t.Fatalf("no firing staleness alert: %+v", snap.Alerts)
+	}
+	if stale.Place != "sw1" || stale.Policy != "AP1" {
+		t.Fatalf("alert = %+v", stale)
+	}
+	// The firing transition probes immediately, even though the probe
+	// fails here.
+	if len(probed) == 0 || probed[0] != "sw1" {
+		t.Fatalf("no probe on firing transition: %v", probed)
+	}
+
+	// Fresh evidence + ResolveAfter clean evaluations resolves the
+	// threshold alert immediately; the burn-rate alert (fired on the
+	// now-40%-bad window) drains as clean samples dilute the window.
+	w.RecordFresh("sw1", clk.Now())
+	w.Tick()
+	mid := w.Alerts()
+	var staleFiring bool
+	for _, a := range mid.Alerts {
+		if a.Rule == RuleStaleness && a.State == StateFiring {
+			staleFiring = true
+		}
+	}
+	if staleFiring || mid.ResolvedTotal == 0 {
+		t.Fatalf("staleness alert did not resolve on fresh evidence: %+v", mid)
+	}
+	for i := 0; i < 20; i++ {
+		w.Tick()
+	}
+	final := w.Alerts()
+	if final.Firing != 0 {
+		t.Fatalf("alerts still firing after window drained clean: %+v", final)
+	}
+
+	kinds := sink.kinds()
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "fired:sw1") || !strings.Contains(joined, "probe:sw1") ||
+		!strings.Contains(joined, "resolved:sw1") {
+		t.Fatalf("sink saw %v, want fired+probe+resolved", kinds)
+	}
+}
+
+func TestNeverAttestedAlert(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk)
+	w.Track("ghost")
+	w.Tick()
+	w.Tick()
+	snap := w.Alerts()
+	if snap.Firing == 0 {
+		t.Fatalf("tracked-but-never-attested place did not alert: %+v", snap)
+	}
+	cov := w.Coverage()
+	if cov.Never != 1 || cov.Places[0].Status != StatusNever {
+		t.Fatalf("coverage = %+v, want 1 never-attested", cov)
+	}
+}
+
+func TestBurnRateRule(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk)
+	w.Track("sw1")
+	w.RecordFresh("sw1", clk.Now())
+
+	// Sit just inside stale (past FreshFor, before LapsedAfter): the
+	// threshold rule never breaches, but every window sample is out of
+	// budget, so the burn rule must fire once MinSamples accumulate.
+	clk.Advance(30 * time.Second)
+	for i := 0; i < 6; i++ {
+		w.Tick()
+	}
+	snap := w.Alerts()
+	var burn bool
+	for _, a := range snap.Alerts {
+		if a.Rule == RuleBurn && a.Place == "sw1" {
+			burn = true
+		}
+		if a.Rule == RuleStaleness {
+			t.Fatalf("threshold rule fired while merely stale: %+v", a)
+		}
+	}
+	if !burn {
+		t.Fatalf("burn-rate rule never fired: %+v", snap.Alerts)
+	}
+}
+
+func TestAlertRingBounded(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk) // AlertRing: 8
+	// Cycle many fire→resolve pairs on distinct tracked places.
+	for i := 0; i < 12; i++ {
+		place := "sw" + string(rune('a'+i))
+		w.Track(place)
+		w.Tick()
+		w.Tick() // never-attested fires
+		w.RecordFresh(place, clk.Now())
+		w.Tick() // resolves
+	}
+	snap := w.Alerts()
+	if len(snap.Alerts) > 8 {
+		t.Fatalf("ring holds %d alerts, bound is 8", len(snap.Alerts))
+	}
+	if snap.FiredTotal < 12 {
+		t.Fatalf("fired total = %d, want ≥ 12", snap.FiredTotal)
+	}
+	// Newest first.
+	for i := 1; i < len(snap.Alerts); i++ {
+		if snap.Alerts[i].ID > snap.Alerts[i-1].ID {
+			t.Fatalf("alerts not newest-first: %v then %v", snap.Alerts[i-1].ID, snap.Alerts[i].ID)
+		}
+	}
+}
+
+func TestCacheCommitFlow(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk)
+
+	// Evidence produced (cache Put) is only *pending* trust…
+	w.CacheEvent(evidence.CacheEvent{
+		Kind: evidence.CachePut, Place: "sw1", Target: "tables",
+		Detail: evidence.DetailTables, TTL: 16 * time.Second, At: clk.Now(),
+	})
+	cov := w.Coverage()
+	if cov.Places[0].Status != StatusNever {
+		t.Fatalf("pending evidence counted as committed: %+v", cov.Places[0])
+	}
+
+	// …and a clean verdict over a traced path commits it.
+	w.IngestPath("flow-1", []pera.HopSpan{{Place: "sw1"}}, false)
+	w.ObserveVerdict("flow-1", "path", true, "", "accept", "")
+	cov = w.Coverage()
+	if cov.Places[0].Status != StatusFresh {
+		t.Fatalf("clean verdict did not commit pending trust: %+v", cov.Places[0])
+	}
+	if cov.Places[0].LastFreshNS != clk.Now().UnixNano() {
+		t.Fatalf("lastFresh = %d, want put instant", cov.Places[0].LastFreshNS)
+	}
+
+	// A failing verdict must not commit.
+	clk.Advance(time.Second)
+	w.CacheEvent(evidence.CacheEvent{
+		Kind: evidence.CachePut, Place: "sw2", Target: "tables",
+		Detail: evidence.DetailTables, TTL: 16 * time.Second, At: clk.Now(),
+	})
+	w.IngestPath("flow-2", []pera.HopSpan{{Place: "sw2"}}, false)
+	w.ObserveVerdict("flow-2", "path", false, "sw2", "golden", "hash mismatch")
+	for _, p := range w.Coverage().Places {
+		if p.Place == "sw2" && p.Status != StatusNever {
+			t.Fatalf("failing verdict committed trust: %+v", p)
+		}
+		if p.Place == "sw2" && p.Fails != 1 {
+			t.Fatalf("fail not attributed: %+v", p)
+		}
+	}
+}
+
+func TestVerdictForwarding(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk)
+	var got []string
+	w.SetForward(forwardFunc(func(flow, subject string, verdict bool, place, stage, reason string) {
+		got = append(got, flow)
+	}))
+	w.ObserveVerdict("flow-9", "path", true, "", "accept", "")
+	if len(got) != 1 || got[0] != "flow-9" {
+		t.Fatalf("forward saw %v", got)
+	}
+}
+
+type forwardFunc func(flow, subject string, verdict bool, place, stage, reason string)
+
+func (f forwardFunc) ObserveVerdict(flow, subject string, verdict bool, place, stage, reason string) {
+	f(flow, subject, verdict, place, stage, reason)
+}
+
+func TestSinks(t *testing.T) {
+	a := Alert{ID: 7, Rule: RuleStaleness, Place: "sw2", Policy: "AP1",
+		State: StateFiring, Reason: "age 50s exceeds 48s", AgeNS: int64(50 * time.Second)}
+
+	var logBuf bytes.Buffer
+	NewLogSink(&logBuf).Emit(Event{Kind: "fired", Alert: a})
+	if !strings.Contains(logBuf.String(), "ALERT FIRING") || !strings.Contains(logBuf.String(), "sw2") {
+		t.Fatalf("log sink: %q", logBuf.String())
+	}
+
+	var jsonBuf bytes.Buffer
+	js := NewJSONLSink(&jsonBuf)
+	js.Emit(Event{Kind: "fired", Alert: a})
+	js.Emit(Event{Kind: "probe", Alert: a, ProbeOK: false, ProbeErr: "unreachable"})
+	lines := strings.Split(strings.TrimSpace(jsonBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Alert.Place != "sw2" || e.Kind != "fired" {
+		t.Fatalf("jsonl round-trip: %+v", e)
+	}
+
+	var ledger bytes.Buffer
+	aw := auditlog.NewWriter(&ledger, auditlog.Options{})
+	as := NewAuditSink(aw)
+	as.Emit(Event{Kind: "fired", Alert: a})
+	as.Emit(Event{Kind: "probe", Alert: a, ProbeOK: true})
+	resolved := a
+	resolved.State = StateResolved
+	resolved.ResolvedNS = resolved.FiredAtNS + int64(10*time.Second)
+	as.Emit(Event{Kind: "resolved", Alert: resolved})
+	aw.Close()
+	if _, err := auditlog.VerifyReader(bytes.NewReader(ledger.Bytes()), auditlog.DevKey()); err != nil {
+		t.Fatalf("alert ledger verification: %v", err)
+	}
+	recs, err := auditlog.ReadRecords(bytes.NewReader(ledger.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range []auditlog.Event{auditlog.EventAlertFired, auditlog.EventAlertProbe, auditlog.EventAlertResolved} {
+		if n := len(auditlog.Query{Event: string(ev)}.Filter(recs)); n != 1 {
+			t.Fatalf("%s records = %d, want 1", ev, n)
+		}
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	clk := NewSimClock(time.Unix(1000, 0))
+	w := newTestWatchdog(clk)
+	reg := telemetry.NewRegistry()
+	w.Instrument(reg)
+	w.Track("sw1", "sw2")
+	w.RecordFresh("sw1", clk.Now())
+	clk.Advance(30 * time.Second) // sw1 stale, sw2 never
+	w.Tick()
+	w.Tick()
+
+	snap := reg.Snapshot()
+	if v := snap.Value("pera_freshness_places", telemetry.L("status", "stale")); v != 1 {
+		t.Fatalf("stale places = %v", v)
+	}
+	if v := snap.Value("pera_freshness_places", telemetry.L("status", "never-attested")); v != 1 {
+		t.Fatalf("never places = %v", v)
+	}
+	if v := snap.Value("pera_freshness_evidence_age_seconds",
+		telemetry.L("place", "sw1"), telemetry.L("policy", "AP1")); v != 30 {
+		t.Fatalf("sw1 age = %v, want 30", v)
+	}
+	if v := snap.Value("pera_freshness_oldest_age_seconds"); v != 30 {
+		t.Fatalf("oldest = %v", v)
+	}
+	if v := snap.Value("pera_alerts_firing"); v < 1 {
+		t.Fatalf("firing gauge = %v", v)
+	}
+}

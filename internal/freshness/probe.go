@@ -1,0 +1,79 @@
+package freshness
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pera/internal/rats"
+)
+
+// Prober issues an active re-attestation for a place. A nil error means
+// the full Fig. 1 loop closed clean: challenge → evidence → appraisal →
+// passing result.
+type Prober interface {
+	Probe(place string) error
+}
+
+// ProbeFunc adapts a function to the Prober interface.
+type ProbeFunc func(place string) error
+
+// Probe implements Prober.
+func (f ProbeFunc) Probe(place string) error { return f(place) }
+
+// RATSProber drives the paper's Fig. 1 challenge-response loop over the
+// rats wire protocol: dial the place's attester, send MsgChallenge with
+// a fresh nonce (the appraiser rejects replays, so every probe must
+// mint its own), and appraise the returned evidence. On a clean
+// appraisal it commits the fresh instant via OnFresh — normally wired
+// to Watchdog.RecordFresh.
+type RATSProber struct {
+	// Dial connects to the place's attester endpoint (in simulations, a
+	// rats.Pipe served by the switch's AttesterHandler). Required.
+	Dial func(place string) (*rats.Conn, error)
+	// NewNonce mints a fresh challenge nonce per probe. Required.
+	NewNonce func(place string) []byte
+	// Claims is the challenge claim spec (e.g. "program", "tables").
+	Claims []string
+	// Appraise judges the returned evidence against the active policy;
+	// nil error means clean. Required.
+	Appraise func(place string, nonce, evidenceBody []byte) error
+	// OnFresh commits a clean probe (typically Watchdog.RecordFresh).
+	OnFresh func(place string, at time.Time)
+	// Clock stamps the fresh instant; default time.Now.
+	Clock func() time.Time
+}
+
+// Probe implements Prober.
+func (p *RATSProber) Probe(place string) error {
+	if p.Dial == nil || p.NewNonce == nil || p.Appraise == nil {
+		return errors.New("rats prober: Dial, NewNonce, and Appraise are required")
+	}
+	conn, err := p.Dial(place)
+	if err != nil {
+		return fmt.Errorf("dial attester %s: %w", place, err)
+	}
+	defer conn.Close()
+
+	nonce := p.NewNonce(place)
+	resp, err := conn.Call(&rats.Message{
+		Type: rats.MsgChallenge, Nonce: nonce, Claims: p.Claims,
+	})
+	if err != nil {
+		return fmt.Errorf("challenge %s: %w", place, err)
+	}
+	if resp.Type != rats.MsgEvidence {
+		return fmt.Errorf("challenge %s: attester answered %v: %s", place, resp.Type, resp.Body)
+	}
+	if err := p.Appraise(place, nonce, resp.Body); err != nil {
+		return fmt.Errorf("probe evidence from %s: %w", place, err)
+	}
+	if p.OnFresh != nil {
+		clock := p.Clock
+		if clock == nil {
+			clock = time.Now
+		}
+		p.OnFresh(place, clock())
+	}
+	return nil
+}

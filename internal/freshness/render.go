@@ -1,0 +1,59 @@
+package freshness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RenderCoverage writes the coverage map as a fixed-width table —
+// what attestctl coverage prints.
+func RenderCoverage(w io.Writer, cov Coverage) {
+	fmt.Fprintf(w, "coverage — watchdog %s, policy %s (budget: fresh < %v, lapsed ≥ %v, SLO %.0f%%)\n",
+		cov.Watchdog, cov.Policy,
+		time.Duration(cov.BudgetFreshNS).Round(time.Millisecond),
+		time.Duration(cov.BudgetLapsedNS).Round(time.Millisecond),
+		cov.SLOTarget*100)
+	fmt.Fprintf(w, "%d fresh / %d stale / %d lapsed / %d never-attested over %d evaluations\n\n",
+		cov.Fresh, cov.Stale, cov.Lapsed, cov.Never, cov.Evaluations)
+	fmt.Fprintf(w, "%-10s %-14s %10s %6s %6s %6s %8s %6s %7s %8s\n",
+		"PLACE", "STATUS", "AGE", "PUTS", "HITS", "EXPIRE", "VERDICTS", "FAILS", "PROBES", "BAD%WIN")
+	for _, p := range cov.Places {
+		age := "-"
+		if p.Status != StatusNever {
+			age = fmtAge(time.Duration(p.AgeNS))
+		}
+		fmt.Fprintf(w, "%-10s %-14s %10s %6d %6d %6d %8d %6d %4d/%-2d %7.1f%%\n",
+			p.Place, p.Status, age,
+			p.CachePuts, p.CacheHits, p.CacheExpires,
+			p.Verdicts, p.Fails, p.ProbesOK, p.Probes, p.WindowBadFrac*100)
+	}
+}
+
+// RenderAlerts writes the alert ring as a fixed-width table, newest
+// first — what attestctl alerts prints.
+func RenderAlerts(w io.Writer, snap AlertsSnapshot) {
+	fmt.Fprintf(w, "alerts — watchdog %s: %d firing, %d fired / %d resolved total, probes %d (%d clean)\n\n",
+		snap.Watchdog, snap.Firing, snap.FiredTotal, snap.ResolvedTotal,
+		snap.ProbesTotal, snap.ProbesOK)
+	if len(snap.Alerts) == 0 {
+		fmt.Fprintln(w, "no alerts recorded")
+		return
+	}
+	fmt.Fprintf(w, "%4s %-20s %-10s %-9s %10s %7s  %s\n",
+		"ID", "RULE", "PLACE", "STATE", "AGE@FIRE", "PROBES", "REASON")
+	for _, a := range snap.Alerts {
+		fmt.Fprintf(w, "%4d %-20s %-10s %-9s %10s %4d/%-2d  %s\n",
+			a.ID, a.Rule, a.Place, a.State,
+			fmtAge(time.Duration(a.AgeNS)), a.ProbeOK, a.Probes, a.Reason)
+	}
+}
+
+// fmtAge renders a duration at the freshness time scale (seconds and
+// up; sub-second ages round to ms).
+func fmtAge(d time.Duration) string {
+	if d >= time.Second {
+		return d.Round(time.Second).String()
+	}
+	return d.Round(time.Millisecond).String()
+}

@@ -7,6 +7,7 @@ import (
 	"pera/internal/appraiser"
 	"pera/internal/auditlog"
 	"pera/internal/evidence"
+	"pera/internal/freshness"
 	"pera/internal/nac"
 	"pera/internal/observatory"
 	"pera/internal/pera"
@@ -80,6 +81,10 @@ type ThroughputOptions struct {
 	// Collector, when non-nil, shadows the client host (ingesting span
 	// trails) and observes every appraisal verdict.
 	Collector *observatory.Collector
+	// Watchdog, when non-nil, consumes the run's cache events and
+	// appraisal verdicts (teeing them to Collector when both are set) —
+	// the trust-decay overhead BenchmarkThroughput_SLO measures.
+	Watchdog *freshness.Watchdog
 }
 
 // ThroughputCorpus sends one attested packet per flow through the UC1
@@ -115,6 +120,12 @@ func throughputCorpus(o ThroughputOptions) ([]appraiser.Job, *usecases.Testbed, 
 	}
 	if o.Collector != nil {
 		o.Collector.AttachHost(tb.Client)
+		if o.Watchdog != nil {
+			o.Collector.SetPathSink(o.Watchdog.IngestPath)
+		}
+	}
+	if o.Watchdog != nil {
+		cache.SetNotify(o.Watchdog.CacheEvent)
 	}
 	if o.Registry != nil {
 		for _, sw := range tb.Switches {
@@ -189,7 +200,15 @@ func RunThroughputOpts(o ThroughputOptions) (*ThroughputResult, error) {
 		return nil, err
 	}
 	a := tb.Appraiser
-	if o.Collector != nil {
+	switch {
+	case o.Watchdog != nil:
+		// The watchdog owns the observer slot and tees to the collector.
+		if o.Collector != nil {
+			o.Watchdog.SetForward(o.Collector)
+		}
+		o.Watchdog.Track(tb.PathSwitchNames()...)
+		a.SetObserver(o.Watchdog)
+	case o.Collector != nil:
 		a.SetObserver(o.Collector)
 	}
 	if o.Memo {

@@ -24,6 +24,7 @@ package observatory
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pera/internal/netsim"
 	"pera/internal/pera"
@@ -117,6 +118,8 @@ type Collector struct {
 	pushes   uint64 // stats/audit/memo pushes
 	frames   uint64 // frames inspected
 	loc      *Localization
+
+	pathSink atomic.Pointer[func(flow string, hops []pera.HopSpan, truncated bool)]
 }
 
 // New creates a collector. The name is its netsim node identity.
@@ -169,6 +172,31 @@ func (c *Collector) IngestFrame(frame []byte) bool {
 // each hop's span into that place's health. Exposed for out-of-band
 // span transports; in-band callers use IngestFrame.
 func (c *Collector) IngestPath(flow string, hops []pera.HopSpan, truncated bool) {
+	c.ingestPath(flow, hops, truncated)
+	// The sink runs after c.mu is released so a subscriber (the
+	// freshness watchdog) may take its own locks — or call back into
+	// the collector — without deadlocking.
+	if fn := c.pathSink.Load(); fn != nil {
+		(*fn)(flow, append([]pera.HopSpan(nil), hops...), truncated)
+	}
+}
+
+// SetPathSink subscribes a downstream consumer to every reassembled span
+// trail the collector ingests. The hook is invoked outside the
+// collector's lock with its own copy of the hops. Single slot; nil
+// detaches.
+func (c *Collector) SetPathSink(fn func(flow string, hops []pera.HopSpan, truncated bool)) {
+	if c == nil {
+		return
+	}
+	if fn == nil {
+		c.pathSink.Store(nil)
+		return
+	}
+	c.pathSink.Store(&fn)
+}
+
+func (c *Collector) ingestPath(flow string, hops []pera.HopSpan, truncated bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++

@@ -1,0 +1,83 @@
+package observatory
+
+import "testing"
+
+// TestHealthWindowRollover pins the per-place rolling outcome window
+// across its fill→rollover boundary: once winN reaches the configured
+// window, each new outcome must displace exactly the oldest one, and
+// winFails must track the displaced value — never going negative and
+// never counting an outcome that has rotated out. The freshness
+// watchdog's burn-rate evaluator leans on the same sliding-window
+// arithmetic, so a drift here silently corrupts both planes.
+func TestHealthWindowRollover(t *testing.T) {
+	cfg := Config{Window: 4, Baseline: 2, MinFails: 2, Threshold: 0.25}.withDefaults()
+	p := newPlace("sw2", cfg)
+
+	// Fill: four clean outcomes.
+	for i := 0; i < 4; i++ {
+		p.observe(false, cfg)
+	}
+	if p.winN != 4 || p.winFails != 0 {
+		t.Fatalf("after fill: winN=%d winFails=%d, want 4/0", p.winN, p.winFails)
+	}
+
+	// Rollover: two failures displace two of the clean outcomes.
+	p.observe(true, cfg)
+	p.observe(true, cfg)
+	if p.winN != 4 {
+		t.Fatalf("winN grew past the window: %d", p.winN)
+	}
+	if p.winFails != 2 {
+		t.Fatalf("winFails = %d, want 2", p.winFails)
+	}
+	if got := p.windowRate(); got != 0.5 {
+		t.Fatalf("windowRate = %v, want 0.5", got)
+	}
+	if !p.flagged {
+		t.Fatal("place not flagged at 0.5 window rate over a clean baseline")
+	}
+
+	// Recovery: four clean outcomes rotate both failures out; the
+	// decrement side of the rollover must land winFails back at exactly
+	// zero, not below.
+	for i := 0; i < 4; i++ {
+		p.observe(false, cfg)
+		if p.winFails < 0 {
+			t.Fatalf("winFails went negative: %d", p.winFails)
+		}
+	}
+	if p.winFails != 0 || p.windowRate() != 0 {
+		t.Fatalf("after recovery: winFails=%d rate=%v, want 0/0", p.winFails, p.windowRate())
+	}
+	if !p.flagged {
+		t.Fatal("flagging must be sticky across recovery (flaggedAt is forensic state)")
+	}
+}
+
+// TestHealthWindowLongRun cross-checks the ring arithmetic against a
+// reference model over many wraps of the head pointer.
+func TestHealthWindowLongRun(t *testing.T) {
+	cfg := Config{Window: 8, Baseline: 4, MinFails: 3, Threshold: 0.25}.withDefaults()
+	p := newPlace("sw1", cfg)
+
+	var history []bool
+	for i := 0; i < 100; i++ {
+		fail := i%3 == 0 // deterministic mixed pattern
+		history = append(history, fail)
+		p.observe(fail, cfg)
+
+		want := 0
+		start := len(history) - cfg.Window
+		if start < 0 {
+			start = 0
+		}
+		for _, f := range history[start:] {
+			if f {
+				want++
+			}
+		}
+		if p.winFails != want {
+			t.Fatalf("obs %d: winFails=%d, reference=%d", i, p.winFails, want)
+		}
+	}
+}

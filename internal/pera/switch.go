@@ -285,6 +285,20 @@ func (s *Switch) SetSink(sink Sink) {
 	s.sink = sink
 }
 
+// SetSampler swaps the obligation sampler mid-run — the Fig. 4 knob a
+// live operator (or a fault) turns: a never-firing sampler silently
+// stops this place's in-band re-attestation while the pipeline keeps
+// forwarding, which is exactly the trust-decay condition the freshness
+// watchdog exists to catch. A nil sampler restores per-packet sampling.
+func (s *Switch) SetSampler(sm *evidence.Sampler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sm == nil {
+		sm = evidence.NewSampler(evidence.SamplerConfig{Mode: evidence.SamplePerPacket})
+	}
+	s.cfg.Sampler = sm
+}
+
 // SetConfig replaces the evidence configuration.
 func (s *Switch) SetConfig(cfg Config) {
 	s.mu.Lock()

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// The burn-rate evaluator in internal/freshness reads evidence-age
+// quantiles straight off these snapshots, so the edge behaviors below
+// are load-bearing: an empty histogram must answer 0 (not NaN), a lone
+// sample must interpolate inside its containing bucket, and overflow
+// observations must clamp to the last finite bound rather than invent
+// ages beyond what the bucket ladder can represent.
+
+func quantileHist(t *testing.T) *Histogram {
+	t.Helper()
+	return NewHistogram("q_test", []float64{1, 2, 4, 8})
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := quantileHist(t)
+	hs := h.Sample().Hist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := hs.Quantile(q); v != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+	var nilSnap *HistSnapshot
+	if v := nilSnap.Quantile(0.5); v != 0 {
+		t.Fatalf("nil snapshot Quantile = %v, want 0", v)
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := quantileHist(t)
+	h.Observe(3) // lands in the (2, 4] bucket
+	hs := h.Sample().Hist
+	if hs.Count != 1 {
+		t.Fatalf("count = %d, want 1", hs.Count)
+	}
+	// One sample interpolates inside its containing bucket: the median
+	// estimate is the bucket midpoint, q=1 its upper bound, and q=0 the
+	// lowest bound (the zero-rank degenerate case).
+	if v := hs.Quantile(0.5); v != 3 {
+		t.Fatalf("p50 = %v, want 3 (midpoint of (2,4])", v)
+	}
+	if v := hs.Quantile(1); v != 4 {
+		t.Fatalf("q=1 = %v, want containing bucket's upper bound 4", v)
+	}
+	if v := hs.Quantile(0); v != 1 {
+		t.Fatalf("q=0 = %v, want lowest bound 1", v)
+	}
+}
+
+func TestQuantileAllEqual(t *testing.T) {
+	h := quantileHist(t)
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	hs := h.Sample().Hist
+	// Every sample shares the (2, 4] bucket, so every quantile is a
+	// linear walk across that bucket: p50 at the midpoint, p99 near the
+	// top, and nothing escapes the bucket's bounds.
+	if v := hs.Quantile(0.5); v != 3 {
+		t.Fatalf("p50 = %v, want 3", v)
+	}
+	if v := hs.Quantile(0.99); math.Abs(v-3.98) > 1e-9 {
+		t.Fatalf("p99 = %v, want 3.98", v)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.75, 0.999} {
+		if v := hs.Quantile(q); v < 2 || v > 4 {
+			t.Fatalf("Quantile(%v) = %v escaped the containing bucket (2,4]", q, v)
+		}
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := quantileHist(t)
+	h.Observe(100) // beyond the last bound → implicit +Inf bucket
+	hs := h.Sample().Hist
+	// The open-ended bucket has no upper edge to interpolate toward;
+	// the estimate clamps to the last finite bound instead of inventing
+	// a value past the ladder.
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if v := hs.Quantile(q); v != 8 {
+			t.Fatalf("overflow Quantile(%v) = %v, want clamp to last bound 8", q, v)
+		}
+	}
+
+	// Mixed population: once the rank crosses into the overflow bucket
+	// the clamp applies; below it, normal interpolation still works.
+	h2 := quantileHist(t)
+	h2.Observe(0.5)
+	for i := 0; i < 3; i++ {
+		h2.Observe(100)
+	}
+	hs2 := h2.Sample().Hist
+	if v := hs2.Quantile(0.25); v > 1 {
+		t.Fatalf("p25 = %v, want within the first bucket (<= 1)", v)
+	}
+	if v := hs2.Quantile(0.9); v != 8 {
+		t.Fatalf("p90 = %v, want clamp to 8", v)
+	}
+}
