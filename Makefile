@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke cover fmt clean
+.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke cover fmt clean
 
 all: build test race vet
 
@@ -41,6 +41,12 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Allocation-budget guard (CI tier): run the end-to-end throughput
+# benchmark a few iterations and fail if allocs/op exceeds the
+# checked-in budget in bench_budget.txt. See docs/PERFORMANCE.md.
+bench-quick:
+	GO=$(GO) sh scripts/bench_quick.sh
 
 # Just the concurrent-appraisal families (the BENCH_throughput.json
 # source); see README "Performance".

@@ -68,6 +68,10 @@ type Pool struct {
 	next   atomic.Uint64 // submission index + round-robin source
 	closed atomic.Bool
 
+	// win, when set via EnableVerifyWindow, batches Submit-path jobs into
+	// bounded-latency signature-verification windows before dispatch.
+	win *verifyWindow
+
 	jobs   atomic.Uint64
 	pass   atomic.Uint64
 	fail   atomic.Uint64
@@ -88,6 +92,10 @@ type poolTask struct {
 	idx  int
 	res  *Result         // AppraiseAll: slot to fill
 	done *sync.WaitGroup // AppraiseAll: completion signal
+	// memo, when set, overrides the appraiser's memo for this appraisal —
+	// the transport that hands a batch window's pre-verified signature
+	// verdicts to the worker without installing a persistent cache.
+	memo *evidence.VerifyMemo
 }
 
 // NewPool starts workers goroutines appraising against a. workers <= 0
@@ -153,8 +161,8 @@ func jobFlowID(job *Job) string {
 	if len(job.Nonce) > 0 {
 		return hex.EncodeToString(job.Nonce)
 	}
-	if ns := evidence.Nonces(job.Evidence); len(ns) > 0 {
-		return hex.EncodeToString(ns[0])
+	if n := evidence.FirstNonce(job.Evidence); n != nil {
+		return hex.EncodeToString(n)
 	}
 	return job.Subject
 }
@@ -174,7 +182,7 @@ func (p *Pool) worker(id int, queue <-chan poolTask) {
 		if p.aud != nil {
 			attr = "worker " + strconv.Itoa(id)
 		}
-		cert, err := p.a.AppraiseNoted(t.job.Subject, t.job.Evidence, t.job.Nonce, attr)
+		cert, err := p.a.appraiseNoted(t.job.Subject, t.job.Evidence, t.job.Nonce, attr, t.memo)
 		hist.ObserveSince(start)
 		if tr := p.tracer; tr != nil {
 			flow := jobFlowID(&t.job)
@@ -227,32 +235,238 @@ func (p *Pool) route(job *Job, idx int) chan poolTask {
 
 // Submit enqueues a job and returns its submission index. It blocks only
 // when the routed worker's queue is full (natural backpressure on the
-// producer). Submit must not be called after Close.
+// producer). Submit must not be called after Close. With a verify window
+// enabled, the job is held for at most the window's delay before
+// dispatch; per-nonce ordering is preserved because the window drains in
+// submission order.
 func (p *Pool) Submit(job Job) int {
 	idx := int(p.next.Add(1) - 1)
-	p.route(&job, idx) <- poolTask{job: job, idx: idx}
+	t := poolTask{job: job, idx: idx}
+	if w := p.win; w != nil {
+		p.windowAdd(w, t)
+		return idx
+	}
+	p.route(&job, idx) <- t
 	return idx
 }
 
-// submitTracked is Submit with a result slot and completion group, used by
-// AppraiseAll.
-func (p *Pool) submitTracked(job Job, res *Result, done *sync.WaitGroup) {
+// submitTracked is Submit with a result slot, completion group and memo
+// override, used by AppraiseAll. It bypasses the verify window:
+// AppraiseAll runs its own whole-call batch prewarm.
+func (p *Pool) submitTracked(job Job, res *Result, done *sync.WaitGroup, memo *evidence.VerifyMemo) {
 	idx := int(p.next.Add(1) - 1)
-	p.route(&job, idx) <- poolTask{job: job, idx: idx, res: res, done: done}
+	p.route(&job, idx) <- poolTask{job: job, idx: idx, res: res, done: done, memo: memo}
+}
+
+// verifyWindow is the bounded-latency batching stage in front of the
+// workers: Submit-path jobs are buffered until the window fills or the
+// delay timer fires, their chains' signatures verified as one Ed25519
+// batch, then dispatched in submission order. The crypto runs under the
+// window mutex, so producers feel the window's latency as backpressure —
+// that is the bound the delay parameter promises.
+type verifyWindow struct {
+	mu       sync.Mutex
+	buf      []poolTask
+	timer    *time.Timer
+	maxJobs  int
+	maxDelay time.Duration
+}
+
+// EnableVerifyWindow inserts a batch-verification window in front of the
+// workers: Submit-path jobs wait for at most maxDelay (or until maxJobs
+// accumulate, whichever is first) so their signatures can be verified
+// together with one batch equation. maxJobs <= 1 and maxDelay <= 0 pick
+// defaults (16 jobs, 2ms). Like Instrument, call before the first
+// Submit; AppraiseAll is unaffected (it batches whole calls already).
+func (p *Pool) EnableVerifyWindow(maxJobs int, maxDelay time.Duration) {
+	if maxJobs <= 1 {
+		maxJobs = 16
+	}
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Millisecond
+	}
+	p.win = &verifyWindow{maxJobs: maxJobs, maxDelay: maxDelay}
+}
+
+// windowAdd buffers one task, flushing when the window fills and arming
+// the delay timer for the partial-window case.
+func (p *Pool) windowAdd(w *verifyWindow, t poolTask) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf = append(w.buf, t)
+	if len(w.buf) >= w.maxJobs {
+		p.windowFlushLocked(w)
+		return
+	}
+	if w.timer == nil {
+		w.timer = time.AfterFunc(w.maxDelay, func() { p.windowFlush(w) })
+	}
+}
+
+func (p *Pool) windowFlush(w *verifyWindow) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	p.windowFlushLocked(w)
+}
+
+// windowFlushLocked batch-verifies the buffered chains and dispatches
+// them in buffered (= submission) order. Dispatch happens under the
+// window mutex so a timer flush racing Close cannot send on a closed
+// queue: Close's final flush holds the same lock and stops the timer.
+func (p *Pool) windowFlushLocked(w *verifyWindow) {
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	if len(w.buf) == 0 {
+		return
+	}
+	memo, override := p.windowMemo()
+	keys := p.a.keysSnapshot()
+	bv := batchVerifiers.Get().(*evidence.BatchVerifier)
+	bv.Reset(memo)
+	for i := range w.buf {
+		// Gather errors (unknown signer, malformed tree) are dropped here;
+		// the worker's appraisal walk reproduces them verbatim.
+		_ = bv.Gather(w.buf[i].job.Evidence, keys)
+	}
+	bv.Flush()
+	batchVerifiers.Put(bv)
+	for i := range w.buf {
+		t := w.buf[i]
+		t.memo = override
+		p.route(&t.job, t.idx) <- t
+	}
+	w.buf = w.buf[:0]
+}
+
+// windowMemo picks the memo a batch window seeds: the appraiser's own
+// persistent memo when enabled (override nil — workers already use it),
+// else a fresh ephemeral memo that must be threaded through the tasks
+// and dies with the window, so memo-off configurations batch within a
+// window without gaining a cross-call cache.
+func (p *Pool) windowMemo() (memo, override *evidence.VerifyMemo) {
+	if m := p.a.memoSnapshot(); m != nil {
+		return m, nil
+	}
+	m := evidence.NewVerifyMemo(1024)
+	return m, m
 }
 
 // AppraiseAll runs every job through the pool and returns results in
 // submission order. It may be interleaved with concurrent Submit calls;
 // only the jobs passed here are waited on.
+//
+// Two window-level optimizations apply to the whole call:
+//
+//   - identical nonce-less jobs — same subject, same evidence tree — are
+//     coalesced: one appraisal runs and every duplicate receives its
+//     certificate. High-inertia evidence re-presented across the packets
+//     of one batch is pointer-identical (the switch caches the frame),
+//     so re-appraising it per packet proves nothing the first appraisal
+//     didn't. Jobs with a nonce are never coalesced: replay semantics
+//     require each submission to be appraised.
+//   - the unique chains' signatures are batch-verified up front, in
+//     parallel sub-windows, seeding the verification memo the dispatched
+//     appraisals then consume.
+//
+// Coalesced duplicates still count in Stats and still trigger OnResult
+// (from this goroutine, not a worker); their Result.Index is the
+// leader's.
 func (p *Pool) AppraiseAll(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	var done sync.WaitGroup
-	done.Add(len(jobs))
+
+	type dupKey struct {
+		subject string
+		ev      *evidence.Evidence
+	}
+	leader := make(map[dupKey]int, len(jobs))
+	leaderOf := make([]int, len(jobs)) // -1 = this job runs; else index of its leader
+	dups := 0
 	for i := range jobs {
-		p.submitTracked(jobs[i], &results[i], &done)
+		leaderOf[i] = -1
+		if len(jobs[i].Nonce) != 0 {
+			continue
+		}
+		k := dupKey{jobs[i].Subject, jobs[i].Evidence}
+		if l, ok := leader[k]; ok {
+			leaderOf[i] = l
+			dups++
+		} else {
+			leader[k] = i
+		}
+	}
+
+	memo := p.prewarm(jobs, leaderOf)
+
+	done.Add(len(jobs) - dups)
+	for i := range jobs {
+		if leaderOf[i] == -1 {
+			p.submitTracked(jobs[i], &results[i], &done, memo)
+		}
 	}
 	done.Wait()
+
+	for i := range jobs {
+		l := leaderOf[i]
+		if l == -1 {
+			continue
+		}
+		r := results[l]
+		results[i] = r
+		p.jobs.Add(1)
+		switch {
+		case r.Err != nil:
+			p.errors.Add(1)
+		case r.Certificate != nil && r.Certificate.Verdict:
+			p.pass.Add(1)
+		default:
+			p.fail.Add(1)
+		}
+		if p.OnResult != nil {
+			p.OnResult(r)
+		}
+	}
 	return results
+}
+
+// prewarm batch-verifies the signatures of the call's unique chains,
+// split across up to Workers parallel sub-windows, before any job is
+// dispatched. It returns the memo override to stamp on the tasks (nil
+// when the appraiser's own memo is the seed target).
+func (p *Pool) prewarm(jobs []Job, leaderOf []int) *evidence.VerifyMemo {
+	memo, override := p.windowMemo()
+	keys := p.a.keysSnapshot()
+	uniq := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if leaderOf[i] == -1 {
+			uniq = append(uniq, i)
+		}
+	}
+	if len(uniq) == 0 {
+		return override
+	}
+	parts := p.workers
+	if parts > len(uniq) {
+		parts = len(uniq)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < parts; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			bv := batchVerifiers.Get().(*evidence.BatchVerifier)
+			bv.Reset(memo)
+			for j := w; j < len(uniq); j += parts {
+				_ = bv.Gather(jobs[uniq[j]].Evidence, keys)
+			}
+			bv.Flush()
+			batchVerifiers.Put(bv)
+		}(w)
+	}
+	wg.Wait()
+	return override
 }
 
 // Stats returns a snapshot of the aggregate verdict counters.
@@ -269,6 +483,9 @@ func (p *Pool) Stats() PoolStats {
 // aggregate stats. The pool must not be used afterwards.
 func (p *Pool) Close() PoolStats {
 	if p.closed.CompareAndSwap(false, true) {
+		if w := p.win; w != nil {
+			p.windowFlush(w) // dispatch any buffered partial window
+		}
 		for _, q := range p.queues {
 			close(q)
 		}

@@ -29,9 +29,6 @@ package auditlog
 import (
 	"crypto/hmac"
 	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
 )
 
 // Event names one RATS lifecycle step. Events shared with the flow
@@ -144,24 +141,6 @@ func chainLink(key, prev, body []byte) []byte {
 	m.Write(prev)
 	m.Write(body)
 	return m.Sum(nil)
-}
-
-// sealLine renders a record (whose Prev is already set and MAC empty)
-// into its ledger line and returns the line and the new chain link.
-func sealLine(key, prev []byte, r *Record) ([]byte, []byte, error) {
-	r.MAC = ""
-	body, err := json.Marshal(r)
-	if err != nil {
-		return nil, nil, fmt.Errorf("auditlog: marshal record %d: %w", r.Seq, err)
-	}
-	link := chainLink(key, prev, body)
-	// body ends in '}'; splice the mac in as the final member.
-	line := make([]byte, 0, len(body)+len(`,"mac":""`)+hex.EncodedLen(len(link))+1)
-	line = append(line, body[:len(body)-1]...)
-	line = append(line, `,"mac":"`...)
-	line = hex.AppendEncode(line, link)
-	line = append(line, '"', '}', '\n')
-	return line, link, nil
 }
 
 // splitMAC separates a raw ledger line (without trailing newline) into

@@ -1,0 +1,204 @@
+package ed25519batch
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"crypto/sha512"
+	"hash"
+)
+
+// Verifier accumulates Ed25519 (public key, message, signature) triples
+// and checks them with a single cofactored batch equation. A Verifier is
+// reusable: after Verify, call Reset and add the next batch — all
+// internal buffers (point tables, NAF scratch, hash state) are retained,
+// so steady-state batches allocate only when they outgrow every previous
+// batch. Not safe for concurrent use.
+//
+// Semantics: Verify returns true only if every added triple is valid
+// under the cofactored verification equation. It returns false if any
+// triple is invalid, malformed (wrong key/signature length, non-canonical
+// point or scalar encoding), or if randomness is unavailable — callers
+// are expected to attribute failures by re-checking items one at a time
+// with crypto/ed25519.Verify.
+//
+// Agreement with crypto/ed25519: for honestly generated signatures the
+// cofactored and cofactorless equations always agree. They can disagree
+// only on adversarially crafted signatures involving small-order
+// components, where the batch equation may accept what per-item
+// verification rejects; every encoding crypto/ed25519 rejects outright
+// (non-canonical y, s >= L) is rejected here too. Callers that must be
+// bit-identical to the standard library confirm batch *failures* per
+// item (which this API forces anyway) and may additionally spot-check
+// batch successes; see internal/evidence for the policy this repo uses.
+type Verifier struct {
+	bad   bool
+	items []batchItem
+
+	keys    map[string]int
+	aPoints []point
+
+	h    hash.Hash
+	hsum [64]byte
+	zbuf []byte
+
+	scalars  []scalar
+	points   []point
+	aScalars []scalar
+	acc      multiscalarAccum
+}
+
+type batchItem struct {
+	s    scalar // signature scalar, canonical
+	hRAM scalar // SHA-512(R ‖ A ‖ M) mod L
+	r    point  // signature point R
+	aIdx int    // index into aPoints (public keys are merged)
+}
+
+// NewVerifier returns an empty batch verifier.
+func NewVerifier() *Verifier {
+	return &Verifier{
+		keys: make(map[string]int),
+		h:    sha512.New(),
+	}
+}
+
+// Reset clears the batch while keeping capacity for reuse.
+func (v *Verifier) Reset() {
+	v.bad = false
+	v.items = v.items[:0]
+	v.aPoints = v.aPoints[:0]
+	for k := range v.keys {
+		delete(v.keys, k)
+	}
+}
+
+// Len returns the number of triples added since the last Reset.
+func (v *Verifier) Len() int { return len(v.items) }
+
+// Add queues one triple for verification. Malformed inputs poison the
+// batch (Verify will return false); they are not silently skipped.
+func (v *Verifier) Add(pub ed25519.PublicKey, message, sig []byte) {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		v.bad = true
+		return
+	}
+	var item batchItem
+	if !item.s.setCanonicalBytes(sig[32:]) {
+		v.bad = true
+		return
+	}
+	if !item.r.setBytes(sig[:32]) {
+		v.bad = true
+		return
+	}
+	idx, ok := v.keys[string(pub)]
+	if !ok {
+		var a point
+		if !a.setBytes(pub) {
+			v.bad = true
+			return
+		}
+		idx = len(v.aPoints)
+		v.aPoints = append(v.aPoints, a)
+		v.keys[string(pub)] = idx
+	}
+	item.aIdx = idx
+
+	v.h.Reset()
+	v.h.Write(sig[:32])
+	v.h.Write(pub)
+	v.h.Write(message)
+	v.h.Sum(v.hsum[:0])
+	item.hRAM.setBytesWide(&v.hsum)
+
+	v.items = append(v.items, item)
+}
+
+// Verify checks the whole batch:
+//
+//	[8]( [-Σ z_i·s_i]B + Σ [z_i]R_i + Σ [(Σ z_i·h_i)]A_j ) == identity
+//
+// with fresh 128-bit random blinders z_i. An empty batch verifies.
+func (v *Verifier) Verify() bool {
+	if v.bad {
+		return false
+	}
+	n := len(v.items)
+	if n == 0 {
+		return true
+	}
+	if cap(v.zbuf) < 16*n {
+		v.zbuf = make([]byte, 16*n)
+	}
+	zbuf := v.zbuf[:16*n]
+	if _, err := rand.Read(zbuf); err != nil {
+		return false
+	}
+
+	// Terms: [0] basepoint, [1..u] merged public keys, [u+1..u+n] R points.
+	u := len(v.aPoints)
+	total := 1 + u + n
+	if cap(v.scalars) < total {
+		v.scalars = make([]scalar, total)
+		v.points = make([]point, total)
+	}
+	if cap(v.aScalars) < u {
+		v.aScalars = make([]scalar, u)
+	}
+	scalars := v.scalars[:total]
+	points := v.points[:total]
+	aScalars := v.aScalars[:u]
+	for i := range aScalars {
+		aScalars[i] = scalar{}
+	}
+
+	var bScalar, z, zs, zh scalar
+	for i := range v.items {
+		it := &v.items[i]
+		var z16 [16]byte
+		copy(z16[:], zbuf[16*i:])
+		// All-zero randomness would let an invalid item cancel out; force
+		// the low byte odd instead of looping on the RNG.
+		z16[0] |= 1
+		z.setBytes16(&z16)
+
+		zs.mul(&z, &it.s)
+		bScalar.add(&bScalar, &zs)
+		zh.mul(&z, &it.hRAM)
+		aScalars[it.aIdx].add(&aScalars[it.aIdx], &zh)
+
+		scalars[1+u+i] = z
+		points[1+u+i] = it.r
+	}
+	// B coefficient is negated: the equation moves [z·s]B to the left side.
+	var zero scalar
+	bScalar.sub(&zero, &bScalar)
+	scalars[0] = bScalar
+	points[0] = basePoint
+	for j := 0; j < u; j++ {
+		scalars[1+j] = aScalars[j]
+		points[1+j] = v.aPoints[j]
+	}
+
+	var sum point
+	v.acc.vartimeMultiscalar(&sum, scalars, points)
+	// Multiply by the cofactor 8 so small-order components cannot flip
+	// the verdict for honest signatures.
+	sum.double(&sum)
+	sum.double(&sum)
+	sum.double(&sum)
+	return sum.isIdentity()
+}
+
+// VerifyBatch is a convenience wrapper: one-shot batch verification of
+// parallel slices. Reusing a Verifier is cheaper on hot paths.
+func VerifyBatch(pubs []ed25519.PublicKey, messages, sigs [][]byte) bool {
+	if len(pubs) != len(messages) || len(pubs) != len(sigs) {
+		return false
+	}
+	v := NewVerifier()
+	for i := range pubs {
+		v.Add(pubs[i], messages[i], sigs[i])
+	}
+	return v.Verify()
+}

@@ -1,0 +1,569 @@
+package ed25519batch
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+var pBig = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 255), big.NewInt(19))
+
+var lBig = new(big.Int).SetBits([]big.Word{
+	big.Word(lWords[0]), big.Word(lWords[1]), big.Word(lWords[2]), big.Word(lWords[3]),
+})
+
+func feToBig(v *fe) *big.Int {
+	var b [32]byte
+	v.toBytes(&b)
+	le := make([]byte, 32)
+	for i := range le {
+		le[i] = b[31-i]
+	}
+	return new(big.Int).SetBytes(le)
+}
+
+func bigToFe(x *big.Int) fe {
+	var b [32]byte
+	m := new(big.Int).Mod(x, pBig)
+	raw := m.Bytes()
+	for i, c := range raw {
+		b[len(raw)-1-i] = c
+	}
+	var v fe
+	v.fromBytes(&b)
+	return v
+}
+
+func randFe(rng *mrand.Rand) (fe, *big.Int) {
+	x := new(big.Int).Rand(rng, pBig)
+	return bigToFe(x), x
+}
+
+func TestFieldArithmeticVsBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, aB := randFe(rng)
+		b, bB := randFe(rng)
+		var got fe
+
+		got.add(&a, &b)
+		want := new(big.Int).Mod(new(big.Int).Add(aB, bB), pBig)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("add mismatch at %d", i)
+		}
+		got.sub(&a, &b)
+		want.Mod(new(big.Int).Sub(aB, bB), pBig)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("sub mismatch at %d", i)
+		}
+		got.mul(&a, &b)
+		want.Mod(new(big.Int).Mul(aB, bB), pBig)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("mul mismatch at %d", i)
+		}
+		got.square(&a)
+		want.Mod(new(big.Int).Mul(aB, aB), pBig)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("square mismatch at %d", i)
+		}
+		got.neg(&a)
+		want.Mod(new(big.Int).Neg(aB), pBig)
+		if feToBig(&got).Cmp(want) != 0 {
+			t.Fatalf("neg mismatch at %d", i)
+		}
+		if aB.Sign() != 0 {
+			got.invert(&a)
+			want.ModInverse(aB, pBig)
+			if feToBig(&got).Cmp(want) != 0 {
+				t.Fatalf("invert mismatch at %d", i)
+			}
+		}
+	}
+}
+
+func TestFieldBytesRoundTrip(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		a, aB := randFe(rng)
+		var enc [32]byte
+		a.toBytes(&enc)
+		var back fe
+		back.fromBytes(&enc)
+		if feToBig(&back).Cmp(aB) != 0 {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	// Non-canonical input (p+1) must load as 1.
+	var b [32]byte
+	b[0] = 0xee // p+1 = 2^255-18
+	for i := 1; i < 31; i++ {
+		b[i] = 0xff
+	}
+	b[31] = 0x7f
+	var v fe
+	v.fromBytes(&b)
+	if feToBig(&v).Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("p+1 should reduce to 1, got %v", feToBig(&v))
+	}
+}
+
+func TestSqrtM1(t *testing.T) {
+	var sq, minusOne fe
+	sq.square(&feSqrtM1)
+	minusOne.neg(&feOne)
+	if !sq.equal(&minusOne) {
+		t.Fatal("sqrtM1^2 != -1")
+	}
+}
+
+func TestCurveConstantD(t *testing.T) {
+	// RFC 8032: d = 370957059346694393431380835087545651895421138798432190163887855330
+	// 85940283555
+	want, _ := new(big.Int).SetString("37095705934669439343138083508754565189542113879843219016388785533085940283555", 10)
+	if feToBig(&feD).Cmp(want) != 0 {
+		t.Fatalf("d mismatch: %v", feToBig(&feD))
+	}
+}
+
+func onCurve(p *point) bool {
+	// -x² + y² = z² + d·t²/z²·z² in projective form:
+	// (-X² + Y²)·Z² == Z⁴ + d·X²·Y²  with T = XY/Z:
+	// check -X²+Y² == Z² + d T² and X·Y == Z·T.
+	var x2, y2, z2, t2, lhs, rhs, xy, zt fe
+	x2.square(&p.x)
+	y2.square(&p.y)
+	z2.square(&p.z)
+	t2.square(&p.t)
+	lhs.sub(&y2, &x2)
+	rhs.mul(&t2, &feD)
+	rhs.add(&rhs, &z2)
+	if !lhs.equal(&rhs) {
+		return false
+	}
+	xy.mul(&p.x, &p.y)
+	zt.mul(&p.z, &p.t)
+	return xy.equal(&zt)
+}
+
+func TestBasePoint(t *testing.T) {
+	if !onCurve(&basePoint) {
+		t.Fatal("base point not on curve")
+	}
+	// y = 4/5.
+	var five, inv5, y fe
+	five.l0 = 5
+	inv5.invert(&five)
+	y.add(&inv5, &inv5)
+	y.add(&y, &y) // 4/5
+	if !basePoint.y.equal(&y) {
+		t.Fatal("base point y != 4/5")
+	}
+}
+
+func TestPointAddDouble(t *testing.T) {
+	// 2B via double == B + B; associativity spot check (B+B)+B == B+(B+B).
+	var d1, d2, s1, s2 point
+	d1.double(&basePoint)
+	d2.add(&basePoint, &basePoint)
+	if !onCurve(&d1) || !feEqualPoint(&d1, &d2) {
+		t.Fatal("double != add(a,a)")
+	}
+	s1.add(&d1, &basePoint)
+	s2.add(&basePoint, &d1)
+	if !feEqualPoint(&s1, &s2) {
+		t.Fatal("addition not commutative")
+	}
+	// B + identity == B.
+	var id, r point
+	id.setIdentity()
+	r.add(&basePoint, &id)
+	if !feEqualPoint(&r, &basePoint) {
+		t.Fatal("B + 0 != B")
+	}
+	// B - B == identity.
+	r.sub(&basePoint, &basePoint)
+	if !r.isIdentity() {
+		t.Fatal("B - B != 0")
+	}
+}
+
+// feEqualPoint compares projective points: x1/z1 == x2/z2 && y1/z1 == y2/z2.
+func feEqualPoint(a, b *point) bool {
+	var l, r fe
+	l.mul(&a.x, &b.z)
+	r.mul(&b.x, &a.z)
+	if !l.equal(&r) {
+		return false
+	}
+	l.mul(&a.y, &b.z)
+	r.mul(&b.y, &a.z)
+	return l.equal(&r)
+}
+
+func TestScalarArithmeticVsBig(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(3))
+	toBig := func(s *scalar) *big.Int {
+		return new(big.Int).SetBits([]big.Word{
+			big.Word(s[0]), big.Word(s[1]), big.Word(s[2]), big.Word(s[3]),
+		})
+	}
+	for i := 0; i < 500; i++ {
+		var wide [64]byte
+		rng.Read(wide[:])
+		var s scalar
+		s.setBytesWide(&wide)
+		le := make([]byte, 64)
+		for j := range le {
+			le[j] = wide[63-j]
+		}
+		want := new(big.Int).Mod(new(big.Int).SetBytes(le), lBig)
+		if toBig(&s).Cmp(want) != 0 {
+			t.Fatalf("setBytesWide mismatch at %d: got %v want %v", i, toBig(&s), want)
+		}
+
+		var wide2 [64]byte
+		rng.Read(wide2[:])
+		var s2 scalar
+		s2.setBytesWide(&wide2)
+		b1, b2 := toBig(&s), toBig(&s2)
+
+		var got scalar
+		got.mul(&s, &s2)
+		want.Mod(new(big.Int).Mul(b1, b2), lBig)
+		if toBig(&got).Cmp(want) != 0 {
+			t.Fatalf("scalar mul mismatch at %d", i)
+		}
+		got.add(&s, &s2)
+		want.Mod(new(big.Int).Add(b1, b2), lBig)
+		if toBig(&got).Cmp(want) != 0 {
+			t.Fatalf("scalar add mismatch at %d", i)
+		}
+		got.sub(&s, &s2)
+		want.Mod(new(big.Int).Sub(b1, b2), lBig)
+		if toBig(&got).Cmp(want) != 0 {
+			t.Fatalf("scalar sub mismatch at %d", i)
+		}
+	}
+	// Canonicality: L and L-1.
+	var s scalar
+	lBytes := make([]byte, 32)
+	for i, w := range lWords {
+		for j := 0; j < 8; j++ {
+			lBytes[i*8+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	if s.setCanonicalBytes(lBytes) {
+		t.Fatal("L accepted as canonical")
+	}
+	lBytes[0]-- // L-1
+	if !s.setCanonicalBytes(lBytes) {
+		t.Fatal("L-1 rejected")
+	}
+}
+
+func TestNonAdjacentForm(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		var wide [64]byte
+		rng.Read(wide[:])
+		var s scalar
+		s.setBytesWide(&wide)
+		want := new(big.Int).SetBits([]big.Word{
+			big.Word(s[0]), big.Word(s[1]), big.Word(s[2]), big.Word(s[3]),
+		})
+		var naf [257]int8
+		s.nonAdjacentForm(&naf)
+		sum := new(big.Int)
+		for pos, d := range naf {
+			if d == 0 {
+				continue
+			}
+			if d%2 == 0 || d > 15 || d < -15 {
+				t.Fatalf("invalid naf digit %d at %d", d, pos)
+			}
+			term := new(big.Int).Lsh(big.NewInt(int64(d)), uint(pos))
+			sum.Add(sum, term)
+		}
+		if sum.Cmp(want) != 0 {
+			t.Fatalf("naf does not reconstruct scalar at %d", i)
+		}
+	}
+}
+
+func TestMultiscalarVsSignature(t *testing.T) {
+	// For an honest signature, [s]B - [h]A - R must be small order
+	// (exactly the batch equation with z=1, n=1).
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("multiscalar check")
+	sig := ed25519.Sign(priv, msg)
+
+	v := NewVerifier()
+	v.Add(pub, msg, sig)
+	if !v.Verify() {
+		t.Fatal("honest signature failed batch equation")
+	}
+}
+
+func TestBatchHonest(t *testing.T) {
+	v := NewVerifier()
+	for i := 0; i < 12; i++ {
+		pub, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte{byte(i), 0xAB, byte(i * 7)}
+		v.Add(pub, msg, ed25519.Sign(priv, msg))
+	}
+	if !v.Verify() {
+		t.Fatal("honest batch rejected")
+	}
+}
+
+func TestBatchSharedKeys(t *testing.T) {
+	// Repeated public keys exercise the A-term merging path.
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier()
+	for i := 0; i < 8; i++ {
+		msg := bytes.Repeat([]byte{byte(i)}, 10+i)
+		v.Add(pub, msg, ed25519.Sign(priv, msg))
+	}
+	if len(v.aPoints) != 1 {
+		t.Fatalf("expected 1 merged key, got %d", len(v.aPoints))
+	}
+	if !v.Verify() {
+		t.Fatal("shared-key batch rejected")
+	}
+}
+
+func TestBatchMixedInvalid(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		v := NewVerifier()
+		sigs := make([][]byte, 6)
+		pubs := make([]ed25519.PublicKey, 6)
+		msgs := make([][]byte, 6)
+		for i := range sigs {
+			pub, priv, err := ed25519.GenerateKey(rand.Reader)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pubs[i], msgs[i] = pub, []byte{byte(trial), byte(i)}
+			sigs[i] = ed25519.Sign(priv, msgs[i])
+		}
+		// Corrupt one item per trial, rotating the corruption style.
+		bad := trial % 6
+		switch trial % 3 {
+		case 0:
+			sigs[bad] = append([]byte(nil), sigs[bad]...)
+			sigs[bad][40] ^= 0x40
+		case 1:
+			msgs[bad] = append([]byte(nil), msgs[bad]...)
+			msgs[bad][0] ^= 1
+		case 2:
+			other, _, _ := ed25519.GenerateKey(rand.Reader)
+			pubs[bad] = other
+		}
+		for i := range sigs {
+			v.Add(pubs[i], msgs[i], sigs[i])
+		}
+		if v.Verify() {
+			t.Fatalf("trial %d: batch with corrupted item %d accepted", trial, bad)
+		}
+		// The per-item fallback must agree item by item with the stdlib.
+		for i := range sigs {
+			want := ed25519.Verify(pubs[i], msgs[i], sigs[i])
+			single := NewVerifier()
+			single.Add(pubs[i], msgs[i], sigs[i])
+			if got := single.Verify(); got != want {
+				t.Fatalf("trial %d item %d: batch-of-one %v, stdlib %v", trial, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBatchMalformed(t *testing.T) {
+	pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+	msg := []byte("m")
+	sig := ed25519.Sign(priv, msg)
+
+	check := func(name string, f func(v *Verifier)) {
+		v := NewVerifier()
+		f(v)
+		if v.Verify() {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	check("short key", func(v *Verifier) { v.Add(pub[:31], msg, sig) })
+	check("short sig", func(v *Verifier) { v.Add(pub, msg, sig[:63]) })
+	check("non-canonical s", func(v *Verifier) {
+		// s' = s + L: same residue, non-canonical encoding. The stdlib
+		// rejects it, so the batch must too.
+		var s scalar
+		s.setCanonicalBytes(sig[32:])
+		sBig := new(big.Int).SetBits([]big.Word{
+			big.Word(s[0]), big.Word(s[1]), big.Word(s[2]), big.Word(s[3]),
+		})
+		sBig.Add(sBig, lBig)
+		raw := sBig.Bytes()
+		bad := append([]byte(nil), sig...)
+		for i := range bad[32:] {
+			bad[32+i] = 0
+		}
+		for i, c := range raw {
+			bad[32+len(raw)-1-i] = c
+		}
+		if ed25519.Verify(pub, msg, bad) {
+			t.Fatal("stdlib accepted non-canonical s (test setup broken)")
+		}
+		v.Add(pub, msg, bad)
+	})
+	check("R not on curve", func(v *Verifier) {
+		bad := append([]byte(nil), sig...)
+		for {
+			bad[0]++
+			var p point
+			if !p.setBytes(bad[:32]) {
+				break
+			}
+		}
+		v.Add(pub, msg, bad)
+	})
+	check("pub not on curve", func(v *Verifier) {
+		badPub := append(ed25519.PublicKey(nil), pub...)
+		for {
+			badPub[0]++
+			var p point
+			if !p.setBytes(badPub[:32]) {
+				break
+			}
+		}
+		v.Add(badPub, msg, sig)
+	})
+}
+
+func TestBatchEmptyAndReuse(t *testing.T) {
+	v := NewVerifier()
+	if !v.Verify() {
+		t.Fatal("empty batch rejected")
+	}
+	pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+	msg := []byte("reuse")
+	v.Add(pub, msg, ed25519.Sign(priv, msg))
+	if !v.Verify() {
+		t.Fatal("batch 1 rejected")
+	}
+	// Poison, then Reset must fully recover.
+	v.Reset()
+	v.Add(pub, msg, []byte("bogus"))
+	if v.Verify() {
+		t.Fatal("poisoned batch accepted")
+	}
+	v.Reset()
+	v.Add(pub, msg, ed25519.Sign(priv, msg))
+	if !v.Verify() {
+		t.Fatal("verifier did not recover after Reset")
+	}
+	if v.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", v.Len())
+	}
+}
+
+func TestVerifyBatchConvenience(t *testing.T) {
+	var pubs []ed25519.PublicKey
+	var msgs, sigs [][]byte
+	for i := 0; i < 4; i++ {
+		pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+		m := []byte{byte(i)}
+		pubs = append(pubs, pub)
+		msgs = append(msgs, m)
+		sigs = append(sigs, ed25519.Sign(priv, m))
+	}
+	if !VerifyBatch(pubs, msgs, sigs) {
+		t.Fatal("convenience batch rejected")
+	}
+	sigs[2][5] ^= 1
+	if VerifyBatch(pubs, msgs, sigs) {
+		t.Fatal("corrupted convenience batch accepted")
+	}
+	if VerifyBatch(pubs[:3], msgs, sigs) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func BenchmarkVerifyBatch16(b *testing.B) {
+	v := NewVerifier()
+	var pubs []ed25519.PublicKey
+	var msgs, sigs [][]byte
+	for i := 0; i < 16; i++ {
+		pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+		m := bytes.Repeat([]byte{byte(i)}, 64)
+		pubs = append(pubs, pub)
+		msgs = append(msgs, m)
+		sigs = append(sigs, ed25519.Sign(priv, m))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Reset()
+		for j := range pubs {
+			v.Add(pubs[j], msgs[j], sigs[j])
+		}
+		if !v.Verify() {
+			b.Fatal("batch rejected")
+		}
+	}
+}
+
+func BenchmarkVerifyBatch16SharedKeys(b *testing.B) {
+	// 16 signatures from 3 signers — the appraiser's actual workload
+	// shape (few switch AIKs, many hop signatures), where A-term merging
+	// cuts the multiscalar size nearly in half.
+	v := NewVerifier()
+	var pubs []ed25519.PublicKey
+	var privs []ed25519.PrivateKey
+	for i := 0; i < 3; i++ {
+		pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+		pubs = append(pubs, pub)
+		privs = append(privs, priv)
+	}
+	var msgs, sigs [][]byte
+	var keys []ed25519.PublicKey
+	for i := 0; i < 16; i++ {
+		m := bytes.Repeat([]byte{byte(i)}, 64)
+		msgs = append(msgs, m)
+		sigs = append(sigs, ed25519.Sign(privs[i%3], m))
+		keys = append(keys, pubs[i%3])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Reset()
+		for j := range msgs {
+			v.Add(keys[j], msgs[j], sigs[j])
+		}
+		if !v.Verify() {
+			b.Fatal("batch rejected")
+		}
+	}
+}
+
+func BenchmarkVerifySingleStdlib(b *testing.B) {
+	pub, priv, _ := ed25519.GenerateKey(rand.Reader)
+	m := bytes.Repeat([]byte{1}, 64)
+	sig := ed25519.Sign(priv, m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !ed25519.Verify(pub, m, sig) {
+			b.Fatal("rejected")
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package ed25519batch implements batch verification of Ed25519
+// signatures over a compact, self-contained edwards25519 arithmetic core.
+//
+// The Go standard library keeps its edwards25519 implementation internal
+// and exposes only one-at-a-time ed25519.Verify, which costs one full
+// double-scalar multiplication per signature. Batch verification checks n
+// signatures with one (n+u+1)-term multiscalar multiplication whose 256
+// point doublings are shared across every term — the amortization ScaRR
+// identifies as the only way attestation verification scales. For chains
+// re-presented across packets the appraiser additionally merges terms
+// that share a public key, so u (unique keys) is tiny compared to n.
+//
+// The batch check is the cofactored equation (RFC 8032 §3.4, "batch"
+// remark; Chalkias et al., "Taming the many EdDSAs"):
+//
+//	[8]( [-Σ z_i·s_i mod L]B + Σ [z_i]R_i + Σ [z_i·h_i mod L]A_i ) == 0
+//
+// with independent 128-bit random blinders z_i, h_i = SHA-512(R‖A‖M)
+// mod L. A batch that fails says only "at least one signature is bad";
+// callers attribute failures by falling back to per-item
+// crypto/ed25519.Verify, which also keeps the standard library the
+// ground truth for every rejected input (see evidence.VerifyBatch).
+//
+// All arithmetic here is variable-time: batch verification handles only
+// public values (public keys, signatures, messages), never secrets.
+package ed25519batch
+
+import "math/bits"
+
+// fe is an element of GF(2^255-19), in radix-2^51 representation: the
+// value is l0 + l1·2^51 + l2·2^102 + l3·2^153 + l4·2^204. Loose bounds:
+// operations accept limbs < 2^52 and return limbs < 2^52 after one carry
+// pass; toBytes performs the full canonical reduction.
+type fe struct {
+	l0, l1, l2, l3, l4 uint64
+}
+
+const mask51 = (1 << 51) - 1
+
+var (
+	feZero = fe{}
+	feOne  = fe{l0: 1}
+)
+
+// add sets v = a + b.
+func (v *fe) add(a, b *fe) *fe {
+	v.l0 = a.l0 + b.l0
+	v.l1 = a.l1 + b.l1
+	v.l2 = a.l2 + b.l2
+	v.l3 = a.l3 + b.l3
+	v.l4 = a.l4 + b.l4
+	return v.carry()
+}
+
+// sub sets v = a - b. 2p is added first so limbs never underflow.
+func (v *fe) sub(a, b *fe) *fe {
+	// 2p in radix 2^51: low limb 2^52-38, others 2^52-2.
+	v.l0 = a.l0 + 0xFFFFFFFFFFFDA - b.l0
+	v.l1 = a.l1 + 0xFFFFFFFFFFFFE - b.l1
+	v.l2 = a.l2 + 0xFFFFFFFFFFFFE - b.l2
+	v.l3 = a.l3 + 0xFFFFFFFFFFFFE - b.l3
+	v.l4 = a.l4 + 0xFFFFFFFFFFFFE - b.l4
+	return v.carry()
+}
+
+// neg sets v = -a.
+func (v *fe) neg(a *fe) *fe { return v.sub(&feZero, a) }
+
+// carry propagates limb overflow once, folding the top carry back via
+// 2^255 ≡ 19. Input limbs may be up to ~2^57; output limbs are < 2^52.
+func (v *fe) carry() *fe {
+	c0 := v.l0 >> 51
+	c1 := v.l1 >> 51
+	c2 := v.l2 >> 51
+	c3 := v.l3 >> 51
+	c4 := v.l4 >> 51
+	v.l0 = v.l0&mask51 + c4*19
+	v.l1 = v.l1&mask51 + c0
+	v.l2 = v.l2&mask51 + c1
+	v.l3 = v.l3&mask51 + c2
+	v.l4 = v.l4&mask51 + c3
+	return v
+}
+
+// accum is a 128-bit accumulator for schoolbook multiplication columns.
+type accum struct{ hi, lo uint64 }
+
+func (ac *accum) addMul(a, b uint64) {
+	hi, lo := bits.Mul64(a, b)
+	var c uint64
+	ac.lo, c = bits.Add64(ac.lo, lo, 0)
+	ac.hi += hi + c
+}
+
+// shr51 splits the accumulator into its low 51 bits and the carry above.
+func (ac *accum) shr51() (low, carry uint64) {
+	return ac.lo & mask51, ac.lo>>51 | ac.hi<<13
+}
+
+// mul sets v = a * b.
+func (v *fe) mul(a, b *fe) *fe {
+	a0, a1, a2, a3, a4 := a.l0, a.l1, a.l2, a.l3, a.l4
+	b0, b1, b2, b3, b4 := b.l0, b.l1, b.l2, b.l3, b.l4
+	// Precomputed 19·b limbs for the wrapped columns; b limbs are < 2^52
+	// so 19·b fits in 64 bits (< 2^57).
+	b1_19, b2_19, b3_19, b4_19 := b1*19, b2*19, b3*19, b4*19
+
+	var r0, r1, r2, r3, r4 accum
+	r0.addMul(a0, b0)
+	r0.addMul(a1, b4_19)
+	r0.addMul(a2, b3_19)
+	r0.addMul(a3, b2_19)
+	r0.addMul(a4, b1_19)
+
+	r1.addMul(a0, b1)
+	r1.addMul(a1, b0)
+	r1.addMul(a2, b4_19)
+	r1.addMul(a3, b3_19)
+	r1.addMul(a4, b2_19)
+
+	r2.addMul(a0, b2)
+	r2.addMul(a1, b1)
+	r2.addMul(a2, b0)
+	r2.addMul(a3, b4_19)
+	r2.addMul(a4, b3_19)
+
+	r3.addMul(a0, b3)
+	r3.addMul(a1, b2)
+	r3.addMul(a2, b1)
+	r3.addMul(a3, b0)
+	r3.addMul(a4, b4_19)
+
+	r4.addMul(a0, b4)
+	r4.addMul(a1, b3)
+	r4.addMul(a2, b2)
+	r4.addMul(a3, b1)
+	r4.addMul(a4, b0)
+
+	l0, c0 := r0.shr51()
+	l1, c1 := r1.shr51()
+	l2, c2 := r2.shr51()
+	l3, c3 := r3.shr51()
+	l4, c4 := r4.shr51()
+
+	l1 += c0
+	l2 += c1
+	l3 += c2
+	l4 += c3
+	l0 += c4 * 19
+	v.l0, v.l1, v.l2, v.l3, v.l4 = l0, l1, l2, l3, l4
+	return v.carry()
+}
+
+// square sets v = a².
+func (v *fe) square(a *fe) *fe { return v.mul(a, a) }
+
+// exp sets v = a^e where e is 32 little-endian bytes, by variable-time
+// square-and-multiply. Verification handles only public exponents (p-2,
+// (p-5)/8), so variable time is fine and the simplicity buys safety.
+func (v *fe) exp(a *fe, e *[32]byte) *fe {
+	out := feOne
+	base := *a
+	for i := 0; i < 255; i++ {
+		if e[i/8]>>(uint(i)%8)&1 == 1 {
+			out.mul(&out, &base)
+		}
+		base.square(&base)
+	}
+	*v = out
+	return v
+}
+
+// expP2 and expP58 are the two exponents verification needs: p-2 for
+// inversion and (p-5)/8 for the decompression square root.
+var expP2, expP58 [32]byte
+
+func init() {
+	// p - 2 = 2^255 - 21, little endian.
+	for i := range expP2 {
+		expP2[i] = 0xff
+	}
+	expP2[0] = 0xeb
+	expP2[31] = 0x7f
+	// (p - 5) / 8 = 2^252 - 3, little endian.
+	for i := range expP58 {
+		expP58[i] = 0xff
+	}
+	expP58[0] = 0xfd
+	expP58[31] = 0x0f
+}
+
+// invert sets v = 1/a (and 0 for a == 0).
+func (v *fe) invert(a *fe) *fe { return v.exp(a, &expP2) }
+
+// pow22523 sets v = a^((p-5)/8).
+func (v *fe) pow22523(a *fe) *fe { return v.exp(a, &expP58) }
+
+// fromBytes loads a 32-byte little-endian value, masking the top bit
+// (the sign bit of point encodings). The result is not reduced mod p.
+func (v *fe) fromBytes(b *[32]byte) *fe {
+	load64 := func(off int) uint64 {
+		return uint64(b[off]) | uint64(b[off+1])<<8 | uint64(b[off+2])<<16 |
+			uint64(b[off+3])<<24 | uint64(b[off+4])<<32 | uint64(b[off+5])<<40 |
+			uint64(b[off+6])<<48 | uint64(b[off+7])<<56
+	}
+	v.l0 = load64(0) & mask51
+	v.l1 = load64(6) >> 3 & mask51
+	v.l2 = load64(12) >> 6 & mask51
+	v.l3 = load64(19) >> 1 & mask51
+	v.l4 = load64(24) >> 12 & mask51
+	return v
+}
+
+// toBytes stores the canonical 32-byte little-endian encoding of v.
+func (v *fe) toBytes(out *[32]byte) {
+	r := *v
+	r.carry()
+	// After carry, limbs are < 2^52 and the value is < 2^256-ish; two
+	// conditional subtractions of p bring it canonical. The quotient
+	// estimate trick: q = 1 iff r >= p.
+	for i := 0; i < 2; i++ {
+		q := (r.l0 + 19) >> 51
+		q = (r.l1 + q) >> 51
+		q = (r.l2 + q) >> 51
+		q = (r.l3 + q) >> 51
+		q = (r.l4 + q) >> 51
+		r.l0 += 19 * q
+		r.l1 += r.l0 >> 51
+		r.l0 &= mask51
+		r.l2 += r.l1 >> 51
+		r.l1 &= mask51
+		r.l3 += r.l2 >> 51
+		r.l2 &= mask51
+		r.l4 += r.l3 >> 51
+		r.l3 &= mask51
+		r.l4 &= mask51
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	put := func(off, shift int, l uint64) {
+		v := l << uint(shift)
+		for i := 0; i < 8 && off+i < 32; i++ {
+			out[off+i] |= byte(v >> (8 * uint(i)))
+		}
+	}
+	put(0, 0, r.l0)
+	put(6, 3, r.l1)
+	put(12, 6, r.l2)
+	put(19, 1, r.l3)
+	put(25, 4, r.l4)
+}
+
+// isZero reports whether v ≡ 0 mod p.
+func (v *fe) isZero() bool {
+	var b [32]byte
+	v.toBytes(&b)
+	var acc byte
+	for _, x := range b {
+		acc |= x
+	}
+	return acc == 0
+}
+
+// equal reports whether v ≡ u mod p.
+func (v *fe) equal(u *fe) bool {
+	var d fe
+	return d.sub(v, u).isZero()
+}
+
+// isNegative reports the sign bit of the canonical encoding (lowest bit).
+func (v *fe) isNegative() bool {
+	var b [32]byte
+	v.toBytes(&b)
+	return b[0]&1 == 1
+}

@@ -1,0 +1,222 @@
+package ed25519batch
+
+// point is a group element in extended twisted Edwards coordinates
+// (X : Y : Z : T) with x = X/Z, y = Y/Z, x·y = T/Z.
+type point struct {
+	x, y, z, t fe
+}
+
+var (
+	// feD is the curve constant d = -121665/121666, feD2 is 2d. Both are
+	// computed in init from the small integers so there is no hex blob to
+	// get wrong; a test cross-checks feD against the RFC 8032 value.
+	feD, feD2 fe
+	// feSqrtM1 is √-1 = 2^((p-1)/4), used by decompression when the first
+	// square-root candidate has the wrong sign of square.
+	feSqrtM1 fe
+	// basePoint is the Ed25519 generator B, decompressed in init from its
+	// canonical encoding (y = 4/5, x positive).
+	basePoint point
+)
+
+func init() {
+	var n, d121666 fe
+	n.l0 = 121665
+	d121666.l0 = 121666
+	feD.invert(&d121666)
+	feD.mul(&feD, &n)
+	feD.neg(&feD)
+	feD2.add(&feD, &feD)
+
+	// (p-1)/4 = 2^253 - 5, little endian.
+	var e [32]byte
+	for i := range e {
+		e[i] = 0xff
+	}
+	e[0] = 0xfb
+	e[31] = 0x1f
+	var two fe
+	two.l0 = 2
+	feSqrtM1.exp(&two, &e)
+
+	var enc [32]byte
+	enc[0] = 0x58
+	for i := 1; i < 32; i++ {
+		enc[i] = 0x66
+	}
+	if !basePoint.setBytes(enc[:]) {
+		panic("ed25519batch: base point decompression failed")
+	}
+}
+
+// setIdentity sets p to the neutral element (0, 1).
+func (p *point) setIdentity() *point {
+	p.x = feZero
+	p.y = feOne
+	p.z = feOne
+	p.t = feZero
+	return p
+}
+
+// isIdentity reports whether p is the neutral element: X == 0 and Y == Z.
+func (p *point) isIdentity() bool {
+	return p.x.isZero() && p.y.equal(&p.z)
+}
+
+// setBytes decodes a compressed point per RFC 8032 §5.1.3 and reports
+// success. Non-canonical y (>= p) and the x=0-with-sign-bit encoding are
+// rejected, matching crypto/ed25519's decoding (filippo.io/edwards25519
+// SetBytes), so batch and per-item paths reject the same inputs.
+func (p *point) setBytes(in []byte) bool {
+	if len(in) != 32 {
+		return false
+	}
+	var b [32]byte
+	copy(b[:], in)
+	signBit := b[31] >> 7
+
+	var y fe
+	y.fromBytes(&b)
+	// Canonical check: re-encoding must reproduce the input (sans sign).
+	var reenc [32]byte
+	y.toBytes(&reenc)
+	b[31] &= 0x7f
+	if reenc != b {
+		return false
+	}
+
+	// Recover x from x² = (y²-1)/(dy²+1).
+	var y2, u, v fe
+	y2.square(&y)
+	u.sub(&y2, &feOne)
+	v.mul(&y2, &feD)
+	v.add(&v, &feOne)
+
+	// Candidate root r = u v³ (u v⁷)^((p-5)/8).
+	var v2, v3, v7, r, check fe
+	v2.square(&v)
+	v3.mul(&v2, &v)
+	v7.mul(&v3, &v3)
+	v7.mul(&v7, &v)
+	r.mul(&u, &v7)
+	r.pow22523(&r)
+	r.mul(&r, &v3)
+	r.mul(&r, &u)
+
+	check.square(&r)
+	check.mul(&check, &v)
+	var negU fe
+	negU.neg(&u)
+	switch {
+	case check.equal(&u):
+		// r is the root.
+	case check.equal(&negU):
+		r.mul(&r, &feSqrtM1)
+	default:
+		return false // u/v is not a square: no point with this y.
+	}
+
+	if r.isZero() && signBit == 1 {
+		return false // -0 encoding is invalid.
+	}
+	if r.isNegative() != (signBit == 1) {
+		r.neg(&r)
+	}
+
+	p.x = r
+	p.y = y
+	p.z = feOne
+	p.t.mul(&r, &y)
+	return true
+}
+
+// add sets p = a + b using the unified extended-coordinate formula
+// (add-2008-hwcd-3); complete for the twisted Edwards curve, so it also
+// handles doubling and identity inputs.
+func (p *point) add(a, b *point) *point {
+	var ymx1, ypx1, ymx2, ypx2, A, B, C, D, E, F, G, H fe
+	ymx1.sub(&a.y, &a.x)
+	ypx1.add(&a.y, &a.x)
+	ymx2.sub(&b.y, &b.x)
+	ypx2.add(&b.y, &b.x)
+	A.mul(&ymx1, &ymx2)
+	B.mul(&ypx1, &ypx2)
+	C.mul(&a.t, &b.t)
+	C.mul(&C, &feD2)
+	D.mul(&a.z, &b.z)
+	D.add(&D, &D)
+	E.sub(&B, &A)
+	F.sub(&D, &C)
+	G.add(&D, &C)
+	H.add(&B, &A)
+	p.x.mul(&E, &F)
+	p.y.mul(&G, &H)
+	p.z.mul(&F, &G)
+	p.t.mul(&E, &H)
+	return p
+}
+
+// sub sets p = a - b.
+func (p *point) sub(a, b *point) *point {
+	var nb point
+	nb.x.neg(&b.x)
+	nb.y = b.y
+	nb.z = b.z
+	nb.t.neg(&b.t)
+	return p.add(a, &nb)
+}
+
+// double sets p = 2a. The unified addition formula is complete on this
+// curve, so doubling delegates to it — marginally slower than a dedicated
+// dbl formula, with no second formula to get a sign wrong in.
+func (p *point) double(a *point) *point {
+	return p.add(a, a)
+}
+
+// multiscalarAccum is reusable scratch for vartimeMultiscalar so repeated
+// batches allocate nothing once the slices have grown.
+type multiscalarAccum struct {
+	nafs   [][257]int8
+	tables [][8]point
+}
+
+// vartimeMultiscalar sets p = Σ scalars[i]·points[i] using width-5 w-NAF
+// Straus: one shared doubling chain over all terms, which is where batch
+// verification's advantage over per-item verification comes from.
+func (acc *multiscalarAccum) vartimeMultiscalar(p *point, scalars []scalar, points []point) *point {
+	n := len(scalars)
+	if n != len(points) {
+		panic("ed25519batch: multiscalar length mismatch")
+	}
+	if cap(acc.nafs) < n {
+		acc.nafs = make([][257]int8, n)
+		acc.tables = make([][8]point, n)
+	}
+	nafs := acc.nafs[:n]
+	tables := acc.tables[:n]
+
+	for i := range points {
+		scalars[i].nonAdjacentForm(&nafs[i])
+		// Odd multiples table: 1P, 3P, ..., 15P.
+		tables[i][0] = points[i]
+		var p2 point
+		p2.double(&points[i])
+		for j := 1; j < 8; j++ {
+			tables[i][j].add(&tables[i][j-1], &p2)
+		}
+	}
+
+	p.setIdentity()
+	for pos := 256; pos >= 0; pos-- {
+		p.double(p)
+		for i := range nafs {
+			d := nafs[i][pos]
+			if d > 0 {
+				p.add(p, &tables[i][d/2])
+			} else if d < 0 {
+				p.sub(p, &tables[i][(-d)/2])
+			}
+		}
+	}
+	return p
+}

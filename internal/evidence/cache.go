@@ -103,11 +103,10 @@ func NewCache() *Cache {
 // NewCacheWithClock returns a cache driven by the given clock, for
 // simulated time.
 func NewCacheWithClock(clock func() time.Time) *Cache {
-	c := &Cache{clock: clock}
-	for i := range c.shards {
-		c.shards[i].entries = make(map[cacheKey]cacheEntry)
-	}
-	return c
+	// Shard maps are allocated lazily on first Put into each shard: reads
+	// of a nil map are natural misses, and most workloads touch only a few
+	// of the 16 shards (or none, when caching is configured but idle).
+	return &Cache{clock: clock}
 }
 
 // SetAudit attaches the audit ledger: expirations (reaped on Put, Reap,
@@ -239,6 +238,9 @@ func (c *Cache) Put(place, target string, detail Detail, ev *Evidence) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.reapLocked(now, c.aud.Load(), c.notify.Load())
+	if s.entries == nil {
+		s.entries = make(map[cacheKey]cacheEntry)
+	}
 	s.entries[k] = cacheEntry{ev: ev, added: now, expires: now.Add(ttl)}
 	if fn := c.notify.Load(); fn != nil {
 		(*fn)(CacheEvent{

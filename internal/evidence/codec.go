@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"pera/internal/rot"
 )
@@ -83,7 +84,8 @@ func appendBytes(b, v []byte) []byte {
 }
 
 // Decode parses a canonical encoding back into a tree. It rejects trailing
-// bytes, oversized fields, and trees beyond maxNodes.
+// bytes, oversized fields, and trees beyond maxNodes. Each field gets its
+// own copy of the input bytes; for the per-packet path prefer DecodeShared.
 func Decode(data []byte) (*Evidence, error) {
 	d := decoder{buf: data}
 	e, err := d.evidence()
@@ -94,6 +96,65 @@ func Decode(data []byte) (*Evidence, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(data)-d.off)
 	}
 	return e, nil
+}
+
+// DecodeShared parses a canonical encoding with shared backing storage:
+// the input is copied ONCE into a private slab, every decoded byte field
+// aliases that slab (capacity-clamped, so appending to a field reallocates
+// instead of clobbering a sibling), node structs come from chunked arenas,
+// and string fields go through a bounded intern table (measurer, place and
+// signer names recur on every packet of a flow). The result never aliases
+// data — callers may reuse or mutate their buffer freely — but the nodes
+// of one tree share storage: treat a DecodeShared tree as immutable, or
+// replace fields wholesale rather than writing into their byte slices.
+func DecodeShared(data []byte) (*Evidence, error) {
+	slab := append([]byte(nil), data...)
+	d := decoder{buf: slab, shared: true}
+	e, err := d.evidence()
+	if err != nil {
+		return nil, err
+	}
+	if d.off != len(slab) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrDecode, len(slab)-d.off)
+	}
+	return e, nil
+}
+
+// internTab deduplicates decoded strings across packets. The table is
+// bounded: oversized strings bypass it and a full table is dropped
+// wholesale (hostile unique-string floods degrade to plain allocation,
+// they cannot grow memory without bound).
+var internTab struct {
+	sync.RWMutex
+	m map[string]string
+}
+
+const (
+	internCap    = 4096
+	internMaxLen = 128
+)
+
+func internString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	internTab.RLock()
+	s, ok := internTab.m[string(b)] // key lookup does not allocate
+	internTab.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internTab.Lock()
+	if internTab.m == nil || len(internTab.m) >= internCap {
+		internTab.m = make(map[string]string, 64)
+	}
+	internTab.m[s] = s
+	internTab.Unlock()
+	return s
 }
 
 // DecodePrefix parses one evidence tree from the front of data and returns
@@ -112,6 +173,28 @@ type decoder struct {
 	buf   []byte
 	off   int
 	nodes int
+
+	// shared-mode state (DecodeShared): fields alias buf, nodes come from
+	// arena chunks, strings are interned.
+	shared bool
+	arena  []Evidence
+}
+
+// arenaChunk sizes the node arena: typical per-packet chains are a few
+// dozen nodes, so one chunk covers a whole decode.
+const arenaChunk = 32
+
+func (d *decoder) node(k Kind) *Evidence {
+	if !d.shared {
+		return &Evidence{Kind: k}
+	}
+	if len(d.arena) == 0 {
+		d.arena = make([]Evidence, arenaChunk)
+	}
+	e := &d.arena[0]
+	d.arena = d.arena[1:]
+	e.Kind = k
+	return e
 }
 
 func (d *decoder) evidence() (*Evidence, error) {
@@ -123,7 +206,7 @@ func (d *decoder) evidence() (*Evidence, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Evidence{Kind: Kind(k)}
+	e := d.node(Kind(k))
 	switch e.Kind {
 	case KindEmpty:
 	case KindNonce:
@@ -211,14 +294,27 @@ func (d *decoder) bytes() ([]byte, error) {
 	if d.off+int(n) > len(d.buf) {
 		return nil, fmt.Errorf("%w: truncated field", ErrDecode)
 	}
-	v := append([]byte(nil), d.buf[d.off:d.off+int(n)]...)
+	var v []byte
+	if n > 0 {
+		if d.shared {
+			v = d.buf[d.off : d.off+int(n) : d.off+int(n)]
+		} else {
+			v = append([]byte(nil), d.buf[d.off:d.off+int(n)]...)
+		}
+	}
 	d.off += int(n)
 	return v, nil
 }
 
 func (d *decoder) string() (string, error) {
 	b, err := d.bytes()
-	return string(b), err
+	if err != nil {
+		return "", err
+	}
+	if d.shared {
+		return internString(b), nil
+	}
+	return string(b), nil
 }
 
 // EncodedSize returns len(Encode(e)) without building the encoding, used

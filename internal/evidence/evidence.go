@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"pera/internal/rot"
 )
@@ -138,9 +139,21 @@ func SeqAll(es ...*Evidence) *Evidence {
 	return out
 }
 
+// encBufPool recycles encode scratch buffers across DigestOf and
+// signature-message construction; the encodings are consumed before the
+// buffer is returned, so nothing retains them.
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
+}
+
 // DigestOf returns the SHA-256 digest of e's canonical encoding.
 func DigestOf(e *Evidence) rot.Digest {
-	return sha256.Sum256(Encode(e))
+	bp := encBufPool.Get().(*[]byte)
+	b := AppendEncode((*bp)[:0], e)
+	d := sha256.Sum256(b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
+	return d
 }
 
 // Signer abstracts the signing capability evidence needs — satisfied by
@@ -154,16 +167,36 @@ type Signer interface {
 // covers e's canonical encoding prefixed by the signer name, so a signature
 // cannot be transplanted between principals.
 func Sign(s Signer, e *Evidence) *Evidence {
-	msg := sigMessage(s.Name(), e)
-	return &Evidence{Kind: KindSig, Signer: s.Name(), Signature: s.Sign(msg), Left: e}
+	bp := encBufPool.Get().(*[]byte)
+	msg := AppendSigMessage((*bp)[:0], s.Name(), e)
+	sig := s.Sign(msg)
+	*bp = msg[:0]
+	encBufPool.Put(bp)
+	return &Evidence{Kind: KindSig, Signer: s.Name(), Signature: sig, Left: e}
+}
+
+const sigDomain = "PERA-EVSIG\x00"
+
+// AppendSigMessage appends the exact byte string a signature over e by
+// signer covers — domain tag, signer name, NUL, canonical encoding — to
+// buf in a single pass, and returns the extended slice. It is the
+// allocation-free form of the old two-buffer sigMessage construction.
+func AppendSigMessage(buf []byte, signer string, e *Evidence) []byte {
+	buf = append(buf, sigDomain...)
+	buf = append(buf, signer...)
+	buf = append(buf, 0)
+	return appendEvidence(buf, e)
+}
+
+// SigMessageSize returns len(AppendSigMessage(nil, signer, e)) without
+// building it, so callers can size a buffer exactly.
+func SigMessageSize(signer string, e *Evidence) int {
+	return len(sigDomain) + len(signer) + 1 + EncodedSize(e)
 }
 
 func sigMessage(signer string, e *Evidence) []byte {
-	var b []byte
-	b = append(b, "PERA-EVSIG\x00"...)
-	b = append(b, signer...)
-	b = append(b, 0)
-	return append(b, Encode(e)...)
+	b := make([]byte, 0, SigMessageSize(signer, e))
+	return AppendSigMessage(b, signer, e)
 }
 
 // KeyResolver maps a signer name to its verification key. Appraisers
@@ -197,6 +230,12 @@ func VerifySignaturesMemo(e *Evidence, keys KeyResolver, memo *VerifyMemo) (int,
 	if e == nil {
 		return 0, ErrMalformed
 	}
+	// One scratch buffer serves every signature node in the walk; on memo
+	// hits the whole traversal allocates nothing.
+	bp := encBufPool.Get().(*[]byte)
+	defer func() {
+		encBufPool.Put(bp)
+	}()
 	n := 0
 	var walk func(*Evidence) error
 	walk = func(ev *Evidence) error {
@@ -211,7 +250,9 @@ func VerifySignaturesMemo(e *Evidence, keys KeyResolver, memo *VerifyMemo) (int,
 			if !ok {
 				return fmt.Errorf("%w: %q", ErrUnknownKey, ev.Signer)
 			}
-			if !memo.Verify(pub, sigMessage(ev.Signer, ev.Left), ev.Signature) {
+			msg := AppendSigMessage((*bp)[:0], ev.Signer, ev.Left)
+			*bp = msg[:0]
+			if !memo.Verify(pub, msg, ev.Signature) {
 				return fmt.Errorf("%w: signer %q", ErrBadSignature, ev.Signer)
 			}
 			n++
@@ -243,6 +284,82 @@ func Measurements(e *Evidence) []*Evidence {
 		switch ev.Kind {
 		case KindMeasurement:
 			out = append(out, ev)
+		case KindSig:
+			walk(ev.Left)
+		case KindSeq, KindPar:
+			walk(ev.Left)
+			walk(ev.Right)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// WalkMeasurements visits every measurement node in e, left-to-right,
+// without building a slice; fn returning false stops the walk. The
+// appraisal hot path uses this in place of Measurements.
+func WalkMeasurements(e *Evidence, fn func(*Evidence) bool) {
+	var walk func(*Evidence) bool
+	walk = func(ev *Evidence) bool {
+		if ev == nil {
+			return true
+		}
+		switch ev.Kind {
+		case KindMeasurement:
+			return fn(ev)
+		case KindSig:
+			return walk(ev.Left)
+		case KindSeq, KindPar:
+			return walk(ev.Left) && walk(ev.Right)
+		}
+		return true
+	}
+	walk(e)
+}
+
+// CountMeasurements returns the number of measurement nodes in e.
+func CountMeasurements(e *Evidence) int {
+	n := 0
+	WalkMeasurements(e, func(*Evidence) bool { n++; return true })
+	return n
+}
+
+// HasNonce reports whether nonce appears as a nonce node in e, without
+// materializing the Nonces slice.
+func HasNonce(e *Evidence, nonce []byte) bool {
+	found := false
+	var walk func(*Evidence)
+	walk = func(ev *Evidence) {
+		if ev == nil || found {
+			return
+		}
+		switch ev.Kind {
+		case KindNonce:
+			if string(ev.Nonce) == string(nonce) {
+				found = true
+			}
+		case KindSig:
+			walk(ev.Left)
+		case KindSeq, KindPar:
+			walk(ev.Left)
+			walk(ev.Right)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// FirstNonce returns the first nonce node's value in e, or nil.
+func FirstNonce(e *Evidence) []byte {
+	var out []byte
+	var walk func(*Evidence)
+	walk = func(ev *Evidence) {
+		if ev == nil || out != nil {
+			return
+		}
+		switch ev.Kind {
+		case KindNonce:
+			out = ev.Nonce
 		case KindSig:
 			walk(ev.Left)
 		case KindSeq, KindPar:

@@ -121,15 +121,19 @@ func TestRunThroughputInstrumented(t *testing.T) {
 	if n := histCount("pera_sign_seconds", telemetry.L("switch", "sw1")); n == 0 {
 		t.Fatal("sign histogram empty for sw1")
 	}
-	if n := histCount("pera_verify_seconds", telemetry.L("appraiser", "Appraiser")); n != packets {
-		t.Fatalf("verify histogram count = %d, want %d", n, packets)
+	// The pool coalesces identical nonce-less jobs, so the verify and
+	// appraise stages run once per unique chain (>= flows), not once per
+	// packet — that is the point of certificate coalescing. The verdict
+	// counters below still account for every packet.
+	if n := histCount("pera_verify_seconds", telemetry.L("appraiser", "Appraiser")); n < flows || n > packets {
+		t.Fatalf("verify histogram count = %d, want between %d and %d", n, flows, packets)
 	}
 	var appraised uint64
 	for w := 0; w < workers; w++ {
 		appraised += histCount("pera_appraise_seconds", telemetry.L("worker", strconv.Itoa(w)))
 	}
-	if appraised != packets {
-		t.Fatalf("appraise histograms total %d, want %d", appraised, packets)
+	if appraised < flows || appraised > packets {
+		t.Fatalf("appraise histograms total %d, want between %d and %d", appraised, flows, packets)
 	}
 
 	// Pool, cache and memo counters agree with the result struct.

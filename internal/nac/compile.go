@@ -177,11 +177,22 @@ type attestSpec struct {
 	sign   bool
 }
 
+// errNotAttest is the quiet-mode classification failure: bodyKind probes
+// every atom through parseAttest during binding, and formatting a rich
+// error for the common "this is a host phrase" outcome was pure waste.
+var errNotAttest = errors.New("nac: not an attest phrase")
+
 // parseAttest interprets an atom body of the shape
 // `attest(args) target -> # -> !` (any subset of the #/! suffix). A bare
 // `!` body (AP3's @peer1 [Peer1 |> !]) yields an empty-claim signing
 // spec.
 func parseAttest(t Term, props map[string][]evidence.Detail) (*attestSpec, error) {
+	return parseAttestQ(t, props, false)
+}
+
+// parseAttestQ is parseAttest with a quiet mode that returns the static
+// errNotAttest instead of formatted errors, for classification probes.
+func parseAttestQ(t Term, props map[string][]evidence.Detail, quiet bool) (*attestSpec, error) {
 	spec := &attestSpec{}
 	var walk func(Term) error
 	walk = func(t Term) error {
@@ -229,13 +240,22 @@ func parseAttest(t Term, props map[string][]evidence.Detail) (*attestSpec, error
 					if name == "n" {
 						continue
 					}
+					if quiet {
+						return errNotAttest
+					}
 					return fmt.Errorf("nac: unknown attest property %q", name)
 				}
 				return nil
 			default:
+				if quiet {
+					return errNotAttest
+				}
 				return fmt.Errorf("%w: hop action %q", ErrBadSegment, n.Name)
 			}
 		default:
+			if quiet {
+				return errNotAttest
+			}
 			return fmt.Errorf("%w: hop phrase %T", ErrBadSegment, t)
 		}
 	}
@@ -291,6 +311,17 @@ func (b *binder) checkPlaceGuard(test, place string) error {
 	return nil
 }
 
+// placeGuardOK is the boolean form of checkPlaceGuard for backtracking
+// match attempts, where a failed guard just prunes a branch and the
+// formatted error would be discarded.
+func (b *binder) placeGuardOK(test, place string) bool {
+	if test == "" {
+		return true
+	}
+	spec, ok := b.reg[test]
+	return ok && (spec.PlacePred == nil || spec.PlacePred(place))
+}
+
 func (b *binder) match(segIdx, atomIdx, pathPos int) bool {
 	if segIdx == len(b.segs) {
 		// Every attesting hop must be accounted for by the policy: an
@@ -309,7 +340,7 @@ func (b *binder) match(segIdx, atomIdx, pathPos int) bool {
 		for end := pathPos; end <= len(b.path); end++ {
 			ok := true
 			for _, h := range b.path[pathPos:end] {
-				if h.Attesting && b.checkPlaceGuard(a.guard, h.Name) != nil {
+				if h.Attesting && !b.placeGuardOK(a.guard, h.Name) {
 					ok = false
 					break
 				}
@@ -373,7 +404,7 @@ func (b *binder) match(segIdx, atomIdx, pathPos int) bool {
 
 // hopMatches reports whether atom a can bind hop h.
 func (b *binder) hopMatches(a atom, isVar bool, kind int, h PathHop) bool {
-	if b.checkPlaceGuard(a.guard, h.Name) != nil {
+	if !b.placeGuardOK(a.guard, h.Name) {
 		return false
 	}
 	if !isVar && h.Name != a.place {
@@ -411,7 +442,7 @@ func bodyKind(t Term) int {
 	if hasAttest {
 		return bodyAttest
 	}
-	if _, err := parseAttest(t, builtinProps); err == nil {
+	if _, err := parseAttestQ(t, builtinProps, true); err == nil {
 		return bodySign
 	}
 	return bodyHost

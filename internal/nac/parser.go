@@ -3,6 +3,7 @@ package nac
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"unicode"
 	"unicode/utf8"
 
@@ -160,20 +161,47 @@ func lexNAC(input string) ([]tok, error) {
 	return append(toks, tok{tEOF, "", len(input)}), nil
 }
 
-// ParsePolicy parses a top-level network-aware policy.
+// parseMemo caches successfully parsed policies by source text. The
+// shipped policies (AP1..AP3) are constants re-parsed on every compile —
+// per-testbed in the throughput harness — and lexing dominated the parse
+// cost. Parsed ASTs are never mutated (Compile only reads them), so
+// returning the shared *Policy is safe; the cache is bounded and dropped
+// wholesale if arbitrary inputs ever push it past the cap.
+var parseMemo struct {
+	sync.Mutex
+	m map[string]*Policy
+}
+
+const parseMemoCap = 64
+
+// ParsePolicy parses a top-level network-aware policy. The returned
+// Policy may be shared across calls with the same input; callers must
+// treat it as immutable.
 func ParsePolicy(input string) (*Policy, error) {
+	parseMemo.Lock()
+	pol, ok := parseMemo.m[input]
+	parseMemo.Unlock()
+	if ok {
+		return pol, nil
+	}
 	toks, err := lexNAC(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &nparser{input: input, toks: toks}
-	pol, err := p.policy()
+	pol, err = p.policy()
 	if err != nil {
 		return nil, err
 	}
 	if err := p.expect(tEOF); err != nil {
 		return nil, err
 	}
+	parseMemo.Lock()
+	if parseMemo.m == nil || len(parseMemo.m) >= parseMemoCap {
+		parseMemo.m = make(map[string]*Policy, 8)
+	}
+	parseMemo.m[input] = pol
+	parseMemo.Unlock()
 	return pol, nil
 }
 

@@ -60,6 +60,13 @@ type Network struct {
 	trace   []TraceEntry
 	tracing bool
 
+	// neighbors caches NeighborsOf results; route installation and path
+	// binding walk the adjacency of every node repeatedly, which made the
+	// uncached O(links) scan the top allocator in testbed construction.
+	// Link invalidates the whole cache (topology changes are rare and
+	// bulk, lookups are hot).
+	neighbors map[string][]Adjacency
+
 	// Failure-injection state (failures.go).
 	down      map[endpoint]bool
 	lossEvery map[endpoint]int
@@ -139,6 +146,7 @@ func (n *Network) Link(a string, aPort uint64, b string, bPort uint64) error {
 	}
 	n.links[ea] = eb
 	n.links[eb] = ea
+	n.neighbors = nil
 	return nil
 }
 
@@ -196,7 +204,9 @@ func (n *Network) Inject(node string, port uint64, frame []byte) error {
 		return fmt.Errorf("%w: %q", ErrUnknownNode, node)
 	}
 	n.mu.Unlock()
-	return n.run([]delivery{{to: endpoint{node, port}, frame: frame}})
+	q := make([]delivery, 1, 8)
+	q[0] = delivery{to: endpoint{node, port}, frame: frame}
+	return n.run(q)
 }
 
 // Send has node transmit a frame out of one of its ports (following the
@@ -211,7 +221,9 @@ func (n *Network) Send(node string, port uint64, frame []byte) error {
 	if !pass {
 		return nil
 	}
-	return n.run([]delivery{{to: peer, from: from, frame: frame}})
+	q := make([]delivery, 1, 8)
+	q[0] = delivery{to: peer, from: from, frame: frame}
+	return n.run(q)
 }
 
 func (n *Network) run(queue []delivery) error {
@@ -219,13 +231,15 @@ func (n *Network) run(queue []delivery) error {
 	if budget == 0 {
 		budget = DefaultMaxDeliveries
 	}
-	for len(queue) > 0 {
+	// Head-indexed FIFO: re-slicing queue[1:] would strand capacity at
+	// the front and force a fresh backing array on nearly every append
+	// along a multi-hop path.
+	for head := 0; head < len(queue); head++ {
 		if budget == 0 {
 			return ErrLoopDetected
 		}
 		budget--
-		d := queue[0]
-		queue = queue[1:]
+		d := queue[head]
 
 		n.mu.Lock()
 		node := n.nodes[d.to.node]
@@ -316,16 +330,20 @@ func (n *Network) Instrument(reg *telemetry.Registry) {
 	}
 }
 
-// NeighborsOf lists a node's links.
+// NeighborsOf lists a node's links, sorted by port. The returned slice is
+// a shared cache entry — callers must not modify it.
 func (n *Network) NeighborsOf(name string) []Adjacency {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var out []Adjacency
-	for ep, peer := range n.links {
-		if ep.node == name {
-			out = append(out, Adjacency{Port: ep.port, Peer: peer.node, PeerPort: peer.port})
+	if n.neighbors == nil {
+		n.neighbors = make(map[string][]Adjacency, len(n.nodes))
+		for ep, peer := range n.links {
+			n.neighbors[ep.node] = append(n.neighbors[ep.node],
+				Adjacency{Port: ep.port, Peer: peer.node, PeerPort: peer.port})
+		}
+		for _, adj := range n.neighbors {
+			sort.Slice(adj, func(i, j int) bool { return adj[i].Port < adj[j].Port })
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Port < out[j].Port })
-	return out
+	return n.neighbors[name]
 }

@@ -66,6 +66,19 @@ func (h *Host) Received() [][]byte {
 	return out
 }
 
+// LastReceived returns a copy of the most recent frame delivered, or
+// (nil, false) if none arrived yet. Unlike Received it copies only that
+// one frame, so polling the latest delivery stays O(1) in allocations.
+func (h *Host) LastReceived() ([]byte, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.received) == 0 {
+		return nil, false
+	}
+	last := h.received[len(h.received)-1]
+	return append([]byte(nil), last...), true
+}
+
 // ReceivedCount returns how many frames arrived.
 func (h *Host) ReceivedCount() int {
 	h.mu.Lock()

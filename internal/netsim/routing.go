@@ -82,15 +82,19 @@ func (n *Network) InstallRoutes(hosts []*Host, table, action, portParam string) 
 	}
 	n.mu.Unlock()
 
-	for _, dp := range planes {
-		for _, h := range hosts {
-			path := n.ShortestPath(dp.Name(), h.Name())
-			if len(path) < 2 {
+	// One BFS per host: in the parent tree rooted at h, parent[v] is v's
+	// neighbor one hop closer to h — exactly the next hop every dataplane
+	// needs, without a per-(switch, host) path computation.
+	for _, h := range hosts {
+		parent := n.bfsParents(h.Name())
+		for _, dp := range planes {
+			next, ok := parent[dp.Name()]
+			if !ok || next == dp.Name() {
 				continue // unreachable or self
 			}
-			port, ok := n.portToward(dp.Name(), path[1])
+			port, ok := n.portToward(dp.Name(), next)
 			if !ok {
-				return fmt.Errorf("netsim: no port from %s to %s", dp.Name(), path[1])
+				return fmt.Errorf("netsim: no port from %s to %s", dp.Name(), next)
 			}
 			err := dp.Instance().InstallEntry(table, p4ir.Entry{
 				Matches: []p4ir.KeyMatch{{Value: h.Addr()}},
@@ -103,6 +107,25 @@ func (n *Network) InstallRoutes(hosts []*Host, table, action, portParam string) 
 		}
 	}
 	return nil
+}
+
+// bfsParents runs one breadth-first traversal from src and returns the
+// parent tree: parent[v] is the neighbor of v one hop closer to src
+// (parent[src] == src).
+func (n *Network) bfsParents(src string) map[string]string {
+	parent := map[string]string{src: src}
+	queue := make([]string, 1, 16)
+	queue[0] = src
+	for head := 0; head < len(queue); head++ {
+		for _, adj := range n.NeighborsOf(queue[head]) {
+			if _, seen := parent[adj.Peer]; seen {
+				continue
+			}
+			parent[adj.Peer] = queue[head]
+			queue = append(queue, adj.Peer)
+		}
+	}
+	return parent
 }
 
 // PathSwitches returns the Dataplane nodes along the shortest path

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 
 	"pera/internal/rot"
 )
@@ -23,6 +25,14 @@ type Program struct {
 	Ingress   []*Table // applied in order
 	Egress    []*Table
 	Registers []*Register
+
+	// digestOnce caches Digest: the canonical rendering is rebuilt from
+	// scratch otherwise, and attestation paths ask for the digest per
+	// claim. Programs are immutable once deployed — a modified dataplane
+	// is a new Program (see Switch.ReloadProgram) — so callers mutating a
+	// Program after its first Digest call get the stale value by design.
+	digestOnce sync.Once
+	digest     rot.Digest
 }
 
 // Errors from validation.
@@ -285,22 +295,37 @@ func (p *Program) Canonical() string {
 // extends into its RoT when the program is loaded (UC1's "which dataplane
 // program is running").
 func (p *Program) Digest() rot.Digest {
-	return rot.Sum([]byte(p.Canonical()))
+	p.digestOnce.Do(func() { p.digest = rot.Sum([]byte(p.Canonical())) })
+	return p.digest
 }
 
 // EntriesDigest computes the attestable digest of a set of installed
 // table entries (the Fig. 4 "tables" detail level). Entries are
 // canonicalized independent of installation order.
 func EntriesDigest(tableName string, entries []Entry) rot.Digest {
+	// This runs on every tables-detail attestation whose digest cache was
+	// invalidated, so each canonical line is built with strconv appends
+	// into one reused buffer rather than per-entry Fprintf calls.
 	lines := make([]string, 0, len(entries))
+	var buf []byte
 	for _, e := range entries {
-		var b strings.Builder
-		fmt.Fprintf(&b, "entry prio=%d action=%s(%s) match=[", e.Priority, e.Action, canonicalParams(e.Params))
+		buf = append(buf[:0], "entry prio="...)
+		buf = strconv.AppendInt(buf, int64(e.Priority), 10)
+		buf = append(buf, " action="...)
+		buf = append(buf, e.Action...)
+		buf = append(buf, '(')
+		buf = appendCanonicalParams(buf, e.Params)
+		buf = append(buf, ") match=["...)
 		for _, m := range e.Matches {
-			fmt.Fprintf(&b, "%d/%d/%x ", m.Value, m.PrefixLen, m.Mask)
+			buf = strconv.AppendUint(buf, m.Value, 10)
+			buf = append(buf, '/')
+			buf = strconv.AppendInt(buf, int64(m.PrefixLen), 10)
+			buf = append(buf, '/')
+			buf = strconv.AppendUint(buf, m.Mask, 16)
+			buf = append(buf, ' ')
 		}
-		b.WriteString("]")
-		lines = append(lines, b.String())
+		buf = append(buf, ']')
+		lines = append(lines, string(buf))
 	}
 	sort.Strings(lines)
 	return rot.Sum([]byte("table " + tableName + "\n" + strings.Join(lines, "\n")))

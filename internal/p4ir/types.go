@@ -14,7 +14,7 @@ package p4ir
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Field is one header field with a width in bits (1..64).
@@ -253,14 +253,27 @@ const (
 // canonical writes a deterministic textual form used for digests; any
 // semantic change to the program changes this string.
 func canonicalParams(m map[string]uint64) string {
-	keys := make([]string, 0, len(m))
+	return string(appendCanonicalParams(nil, m))
+}
+
+// appendCanonicalParams appends canonicalParams' form to buf. Table
+// entries carry zero or one params in practice, so the sort buffer lives
+// on the stack and the digest path pays no per-call allocations.
+func appendCanonicalParams(buf []byte, m map[string]uint64) []byte {
+	if len(m) == 0 {
+		return buf
+	}
+	var stack [8]string
+	keys := stack[:0]
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	var b strings.Builder
 	for _, k := range keys {
-		fmt.Fprintf(&b, "%s=%d,", k, m[k])
+		buf = append(buf, k...)
+		buf = append(buf, '=')
+		buf = strconv.AppendUint(buf, m[k], 10)
+		buf = append(buf, ',')
 	}
-	return b.String()
+	return buf
 }

@@ -145,17 +145,20 @@ func Pop(frame []byte) (*Header, []byte, error) {
 			return nil, nil, err
 		}
 	}
-	policy, err := DecodePolicy(pol)
+	// The policy travels the path unchanged, so hops share one decode per
+	// unique wire encoding; raw is the cache's canonical copy (never the
+	// frame), kept for the egress Push to replay. The evidence section
+	// changes at every attesting hop — DecodeShared copies it once into a
+	// private slab instead of once per field. Neither result aliases
+	// frame: callers may reuse the buffer after Pop returns.
+	policy, raw, err := decodePolicyCached(pol)
 	if err != nil {
 		return nil, nil, err
 	}
-	ev, err := evidence.Decode(evb)
+	ev, err := evidence.DecodeShared(evb)
 	if err != nil {
 		return nil, nil, err
 	}
-	// Keep the policy wire bytes (copied, so the header does not alias a
-	// frame buffer the caller may reuse) for the egress Push to replay.
-	raw := append([]byte(nil), pol...)
 	return &Header{
 		Policy: policy, Evidence: ev,
 		Spans: spans, SpansTruncated: truncated,

@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"pera/internal/evidence"
 	"pera/internal/pisa"
@@ -71,6 +72,52 @@ type Policy struct {
 	ID    uint64
 	Nonce []byte
 	Obls  []Obligation
+
+	// wild/byPlace form the dispatch index built by DecodePolicy: byPlace
+	// lists, per concrete place named by any obligation, the indices of
+	// obligations applying there (place-less obligations merged in
+	// obligation order); wild holds just the place-less indices, for
+	// places no obligation names explicitly. byPlace != nil marks the
+	// index as built — hand-constructed policies fall back to a scan.
+	wild    []uint16
+	byPlace map[string][]uint16
+}
+
+// dispatch precomputes the per-place obligation index. The wire caps
+// obligations at maxPolicyObls (1024), so uint16 indices suffice.
+func (p *Policy) dispatch() {
+	p.byPlace = make(map[string][]uint16, 4)
+	for i := range p.Obls {
+		if p.Obls[i].Place == "" {
+			p.wild = append(p.wild, uint16(i))
+		}
+	}
+	for i := range p.Obls {
+		pl := p.Obls[i].Place
+		if pl == "" || p.byPlace[pl] != nil {
+			continue
+		}
+		var l []uint16
+		for j := range p.Obls {
+			if o := &p.Obls[j]; o.Place == "" || o.Place == pl {
+				l = append(l, uint16(j))
+			}
+		}
+		p.byPlace[pl] = l
+	}
+}
+
+// forPlace returns the indices of obligations applying at place, in
+// obligation order, when the dispatch index is available; ok=false means
+// the caller must scan Obls with AppliesAt.
+func (p *Policy) forPlace(place string) (idx []uint16, ok bool) {
+	if p.byPlace == nil {
+		return nil, false
+	}
+	if l, ok := p.byPlace[place]; ok {
+		return l, true
+	}
+	return p.wild, true
 }
 
 // Errors from policy codec.
@@ -119,8 +166,65 @@ func appendLV(b, v []byte) []byte {
 	return append(b, v...)
 }
 
-// DecodePolicy parses an encoded policy.
+// DecodePolicy parses an encoded policy. The result never aliases data
+// (the bytes are copied once up front) and carries a precomputed
+// per-place dispatch index; byte fields of the returned policy alias that
+// private copy, so treat the decoded policy as immutable.
 func DecodePolicy(data []byte) (*Policy, error) {
+	p, err := parsePolicy(append([]byte(nil), data...))
+	if err != nil {
+		return nil, err
+	}
+	p.dispatch()
+	return p, nil
+}
+
+// policyCache memoizes decoded policies by wire bytes. A policy travels
+// unchanged along its whole path and recurs for every packet of a flow,
+// so each hop's Pop was re-decoding identical bytes. Entries own a
+// canonical copy of the encoding which the decoded policy aliases; the
+// bounded cache drops wholesale when hostile traffic floods it with
+// unique policies.
+var policyCache struct {
+	sync.Mutex
+	m map[string]*policyCacheEntry
+}
+
+type policyCacheEntry struct {
+	pol *Policy
+	raw []byte
+}
+
+const policyCacheCap = 512
+
+// decodePolicyCached returns the decoded policy for these wire bytes and
+// the canonical raw encoding it aliases (safe to retain: owned by the
+// cache entry, never by the caller's frame).
+func decodePolicyCached(data []byte) (*Policy, []byte, error) {
+	policyCache.Lock()
+	ent, ok := policyCache.m[string(data)] // key lookup does not allocate
+	policyCache.Unlock()
+	if ok {
+		return ent.pol, ent.raw, nil
+	}
+	raw := append([]byte(nil), data...)
+	p, err := parsePolicy(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.dispatch()
+	policyCache.Lock()
+	if policyCache.m == nil || len(policyCache.m) >= policyCacheCap {
+		policyCache.m = make(map[string]*policyCacheEntry, 64)
+	}
+	policyCache.m[string(raw)] = &policyCacheEntry{pol: p, raw: raw}
+	policyCache.Unlock()
+	return p, raw, nil
+}
+
+// parsePolicy decodes a policy whose byte fields ALIAS data — the caller
+// must own data and never mutate it afterwards.
+func parsePolicy(data []byte) (*Policy, error) {
 	r := &reader{buf: data}
 	p := &Policy{}
 	var err error
@@ -242,7 +346,14 @@ func (r *reader) lv() ([]byte, error) {
 	if r.off+int(n) > len(r.buf) {
 		return nil, fmt.Errorf("%w: truncated field", ErrPolicyDecode)
 	}
-	v := append([]byte(nil), r.buf[r.off:r.off+int(n)]...)
+	// Zero-copy: the field aliases r.buf, capacity-clamped so an append
+	// by the caller reallocates instead of clobbering the next field.
+	// parsePolicy's contract makes this safe (the buffer is a private,
+	// immutable copy owned by the decode).
+	var v []byte
+	if n > 0 {
+		v = r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	}
 	r.off += int(n)
 	return v, nil
 }

@@ -98,54 +98,56 @@ type Stats struct {
 // histograms and trace spans are armed only once Instrument or
 // SetTracer is called, so an un-instrumented switch pays no time.Now
 // calls on the packet path.
+// The instruments are embedded by value — one switchMetrics sits inside
+// each Switch — so constructing a switch costs two histogram bucket
+// arrays rather than fifteen separate instrument allocations.
 type switchMetrics struct {
 	timing atomic.Bool // take stage timestamps (Instrument arms this)
 
-	packets       *telemetry.Counter
-	attested      *telemetry.Counter
-	signOps       *telemetry.Counter
-	evidenceBytes *telemetry.Counter
-	inBandBytes   *telemetry.Counter
-	outOfBandMsgs *telemetry.Counter
-	guardRejects  *telemetry.Counter
-	sampleSkips   *telemetry.Counter
-	verifyOps     *telemetry.Counter
-	verifyFails   *telemetry.Counter
-	hopSpans      *telemetry.Counter
-	hopSpanBytes  *telemetry.Counter
-	hopSpanDrops  *telemetry.Counter
+	packets       telemetry.Counter
+	attested      telemetry.Counter
+	signOps       telemetry.Counter
+	evidenceBytes telemetry.Counter
+	inBandBytes   telemetry.Counter
+	outOfBandMsgs telemetry.Counter
+	guardRejects  telemetry.Counter
+	sampleSkips   telemetry.Counter
+	verifyOps     telemetry.Counter
+	verifyFails   telemetry.Counter
+	hopSpans      telemetry.Counter
+	hopSpanBytes  telemetry.Counter
+	hopSpanDrops  telemetry.Counter
 
-	signSeconds   *telemetry.Histogram // Fig. 3 Sign stage latency
-	verifySeconds *telemetry.Histogram // Fig. 3 Verify stage latency (in-band)
+	signSeconds   telemetry.Histogram // Fig. 3 Sign stage latency
+	verifySeconds telemetry.Histogram // Fig. 3 Verify stage latency (in-band)
 }
 
-func newSwitchMetrics(name string) switchMetrics {
-	sw := telemetry.L("switch", name)
-	return switchMetrics{
-		packets:       telemetry.NewCounter("pera_packets_total", sw),
-		attested:      telemetry.NewCounter("pera_attested_total", sw),
-		signOps:       telemetry.NewCounter("pera_sign_ops_total", sw),
-		evidenceBytes: telemetry.NewCounter("pera_evidence_bytes_total", sw),
-		inBandBytes:   telemetry.NewCounter("pera_inband_bytes_total", sw),
-		outOfBandMsgs: telemetry.NewCounter("pera_oob_msgs_total", sw),
-		guardRejects:  telemetry.NewCounter("pera_guard_rejects_total", sw),
-		sampleSkips:   telemetry.NewCounter("pera_sample_skips_total", sw),
-		verifyOps:     telemetry.NewCounter("pera_verify_ops_total", sw),
-		verifyFails:   telemetry.NewCounter("pera_verify_fails_total", sw),
-		hopSpans:      telemetry.NewCounter("pera_hop_spans_total", sw),
-		hopSpanBytes:  telemetry.NewCounter("pera_hop_span_bytes_total", sw),
-		hopSpanDrops:  telemetry.NewCounter("pera_hop_span_drops_total", sw),
-		signSeconds:   telemetry.NewHistogram("pera_sign_seconds", nil, sw),
-		verifySeconds: telemetry.NewHistogram("pera_switch_verify_seconds", nil, sw),
-	}
+func (m *switchMetrics) init(name string) {
+	// One label slice shared by every instrument of this switch.
+	sw := []telemetry.Label{telemetry.L("switch", name)}
+	m.packets.Init("pera_packets_total", sw)
+	m.attested.Init("pera_attested_total", sw)
+	m.signOps.Init("pera_sign_ops_total", sw)
+	m.evidenceBytes.Init("pera_evidence_bytes_total", sw)
+	m.inBandBytes.Init("pera_inband_bytes_total", sw)
+	m.outOfBandMsgs.Init("pera_oob_msgs_total", sw)
+	m.guardRejects.Init("pera_guard_rejects_total", sw)
+	m.sampleSkips.Init("pera_sample_skips_total", sw)
+	m.verifyOps.Init("pera_verify_ops_total", sw)
+	m.verifyFails.Init("pera_verify_fails_total", sw)
+	m.hopSpans.Init("pera_hop_spans_total", sw)
+	m.hopSpanBytes.Init("pera_hop_span_bytes_total", sw)
+	m.hopSpanDrops.Init("pera_hop_span_drops_total", sw)
+	m.signSeconds.Init("pera_sign_seconds", nil, sw)
+	m.verifySeconds.Init("pera_switch_verify_seconds", nil, sw)
 }
 
 func (m *switchMetrics) instruments() []telemetry.Instrument {
 	return []telemetry.Instrument{
-		m.packets, m.attested, m.signOps, m.evidenceBytes, m.inBandBytes,
-		m.outOfBandMsgs, m.guardRejects, m.sampleSkips, m.verifyOps,
-		m.verifyFails, m.hopSpans, m.hopSpanBytes, m.hopSpanDrops,
-		m.signSeconds, m.verifySeconds,
+		&m.packets, &m.attested, &m.signOps, &m.evidenceBytes, &m.inBandBytes,
+		&m.outOfBandMsgs, &m.guardRejects, &m.sampleSkips, &m.verifyOps,
+		&m.verifyFails, &m.hopSpans, &m.hopSpanBytes, &m.hopSpanDrops,
+		&m.signSeconds, &m.verifySeconds,
 	}
 }
 
@@ -230,7 +232,8 @@ func New(name string, prog *p4ir.Program, cfg Config) (*Switch, error) {
 		return nil, err
 	}
 	r := rot.NewDeterministic(name, []byte("pera:"+name))
-	s := &Switch{name: name, rot: r, signer: r, inst: inst, cfg: cfg, met: newSwitchMetrics(name)}
+	s := &Switch{name: name, rot: r, signer: r, inst: inst, cfg: cfg}
+	s.met.init(name)
 	if cfg.Sampler == nil {
 		s.cfg.Sampler = evidence.NewSampler(evidence.SamplerConfig{Mode: evidence.SamplePerPacket})
 	}
@@ -591,7 +594,19 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		if cfg.VerifyIncoming != nil {
 			s.met.verifyOps.Inc()
 			start := s.met.start(tr, sp)
-			_, err := evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, cfg.VerifyMemo)
+			var err error
+			if cfg.VerifyMemo != nil {
+				// Batch path: gather the chain's signatures, settle them
+				// with one batch equation (or per-item fallback), seed the
+				// memo, then walk as usual — verdicts and error text are
+				// identical to the unbatched stage.
+				bv := switchBatchPool.Get().(*evidence.BatchVerifier)
+				bv.Reset(cfg.VerifyMemo)
+				_, err = evidence.VerifySignaturesBatched(hdr.Evidence, cfg.VerifyIncoming, cfg.VerifyMemo, bv)
+				switchBatchPool.Put(bv)
+			} else {
+				_, err = evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, nil)
+			}
 			s.met.verifySeconds.ObserveSince(start)
 			if err != nil {
 				s.met.verifyFails.Inc()
@@ -630,56 +645,47 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		return nil, nil
 	}
 
-	// Evidence stage: gather obligations from the standing config and
-	// any in-band policy.
-	obls := cfg.Standing
-	if hdr != nil {
-		obls = append(append([]Obligation(nil), obls...), hdr.Policy.Obls...)
-	}
+	// Evidence stage: obligations come from the standing config and any
+	// in-band policy. The two sources are iterated in place — standing
+	// first, then the policy's precomputed per-place index — instead of
+	// concatenating them into a fresh slice per packet.
 	pkt := outs[0].Packet
 	if (tr != nil || aud != nil) && flow == "" {
 		flow = strconv.FormatUint(pkt.FlowHash(), 16)
 	}
 	attested := false
-	for i := range obls {
-		o := &obls[i]
+	for i := range cfg.Standing {
+		o := &cfg.Standing[i]
 		if !o.AppliesAt(s.name) {
 			continue
 		}
-		if !MatchAll(o.Guards, pkt) {
-			s.met.guardRejects.Inc()
-			if sp != nil {
-				sp.GuardRejects++
-			}
-			if aud != nil {
-				aud.Emit(auditlog.Record{
-					Event: auditlog.EventGuardReject, Place: s.name, Flow: flow,
-					Prov: &auditlog.Provenance{
-						Clause: guardClause(o.Guards), Stage: "guard",
-						Accept: false, Reason: "NetKAT guard test failed; obligation skipped",
-					},
-				})
-			}
-			continue
-		}
-		if !cfg.Sampler.Sample(pkt.FlowHash()) {
-			s.met.sampleSkips.Inc()
-			if sp != nil {
-				sp.SampleSkips++
-			}
-			continue
-		}
-		ev, err := s.obligationEvidence(o, inner, hdr, flow, tr, aud, sp)
+		did, err := s.applyObligation(o, &cfg, sink, pkt, inner, hdr, flow, tr, aud, sp)
 		if err != nil {
 			return nil, err
 		}
-		attested = true
-		switch {
-		case hdr != nil && cfg.Composition == evidence.Chained:
-			hdr.Evidence = ev
-		default:
-			// Pointwise (or no header to thread through): out-of-band.
-			s.emitOOB(sink, o.Appraiser, ev)
+		attested = attested || did
+	}
+	if hdr != nil {
+		if idx, ok := hdr.Policy.forPlace(s.name); ok {
+			for _, i := range idx {
+				did, err := s.applyObligation(&hdr.Policy.Obls[i], &cfg, sink, pkt, inner, hdr, flow, tr, aud, sp)
+				if err != nil {
+					return nil, err
+				}
+				attested = attested || did
+			}
+		} else {
+			for i := range hdr.Policy.Obls {
+				o := &hdr.Policy.Obls[i]
+				if !o.AppliesAt(s.name) {
+					continue
+				}
+				did, err := s.applyObligation(o, &cfg, sink, pkt, inner, hdr, flow, tr, aud, sp)
+				if err != nil {
+					return nil, err
+				}
+				attested = attested || did
+			}
 		}
 	}
 	if attested {
@@ -724,19 +730,72 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	return emissions, nil
 }
 
+// switchBatchPool reuses BatchVerifier state (signature arenas, item
+// lists) across the Verify stage's per-frame batch passes.
+var switchBatchPool = sync.Pool{New: func() any { return evidence.NewBatchVerifier(nil) }}
+
+// applyObligation runs one obligation against the current packet: guard
+// and sampling gates, evidence production, and in-band or out-of-band
+// emission. It reports whether evidence was actually produced.
+func (s *Switch) applyObligation(o *Obligation, cfg *Config, sink Sink, pkt *pisa.Packet, inner []byte, hdr *Header, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (bool, error) {
+	if !MatchAll(o.Guards, pkt) {
+		s.met.guardRejects.Inc()
+		if sp != nil {
+			sp.GuardRejects++
+		}
+		if aud != nil {
+			aud.Emit(auditlog.Record{
+				Event: auditlog.EventGuardReject, Place: s.name, Flow: flow,
+				Prov: &auditlog.Provenance{
+					Clause: guardClause(o.Guards), Stage: "guard",
+					Accept: false, Reason: "NetKAT guard test failed; obligation skipped",
+				},
+			})
+		}
+		return false, nil
+	}
+	if !cfg.Sampler.Sample(pkt.FlowHash()) {
+		s.met.sampleSkips.Inc()
+		if sp != nil {
+			sp.SampleSkips++
+		}
+		return false, nil
+	}
+	ev, err := s.obligationEvidence(o, inner, hdr, flow, tr, aud, sp)
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case hdr != nil && cfg.Composition == evidence.Chained:
+		hdr.Evidence = ev
+	default:
+		// Pointwise (or no header to thread through): out-of-band.
+		s.emitOOB(sink, o.Appraiser, ev)
+	}
+	return true, nil
+}
+
 // obligationEvidence builds the evidence one obligation demands,
 // composing with the header chain when chained. flow/tr/aud/sp carry
 // the trace, audit and hop-span context ("" / nil when off).
 func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
-	var parts []*evidence.Evidence
-	for _, d := range o.Claims {
+	// Obligations carry one claim in the common case; fold incrementally
+	// so no parts slice is materialized.
+	var local *evidence.Evidence
+	for i, d := range o.Claims {
 		m, err := s.claimEvidence(d, frame, flow, tr, aud, sp)
 		if err != nil {
 			return nil, err
 		}
-		parts = append(parts, m)
+		if i == 0 {
+			local = m
+		} else {
+			local = evidence.Seq(local, m)
+		}
 	}
-	local := evidence.SeqAll(parts...)
+	if local == nil {
+		local = evidence.Empty()
+	}
 	if o.HashEvidence {
 		local = evidence.Hash(local)
 	}

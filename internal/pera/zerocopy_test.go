@@ -1,0 +1,159 @@
+package pera
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pera/internal/evidence"
+	"pera/internal/rot"
+)
+
+// Zero-copy LV parsing contract (see Pop): the returned Header must not
+// alias the source frame — only the returned inner-frame slice does — so
+// a caller may reuse or scribble over the frame buffer the moment Pop
+// returns. These tests pin that contract and the codec's round-trip
+// equality under the raw-policy replay cache.
+
+// zcHeader builds a header with signed, chained evidence and (optionally)
+// hop spans — the richest shape the wire carries. It panics on setup
+// failure so FuzzPop can use it for seed corpora too.
+func zcHeader(spans bool) *Header {
+	r, err := rot.New("sw1")
+	if err != nil {
+		panic(err)
+	}
+	m1 := evidence.Measurement("sw1", "prog", "sw1", evidence.DetailProgram, rot.Digest{7: 7}, nil)
+	m2 := evidence.Measurement("sw1", "tables", "sw1", evidence.DetailTables, rot.Digest{9: 9}, nil)
+	ev := evidence.Sign(r, evidence.Seq(m1, m2))
+	h := &Header{
+		Policy: &Policy{
+			ID:    42,
+			Nonce: []byte("zc-nonce"),
+			Obls: []Obligation{{
+				Place:        "sw1",
+				Guards:       []Guard{{Field: "tp.dport", Value: 443}},
+				Claims:       []evidence.Detail{evidence.DetailProgram, evidence.DetailTables},
+				HashEvidence: true, SignEvidence: true,
+				Appraiser: "Appraiser",
+			}},
+		},
+		Evidence: ev,
+	}
+	if spans {
+		h.Spans = []HopSpan{
+			{Place: "sw1", Flags: SpanVerified, VerifyNS: 123, SignNS: 456, TotalNS: 789, EvBytes: 64, CacheHits: 2},
+			{Place: "sw2", TotalNS: 1},
+		}
+	}
+	return h
+}
+
+// TestPopDoesNotAliasFrame mutates every byte of the source frame after
+// Pop and requires the parsed header to re-encode identically — the
+// zero-copy parse may alias the frame transiently, but nothing the
+// caller receives in the Header may.
+func TestPopDoesNotAliasFrame(t *testing.T) {
+	for _, spans := range []bool{false, true} {
+		inner := []byte("inner-frame-payload")
+		frame := Push(zcHeader(spans), inner)
+		hdr, rest, err := Pop(frame)
+		if err != nil {
+			t.Fatalf("spans=%v: %v", spans, err)
+		}
+		if !bytes.Equal(rest, inner) {
+			t.Fatalf("spans=%v: inner frame mismatch", spans)
+		}
+		before := Push(hdr, nil)
+		for i := range frame {
+			frame[i] ^= 0xFF
+		}
+		after := Push(hdr, nil)
+		if !bytes.Equal(before, after) {
+			t.Fatalf("spans=%v: header re-encode changed after source frame mutation", spans)
+		}
+		// Spot-check decoded structure too, not just the encoder.
+		if hdr.Policy.ID != 42 || string(hdr.Policy.Nonce) != "zc-nonce" {
+			t.Fatalf("spans=%v: policy corrupted by frame mutation: %+v", spans, hdr.Policy)
+		}
+		if n := len(evidence.Measurements(hdr.Evidence)); n != 2 {
+			t.Fatalf("spans=%v: evidence corrupted: %d measurements", spans, n)
+		}
+	}
+}
+
+// TestPushPopRoundTrip requires Pop∘Push to be the identity on bytes:
+// popping a frame and pushing the unmodified header back must reproduce
+// the original frame bit for bit (the raw-policy replay cache makes this
+// cheap; this test makes sure it also keeps it correct).
+func TestPushPopRoundTrip(t *testing.T) {
+	for _, spans := range []bool{false, true} {
+		inner := []byte("round-trip-inner")
+		orig := Push(zcHeader(spans), inner)
+		hdr, rest, err := Pop(orig)
+		if err != nil {
+			t.Fatalf("spans=%v: %v", spans, err)
+		}
+		again := Push(hdr, rest)
+		if !bytes.Equal(orig, again) {
+			t.Fatalf("spans=%v: Push(Pop(frame)) != frame\n orig %x\nagain %x", spans, orig, again)
+		}
+	}
+}
+
+// TestPopRandomSlicesNoAliasing is the property-test form: random
+// truncations and corruptions of a valid frame either fail to parse or
+// yield headers that survive the source buffer being zeroed.
+func TestPopRandomSlicesNoAliasing(t *testing.T) {
+	base := Push(zcHeader(true), []byte("payload"))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		data := append([]byte(nil), base...)
+		if rng.Intn(2) == 0 {
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		for m := 0; m < rng.Intn(3); m++ {
+			if len(data) > 0 {
+				data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		hdr, _, err := Pop(data)
+		if err != nil {
+			continue
+		}
+		before := Push(hdr, nil)
+		for j := range data {
+			data[j] = 0
+		}
+		if !bytes.Equal(before, Push(hdr, nil)) {
+			t.Fatalf("iteration %d: header aliases popped frame", i)
+		}
+	}
+}
+
+// FuzzPop drives the header parser with arbitrary bytes: it must never
+// panic, and any frame it accepts must re-encode to a frame it accepts
+// again with an identical header section.
+func FuzzPop(f *testing.F) {
+	f.Add(Push(zcHeader(false), []byte("seed")))
+	f.Add(Push(zcHeader(true), []byte("seed-v2")))
+	f.Add([]byte("PERA"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hdr, rest, err := Pop(data)
+		if err != nil {
+			return
+		}
+		reenc := Push(hdr, rest)
+		hdr2, rest2, err := Pop(reenc)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !bytes.Equal(rest, rest2) {
+			t.Fatal("inner frame not preserved across re-encode")
+		}
+		if !bytes.Equal(Push(hdr, nil), Push(hdr2, nil)) {
+			t.Fatal("header not fixed under re-encode")
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pera/internal/p4ir"
 	"pera/internal/rot"
@@ -20,11 +21,23 @@ import (
 type Instance struct {
 	prog *p4ir.Program
 
-	mu      sync.RWMutex
-	tables  map[string]*tableState
-	regs    map[string][]uint64
-	counts  map[string][]uint64
-	parsedN uint64 // packets parsed, for stats
+	// qnames maps each header type to its fields' qualified names
+	// ("eth.dst"), precomputed at Load so the per-packet parser never
+	// concatenates strings. fieldHint sizes each packet's field map: the
+	// program's total declared fields plus room for metadata.
+	qnames    map[string][]string
+	fieldHint int
+
+	parsedN atomic.Uint64 // packets parsed, for stats
+
+	// tablesDigest caches TablesDigest between table mutations; entry
+	// installs are control-plane rare, digest reads are per-attestation.
+	tablesDigest atomic.Pointer[rot.Digest]
+
+	mu     sync.RWMutex
+	tables map[string]*tableState
+	regs   map[string][]uint64
+	counts map[string][]uint64
 }
 
 type tableState struct {
@@ -40,19 +53,79 @@ var (
 	ErrUnknownAction = errors.New("pisa: unknown action")
 )
 
-// Load validates prog and returns a fresh instance with empty tables and
-// zeroed registers.
-func Load(prog *p4ir.Program) (*Instance, error) {
+// progMeta is the load-time metadata derived from an immutable Program:
+// validation outcome and the precomputed qualified field names. Several
+// instances routinely load the same shared *Program (every forwarding
+// switch in a testbed), so the derivation is cached per program pointer.
+type progMeta struct {
+	qnames    map[string][]string
+	fieldHint int
+}
+
+var (
+	progMetaMu sync.Mutex
+	progMetas  = map[*p4ir.Program]*progMeta{}
+)
+
+const progMetaCap = 64
+
+// metaFor validates prog and returns its cached load metadata. Programs
+// are treated as immutable after construction (nothing in the repo
+// mutates a Program once built), so both the validation verdict and the
+// derived name tables are safe to reuse for the program's lifetime.
+func metaFor(prog *p4ir.Program) (*progMeta, error) {
+	progMetaMu.Lock()
+	m, ok := progMetas[prog]
+	progMetaMu.Unlock()
+	if ok {
+		return m, nil
+	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	in := &Instance{
-		prog:   prog,
-		tables: make(map[string]*tableState),
-		regs:   make(map[string][]uint64),
-		counts: make(map[string][]uint64),
+	m = &progMeta{qnames: make(map[string][]string, len(prog.Headers))}
+	nfields := 0
+	for _, h := range prog.Headers {
+		qn := make([]string, len(h.Fields))
+		for i, f := range h.Fields {
+			qn[i] = p4ir.QName(h.Name, f.Name)
+		}
+		m.qnames[h.Name] = qn
+		nfields += len(h.Fields)
 	}
-	for _, t := range append(append([]*p4ir.Table(nil), prog.Ingress...), prog.Egress...) {
+	m.fieldHint = nfields + 8 // declared fields + metadata slots
+	progMetaMu.Lock()
+	if ex, ok := progMetas[prog]; ok {
+		m = ex
+	} else {
+		if len(progMetas) >= progMetaCap {
+			progMetas = make(map[*p4ir.Program]*progMeta, progMetaCap)
+		}
+		progMetas[prog] = m
+	}
+	progMetaMu.Unlock()
+	return m, nil
+}
+
+// Load validates prog and returns a fresh instance with empty tables and
+// zeroed registers.
+func Load(prog *p4ir.Program) (*Instance, error) {
+	meta, err := metaFor(prog)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		prog:      prog,
+		qnames:    meta.qnames,
+		fieldHint: meta.fieldHint,
+		tables:    make(map[string]*tableState, len(prog.Ingress)+len(prog.Egress)),
+		regs:      make(map[string][]uint64, len(prog.Registers)),
+		counts:    make(map[string][]uint64, len(prog.Registers)),
+	}
+	for _, t := range prog.Ingress {
+		in.tables[t.Name] = &tableState{decl: t}
+	}
+	for _, t := range prog.Egress {
 		in.tables[t.Name] = &tableState{decl: t}
 	}
 	for _, r := range prog.Registers {
@@ -86,6 +159,7 @@ func (in *Instance) InstallEntry(table string, e p4ir.Entry) error {
 		return fmt.Errorf("%w: %q", ErrUnknownAction, e.Action)
 	}
 	ts.entries = append(ts.entries, e)
+	in.tablesDigest.Store(nil)
 	return nil
 }
 
@@ -110,6 +184,7 @@ func (in *Instance) ClearTable(table string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownTable, table)
 	}
 	ts.entries = nil
+	in.tablesDigest.Store(nil)
 	return nil
 }
 
@@ -215,9 +290,7 @@ func (in *Instance) CounterValue(reg string, idx uint64) uint64 {
 
 // PacketsParsed reports how many packets this instance has parsed.
 func (in *Instance) PacketsParsed() uint64 {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	return in.parsedN
+	return in.parsedN.Load()
 }
 
 // ProgramDigest is the attestable digest of the loaded code.
@@ -226,6 +299,9 @@ func (in *Instance) ProgramDigest() rot.Digest { return in.prog.Digest() }
 // TablesDigest is the attestable digest over every table's installed
 // entries, independent of installation order.
 func (in *Instance) TablesDigest() rot.Digest {
+	if d := in.tablesDigest.Load(); d != nil {
+		return *d
+	}
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	names := make([]string, 0, len(in.tables))
@@ -240,6 +316,10 @@ func (in *Instance) TablesDigest() rot.Digest {
 	}
 	var out rot.Digest
 	h.Sum(out[:0])
+	// Publish while still holding the read lock: invalidation (Store(nil)
+	// in InstallEntry/ClearTable) runs under the write lock, so no table
+	// mutation can slip between the computation above and this store.
+	in.tablesDigest.Store(&out)
 	return out
 }
 

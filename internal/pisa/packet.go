@@ -18,18 +18,24 @@ type Packet struct {
 	// ("eth.dst") and pipeline metadata under "meta.*".
 	Fields map[string]uint64
 
-	extracted  []string // header type names in extraction order
-	payloadOff int      // bit offset where the unparsed payload begins
+	extracted  []string  // header type names in extraction order
+	extBuf     [4]string // inline backing for extracted (programs parse ≤4 headers)
+	payloadOff int       // bit offset where the unparsed payload begins
 }
 
 // NewPacket wraps raw frame bytes arriving on ingressPort.
 func NewPacket(data []byte, ingressPort uint64) *Packet {
-	return &Packet{
-		Data: data,
-		Fields: map[string]uint64{
-			p4ir.MetaIngressPort: ingressPort,
-		},
-	}
+	return newPacketSized(data, ingressPort, 8)
+}
+
+// newPacketSized pre-sizes the field map so parsing a full header stack
+// never rehashes; the pipeline passes its program's declared field count.
+func newPacketSized(data []byte, ingressPort uint64, fieldHint int) *Packet {
+	f := make(map[string]uint64, fieldHint)
+	f[p4ir.MetaIngressPort] = ingressPort
+	p := &Packet{Data: data, Fields: f}
+	p.extracted = p.extBuf[:0]
+	return p
 }
 
 // Get returns a field value (absent fields read zero, like P4 metadata).

@@ -42,12 +42,13 @@ func (in *Instance) Parse(pkt *Packet) error {
 	for steps := 0; steps < maxParserSteps; steps++ {
 		if state.Extract != "" {
 			hdr, _ := in.prog.Header(state.Extract)
-			for _, f := range hdr.Fields {
+			qnames := in.qnames[hdr.Name]
+			for i, f := range hdr.Fields {
 				v, err := r.read(f.Bits)
 				if err != nil {
 					return fmt.Errorf("extracting %s.%s: %w", hdr.Name, f.Name, err)
 				}
-				pkt.Fields[p4ir.QName(hdr.Name, f.Name)] = v
+				pkt.Fields[qnames[i]] = v
 			}
 			pkt.extracted = append(pkt.extracted, hdr.Name)
 		}
@@ -64,9 +65,7 @@ func (in *Instance) Parse(pkt *Packet) error {
 		switch next {
 		case p4ir.StateAccept:
 			pkt.payloadOff = r.off
-			in.mu.Lock()
-			in.parsedN++
-			in.mu.Unlock()
+			in.parsedN.Add(1)
 			return nil
 		case p4ir.StateReject:
 			return ErrParseReject
@@ -188,17 +187,21 @@ func splitQName(qname string) (hdr, field string, ok bool) {
 // Deparse re-serializes the packet: extracted headers (with any field
 // modifications) followed by the original payload.
 func (in *Instance) Deparse(pkt *Packet) []byte {
-	w := bitWriter{}
+	// Pre-size for headers + payload so the serialization is one exact
+	// allocation: headers re-occupy their parsed width (payloadOff bits).
+	payload := pkt.Payload()
+	w := bitWriter{data: make([]byte, 0, (pkt.payloadOff+7)/8+len(payload))}
 	for _, hname := range pkt.extracted {
 		hdr, ok := in.prog.Header(hname)
 		if !ok {
 			continue
 		}
-		for _, f := range hdr.Fields {
-			w.write(pkt.Get(p4ir.QName(hdr.Name, f.Name)), f.Bits)
+		qnames := in.qnames[hdr.Name]
+		for i, f := range hdr.Fields {
+			w.write(pkt.Get(qnames[i]), f.Bits)
 		}
 	}
-	return append(w.data, pkt.Payload()...)
+	return append(w.data, payload...)
 }
 
 // Process runs the full pipeline over raw frame bytes arriving on
@@ -206,7 +209,7 @@ func (in *Instance) Deparse(pkt *Packet) []byte {
 // program mirrors). A parse reject or a drop yields no outputs and no
 // error; substrate errors (unknown actions, etc.) are returned.
 func (in *Instance) Process(data []byte, ingressPort uint64) ([]Output, error) {
-	pkt := NewPacket(data, ingressPort)
+	pkt := newPacketSized(data, ingressPort, in.fieldHint)
 	if err := in.Parse(pkt); err != nil {
 		if errors.Is(err, ErrParseReject) || errors.Is(err, ErrTruncated) {
 			return nil, nil

@@ -251,10 +251,16 @@ func (r *RoT) Quote(nonce []byte, pcrSelect ...int) (*Quote, error) {
 	return q, nil
 }
 
+// SigPrefix is the domain-separation prefix Sign prepends to every
+// message before the Ed25519 operation. Batch verifiers that feed raw
+// triples to crypto/ed25519 (or the batch equation) must build
+// SigPrefix‖message themselves to match what Sign actually signed.
+const SigPrefix = "PERA-SIG-V1\x00"
+
 // Sign signs an arbitrary message under the AIK with domain separation from
 // quotes. PERA's dataplane Sign stage uses this for evidence chunks.
 func (r *RoT) Sign(message []byte) []byte {
-	msg := append([]byte("PERA-SIG-V1\x00"), message...)
+	msg := append([]byte(SigPrefix), message...)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return ed25519.Sign(r.aik, msg)
@@ -281,7 +287,7 @@ func Verify(pub ed25519.PublicKey, message, sig []byte) bool {
 	if len(pub) != ed25519.PublicKeySize {
 		return false
 	}
-	msg := append([]byte("PERA-SIG-V1\x00"), message...)
+	msg := append([]byte(SigPrefix), message...)
 	return ed25519.Verify(pub, msg, sig)
 }
 

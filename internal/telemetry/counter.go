@@ -36,6 +36,13 @@ func NewCounter(name string, labels ...Label) *Counter {
 	return &Counter{desc: desc{name: name, labels: labels, kind: KindCounter}}
 }
 
+// Init initializes a zero counter in place — NewCounter without the
+// allocation, for by-value metric bundles. The labels slice is retained,
+// so one shared slice can back a whole bundle's labels.
+func (c *Counter) Init(name string, labels []Label) {
+	c.desc = desc{name: name, labels: labels, kind: KindCounter}
+}
+
 // Add increments the counter by n. Nil-safe so optional instrumentation
 // needs no guards at call sites.
 func (c *Counter) Add(n uint64) {

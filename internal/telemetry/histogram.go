@@ -53,15 +53,28 @@ type Histogram struct {
 // NewHistogram builds a standalone histogram over bounds (which must be
 // sorted ascending; nil selects DurationBuckets).
 func NewHistogram(name string, bounds []float64, labels ...Label) *Histogram {
+	h := &Histogram{}
+	h.Init(name, bounds, labels)
+	return h
+}
+
+// Init initializes a zero histogram in place — NewHistogram without the
+// struct allocation, for by-value metric bundles (a switch embeds its
+// whole instrument set in one struct). The labels slice is retained.
+func (h *Histogram) Init(name string, bounds []float64, labels []Label) {
 	if bounds == nil {
 		bounds = DurationBuckets
 	}
 	bounds = append([]float64(nil), bounds...)
-	h := &Histogram{desc: desc{name: name, labels: labels, kind: KindHistogram}, bounds: bounds}
+	h.desc = desc{name: name, labels: labels, kind: KindHistogram}
+	h.bounds = bounds
+	// One backing array for all stripes, with the per-stripe run rounded
+	// up to a full cache line of counters so stripes don't share lines.
+	stride := (len(bounds) + 1 + 7) &^ 7
+	backing := make([]atomic.Uint64, numStripes*stride)
 	for i := range h.stripes {
-		h.stripes[i].buckets = make([]atomic.Uint64, len(bounds)+1)
+		h.stripes[i].buckets = backing[i*stride : i*stride+len(bounds)+1]
 	}
-	return h
 }
 
 // Observe records one value. Nil-safe: optional instrumentation can hold

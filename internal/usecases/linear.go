@@ -63,13 +63,15 @@ func NewLinearTestbed(nSwitches int, cfg pera.Config) (*Testbed, error) {
 		return nil, err
 	}
 	// Re-provision table goldens now that routes are installed.
+	refs := make([]appraiser.GoldenRef, 0, len(tb.Switches))
 	for name, sw := range tb.Switches {
 		gs, err := sw.Golden(evidence.DetailTables)
 		if err != nil {
 			return nil, err
 		}
-		tb.Appraiser.SetGolden(name, gs[0].Target, gs[0].Detail, gs[0].Value)
+		refs = append(refs, appraiser.GoldenRef{Place: name, Target: gs[0].Target, Detail: gs[0].Detail, Value: gs[0].Value})
 	}
+	tb.Appraiser.SetGoldenBatch(refs)
 	return tb, nil
 }
 
@@ -85,9 +87,11 @@ func (tb *Testbed) provision(name string, sw *pera.Switch) error {
 	if err != nil {
 		return err
 	}
-	for _, g := range gs {
-		tb.Appraiser.SetGolden(name, g.Target, g.Detail, g.Value)
+	refs := make([]appraiser.GoldenRef, len(gs))
+	for i, g := range gs {
+		refs[i] = appraiser.GoldenRef{Place: name, Target: g.Target, Detail: g.Detail, Value: g.Value}
 	}
+	tb.Appraiser.SetGoldenBatch(refs)
 	return nil
 }
 

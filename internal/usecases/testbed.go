@@ -58,6 +58,13 @@ type Testbed struct {
 	mu      sync.Mutex
 	oob     []OOBEvidence
 	nonceCt uint64
+
+	// uc1Once caches the AP1 compile (see CompileUC1Policy): the testbed
+	// topology and registry are fixed after construction, so only the
+	// nonce differs between compiles.
+	uc1Once sync.Once
+	uc1Tmpl *nac.Compiled
+	uc1Err  error
 }
 
 // NextNonce returns a testbed-unique nonce for ad-hoc appraisals, so
@@ -79,16 +86,34 @@ type OOBEvidence struct {
 	Evidence  *evidence.Evidence
 }
 
+// switchProgs caches SwitchProgram by name: frame builders call it per
+// attested packet (pisa.IPFrame needs the parser declaration) and
+// rebuilding the program allocated more than the packet itself. Programs
+// are immutable once built, so sharing one object per name is safe —
+// runtime table state lives in each switch's pisa.Instance, not here.
+var (
+	switchProgMu sync.Mutex
+	switchProgs  = map[string]*p4ir.Program{}
+)
+
 // SwitchProgram returns the program each testbed switch runs.
 func SwitchProgram(name string) *p4ir.Program {
+	switchProgMu.Lock()
+	defer switchProgMu.Unlock()
+	if p, ok := switchProgs[name]; ok {
+		return p
+	}
+	var p *p4ir.Program
 	switch name {
 	case SwFirewall:
-		return p4ir.NewFirewall("firewall_v5.p4")
+		p = p4ir.NewFirewall("firewall_v5.p4")
 	case SwACL:
-		return p4ir.NewACL("ACL_v3.p4")
+		p = p4ir.NewACL("ACL_v3.p4")
 	default:
-		return p4ir.NewForwarding("fwd_v1.p4")
+		p = p4ir.NewForwarding("fwd_v1.p4")
 	}
+	switchProgs[name] = p
+	return p
 }
 
 // NewTestbed builds the standard topology. cfg applies to every switch
@@ -146,13 +171,15 @@ func NewTestbed(cfg pera.Config) (*Testbed, error) {
 		}
 	}
 	// Re-provision table golden values now that routes are installed.
+	refs := make([]appraiser.GoldenRef, 0, len(tb.Switches))
 	for name, sw := range tb.Switches {
 		gs, err := sw.Golden(evidence.DetailTables)
 		if err != nil {
 			return nil, err
 		}
-		tb.Appraiser.SetGolden(name, gs[0].Target, gs[0].Detail, gs[0].Value)
+		refs = append(refs, appraiser.GoldenRef{Place: name, Target: gs[0].Target, Detail: gs[0].Detail, Value: gs[0].Value})
 	}
+	tb.Appraiser.SetGoldenBatch(refs)
 	return tb, nil
 }
 
@@ -248,11 +275,10 @@ func (tb *Testbed) SendPlain(fromBank bool, sport, dport uint64, payload []byte)
 // LastDelivered returns the most recent frame a host received, unwrapped
 // if it carries a PERA header.
 func LastDelivered(h *netsim.Host) (*pera.Header, []byte, error) {
-	frames := h.Received()
-	if len(frames) == 0 {
+	last, ok := h.LastReceived()
+	if !ok {
 		return nil, nil, fmt.Errorf("usecases: host %s received nothing", h.Name())
 	}
-	last := frames[len(frames)-1]
 	if pera.HasHeader(last) {
 		return pera.UnwrapFrame(last)
 	}

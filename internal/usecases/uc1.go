@@ -27,18 +27,40 @@ type UC1Result struct {
 // CompileUC1Policy compiles AP1 (restricted to its network half) against
 // the testbed path: every keyed hop attests program + tables, signs, and
 // chains the evidence in-band.
+//
+// The compile is cached per testbed: parse + bind + obligation synthesis
+// are deterministic for a fixed topology and registry, and the nonce is
+// the only per-call input (it lands solely in Policy.Nonce, see
+// nac.Compile). Each call clones the template policy with the fresh
+// nonce; the obligation slice, bindings and host terms are shared and
+// must be treated as read-only by callers.
 func CompileUC1Policy(tb *Testbed, nonce []byte) (*nac.Compiled, error) {
-	pol, err := nac.ParsePolicy(nac.AP1)
-	if err != nil {
-		return nil, err
-	}
-	return nac.Compile(pol, tb.PathHops(), tb.Registry(), nac.Options{
-		Nonce:    nonce,
-		PolicyID: 1,
-		Properties: map[string][]evidence.Detail{
-			"X": {evidence.DetailProgram, evidence.DetailTables},
-		},
+	tb.uc1Once.Do(func() {
+		pol, err := nac.ParsePolicy(nac.AP1)
+		if err != nil {
+			tb.uc1Err = err
+			return
+		}
+		tb.uc1Tmpl, tb.uc1Err = nac.Compile(pol, tb.PathHops(), tb.Registry(), nac.Options{
+			PolicyID: 1,
+			Properties: map[string][]evidence.Detail{
+				"X": {evidence.DetailProgram, evidence.DetailTables},
+			},
+		})
 	})
+	if tb.uc1Err != nil {
+		return nil, tb.uc1Err
+	}
+	t := tb.uc1Tmpl
+	return &nac.Compiled{
+		Policy: &pera.Policy{
+			ID:    t.Policy.ID,
+			Nonce: append([]byte(nil), nonce...),
+			Obls:  t.Policy.Obls,
+		},
+		HostTerms: t.HostTerms,
+		Bindings:  t.Bindings,
+	}, nil
 }
 
 // RunUC1Round sends one attested packet bank→client and appraises the
