@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke cover fmt clean
+.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke trace-smoke cover fmt clean
 
 all: build test race vet
 
@@ -25,13 +25,16 @@ build:
 # UC1 run must name every hop and localize a mid-run program swap
 # through the collector and attestctl top/paths (observe_smoke.sh), and
 # a trust-decay run with recovery disabled must leave the frozen place
-# lapsed with a firing, ledger-recorded staleness alert (slo_smoke.sh).
+# lapsed with a firing, ledger-recorded staleness alert (slo_smoke.sh),
+# and one attestctl round against live attestd + appraised processes
+# must merge into a single cross-process trace (trace_smoke.sh).
 test: vet
 	$(GO) test ./...
 	$(MAKE) telemetry-smoke
 	$(MAKE) audit-smoke
 	$(MAKE) observe-smoke
 	$(MAKE) slo-smoke
+	$(MAKE) trace-smoke
 
 race:
 	$(GO) test -race ./...
@@ -76,6 +79,12 @@ observe-smoke:
 # the audit ledger records it and verifies.
 slo-smoke:
 	sh scripts/slo_smoke.sh
+
+# End-to-end distributed-tracing check: attestd and appraised run with
+# -trace over real TCP, one attestctl round propagates the trace
+# context, and `attestctl trace` merges both span rings into one trace.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Coverage over the library packages with a floor: the build fails if
 # total statement coverage regresses below COVER_FLOOR percent.

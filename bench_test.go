@@ -23,6 +23,7 @@ import (
 	"pera/internal/pera"
 	"pera/internal/rats"
 	"pera/internal/rot"
+	"pera/internal/telemetry"
 	"pera/internal/usecases"
 )
 
@@ -430,6 +431,44 @@ func BenchmarkThroughput_Observe(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, 0, false) })
 	b.Run("sample1", func(b *testing.B) { run(b, 1, true) })
 	b.Run("sample8", func(b *testing.B) { run(b, 8, true) })
+}
+
+// BenchmarkThroughput_Trace measures what distributed tracing costs the
+// end-to-end throughput run: "off" is BenchmarkThroughput_EndToEnd's
+// configuration (tracer nil — the zero-alloc fast path); "sample8"
+// attaches a flow tracer at the production 1-in-8 sampling rate to every
+// switch and the appraisal pool; "sample1" traces every flow — the
+// worst case, every packet paying span assembly and exemplar stores
+// (see BENCH_throughput.json trace_overhead).
+func BenchmarkThroughput_Trace(b *testing.B) {
+	run := func(b *testing.B, sampleEvery uint32) {
+		// One long-lived tracer, as in production: the ring buffer is
+		// allocated once, not per run, so the timer sees the per-span
+		// recording cost rather than arena setup.
+		var tr *telemetry.FlowTracer
+		if sampleEvery > 0 {
+			tr = telemetry.NewFlowTracer(4096)
+			tr.SetSampleEvery(sampleEvery)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := harness.ThroughputOptions{Workers: 0, Packets: 128, Flows: 8, Memo: true, Tracer: tr}
+			res, err := harness.RunThroughputOpts(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Pass != 128 {
+				b.Fatalf("pass=%d, want 128", res.Pass)
+			}
+		}
+		b.StopTimer()
+		if sampleEvery == 1 && tr.Recorded() == 0 {
+			b.Fatal("tracer recorded nothing at 1-in-1")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("sample8", func(b *testing.B) { run(b, 8) })
+	b.Run("sample1", func(b *testing.B) { run(b, 1) })
 }
 
 // BenchmarkThroughput_SLO measures what the trust-decay watchdog costs

@@ -12,6 +12,7 @@
 // Usage:
 //
 //	appraised -listen :7421 [-config golden.conf] [-strict]
+//	appraised -listen :7421 -telemetry :9465 -trace 8   # metrics + 1-in-8 flow tracing
 package main
 
 import (
@@ -29,14 +30,17 @@ import (
 	"pera/internal/evidence"
 	"pera/internal/rats"
 	"pera/internal/rot"
+	"pera/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7421", "TCP listen address")
-		cfgPath = flag.String("config", "", "provisioning file (key/golden directives)")
-		strict  = flag.Bool("strict", false, "fail measurements without golden values")
-		seed    = flag.String("seed", "appraised", "deterministic identity seed")
+		listen    = flag.String("listen", "127.0.0.1:7421", "TCP listen address")
+		cfgPath   = flag.String("config", "", "provisioning file (key/golden directives)")
+		strict    = flag.Bool("strict", false, "fail measurements without golden values")
+		seed      = flag.String("seed", "appraised", "deterministic identity seed")
+		telemAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /trace) on this address, e.g. :9465")
+		traceN    = flag.Uint("trace", 0, "trace 1-in-N flows (0 = off); spans served at the -telemetry /trace endpoint")
 	)
 	flag.Parse()
 
@@ -47,6 +51,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "appraised: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	var tracer *telemetry.FlowTracer
+	if *traceN > 0 {
+		tracer = telemetry.NewFlowTracer(0)
+		tracer.SetSampleEvery(uint32(*traceN))
+		appr.SetTracer(tracer)
+		fmt.Printf("appraised: tracing 1-in-%d flows\n", *traceN)
+	}
+	if *telemAddr != "" {
+		reg := telemetry.NewRegistry()
+		appr.Instrument(reg)
+		tracer.Instrument(reg)
+		srv, err := telemetry.Serve(*telemAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appraised: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("appraised: telemetry serving on http://%s/metrics\n", srv.Addr())
 	}
 
 	ln, err := rats.ListenAndServe(*listen, loggingHandler(appr.Handler()))

@@ -27,6 +27,11 @@
 //
 //	attestctl coverage -collector http://127.0.0.1:9464
 //	attestctl alerts   -collector http://127.0.0.1:9464 -watch
+//
+// And the distributed traces that -trace-enabled attestd/appraised/
+// perasim processes serve at /trace (see docs/TRACING.md):
+//
+//	attestctl trace -endpoints http://127.0.0.1:9464,http://127.0.0.1:9465 <flow|trace-id>
 package main
 
 import (
@@ -39,6 +44,7 @@ import (
 	"pera/internal/appraiser"
 	"pera/internal/rats"
 	"pera/internal/rot"
+	"pera/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +58,9 @@ func main() {
 			return
 		case "coverage", "alerts":
 			runFreshness(os.Args[1], os.Args[2:])
+			return
+		case "trace":
+			runTrace(os.Args[2:])
 			return
 		}
 	}
@@ -80,16 +89,28 @@ func main() {
 	nonce := rot.NewNonce()
 	fmt.Printf("attestctl: nonce %s\n", hex.EncodeToString(nonce))
 
+	// Root the distributed trace for this round: the context rides the
+	// challenge and appraise frames, so spans recorded by attestd and
+	// appraised (when run with -trace) parent under this relying-party
+	// span and share one flow-derived trace ID.
+	root := telemetry.SpanContext{
+		TraceID: telemetry.TraceIDFromFlow(rats.FlowID(nonce)),
+		SpanID:  telemetry.NewSpanID(),
+	}
+	fmt.Printf("attestctl: trace %s (attestctl trace %s)\n", root.TraceID, root.TraceID)
+
 	// 1-2: Challenge the attester, receive evidence.
 	att, err := rats.Dial(*attesterAddr)
 	if err != nil {
 		fatal("dial attester: %v", err)
 	}
 	defer att.Close()
-	evResp, err := att.Call(&rats.Message{
+	challenge := &rats.Message{
 		Type: rats.MsgChallenge, Session: 1, Nonce: nonce,
 		Claims: splitClaims(*claims),
-	})
+	}
+	challenge.SetContext(root)
+	evResp, err := att.Call(challenge)
 	if err != nil {
 		fatal("challenge: %v", err)
 	}
@@ -101,11 +122,13 @@ func main() {
 		fatal("dial appraiser: %v", err)
 	}
 	defer appr.Close()
-	res, err := appr.Call(&rats.Message{
+	appraise := &rats.Message{
 		Type: rats.MsgAppraise, Session: 2, Nonce: nonce,
 		Claims: []string{*subject},
 		Body:   evResp.Body,
-	})
+	}
+	appraise.SetContext(root)
+	res, err := appr.Call(appraise)
 	if err != nil {
 		fatal("appraise: %v", err)
 	}

@@ -11,6 +11,7 @@
 //	attestd -listen :7422 -program-file my_pipeline.p4l
 //	attestd -listen :7422 -telemetry :9464   # live /metrics for the switch
 //	attestd -listen :7422 -audit sw1.jsonl   # hash-chained RATS audit ledger
+//	attestd -listen :7422 -telemetry :9464 -trace 8   # trace 1-in-8 flows at /trace
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 		telemAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /metrics.json) on this address, e.g. :9464")
 		auditPath = flag.String("audit", "", "write the hash-chained RATS audit ledger to this file (MAC key derived from the switch RoT)")
 		pprofOn   = flag.Bool("pprof", false, "with -telemetry: also expose /debug/pprof/* on the telemetry server")
+		traceN    = flag.Uint("trace", 0, "trace 1-in-N flows (0 = off); spans served at the -telemetry /trace endpoint")
 	)
 	flag.Parse()
 
@@ -77,15 +79,24 @@ func main() {
 		fmt.Printf("audit-key %s %s\n", *name, hex.EncodeToString(key))
 	}
 
+	var tracer *telemetry.FlowTracer
+	if *traceN > 0 {
+		tracer = telemetry.NewFlowTracer(0)
+		tracer.SetSampleEvery(uint32(*traceN))
+		sw.SetTracer(tracer)
+		fmt.Printf("attestd: tracing 1-in-%d flows (attestctl trace <flow|trace-id> to inspect)\n", *traceN)
+	}
+
 	if *telemAddr != "" {
 		reg := telemetry.NewRegistry()
 		sw.Instrument(reg)
 		audit.Instrument(reg)
+		tracer.Instrument(reg)
 		var extras []telemetry.Endpoint
 		if *pprofOn {
 			extras = telemetry.PprofEndpoints()
 		}
-		srv, err := telemetry.Serve(*telemAddr, reg, nil, extras...)
+		srv, err := telemetry.Serve(*telemAddr, reg, tracer, extras...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
 			os.Exit(1)

@@ -205,6 +205,12 @@ type Appraiser struct {
 	// the other attachments.
 	obs Observer
 
+	// tracer, when attached, records appraise/verify/verdict spans for
+	// sampled flows, parented under the requester's propagated context.
+	// Deployments embedding the appraiser in a Pool leave this unset
+	// (the pool records the spans with worker attribution instead).
+	tracer *telemetry.FlowTracer
+
 	serial atomic.Uint64
 
 	nonceMu sync.Mutex
@@ -338,6 +344,21 @@ func (a *Appraiser) observer() Observer {
 	return a.obs
 }
 
+// SetTracer attaches the distributed-tracing span recorder; nil
+// detaches.
+func (a *Appraiser) SetTracer(tr *telemetry.FlowTracer) {
+	a.mu.Lock()
+	a.tracer = tr
+	a.mu.Unlock()
+}
+
+// tracerSnapshot reads the attached tracer.
+func (a *Appraiser) tracerSnapshot() *telemetry.FlowTracer {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.tracer
+}
+
 // Name returns the appraiser identity.
 func (a *Appraiser) Name() string { return a.name }
 
@@ -448,19 +469,34 @@ func appraisalFlowID(ev *evidence.Evidence, nonce []byte) string {
 // stamped on the audit records, so pool-dispatched appraisals remain
 // attributable to the goroutine that ran them.
 func (a *Appraiser) AppraiseNoted(subject string, ev *evidence.Evidence, nonce []byte, note string) (*Certificate, error) {
-	return a.appraiseNoted(subject, ev, nonce, note, nil)
+	return a.appraiseNoted(telemetry.SpanContext{}, subject, ev, nonce, note, nil, "")
 }
 
-// appraiseNoted additionally threads an override verification memo — the
-// pool's per-window batch memo when the appraiser has no persistent one.
-// A nil override uses the appraiser's own memo.
-func (a *Appraiser) appraiseNoted(subject string, ev *evidence.Evidence, nonce []byte, note string, memoOverride *evidence.VerifyMemo) (*Certificate, error) {
+// AppraiseCtx is Appraise with a propagated trace context: the
+// appraisal spans parent under the requester's span (carried in the
+// rats trace-context field), joining the challenge's cross-process
+// trace.
+func (a *Appraiser) AppraiseCtx(parent telemetry.SpanContext, subject string, ev *evidence.Evidence, nonce []byte) (*Certificate, error) {
+	return a.appraiseNoted(parent, subject, ev, nonce, "", nil, "")
+}
+
+// appraiseNoted additionally threads an override verification memo (the
+// pool's per-window batch memo when the appraiser has no persistent
+// one; nil uses the appraiser's own) and a span link naming the shared
+// batch-flush span this appraisal's signatures rode, if any.
+func (a *Appraiser) appraiseNoted(parent telemetry.SpanContext, subject string, ev *evidence.Evidence, nonce []byte, note string, memoOverride *evidence.VerifyMemo, link string) (*Certificate, error) {
 	aud, policy := a.auditCtx()
 	obs := a.observer()
+	tr := a.tracerSnapshot()
 	flow, nonceHex := "", ""
 	var start time.Time
-	if aud != nil || obs != nil {
+	if aud != nil || obs != nil || tr != nil {
 		flow = appraisalFlowID(ev, nonce)
+	}
+	actx := tr.ChildContext(parent, flow)
+	var spanStart time.Time
+	if actx.Valid() {
+		spanStart = time.Now()
 	}
 	if aud != nil {
 		nonceHex = hex.EncodeToString(nonce)
@@ -487,10 +523,13 @@ func (a *Appraiser) appraiseNoted(subject string, ev *evidence.Evidence, nonce [
 					},
 				})
 			}
+			if actx.Valid() {
+				tr.RecordSpan(actx, parent, flow, a.name, telemetry.StageAppraise, spanStart, time.Since(spanStart), "nonce replayed")
+			}
 			return nil, ErrNonceReplayed
 		}
 	}
-	verdict, reason, prov := a.check(ev, nonce, memoOverride)
+	verdict, reason, prov := a.check(ev, nonce, memoOverride, flow, actx, tr)
 	c := &Certificate{
 		Issuer:         a.name,
 		Subject:        subject,
@@ -505,6 +544,18 @@ func (a *Appraiser) appraiseNoted(subject string, ev *evidence.Evidence, nonce [
 	c.Signature = ed25519.Sign(a.key, certMessage(c))
 	if obs != nil {
 		obs.ObserveVerdict(flow, subject, verdict, prov.Place, prov.Stage, reason)
+	}
+	if actx.Valid() {
+		v := "PASS"
+		if !verdict {
+			v = "FAIL"
+		}
+		tr.RecordChild(actx, flow, a.name, telemetry.StageVerdict, time.Time{}, 0, v)
+		if link != "" {
+			tr.RecordSpan(actx, parent, flow, a.name, telemetry.StageAppraise, spanStart, time.Since(spanStart), note, link)
+		} else {
+			tr.RecordSpan(actx, parent, flow, a.name, telemetry.StageAppraise, spanStart, time.Since(spanStart), note)
+		}
 	}
 	if aud != nil {
 		v := "PASS"
@@ -564,8 +615,10 @@ var batchVerifiers = sync.Pool{
 // check runs the verification pipeline and renders a verdict together
 // with the provenance naming the exact policy clause that decided.
 // memoOverride, when non-nil, replaces the appraiser's own memo for this
-// appraisal — the pool's batch-window transport.
-func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte, memoOverride *evidence.VerifyMemo) (bool, string, auditlog.Provenance) {
+// appraisal — the pool's batch-window transport. flow/actx/tr carry the
+// trace context so the Verify half records as a child span of the
+// appraisal (zero/nil when tracing is off or the flow unsampled).
+func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte, memoOverride *evidence.VerifyMemo, flow string, actx telemetry.SpanContext, tr *telemetry.FlowTracer) (bool, string, auditlog.Provenance) {
 	if err := evidence.Validate(ev); err != nil {
 		return false, err.Error(), reject("structure", clauseStructure, err.Error())
 	}
@@ -582,7 +635,7 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte, memoOverride *evi
 	}
 
 	var start time.Time
-	if verifySec != nil {
+	if verifySec != nil || actx.Valid() {
 		start = time.Now()
 	}
 	// With a memo available, front-load the chain's unverified signatures
@@ -600,7 +653,14 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte, memoOverride *evi
 		batchVerifiers.Put(bv)
 	}
 	nsigs, err := evidence.VerifySignaturesMemo(ev, keys, memo)
-	verifySec.ObserveSince(start)
+	verifySec.ObserveSinceExemplar(start, actx.TraceID)
+	if actx.Valid() {
+		stage, note := telemetry.StageVerify, ""
+		if err != nil {
+			stage, note = telemetry.StageVerifyFail, err.Error()
+		}
+		tr.RecordChild(actx, flow, a.name, stage, start, time.Since(start), note)
+	}
 	if err != nil {
 		return false, err.Error(), reject("signature", clauseSignature, err.Error())
 	}
@@ -734,7 +794,7 @@ func (a *Appraiser) Handler() rats.Handler {
 			if len(req.Claims) > 0 {
 				subject = req.Claims[0]
 			}
-			cert, err := a.Appraise(subject, ev, req.Nonce)
+			cert, err := a.AppraiseCtx(req.Context(), subject, ev, req.Nonce)
 			if err != nil {
 				return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
 			}

@@ -28,6 +28,11 @@ type Job struct {
 	// sharing a nonce are guaranteed to be appraised in submission order
 	// on the same worker, so replay verdicts are deterministic.
 	Nonce []byte
+	// Trace, when set, is the submitter's span context (e.g. extracted
+	// from a rats frame): the appraisal spans parent under it. When
+	// zero, sampled jobs root their flow-derived trace, which still
+	// joins the switch-side spans of the same flow.
+	Trace telemetry.SpanContext
 }
 
 // Result is one appraisal outcome. Index is the submission sequence number
@@ -96,6 +101,10 @@ type poolTask struct {
 	// the transport that hands a batch window's pre-verified signature
 	// verdicts to the worker without installing a persistent cache.
 	memo *evidence.VerifyMemo
+	// link, when set, names the shared batch-flush span whose batched
+	// verification this job's signatures rode — recorded as a span link
+	// (not a parent: the flush serves many jobs across many traces).
+	link string
 }
 
 // NewPool starts workers goroutines appraising against a. workers <= 0
@@ -182,23 +191,29 @@ func (p *Pool) worker(id int, queue <-chan poolTask) {
 		if p.aud != nil {
 			attr = "worker " + strconv.Itoa(id)
 		}
-		cert, err := p.a.appraiseNoted(t.job.Subject, t.job.Evidence, t.job.Nonce, attr, t.memo)
+		cert, err := p.a.appraiseNoted(t.job.Trace, t.job.Subject, t.job.Evidence, t.job.Nonce, attr, t.memo, t.link)
 		hist.ObserveSince(start)
 		if tr := p.tracer; tr != nil {
 			flow := jobFlowID(&t.job)
-			var dur time.Duration
-			if !start.IsZero() {
-				dur = time.Since(start)
+			if actx := tr.ChildContext(t.job.Trace, flow); actx.Valid() {
+				var dur time.Duration
+				if !start.IsZero() {
+					dur = time.Since(start)
+				}
+				note := "PASS"
+				switch {
+				case err != nil:
+					note = "error: " + err.Error()
+				case !cert.Verdict:
+					note = "FAIL"
+				}
+				if t.link != "" {
+					tr.RecordSpan(actx, t.job.Trace, flow, p.a.Name(), telemetry.StageAppraise, start, dur, "worker "+strconv.Itoa(id), t.link)
+				} else {
+					tr.RecordSpan(actx, t.job.Trace, flow, p.a.Name(), telemetry.StageAppraise, start, dur, "worker "+strconv.Itoa(id))
+				}
+				tr.RecordChild(actx, flow, p.a.Name(), telemetry.StageVerdict, time.Time{}, 0, note)
 			}
-			note := "PASS"
-			switch {
-			case err != nil:
-				note = "error: " + err.Error()
-			case !cert.Verdict:
-				note = "FAIL"
-			}
-			tr.Record(flow, p.a.Name(), telemetry.StageAppraise, dur, "worker "+strconv.Itoa(id))
-			tr.Record(flow, p.a.Name(), telemetry.StageVerdict, 0, note)
 		}
 		r := Result{Index: t.idx, Certificate: cert, Err: err}
 		p.jobs.Add(1)
@@ -250,12 +265,12 @@ func (p *Pool) Submit(job Job) int {
 	return idx
 }
 
-// submitTracked is Submit with a result slot, completion group and memo
-// override, used by AppraiseAll. It bypasses the verify window:
-// AppraiseAll runs its own whole-call batch prewarm.
-func (p *Pool) submitTracked(job Job, res *Result, done *sync.WaitGroup, memo *evidence.VerifyMemo) {
+// submitTracked is Submit with a result slot, completion group, memo
+// override and batch-flush span link, used by AppraiseAll. It bypasses
+// the verify window: AppraiseAll runs its own whole-call batch prewarm.
+func (p *Pool) submitTracked(job Job, res *Result, done *sync.WaitGroup, memo *evidence.VerifyMemo, link string) {
 	idx := int(p.next.Add(1) - 1)
-	p.route(&job, idx) <- poolTask{job: job, idx: idx, res: res, done: done, memo: memo}
+	p.route(&job, idx) <- poolTask{job: job, idx: idx, res: res, done: done, memo: memo, link: link}
 }
 
 // verifyWindow is the bounded-latency batching stage in front of the
@@ -323,6 +338,13 @@ func (p *Pool) windowFlushLocked(w *verifyWindow) {
 	}
 	memo, override := p.windowMemo()
 	keys := p.a.keysSnapshot()
+	flushCtx, flushStart := p.flushSpanStart(func(yield func(*Job) bool) {
+		for i := range w.buf {
+			if !yield(&w.buf[i].job) {
+				return
+			}
+		}
+	})
 	bv := batchVerifiers.Get().(*evidence.BatchVerifier)
 	bv.Reset(memo)
 	for i := range w.buf {
@@ -332,12 +354,50 @@ func (p *Pool) windowFlushLocked(w *verifyWindow) {
 	}
 	bv.Flush()
 	batchVerifiers.Put(bv)
+	link := p.flushSpanEnd(flushCtx, flushStart, len(w.buf))
 	for i := range w.buf {
 		t := w.buf[i]
 		t.memo = override
+		t.link = link
 		p.route(&t.job, t.idx) <- t
 	}
 	w.buf = w.buf[:0]
+}
+
+// flushSpanStart mints the shared batch-flush span's context when the
+// tracer would keep it: the span rides the trace of the first sampled
+// job in the batch (one batch serves many traces; the others reach it
+// through their appraise spans' links). Returns a zero context when
+// tracing is off or no buffered flow is sampled.
+func (p *Pool) flushSpanStart(jobs func(yield func(*Job) bool)) (telemetry.SpanContext, time.Time) {
+	tr := p.tracer
+	if tr == nil {
+		return telemetry.SpanContext{}, time.Time{}
+	}
+	var ctx telemetry.SpanContext
+	jobs(func(j *Job) bool {
+		flow := jobFlowID(j)
+		if tr.Sampled(flow) {
+			ctx = telemetry.SpanContext{TraceID: telemetry.TraceIDFromFlow(flow), SpanID: telemetry.NewSpanID()}
+			return false
+		}
+		return true
+	})
+	if !ctx.Valid() {
+		return telemetry.SpanContext{}, time.Time{}
+	}
+	return ctx, time.Now()
+}
+
+// flushSpanEnd records the batch-flush span and returns its span ID for
+// the batched jobs to link to ("" when none was started).
+func (p *Pool) flushSpanEnd(ctx telemetry.SpanContext, start time.Time, jobs int) string {
+	if !ctx.Valid() {
+		return ""
+	}
+	p.tracer.RecordSpan(ctx, telemetry.SpanContext{}, "batch", p.a.Name(),
+		telemetry.StageBatchFlush, start, time.Since(start), strconv.Itoa(jobs)+" jobs")
+	return ctx.SpanID
 }
 
 // windowMemo picks the memo a batch window seeds: the appraiser's own
@@ -398,12 +458,12 @@ func (p *Pool) AppraiseAll(jobs []Job) []Result {
 		}
 	}
 
-	memo := p.prewarm(jobs, leaderOf)
+	memo, link := p.prewarm(jobs, leaderOf)
 
 	done.Add(len(jobs) - dups)
 	for i := range jobs {
 		if leaderOf[i] == -1 {
-			p.submitTracked(jobs[i], &results[i], &done, memo)
+			p.submitTracked(jobs[i], &results[i], &done, memo, link)
 		}
 	}
 	done.Wait()
@@ -434,8 +494,9 @@ func (p *Pool) AppraiseAll(jobs []Job) []Result {
 // prewarm batch-verifies the signatures of the call's unique chains,
 // split across up to Workers parallel sub-windows, before any job is
 // dispatched. It returns the memo override to stamp on the tasks (nil
-// when the appraiser's own memo is the seed target).
-func (p *Pool) prewarm(jobs []Job, leaderOf []int) *evidence.VerifyMemo {
+// when the appraiser's own memo is the seed target) and the span ID of
+// the whole-call batch-flush span for the jobs to link to.
+func (p *Pool) prewarm(jobs []Job, leaderOf []int) (*evidence.VerifyMemo, string) {
 	memo, override := p.windowMemo()
 	keys := p.a.keysSnapshot()
 	uniq := make([]int, 0, len(jobs))
@@ -445,8 +506,15 @@ func (p *Pool) prewarm(jobs []Job, leaderOf []int) *evidence.VerifyMemo {
 		}
 	}
 	if len(uniq) == 0 {
-		return override
+		return override, ""
 	}
+	flushCtx, flushStart := p.flushSpanStart(func(yield func(*Job) bool) {
+		for _, j := range uniq {
+			if !yield(&jobs[j]) {
+				return
+			}
+		}
+	})
 	parts := p.workers
 	if parts > len(uniq) {
 		parts = len(uniq)
@@ -466,7 +534,7 @@ func (p *Pool) prewarm(jobs []Job, leaderOf []int) *evidence.VerifyMemo {
 		}(w)
 	}
 	wg.Wait()
-	return override
+	return override, p.flushSpanEnd(flushCtx, flushStart, len(uniq))
 }
 
 // Stats returns a snapshot of the aggregate verdict counters.

@@ -98,6 +98,11 @@ type Record struct {
 
 	Prov *Provenance `json:"provenance,omitempty"`
 
+	// TraceID correlates the record with the distributed trace for its
+	// flow (telemetry.TraceIDFromFlow). Stamped by the writer goroutine
+	// from Flow when unset, so hot-path emitters never pay for it.
+	TraceID string `json:"trace_id,omitempty"`
+
 	Prev string `json:"prev"`          // hex of the previous record's chain link
 	MAC  string `json:"mac,omitempty"` // hex of this record's chain link (appended by the writer)
 }

@@ -154,6 +154,12 @@ func (w *Writer) run() {
 		if r.TS == 0 {
 			r.TS = time.Now().UnixNano()
 		}
+		// Stamp the flow's deterministic trace ID so ledger records join
+		// the same trace the switches and appraisers record spans under.
+		// "-" is the no-flow placeholder used by out-of-band events.
+		if r.TraceID == "" && r.Flow != "" && r.Flow != "-" {
+			r.TraceID = telemetry.TraceIDFromFlow(r.Flow)
+		}
 		// Truncated pointer: locator, not integrity.
 		r.Prev = string(hex.AppendEncode(hexTmp[:0], prev[:8]))
 		r.MAC = ""

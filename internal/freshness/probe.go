@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pera/internal/rats"
+	"pera/internal/telemetry"
 )
 
 // Prober issues an active re-attestation for a place. A nil error means
@@ -42,11 +43,19 @@ type RATSProber struct {
 	OnFresh func(place string, at time.Time)
 	// Clock stamps the fresh instant; default time.Now.
 	Clock func() time.Time
+	// Tracer, when set, records a root "probe" span per probe (for
+	// sampled nonce flows) and propagates its context in the challenge
+	// frame, so the attester's and appraiser's spans join one trace.
+	Tracer *telemetry.FlowTracer
+	// AppraiseCtx, when set, replaces Appraise with a trace-context-aware
+	// variant: ctx is the probe span, for the appraisal side to parent
+	// under (zero when the flow is unsampled).
+	AppraiseCtx func(place string, ctx telemetry.SpanContext, nonce, evidenceBody []byte) error
 }
 
 // Probe implements Prober.
 func (p *RATSProber) Probe(place string) error {
-	if p.Dial == nil || p.NewNonce == nil || p.Appraise == nil {
+	if p.Dial == nil || p.NewNonce == nil || (p.Appraise == nil && p.AppraiseCtx == nil) {
 		return errors.New("rats prober: Dial, NewNonce, and Appraise are required")
 	}
 	conn, err := p.Dial(place)
@@ -56,17 +65,34 @@ func (p *RATSProber) Probe(place string) error {
 	defer conn.Close()
 
 	nonce := p.NewNonce(place)
-	resp, err := conn.Call(&rats.Message{
-		Type: rats.MsgChallenge, Nonce: nonce, Claims: p.Claims,
-	})
+	pctx := p.Tracer.NewContext(rats.FlowID(nonce))
+	var pstart time.Time
+	if pctx.Valid() {
+		pstart = time.Now()
+	}
+	probeErr := func(err error) error {
+		if pctx.Valid() {
+			p.Tracer.RecordSpan(pctx, telemetry.SpanContext{}, rats.FlowID(nonce), place,
+				telemetry.StageProbe, pstart, time.Since(pstart), errNote(err))
+		}
+		return err
+	}
+	req := &rats.Message{Type: rats.MsgChallenge, Nonce: nonce, Claims: p.Claims}
+	req.SetContext(pctx)
+	resp, err := conn.Call(req)
 	if err != nil {
-		return fmt.Errorf("challenge %s: %w", place, err)
+		return probeErr(fmt.Errorf("challenge %s: %w", place, err))
 	}
 	if resp.Type != rats.MsgEvidence {
-		return fmt.Errorf("challenge %s: attester answered %v: %s", place, resp.Type, resp.Body)
+		return probeErr(fmt.Errorf("challenge %s: attester answered %v: %s", place, resp.Type, resp.Body))
 	}
-	if err := p.Appraise(place, nonce, resp.Body); err != nil {
-		return fmt.Errorf("probe evidence from %s: %w", place, err)
+	if p.AppraiseCtx != nil {
+		err = p.AppraiseCtx(place, pctx, nonce, resp.Body)
+	} else {
+		err = p.Appraise(place, nonce, resp.Body)
+	}
+	if err != nil {
+		return probeErr(fmt.Errorf("probe evidence from %s: %w", place, err))
 	}
 	if p.OnFresh != nil {
 		clock := p.Clock
@@ -75,5 +101,13 @@ func (p *RATSProber) Probe(place string) error {
 		}
 		p.OnFresh(place, clock())
 	}
-	return nil
+	return probeErr(nil)
+}
+
+// errNote renders a probe outcome for the span note.
+func errNote(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
 }

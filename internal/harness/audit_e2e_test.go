@@ -137,8 +137,12 @@ func TestAuditLedgerEndToEnd(t *testing.T) {
 	for flow := range flows {
 		type step struct{ place, stage string }
 		var fromTracer, fromLedger []step
+		// Envelope spans (hop/attest/appraisal/...) are trace-only tree
+		// structure with no ledger counterpart; compare the shared set.
 		for _, s := range tr.Flow(flow) {
-			fromTracer = append(fromTracer, step{s.Place, string(s.Stage)})
+			if auditStages[string(s.Stage)] {
+				fromTracer = append(fromTracer, step{s.Place, string(s.Stage)})
+			}
 		}
 		for _, r := range auditlog.Explain(recs, flow) {
 			if auditStages[string(r.Event)] {
@@ -146,7 +150,9 @@ func TestAuditLedgerEndToEnd(t *testing.T) {
 			}
 		}
 		if len(fromTracer) == 0 {
-			t.Fatalf("flow %s: tracer recorded no spans", flow)
+			// Pseudo-flows (e.g. "batch" for shared flush spans) carry
+			// only envelope spans and have no ledger timeline to match.
+			continue
 		}
 		if len(fromTracer) != len(fromLedger) {
 			t.Fatalf("flow %s: tracer has %d stage spans, ledger has %d stage records\ntracer: %v\nledger: %v",

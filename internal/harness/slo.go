@@ -221,12 +221,13 @@ func RunSLO(o SLOOptions) (*SLOResult, error) {
 		},
 		NewNonce: func(string) []byte { return tb.NextNonce("probe") },
 		Claims:   []string{"program", "tables"},
-		Appraise: func(place string, nonce, body []byte) error {
+		Tracer:   o.Tracer,
+		AppraiseCtx: func(place string, ctx telemetry.SpanContext, nonce, body []byte) error {
 			ev, err := evidence.Decode(body)
 			if err != nil {
 				return err
 			}
-			cert, err := tb.Appraiser.Appraise("probe:"+place, ev, nonce)
+			cert, err := tb.Appraiser.AppraiseCtx(ctx, "probe:"+place, ev, nonce)
 			if err != nil {
 				return err
 			}
@@ -254,6 +255,8 @@ func RunSLO(o SLOOptions) (*SLOResult, error) {
 		for _, sw := range tb.Switches {
 			sw.SetTracer(o.Tracer)
 		}
+		tb.Appraiser.SetTracer(o.Tracer)
+		col.SetTracer(o.Tracer)
 	}
 	if o.Audit != nil {
 		for _, sw := range tb.Switches {

@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pera/internal/netsim"
 	"pera/internal/pera"
+	"pera/internal/telemetry"
 )
 
 // Config tunes the collector's retention and anomaly model.
@@ -120,6 +122,7 @@ type Collector struct {
 	loc      *Localization
 
 	pathSink atomic.Pointer[func(flow string, hops []pera.HopSpan, truncated bool)]
+	tracer   atomic.Pointer[telemetry.FlowTracer]
 }
 
 // New creates a collector. The name is its netsim node identity.
@@ -173,12 +176,37 @@ func (c *Collector) IngestFrame(frame []byte) bool {
 // span transports; in-band callers use IngestFrame.
 func (c *Collector) IngestPath(flow string, hops []pera.HopSpan, truncated bool) {
 	c.ingestPath(flow, hops, truncated)
+	// Replay the in-band hop records into the distributed trace for this
+	// flow: the trace ID derivation is the same pure function of the
+	// flow the switches use, so these spans land in the same trace as
+	// the challenge/appraisal spans without any coordination. The hop's
+	// wall-clock start is reconstructed from its reported duration.
+	if tr := c.tracer.Load(); tr != nil && tr.Sampled(flow) {
+		tid := telemetry.TraceIDFromFlow(flow)
+		for i := range hops {
+			sp := &hops[i]
+			ctx := telemetry.SpanContext{TraceID: tid, SpanID: telemetry.NewSpanID()}
+			dur := time.Duration(sp.TotalNS)
+			tr.RecordSpan(ctx, telemetry.SpanContext{}, flow, sp.Place,
+				telemetry.StageHop, time.Now().Add(-dur), dur, "in-band")
+		}
+	}
 	// The sink runs after c.mu is released so a subscriber (the
 	// freshness watchdog) may take its own locks — or call back into
 	// the collector — without deadlocking.
 	if fn := c.pathSink.Load(); fn != nil {
 		(*fn)(flow, append([]pera.HopSpan(nil), hops...), truncated)
 	}
+}
+
+// SetTracer attaches a flow tracer: every reassembled span trail is
+// replayed as "hop" spans in the flow's distributed trace, joining the
+// same trace the RATS challenge/appraisal spans use. Nil detaches.
+func (c *Collector) SetTracer(tr *telemetry.FlowTracer) {
+	if c == nil {
+		return
+	}
+	c.tracer.Store(tr)
 }
 
 // SetPathSink subscribes a downstream consumer to every reassembled span

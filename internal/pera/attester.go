@@ -60,7 +60,10 @@ func (s *Switch) AttesterHandler() rats.Handler {
 		if err != nil {
 			return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
 		}
-		ev, err := s.Attest(req.Nonce, details...)
+		// Parent the attester-side spans under the challenger's span,
+		// carried in the frame's trace-context field: one challenge,
+		// one trace, across the socket.
+		ev, err := s.AttestCtx(req.Context(), req.Nonce, details...)
 		if err != nil {
 			return &rats.Message{Type: rats.MsgError, Session: req.Session, Body: []byte(err.Error())}
 		}

@@ -39,14 +39,14 @@ const (
 type HopSpan struct {
 	Place        string `json:"place"`
 	Flags        uint8  `json:"flags"`
-	VerifyNS     uint64 `json:"verify_ns"`      // Verify stage duration
-	SignNS       uint64 `json:"sign_ns"`        // total Sign stage duration
-	TotalNS      uint64 `json:"total_ns"`       // whole-hop pipeline duration
-	EvBytes      uint32 `json:"ev_bytes"`       // evidence bytes this hop added
-	CacheHits    uint16 `json:"cache_hits"`     // evidence-cache hits
-	CacheMisses  uint16 `json:"cache_misses"`   // evidence-cache misses
-	GuardRejects uint16 `json:"guard_rejects"`  // obligations skipped by ▶ tests
-	SampleSkips  uint16 `json:"sample_skips"`   // obligations skipped by sampler
+	VerifyNS     uint64 `json:"verify_ns"`     // Verify stage duration
+	SignNS       uint64 `json:"sign_ns"`       // total Sign stage duration
+	TotalNS      uint64 `json:"total_ns"`      // whole-hop pipeline duration
+	EvBytes      uint32 `json:"ev_bytes"`      // evidence bytes this hop added
+	CacheHits    uint16 `json:"cache_hits"`    // evidence-cache hits
+	CacheMisses  uint16 `json:"cache_misses"`  // evidence-cache misses
+	GuardRejects uint16 `json:"guard_rejects"` // obligations skipped by ▶ tests
+	SampleSkips  uint16 `json:"sample_skips"`  // obligations skipped by sampler
 }
 
 // Verified reports whether the Verify stage passed at this hop.

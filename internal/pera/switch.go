@@ -430,11 +430,26 @@ func (s *Switch) ClaimValue(d evidence.Detail, frame []byte) (target string, val
 // RoT quote in the measurement's Claims bytes so appraisers can verify
 // hardware rooting independently.
 func (s *Switch) Attest(nonce []byte, details ...evidence.Detail) (*evidence.Evidence, error) {
+	return s.AttestCtx(telemetry.SpanContext{}, nonce, details...)
+}
+
+// AttestCtx is Attest with a propagated trace context: the servicing
+// "attest" span parents under the challenger's span (carried in the
+// rats trace-context field), so the challenge round trip and the
+// attester-side claim/sign work form one cross-process trace.
+func (s *Switch) AttestCtx(parent telemetry.SpanContext, nonce []byte, details ...evidence.Detail) (*evidence.Evidence, error) {
 	tr := s.tracer()
 	aud := s.audit()
 	flow := ""
 	if (tr != nil || aud != nil) && len(nonce) > 0 {
 		flow = hex.EncodeToString(nonce)
+	}
+	actx := tr.ChildContext(parent, flow)
+	var astart time.Time
+	if actx.Valid() {
+		astart = time.Now()
+	} else {
+		tr = nil // unsampled flow: keep stage timers unarmed
 	}
 	if aud != nil {
 		names := make([]string, len(details))
@@ -451,14 +466,18 @@ func (s *Switch) Attest(nonce []byte, details ...evidence.Detail) (*evidence.Evi
 		parts = append(parts, evidence.Nonce(nonce))
 	}
 	for _, d := range details {
-		m, err := s.claimEvidence(d, nil, flow, tr, aud, nil)
+		m, err := s.claimEvidence(d, nil, flow, actx, tr, aud, nil)
 		if err != nil {
 			return nil, err
 		}
 		parts = append(parts, m)
 	}
 	ev := evidence.SeqAll(parts...)
-	return s.signEvidence(ev, flow, tr, aud, nil), nil
+	signed := s.signEvidence(ev, flow, actx, tr, aud, nil)
+	if actx.Valid() {
+		tr.RecordSpan(actx, parent, flow, s.name, telemetry.StageAttest, astart, time.Since(astart), "")
+	}
+	return signed, nil
 }
 
 // claimTarget returns the cache/evidence target name for a detail level
@@ -481,9 +500,10 @@ func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
 }
 
 // claimEvidence builds (or fetches from cache) the measurement node for
-// one detail level. flow/tr/aud/sp carry the trace, audit and hop-span
-// context (nil when off).
-func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
+// one detail level. flow/parent/tr/aud/sp carry the trace, audit and
+// hop-span context (zero/nil when off); recorded spans parent under
+// the hop or attest span.
+func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, parent telemetry.SpanContext, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
 	s.mu.RLock()
 	cache := s.cfg.Cache
 	s.mu.RUnlock()
@@ -513,7 +533,7 @@ func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr 
 	if cache == nil {
 		start := s.met.start(tr, sp)
 		ev, err := build()
-		tr.Record(flow, s.name, telemetry.StageEvidence, elapsed(start), target)
+		tr.RecordChild(parent, flow, s.name, telemetry.StageEvidence, start, elapsed(start), target)
 		if aud != nil {
 			aud.Emit(auditlog.Record{
 				Event: auditlog.EventEvidence, Place: s.name, Flow: flow,
@@ -536,7 +556,7 @@ func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, tr 
 		if hit {
 			stage = telemetry.StageCacheHit
 		}
-		tr.Record(flow, s.name, stage, elapsed(start), target)
+		tr.RecordChild(parent, flow, s.name, stage, start, elapsed(start), target)
 		if aud != nil {
 			aud.Emit(auditlog.Record{
 				Event: auditlog.Event(stage), Place: s.name, Flow: flow,
@@ -570,6 +590,8 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	var hdr *Header
 	var sp *HopSpan
 	var spanStart time.Time
+	var hopCtx telemetry.SpanContext // parent of this hop's stage spans
+	var hopStart time.Time
 	evBefore := 0
 	inner := frame
 	flow := ""
@@ -581,6 +603,16 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		hdr, inner = h, rest
 		if tr != nil || aud != nil || cfg.Spans.Enabled {
 			flow = flowIDOf(hdr)
+		}
+		if hopCtx = tr.NewContext(flow); hopCtx.Valid() {
+			hopStart = time.Now()
+		} else {
+			// Unsampled flow: drop the local tracer reference so the
+			// stage timers below stay unarmed — every tr.Record* call
+			// would be a no-op with an invalid context anyway, and this
+			// keeps the per-packet cost of an attached tracer confined
+			// to the sampled fraction.
+			tr = nil
 		}
 		if cfg.Spans.Enabled && cfg.Spans.Sampled(flow) {
 			sp = &HopSpan{Place: s.name}
@@ -607,10 +639,10 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 			} else {
 				_, err = evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, nil)
 			}
-			s.met.verifySeconds.ObserveSince(start)
+			s.met.verifySeconds.ObserveSinceExemplar(start, hopCtx.TraceID)
 			if err != nil {
 				s.met.verifyFails.Inc()
-				tr.Record(flow, s.name, telemetry.StageVerifyFail, elapsed(start), err.Error())
+				tr.RecordChild(hopCtx, flow, s.name, telemetry.StageVerifyFail, start, elapsed(start), err.Error())
 				if aud != nil {
 					aud.Emit(auditlog.Record{
 						Event: auditlog.EventVerifyFail, Place: s.name, Flow: flow,
@@ -621,13 +653,16 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 						},
 					})
 				}
+				if hopCtx.Valid() {
+					tr.RecordSpan(hopCtx, telemetry.SpanContext{}, flow, s.name, telemetry.StageHop, hopStart, time.Since(hopStart), "dropped")
+				}
 				return nil, nil
 			}
 			if sp != nil {
 				sp.VerifyNS = uint64(elapsed(start))
 				sp.Flags |= SpanVerified
 			}
-			tr.Record(flow, s.name, telemetry.StageVerify, elapsed(start), "")
+			tr.RecordChild(hopCtx, flow, s.name, telemetry.StageVerify, start, elapsed(start), "")
 			if aud != nil {
 				aud.Emit(auditlog.Record{
 					Event: auditlog.EventVerify, Place: s.name, Flow: flow,
@@ -652,6 +687,11 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	pkt := outs[0].Packet
 	if (tr != nil || aud != nil) && flow == "" {
 		flow = strconv.FormatUint(pkt.FlowHash(), 16)
+		if hopCtx = tr.NewContext(flow); hopCtx.Valid() {
+			hopStart = time.Now()
+		} else {
+			tr = nil // unsampled flow: keep stage timers unarmed
+		}
 	}
 	attested := false
 	for i := range cfg.Standing {
@@ -659,7 +699,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		if !o.AppliesAt(s.name) {
 			continue
 		}
-		did, err := s.applyObligation(o, &cfg, sink, pkt, inner, hdr, flow, tr, aud, sp)
+		did, err := s.applyObligation(o, &cfg, sink, pkt, inner, hdr, flow, hopCtx, tr, aud, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -668,7 +708,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 	if hdr != nil {
 		if idx, ok := hdr.Policy.forPlace(s.name); ok {
 			for _, i := range idx {
-				did, err := s.applyObligation(&hdr.Policy.Obls[i], &cfg, sink, pkt, inner, hdr, flow, tr, aud, sp)
+				did, err := s.applyObligation(&hdr.Policy.Obls[i], &cfg, sink, pkt, inner, hdr, flow, hopCtx, tr, aud, sp)
 				if err != nil {
 					return nil, err
 				}
@@ -680,7 +720,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 				if !o.AppliesAt(s.name) {
 					continue
 				}
-				did, err := s.applyObligation(o, &cfg, sink, pkt, inner, hdr, flow, tr, aud, sp)
+				did, err := s.applyObligation(o, &cfg, sink, pkt, inner, hdr, flow, hopCtx, tr, aud, sp)
 				if err != nil {
 					return nil, err
 				}
@@ -727,6 +767,11 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		}
 		emissions = append(emissions, netsim.Emission{Port: o.Port, Frame: data})
 	}
+	// The hop root span covers the whole pipeline and is recorded last,
+	// after its stage children, so the ring holds complete hops.
+	if hopCtx.Valid() {
+		tr.RecordSpan(hopCtx, telemetry.SpanContext{}, flow, s.name, telemetry.StageHop, hopStart, time.Since(hopStart), "")
+	}
 	return emissions, nil
 }
 
@@ -737,7 +782,7 @@ var switchBatchPool = sync.Pool{New: func() any { return evidence.NewBatchVerifi
 // applyObligation runs one obligation against the current packet: guard
 // and sampling gates, evidence production, and in-band or out-of-band
 // emission. It reports whether evidence was actually produced.
-func (s *Switch) applyObligation(o *Obligation, cfg *Config, sink Sink, pkt *pisa.Packet, inner []byte, hdr *Header, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (bool, error) {
+func (s *Switch) applyObligation(o *Obligation, cfg *Config, sink Sink, pkt *pisa.Packet, inner []byte, hdr *Header, flow string, parent telemetry.SpanContext, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (bool, error) {
 	if !MatchAll(o.Guards, pkt) {
 		s.met.guardRejects.Inc()
 		if sp != nil {
@@ -761,7 +806,7 @@ func (s *Switch) applyObligation(o *Obligation, cfg *Config, sink Sink, pkt *pis
 		}
 		return false, nil
 	}
-	ev, err := s.obligationEvidence(o, inner, hdr, flow, tr, aud, sp)
+	ev, err := s.obligationEvidence(o, inner, hdr, flow, parent, tr, aud, sp)
 	if err != nil {
 		return false, err
 	}
@@ -776,14 +821,15 @@ func (s *Switch) applyObligation(o *Obligation, cfg *Config, sink Sink, pkt *pis
 }
 
 // obligationEvidence builds the evidence one obligation demands,
-// composing with the header chain when chained. flow/tr/aud/sp carry
-// the trace, audit and hop-span context ("" / nil when off).
-func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
+// composing with the header chain when chained. flow/parent/tr/aud/sp
+// carry the trace, audit and hop-span context ("" / zero / nil when
+// off).
+func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, flow string, parent telemetry.SpanContext, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
 	// Obligations carry one claim in the common case; fold incrementally
 	// so no parts slice is materialized.
 	var local *evidence.Evidence
 	for i, d := range o.Claims {
-		m, err := s.claimEvidence(d, frame, flow, tr, aud, sp)
+		m, err := s.claimEvidence(d, frame, flow, parent, tr, aud, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -805,20 +851,20 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, fl
 		// sequenced after everything accumulated so far, and the switch
 		// signs the whole chain, committing to its position on the path.
 		composed := evidence.Seq(hdr.Evidence, local)
-		tr.Record(flow, s.name, telemetry.StageCompose, 0, "chained")
+		tr.RecordChild(parent, flow, s.name, telemetry.StageCompose, time.Time{}, 0, "chained")
 		if aud != nil {
 			aud.Emit(auditlog.Record{
 				Event: auditlog.EventCompose, Place: s.name, Flow: flow, Note: "chained",
 			})
 		}
 		if o.SignEvidence {
-			composed = s.signEvidence(composed, flow, tr, aud, sp)
+			composed = s.signEvidence(composed, flow, parent, tr, aud, sp)
 		}
 		s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(composed)))
 		return composed, nil
 	}
 	if o.SignEvidence {
-		local = s.signEvidence(local, flow, tr, aud, sp)
+		local = s.signEvidence(local, flow, parent, tr, aud, sp)
 	}
 	s.met.evidenceBytes.Add(uint64(evidence.EncodedSize(local)))
 	return local, nil
@@ -827,15 +873,15 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, fl
 // signEvidence is the instrumented Sign stage: one signature op counted,
 // timed into the sign histogram, traced for sampled flows and recorded
 // on the audit ledger.
-func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) *evidence.Evidence {
+func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, parent telemetry.SpanContext, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) *evidence.Evidence {
 	s.met.signOps.Inc()
 	start := s.met.start(tr, sp)
 	signed := evidence.Sign(s.currentSigner(), ev)
-	s.met.signSeconds.ObserveSince(start)
+	s.met.signSeconds.ObserveSinceExemplar(start, parent.TraceID)
 	if sp != nil {
 		sp.SignNS += uint64(elapsed(start))
 	}
-	tr.Record(flow, s.name, telemetry.StageSign, elapsed(start), "")
+	tr.RecordChild(parent, flow, s.name, telemetry.StageSign, start, elapsed(start), "")
 	if aud != nil {
 		aud.Emit(auditlog.Record{
 			Event: auditlog.EventSign, Place: s.name, Flow: flow,

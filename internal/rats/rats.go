@@ -10,11 +10,14 @@ package rats
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+
+	"pera/internal/telemetry"
 )
 
 // MsgType discriminates protocol messages.
@@ -71,6 +74,94 @@ type Message struct {
 	Nonce   []byte   // freshness; also the retrieval key for MsgRetrieve
 	Claims  []string // claim spec for challenges (e.g. "program","tables")
 	Body    []byte   // evidence encoding, certificate encoding, or reason
+
+	// Trace is the optional distributed-tracing context: the sender's
+	// span, which the receiver parents its spans under so one RATS
+	// exchange forms one trace across the socket. On the wire it rides
+	// the tagged trailer section — absent entirely on pre-trace frames.
+	Trace *TraceContext
+	// Ext preserves unknown tagged trailer fields across a decode/encode
+	// round trip, so this binary forwards fields a future peer defined.
+	Ext []ExtField
+}
+
+// TraceContext is the wire trace-propagation field (tag extTagTrace):
+// 16-byte trace ID, 8-byte sender span ID, and a flags byte whose low
+// bit mirrors the sender's sampling decision. IDs are carried here in
+// the telemetry layer's lowercase-hex form.
+type TraceContext struct {
+	TraceID string // 32 hex chars
+	SpanID  string // 16 hex chars
+	Sampled bool
+}
+
+// ExtField is one unrecognized tagged trailer field, kept verbatim.
+type ExtField struct {
+	Tag   uint8
+	Value []byte
+}
+
+// Trailer field tags. Tags are a single byte; unknown tags are carried
+// through Ext, so the space can grow without breaking old decoders.
+const extTagTrace uint8 = 1
+
+const traceWireLen = 16 + 8 + 1
+
+func (tc *TraceContext) wire() []byte {
+	v := make([]byte, traceWireLen)
+	hexInto(v[0:16], tc.TraceID)
+	hexInto(v[16:24], tc.SpanID)
+	if tc.Sampled {
+		v[24] = 1
+	}
+	return v
+}
+
+// hexInto fills dst from a hex string of exactly the right width;
+// malformed IDs encode as zeros rather than corrupting the frame.
+func hexInto(dst []byte, s string) {
+	if b, err := hex.DecodeString(s); err == nil && len(b) == len(dst) {
+		copy(dst, b)
+	}
+}
+
+func parseTraceContext(v []byte) (*TraceContext, error) {
+	if len(v) != traceWireLen {
+		return nil, fmt.Errorf("%w: trace context length %d", ErrBadMessage, len(v))
+	}
+	return &TraceContext{
+		TraceID: hex.EncodeToString(v[0:16]),
+		SpanID:  hex.EncodeToString(v[16:24]),
+		Sampled: v[24]&1 == 1,
+	}, nil
+}
+
+// Context returns the propagated context in the telemetry layer's form
+// (zero when the frame carried none), ready to parent local spans.
+func (m *Message) Context() telemetry.SpanContext {
+	if m.Trace == nil {
+		return telemetry.SpanContext{}
+	}
+	return telemetry.SpanContext{TraceID: m.Trace.TraceID, SpanID: m.Trace.SpanID}
+}
+
+// SetContext stamps a local span context onto the outgoing message.
+// Invalid (unsampled) contexts are a no-op, keeping the frame trailer
+// absent on untraced flows.
+func (m *Message) SetContext(ctx telemetry.SpanContext) {
+	if !ctx.Valid() {
+		return
+	}
+	m.Trace = &TraceContext{TraceID: ctx.TraceID, SpanID: ctx.SpanID, Sampled: true}
+}
+
+// FlowID names a message's flow for tracing and sampling: the hex of
+// its nonce, matching the switch's flow IDs, or "-" when nonceless.
+func FlowID(nonce []byte) string {
+	if len(nonce) == 0 {
+		return "-"
+	}
+	return hex.EncodeToString(nonce)
 }
 
 // Wire format limits: one message may not exceed MaxMessageSize on the
@@ -95,6 +186,17 @@ func Encode(m *Message) []byte {
 		b = appendLV(b, []byte(c))
 	}
 	b = appendLV(b, m.Body)
+	if m.Trace != nil {
+		b = append(b, extTagTrace)
+		b = appendLV(b, m.Trace.wire())
+	}
+	for _, e := range m.Ext {
+		if e.Tag == extTagTrace {
+			continue // the canonical Trace field owns this tag
+		}
+		b = append(b, e.Tag)
+		b = appendLV(b, e.Value)
+	}
 	return b
 }
 
@@ -137,8 +239,27 @@ func Decode(data []byte) (*Message, error) {
 	if m.Body, err = d.lv(); err != nil {
 		return nil, err
 	}
-	if d.off != len(data) {
-		return nil, fmt.Errorf("%w: trailing bytes", ErrBadMessage)
+	// Optional tagged trailer fields: [tag u8][u32 len][value]... Known
+	// tags decode into their Message fields; unknown tags are preserved
+	// in Ext. Pre-trailer frames end exactly at the Body, so old peers'
+	// messages decode unchanged, and truncated trailers still error.
+	for d.off < len(data) {
+		tag, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.lv()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case extTagTrace:
+			if m.Trace, err = parseTraceContext(v); err != nil {
+				return nil, err
+			}
+		default:
+			m.Ext = append(m.Ext, ExtField{Tag: tag, Value: v})
+		}
 	}
 	return m, nil
 }
@@ -201,6 +322,8 @@ type Conn struct {
 	r   *bufio.Reader
 	w   io.Writer
 	c   io.Closer
+
+	tracer *telemetry.FlowTracer // optional: auto-inject trace context
 }
 
 // NewConn wraps a stream. If rw implements io.Closer, Close closes it.
@@ -209,8 +332,18 @@ func NewConn(rw io.ReadWriter) *Conn {
 	return &Conn{r: bufio.NewReader(rw), w: rw, c: c}
 }
 
+// SetTracer arms automatic trace-context injection: outgoing messages
+// carrying a nonce but no explicit context get one derived from the
+// nonce's flow (when that flow is sampled). Callers that record their
+// own spans stamp contexts explicitly via SetContext, which wins. Set
+// before the Conn is shared between goroutines.
+func (c *Conn) SetTracer(tr *telemetry.FlowTracer) { c.tracer = tr }
+
 // Write sends one message.
 func (c *Conn) Write(m *Message) error {
+	if c.tracer != nil && m.Trace == nil && len(m.Nonce) > 0 {
+		m.SetContext(c.tracer.NewContext(FlowID(m.Nonce)))
+	}
 	data := Encode(m)
 	if len(data) > MaxMessageSize {
 		return ErrMessageTooLarge
@@ -291,6 +424,11 @@ func Serve(conn *Conn, h Handler) error {
 		resp := h(req)
 		if resp == nil {
 			resp = &Message{Type: MsgError, Session: req.Session, Body: []byte("no response")}
+		}
+		if resp.Trace == nil && req.Trace != nil {
+			// Echo the requester's context so its next hop (e.g. an RP
+			// forwarding evidence to the appraiser) stays in the trace.
+			resp.Trace = req.Trace
 		}
 		if err := conn.Write(resp); err != nil {
 			return err

@@ -1,0 +1,181 @@
+package rats_test
+
+// Distributed-tracing end-to-end test: a relying party challenges the
+// switch and appraises the evidence over two rats pipes, with SEPARATE
+// tracers on each side — nothing shared but the wire — and the result
+// must still be ONE trace: every span on every side carries the same
+// flow-derived TraceID, the attester-side and appraiser-side envelope
+// spans parent directly under the relying party's root span carried in
+// the frame's trace-context field, and the audit ledger's records for
+// the flow are stamped with the same trace_id.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"pera/internal/appraiser"
+	"pera/internal/auditlog"
+	"pera/internal/rats"
+	"pera/internal/rot"
+	"pera/internal/telemetry"
+)
+
+func TestTraceCrossProcessSingleTrace(t *testing.T) {
+	sw, a := provision(t)
+
+	// Distinct tracers stand in for distinct processes: the only channel
+	// between the attester's ring and the relying party's is the
+	// trace-context field on the wire.
+	swTracer := telemetry.NewFlowTracer(256)
+	rpTracer := telemetry.NewFlowTracer(256)
+	swTracer.SetSampleEvery(1)
+	rpTracer.SetSampleEvery(1)
+	sw.SetTracer(swTracer)
+	a.SetTracer(rpTracer)
+
+	// Audit ledgers on both sides, cross-checked against the trace below.
+	var swLedger, rpLedger bytes.Buffer
+	swAudit := auditlog.NewWriter(&swLedger, auditlog.Options{})
+	rpAudit := auditlog.NewWriter(&rpLedger, auditlog.Options{})
+	sw.SetAudit(swAudit)
+	a.SetAudit(rpAudit)
+
+	attRP, attSw := rats.Pipe()
+	defer attRP.Close()
+	go rats.Serve(attSw, sw.AttesterHandler())
+	apprRP, apprSrv := rats.Pipe()
+	defer apprRP.Close()
+	go rats.Serve(apprSrv, a.Handler())
+
+	nonce := rot.NewNonce()
+	flow := rats.FlowID(nonce)
+	wantTrace := telemetry.TraceIDFromFlow(flow)
+
+	// The relying party roots the trace and sends its context with the
+	// challenge; Conn.Write injects it because the conn has a tracer.
+	attRP.SetTracer(rpTracer)
+	root := rpTracer.NewContext(flow)
+	if !root.Valid() {
+		t.Fatal("flow not sampled at 1-in-1")
+	}
+	start := time.Now()
+
+	evResp, err := attRP.Call(&rats.Message{
+		Type: rats.MsgChallenge, Session: 1, Nonce: nonce,
+		Trace:  &rats.TraceContext{TraceID: root.TraceID, SpanID: root.SpanID, Sampled: true},
+		Claims: []string{"hardware", "program", "tables"},
+	})
+	if err != nil {
+		t.Fatalf("challenge: %v", err)
+	}
+	if evResp.Type != rats.MsgEvidence {
+		t.Fatalf("evidence response: %+v", evResp)
+	}
+	// The attester echoes the trace context on the response so the next
+	// hop can keep propagating it without re-deriving.
+	if evResp.Trace == nil || evResp.Trace.TraceID != root.TraceID {
+		t.Fatalf("response trace context not echoed: %+v", evResp.Trace)
+	}
+
+	req := &rats.Message{
+		Type: rats.MsgAppraise, Session: 2, Nonce: nonce,
+		Claims: []string{"sw1"}, Body: evResp.Body,
+	}
+	req.SetContext(root)
+	res, err := apprRP.Call(req)
+	if err != nil {
+		t.Fatalf("appraise: %v", err)
+	}
+	cert, err := appraiser.DecodeCertificate(res.Body)
+	if err != nil || !cert.Verdict {
+		t.Fatalf("verdict: %v %+v", err, cert)
+	}
+	rpTracer.RecordSpan(root, telemetry.SpanContext{}, flow, "rp",
+		telemetry.StageChallenge, start, time.Since(start), "")
+
+	// ---- One trace, correct parenting. ----
+	spans := append(swTracer.Trace(wantTrace), rpTracer.Trace(wantTrace)...)
+	byStage := map[telemetry.Stage][]telemetry.Span{}
+	ids := map[string]telemetry.Span{}
+	for _, s := range spans {
+		if s.TraceID != wantTrace {
+			t.Fatalf("span %v: trace %s, want %s", s, s.TraceID, wantTrace)
+		}
+		byStage[s.Stage] = append(byStage[s.Stage], s)
+		ids[s.SpanID] = s
+	}
+	// Both sides also recorded spans under OTHER trace IDs? They must
+	// not have: every span for this flow belongs to the one trace.
+	for _, s := range append(swTracer.Flow(flow), rpTracer.Flow(flow)...) {
+		if s.TraceID != wantTrace {
+			t.Fatalf("flow span escaped the trace: %+v", s)
+		}
+	}
+
+	mustOne := func(stage telemetry.Stage) telemetry.Span {
+		t.Helper()
+		got := byStage[stage]
+		if len(got) != 1 {
+			t.Fatalf("stage %s: %d spans, want 1 (%v)", stage, len(got), got)
+		}
+		return got[0]
+	}
+	challenge := mustOne(telemetry.StageChallenge)
+	attest := mustOne(telemetry.StageAttest)
+	sign := mustOne(telemetry.StageSign)
+	appraise := mustOne(telemetry.StageAppraise)
+	verify := mustOne(telemetry.StageVerify)
+	verdict := mustOne(telemetry.StageVerdict)
+
+	if challenge.ParentID != "" {
+		t.Fatalf("challenge span is not the root: parent %q", challenge.ParentID)
+	}
+	if attest.ParentID != challenge.SpanID {
+		t.Fatalf("attest span parents under %q, want challenge %q", attest.ParentID, challenge.SpanID)
+	}
+	if sign.ParentID != attest.SpanID {
+		t.Fatalf("sign span parents under %q, want attest %q", sign.ParentID, attest.SpanID)
+	}
+	if appraise.ParentID != challenge.SpanID {
+		t.Fatalf("appraise span parents under %q, want challenge %q", appraise.ParentID, challenge.SpanID)
+	}
+	if verify.ParentID != appraise.SpanID || verdict.ParentID != appraise.SpanID {
+		t.Fatalf("verify/verdict parent under %q/%q, want appraise %q",
+			verify.ParentID, verdict.ParentID, appraise.SpanID)
+	}
+	for _, s := range spans {
+		if s.ParentID == "" && s.SpanID != challenge.SpanID {
+			t.Fatalf("second root span in trace: %+v", s)
+		}
+		if s.ParentID != "" {
+			if _, ok := ids[s.ParentID]; !ok {
+				t.Fatalf("span %+v parents under unknown span %q", s, s.ParentID)
+			}
+		}
+	}
+
+	// ---- Ledger cross-check: every flow record carries the trace ID. ----
+	swAudit.Close()
+	rpAudit.Close()
+	for side, buf := range map[string]*bytes.Buffer{"switch": &swLedger, "rp": &rpLedger} {
+		recs, err := auditlog.ReadRecords(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s ledger: %v", side, err)
+		}
+		n := 0
+		for _, r := range recs {
+			if r.Flow != flow {
+				continue
+			}
+			n++
+			if r.TraceID != wantTrace {
+				t.Fatalf("%s ledger record %s/%s: trace_id %q, want %q",
+					side, r.Event, r.Place, r.TraceID, wantTrace)
+			}
+		}
+		if n == 0 {
+			t.Fatalf("%s ledger has no records for flow %s", side, flow)
+		}
+	}
+}

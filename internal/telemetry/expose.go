@@ -37,12 +37,28 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 }
 
 func writePromHistogram(w io.Writer, m MetricSnapshot) error {
-	for _, b := range m.Hist.Buckets {
+	// OpenMetrics-style exemplar suffixes on _bucket lines: emitted only
+	// for buckets that actually hold a trace-linked observation, so
+	// tracing-off output is byte-identical to the pre-exemplar format.
+	var exemplars map[int]Exemplar
+	for _, be := range m.Hist.Exemplars {
+		if exemplars == nil {
+			exemplars = make(map[int]Exemplar, len(m.Hist.Exemplars))
+		}
+		exemplars[be.Bucket] = be.Exemplar
+	}
+	for i, b := range m.Hist.Buckets {
 		le := "+Inf"
 		if !math.IsInf(b.UpperBound, 1) {
 			le = formatValue(b.UpperBound)
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, labelStringWith(m.Labels, L("le", le)), b.Count); err != nil {
+		suffix := ""
+		if ex, ok := exemplars[i]; ok {
+			suffix = fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+				promEscape(ex.TraceID), formatValue(ex.Value),
+				strconv.FormatFloat(float64(ex.TS)/1e9, 'f', 3, 64))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", m.Name, labelStringWith(m.Labels, L("le", le)), b.Count, suffix); err != nil {
 			return err
 		}
 	}
@@ -51,6 +67,17 @@ func writePromHistogram(w io.Writer, m MetricSnapshot) error {
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels), m.Hist.Count)
 	return err
+}
+
+// filterSpans keeps the spans matching keep, preserving order.
+func filterSpans(spans []Span, keep func(Span) bool) []Span {
+	out := spans[:0:0]
+	for _, s := range spans {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // labelStringWith renders labels plus one extra (the histogram le).
@@ -100,9 +127,33 @@ func Handler(reg *Registry, tracer *FlowTracer, extras ...Endpoint) http.Handler
 		w.Header().Set("Content-Type", "application/json")
 		reg.Snapshot().WriteJSON(w)
 	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		if tracer == nil {
-			http.NotFound(w, nil)
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query()
+		spans := tracer.Spans()
+		if flow := q.Get("flow"); flow != "" {
+			spans = filterSpans(spans, func(s Span) bool { return s.Flow == flow })
+		}
+		if tid := q.Get("trace"); tid != "" {
+			spans = filterSpans(spans, func(s Span) bool { return s.TraceID == tid })
+		}
+		if ls := q.Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit: "+ls, http.StatusBadRequest)
+				return
+			}
+			if n < len(spans) {
+				// Keep the newest n spans — the ring is oldest-first.
+				spans = spans[len(spans)-n:]
+			}
+		}
+		if q.Get("format") == "otlp" {
+			w.Header().Set("Content-Type", "application/json")
+			WriteOTLP(w, "pera", spans)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -111,7 +162,7 @@ func Handler(reg *Registry, tracer *FlowTracer, extras ...Endpoint) http.Handler
 		enc.Encode(struct {
 			Recorded uint64 `json:"recorded_total"`
 			Spans    []Span `json:"spans"`
-		}{Recorded: tracer.Recorded(), Spans: tracer.Spans()})
+		}{Recorded: tracer.Recorded(), Spans: spans})
 	})
 	index := "pera telemetry\n/metrics\n/metrics.json\n/trace\n"
 	for _, e := range extras {

@@ -48,6 +48,17 @@ type Histogram struct {
 	desc
 	bounds  []float64
 	stripes [numStripes]histStripe
+	// exemplars holds, per bucket, the most recent observation that
+	// carried a trace ID — the bridge from a latency bucket in /metrics
+	// to a concrete trace in /trace. Written only on sampled flows.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recent observation to the trace that produced it.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
+	TS      int64   `json:"ts_ns"` // observation wall clock, unix nanoseconds
 }
 
 // NewHistogram builds a standalone histogram over bounds (which must be
@@ -75,6 +86,7 @@ func (h *Histogram) Init(name string, bounds []float64, labels []Label) {
 	for i := range h.stripes {
 		h.stripes[i].buckets = backing[i*stride : i*stride+len(bounds)+1]
 	}
+	h.exemplars = make([]atomic.Pointer[Exemplar], len(bounds)+1)
 }
 
 // Observe records one value. Nil-safe: optional instrumentation can hold
@@ -99,6 +111,31 @@ func (h *Histogram) ObserveSince(start time.Time) {
 		return
 	}
 	h.Observe(time.Since(start).Seconds())
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// pins it as the bucket's exemplar. Unsampled flows pass "" and pay
+// only the plain Observe cost.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	b := sort.SearchFloat64s(h.bounds, v)
+	s := &h.stripes[stripeIdx()]
+	s.buckets[b].Add(1)
+	s.count.Add(1)
+	s.addSum(v)
+	if traceID != "" {
+		h.exemplars[b].Store(&Exemplar{Value: v, TraceID: traceID, TS: time.Now().UnixNano()})
+	}
+}
+
+// ObserveSinceExemplar is ObserveSince with an exemplar trace ID.
+func (h *Histogram) ObserveSinceExemplar(start time.Time, traceID string) {
+	if h == nil || start.IsZero() {
+		return
+	}
+	h.ObserveExemplar(time.Since(start).Seconds(), traceID)
 }
 
 // BucketCount is one histogram bucket in a snapshot. Count is the number
@@ -152,6 +189,16 @@ type HistSnapshot struct {
 	P50     float64       `json:"p50"`
 	P95     float64       `json:"p95"`
 	P99     float64       `json:"p99"`
+	// Exemplars maps bucket index (into Buckets) to that bucket's
+	// latest trace-linked observation. Absent unless exemplars were
+	// recorded, so snapshots without tracing are unchanged.
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar pairs an exemplar with its bucket index.
+type BucketExemplar struct {
+	Bucket int `json:"bucket"`
+	Exemplar
 }
 
 // snapshot merges the stripes into cumulative buckets and quantiles.
@@ -174,6 +221,11 @@ func (h *Histogram) snapshot() *HistSnapshot {
 	}
 	cum += raw[len(h.bounds)]
 	out.Buckets[len(h.bounds)] = BucketCount{UpperBound: math.Inf(1), Count: cum}
+	for b := range h.exemplars {
+		if ex := h.exemplars[b].Load(); ex != nil {
+			out.Exemplars = append(out.Exemplars, BucketExemplar{Bucket: b, Exemplar: *ex})
+		}
+	}
 	out.P50 = out.Quantile(0.50)
 	out.P95 = out.Quantile(0.95)
 	out.P99 = out.Quantile(0.99)

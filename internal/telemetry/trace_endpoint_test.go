@@ -1,0 +1,138 @@
+package telemetry
+
+// /trace endpoint query-filter tests: ?flow=, ?trace=, ?limit= and
+// ?format=otlp, plus bad-parameter rejection.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func traceServer(t *testing.T) (*FlowTracer, string, func(path string) (int, string)) {
+	t.Helper()
+	tr := NewFlowTracer(64)
+	tr.SetSampleEvery(1)
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	base := "http://" + srv.Addr()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	return tr, base, get
+}
+
+type traceDump struct {
+	Recorded uint64 `json:"recorded_total"`
+	Spans    []Span `json:"spans"`
+}
+
+func decodeDump(t *testing.T, body string) traceDump {
+	t.Helper()
+	var d traceDump
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("/trace does not parse: %v\n%s", err, body)
+	}
+	return d
+}
+
+func TestTraceEndpointFlowFilter(t *testing.T) {
+	tr, _, get := traceServer(t)
+	c1 := tr.NewContext("alpha")
+	c2 := tr.NewContext("beta")
+	tr.RecordSpan(c1, SpanContext{}, "alpha", "sw1", StageVerify, time.Now(), 0, "")
+	tr.RecordSpan(c2, SpanContext{}, "beta", "sw2", StageVerify, time.Now(), 0, "")
+	tr.RecordSpan(tr.NewContext("alpha"), c1, "alpha", "sw1", StageSign, time.Now(), 0, "")
+
+	code, body := get("/trace?flow=alpha")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	d := decodeDump(t, body)
+	if len(d.Spans) != 2 {
+		t.Fatalf("flow filter returned %d spans: %+v", len(d.Spans), d.Spans)
+	}
+	for _, s := range d.Spans {
+		if s.Flow != "alpha" {
+			t.Fatalf("foreign flow leaked: %+v", s)
+		}
+	}
+	if d.Recorded != 3 {
+		t.Fatalf("recorded_total %d, want total not filtered count", d.Recorded)
+	}
+	if _, body := get("/trace?flow=nosuch"); len(decodeDump(t, body).Spans) != 0 {
+		t.Fatalf("unknown flow matched: %s", body)
+	}
+}
+
+func TestTraceEndpointTraceFilter(t *testing.T) {
+	tr, _, get := traceServer(t)
+	c1 := tr.NewContext("alpha")
+	tr.RecordSpan(c1, SpanContext{}, "alpha", "sw1", StageVerify, time.Now(), 0, "")
+	tr.RecordSpan(tr.NewContext("beta"), SpanContext{}, "beta", "sw2", StageVerify, time.Now(), 0, "")
+
+	_, body := get("/trace?trace=" + c1.TraceID)
+	d := decodeDump(t, body)
+	if len(d.Spans) != 1 || d.Spans[0].TraceID != c1.TraceID {
+		t.Fatalf("trace filter: %+v", d.Spans)
+	}
+	// flow+trace compose (conjunction).
+	if _, body := get("/trace?trace=" + c1.TraceID + "&flow=beta"); len(decodeDump(t, body).Spans) != 0 {
+		t.Fatalf("conjunction failed: %s", body)
+	}
+}
+
+func TestTraceEndpointLimit(t *testing.T) {
+	tr, _, get := traceServer(t)
+	for i := 0; i < 5; i++ {
+		tr.RecordSpan(tr.NewContext("f"), SpanContext{}, "f", "p", StageVerify, time.Now(), 0, "")
+	}
+	_, body := get("/trace?limit=2")
+	d := decodeDump(t, body)
+	if len(d.Spans) != 2 {
+		t.Fatalf("limit returned %d spans", len(d.Spans))
+	}
+	// Newest survive: the kept spans are the highest sequence numbers.
+	all := decodeDump(t, func() string { _, b := get("/trace"); return b }())
+	if d.Spans[0].Seq != all.Spans[3].Seq || d.Spans[1].Seq != all.Spans[4].Seq {
+		t.Fatalf("limit kept wrong end: %+v vs %+v", d.Spans, all.Spans)
+	}
+	if code, _ := get("/trace?limit=0"); code != http.StatusOK {
+		t.Fatalf("limit=0 status %d", code)
+	}
+	for _, bad := range []string{"x", "-1", "1.5"} {
+		if code, _ := get("/trace?limit=" + bad); code != http.StatusBadRequest {
+			t.Fatalf("limit=%s status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestTraceEndpointOTLP(t *testing.T) {
+	tr, _, get := traceServer(t)
+	c := tr.NewContext("f")
+	tr.RecordSpan(c, SpanContext{}, "f", "sw1", StageHop, time.Now(), time.Millisecond, "")
+
+	code, body := get("/trace?format=otlp")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(body, `"resourceSpans"`) || !strings.Contains(body, c.TraceID) {
+		t.Fatalf("otlp body: %s", body)
+	}
+	// Filters apply before export.
+	if _, body := get("/trace?format=otlp&flow=nosuch"); strings.Contains(body, c.TraceID) {
+		t.Fatalf("otlp ignored filter: %s", body)
+	}
+}
