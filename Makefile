@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke trace-smoke cover fmt clean
+.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke trace-smoke recorder-smoke cover fmt clean
 
 all: build test race vet
 
@@ -27,7 +27,9 @@ build:
 # a trust-decay run with recovery disabled must leave the frozen place
 # lapsed with a firing, ledger-recorded staleness alert (slo_smoke.sh),
 # and one attestctl round against live attestd + appraised processes
-# must merge into a single cross-process trace (trace_smoke.sh).
+# must merge into a single cross-process trace (trace_smoke.sh), and a
+# recorder-enabled UC1 run must leave an incident bundle that localizes
+# the compromised switch offline (recorder_smoke.sh).
 test: vet
 	$(GO) test ./...
 	$(MAKE) telemetry-smoke
@@ -35,6 +37,7 @@ test: vet
 	$(MAKE) observe-smoke
 	$(MAKE) slo-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) recorder-smoke
 
 race:
 	$(GO) test -race ./...
@@ -85,6 +88,13 @@ slo-smoke:
 # context, and `attestctl trace` merges both span rings into one trace.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# End-to-end flight-recorder check: a recorder-enabled UC1 observe run
+# serves live metric history, pages the anomaly through the shared
+# sinks, then — process killed — the incident bundle re-verifies and
+# names the compromised switch entirely offline.
+recorder-smoke:
+	sh scripts/recorder_smoke.sh
 
 # Coverage over the library packages with a floor: the build fails if
 # total statement coverage regresses below COVER_FLOOR percent.

@@ -22,6 +22,7 @@ import (
 	"pera/internal/p4ir"
 	"pera/internal/pera"
 	"pera/internal/rats"
+	"pera/internal/recorder"
 	"pera/internal/rot"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
@@ -501,6 +502,60 @@ func BenchmarkThroughput_SLO(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, false) })
 	b.Run("watchdog", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkThroughput_Recorder measures what the flight recorder costs
+// the end-to-end throughput run: "off" is BenchmarkThroughput_EndToEnd's
+// configuration; "registry" additionally has every pipeline component
+// report into a telemetry registry (the recorder's scrape source); "on"
+// adds the recorder itself — a history-store scrape plus a full detector
+// evaluation per 128-packet run, a far denser cadence than the
+// production one-scrape-per-second ticker (see BENCH_throughput.json
+// recorder_overhead).
+func BenchmarkThroughput_Recorder(b *testing.B) {
+	run := func(b *testing.B, instrumented, recorded bool) {
+		// One long-lived registry and recorder, as in production: the
+		// rings are allocated once, and scrapes b.N runs long pay the
+		// steady-state cost, not arena setup.
+		var reg *telemetry.Registry
+		var rec *recorder.Recorder
+		if instrumented {
+			reg = telemetry.NewRegistry()
+		}
+		if recorded {
+			rec = recorder.New(recorder.Config{
+				Service: "bench",
+				Bundle:  recorder.BundlerConfig{Dir: b.TempDir()},
+			})
+			rec.SetRegistry(reg)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := harness.ThroughputOptions{Workers: 0, Packets: 128, Flows: 8, Memo: true,
+				Registry: reg, Recorder: rec}
+			res, err := harness.RunThroughputOpts(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Pass != 128 {
+				b.Fatalf("pass=%d, want 128", res.Pass)
+			}
+		}
+		b.StopTimer()
+		if recorded {
+			scrapes, _, _, series, _ := rec.Store().Stats()
+			if scrapes == 0 || series == 0 {
+				b.Fatalf("recorder idle during the run (scrapes=%d series=%d)", scrapes, series)
+			}
+			// Wall-clock latency jitter across hundreds of iterations can
+			// legitimately page once; report rather than fail, the debounce
+			// keeps any capture cost amortized.
+			b.ReportMetric(float64(rec.Anomalies()), "anomalies")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false, false) })
+	b.Run("registry", func(b *testing.B) { run(b, true, false) })
+	b.Run("on", func(b *testing.B) { run(b, true, true) })
 }
 
 // BenchmarkVerifyMemo isolates the memo win on a single 3-hop chain:

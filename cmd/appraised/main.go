@@ -25,10 +25,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"pera/internal/appraiser"
 	"pera/internal/evidence"
+	"pera/internal/freshness"
 	"pera/internal/rats"
+	"pera/internal/recorder"
 	"pera/internal/rot"
 	"pera/internal/telemetry"
 )
@@ -41,6 +44,10 @@ func main() {
 		seed      = flag.String("seed", "appraised", "deterministic identity seed")
 		telemAddr = flag.String("telemetry", "", "serve telemetry (/metrics, /trace) on this address, e.g. :9465")
 		traceN    = flag.Uint("trace", 0, "trace 1-in-N flows (0 = off); spans served at the -telemetry /trace endpoint")
+
+		recorderDir      = flag.String("recorder", "", "enable the attestation flight recorder; incident bundles land in this directory (inspect with `attestctl incident`)")
+		recorderInterval = flag.Duration("recorder-interval", time.Second, "with -recorder: metric scrape interval")
+		recorderDebounce = flag.Duration("recorder-debounce", 30*time.Second, "with -recorder: minimum spacing between incident bundles")
 	)
 	flag.Parse()
 
@@ -60,17 +67,38 @@ func main() {
 		appr.SetTracer(tracer)
 		fmt.Printf("appraised: tracing 1-in-%d flows\n", *traceN)
 	}
-	if *telemAddr != "" {
+	if *telemAddr != "" || *recorderDir != "" {
 		reg := telemetry.NewRegistry()
 		appr.Instrument(reg)
 		tracer.Instrument(reg)
-		srv, err := telemetry.Serve(*telemAddr, reg, tracer)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "appraised: %v\n", err)
-			os.Exit(1)
+		var extras []telemetry.Endpoint
+		if *recorderDir != "" {
+			rec := recorder.New(recorder.Config{
+				Interval: *recorderInterval,
+				Service:  "appraised",
+				Bundle:   recorder.BundlerConfig{Dir: *recorderDir, Debounce: *recorderDebounce},
+			})
+			rec.SetRegistry(reg)
+			rec.SetTracer(tracer)
+			cfgInfo := make(map[string]string)
+			flag.VisitAll(func(f *flag.Flag) { cfgInfo[f.Name] = f.Value.String() })
+			rec.SetConfigInfo(cfgInfo)
+			rec.Instrument(reg)
+			rec.AddSink(freshness.NewLogSink(os.Stderr))
+			rec.Start()
+			defer rec.Close()
+			extras = append(extras, rec.Endpoint())
+			fmt.Printf("appraised: flight recorder on — incident bundles -> %s\n", *recorderDir)
 		}
-		defer srv.Close()
-		fmt.Printf("appraised: telemetry serving on http://%s/metrics\n", srv.Addr())
+		if *telemAddr != "" {
+			srv, err := telemetry.Serve(*telemAddr, reg, tracer, extras...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appraised: %v\n", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Printf("appraised: telemetry serving on http://%s/metrics\n", srv.Addr())
+		}
 	}
 
 	ln, err := rats.ListenAndServe(*listen, loggingHandler(appr.Handler()))

@@ -32,6 +32,18 @@
 // perasim processes serve at /trace (see docs/TRACING.md):
 //
 //	attestctl trace -endpoints http://127.0.0.1:9464,http://127.0.0.1:9465 <flow|trace-id>
+//
+// And the flight recorder a -recorder-enabled process maintains (see
+// docs/RECORDER.md): live metric history over /history.json, and the
+// incident bundles it snapshots on anomalies/alerts — readable offline,
+// no live process required:
+//
+//	attestctl history pera_verify_fails_total -collector http://127.0.0.1:9464
+//	attestctl incident list -dir incidents
+//	attestctl incident show -dir incidents -verify
+//	attestctl incident export -dir incidents -out /tmp/incident
+//
+// Running `attestctl <unknown>` prints the command list.
 package main
 
 import (
@@ -47,22 +59,46 @@ import (
 	"pera/internal/telemetry"
 )
 
+// verbs names every subcommand with a one-line summary — both the
+// dispatch table and the usage text, so the two cannot drift apart.
+var verbs = []struct {
+	name string
+	desc string
+	run  func(args []string)
+}{
+	{"audit", "verify / query / explain a hash-chained audit ledger", runAudit},
+	{"top", "watch observatory place health", func(a []string) { runObserve("top", a) }},
+	{"paths", "show observatory path traces", func(a []string) { runObserve("paths", a) }},
+	{"coverage", "show the freshness coverage map", func(a []string) { runFreshness("coverage", a) }},
+	{"alerts", "show the freshness alert ring", func(a []string) { runFreshness("alerts", a) }},
+	{"trace", "assemble a distributed trace across endpoints", runTrace},
+	{"history", "render flight-recorder metric history (sparkline/table)", runHistory},
+	{"incident", "list / show / export incident bundles", runIncident},
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: attestctl [flags]            run one attestation round (see -h)")
+	fmt.Fprintln(os.Stderr, "       attestctl <command> [flags]  inspect observability surfaces")
+	fmt.Fprintln(os.Stderr, "commands:")
+	for _, v := range verbs {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", v.name, v.desc)
+	}
+}
+
 func main() {
-	if len(os.Args) > 1 {
-		switch os.Args[1] {
-		case "audit":
-			runAudit(os.Args[2:])
-			return
-		case "top", "paths":
-			runObserve(os.Args[1], os.Args[2:])
-			return
-		case "coverage", "alerts":
-			runFreshness(os.Args[1], os.Args[2:])
-			return
-		case "trace":
-			runTrace(os.Args[2:])
-			return
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		name := os.Args[1]
+		for _, v := range verbs {
+			if v.name == name {
+				v.run(os.Args[2:])
+				return
+			}
 		}
+		if name != "help" {
+			fmt.Fprintf(os.Stderr, "attestctl: unknown command %q\n", name)
+		}
+		usage()
+		os.Exit(2)
 	}
 	var (
 		attesterAddr  = flag.String("attester", "127.0.0.1:7422", "attestd address")

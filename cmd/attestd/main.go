@@ -21,14 +21,24 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pera/internal/auditlog"
 	"pera/internal/evidence"
+	"pera/internal/freshness"
 	"pera/internal/p4ir"
 	"pera/internal/pera"
 	"pera/internal/rats"
+	"pera/internal/recorder"
 	"pera/internal/telemetry"
 )
+
+// flagValues flattens the parsed flag set for the bundle's config.json.
+func flagValues() map[string]string {
+	kv := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { kv[f.Name] = f.Value.String() })
+	return kv
+}
 
 func main() {
 	var (
@@ -40,6 +50,10 @@ func main() {
 		auditPath = flag.String("audit", "", "write the hash-chained RATS audit ledger to this file (MAC key derived from the switch RoT)")
 		pprofOn   = flag.Bool("pprof", false, "with -telemetry: also expose /debug/pprof/* on the telemetry server")
 		traceN    = flag.Uint("trace", 0, "trace 1-in-N flows (0 = off); spans served at the -telemetry /trace endpoint")
+
+		recorderDir      = flag.String("recorder", "", "enable the attestation flight recorder; incident bundles land in this directory (inspect with `attestctl incident`)")
+		recorderInterval = flag.Duration("recorder-interval", time.Second, "with -recorder: metric scrape interval")
+		recorderDebounce = flag.Duration("recorder-debounce", 30*time.Second, "with -recorder: minimum spacing between incident bundles")
 	)
 	flag.Parse()
 
@@ -87,7 +101,7 @@ func main() {
 		fmt.Printf("attestd: tracing 1-in-%d flows (attestctl trace <flow|trace-id> to inspect)\n", *traceN)
 	}
 
-	if *telemAddr != "" {
+	if *telemAddr != "" || *recorderDir != "" {
 		reg := telemetry.NewRegistry()
 		sw.Instrument(reg)
 		audit.Instrument(reg)
@@ -96,13 +110,36 @@ func main() {
 		if *pprofOn {
 			extras = telemetry.PprofEndpoints()
 		}
-		srv, err := telemetry.Serve(*telemAddr, reg, tracer, extras...)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
-			os.Exit(1)
+		if *recorderDir != "" {
+			rec := recorder.New(recorder.Config{
+				Interval: *recorderInterval,
+				Service:  "attestd/" + *name,
+				Bundle: recorder.BundlerConfig{
+					Dir: *recorderDir, Debounce: *recorderDebounce,
+					Key: sw.RoT().AuditKey(), KeyID: *name,
+				},
+			})
+			rec.SetRegistry(reg)
+			rec.SetTracer(tracer)
+			rec.SetLedger(audit, *auditPath)
+			rec.SetConfigInfo(flagValues())
+			rec.Instrument(reg)
+			rec.AddSink(freshness.NewLogSink(os.Stderr))
+			rec.AddSink(freshness.NewAuditSink(audit))
+			rec.Start()
+			defer rec.Close()
+			extras = append(extras, rec.Endpoint())
+			fmt.Printf("attestd: flight recorder on — incident bundles -> %s\n", *recorderDir)
 		}
-		defer srv.Close()
-		fmt.Printf("attestd: telemetry serving on http://%s/metrics\n", srv.Addr())
+		if *telemAddr != "" {
+			srv, err := telemetry.Serve(*telemAddr, reg, tracer, extras...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "attestd: %v\n", err)
+				os.Exit(1)
+			}
+			defer srv.Close()
+			fmt.Printf("attestd: telemetry serving on http://%s/metrics\n", srv.Addr())
+		}
 	}
 
 	ln, err := rats.ListenAndServe(*listen, sw.AttesterHandler())

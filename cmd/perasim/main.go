@@ -72,6 +72,7 @@ import (
 	"pera/internal/nac"
 	"pera/internal/observatory"
 	"pera/internal/pera"
+	"pera/internal/recorder"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
 )
@@ -96,6 +97,10 @@ var (
 	observeBudget = flag.Int("observe-budget", 0, "in-band span-section byte budget (Fig. 4 Detail knob; 0 = default)")
 	observeAttack = flag.String("observe-attack", "", "switch to program-swap mid-run (default the middle hop; 'none' disables)")
 
+	recorderDir      = flag.String("recorder", "", "enable the attestation flight recorder: metric history, anomaly detection, and incident bundles written into this directory (inspect with `attestctl incident`)")
+	recorderInterval = flag.Duration("recorder-interval", time.Second, "with -recorder: wall-clock scrape interval (harness runs also scrape per packet)")
+	recorderDebounce = flag.Duration("recorder-debounce", 30*time.Second, "with -recorder: minimum spacing between incident bundles")
+
 	slo         = flag.Bool("slo", false, "run the trust-decay scenario (shorthand for -uc slo)")
 	sloHops     = flag.Int("slo-hops", 4, "switches on the trust-decay run's linear chain")
 	sloPkts     = flag.Int("slo-packets", 160, "attested packets to drive through the trust-decay run")
@@ -112,6 +117,7 @@ var (
 	audit     *auditlog.Writer
 	collector *observatory.Collector
 	watchdog  *freshness.Watchdog
+	rec       *recorder.Recorder
 )
 
 func main() {
@@ -142,12 +148,43 @@ func main() {
 		// simulated clock.
 		watchdog = freshness.New("watchdog", freshness.Config{})
 	}
+	if *recorderDir != "" {
+		if reg == nil {
+			// The recorder scrapes the registry, so enabling it turns
+			// instrumentation on even without -telemetry/-json.
+			reg = telemetry.NewRegistry()
+		}
+		rec = recorder.New(recorder.Config{
+			Interval: *recorderInterval,
+			Service:  "perasim",
+			Bundle:   recorder.BundlerConfig{Dir: *recorderDir, Debounce: *recorderDebounce},
+		})
+		rec.SetRegistry(reg)
+		rec.SetTracer(tracer)
+		rec.SetCollector(collector)
+		rec.SetWatchdog(watchdog)
+		rec.Instrument(reg)
+		rec.AddSink(freshness.NewLogSink(os.Stderr))
+		if watchdog != nil {
+			// Alert firings capture incident bundles too.
+			watchdog.AddSink(rec.Sink())
+		}
+		cfgInfo := make(map[string]string)
+		flag.VisitAll(func(f *flag.Flag) { cfgInfo[f.Name] = f.Value.String() })
+		rec.SetConfigInfo(cfgInfo)
+		rec.Start()
+		defer rec.Close()
+		fmt.Fprintf(os.Stderr, "perasim: flight recorder on — incident bundles -> %s\n", *recorderDir)
+	}
 	if *telemetryAddr != "" {
 		var extras []telemetry.Endpoint
 		if collector != nil {
 			extras = append(extras, collector.Endpoint())
 		}
 		extras = append(extras, watchdog.Endpoints()...)
+		if rec != nil {
+			extras = append(extras, rec.Endpoint())
+		}
 		if *pprofOn {
 			extras = append(extras, telemetry.PprofEndpoints()...)
 		}
@@ -166,6 +203,8 @@ func main() {
 		}
 		audit = w
 		audit.Instrument(reg)
+		rec.SetLedger(audit, *auditPath)
+		rec.AddSink(freshness.NewAuditSink(audit))
 		fmt.Fprintf(os.Stderr, "perasim: audit ledger -> %s (verify: attestctl audit verify -ledger %s)\n",
 			*auditPath, *auditPath)
 		// Flush-on-shutdown: an interrupt mid-run still leaves a complete,
@@ -524,6 +563,7 @@ func runThroughput() error {
 		Registry: reg,
 		Tracer:   tracer,
 		Audit:    audit,
+		Recorder: rec,
 	})
 	if err != nil {
 		return err

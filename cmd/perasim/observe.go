@@ -28,6 +28,7 @@ func runObserve() error {
 		Registry:    reg,
 		Tracer:      tracer,
 		Audit:       audit,
+		Recorder:    rec,
 	}
 	switch attack {
 	case "none":

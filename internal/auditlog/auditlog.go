@@ -62,6 +62,9 @@ const (
 	EventAlertFired    Event = "alert_fired"    // freshness watchdog alert transitioned to firing
 	EventAlertResolved Event = "alert_resolved" // firing alert resolved by fresh clean evidence
 	EventAlertProbe    Event = "alert_probe"    // active re-attestation probe issued for a firing alert
+
+	EventAnomaly  Event = "anomaly_detected" // flight-recorder detector tripped on a metric series
+	EventIncident Event = "incident_bundle"  // diagnostic bundle snapshotted; note carries the bundle ID
 )
 
 // Provenance names the exact Copland/NetKAT clause that accepted or

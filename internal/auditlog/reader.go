@@ -67,6 +67,111 @@ func VerifyReader(r io.Reader, key []byte) (int, error) {
 	return len(lines), nil
 }
 
+// Tail is a chain-verified ledger suffix packaged for an incident
+// bundle: the raw JSONL bytes of the last records plus the full chain
+// link of the record immediately preceding them (the genesis link when
+// the tail covers the whole ledger). Given the MAC key and PrevLink, the
+// tail re-verifies standalone with VerifyTailBytes — no need to ship the
+// entire ledger inside every bundle.
+type Tail struct {
+	Total    int    // records in the full ledger, all verified
+	Start    int    // zero-based index of the first tail record
+	Raw      []byte // newline-terminated JSONL lines of the tail
+	PrevLink []byte // chain link preceding Raw's first record
+}
+
+// VerifyTailReader verifies the full ledger from r and carves off the
+// last tailN records together with the chain state needed to re-verify
+// them in isolation. tailN <= 0 (or >= the record count) returns the
+// whole ledger as the tail.
+func VerifyTailReader(r io.Reader, key []byte, tailN int) (*Tail, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("auditlog: read ledger: %w", err)
+	}
+	if key == nil {
+		key = DevKey()
+	}
+	if len(raw) == 0 {
+		return nil, &TamperError{Index: 0, Reason: "empty ledger (missing ledger_open record)"}
+	}
+	lines := bytes.Split(raw, []byte{'\n'})
+	last := len(lines) - 1
+	if len(lines[last]) != 0 {
+		return nil, &TamperError{Index: last, Reason: "record not newline-terminated (truncated or corrupted tail)"}
+	}
+	lines = lines[:last]
+	start := 0
+	if tailN > 0 && tailN < len(lines) {
+		start = len(lines) - tailN
+	}
+	tail := &Tail{Total: len(lines), Start: start, PrevLink: genesis(key)}
+	prev := genesis(key)
+	var off int
+	for i, line := range lines {
+		if i == start {
+			tail.PrevLink = append([]byte(nil), prev...)
+			tail.Raw = append([]byte(nil), raw[off:]...)
+		}
+		off += len(line) + 1
+		body, macHex, ok := splitMAC(line)
+		if !ok {
+			return nil, &TamperError{Index: i, Reason: "malformed record framing (no trailing mac member)"}
+		}
+		want := chainLink(key, prev, body)
+		got, err := hex.DecodeString(macHex)
+		if err != nil || !hmac.Equal(want, got) {
+			return nil, &TamperError{Index: i, Reason: "mac mismatch (record, prev pointer, or mac modified)"}
+		}
+		prev = want
+	}
+	return tail, nil
+}
+
+// VerifyTailFile is VerifyTailReader over the ledger at path.
+func VerifyTailFile(path string, key []byte, tailN int) (*Tail, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("auditlog: %w", err)
+	}
+	defer f.Close()
+	return VerifyTailReader(f, key, tailN)
+}
+
+// VerifyTailBytes re-verifies a ledger fragment extracted by
+// VerifyTailReader: raw JSONL lines whose first record chains from
+// prevLink. Returns the number of intact records; TamperError indices
+// are relative to the fragment. This is what `attestctl incident show
+// -verify` runs against a bundle's ledger_tail.jsonl.
+func VerifyTailBytes(raw, key, prevLink []byte) (int, error) {
+	if key == nil {
+		key = DevKey()
+	}
+	if len(raw) == 0 {
+		return 0, &TamperError{Index: 0, Reason: "empty ledger tail"}
+	}
+	lines := bytes.Split(raw, []byte{'\n'})
+	last := len(lines) - 1
+	if len(lines[last]) != 0 {
+		return 0, &TamperError{Index: last, Reason: "record not newline-terminated (truncated or corrupted tail)"}
+	}
+	lines = lines[:last]
+	prev := prevLink
+	for i, line := range lines {
+		body, macHex, ok := splitMAC(line)
+		if !ok {
+			return i, &TamperError{Index: i, Reason: "malformed record framing (no trailing mac member)"}
+		}
+		want := chainLink(key, prev, body)
+		got, err := hex.DecodeString(macHex)
+		if err != nil || !hmac.Equal(want, got) {
+			return i, &TamperError{Index: i, Reason: "mac mismatch (record, prev pointer, or mac modified)"}
+		}
+		prev = want
+	}
+	return len(lines), nil
+}
+
 // VerifyFile verifies the ledger at path; see VerifyReader.
 func VerifyFile(path string, key []byte) (int, error) {
 	f, err := os.Open(path)

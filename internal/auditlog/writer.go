@@ -42,9 +42,10 @@ type Options struct {
 // All methods are nil-safe, so components wire audit emission without
 // guards, exactly like the flow tracer.
 type Writer struct {
-	ch   chan Record
-	quit chan struct{}
-	done chan struct{}
+	ch    chan Record
+	flush chan chan struct{}
+	quit  chan struct{}
+	done  chan struct{}
 
 	key   []byte
 	keyID string
@@ -79,6 +80,7 @@ func NewWriter(w io.Writer, opt Options) *Writer {
 	}
 	lw := &Writer{
 		ch:         make(chan Record, opt.Queue),
+		flush:      make(chan chan struct{}),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 		key:        opt.Key,
@@ -205,6 +207,22 @@ func (w *Writer) run() {
 			write(r)
 		case <-ticker.C:
 			flush(true)
+		case ack := <-w.flush:
+			// Synchronous flush (Flush): drain everything already
+			// enqueued, then flush+fsync before acknowledging, so the
+			// caller reads a ledger file that contains every record
+			// emitted before the Flush call.
+			for {
+				select {
+				case r := <-w.ch:
+					write(r)
+					continue
+				default:
+				}
+				break
+			}
+			flush(true)
+			close(ack)
 		case <-w.quit:
 			// Drain whatever made it into the queue before the close.
 			for {
@@ -226,6 +244,25 @@ func (w *Writer) run() {
 			}
 			return
 		}
+	}
+}
+
+// Flush drains the emission queue and flushes (and fsyncs, for
+// file-backed writers) synchronously: on return, every record emitted
+// before the call is durably on disk. The incident bundler uses it to
+// snapshot a ledger tail that includes the records of the incident
+// itself rather than racing the 250ms ticker. Safe on a nil or closed
+// writer (no-op).
+func (w *Writer) Flush() {
+	if w == nil || w.closed.Load() {
+		return
+	}
+	ack := make(chan struct{})
+	select {
+	case w.flush <- ack:
+		<-ack
+	case <-w.done:
+		// Writer shut down between the closed check and the send.
 	}
 }
 

@@ -57,9 +57,18 @@ type alertState struct {
 	lastProbeEval uint64
 }
 
+// KindAnomaly marks events emitted by the flight-recorder anomaly
+// detectors (internal/recorder). They ride the same Sink pipeline as the
+// watchdog's fired/resolved/probe transitions so anomalies land in the
+// same stderr log, JSONL stream and sealed audit ledger as alerts — no
+// parallel alerting path. For anomaly events Alert.Rule carries the
+// detector name, Alert.Place the attributed place (when known) and
+// Alert.Reason the detector's explanation.
+const KindAnomaly = "anomaly"
+
 // Event is one sink-visible alert transition.
 type Event struct {
-	Kind     string `json:"kind"` // fired | resolved | probe
+	Kind     string `json:"kind"` // fired | resolved | probe | anomaly
 	Alert    Alert  `json:"alert"`
 	ProbeOK  bool   `json:"probe_ok,omitempty"`
 	ProbeErr string `json:"probe_err,omitempty"`

@@ -172,7 +172,7 @@ func (w *Watchdog) Endpoints() []telemetry.Endpoint {
 		return nil
 	}
 	return []telemetry.Endpoint{
-		{Path: CoveragePath, Handler: w.CoverageHandler()},
-		{Path: AlertsPath, Handler: w.AlertsHandler()},
+		{Path: CoveragePath, Desc: "freshness coverage map (per-place evidence age)", Handler: w.CoverageHandler()},
+		{Path: AlertsPath, Desc: "freshness alert ring (firing + resolved)", Handler: w.AlertsHandler()},
 	}
 }

@@ -49,6 +49,8 @@ func (s *LogSink) Emit(e Event) {
 		}
 		fmt.Fprintf(s.w, "freshness: re-attestation probe place=%s rule=%s → %s\n",
 			a.Place, a.Rule, outcome)
+	case KindAnomaly:
+		fmt.Fprintf(s.w, "recorder: ANOMALY rule=%s place=%s — %s\n", a.Rule, a.Place, a.Reason)
 	}
 }
 
@@ -119,6 +121,12 @@ func (s *AuditSink) Emit(e Event) {
 			rec.Verdict = "FAIL"
 			rec.Note = e.ProbeErr
 		}
+	case KindAnomaly:
+		// Flight-recorder anomaly detections ride the same sealed trail
+		// as the alert lifecycle — no parallel alerting path.
+		rec.Event = auditlog.EventAnomaly
+		rec.Verdict = "ANOMALY"
+		rec.Note = a.Reason
 	default:
 		return
 	}

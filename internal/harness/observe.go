@@ -9,6 +9,7 @@ import (
 	"pera/internal/nac"
 	"pera/internal/observatory"
 	"pera/internal/pera"
+	"pera/internal/recorder"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
 )
@@ -56,6 +57,10 @@ type ObserveOptions struct {
 	Registry *telemetry.Registry
 	Tracer   *telemetry.FlowTracer
 	Audit    *auditlog.Writer
+	// Recorder, when set, is scraped once per packet instead of on a
+	// wall-clock tick, so flight-recorder history, anomaly detection and
+	// incident capture are deterministic in simulation.
+	Recorder *recorder.Recorder
 }
 
 func (o ObserveOptions) withDefaults() ObserveOptions {
@@ -227,8 +232,10 @@ func RunObserve(o ObserveOptions) (*ObserveResult, error) {
 		if (i+1)%o.StatsEvery == 0 {
 			push()
 		}
+		o.Recorder.Scrape()
 	}
 	push()
+	o.Recorder.Scrape()
 	res.Localization = col.Localized()
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"pera/internal/nac"
 	"pera/internal/observatory"
 	"pera/internal/pera"
+	"pera/internal/recorder"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
 )
@@ -85,6 +86,11 @@ type ThroughputOptions struct {
 	// appraisal verdicts (teeing them to Collector when both are set) —
 	// the trust-decay overhead BenchmarkThroughput_SLO measures.
 	Watchdog *freshness.Watchdog
+	// Recorder, when non-nil, is scraped every RecorderEvery packets
+	// during the timed appraisal phase — the flight-recorder overhead
+	// BenchmarkThroughput_Recorder measures.
+	Recorder      *recorder.Recorder
+	RecorderEvery int // default 256
 }
 
 // ThroughputCorpus sends one attested packet per flow through the UC1
@@ -235,7 +241,27 @@ func RunThroughputOpts(o ThroughputOptions) (*ThroughputResult, error) {
 		pool.SetAudit(o.Audit)
 	}
 	start := time.Now()
-	results := pool.AppraiseAll(jobs)
+	var results []appraiser.Result
+	if o.Recorder != nil {
+		// Appraise in chunks with a scrape between each, so the timed
+		// phase pays the real steady-state recorder cost at a
+		// deterministic cadence (default: one scrape per 256 packets).
+		every := o.RecorderEvery
+		if every <= 0 {
+			every = 256
+		}
+		results = make([]appraiser.Result, 0, len(jobs))
+		for lo := 0; lo < len(jobs); lo += every {
+			hi := lo + every
+			if hi > len(jobs) {
+				hi = len(jobs)
+			}
+			results = append(results, pool.AppraiseAll(jobs[lo:hi])...)
+			o.Recorder.Scrape()
+		}
+	} else {
+		results = pool.AppraiseAll(jobs)
+	}
 	elapsed := time.Since(start)
 	pool.Close()
 

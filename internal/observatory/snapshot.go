@@ -148,7 +148,7 @@ func (c *Collector) Handler() http.Handler {
 // Endpoint mounts the collector's JSON on a telemetry server —
 // `telemetry.Serve(addr, reg, tracer, collector.Endpoint())`.
 func (c *Collector) Endpoint() telemetry.Endpoint {
-	return telemetry.Endpoint{Path: SnapshotPath, Handler: c.Handler()}
+	return telemetry.Endpoint{Path: SnapshotPath, Desc: "observatory snapshot (place health, path traces, localization)", Handler: c.Handler()}
 }
 
 // SnapshotPath is where a collector's JSON lives on a telemetry server.

@@ -1,0 +1,213 @@
+package recorder
+
+import (
+	"testing"
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+// feedGauge drives a gauge series through the store+engine one scrape at
+// a time and returns every anomaly tripped.
+func feedGauge(t *testing.T, vals []float64, cfg DetectorConfig) []Anomaly {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("pera_pool_queue_depth")
+	s := NewStore(StoreConfig{})
+	e := NewEngine(s, cfg)
+	var out []Anomaly
+	for i, v := range vals {
+		g.Set(v)
+		now := sec(i)
+		s.Observe(now, reg.Snapshot())
+		out = append(out, e.Evaluate(now)...)
+	}
+	return out
+}
+
+func TestRobustZTripsOnStep(t *testing.T) {
+	// 30 flat samples with small jitter, then a 100× step.
+	vals := make([]float64, 31)
+	for i := range vals {
+		vals[i] = 10 + float64(i%3)*0.01
+	}
+	vals[30] = 1000
+	got := feedGauge(t, vals, DetectorConfig{})
+	if len(got) != 1 {
+		t.Fatalf("anomalies = %d, want exactly 1 (the step)", len(got))
+	}
+	a := got[0]
+	if a.Rule != RuleRobustZ {
+		t.Fatalf("rule = %q, want %q", a.Rule, RuleRobustZ)
+	}
+	if a.SeriesID != "pera_pool_queue_depth" {
+		t.Fatalf("series = %q", a.SeriesID)
+	}
+	if a.Value != 1000 || a.Z < 6 {
+		t.Fatalf("value=%g z=%g, want value 1000 and z >= 6", a.Value, a.Z)
+	}
+	if a.TSNS != sec(30) {
+		t.Fatalf("trip at %d, want the step's scrape %d", a.TSNS, sec(30))
+	}
+}
+
+func TestRobustZQuietOnSteadySeries(t *testing.T) {
+	// Jittering around a level must never page.
+	vals := make([]float64, 120)
+	for i := range vals {
+		vals[i] = 50 + float64(i%5)
+	}
+	if got := feedGauge(t, vals, DetectorConfig{}); len(got) != 0 {
+		t.Fatalf("steady series tripped %d anomalies: %+v", len(got), got)
+	}
+}
+
+func TestRobustZAllZeroBaselineStillTrips(t *testing.T) {
+	// MAD of an all-constant baseline is 0; MinSigma must keep a genuine
+	// jump detectable instead of dividing by zero or staying silent.
+	vals := make([]float64, 21)
+	vals[20] = 5
+	got := feedGauge(t, vals, DetectorConfig{})
+	if len(got) != 1 {
+		t.Fatalf("anomalies = %d, want 1 (jump off a flat-zero baseline)", len(got))
+	}
+}
+
+func TestDetectorWarmupSuppresses(t *testing.T) {
+	// A spike inside the warmup window is never judged.
+	vals := []float64{0, 0, 0, 0, 1000}
+	if got := feedGauge(t, vals, DetectorConfig{Warmup: 12}); len(got) != 0 {
+		t.Fatalf("warmup violated: %+v", got)
+	}
+}
+
+func TestDetectorCooldownMutes(t *testing.T) {
+	// Two steps 5s apart with a 30s cooldown: only the first pages.
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 10
+	}
+	vals[30] = 500
+	vals[35] = 800
+	got := feedGauge(t, vals, DetectorConfig{})
+	if len(got) != 1 {
+		t.Fatalf("anomalies = %d, want 1 (second trip inside cooldown)", len(got))
+	}
+	// With a 1s cooldown both page.
+	got = feedGauge(t, vals, DetectorConfig{Cooldown: time.Second})
+	if len(got) != 2 {
+		t.Fatalf("anomalies = %d, want 2 with short cooldown", len(got))
+	}
+}
+
+func TestRateSpikeOnCounter(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("pera_verify_fails_total")
+	s := NewStore(StoreConfig{})
+	e := NewEngine(s, DetectorConfig{})
+	var got []Anomaly
+	for i := 0; i < 40; i++ {
+		if i == 30 {
+			c.Add(100) // the UC1 signature: verify failures appear in a burst
+		}
+		now := sec(i)
+		s.Observe(now, reg.Snapshot())
+		got = append(got, e.Evaluate(now)...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("anomalies = %d, want 1", len(got))
+	}
+	a := got[0]
+	if a.Rule != RuleRateSpike {
+		t.Fatalf("rule = %q, want %q", a.Rule, RuleRateSpike)
+	}
+	if a.Value < 99 || a.Value > 101 {
+		t.Fatalf("rate = %g/s, want ~100/s", a.Value)
+	}
+}
+
+func TestRateSpikeIgnoresDecreaseAndReset(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("pera_verify_fails_total")
+	s := NewStore(StoreConfig{})
+	e := NewEngine(s, DetectorConfig{})
+	var got []Anomaly
+	tick := 0
+	scrape := func() {
+		now := sec(tick)
+		tick++
+		s.Observe(now, reg.Snapshot())
+		got = append(got, e.Evaluate(now)...)
+	}
+	// Steady 1/s rate to warm up.
+	for i := 0; i < 30; i++ {
+		c.Inc()
+		scrape()
+	}
+	// A rate drop (counter stalls) must not page — failures stopping is
+	// not an incident.
+	for i := 0; i < 5; i++ {
+		scrape()
+	}
+	if len(got) != 0 {
+		t.Fatalf("rate drop paged: %+v", got)
+	}
+	// Counter reset (component re-created): the engine restarts the
+	// baseline instead of seeing a negative rate or a huge recovery jump.
+	reg2 := telemetry.NewRegistry()
+	c2 := reg2.Counter("pera_verify_fails_total")
+	for i := 0; i < 5; i++ {
+		c2.Inc()
+		s.Observe(sec(tick), reg2.Snapshot())
+		got = append(got, e.Evaluate(sec(tick))...)
+		tick++
+	}
+	if len(got) != 0 {
+		t.Fatalf("counter reset paged: %+v", got)
+	}
+	_ = c
+}
+
+func TestEngineWatchesOnlyConfiguredSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	watched := reg.Gauge("pera_pool_queue_depth")
+	ignored := reg.Gauge("unwatched_gauge")
+	s := NewStore(StoreConfig{})
+	e := NewEngine(s, DetectorConfig{}) // DefaultWatch
+	var got []Anomaly
+	for i := 0; i < 40; i++ {
+		watched.Set(1)
+		ignored.Set(1)
+		if i == 30 {
+			ignored.Set(99999) // huge step on an unwatched series
+		}
+		now := sec(i)
+		s.Observe(now, reg.Snapshot())
+		got = append(got, e.Evaluate(now)...)
+	}
+	if len(got) != 0 {
+		t.Fatalf("unwatched series paged: %+v", got)
+	}
+	evals, anomalies := e.Stats()
+	if evals == 0 || anomalies != 0 {
+		t.Fatalf("stats = %d evals / %d anomalies", evals, anomalies)
+	}
+}
+
+func TestEngineDisable(t *testing.T) {
+	vals := make([]float64, 31)
+	vals[30] = 1e9
+	if got := feedGauge(t, vals, DetectorConfig{Disable: true}); len(got) != 0 {
+		t.Fatalf("disabled engine paged: %+v", got)
+	}
+}
+
+func TestMedianMAD(t *testing.T) {
+	med, mad := medianMAD([]float64{1, 2, 3, 4, 100})
+	if med != 3 {
+		t.Fatalf("median = %g, want 3", med)
+	}
+	if mad != 1 {
+		t.Fatalf("MAD = %g, want 1 (robust to the 100 outlier)", mad)
+	}
+}

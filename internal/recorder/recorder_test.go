@@ -1,0 +1,370 @@
+package recorder
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pera/internal/auditlog"
+	"pera/internal/freshness"
+	"pera/internal/telemetry"
+)
+
+// fakeClock is a manually-advanced Config.Clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// captureSink records every freshness event it sees.
+type captureSink struct {
+	mu     sync.Mutex
+	events []freshness.Event
+}
+
+func (s *captureSink) Emit(e freshness.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func (s *captureSink) byKind(kind string) []freshness.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []freshness.Event
+	for _, e := range s.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestRecorderScrapeAndHistoryEndpoint(t *testing.T) {
+	clock := newFakeClock()
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("pera_pool_queue_depth")
+	r := New(Config{Clock: clock.Now})
+	r.SetRegistry(reg)
+	r.Instrument(reg)
+
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		r.Scrape()
+		clock.Advance(time.Second)
+	}
+
+	// /history.json with no metric: the index.
+	rw := httptest.NewRecorder()
+	r.handleHistory(rw, httptest.NewRequest("GET", HistoryPath, nil))
+	var idx struct {
+		Series []SeriesInfo `json:"series"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &idx); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range idx.Series {
+		if s.ID == "pera_pool_queue_depth" {
+			found = true
+			if s.Points != 5 || s.Last != 4 {
+				t.Fatalf("index row: %+v", s)
+			}
+		}
+		if s.ID == "pera_recorder_scrapes_total" && s.Last == 0 {
+			t.Fatal("recorder self-metrics not scraped")
+		}
+	}
+	if !found {
+		t.Fatalf("no pera_pool_queue_depth in index (%d series)", len(idx.Series))
+	}
+
+	// ?metric= selects one series; &since trims; &step=10s selects coarse.
+	rw = httptest.NewRecorder()
+	r.handleHistory(rw, httptest.NewRequest("GET", HistoryPath+"?metric=pera_pool_queue_depth&since=2s", nil))
+	var out struct {
+		Series []Series `json:"series"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 1 || len(out.Series[0].Points) != 2 {
+		t.Fatalf("since=2s: %d series / %d points, want 1/2", len(out.Series), len(out.Series[0].Points))
+	}
+	rw = httptest.NewRecorder()
+	r.handleHistory(rw, httptest.NewRequest("GET", HistoryPath+"?metric=pera_pool_queue_depth&step=10s", nil))
+	out.Series = nil
+	if err := json.Unmarshal(rw.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 1 || len(out.Series[0].Points) != 1 {
+		t.Fatalf("coarse query: want the single 10s bucket, got %+v", out.Series)
+	}
+	rw = httptest.NewRecorder()
+	r.handleHistory(rw, httptest.NewRequest("GET", HistoryPath+"?metric=x&since=bogus", nil))
+	if rw.Code != 400 {
+		t.Fatalf("bad since: status %d, want 400", rw.Code)
+	}
+}
+
+// stepSpike drives the recorder's watched gauge flat for warmup scrapes,
+// then steps it, returning the recorder, clock and sink.
+func spikeRecorder(t *testing.T, dir string) (*Recorder, *captureSink) {
+	t.Helper()
+	clock := newFakeClock()
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("pera_pool_queue_depth")
+	r := New(Config{
+		Clock:   clock.Now,
+		Service: "test",
+		Bundle:  BundlerConfig{Dir: dir},
+	})
+	r.SetRegistry(reg)
+	sink := &captureSink{}
+	r.AddSink(sink)
+	for i := 0; i < 30; i++ {
+		g.Set(5)
+		r.Scrape()
+		clock.Advance(time.Second)
+	}
+	g.Set(5000)
+	r.Scrape()
+	return r, sink
+}
+
+func TestRecorderAnomalyDispatchAndBundle(t *testing.T) {
+	dir := t.TempDir()
+	r, sink := spikeRecorder(t, dir)
+
+	if got := r.Anomalies(); got != 1 {
+		t.Fatalf("anomalies = %d, want 1", got)
+	}
+	evs := sink.byKind(freshness.KindAnomaly)
+	if len(evs) != 1 {
+		t.Fatalf("sink saw %d anomaly events, want 1", len(evs))
+	}
+	if evs[0].Alert.Rule != "anomaly:"+RuleRobustZ {
+		t.Fatalf("event rule = %q", evs[0].Alert.Rule)
+	}
+	if r.Bundles() != 1 {
+		t.Fatalf("bundles = %d, want 1", r.Bundles())
+	}
+	b, err := OpenBundle(r.LastBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manifest.Trigger.Kind != "anomaly" || b.Manifest.Trigger.Rule != RuleRobustZ {
+		t.Fatalf("trigger: %+v", b.Manifest.Trigger)
+	}
+	var a Anomaly
+	if err := json.Unmarshal(b.Files["anomaly.json"], &a); err != nil {
+		t.Fatalf("anomaly.json: %v", err)
+	}
+	if a.SeriesID != "pera_pool_queue_depth" || a.Value != 5000 {
+		t.Fatalf("bundled anomaly: %+v", a)
+	}
+	// The bundled history contains both resolutions of the tripped series.
+	var hist struct {
+		Series []Series `json:"series"`
+	}
+	if err := json.Unmarshal(b.Files["history.json"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	fine, coarse := false, false
+	for _, s := range hist.Series {
+		switch s.ID {
+		case "pera_pool_queue_depth":
+			fine = true
+		case "pera_pool_queue_depth/coarse":
+			coarse = true
+		}
+	}
+	if !fine || !coarse {
+		t.Fatalf("bundled history missing resolutions (fine=%v coarse=%v)", fine, coarse)
+	}
+}
+
+func TestRecorderDebounceAndLocalizationBypass(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	r := New(Config{
+		Clock:  clock.Now,
+		Bundle: BundlerConfig{Dir: dir, Debounce: 30 * time.Second},
+	})
+
+	now := func() int64 { return clock.Now().UnixNano() }
+	r.maybeBundle(Trigger{Kind: "anomaly", Rule: RuleRateSpike, TSNS: now()}, nil)
+	if r.Bundles() != 1 {
+		t.Fatalf("first trigger: %d bundles", r.Bundles())
+	}
+	// A second generic trigger inside the window is debounced...
+	clock.Advance(2 * time.Second)
+	r.maybeBundle(Trigger{Kind: "anomaly", Rule: RuleRateSpike, TSNS: now()}, nil)
+	if r.Bundles() != 1 {
+		t.Fatalf("debounce failed: %d bundles", r.Bundles())
+	}
+	if r.debounced.Load() != 1 {
+		t.Fatalf("debounced counter = %d", r.debounced.Load())
+	}
+	// ...but the localization trigger — the capture that names the
+	// compromised switch — bypasses it.
+	clock.Advance(time.Second)
+	r.maybeBundle(Trigger{Kind: "anomaly", Rule: RuleLocalization, Place: "sw2", TSNS: now()}, nil)
+	if r.Bundles() != 2 {
+		t.Fatalf("localization was debounced: %d bundles", r.Bundles())
+	}
+	// After the debounce window, generic triggers capture again.
+	clock.Advance(31 * time.Second)
+	r.maybeBundle(Trigger{Kind: "alert", Rule: "stale-evidence", TSNS: now()}, nil)
+	if r.Bundles() != 3 {
+		t.Fatalf("post-window trigger: %d bundles", r.Bundles())
+	}
+}
+
+func TestRecorderAlertSinkTriggersBundle(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	r := New(Config{Clock: clock.Now, Bundle: BundlerConfig{Dir: dir}})
+	s := r.Sink()
+	// Non-fired events are ignored.
+	s.Emit(freshness.Event{Kind: "resolved", Alert: freshness.Alert{Rule: "stale-evidence"}})
+	s.Emit(freshness.Event{Kind: freshness.KindAnomaly, Alert: freshness.Alert{Rule: "anomaly:robust-z"}})
+	if r.Bundles() != 0 {
+		t.Fatalf("non-fired events bundled: %d", r.Bundles())
+	}
+	s.Emit(freshness.Event{Kind: "fired", Alert: freshness.Alert{
+		Rule: "stale-evidence", Place: "sw3", Reason: "evidence too old",
+	}})
+	if r.Bundles() != 1 {
+		t.Fatalf("fired alert produced %d bundles", r.Bundles())
+	}
+	b, err := OpenBundle(r.LastBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manifest.Trigger.Kind != "alert" || b.Manifest.Trigger.Place != "sw3" {
+		t.Fatalf("trigger: %+v", b.Manifest.Trigger)
+	}
+}
+
+func TestRecorderAnomalySealedOnLedger(t *testing.T) {
+	// The anomaly event and the incident-bundle record both land on the
+	// hash-chained ledger through the shared freshness sink pipeline.
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "trail.jsonl")
+	w, err := auditlog.Create(ledger, auditlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := newFakeClock()
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("pera_pool_queue_depth")
+	r := New(Config{Clock: clock.Now, Bundle: BundlerConfig{Dir: dir}})
+	r.SetRegistry(reg)
+	r.SetLedger(w, ledger)
+	r.AddSink(freshness.NewAuditSink(w))
+	for i := 0; i < 30; i++ {
+		g.Set(5)
+		r.Scrape()
+		clock.Advance(time.Second)
+	}
+	g.Set(5000)
+	r.Scrape()
+	w.Close()
+
+	if _, err := auditlog.VerifyFile(ledger, nil); err != nil {
+		t.Fatalf("ledger verify: %v", err)
+	}
+	recs, err := auditlog.ReadLedger(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAnomaly, sawIncident bool
+	for _, rec := range recs {
+		switch rec.Event {
+		case auditlog.EventAnomaly:
+			sawAnomaly = true
+		case auditlog.EventIncident:
+			sawIncident = true
+		}
+	}
+	if !sawAnomaly || !sawIncident {
+		t.Fatalf("ledger events: anomaly=%v incident=%v, want both", sawAnomaly, sawIncident)
+	}
+	// The bundle's own tail verifies and includes the anomaly record.
+	b, err := OpenBundle(r.LastBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Verify(nil); err != nil {
+		t.Fatalf("bundle verify: %v", err)
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.SetRegistry(nil)
+	r.SetTracer(nil)
+	r.SetCollector(nil)
+	r.SetWatchdog(nil)
+	r.SetLedger(nil, "")
+	r.SetConfigInfo(nil)
+	r.AddSink(nil)
+	r.Scrape()
+	r.Start()
+	r.Close()
+	if r.Store() != nil || r.Sink() != nil || r.LastBundle() != "" {
+		t.Fatal("nil recorder leaked state")
+	}
+	if r.Anomalies() != 0 || r.Bundles() != 0 {
+		t.Fatal("nil recorder counted")
+	}
+	if _, err := r.TriggerBundle("x"); err == nil {
+		t.Fatal("nil recorder bundled")
+	}
+	// A live recorder with no bundle dir records history but never bundles.
+	live := New(Config{})
+	live.SetRegistry(telemetry.NewRegistry())
+	live.Scrape()
+	if _, err := live.TriggerBundle("x"); err == nil {
+		t.Fatal("bundling disabled but TriggerBundle succeeded")
+	}
+}
+
+func TestRecorderStartClose(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("g").Set(1)
+	r := New(Config{Interval: time.Millisecond})
+	r.SetRegistry(reg)
+	r.Start()
+	r.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s, _, _, _, _ := r.Store().Stats(); s > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never scraped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Close()
+	r.Close() // idempotent
+}

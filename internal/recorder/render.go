@@ -1,0 +1,156 @@
+package recorder
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// sparkBlocks are the eight block glyphs a sparkline quantizes into.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width unicode sparkline. When
+// there are more values than width, values are bucketed (max per
+// bucket) so spikes stay visible.
+func Sparkline(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		bucketed := make([]float64, 0, width)
+		for i := 0; i < width; i++ {
+			lo := i * len(vals) / width
+			hi := (i + 1) * len(vals) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			m := vals[lo]
+			for _, v := range vals[lo:hi] {
+				if v > m {
+					m = v
+				}
+			}
+			bucketed = append(bucketed, m)
+		}
+		vals = bucketed
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	span := max - min
+	for _, v := range vals {
+		idx := 0
+		if span > 0 {
+			idx = int((v - min) / span * float64(len(sparkBlocks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkBlocks) {
+			idx = len(sparkBlocks) - 1
+		}
+		b.WriteRune(sparkBlocks[idx])
+	}
+	return b.String()
+}
+
+// FormatSeries renders one queried series as a sparkline header plus
+// min/max/last stats — the default `attestctl history` view.
+func FormatSeries(w io.Writer, s Series, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	vals := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vals[i] = p.V
+	}
+	min, max, last := math.Inf(1), math.Inf(-1), 0.0
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if n := len(vals); n > 0 {
+		last = vals[n-1]
+	} else {
+		min, max = 0, 0
+	}
+	var window string
+	if n := len(s.Points); n > 1 {
+		window = time.Duration(s.Points[n-1].TS - s.Points[0].TS).Round(time.Second).String()
+	}
+	fmt.Fprintf(w, "%s (%s, %d points", s.ID, s.Kind, len(s.Points))
+	if window != "" {
+		fmt.Fprintf(w, ", %s", window)
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "  %s\n", Sparkline(vals, width))
+	fmt.Fprintf(w, "  min=%.6g max=%.6g last=%.6g\n", min, max, last)
+}
+
+// FormatSeriesTable renders the raw points, one row per sample — the
+// `attestctl history -table` view.
+func FormatSeriesTable(w io.Writer, s Series) {
+	fmt.Fprintf(w, "%s (%s)\n", s.ID, s.Kind)
+	if len(s.Points) == 0 {
+		fmt.Fprintln(w, "  no points")
+		return
+	}
+	t0 := s.Points[0].TS
+	for _, p := range s.Points {
+		fmt.Fprintf(w, "  %12s  %g\n", "+"+time.Duration(p.TS-t0).Round(time.Millisecond).String(), p.V)
+	}
+}
+
+// FormatBundleList renders `attestctl incident list` rows.
+func FormatBundleList(w io.Writer, infos []BundleInfo) {
+	if len(infos) == 0 {
+		fmt.Fprintln(w, "no incident bundles")
+		return
+	}
+	fmt.Fprintf(w, "%-14s %-22s %10s  %s\n", "ID", "CREATED", "SIZE", "PATH")
+	for _, bi := range infos {
+		fmt.Fprintf(w, "%-14s %-22s %10d  %s\n",
+			bi.ID, time.Unix(0, bi.CreatedNS).UTC().Format("2006-01-02T15:04:05Z"), bi.Size, bi.Path)
+	}
+}
+
+// FormatBundle renders `attestctl incident show`: the manifest summary
+// plus the file listing.
+func FormatBundle(w io.Writer, b *Bundle) {
+	m := b.Manifest
+	fmt.Fprintf(w, "bundle   %s\n", b.Path)
+	fmt.Fprintf(w, "service  %s (schema %d)\n", m.Service, m.Schema)
+	fmt.Fprintf(w, "created  %s\n", time.Unix(0, m.CreatedNS).UTC().Format(time.RFC3339Nano))
+	fmt.Fprintf(w, "trigger  %s", m.Trigger.Kind)
+	if m.Trigger.Rule != "" {
+		fmt.Fprintf(w, " rule=%s", m.Trigger.Rule)
+	}
+	if m.Trigger.Place != "" {
+		fmt.Fprintf(w, " place=%s", m.Trigger.Place)
+	}
+	fmt.Fprintln(w)
+	if m.Trigger.Reason != "" {
+		fmt.Fprintf(w, "reason   %s\n", m.Trigger.Reason)
+	}
+	if m.Ledger != nil {
+		fmt.Fprintf(w, "ledger   records %d..%d of %d (key %s)\n",
+			m.Ledger.Start, m.Ledger.Start+m.Ledger.Records-1, m.Ledger.Total, m.Ledger.KeyID)
+	}
+	fmt.Fprintln(w, "files:")
+	for _, f := range m.Files {
+		fmt.Fprintf(w, "  %-20s %8d  sha256:%s\n", f.Name, f.Size, f.SHA256[:12])
+	}
+}

@@ -1,0 +1,91 @@
+package recorder
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Fatalf("empty input: %q", got)
+	}
+	// A ramp uses the full block range, lowest first, highest last.
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(got) != 8 {
+		t.Fatalf("width = %d runes, want 8", utf8.RuneCountInString(got))
+	}
+	if !strings.HasPrefix(got, "▁") || !strings.HasSuffix(got, "█") {
+		t.Fatalf("ramp = %q", got)
+	}
+	// A flat series renders at the floor.
+	if got := Sparkline([]float64{5, 5, 5}, 3); got != "▁▁▁" {
+		t.Fatalf("flat = %q", got)
+	}
+	// More values than width: max-bucketing keeps a single spike visible.
+	vals := make([]float64, 100)
+	vals[50] = 9
+	got = Sparkline(vals, 10)
+	if utf8.RuneCountInString(got) != 10 || !strings.Contains(got, "█") {
+		t.Fatalf("bucketed spike = %q", got)
+	}
+}
+
+func TestFormatSeriesAndTable(t *testing.T) {
+	s := Series{
+		ID: `q{place="sw1"}`, Kind: "gauge",
+		Points: []Point{{TS: sec(0), V: 1}, {TS: sec(5), V: 3}, {TS: sec(10), V: 2}},
+	}
+	var b strings.Builder
+	FormatSeries(&b, s, 20)
+	out := b.String()
+	for _, want := range []string{`q{place="sw1"} (gauge, 3 points, 10s)`, "min=1", "max=3", "last=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatSeries missing %q in:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	FormatSeriesTable(&b, s)
+	if !strings.Contains(b.String(), "+10s") || !strings.Contains(b.String(), "  2\n") {
+		t.Fatalf("FormatSeriesTable:\n%s", b.String())
+	}
+	b.Reset()
+	FormatSeriesTable(&b, Series{ID: "empty", Kind: "gauge"})
+	if !strings.Contains(b.String(), "no points") {
+		t.Fatalf("empty table:\n%s", b.String())
+	}
+}
+
+func TestFormatBundleViews(t *testing.T) {
+	var b strings.Builder
+	FormatBundleList(&b, nil)
+	if !strings.Contains(b.String(), "no incident bundles") {
+		t.Fatalf("empty list:\n%s", b.String())
+	}
+	b.Reset()
+	FormatBundleList(&b, []BundleInfo{{Path: "d/incident-1-abc.tar.gz", ID: "abc", Size: 42, CreatedNS: sec(1)}})
+	if !strings.Contains(b.String(), "abc") || !strings.Contains(b.String(), "incident-1-abc.tar.gz") {
+		t.Fatalf("list:\n%s", b.String())
+	}
+
+	// A real round-tripped bundle renders trigger, ledger span and files.
+	dir := t.TempDir()
+	path, err := writeBundle(BundlerConfig{Dir: dir}.withDefaults(), "svc",
+		Trigger{Kind: "anomaly", Rule: RuleLocalization, Place: "sw2", Reason: "swap", TSNS: sec(7)},
+		testCapture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bun, err := OpenBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	FormatBundle(&b, bun)
+	out := b.String()
+	for _, want := range []string{"trigger  anomaly rule=localization place=sw2", "reason   swap", "history.json", "sha256:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatBundle missing %q in:\n%s", want, out)
+		}
+	}
+}

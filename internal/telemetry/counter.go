@@ -79,9 +79,11 @@ func (c *Counter) Reset() {
 	}
 }
 
-// Sample implements Instrument.
+// Sample implements Instrument. The labels slice is shared, not copied:
+// label sets are immutable after construction and Sample runs once per
+// instrument per scrape.
 func (c *Counter) Sample() MetricSnapshot {
-	return MetricSnapshot{Name: c.name, Labels: c.Labels(), Kind: KindCounter, Type: KindCounter.String(), Value: float64(c.Value())}
+	return MetricSnapshot{Name: c.name, Labels: c.labels, Kind: KindCounter, Type: KindCounter.String(), Value: float64(c.Value()), ls: c.ls}
 }
 
 // Gauge is a settable instantaneous value. Unlike counters, gauges are a
@@ -127,7 +129,7 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Sample implements Instrument.
+// Sample implements Instrument. Labels are shared as in Counter.Sample.
 func (g *Gauge) Sample() MetricSnapshot {
-	return MetricSnapshot{Name: g.name, Labels: g.Labels(), Kind: KindGauge, Type: KindGauge.String(), Value: g.Value()}
+	return MetricSnapshot{Name: g.name, Labels: g.labels, Kind: KindGauge, Type: KindGauge.String(), Value: g.Value(), ls: g.ls}
 }

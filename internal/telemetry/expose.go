@@ -29,7 +29,7 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			}
 			continue
 		}
-		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), formatValue(m.Value)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, m.LabelString(), formatValue(m.Value)); err != nil {
 			return err
 		}
 	}
@@ -62,10 +62,10 @@ func writePromHistogram(w io.Writer, m MetricSnapshot) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelString(m.Labels), formatValue(m.Hist.Sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, m.LabelString(), formatValue(m.Hist.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels), m.Hist.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, m.LabelString(), m.Hist.Count)
 	return err
 }
 
@@ -104,8 +104,11 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // Endpoint mounts one extra handler on the telemetry mux — how optional
 // surfaces (an observatory collector's JSON, pprof) ride the same
 // listener as /metrics without the telemetry package importing them.
+// Desc, when set, annotates the endpoint on the index page at / so
+// operators stop guessing paths.
 type Endpoint struct {
 	Path    string
+	Desc    string
 	Handler http.Handler
 }
 
@@ -164,16 +167,39 @@ func Handler(reg *Registry, tracer *FlowTracer, extras ...Endpoint) http.Handler
 			Spans    []Span `json:"spans"`
 		}{Recorded: tracer.Recorded(), Spans: spans})
 	})
-	index := "pera telemetry\n/metrics\n/metrics.json\n/trace\n"
+	// Index page: every registered endpoint with a one-line description,
+	// aligned for terminal reading (`curl host:port/`).
+	rows := []Endpoint{
+		{Path: "/metrics", Desc: "Prometheus text exposition (0.0.4)"},
+		{Path: "/metrics.json", Desc: "JSON metric snapshot"},
+	}
+	if tracer != nil {
+		rows = append(rows, Endpoint{Path: "/trace", Desc: "span ring dump (params: flow, trace, limit, format=otlp)"})
+	}
 	for _, e := range extras {
 		mux.Handle(e.Path, e.Handler)
-		index += e.Path + "\n"
+		rows = append(rows, e)
+	}
+	width := 0
+	for _, e := range rows {
+		if len(e.Path) > width {
+			width = len(e.Path)
+		}
+	}
+	index := "pera telemetry endpoints\n"
+	for _, e := range rows {
+		if e.Desc == "" {
+			index += e.Path + "\n"
+			continue
+		}
+		index += fmt.Sprintf("%-*s  %s\n", width, e.Path, e.Desc)
 	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, index)
 	})
 	return mux

@@ -264,7 +264,7 @@ func (hs *HistSnapshot) Quantile(q float64) float64 {
 	return lower
 }
 
-// Sample implements Instrument.
+// Sample implements Instrument. Labels are shared as in Counter.Sample.
 func (h *Histogram) Sample() MetricSnapshot {
-	return MetricSnapshot{Name: h.name, Labels: h.Labels(), Kind: KindHistogram, Type: KindHistogram.String(), Hist: h.snapshot()}
+	return MetricSnapshot{Name: h.name, Labels: h.labels, Kind: KindHistogram, Type: KindHistogram.String(), Hist: h.snapshot(), ls: h.ls}
 }

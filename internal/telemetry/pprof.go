@@ -12,10 +12,10 @@ import (
 // cost CPU while active, so they are never mounted by default.
 func PprofEndpoints() []Endpoint {
 	return []Endpoint{
-		{Path: "/debug/pprof/", Handler: http.HandlerFunc(pprof.Index)},
+		{Path: "/debug/pprof/", Desc: "live pprof profile index", Handler: http.HandlerFunc(pprof.Index)},
 		{Path: "/debug/pprof/cmdline", Handler: http.HandlerFunc(pprof.Cmdline)},
-		{Path: "/debug/pprof/profile", Handler: http.HandlerFunc(pprof.Profile)},
+		{Path: "/debug/pprof/profile", Desc: "CPU profile (param: seconds)", Handler: http.HandlerFunc(pprof.Profile)},
 		{Path: "/debug/pprof/symbol", Handler: http.HandlerFunc(pprof.Symbol)},
-		{Path: "/debug/pprof/trace", Handler: http.HandlerFunc(pprof.Trace)},
+		{Path: "/debug/pprof/trace", Desc: "execution trace (param: seconds)", Handler: http.HandlerFunc(pprof.Trace)},
 	}
 }

@@ -121,17 +121,31 @@ type Instrument interface {
 	Sample() MetricSnapshot
 }
 
-// desc is the shared identity of every instrument.
+// desc is the shared identity of every instrument. The canonical label
+// rendering is cached at registration — not construction, so unexposed
+// instruments stay allocation-free — and from then on snapshots, sorting
+// and exposition never re-render (or re-sort) label sets on the scrape
+// path.
 type desc struct {
 	name   string
 	labels []Label
 	kind   Kind
+	ls     string // labelString(labels), cached by ensureID
 }
 
 func (d *desc) Name() string    { return d.name }
 func (d *desc) Labels() []Label { return append([]Label(nil), d.labels...) }
 func (d *desc) Kind() Kind      { return d.kind }
-func (d *desc) id() string      { return metricID(d.name, d.labels) }
+
+// ensureID caches the canonical label rendering and returns the registry
+// key. Called under the registry lock; instruments are registered before
+// they are scraped, so Sample never races the fill.
+func (d *desc) ensureID() string {
+	if d.ls == "" && len(d.labels) > 0 {
+		d.ls = labelString(d.labels)
+	}
+	return d.name + d.ls
+}
 
 // MetricSnapshot is one sampled metric.
 type MetricSnapshot struct {
@@ -141,6 +155,19 @@ type MetricSnapshot struct {
 	Type   string        `json:"type"`
 	Value  float64       `json:"value"`
 	Hist   *HistSnapshot `json:"histogram,omitempty"`
+
+	ls string // canonical label rendering, filled by Sample when cached
+}
+
+// LabelString returns the canonical sorted `{k="v",...}` rendering of
+// the metric's labels ("" when unlabeled) — the same text /metrics
+// exposes. Snapshots taken from a registry carry it precomputed;
+// hand-built MetricSnapshot values fall back to rendering on demand.
+func (m MetricSnapshot) LabelString() string {
+	if m.ls == "" && len(m.Labels) > 0 {
+		return labelString(m.Labels)
+	}
+	return m.ls
 }
 
 // Snapshot is a point-in-time view of a registry, sorted by metric
@@ -174,6 +201,9 @@ type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]Instrument
 	order   []string // registration order is irrelevant; ids re-sorted on snapshot
+	// sorted caches the instruments in snapshot order; any (re-)Register
+	// clears it, so steady-state scrapes never re-sort the collection.
+	sorted []Instrument
 }
 
 // NewRegistry returns an empty registry.
@@ -190,13 +220,19 @@ func (r *Registry) Register(m Instrument) {
 	if r == nil || m == nil {
 		return
 	}
-	id := metricID(m.Name(), m.Labels())
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var id string
+	if d, ok := m.(interface{ ensureID() string }); ok {
+		id = d.ensureID() // every in-package instrument: caches the rendering
+	} else {
+		id = metricID(m.Name(), m.Labels())
+	}
 	if _, ok := r.metrics[id]; !ok {
 		r.order = append(r.order, id)
 	}
 	r.metrics[id] = m
+	r.sorted = nil
 }
 
 // Counter returns the registered counter with this identity, creating
@@ -211,10 +247,12 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 		}
 	}
 	c := NewCounter(name, labels...)
+	c.ensureID()
 	if _, ok := r.metrics[id]; !ok {
 		r.order = append(r.order, id)
 	}
 	r.metrics[id] = c
+	r.sorted = nil
 	return c
 }
 
@@ -230,10 +268,12 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 		}
 	}
 	g := NewGauge(name, labels...)
+	g.ensureID()
 	if _, ok := r.metrics[id]; !ok {
 		r.order = append(r.order, id)
 	}
 	r.metrics[id] = g
+	r.sorted = nil
 	return g
 }
 
@@ -250,10 +290,12 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 		}
 	}
 	h := NewHistogram(name, bounds, labels...)
+	h.ensureID()
 	if _, ok := r.metrics[id]; !ok {
 		r.order = append(r.order, id)
 	}
 	r.metrics[id] = h
+	r.sorted = nil
 	return h
 }
 
@@ -275,31 +317,65 @@ type funcMetric struct {
 }
 
 func (f *funcMetric) Sample() MetricSnapshot {
-	return MetricSnapshot{Name: f.name, Labels: f.Labels(), Kind: f.kind, Type: f.kind.String(), Value: f.fn()}
+	return MetricSnapshot{Name: f.name, Labels: f.labels, Kind: f.kind, Type: f.kind.String(), Value: f.fn(), ls: f.ls}
 }
 
 // Snapshot samples every instrument. The result is sorted by (name,
-// labels) so text encodings are stable for golden tests and diffs.
+// labels) so text encodings are stable for golden tests and diffs. The
+// sort order is cached between registrations, so a steady-state scrape
+// is one Sample call per instrument and no sorting.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	r.mu.RLock()
-	ms := make([]Instrument, 0, len(r.metrics))
-	for _, m := range r.metrics {
-		ms = append(ms, m)
-	}
-	r.mu.RUnlock()
+	ms := r.sortedInstruments()
 	out := Snapshot{Metrics: make([]MetricSnapshot, 0, len(ms))}
 	for _, m := range ms {
 		out.Metrics = append(out.Metrics, m.Sample())
 	}
-	sort.Slice(out.Metrics, func(i, j int) bool {
-		a, b := out.Metrics[i], out.Metrics[j]
-		if a.Name != b.Name {
-			return a.Name < b.Name
-		}
-		return labelString(a.Labels) < labelString(b.Labels)
-	})
 	return out
+}
+
+// sortedInstruments returns the instruments in (name, labels) order,
+// rebuilding the cached ordering only after a registration changed the
+// collection. The returned slice is read-only shared state.
+func (r *Registry) sortedInstruments() []Instrument {
+	r.mu.RLock()
+	ms := r.sorted
+	r.mu.RUnlock()
+	if ms != nil {
+		return ms
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sorted != nil {
+		return r.sorted
+	}
+	type instKey struct {
+		name, ls string
+		m        Instrument
+	}
+	keys := make([]instKey, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		k := instKey{name: m.Name(), m: m}
+		if d, ok := m.(interface{ ensureID() string }); ok {
+			id := d.ensureID()
+			k.ls = id[len(k.name):]
+		} else {
+			k.ls = labelString(m.Labels())
+		}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].ls < keys[j].ls
+	})
+	ms = make([]Instrument, len(keys))
+	for i, k := range keys {
+		ms[i] = k.m
+	}
+	r.sorted = ms
+	return ms
 }
