@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke trace-smoke recorder-smoke cover fmt clean
+.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke trace-smoke recorder-smoke fleet-smoke cover fmt clean
 
 all: build test race vet
 
@@ -29,7 +29,10 @@ build:
 # and one attestctl round against live attestd + appraised processes
 # must merge into a single cross-process trace (trace_smoke.sh), and a
 # recorder-enabled UC1 run must leave an incident bundle that localizes
-# the compromised switch offline (recorder_smoke.sh).
+# the compromised switch offline (recorder_smoke.sh), and a fleetd
+# scraping three live perasim processes must merge them into one trust
+# map with the seeded conflict found and a killed member marked down
+# (fleet_smoke.sh).
 test: vet
 	$(GO) test ./...
 	$(MAKE) telemetry-smoke
@@ -38,6 +41,7 @@ test: vet
 	$(MAKE) slo-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) recorder-smoke
+	$(MAKE) fleet-smoke
 
 race:
 	$(GO) test -race ./...
@@ -95,6 +99,14 @@ trace-smoke:
 # names the compromised switch entirely offline.
 recorder-smoke:
 	sh scripts/recorder_smoke.sh
+
+# End-to-end fleet check: three perasim -slo processes with a seeded
+# fresh-vs-lapsed disagreement, one fleetd scraping them, /fleet.json
+# shows the merged trust map + status-conflict finding, a killed member
+# goes down within two intervals, survivors keep updating, and the
+# pera_fleet_* federation metrics agree.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # Coverage over the library packages with a floor: the build fails if
 # total statement coverage regresses below COVER_FLOOR percent.

@@ -11,10 +11,12 @@ package bench
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"pera/internal/appraiser"
 	"pera/internal/auditlog"
 	"pera/internal/evidence"
+	"pera/internal/fleetscope"
 	"pera/internal/freshness"
 	"pera/internal/harness"
 	"pera/internal/nac"
@@ -556,6 +558,67 @@ func BenchmarkThroughput_Recorder(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, false, false) })
 	b.Run("registry", func(b *testing.B) { run(b, true, false) })
 	b.Run("on", func(b *testing.B) { run(b, true, true) })
+}
+
+// BenchmarkThroughput_FleetScrape measures what being scraped by the
+// fleet control plane costs the scraped process: "off" is the
+// registry-instrumented end-to-end run (BenchmarkThroughput_Recorder's
+// "registry" configuration); "scraped" additionally serves that
+// registry over a real HTTP socket and points a fleetscope aggregator
+// at it on a 10ms cadence — 100x denser than the production 1s
+// interval, so the per-scrape snapshot + JSON encode cost lands inside
+// the timed window instead of amortizing away; "scraped1ms" pushes the
+// cadence to 1ms, past any sane deployment, to show where the target's
+// serving cost stops hiding in the noise (see BENCH_throughput.json
+// fleet_overhead).
+func BenchmarkThroughput_FleetScrape(b *testing.B) {
+	run := func(b *testing.B, interval time.Duration) {
+		reg := telemetry.NewRegistry()
+		if interval > 0 {
+			srv, err := telemetry.Serve("127.0.0.1:0", reg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			agg := fleetscope.New(fleetscope.Config{Interval: interval},
+				[]fleetscope.Target{{Name: "bench", URL: "http://" + srv.Addr()}})
+			agg.Start()
+			defer agg.Close()
+			defer func() {
+				b.StopTimer()
+				// Prove the scraper was live; a short-benchtime run can end
+				// before the first tick lands, so give it a moment.
+				deadline := time.Now().Add(time.Second)
+				for {
+					var scrapes uint64
+					for _, t := range agg.View().Targets {
+						scrapes = t.Scrapes
+					}
+					if scrapes > 0 {
+						return
+					}
+					if time.Now().After(deadline) {
+						b.Fatal("aggregator never scraped during the run")
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := harness.ThroughputOptions{Workers: 0, Packets: 128, Flows: 8, Memo: true, Registry: reg}
+			res, err := harness.RunThroughputOpts(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Pass != 128 {
+				b.Fatalf("pass=%d, want 128", res.Pass)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("scraped", func(b *testing.B) { run(b, 10*time.Millisecond) })
+	b.Run("scraped1ms", func(b *testing.B) { run(b, time.Millisecond) })
 }
 
 // BenchmarkVerifyMemo isolates the memo win on a single 3-hop chain:

@@ -1,0 +1,22 @@
+package main
+
+import "strings"
+
+// parseEndpoints parses a comma-separated endpoint list as used by
+// `-endpoints` flags (attestctl trace, attestctl fleet): entries are
+// trimmed, trailing slashes stripped, empty entries skipped, and
+// duplicates dropped (first occurrence wins) so a fat-fingered repeat
+// does not double-fetch an endpoint.
+func parseEndpoints(s string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, e := range strings.Split(s, ",") {
+		e = strings.TrimSuffix(strings.TrimSpace(e), "/")
+		if e == "" || seen[e] {
+			continue
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseEndpoints(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"http://a:1", []string{"http://a:1"}},
+		{"http://a:1,http://b:2", []string{"http://a:1", "http://b:2"}},
+		// Whitespace and trailing slashes are normalized away.
+		{" http://a:1/ ,\thttp://b:2 ", []string{"http://a:1", "http://b:2"}},
+		// Empty entries are skipped.
+		{"", nil},
+		{" , ,", nil},
+		{"http://a:1,,http://b:2", []string{"http://a:1", "http://b:2"}},
+		// Duplicates collapse to the first occurrence, order preserved —
+		// including duplicates that only match after normalization.
+		{"http://a:1,http://b:2,http://a:1", []string{"http://a:1", "http://b:2"}},
+		{"http://a:1/, http://a:1", []string{"http://a:1"}},
+	}
+	for _, tc := range cases {
+		if got := parseEndpoints(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseEndpoints(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package main
+
+// `attestctl fleet` — render the fleet-wide attestation view: merged
+// trust map, per-target scrape health, fleet findings and the
+// deduplicated alert feed.
+//
+// Two sources:
+//
+//	attestctl fleet status -fleet http://127.0.0.1:9470
+//	    query a running fleetd's /fleet.json (the normal path: the
+//	    daemon owns the scrape cadence and health states)
+//
+//	attestctl fleet status -endpoints http://127.0.0.1:9464,http://127.0.0.1:9465
+//	    no daemon: scrape the endpoints once, in process, and render the
+//	    merged view (health states are from this single round)
+//
+// Verbs: status (rollup + findings + alerts), top (trust map, worst
+// first), targets (scrape health). All take -watch/-json/-interval.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pera/internal/fleetscope"
+)
+
+func runFleet(args []string) {
+	verb := "status"
+	if len(args) > 0 && args[0] != "" && args[0][0] != '-' {
+		verb, args = args[0], args[1:]
+	}
+	switch verb {
+	case "status", "top", "targets":
+	default:
+		fatal("unknown fleet verb %q (want status, top or targets)", verb)
+	}
+
+	fs := flag.NewFlagSet("attestctl fleet "+verb, flag.ExitOnError)
+	fleetURL := fs.String("fleet", "", "base URL of a fleetd serving /fleet.json")
+	endpoints := fs.String("endpoints", "", "comma-separated telemetry endpoints to scrape directly (no fleetd)")
+	timeout := fs.Duration("timeout", 2*time.Second, "per-target scrape timeout with -endpoints")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval with -watch")
+	watch := fs.Bool("watch", false, "refresh in place until interrupted")
+	jsonOut := fs.Bool("json", false, "dump the fleet view JSON once and exit")
+	fs.Parse(args)
+	if (*fleetURL == "") == (*endpoints == "") {
+		fatal("fleet %s: need exactly one of -fleet or -endpoints", verb)
+	}
+
+	view := func() (fleetscope.FleetView, error) {
+		if *fleetURL != "" {
+			return fetchFleetView(*fleetURL)
+		}
+		return scrapeFleetView(*endpoints, *timeout)
+	}
+	render := func() error {
+		v, err := view()
+		if err != nil {
+			return err
+		}
+		switch verb {
+		case "top":
+			fleetscope.RenderTrust(os.Stdout, v)
+		case "targets":
+			fleetscope.RenderTargets(os.Stdout, v)
+		default:
+			fleetscope.RenderStatus(os.Stdout, v)
+		}
+		return nil
+	}
+
+	if *jsonOut {
+		v, err := view()
+		if err != nil {
+			fatal("%v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+		return
+	}
+	if !*watch {
+		if err := render(); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for i := 0; ; i++ {
+		if i > 0 {
+			// ANSI clear+home, so the table refreshes in place like top.
+			fmt.Print("\033[H\033[2J")
+		}
+		if err := render(); err != nil {
+			fatal("%v", err)
+		}
+		select {
+		case <-sig:
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// fetchFleetView pulls /fleet.json from a running fleetd.
+func fetchFleetView(base string) (fleetscope.FleetView, error) {
+	var v fleetscope.FleetView
+	bases := parseEndpoints(base)
+	if len(bases) != 1 {
+		return v, fmt.Errorf("-fleet wants exactly one base URL, got %q", base)
+	}
+	url := bases[0] + fleetscope.FleetPath
+	resp, err := http.Get(url)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+// scrapeFleetView runs one in-process scrape round over the endpoints
+// and merges the result — fleet view without a fleetd.
+func scrapeFleetView(endpoints string, timeout time.Duration) (fleetscope.FleetView, error) {
+	targets, err := fleetscope.ParseTargets(endpoints)
+	if err != nil {
+		return fleetscope.FleetView{}, err
+	}
+	if len(targets) == 0 {
+		return fleetscope.FleetView{}, fmt.Errorf("no endpoints in %q", endpoints)
+	}
+	agg := fleetscope.New(fleetscope.Config{Timeout: timeout}, targets)
+	agg.ScrapeAll()
+	return agg.View(), nil
+}

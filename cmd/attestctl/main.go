@@ -43,6 +43,14 @@
 //	attestctl incident show -dir incidents -verify
 //	attestctl incident export -dir incidents -out /tmp/incident
 //
+// And the fleet-wide view a fleetd daemon merges from several processes
+// (see docs/FLEET.md) — or, without a daemon, a one-shot in-process
+// scrape of the endpoints:
+//
+//	attestctl fleet status  -fleet http://127.0.0.1:9470
+//	attestctl fleet top     -endpoints http://127.0.0.1:9464,http://127.0.0.1:9465
+//	attestctl fleet targets -fleet http://127.0.0.1:9470 -watch
+//
 // Running `attestctl <unknown>` prints the command list.
 package main
 
@@ -72,6 +80,7 @@ var verbs = []struct {
 	{"coverage", "show the freshness coverage map", func(a []string) { runFreshness("coverage", a) }},
 	{"alerts", "show the freshness alert ring", func(a []string) { runFreshness("alerts", a) }},
 	{"trace", "assemble a distributed trace across endpoints", runTrace},
+	{"fleet", "render the fleet-wide trust map and target health", runFleet},
 	{"history", "render flight-recorder metric history (sparkline/table)", runHistory},
 	{"incident", "list / show / export incident bundles", runIncident},
 }

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"strings"
 
 	"pera/internal/telemetry"
 )
@@ -39,11 +38,7 @@ func runTrace(args []string) {
 
 	var groups [][]telemetry.Span
 	var fetched int
-	for _, base := range strings.Split(*endpoints, ",") {
-		base = strings.TrimSuffix(strings.TrimSpace(base), "/")
-		if base == "" {
-			continue
-		}
+	for _, base := range parseEndpoints(*endpoints) {
 		spans, err := fetchTrace(base, traceID)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "attestctl: %s: %v (skipping)\n", base, err)

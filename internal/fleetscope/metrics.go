@@ -1,0 +1,146 @@
+package fleetscope
+
+import (
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+// Instrument registers the pera_fleet_* family on reg. Served from
+// fleetd's telemetry mux this doubles as a Prometheus federation
+// endpoint: one scrape of fleetd yields the whole fleet's rollup with
+// per-target labels, without a Prometheus having to reach every process.
+//
+// Fleet-level rollups (targets by state, places by status, conflicts,
+// alerts firing) are lazy funcs evaluated at snapshot time from a
+// briefly-cached view; per-target series are updated by the scrape
+// loops as results land. Call before Start.
+func (a *Aggregator) Instrument(reg *telemetry.Registry) {
+	a.mu.Lock()
+	a.reg = reg
+	for _, ts := range a.targets {
+		a.registerTargetLocked(ts)
+	}
+	a.mu.Unlock()
+
+	states := []struct {
+		state string
+		pick  func(Rollup) int
+	}{
+		{StateUp, func(r Rollup) int { return r.TargetsUp }},
+		{StateStale, func(r Rollup) int { return r.TargetsStale }},
+		{StateDown, func(r Rollup) int { return r.TargetsDown }},
+	}
+	for _, s := range states {
+		pick := s.pick
+		reg.RegisterFunc("pera_fleet_targets", telemetry.KindGauge,
+			func() float64 { return float64(pick(a.cachedView().Rollup)) },
+			telemetry.L("state", s.state))
+	}
+	statuses := []struct {
+		status string
+		pick   func(Rollup) int
+	}{
+		{statusFresh, func(r Rollup) int { return r.PlacesFresh }},
+		{statusStale, func(r Rollup) int { return r.PlacesStale }},
+		{statusLapsed, func(r Rollup) int { return r.PlacesLapsed }},
+		{statusNever, func(r Rollup) int { return r.PlacesNever }},
+	}
+	for _, s := range statuses {
+		pick := s.pick
+		reg.RegisterFunc("pera_fleet_places", telemetry.KindGauge,
+			func() float64 { return float64(pick(a.cachedView().Rollup)) },
+			telemetry.L("status", s.status))
+	}
+	reg.RegisterFunc("pera_fleet_conflicts", telemetry.KindGauge,
+		func() float64 { return float64(a.cachedView().Rollup.Conflicts) })
+	reg.RegisterFunc("pera_fleet_alerts_firing", telemetry.KindGauge,
+		func() float64 { return float64(a.cachedView().Rollup.AlertsFiring) })
+	reg.RegisterFunc("pera_fleet_verdicts", telemetry.KindGauge,
+		func() float64 { return a.cachedView().Rollup.Verdicts })
+	reg.RegisterFunc("pera_fleet_verify_fails", telemetry.KindGauge,
+		func() float64 { return a.cachedView().Rollup.VerifyFails })
+	reg.RegisterFunc("pera_fleet_anomalies", telemetry.KindGauge,
+		func() float64 { return a.cachedView().Rollup.Anomalies })
+	reg.RegisterFunc("pera_fleet_reloads_total", telemetry.KindCounter,
+		func() float64 { return float64(a.Reloads()) })
+}
+
+// cachedView returns a recent fleet view for metric sampling, rebuilding
+// it at most every viewCacheTTL. One registry snapshot evaluates many
+// lazy funcs microseconds apart; they should all read the same view
+// instead of re-merging the fleet per sample. The TTL runs on wall time
+// deliberately — it is a sampling optimization, not model semantics, so
+// tests driving a fake cfg.Clock still see every update.
+const viewCacheTTL = 100 * time.Millisecond
+
+func (a *Aggregator) cachedView() FleetView {
+	a.viewMu.Lock()
+	defer a.viewMu.Unlock()
+	if a.viewCache == nil || time.Since(a.viewAt) > viewCacheTTL {
+		v := a.View()
+		a.viewCache = &v
+		a.viewAt = time.Now()
+	}
+	return *a.viewCache
+}
+
+// registerTargetLocked registers one target's per-target series.
+// Called with a.mu held when the target first appears (and from
+// Instrument for the initial set). The lazy funcs capture this target
+// generation's state row; a re-added target re-registers and replaces
+// them. A removed target's series linger on the registry with their
+// final values — the same behavior Prometheus has for vanished targets.
+func (a *Aggregator) registerTargetLocked(ts *targetState) {
+	if a.reg == nil {
+		return
+	}
+	l := telemetry.L("target", ts.t.Name)
+	a.reg.RegisterFunc("pera_fleet_target_up", telemetry.KindGauge,
+		func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			switch ts.state(a.cfg, nowNS(a.cfg.Clock)) {
+			case StateUp:
+				return 1
+			case StateStale:
+				return 0.5
+			default:
+				return 0
+			}
+		}, l)
+	a.reg.RegisterFunc("pera_fleet_scrapes_total", telemetry.KindCounter,
+		func() float64 { a.mu.Lock(); defer a.mu.Unlock(); return float64(ts.scrapes) }, l)
+	a.reg.RegisterFunc("pera_fleet_scrape_errors_total", telemetry.KindCounter,
+		func() float64 { a.mu.Lock(); defer a.mu.Unlock(); return float64(ts.errors) }, l)
+	a.reg.RegisterFunc("pera_fleet_scrape_latency_ns", telemetry.KindGauge,
+		func() float64 { a.mu.Lock(); defer a.mu.Unlock(); return float64(ts.latencyNS) }, l)
+	a.reg.RegisterFunc("pera_fleet_target_firing", telemetry.KindGauge,
+		func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			if s := ts.last; s != nil && s.Alerts != nil {
+				return float64(s.Alerts.Firing)
+			}
+			return 0
+		}, l)
+	family := func(names ...string) func() float64 {
+		return func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			var v float64
+			if s := ts.last; s != nil && s.Metrics != nil {
+				for _, n := range names {
+					v += s.Metrics.Value(n)
+				}
+			}
+			return v
+		}
+	}
+	a.reg.RegisterFunc("pera_fleet_target_verdicts", telemetry.KindGauge,
+		family("pera_pool_pass_total", "pera_pool_fail_total"), l)
+	a.reg.RegisterFunc("pera_fleet_target_verify_fails", telemetry.KindGauge,
+		family("pera_verify_fails_total"), l)
+	a.reg.RegisterFunc("pera_fleet_target_anomalies", telemetry.KindGauge,
+		family("pera_anomaly_total"), l)
+}

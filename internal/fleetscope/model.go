@@ -1,0 +1,375 @@
+package fleetscope
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TargetStatus is one target's scrape-health row in the fleet view.
+type TargetStatus struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	State string `json:"state"` // up | stale | down
+
+	Scrapes      uint64 `json:"scrapes"`
+	Errors       uint64 `json:"errors"`
+	EndpointErrs uint64 `json:"endpoint_errors"`
+	ConsecFails  int    `json:"consec_fails"`
+	LastScrapeNS int64  `json:"last_scrape_ns"` // last attempt
+	LastOKNS     int64  `json:"last_ok_ns"`     // last success, 0 = never
+	LatencyNS    int64  `json:"latency_ns"`
+	LastErr      string `json:"last_err,omitempty"`
+
+	Places int `json:"places"` // coverage rows reported
+	Firing int `json:"firing"` // alerts firing at the target
+	Series int `json:"series"` // history series (-1: no recorder)
+}
+
+// PlaceReport is one target's claim about one place.
+type PlaceReport struct {
+	Target      string `json:"target"`
+	TargetState string `json:"target_state"`
+	Status      string `json:"status"`
+	AgeNS       int64  `json:"age_ns"`
+	LastFreshNS int64  `json:"last_fresh_ns"`
+	Policy      string `json:"policy,omitempty"`
+}
+
+// PlaceTrust is one place's merged row on the global trust map: the
+// freshest committed-evidence status across every reporting process,
+// with the per-target reports preserved so a conflict is inspectable.
+type PlaceTrust struct {
+	Place  string `json:"place"`
+	Status string `json:"status"` // from the freshest live reporter
+	AgeNS  int64  `json:"age_ns"`
+	Source string `json:"source"` // target whose report won
+
+	// Conflict marks cross-process disagreement: at least one live
+	// reporter claims fresh while another claims lapsed/never-attested.
+	Conflict bool `json:"conflict,omitempty"`
+	// AllReportersDown marks a place whose every reporter is down; the
+	// row carries the last-known state rather than vanishing.
+	AllReportersDown bool `json:"all_reporters_down,omitempty"`
+
+	Reports []PlaceReport `json:"reports"`
+
+	// conflictDetail carries the human-readable conflict explanation from
+	// the merge to the finding without serializing on the trust-map row.
+	conflictDetail string
+}
+
+// Finding kinds. Findings are the fleet layer's own first-class
+// signals, distinct from per-process alerts.
+const (
+	// FindingConflict: reporting processes disagree about a place's
+	// trust (one fresh, one lapsed/never) — a partitioned or lagging
+	// appraiser, or a device answering probes selectively.
+	FindingConflict = "status-conflict"
+	// FindingTargetDown: a fleet member stopped answering scrapes.
+	FindingTargetDown = "target-down"
+)
+
+// Finding is one fleet-level signal.
+type Finding struct {
+	Kind   string `json:"kind"`
+	Place  string `json:"place,omitempty"`
+	Target string `json:"target,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// TargetRollup is one target's contribution to the fleet rollup,
+// keeping per-target labels on the summed rates.
+type TargetRollup struct {
+	Target      string  `json:"target"`
+	Verdicts    float64 `json:"verdicts"`
+	VerifyFails float64 `json:"verify_fails"`
+	Anomalies   float64 `json:"anomalies"`
+	Firing      int     `json:"firing"`
+}
+
+// Rollup is the fleet-wide aggregate.
+type Rollup struct {
+	TargetsUp    int `json:"targets_up"`
+	TargetsStale int `json:"targets_stale"`
+	TargetsDown  int `json:"targets_down"`
+
+	PlacesFresh  int `json:"places_fresh"`
+	PlacesStale  int `json:"places_stale"`
+	PlacesLapsed int `json:"places_lapsed"`
+	PlacesNever  int `json:"places_never"`
+	Conflicts    int `json:"conflicts"`
+
+	AlertsFiring int     `json:"alerts_firing"`
+	Verdicts     float64 `json:"verdicts"`
+	VerifyFails  float64 `json:"verify_fails"`
+	Anomalies    float64 `json:"anomalies"`
+
+	PerTarget []TargetRollup `json:"per_target"`
+}
+
+// FleetAlert is one entry of the merged alert feed, deduplicated by
+// (rule, place) across targets: a firing state wins over resolved, the
+// newest firing instant is kept, and Targets names every reporter.
+type FleetAlert struct {
+	Rule      string   `json:"rule"`
+	Place     string   `json:"place"`
+	State     string   `json:"state"`
+	Reason    string   `json:"reason"`
+	FiredAtNS int64    `json:"fired_at_ns"`
+	Targets   []string `json:"targets"`
+}
+
+// FleetView is the whole fleet model — what /fleet.json serves and
+// attestctl fleet renders.
+type FleetView struct {
+	Fleet      string `json:"fleet"`
+	NowNS      int64  `json:"now_ns"`
+	IntervalNS int64  `json:"interval_ns"`
+
+	Targets  []TargetStatus `json:"targets"`
+	TrustMap []PlaceTrust   `json:"trust_map"`
+	Findings []Finding      `json:"findings"`
+	Alerts   []FleetAlert   `json:"alerts"`
+	Rollup   Rollup         `json:"rollup"`
+}
+
+// Status strings fleetscope understands on coverage rows (mirrors of
+// freshness.Status values; redeclared because the wire is the contract).
+const (
+	statusFresh  = "fresh"
+	statusStale  = "stale"
+	statusLapsed = "lapsed"
+	statusNever  = "never-attested"
+)
+
+// statusRank orders statuses worst-first for sorting the trust map.
+func statusRank(s string) int {
+	switch s {
+	case statusLapsed:
+		return 0
+	case statusNever:
+		return 1
+	case statusStale:
+		return 2
+	case statusFresh:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// View assembles the merged fleet model from each target's latest
+// scrape. It never blocks on the network: dead targets contribute their
+// last-known data flagged by their health state.
+func (a *Aggregator) View() FleetView {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := nowNS(a.cfg.Clock)
+	v := FleetView{Fleet: a.cfg.Name, NowNS: now, IntervalNS: int64(a.cfg.Interval)}
+
+	type placeAcc struct {
+		reports []PlaceReport
+	}
+	places := make(map[string]*placeAcc)
+	alerts := make(map[alertKey]*FleetAlert)
+
+	for _, name := range sortedNames(a.targets) {
+		ts := a.targets[name]
+		st := ts.state(a.cfg, now)
+		row := TargetStatus{
+			Name: name, URL: ts.t.URL, State: st,
+			Scrapes: ts.scrapes, Errors: ts.errors, EndpointErrs: ts.endpointErrs,
+			ConsecFails: ts.consecFails, LastScrapeNS: ts.lastAttempt,
+			LastOKNS: ts.lastOK, LatencyNS: ts.latencyNS, LastErr: ts.lastErr,
+			Series: -1,
+		}
+		switch st {
+		case StateUp:
+			v.Rollup.TargetsUp++
+		case StateStale:
+			v.Rollup.TargetsStale++
+		case StateDown:
+			v.Rollup.TargetsDown++
+			v.Findings = append(v.Findings, Finding{
+				Kind: FindingTargetDown, Target: name,
+				Detail: fmt.Sprintf("target %s (%s) down after %d consecutive scrape failures: %s",
+					name, ts.t.URL, ts.consecFails, ts.lastErr),
+			})
+		}
+
+		s := ts.last
+		if s == nil {
+			v.Targets = append(v.Targets, row)
+			continue
+		}
+		row.Series = s.Series
+		tr := TargetRollup{Target: name}
+		if s.Metrics != nil {
+			// Verdicts and fails from the appraisal pool, anomalies from
+			// the flight recorder; absent families sum to 0.
+			tr.Verdicts = s.Metrics.Value("pera_pool_pass_total") + s.Metrics.Value("pera_pool_fail_total")
+			tr.VerifyFails = s.Metrics.Value("pera_verify_fails_total")
+			tr.Anomalies = s.Metrics.Value("pera_anomaly_total")
+		}
+		if s.Alerts != nil {
+			row.Firing = s.Alerts.Firing
+			tr.Firing = s.Alerts.Firing
+			for i := range s.Alerts.Alerts {
+				al := &s.Alerts.Alerts[i]
+				mergeAlert(alerts, al, name)
+			}
+		}
+		if s.Coverage != nil {
+			row.Places = len(s.Coverage.Places)
+			for i := range s.Coverage.Places {
+				pc := &s.Coverage.Places[i]
+				acc := places[pc.Place]
+				if acc == nil {
+					acc = &placeAcc{}
+					places[pc.Place] = acc
+				}
+				acc.reports = append(acc.reports, PlaceReport{
+					Target: name, TargetState: st, Status: pc.Status,
+					AgeNS: pc.AgeNS, LastFreshNS: pc.LastFreshNS, Policy: pc.Policy,
+				})
+			}
+		}
+		v.Rollup.Verdicts += tr.Verdicts
+		v.Rollup.VerifyFails += tr.VerifyFails
+		v.Rollup.Anomalies += tr.Anomalies
+		v.Rollup.PerTarget = append(v.Rollup.PerTarget, tr)
+		v.Targets = append(v.Targets, row)
+	}
+
+	// Merge the trust map: freshest live report wins; conflicts among
+	// live reporters become findings.
+	for _, place := range sortedNames(places) {
+		pt := mergePlace(place, places[place].reports)
+		switch pt.Status {
+		case statusFresh:
+			v.Rollup.PlacesFresh++
+		case statusStale:
+			v.Rollup.PlacesStale++
+		case statusLapsed:
+			v.Rollup.PlacesLapsed++
+		case statusNever:
+			v.Rollup.PlacesNever++
+		}
+		if pt.Conflict {
+			v.Rollup.Conflicts++
+			v.Findings = append(v.Findings, conflictFinding(pt))
+		}
+		v.TrustMap = append(v.TrustMap, pt)
+	}
+	sort.SliceStable(v.TrustMap, func(i, j int) bool {
+		ri, rj := statusRank(v.TrustMap[i].Status), statusRank(v.TrustMap[j].Status)
+		if ri != rj {
+			return ri < rj
+		}
+		return v.TrustMap[i].Place < v.TrustMap[j].Place
+	})
+
+	// Merged alert feed, firing first, then newest first.
+	for _, fa := range alerts {
+		sort.Strings(fa.Targets)
+		if fa.State == "firing" {
+			v.Rollup.AlertsFiring++
+		}
+		v.Alerts = append(v.Alerts, *fa)
+	}
+	sort.Slice(v.Alerts, func(i, j int) bool {
+		if (v.Alerts[i].State == "firing") != (v.Alerts[j].State == "firing") {
+			return v.Alerts[i].State == "firing"
+		}
+		if v.Alerts[i].FiredAtNS != v.Alerts[j].FiredAtNS {
+			return v.Alerts[i].FiredAtNS > v.Alerts[j].FiredAtNS
+		}
+		return v.Alerts[i].Rule+v.Alerts[i].Place < v.Alerts[j].Rule+v.Alerts[j].Place
+	})
+	return v
+}
+
+// alertKey is the fleet feed's dedup key.
+type alertKey struct{ rule, place string }
+
+// mergeAlert folds one target's alert into the deduplicated feed.
+func mergeAlert(feed map[alertKey]*FleetAlert, al *Alert, target string) {
+	k := alertKey{al.Rule, al.Place}
+	fa := feed[k]
+	if fa == nil {
+		fa = &FleetAlert{Rule: al.Rule, Place: al.Place, State: al.State,
+			Reason: al.Reason, FiredAtNS: al.FiredAtNS}
+		feed[k] = fa
+	}
+	if !hasString(fa.Targets, target) {
+		fa.Targets = append(fa.Targets, target)
+	}
+	// Firing beats resolved; among equals the newest firing instant and
+	// its reason win.
+	switch {
+	case al.State == "firing" && fa.State != "firing",
+		al.State == fa.State && al.FiredAtNS > fa.FiredAtNS:
+		fa.State, fa.Reason, fa.FiredAtNS = al.State, al.Reason, al.FiredAtNS
+	}
+}
+
+func hasString(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// mergePlace folds every report about one place into its trust-map row.
+// Reports from down targets participate only when no live reporter
+// exists; conflict detection likewise considers live reporters only —
+// a dead process's stale opinion is a health problem, not a trust
+// disagreement.
+func mergePlace(place string, reports []PlaceReport) PlaceTrust {
+	pt := PlaceTrust{Place: place, Reports: reports}
+	live := reports[:0:0]
+	for _, r := range reports {
+		if r.TargetState != StateDown {
+			live = append(live, r)
+		}
+	}
+	pool := live
+	if len(pool) == 0 {
+		pool = reports
+		pt.AllReportersDown = true
+	}
+	best := pool[0]
+	for _, r := range pool[1:] {
+		if r.LastFreshNS > best.LastFreshNS {
+			best = r
+		}
+	}
+	pt.Status, pt.AgeNS, pt.Source = best.Status, best.AgeNS, best.Target
+
+	var anyFresh, anyDecayed bool
+	var freshBy, decayedBy []string
+	for _, r := range live {
+		switch r.Status {
+		case statusFresh:
+			anyFresh = true
+			freshBy = append(freshBy, r.Target)
+		case statusLapsed, statusNever:
+			anyDecayed = true
+			decayedBy = append(decayedBy, fmt.Sprintf("%s=%s", r.Target, r.Status))
+		}
+	}
+	pt.Conflict = anyFresh && anyDecayed
+	if pt.Conflict {
+		pt.conflictDetail = fmt.Sprintf("place %s: %s report fresh while %s report decayed trust",
+			place, strings.Join(freshBy, ","), strings.Join(decayedBy, ","))
+	}
+	return pt
+}
+
+// conflictFinding renders a status-conflict row as a finding.
+func conflictFinding(pt PlaceTrust) Finding {
+	return Finding{Kind: FindingConflict, Place: pt.Place, Detail: pt.conflictDetail}
+}

@@ -1,0 +1,312 @@
+package fleetscope
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+// fixedClock pins the aggregator's now for deterministic state math.
+var fixedNow = time.Unix(1_700_000_000, 0)
+
+func fixedClock() time.Time { return fixedNow }
+
+// inject installs a fake last-scrape on a target, marking it healthy
+// (lastOK = now) unless down is set, in which case it has DownAfter
+// consecutive failures on the books.
+func inject(a *Aggregator, name string, s *Scrape, down bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts := a.targets[name]
+	ts.last = s
+	ts.scrapes = 5
+	if down {
+		ts.consecFails = a.cfg.DownAfter
+		ts.errors = uint64(a.cfg.DownAfter)
+		ts.lastOK = fixedNow.Add(-10 * time.Second).UnixNano()
+		ts.lastErr = "connection refused"
+	} else {
+		ts.lastOK = fixedNow.UnixNano()
+		ts.latencyNS = int64(3 * time.Millisecond)
+	}
+}
+
+func coverageWith(places ...PlaceCoverage) *Coverage {
+	c := &Coverage{Watchdog: "w", Policy: "AP1", Places: places}
+	for _, p := range places {
+		switch p.Status {
+		case statusFresh:
+			c.Fresh++
+		case statusLapsed:
+			c.Lapsed++
+		case statusNever:
+			c.Never++
+		}
+	}
+	return c
+}
+
+func newModelAggregator(names ...string) *Aggregator {
+	targets := make([]Target, 0, len(names))
+	for _, n := range names {
+		targets = append(targets, Target{Name: n, URL: "http://" + n + ":9464"})
+	}
+	return New(Config{Clock: fixedClock, Interval: time.Second}, targets)
+}
+
+// The core tentpole semantics: one appraiser reports sw2 fresh, another
+// reports it lapsed — the merged trust map keeps the freshest committed
+// evidence and surfaces the disagreement as a status-conflict finding.
+func TestViewConflictFinding(t *testing.T) {
+	a := newModelAggregator("appr1", "appr2")
+	freshAt := fixedNow.Add(-time.Second).UnixNano()
+	staleAt := fixedNow.Add(-2 * time.Minute).UnixNano()
+	inject(a, "appr1", &Scrape{Series: -1, Coverage: coverageWith(
+		PlaceCoverage{Place: "sw1", Status: statusFresh, LastFreshNS: freshAt, AgeNS: int64(time.Second)},
+		PlaceCoverage{Place: "sw2", Status: statusFresh, LastFreshNS: freshAt, AgeNS: int64(time.Second)},
+	)}, false)
+	inject(a, "appr2", &Scrape{Series: -1, Coverage: coverageWith(
+		PlaceCoverage{Place: "sw1", Status: statusFresh, LastFreshNS: freshAt, AgeNS: int64(time.Second)},
+		PlaceCoverage{Place: "sw2", Status: statusLapsed, LastFreshNS: staleAt, AgeNS: int64(2 * time.Minute)},
+	)}, false)
+
+	v := a.View()
+	if len(v.TrustMap) != 2 {
+		t.Fatalf("trust map has %d places, want 2: %+v", len(v.TrustMap), v.TrustMap)
+	}
+	var sw2 PlaceTrust
+	for _, p := range v.TrustMap {
+		if p.Place == "sw2" {
+			sw2 = p
+		}
+	}
+	if sw2.Status != statusFresh || sw2.Source != "appr1" {
+		t.Fatalf("sw2 merged as %s from %s, want fresh from appr1 (freshest wins)", sw2.Status, sw2.Source)
+	}
+	if !sw2.Conflict {
+		t.Fatal("sw2 fresh-vs-lapsed disagreement not marked as conflict")
+	}
+	if len(sw2.Reports) != 2 {
+		t.Fatalf("sw2 reports = %+v, want both appraisers", sw2.Reports)
+	}
+
+	var finding *Finding
+	for i := range v.Findings {
+		if v.Findings[i].Kind == FindingConflict && v.Findings[i].Place == "sw2" {
+			finding = &v.Findings[i]
+		}
+	}
+	if finding == nil {
+		t.Fatalf("no status-conflict finding for sw2: %+v", v.Findings)
+	}
+	if !strings.Contains(finding.Detail, "appr1") || !strings.Contains(finding.Detail, "appr2") {
+		t.Fatalf("conflict detail should name both reporters: %q", finding.Detail)
+	}
+	if v.Rollup.Conflicts != 1 {
+		t.Fatalf("rollup conflicts = %d, want 1", v.Rollup.Conflicts)
+	}
+	// sw1 agrees everywhere: no conflict.
+	for _, p := range v.TrustMap {
+		if p.Place == "sw1" && p.Conflict {
+			t.Fatal("sw1 marked conflicted despite agreement")
+		}
+	}
+}
+
+// A down reporter's stale opinion neither wins the merge nor raises a
+// conflict — but when every reporter of a place is down, the last-known
+// state is retained and flagged rather than dropped.
+func TestViewDownReporters(t *testing.T) {
+	a := newModelAggregator("ok", "dead")
+	freshAt := fixedNow.Add(-time.Second).UnixNano()
+	newer := fixedNow.UnixNano()
+	inject(a, "ok", &Scrape{Series: -1, Coverage: coverageWith(
+		PlaceCoverage{Place: "sw1", Status: statusLapsed, LastFreshNS: freshAt},
+	)}, false)
+	// The dead target has NEWER evidence for sw1 and exclusive knowledge
+	// of sw9.
+	inject(a, "dead", &Scrape{Series: -1, Coverage: coverageWith(
+		PlaceCoverage{Place: "sw1", Status: statusFresh, LastFreshNS: newer},
+		PlaceCoverage{Place: "sw9", Status: statusFresh, LastFreshNS: newer},
+	)}, true)
+
+	v := a.View()
+	byPlace := map[string]PlaceTrust{}
+	for _, p := range v.TrustMap {
+		byPlace[p.Place] = p
+	}
+	sw1 := byPlace["sw1"]
+	if sw1.Status != statusLapsed || sw1.Source != "ok" {
+		t.Fatalf("sw1 = %s from %s: a down reporter must not win the merge", sw1.Status, sw1.Source)
+	}
+	if sw1.Conflict {
+		t.Fatal("conflict must only consider live reporters")
+	}
+	sw9 := byPlace["sw9"]
+	if !sw9.AllReportersDown || sw9.Status != statusFresh {
+		t.Fatalf("sw9 = %+v: want last-known state retained and flagged all-reporters-down", sw9)
+	}
+}
+
+// The merged alert feed dedups by (rule, place): firing beats resolved,
+// the newest firing instant wins, and every reporting target is listed.
+func TestViewAlertDedup(t *testing.T) {
+	a := newModelAggregator("n1", "n2", "n3")
+	alert := func(state string, fired int64) Alert {
+		return Alert{Rule: "staleness-threshold", Place: "sw2", State: state,
+			Reason: "r@" + time.Unix(0, fired).UTC().Format("15:04:05"), FiredAtNS: fired}
+	}
+	inject(a, "n1", &Scrape{Series: -1, Alerts: &AlertsSnapshot{Firing: 1,
+		Alerts: []Alert{alert("firing", 100)}}}, false)
+	inject(a, "n2", &Scrape{Series: -1, Alerts: &AlertsSnapshot{Firing: 1,
+		Alerts: []Alert{alert("firing", 200), {Rule: "freshness-burn", Place: "sw3", State: "resolved", FiredAtNS: 50}}}}, false)
+	inject(a, "n3", &Scrape{Series: -1, Alerts: &AlertsSnapshot{
+		Alerts: []Alert{alert("resolved", 300)}}}, false)
+
+	v := a.View()
+	if len(v.Alerts) != 2 {
+		t.Fatalf("feed has %d entries, want 2 (deduplicated): %+v", len(v.Alerts), v.Alerts)
+	}
+	fa := v.Alerts[0] // firing sorts first
+	if fa.Rule != "staleness-threshold" || fa.Place != "sw2" {
+		t.Fatalf("first feed entry = %+v", fa)
+	}
+	if fa.State != "firing" {
+		t.Fatal("firing must beat resolved in the dedup")
+	}
+	if fa.FiredAtNS != 200 {
+		t.Fatalf("fired_at = %d, want 200 (newest firing instant)", fa.FiredAtNS)
+	}
+	if len(fa.Targets) != 3 {
+		t.Fatalf("targets = %v, want all three reporters", fa.Targets)
+	}
+	if v.Rollup.AlertsFiring != 1 {
+		t.Fatalf("rollup firing = %d, want 1 (deduplicated)", v.Rollup.AlertsFiring)
+	}
+}
+
+// Rollup sums verdict/fail/anomaly rates across targets and keeps the
+// per-target rows.
+func TestViewRollupSums(t *testing.T) {
+	a := newModelAggregator("n1", "n2")
+	metrics := func(pass, fail, vfails, anom float64) *MetricsSnapshot {
+		return &MetricsSnapshot{Metrics: []Metric{
+			{Name: "pera_pool_pass_total", Value: pass},
+			{Name: "pera_pool_fail_total", Value: fail},
+			{Name: "pera_verify_fails_total", Value: vfails},
+			{Name: "pera_anomaly_total", Value: anom},
+		}}
+	}
+	inject(a, "n1", &Scrape{Series: -1, Metrics: metrics(10, 2, 1, 0)}, false)
+	inject(a, "n2", &Scrape{Series: -1, Metrics: metrics(5, 0, 0, 3)}, false)
+
+	r := a.View().Rollup
+	if r.Verdicts != 17 || r.VerifyFails != 1 || r.Anomalies != 3 {
+		t.Fatalf("rollup = %+v, want verdicts 17, verify fails 1, anomalies 3", r)
+	}
+	if len(r.PerTarget) != 2 {
+		t.Fatalf("per-target rows = %+v", r.PerTarget)
+	}
+	for _, tr := range r.PerTarget {
+		if tr.Target == "n1" && tr.Verdicts != 12 {
+			t.Fatalf("n1 verdicts = %v, want 12", tr.Verdicts)
+		}
+	}
+}
+
+// The trust map sorts worst-first so renders lead with the problems.
+func TestViewTrustMapOrder(t *testing.T) {
+	a := newModelAggregator("n1")
+	freshAt := fixedNow.UnixNano()
+	inject(a, "n1", &Scrape{Series: -1, Coverage: coverageWith(
+		PlaceCoverage{Place: "a-fresh", Status: statusFresh, LastFreshNS: freshAt},
+		PlaceCoverage{Place: "b-lapsed", Status: statusLapsed, LastFreshNS: 1},
+		PlaceCoverage{Place: "c-never", Status: statusNever},
+	)}, false)
+	v := a.View()
+	got := []string{v.TrustMap[0].Place, v.TrustMap[1].Place, v.TrustMap[2].Place}
+	want := []string{"b-lapsed", "c-never", "a-fresh"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trust map order = %v, want %v", got, want)
+		}
+	}
+}
+
+// /fleet.json round-trips the view through its JSON encoding.
+func TestFleetEndpointJSON(t *testing.T) {
+	a := newModelAggregator("n1")
+	inject(a, "n1", &Scrape{Series: -1, Coverage: coverageWith(
+		PlaceCoverage{Place: "sw1", Status: statusFresh, LastFreshNS: fixedNow.UnixNano()},
+	)}, false)
+
+	ep := a.Endpoint()
+	if ep.Path != FleetPath {
+		t.Fatalf("endpoint path = %s", ep.Path)
+	}
+	srv := httptest.NewServer(ep.Handler)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + FleetPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var v FleetView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v.Fleet != "fleet" || len(v.TrustMap) != 1 || v.TrustMap[0].Place != "sw1" {
+		t.Fatalf("round-tripped view = %+v", v)
+	}
+	if len(v.Targets) != 1 || v.Targets[0].State != StateUp {
+		t.Fatalf("targets = %+v", v.Targets)
+	}
+}
+
+// The pera_fleet_* registry family reflects the merged view.
+func TestInstrument(t *testing.T) {
+	a := newModelAggregator("n1", "n2")
+	reg := telemetry.NewRegistry()
+	a.Instrument(reg)
+
+	freshAt := fixedNow.UnixNano()
+	inject(a, "n1", &Scrape{Series: -1,
+		Metrics:  &MetricsSnapshot{Metrics: []Metric{{Name: "pera_pool_pass_total", Value: 4}}},
+		Coverage: coverageWith(PlaceCoverage{Place: "sw1", Status: statusFresh, LastFreshNS: freshAt}),
+		Alerts:   &AlertsSnapshot{Firing: 2, Alerts: []Alert{{Rule: "r", Place: "sw1", State: "firing"}}},
+	}, false)
+	inject(a, "n2", &Scrape{Series: -1, Coverage: coverageWith(
+		PlaceCoverage{Place: "sw1", Status: statusLapsed, LastFreshNS: 1}),
+	}, false)
+
+	snap := reg.Snapshot()
+	if got := snap.Value("pera_fleet_targets", telemetry.L("state", "up")); got != 2 {
+		t.Fatalf("targets up = %v, want 2", got)
+	}
+	if got := snap.Value("pera_fleet_conflicts"); got != 1 {
+		t.Fatalf("conflicts = %v, want 1", got)
+	}
+	if got := snap.Value("pera_fleet_places", telemetry.L("status", "fresh")); got != 1 {
+		t.Fatalf("fresh places = %v, want 1 (merged, freshest wins)", got)
+	}
+	if got := snap.Value("pera_fleet_target_up", telemetry.L("target", "n1")); got != 1 {
+		t.Fatalf("n1 up = %v, want 1", got)
+	}
+	if got := snap.Value("pera_fleet_target_verdicts", telemetry.L("target", "n1")); got != 4 {
+		t.Fatalf("n1 verdicts = %v, want 4", got)
+	}
+	if got := snap.Value("pera_fleet_target_firing", telemetry.L("target", "n1")); got != 2 {
+		t.Fatalf("n1 firing = %v, want 2", got)
+	}
+	if got := snap.Value("pera_fleet_scrapes_total", telemetry.L("target", "n2")); got != 5 {
+		t.Fatalf("n2 scrapes = %v, want 5", got)
+	}
+}

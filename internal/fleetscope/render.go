@@ -1,0 +1,102 @@
+package fleetscope
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// RenderStatus writes the fleet overview — rollup line, findings, and
+// the merged alert feed — what attestctl fleet status prints.
+func RenderStatus(w io.Writer, v FleetView) {
+	r := v.Rollup
+	fmt.Fprintf(w, "fleet %s — %d targets (%d up / %d stale / %d down), interval %v\n",
+		v.Fleet, len(v.Targets), r.TargetsUp, r.TargetsStale, r.TargetsDown,
+		time.Duration(v.IntervalNS).Round(time.Millisecond))
+	fmt.Fprintf(w, "trust map: %d places — %d fresh / %d stale / %d lapsed / %d never-attested, %d conflicts\n",
+		len(v.TrustMap), r.PlacesFresh, r.PlacesStale, r.PlacesLapsed, r.PlacesNever, r.Conflicts)
+	fmt.Fprintf(w, "rollup: %d alerts firing, %.0f verdicts, %.0f verify fails, %.0f anomalies\n",
+		r.AlertsFiring, r.Verdicts, r.VerifyFails, r.Anomalies)
+
+	if len(v.Findings) > 0 {
+		fmt.Fprintf(w, "\nfindings (%d):\n", len(v.Findings))
+		for _, f := range v.Findings {
+			fmt.Fprintf(w, "  [%s] %s\n", f.Kind, f.Detail)
+		}
+	}
+	if len(v.Alerts) > 0 {
+		fmt.Fprintf(w, "\nalerts (%d, deduplicated by rule+place):\n", len(v.Alerts))
+		fmt.Fprintf(w, "  %-20s %-10s %-9s %-16s %s\n", "RULE", "PLACE", "STATE", "TARGETS", "REASON")
+		for _, a := range v.Alerts {
+			fmt.Fprintf(w, "  %-20s %-10s %-9s %-16s %s\n",
+				a.Rule, a.Place, a.State, strings.Join(a.Targets, ","), a.Reason)
+		}
+	}
+}
+
+// RenderTrust writes the merged trust map, worst places first — what
+// attestctl fleet top prints.
+func RenderTrust(w io.Writer, v FleetView) {
+	fmt.Fprintf(w, "fleet %s trust map — %d places, %d conflicts\n\n",
+		v.Fleet, len(v.TrustMap), v.Rollup.Conflicts)
+	if len(v.TrustMap) == 0 {
+		fmt.Fprintln(w, "no coverage reported yet")
+		return
+	}
+	fmt.Fprintf(w, "%-10s %-14s %10s %-12s %-8s %s\n",
+		"PLACE", "STATUS", "AGE", "SOURCE", "FLAGS", "REPORTS")
+	for _, p := range v.TrustMap {
+		age := "-"
+		if p.Status != statusNever {
+			age = fmtAge(time.Duration(p.AgeNS))
+		}
+		var flags []string
+		if p.Conflict {
+			flags = append(flags, "CONFLICT")
+		}
+		if p.AllReportersDown {
+			flags = append(flags, "ALL-DOWN")
+		}
+		reports := make([]string, 0, len(p.Reports))
+		for _, rep := range p.Reports {
+			reports = append(reports, fmt.Sprintf("%s=%s", rep.Target, rep.Status))
+		}
+		fmt.Fprintf(w, "%-10s %-14s %10s %-12s %-8s %s\n",
+			p.Place, p.Status, age, p.Source,
+			strings.Join(flags, ","), strings.Join(reports, " "))
+	}
+}
+
+// RenderTargets writes per-target scrape health — what attestctl fleet
+// targets prints.
+func RenderTargets(w io.Writer, v FleetView) {
+	fmt.Fprintf(w, "fleet %s targets — %d up / %d stale / %d down\n\n",
+		v.Fleet, v.Rollup.TargetsUp, v.Rollup.TargetsStale, v.Rollup.TargetsDown)
+	if len(v.Targets) == 0 {
+		fmt.Fprintln(w, "no targets configured")
+		return
+	}
+	fmt.Fprintf(w, "%-12s %-6s %8s %7s %9s %7s %7s %7s  %s\n",
+		"TARGET", "STATE", "SCRAPES", "ERRORS", "LAST-OK", "LATENCY", "PLACES", "FIRING", "URL")
+	for _, t := range v.Targets {
+		lastOK, latency := "never", "-"
+		if t.LastOKNS > 0 {
+			lastOK = fmtAge(time.Duration(v.NowNS-t.LastOKNS)) + " ago"
+			latency = time.Duration(t.LatencyNS).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(w, "%-12s %-6s %8d %7d %9s %7s %7d %7d  %s\n",
+			t.Name, t.State, t.Scrapes, t.Errors, lastOK, latency, t.Places, t.Firing, t.URL)
+		if t.LastErr != "" {
+			fmt.Fprintf(w, "             └ %s\n", t.LastErr)
+		}
+	}
+}
+
+// fmtAge renders a duration at scrape time scale.
+func fmtAge(d time.Duration) string {
+	if d >= time.Second {
+		return d.Round(time.Second).String()
+	}
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,31 @@
+package fleetscope
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"pera/internal/telemetry"
+)
+
+// FleetPath is where the merged fleet view is served.
+const FleetPath = "/fleet.json"
+
+// Endpoint returns the /fleet.json endpoint for telemetry.Serve: the
+// whole merged fleet model — target health, trust map, findings, alert
+// feed, rollup — as one JSON document per GET.
+func (a *Aggregator) Endpoint() telemetry.Endpoint {
+	return telemetry.Endpoint{
+		Path: FleetPath,
+		Desc: "merged fleet view: trust map, findings, alerts, rollup",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodGet {
+				telemetry.WriteJSONError(w, http.StatusMethodNotAllowed, "GET only")
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(a.View())
+		}),
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+// In-process fleet nodes for fleetscope testing: each node is a real
+// telemetry HTTP server over a real TCP socket, backed by a freshness
+// watchdog seeded into a chosen trust state. Tests compose ≥3 of these
+// to exercise the fleet aggregator's merge, conflict detection and
+// dead-target handling without booting subprocesses; fleet_smoke.sh
+// covers the real-binary path.
+
+import (
+	"time"
+
+	"pera/internal/freshness"
+	"pera/internal/telemetry"
+)
+
+// FleetNodeSpec seeds one node's watchdog state.
+type FleetNodeSpec struct {
+	// Name labels the watchdog (and the node's registry).
+	Name string
+	// Fresh places get a fresh-trust instant of "now".
+	Fresh []string
+	// Lapsed places get a fresh-trust instant far past the lapse budget,
+	// so the node reports them lapsed and fires a staleness alert.
+	Lapsed []string
+	// Never places are tracked but never attested.
+	Never []string
+}
+
+// fleetNodeBudget is the staleness budget every node shares: wide
+// enough that wall-clock test time never flips a seeded-fresh place,
+// tight enough that a 2-minute-old instant is decidedly lapsed.
+var fleetNodeBudget = freshness.Budget{
+	FreshFor:    30 * time.Second,
+	LapsedAfter: 60 * time.Second,
+}
+
+// FleetNode is a live in-process fleet member.
+type FleetNode struct {
+	Name     string
+	URL      string // http://127.0.0.1:port
+	Watchdog *freshness.Watchdog
+	Registry *telemetry.Registry
+
+	srv *telemetry.Server
+}
+
+// StartFleetNode boots one node: watchdog seeded per spec, instrumented
+// registry, telemetry server on a kernel-assigned port serving
+// /metrics.json, /coverage.json and /alerts.json.
+func StartFleetNode(spec FleetNodeSpec) (*FleetNode, error) {
+	w := freshness.New(spec.Name, freshness.Config{Budget: fleetNodeBudget})
+	now := time.Now()
+	w.Track(spec.Never...)
+	for _, p := range spec.Fresh {
+		w.Track(p)
+		w.RecordFresh(p, now)
+	}
+	for _, p := range spec.Lapsed {
+		w.Track(p)
+		w.RecordFresh(p, now.Add(-2*time.Minute))
+	}
+	// Two ticks: the staleness rule's firing hysteresis is two breaching
+	// evaluations, so lapsed seeds leave the node with alerts firing.
+	w.Tick()
+	w.Tick()
+
+	reg := telemetry.NewRegistry()
+	w.Instrument(reg)
+	srv, err := telemetry.Serve("127.0.0.1:0", reg, nil, w.Endpoints()...)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetNode{
+		Name:     spec.Name,
+		URL:      "http://" + srv.Addr(),
+		Watchdog: w,
+		Registry: reg,
+		srv:      srv,
+	}, nil
+}
+
+// Close shuts the node's HTTP server down — from the fleet's point of
+// view the process just died.
+func (n *FleetNode) Close() { n.srv.Close() }

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"pera/internal/fleetscope"
+)
+
+// End-to-end fleet acceptance over real sockets: three in-process nodes
+// (real HTTP servers), a seeded fresh-vs-lapsed conflict on sw2, one
+// node killed mid-run. The merged view must show the global trust map,
+// the conflict finding, and the dead node down within two scrape
+// intervals — while the survivors keep updating.
+func TestFleetAggregationE2E(t *testing.T) {
+	// appr1 believes sw2 is fresh; appr2 saw it last a long time ago —
+	// the disagreement a partitioned appraiser produces. node3 is the
+	// healthy kill target with exclusive knowledge of sw4.
+	appr1, err := StartFleetNode(FleetNodeSpec{Name: "appr1", Fresh: []string{"sw1", "sw2"}})
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	defer appr1.Close()
+	appr2, err := StartFleetNode(FleetNodeSpec{Name: "appr2", Fresh: []string{"sw1"}, Lapsed: []string{"sw2"}, Never: []string{"sw3"}})
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	defer appr2.Close()
+	node3, err := StartFleetNode(FleetNodeSpec{Name: "node3", Fresh: []string{"sw4"}})
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+
+	interval := 30 * time.Millisecond
+	agg := fleetscope.New(fleetscope.Config{Interval: interval, Timeout: 500 * time.Millisecond},
+		[]fleetscope.Target{
+			{Name: "appr1", URL: appr1.URL},
+			{Name: "appr2", URL: appr2.URL},
+			{Name: "node3", URL: node3.URL},
+		})
+	agg.Start()
+	defer agg.Close()
+
+	waitView := func(what string, cond func(fleetscope.FleetView) bool) fleetscope.FleetView {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if v := agg.View(); cond(v) {
+				return v
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s; last view: %+v", what, agg.View())
+		return fleetscope.FleetView{}
+	}
+
+	// 1. All three merge into one trust map.
+	v := waitView("all targets up with coverage", func(v fleetscope.FleetView) bool {
+		return v.Rollup.TargetsUp == 3 && len(v.TrustMap) == 4
+	})
+	places := map[string]fleetscope.PlaceTrust{}
+	for _, p := range v.TrustMap {
+		places[p.Place] = p
+	}
+	if len(places["sw2"].Reports) != 2 {
+		t.Fatalf("sw2 reports = %+v, want appr1+appr2", places["sw2"].Reports)
+	}
+
+	// 2. The seeded fresh-vs-lapsed disagreement on sw2: freshest wins,
+	// conflict finding emitted.
+	sw2 := places["sw2"]
+	if sw2.Status != "fresh" || sw2.Source != "appr1" || !sw2.Conflict {
+		t.Fatalf("sw2 = %+v, want fresh from appr1 with conflict", sw2)
+	}
+	var conflictFound bool
+	for _, f := range v.Findings {
+		if f.Kind == fleetscope.FindingConflict && f.Place == "sw2" {
+			conflictFound = true
+		}
+	}
+	if !conflictFound {
+		t.Fatalf("no status-conflict finding: %+v", v.Findings)
+	}
+	// appr2's staleness alert for sw2 made it into the merged feed.
+	var alertSeen bool
+	for _, a := range v.Alerts {
+		if a.Place == "sw2" && a.State == "firing" {
+			alertSeen = true
+		}
+	}
+	if !alertSeen {
+		t.Fatalf("appr2's firing staleness alert missing from merged feed: %+v", v.Alerts)
+	}
+
+	// 3. Kill node3: down within two scrape intervals (wall-clock bound
+	// is generous for CI scheduling; the state machine needs exactly two
+	// consecutive failures), survivors still scraping, sw4 retained.
+	node3.Close()
+	killedAt := time.Now()
+	v = waitView("node3 down", func(v fleetscope.FleetView) bool {
+		return v.Rollup.TargetsDown == 1
+	})
+	if took := time.Since(killedAt); took > 20*interval {
+		t.Fatalf("down transition took %v, want ~2 intervals (%v)", took, 2*interval)
+	}
+	var downFinding bool
+	for _, f := range v.Findings {
+		if f.Kind == fleetscope.FindingTargetDown && f.Target == "node3" {
+			downFinding = true
+		}
+	}
+	if !downFinding {
+		t.Fatalf("no target-down finding: %+v", v.Findings)
+	}
+	sw4 := mustPlace(t, v, "sw4")
+	if !sw4.AllReportersDown {
+		t.Fatalf("sw4 = %+v: last-known state should be retained and flagged when its only reporter dies", sw4)
+	}
+
+	// 4. Survivors keep updating after the kill — the dead target never
+	// stalls the loop.
+	var before uint64
+	for _, ts := range v.Targets {
+		if ts.Name == "appr1" {
+			before = ts.Scrapes
+		}
+	}
+	waitView("appr1 still scraping", func(v fleetscope.FleetView) bool {
+		for _, ts := range v.Targets {
+			if ts.Name == "appr1" {
+				return ts.Scrapes > before && ts.State == "up"
+			}
+		}
+		return false
+	})
+}
+
+func mustPlace(t *testing.T, v fleetscope.FleetView, place string) fleetscope.PlaceTrust {
+	t.Helper()
+	for _, p := range v.TrustMap {
+		if p.Place == place {
+			return p
+		}
+	}
+	t.Fatalf("place %s missing from trust map: %+v", place, v.TrustMap)
+	return fleetscope.PlaceTrust{}
+}

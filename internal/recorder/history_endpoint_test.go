@@ -1,0 +1,106 @@
+package recorder
+
+// /history.json error-contract tests (see telemetry.WriteJSONError):
+// unknown metrics are 404, malformed since/step are 400, and every
+// error body is application/json with an error field — a client must
+// never have to tell "no such metric" from "no points yet" by sniffing
+// a 200.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+func historyRecorder(t *testing.T) *Recorder {
+	t.Helper()
+	clock := newFakeClock()
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge("pera_pool_queue_depth")
+	r := New(Config{Clock: clock.Now})
+	r.SetRegistry(reg)
+	for i := 0; i < 3; i++ {
+		g.Set(float64(i))
+		r.Scrape()
+		clock.Advance(time.Second)
+	}
+	return r
+}
+
+func historyGet(t *testing.T, r *Recorder, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	rw := httptest.NewRecorder()
+	r.handleHistory(rw, httptest.NewRequest("GET", HistoryPath+query, nil))
+	return rw
+}
+
+func assertJSONError(t *testing.T, rw *httptest.ResponseRecorder, wantCode int) string {
+	t.Helper()
+	if rw.Code != wantCode {
+		t.Fatalf("status %d, want %d\n%s", rw.Code, wantCode, rw.Body.String())
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+		Code  int    `json:"code"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &e); err != nil || e.Error == "" || e.Code != wantCode {
+		t.Fatalf("error body not well-formed JSON: %v\n%s", err, rw.Body.String())
+	}
+	return e.Error
+}
+
+func TestHistoryUnknownMetric404(t *testing.T) {
+	r := historyRecorder(t)
+	msg := assertJSONError(t, historyGet(t, r, "?metric=pera_no_such_metric"), http.StatusNotFound)
+	if msg != "unknown metric: pera_no_such_metric" {
+		t.Fatalf("error = %q", msg)
+	}
+}
+
+func TestHistoryBadSince400(t *testing.T) {
+	r := historyRecorder(t)
+	for _, bad := range []string{"bogus", "5minutes", "--3"} {
+		assertJSONError(t, historyGet(t, r, "?metric=pera_pool_queue_depth&since="+bad), http.StatusBadRequest)
+	}
+	// A bad since on an unknown metric is still a 400 — parse errors
+	// report before existence so the caller fixes one thing at a time.
+	assertJSONError(t, historyGet(t, r, "?metric=nope&since=bogus"), http.StatusBadRequest)
+}
+
+func TestHistoryBadStep400(t *testing.T) {
+	r := historyRecorder(t)
+	assertJSONError(t, historyGet(t, r, "?metric=pera_pool_queue_depth&step=fast"), http.StatusBadRequest)
+}
+
+func TestHistoryGoodQueriesStillJSON(t *testing.T) {
+	r := historyRecorder(t)
+	for _, q := range []string{"", "?metric=pera_pool_queue_depth", "?metric=pera_pool_queue_depth&since=1s&step=10s"} {
+		rw := historyGet(t, r, q)
+		if rw.Code != http.StatusOK {
+			t.Fatalf("%q: status %d", q, rw.Code)
+		}
+		if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%q: content type %q", q, ct)
+		}
+	}
+	// A known metric with a since that excludes every point is an empty
+	// 200, not an error: the metric exists, the window is just empty.
+	rw := historyGet(t, r, "?metric=pera_pool_queue_depth&since=9000000000000000000")
+	if rw.Code != http.StatusOK {
+		t.Fatalf("empty window: status %d, want 200", rw.Code)
+	}
+}
+
+func TestHistoryNilRecorder404(t *testing.T) {
+	var r *Recorder
+	rw := httptest.NewRecorder()
+	r.handleHistory(rw, httptest.NewRequest("GET", HistoryPath, nil))
+	assertJSONError(t, rw, http.StatusNotFound)
+}

@@ -484,13 +484,13 @@ func (r *Recorder) Endpoint() telemetry.Endpoint {
 
 func (r *Recorder) handleHistory(w http.ResponseWriter, req *http.Request) {
 	if r == nil {
-		http.Error(w, "recorder disabled", http.StatusNotFound)
+		telemetry.WriteJSONError(w, http.StatusNotFound, "recorder disabled")
 		return
 	}
 	q := req.URL.Query()
-	w.Header().Set("Content-Type", "application/json")
 	metric := q.Get("metric")
 	if metric == "" {
+		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
 			Series []SeriesInfo `json:"series"`
 		}{r.store.List()})
@@ -503,7 +503,8 @@ func (r *Recorder) handleHistory(w http.ResponseWriter, req *http.Request) {
 		} else if n, err := strconv.ParseInt(s, 10, 64); err == nil {
 			since = n
 		} else {
-			http.Error(w, "bad since: want a duration (5m) or unix nanoseconds", http.StatusBadRequest)
+			telemetry.WriteJSONError(w, http.StatusBadRequest,
+				"bad since: "+s+" (want a duration like 5m or unix nanoseconds)")
 			return
 		}
 	}
@@ -511,12 +512,22 @@ func (r *Recorder) handleHistory(w http.ResponseWriter, req *http.Request) {
 	if s := q.Get("step"); s != "" {
 		d, err := time.ParseDuration(s)
 		if err != nil {
-			http.Error(w, "bad step: want a duration (1s, 10s)", http.StatusBadRequest)
+			telemetry.WriteJSONError(w, http.StatusBadRequest,
+				"bad step: "+s+" (want a duration like 1s, 10s)")
 			return
 		}
 		coarse = d >= r.store.cfg.CoarseStep
 	}
+	series := r.store.Query(metric, since, coarse)
+	if len(series) == 0 {
+		// Query matches by exact ID or base name; nothing matching means
+		// the metric is not recorded here — a 404 the caller can act on,
+		// not a 200 with an empty body it has to guess about.
+		telemetry.WriteJSONError(w, http.StatusNotFound, "unknown metric: "+metric)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
 		Series []Series `json:"series"`
-	}{r.store.Query(metric, since, coarse)})
+	}{series})
 }

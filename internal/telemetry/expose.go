@@ -101,6 +101,20 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// WriteJSONError answers an HTTP request with a JSON error document and
+// the right status code — the contract for every telemetry surface:
+// machine clients (fleetscope, dashboards) must be able to distinguish
+// "you asked a bad question" from an empty-but-valid answer without
+// sniffing body shapes, so bad queries never get 200 + a partial body.
+func WriteJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		Code  int    `json:"code"`
+	}{Error: msg, Code: code})
+}
+
 // Endpoint mounts one extra handler on the telemetry mux — how optional
 // surfaces (an observatory collector's JSON, pprof) ride the same
 // listener as /metrics without the telemetry package importing them.
@@ -146,7 +160,7 @@ func Handler(reg *Registry, tracer *FlowTracer, extras ...Endpoint) http.Handler
 		if ls := q.Get("limit"); ls != "" {
 			n, err := strconv.Atoi(ls)
 			if err != nil || n < 0 {
-				http.Error(w, "bad limit: "+ls, http.StatusBadRequest)
+				WriteJSONError(w, http.StatusBadRequest, "bad limit: "+ls)
 				return
 			}
 			if n < len(spans) {
@@ -154,9 +168,14 @@ func Handler(reg *Registry, tracer *FlowTracer, extras ...Endpoint) http.Handler
 				spans = spans[len(spans)-n:]
 			}
 		}
-		if q.Get("format") == "otlp" {
+		switch q.Get("format") {
+		case "", "json":
+		case "otlp":
 			w.Header().Set("Content-Type", "application/json")
 			WriteOTLP(w, "pera", spans)
+			return
+		default:
+			WriteJSONError(w, http.StatusBadRequest, "unknown format: "+q.Get("format")+" (want json or otlp)")
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

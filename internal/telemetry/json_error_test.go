@@ -1,0 +1,91 @@
+package telemetry
+
+// Error-contract tests for the telemetry HTTP surfaces: bad queries
+// must answer with the right status code AND application/json — machine
+// clients (fleetscope, dashboards) distinguish "bad question" from
+// "empty answer" by status and parse the error body, never by sniffing
+// a 200's shape.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestWriteJSONError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSONError(rec, http.StatusBadRequest, "bad limit: x")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var body struct {
+		Error string `json:"error"`
+		Code  int    `json:"code"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if body.Error != "bad limit: x" || body.Code != http.StatusBadRequest {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func getWithHeaders(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+func TestTraceEndpointBadQueriesAreJSON(t *testing.T) {
+	tr := NewFlowTracer(8)
+	tr.SetSampleEvery(1)
+	tr.RecordSpan(tr.NewContext("f"), SpanContext{}, "f", "p", StageVerify, time.Now(), 0, "")
+	srv, err := Serve("127.0.0.1:0", NewRegistry(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/trace?limit=banana", http.StatusBadRequest},
+		{"/trace?limit=-3", http.StatusBadRequest},
+		{"/trace?format=xml", http.StatusBadRequest},
+	} {
+		code, ct, body := getWithHeaders(t, base+tc.path)
+		if code != tc.code {
+			t.Fatalf("%s: status %d, want %d", tc.path, code, tc.code)
+		}
+		if ct != "application/json" {
+			t.Fatalf("%s: content type %q, want application/json", tc.path, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s: error body not JSON with error field: %s", tc.path, body)
+		}
+	}
+
+	// The happy paths still answer 200 with their documented types.
+	if code, ct, _ := getWithHeaders(t, base+"/trace?format=json&limit=1"); code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("good query: %d %s", code, ct)
+	}
+	if code, ct, _ := getWithHeaders(t, base+"/trace?format=otlp"); code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("otlp query: %d %s", code, ct)
+	}
+}
