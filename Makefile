@@ -11,7 +11,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke trace-smoke recorder-smoke fleet-smoke cover fmt clean
+.PHONY: all build test race vet bench bench-quick bench-throughput telemetry-smoke audit-smoke observe-smoke slo-smoke trace-smoke recorder-smoke fleet-smoke profile-smoke cover fmt clean
 
 all: build test race vet
 
@@ -32,7 +32,10 @@ build:
 # the compromised switch offline (recorder_smoke.sh), and a fleetd
 # scraping three live perasim processes must merge them into one trust
 # map with the seeded conflict found and a killed member marked down
-# (fleet_smoke.sh).
+# (fleet_smoke.sh), and a -profile throughput run must attribute the
+# timed phase's CPU to RATS stages on /profile.json with the raw
+# cpu.pprof artifact re-summarizing offline to the same hotspot
+# (profile_smoke.sh).
 test: vet
 	$(GO) test ./...
 	$(MAKE) telemetry-smoke
@@ -42,6 +45,7 @@ test: vet
 	$(MAKE) trace-smoke
 	$(MAKE) recorder-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) profile-smoke
 
 race:
 	$(GO) test -race ./...
@@ -107,6 +111,15 @@ recorder-smoke:
 # pera_fleet_* federation metrics agree.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# End-to-end continuous-profiling check: a -profile UC1 throughput run
+# serves /profile.json with >= 60% of the timed phase's CPU attributed
+# to stage labels (verify-stage row present), a bad query answers with
+# the JSON error contract, and the downloaded cpu.pprof re-summarizes
+# offline — process dead — to the same hotspot via `attestctl profile
+# top -file`.
+profile-smoke:
+	sh scripts/profile_smoke.sh
 
 # Coverage over the library packages with a floor: the build fails if
 # total statement coverage regresses below COVER_FLOOR percent.

@@ -23,6 +23,7 @@ import (
 	"pera/internal/observatory"
 	"pera/internal/p4ir"
 	"pera/internal/pera"
+	"pera/internal/profiler"
 	"pera/internal/rats"
 	"pera/internal/recorder"
 	"pera/internal/rot"
@@ -619,6 +620,52 @@ func BenchmarkThroughput_FleetScrape(b *testing.B) {
 	b.Run("off", func(b *testing.B) { run(b, 0) })
 	b.Run("scraped", func(b *testing.B) { run(b, 10*time.Millisecond) })
 	b.Run("scraped1ms", func(b *testing.B) { run(b, time.Millisecond) })
+}
+
+// BenchmarkThroughput_Profile measures what the always-on continuous
+// profiler costs the end-to-end throughput run: "off" is
+// BenchmarkThroughput_EndToEnd's configuration; "on" runs the same loop
+// under a live profiler Start() loop — back-to-back CPU capture windows
+// with stage labels armed, so every run pays the 100Hz SIGPROF sampling
+// tax, the per-region label push/pop, and its share of the background
+// window ingest (decode + attribution), exactly as a -profile daemon
+// does. Each iteration is NOT wrapped in its own capture: pprof's
+// start/stop flush costs a fixed ~200ms, which production amortizes
+// across a whole window and a per-iteration capture would bill to every
+// 3ms run (see BENCH_throughput.json profiler_overhead).
+func BenchmarkThroughput_Profile(b *testing.B) {
+	run := func(b *testing.B, profiled bool) {
+		var p *profiler.Profiler
+		if profiled {
+			p = profiler.New(profiler.Options{Service: "bench", Window: 250 * time.Millisecond})
+			p.Start()
+			// Let the first window's StartCPUProfile land so the timed
+			// loop runs under an active capture from the first iteration.
+			time.Sleep(5 * time.Millisecond)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o := harness.ThroughputOptions{Workers: 0, Packets: 128, Flows: 8, Memo: true}
+			res, err := harness.RunThroughputOpts(o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Pass != 128 {
+				b.Fatalf("pass=%d, want 128", res.Pass)
+			}
+		}
+		b.StopTimer()
+		if profiled {
+			// Close ingests the in-flight window, so a short run still
+			// proves the profiler was live.
+			p.Close()
+			if p.Captures() == 0 {
+				b.Fatal("profiler captured nothing during the run")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkVerifyMemo isolates the memo win on a single 3-hop chain:

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"pera/internal/appraiser"
 	"pera/internal/evidence"
 	"pera/internal/freshness"
+	"pera/internal/profiler"
 	"pera/internal/rats"
 	"pera/internal/recorder"
 	"pera/internal/rot"
@@ -48,8 +50,20 @@ func main() {
 		recorderDir      = flag.String("recorder", "", "enable the attestation flight recorder; incident bundles land in this directory (inspect with `attestctl incident`)")
 		recorderInterval = flag.Duration("recorder-interval", time.Second, "with -recorder: metric scrape interval")
 		recorderDebounce = flag.Duration("recorder-debounce", 30*time.Second, "with -recorder: minimum spacing between incident bundles")
+
+		profileOn  = flag.Bool("profile", false, "enable the continuous profiler: stage-attributed CPU at /profile.json, raw artifacts at /profile/pprof (inspect with `attestctl profile`)")
+		profileWin = flag.Duration("profile-window", 2*time.Second, "with -profile: one CPU capture window")
+		profMutex  = flag.Int("profile-mutex", 0, "runtime.SetMutexProfileFraction: sample 1-in-N mutex contention events (0 = off)")
+		profBlock  = flag.Int("profile-block", 0, "runtime.SetBlockProfileRate: sample blocking events lasting >= N ns (0 = off)")
 	)
 	flag.Parse()
+
+	if *profMutex > 0 {
+		runtime.SetMutexProfileFraction(*profMutex)
+	}
+	if *profBlock > 0 {
+		runtime.SetBlockProfileRate(*profBlock)
+	}
 
 	appr := appraiser.New("appraised", []byte(*seed))
 	appr.Strict = *strict
@@ -67,13 +81,14 @@ func main() {
 		appr.SetTracer(tracer)
 		fmt.Printf("appraised: tracing 1-in-%d flows\n", *traceN)
 	}
-	if *telemAddr != "" || *recorderDir != "" {
+	if *telemAddr != "" || *recorderDir != "" || *profileOn {
 		reg := telemetry.NewRegistry()
 		appr.Instrument(reg)
 		tracer.Instrument(reg)
 		var extras []telemetry.Endpoint
+		var rec *recorder.Recorder
 		if *recorderDir != "" {
-			rec := recorder.New(recorder.Config{
+			rec = recorder.New(recorder.Config{
 				Interval: *recorderInterval,
 				Service:  "appraised",
 				Bundle:   recorder.BundlerConfig{Dir: *recorderDir, Debounce: *recorderDebounce},
@@ -89,6 +104,21 @@ func main() {
 			defer rec.Close()
 			extras = append(extras, rec.Endpoint())
 			fmt.Printf("appraised: flight recorder on — incident bundles -> %s\n", *recorderDir)
+		}
+		if *profileOn {
+			prof := profiler.New(profiler.Options{
+				Service: "appraised", Window: *profileWin, Registry: reg,
+				Diff: profiler.DiffConfig{AutoBaseline: true},
+			})
+			prof.AddSink(freshness.NewLogSink(os.Stderr))
+			if rec != nil {
+				prof.AddSink(rec.Sink())
+				rec.SetProfiler(prof)
+			}
+			prof.Start()
+			defer prof.Close()
+			extras = append(extras, prof.Endpoints()...)
+			fmt.Printf("appraised: continuous profiler on — %v windows at /profile.json (attestctl profile top)\n", *profileWin)
 		}
 		if *telemAddr != "" {
 			srv, err := telemetry.Serve(*telemAddr, reg, tracer, extras...)

@@ -51,6 +51,14 @@
 //	attestctl fleet top     -endpoints http://127.0.0.1:9464,http://127.0.0.1:9465
 //	attestctl fleet targets -fleet http://127.0.0.1:9470 -watch
 //
+// And the continuous profiler a -profile process serves at /profile.json
+// (see docs/PROFILING.md) — live, or offline against an exported pprof
+// artifact:
+//
+//	attestctl profile top  -collector http://127.0.0.1:9464
+//	attestctl profile top  -file incidents/<bundle>/cpu.pprof
+//	attestctl profile diff -collector http://127.0.0.1:9464
+//
 // Running `attestctl <unknown>` prints the command list.
 package main
 
@@ -83,6 +91,7 @@ var verbs = []struct {
 	{"fleet", "render the fleet-wide trust map and target health", runFleet},
 	{"history", "render flight-recorder metric history (sparkline/table)", runHistory},
 	{"incident", "list / show / export incident bundles", runIncident},
+	{"profile", "top / diff / watch the continuous profiler", runProfile},
 }
 
 func usage() {

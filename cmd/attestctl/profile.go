@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"pera/internal/profiler"
+	"pera/internal/telemetry"
+)
+
+// runProfile dispatches the continuous-profiler subcommands (see
+// docs/PROFILING.md):
+//
+//	attestctl profile top   -collector http://127.0.0.1:9464
+//	attestctl profile top   -file cpu.pprof
+//	attestctl profile diff  -collector http://127.0.0.1:9464
+//	attestctl profile watch -collector http://127.0.0.1:9464
+//
+// `top` renders the stage-attributed CPU breakdown and the flat
+// top-function table — live from a -profile process's /profile.json, or
+// offline from a raw pprof artifact (an incident bundle's cpu.pprof)
+// decoded by the same zero-dependency reader the profiler uses.
+// `diff` renders the pinned-baseline comparison and any regression
+// findings. `watch` refreshes `top` in place like top(1).
+func runProfile(args []string) {
+	sub := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
+	}
+	switch sub {
+	case "top", "diff", "watch":
+	default:
+		fmt.Fprintln(os.Stderr, "usage: attestctl profile top   [-collector URL | -file cpu.pprof] [-window 30s] [-json]")
+		fmt.Fprintln(os.Stderr, "       attestctl profile diff  [-collector URL] [-json]")
+		fmt.Fprintln(os.Stderr, "       attestctl profile watch [-collector URL] [-interval 2s]")
+		os.Exit(2)
+	}
+
+	fs := flag.NewFlagSet("attestctl profile "+sub, flag.ExitOnError)
+	collectorURL := fs.String("collector", "http://127.0.0.1:9464", "base URL of the telemetry server hosting /profile.json")
+	file := fs.String("file", "", "decode a raw pprof artifact offline instead of scraping a live process (top only)")
+	window := fs.Duration("window", 0, "aggregate capture windows over this lookback (0 = newest window only)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval with watch")
+	jsonOut := fs.Bool("json", false, "dump the raw summary JSON once and exit")
+	fs.Parse(args)
+
+	if *file != "" {
+		if sub != "top" {
+			fatal("-file only applies to `profile top`")
+		}
+		s, err := summarizeFile(*file)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *jsonOut {
+			json.NewEncoder(os.Stdout).Encode(s)
+			return
+		}
+		renderProfileSummary(os.Stdout, s)
+		return
+	}
+
+	get := func(out any) error {
+		url := strings.TrimSuffix(*collectorURL, "/") + profiler.ProfilePath
+		if *window > 0 {
+			url += "?window=" + window.String()
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+			return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	if *jsonOut {
+		var raw json.RawMessage
+		if err := get(&raw); err != nil {
+			fatal("%v", err)
+		}
+		os.Stdout.Write(raw)
+		fmt.Println()
+		return
+	}
+
+	render := func() error {
+		var s profiler.Summary
+		if err := get(&s); err != nil {
+			return err
+		}
+		if sub == "diff" {
+			renderProfileDiff(os.Stdout, s)
+		} else {
+			renderProfileSummary(os.Stdout, s)
+		}
+		return nil
+	}
+	if sub != "watch" {
+		if err := render(); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	for i := 0; ; i++ {
+		if i > 0 {
+			fmt.Print("\033[H\033[2J")
+		}
+		if err := render(); err != nil {
+			fatal("%v", err)
+		}
+		select {
+		case <-sig:
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// summarizeFile rebuilds the stage/function attribution from a raw pprof
+// artifact on disk — the exact computation the live profiler runs on
+// each capture, applied offline to an exported cpu.pprof.
+func summarizeFile(path string) (profiler.Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return profiler.Summary{}, err
+	}
+	prof, err := profiler.ParseProfile(data)
+	if err != nil {
+		return profiler.Summary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	vi := prof.ValueIndex("cpu")
+	unit := 1.0
+	if vi >= 0 && vi < len(prof.SampleTypes) && prof.SampleTypes[vi].Unit == "nanoseconds" {
+		unit = 1e-9
+	}
+
+	s := profiler.Summary{
+		Service:    path,
+		CapturedNS: prof.TimeNanos,
+		WindowNS:   prof.DurationNS,
+		Captures:   1,
+	}
+	type stageKey struct{ stage, place string }
+	stages := map[stageKey]float64{}
+	funcs := map[string]float64{}
+	for i := range prof.Samples {
+		sm := &prof.Samples[i]
+		if vi >= len(sm.Values) {
+			continue
+		}
+		secs := float64(sm.Values[vi]) * unit
+		s.Samples++
+		s.TotalSeconds += secs
+		funcs[prof.LeafFunction(sm)] += secs
+		if stage := sm.Labels[telemetry.ProfStageKey]; stage != "" {
+			s.LabeledSeconds += secs
+			stages[stageKey{stage, sm.Labels[telemetry.ProfPlaceKey]}] += secs
+		}
+	}
+	if s.TotalSeconds > 0 {
+		s.LabeledShare = s.LabeledSeconds / s.TotalSeconds
+	}
+	for k, secs := range stages {
+		s.Stages = append(s.Stages, profiler.StageCost{
+			Stage: k.stage, Place: k.place, Seconds: secs, Share: secs / s.TotalSeconds,
+		})
+	}
+	sort.Slice(s.Stages, func(i, j int) bool {
+		if s.Stages[i].Seconds != s.Stages[j].Seconds {
+			return s.Stages[i].Seconds > s.Stages[j].Seconds
+		}
+		return s.Stages[i].Stage+s.Stages[i].Place < s.Stages[j].Stage+s.Stages[j].Place
+	})
+	for name, secs := range funcs {
+		s.Top = append(s.Top, profiler.FuncCost{Name: name, Seconds: secs, Share: secs / s.TotalSeconds})
+	}
+	sort.Slice(s.Top, func(i, j int) bool {
+		if s.Top[i].Seconds != s.Top[j].Seconds {
+			return s.Top[i].Seconds > s.Top[j].Seconds
+		}
+		return s.Top[i].Name < s.Top[j].Name
+	})
+	if len(s.Top) > 10 {
+		s.Top = s.Top[:10]
+	}
+	if len(s.Top) > 0 {
+		s.Hotspot, s.HotspotShare = s.Top[0].Name, s.Top[0].Share
+	}
+	return s, nil
+}
+
+// renderProfileSummary writes the stage-attributed CPU breakdown.
+func renderProfileSummary(w io.Writer, s profiler.Summary) {
+	fmt.Fprintf(w, "profiler %s — %d captures, window %v, %d samples\n",
+		s.Service, s.Captures, time.Duration(s.WindowNS).Round(time.Millisecond), s.Samples)
+	if s.TotalSeconds == 0 {
+		fmt.Fprintln(w, "no CPU samples captured yet")
+		return
+	}
+	fmt.Fprintf(w, "cpu: %.3fs total, %.0f%% stage-labeled, hotspot %s (%.0f%%)\n",
+		s.TotalSeconds, s.LabeledShare*100, s.Hotspot, s.HotspotShare*100)
+	if len(s.Kinds) > 0 {
+		fmt.Fprintf(w, "artifacts: %s (GET %s?kind=)\n", strings.Join(s.Kinds, ", "), profiler.ArtifactPath)
+	}
+	if len(s.Stages) > 0 {
+		fmt.Fprintf(w, "\nstage attribution:\n")
+		fmt.Fprintf(w, "  %-10s %-8s %9s %6s\n", "STAGE", "PLACE", "SECONDS", "SHARE")
+		for _, st := range s.Stages {
+			fmt.Fprintf(w, "  %-10s %-8s %8.3fs %5.0f%%\n", st.Stage, st.Place, st.Seconds, st.Share*100)
+		}
+	}
+	if len(s.Top) > 0 {
+		fmt.Fprintf(w, "\ntop functions (flat, by leaf):\n")
+		for _, f := range s.Top {
+			fmt.Fprintf(w, "  %8.3fs %5.0f%%  %s\n", f.Seconds, f.Share*100, f.Name)
+		}
+	}
+	for _, f := range s.Regressions {
+		fmt.Fprintf(w, "\nREGRESSION [%s] %s\n", f.Kind, f.Reason)
+	}
+}
+
+// renderProfileDiff writes the pinned-baseline comparison.
+func renderProfileDiff(w io.Writer, s profiler.Summary) {
+	if !s.Baseline || s.Diff == nil {
+		fmt.Fprintln(w, "no baseline pinned — start the daemon with -profile and let the first capture pin one")
+		return
+	}
+	d := s.Diff
+	fmt.Fprintf(w, "profiler %s — baseline %.3fs vs current %.3fs\n",
+		s.Service, d.BaselineSeconds, d.CurrentSeconds)
+	if len(d.Stages) > 0 {
+		fmt.Fprintf(w, "\nstage share deltas (regressions first):\n")
+		fmt.Fprintf(w, "  %-10s %-8s %6s %6s %7s\n", "STAGE", "PLACE", "BASE", "CUR", "DELTA")
+		for _, sd := range d.Stages {
+			fmt.Fprintf(w, "  %-10s %-8s %5.0f%% %5.0f%% %+6.0f pts\n",
+				sd.Stage, sd.Place, sd.BaseShare*100, sd.CurShare*100, sd.Delta*100)
+		}
+	}
+	n := len(d.Functions)
+	if n > 8 {
+		n = 8
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "\nfunction share deltas (top %d of %d):\n", n, len(d.Functions))
+		for _, fd := range d.Functions[:n] {
+			fmt.Fprintf(w, "  %5.0f%% -> %5.0f%% (%+5.0f pts)  %s\n",
+				fd.BaseShare*100, fd.CurShare*100, fd.Delta*100, fd.Name)
+		}
+	}
+	if len(d.Findings) == 0 {
+		fmt.Fprintf(w, "\nno regressions against the baseline\n")
+		return
+	}
+	fmt.Fprintf(w, "\nfindings (%d):\n", len(d.Findings))
+	for _, f := range d.Findings {
+		fmt.Fprintf(w, "  [%s] %s\n", f.Kind, f.Reason)
+	}
+}

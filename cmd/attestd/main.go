@@ -12,6 +12,7 @@
 //	attestd -listen :7422 -telemetry :9464   # live /metrics for the switch
 //	attestd -listen :7422 -audit sw1.jsonl   # hash-chained RATS audit ledger
 //	attestd -listen :7422 -telemetry :9464 -trace 8   # trace 1-in-8 flows at /trace
+//	attestd -listen :7422 -telemetry :9464 -profile   # stage-attributed CPU at /profile.json
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"pera/internal/freshness"
 	"pera/internal/p4ir"
 	"pera/internal/pera"
+	"pera/internal/profiler"
 	"pera/internal/rats"
 	"pera/internal/recorder"
 	"pera/internal/telemetry"
@@ -54,8 +57,20 @@ func main() {
 		recorderDir      = flag.String("recorder", "", "enable the attestation flight recorder; incident bundles land in this directory (inspect with `attestctl incident`)")
 		recorderInterval = flag.Duration("recorder-interval", time.Second, "with -recorder: metric scrape interval")
 		recorderDebounce = flag.Duration("recorder-debounce", 30*time.Second, "with -recorder: minimum spacing between incident bundles")
+
+		profileOn  = flag.Bool("profile", false, "enable the continuous profiler: stage-attributed CPU at /profile.json, raw artifacts at /profile/pprof (inspect with `attestctl profile`)")
+		profileWin = flag.Duration("profile-window", 2*time.Second, "with -profile: one CPU capture window")
+		profMutex  = flag.Int("profile-mutex", 0, "runtime.SetMutexProfileFraction: sample 1-in-N mutex contention events (0 = off)")
+		profBlock  = flag.Int("profile-block", 0, "runtime.SetBlockProfileRate: sample blocking events lasting >= N ns (0 = off)")
 	)
 	flag.Parse()
+
+	if *profMutex > 0 {
+		runtime.SetMutexProfileFraction(*profMutex)
+	}
+	if *profBlock > 0 {
+		runtime.SetBlockProfileRate(*profBlock)
+	}
 
 	prog, err := buildProgram(*program)
 	if *file != "" {
@@ -101,7 +116,7 @@ func main() {
 		fmt.Printf("attestd: tracing 1-in-%d flows (attestctl trace <flow|trace-id> to inspect)\n", *traceN)
 	}
 
-	if *telemAddr != "" || *recorderDir != "" {
+	if *telemAddr != "" || *recorderDir != "" || *profileOn {
 		reg := telemetry.NewRegistry()
 		sw.Instrument(reg)
 		audit.Instrument(reg)
@@ -110,8 +125,9 @@ func main() {
 		if *pprofOn {
 			extras = telemetry.PprofEndpoints()
 		}
+		var rec *recorder.Recorder
 		if *recorderDir != "" {
-			rec := recorder.New(recorder.Config{
+			rec = recorder.New(recorder.Config{
 				Interval: *recorderInterval,
 				Service:  "attestd/" + *name,
 				Bundle: recorder.BundlerConfig{
@@ -130,6 +146,24 @@ func main() {
 			defer rec.Close()
 			extras = append(extras, rec.Endpoint())
 			fmt.Printf("attestd: flight recorder on — incident bundles -> %s\n", *recorderDir)
+		}
+		if *profileOn {
+			prof := profiler.New(profiler.Options{
+				Service: "attestd/" + *name, Window: *profileWin, Registry: reg,
+				Diff: profiler.DiffConfig{AutoBaseline: true},
+			})
+			prof.AddSink(freshness.NewLogSink(os.Stderr))
+			prof.AddSink(freshness.NewAuditSink(audit))
+			if rec != nil {
+				// Regressions trigger incident bundles, and bundles carry
+				// the profiler's cpu.pprof / mutex.pprof / top_diff.json.
+				prof.AddSink(rec.Sink())
+				rec.SetProfiler(prof)
+			}
+			prof.Start()
+			defer prof.Close()
+			extras = append(extras, prof.Endpoints()...)
+			fmt.Printf("attestd: continuous profiler on — %v windows at /profile.json (attestctl profile top)\n", *profileWin)
 		}
 		if *telemAddr != "" {
 			srv, err := telemetry.Serve(*telemAddr, reg, tracer, extras...)

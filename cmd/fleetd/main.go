@@ -28,10 +28,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"pera/internal/fleetscope"
+	"pera/internal/freshness"
+	"pera/internal/profiler"
 	"pera/internal/telemetry"
 )
 
@@ -44,8 +47,20 @@ func main() {
 		interval    = flag.Duration("interval", time.Second, "per-target scrape interval")
 		timeout     = flag.Duration("timeout", 2*time.Second, "per-target scrape timeout")
 		downAfter   = flag.Int("down-after", 2, "consecutive scrape failures before a target is down")
+
+		profileOn  = flag.Bool("profile", false, "profile fleetd itself: stage-attributed CPU at /profile.json on the -listen server")
+		profileWin = flag.Duration("profile-window", 2*time.Second, "with -profile: one CPU capture window")
+		profMutex  = flag.Int("profile-mutex", 0, "runtime.SetMutexProfileFraction: sample 1-in-N mutex contention events (0 = off)")
+		profBlock  = flag.Int("profile-block", 0, "runtime.SetBlockProfileRate: sample blocking events lasting >= N ns (0 = off)")
 	)
 	flag.Parse()
+
+	if *profMutex > 0 {
+		runtime.SetMutexProfileFraction(*profMutex)
+	}
+	if *profBlock > 0 {
+		runtime.SetBlockProfileRate(*profBlock)
+	}
 
 	static, err := fleetscope.ParseTargets(*targetsFlag)
 	if err != nil {
@@ -73,7 +88,19 @@ func main() {
 	agg.Start()
 	defer agg.Close()
 
-	srv, err := telemetry.Serve(*listen, reg, nil, agg.Endpoint())
+	extras := []telemetry.Endpoint{agg.Endpoint()}
+	if *profileOn {
+		prof := profiler.New(profiler.Options{
+			Service: "fleetd/" + *name, Window: *profileWin, Registry: reg,
+			Diff: profiler.DiffConfig{AutoBaseline: true},
+		})
+		prof.AddSink(freshness.NewLogSink(os.Stderr))
+		prof.Start()
+		defer prof.Close()
+		extras = append(extras, prof.Endpoints()...)
+		fmt.Printf("fleetd: continuous profiler on — %v windows at /profile.json\n", *profileWin)
+	}
+	srv, err := telemetry.Serve(*listen, reg, nil, extras...)
 	if err != nil {
 		fatal("%v", err)
 	}

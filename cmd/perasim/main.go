@@ -45,6 +45,10 @@
 //	perasim -uc throughput -telemetry :9464 -pprof
 //	                     # additionally expose /debug/pprof/* on the
 //	                     # telemetry server (off by default)
+//	perasim -uc throughput -profile -telemetry :0 -telemetry-hold
+//	                     # continuous profiler: stage-attributed CPU at
+//	                     # /profile.json, raw pprof artifacts at
+//	                     # /profile/pprof (inspect with attestctl profile)
 //
 // In throughput mode all progress text goes to stderr, so stdout is
 // clean Prometheus text (-telemetry), JSON (-json) or the results table.
@@ -72,6 +76,7 @@ import (
 	"pera/internal/nac"
 	"pera/internal/observatory"
 	"pera/internal/pera"
+	"pera/internal/profiler"
 	"pera/internal/recorder"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
@@ -101,6 +106,11 @@ var (
 	recorderInterval = flag.Duration("recorder-interval", time.Second, "with -recorder: wall-clock scrape interval (harness runs also scrape per packet)")
 	recorderDebounce = flag.Duration("recorder-debounce", 30*time.Second, "with -recorder: minimum spacing between incident bundles")
 
+	profileOn  = flag.Bool("profile", false, "enable the continuous profiler: stage-attributed CPU at /profile.json, raw artifacts at /profile/pprof (inspect with `attestctl profile`)")
+	profileWin = flag.Duration("profile-window", 2*time.Second, "with -profile: one CPU capture window (wall-clock use cases; throughput profiles the timed phase)")
+	profMutex  = flag.Int("profile-mutex", 0, "runtime.SetMutexProfileFraction: sample 1-in-N mutex contention events (0 = off)")
+	profBlock  = flag.Int("profile-block", 0, "runtime.SetBlockProfileRate: sample blocking events lasting >= N ns (0 = off)")
+
 	slo         = flag.Bool("slo", false, "run the trust-decay scenario (shorthand for -uc slo)")
 	sloHops     = flag.Int("slo-hops", 4, "switches on the trust-decay run's linear chain")
 	sloPkts     = flag.Int("slo-packets", 160, "attested packets to drive through the trust-decay run")
@@ -118,6 +128,7 @@ var (
 	collector *observatory.Collector
 	watchdog  *freshness.Watchdog
 	rec       *recorder.Recorder
+	prof      *profiler.Profiler
 )
 
 func main() {
@@ -176,6 +187,38 @@ func main() {
 		defer rec.Close()
 		fmt.Fprintf(os.Stderr, "perasim: flight recorder on — incident bundles -> %s\n", *recorderDir)
 	}
+	if *profMutex > 0 {
+		runtime.SetMutexProfileFraction(*profMutex)
+	}
+	if *profBlock > 0 {
+		runtime.SetBlockProfileRate(*profBlock)
+	}
+	if *profileOn {
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
+		prof = profiler.New(profiler.Options{
+			Service: "perasim", Window: *profileWin, Registry: reg,
+			Diff: profiler.DiffConfig{AutoBaseline: true},
+		})
+		prof.AddSink(freshness.NewLogSink(os.Stderr))
+		if rec != nil {
+			// Regressions trigger incident bundles, and bundles carry the
+			// profiler's cpu.pprof / mutex.pprof / top_diff.json.
+			prof.AddSink(rec.Sink())
+			rec.SetProfiler(prof)
+		}
+		if *uc == "throughput" {
+			// The harness profiles exactly the timed appraisal phase via
+			// CaptureWhile; the wall-clock loop would race it for the
+			// process's single CPU profile.
+			fmt.Fprintln(os.Stderr, "perasim: continuous profiler on — capturing the timed appraisal phase")
+		} else {
+			prof.Start()
+			defer prof.Close()
+			fmt.Fprintf(os.Stderr, "perasim: continuous profiler on — %v windows at /profile.json (attestctl profile top)\n", *profileWin)
+		}
+	}
 	if *telemetryAddr != "" {
 		var extras []telemetry.Endpoint
 		if collector != nil {
@@ -184,6 +227,9 @@ func main() {
 		extras = append(extras, watchdog.Endpoints()...)
 		if rec != nil {
 			extras = append(extras, rec.Endpoint())
+		}
+		if prof != nil {
+			extras = append(extras, prof.Endpoints()...)
 		}
 		if *pprofOn {
 			extras = append(extras, telemetry.PprofEndpoints()...)
@@ -205,6 +251,7 @@ func main() {
 		audit.Instrument(reg)
 		rec.SetLedger(audit, *auditPath)
 		rec.AddSink(freshness.NewAuditSink(audit))
+		prof.AddSink(freshness.NewAuditSink(audit))
 		fmt.Fprintf(os.Stderr, "perasim: audit ledger -> %s (verify: attestctl audit verify -ledger %s)\n",
 			*auditPath, *auditPath)
 		// Flush-on-shutdown: an interrupt mid-run still leaves a complete,
@@ -564,6 +611,7 @@ func runThroughput() error {
 		Tracer:   tracer,
 		Audit:    audit,
 		Recorder: rec,
+		Profiler: prof,
 	})
 	if err != nil {
 		return err

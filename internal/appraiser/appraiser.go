@@ -218,6 +218,14 @@ type Appraiser struct {
 
 	certMu sync.Mutex
 	certs  map[string]*Certificate
+
+	// Profiling label regions (internal/profiler). Appraisal work on
+	// this goroutine is labeled "appraise"; the signature/quote walk
+	// inside check re-labels itself "verify" for its duration so
+	// stage-attributed CPU separates the relying party's two halves.
+	// Enter is an atomic load + branch while the profiler is disarmed.
+	profVerify   *telemetry.ProfRegion
+	profAppraise *telemetry.ProfRegion
 }
 
 // New creates an appraiser with a key derived from seed, so simulations
@@ -226,13 +234,15 @@ func New(name string, seed []byte) *Appraiser {
 	h := rot.Sum(append([]byte("appraiser:"), seed...))
 	priv := ed25519.NewKeyFromSeed(h[:])
 	return &Appraiser{
-		name:   name,
-		key:    priv,
-		pub:    priv.Public().(ed25519.PublicKey),
-		keys:   evidence.KeyMap{},
-		golden: make(map[goldenKey]rot.Digest),
-		used:   make(map[string]bool),
-		certs:  make(map[string]*Certificate),
+		name:         name,
+		key:          priv,
+		pub:          priv.Public().(ed25519.PublicKey),
+		keys:         evidence.KeyMap{},
+		golden:       make(map[goldenKey]rot.Digest),
+		used:         make(map[string]bool),
+		certs:        make(map[string]*Certificate),
+		profVerify:   telemetry.NewProfRegion(telemetry.StageVerify, name),
+		profAppraise: telemetry.NewProfRegion(telemetry.StageAppraise, name),
 	}
 }
 
@@ -485,6 +495,7 @@ func (a *Appraiser) AppraiseCtx(parent telemetry.SpanContext, subject string, ev
 // one; nil uses the appraiser's own) and a span link naming the shared
 // batch-flush span this appraisal's signatures rode, if any.
 func (a *Appraiser) appraiseNoted(parent telemetry.SpanContext, subject string, ev *evidence.Evidence, nonce []byte, note string, memoOverride *evidence.VerifyMemo, link string) (*Certificate, error) {
+	defer telemetry.ProfExit(a.profAppraise.Enter())
 	aud, policy := a.auditCtx()
 	obs := a.observer()
 	tr := a.tracerSnapshot()
@@ -638,6 +649,11 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte, memoOverride *evi
 	if verifySec != nil || actx.Valid() {
 		start = time.Now()
 	}
+	// Re-label this goroutine "verify" for the signature walk below; it
+	// falls back to the enclosing "appraise" region once the walk is done
+	// (appraiseNoted's deferred ProfExit clears it when the appraisal
+	// returns).
+	ventered := a.profVerify.Enter()
 	// With a memo available, front-load the chain's unverified signatures
 	// through the batch equation; the memoized walk below then consumes
 	// the seeded verdicts, so the rendered verdict (and error text) is
@@ -653,6 +669,9 @@ func (a *Appraiser) check(ev *evidence.Evidence, nonce []byte, memoOverride *evi
 		batchVerifiers.Put(bv)
 	}
 	nsigs, err := evidence.VerifySignaturesMemo(ev, keys, memo)
+	if ventered {
+		a.profAppraise.Enter()
+	}
 	verifySec.ObserveSinceExemplar(start, actx.TraceID)
 	if actx.Valid() {
 		stage, note := telemetry.StageVerify, ""

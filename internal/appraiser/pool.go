@@ -345,6 +345,7 @@ func (p *Pool) windowFlushLocked(w *verifyWindow) {
 			}
 		}
 	})
+	ventered := p.a.profVerify.Enter()
 	bv := batchVerifiers.Get().(*evidence.BatchVerifier)
 	bv.Reset(memo)
 	for i := range w.buf {
@@ -354,6 +355,7 @@ func (p *Pool) windowFlushLocked(w *verifyWindow) {
 	}
 	bv.Flush()
 	batchVerifiers.Put(bv)
+	telemetry.ProfExit(ventered)
 	link := p.flushSpanEnd(flushCtx, flushStart, len(w.buf))
 	for i := range w.buf {
 		t := w.buf[i]
@@ -524,6 +526,9 @@ func (p *Pool) prewarm(jobs []Job, leaderOf []int) (*evidence.VerifyMemo, string
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Fresh goroutine: pprof labels are goroutine-scoped, so the
+			// batch crypto must label itself here, not inherit the caller's.
+			defer telemetry.ProfExit(p.a.profVerify.Enter())
 			bv := batchVerifiers.Get().(*evidence.BatchVerifier)
 			bv.Reset(memo)
 			for j := w; j < len(uniq); j += parts {

@@ -65,6 +65,8 @@ const (
 
 	EventAnomaly  Event = "anomaly_detected" // flight-recorder detector tripped on a metric series
 	EventIncident Event = "incident_bundle"  // diagnostic bundle snapshotted; note carries the bundle ID
+
+	EventProfileRegression Event = "profile_regression" // profiler baseline diff found a hot-path CPU regression
 )
 
 // Provenance names the exact Copland/NetKAT clause that accepted or

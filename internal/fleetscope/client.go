@@ -150,6 +150,42 @@ type HistoryIndex struct {
 	} `json:"series"`
 }
 
+// ProfileSummary is the subset of the continuous profiler's
+// /profile.json surface the fleet view reads: who the target is, how
+// much of its CPU is attributed to RATS stages, the named hotspot and
+// the top-function table the fleet-wide rollup merges.
+type ProfileSummary struct {
+	Service      string         `json:"service"`
+	CapturedNS   int64          `json:"captured_ns"`
+	Captures     uint64         `json:"captures"`
+	TotalSeconds float64        `json:"total_seconds"`
+	LabeledShare float64        `json:"labeled_share"`
+	Hotspot      string         `json:"hotspot"`
+	HotspotShare float64        `json:"hotspot_share"`
+	Stages       []ProfileStage `json:"stages"`
+	Top          []ProfileFunc  `json:"top"`
+	Regressions  []struct {
+		Kind   string `json:"kind"`
+		What   string `json:"what"`
+		Reason string `json:"reason"`
+	} `json:"regressions,omitempty"`
+}
+
+// ProfileStage is one attributed (stage, place) CPU row on the wire.
+type ProfileStage struct {
+	Stage   string  `json:"stage"`
+	Place   string  `json:"place"`
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"`
+}
+
+// ProfileFunc is one top-function row on the wire.
+type ProfileFunc struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Share   float64 `json:"share"`
+}
+
 // Paths of the scraped surfaces.
 const (
 	MetricsPath     = "/metrics.json"
@@ -157,6 +193,7 @@ const (
 	AlertsPath      = "/alerts.json"
 	ObservatoryPath = "/observatory.json"
 	HistoryPath     = "/history.json"
+	ProfilePath     = "/profile.json"
 )
 
 // Client fetches one process's JSON surfaces with a hard per-request
@@ -238,6 +275,7 @@ type Scrape struct {
 	Coverage    *Coverage
 	Alerts      *AlertsSnapshot
 	Observatory *Observatory
+	Profile     *ProfileSummary
 	Series      int // /history.json index size, -1 when not served
 
 	// EndpointErrs counts optional surfaces that errored (not 404) this
@@ -284,6 +322,13 @@ func (c *Client) ScrapeTarget(ctx context.Context, t Target, clock func() time.T
 	switch err := c.getJSON(ctx, t.URL, HistoryPath, &hist); {
 	case err == nil:
 		s.Series = len(hist.Series)
+	case !IsNotServed(err):
+		s.EndpointErrs++
+	}
+	var prof ProfileSummary
+	switch err := c.getJSON(ctx, t.URL, ProfilePath, &prof); {
+	case err == nil:
+		s.Profile = &prof
 	case !IsNotServed(err):
 		s.EndpointErrs++
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pera/internal/freshness"
+	"pera/internal/profiler"
 	"pera/internal/telemetry"
 )
 
@@ -131,6 +132,88 @@ func TestMetricsRoundTrip(t *testing.T) {
 	}
 }
 
+// burn keeps a goroutine CPU-bound for d so the profiler's sampler has
+// something to attribute.
+func burn(d time.Duration) uint64 {
+	var x uint64 = 88172645463325252
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<12; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+	}
+	return x
+}
+
+// The /profile.json pin: fleetscope's ProfileSummary struct must decode
+// the real continuous-profiler handler's output — the fields the fleet
+// rollup reads (hotspot, labeled share, stage and top-function tables)
+// survive the round-trip.
+func TestProfileRoundTrip(t *testing.T) {
+	p := profiler.New(profiler.Options{Service: "prof-rt"})
+	region := telemetry.NewProfRegion(telemetry.StageVerify, "sw1")
+	hot := func() {
+		entered := region.Enter()
+		burn(250 * time.Millisecond)
+		telemetry.ProfExit(entered)
+	}
+	// The OS CPU sampler can be starved on loaded hosts; retry, then skip.
+	var want profiler.Summary
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := p.CaptureWhile(hot); err != nil {
+			t.Fatalf("capture: %v", err)
+		}
+		if want = p.Summary(0); want.TotalSeconds > 0 && want.Hotspot != "" {
+			break
+		}
+	}
+	if want.TotalSeconds == 0 || want.Hotspot == "" {
+		t.Skip("CPU sampler captured no samples on this host")
+	}
+
+	reg := telemetry.NewRegistry()
+	srv := httptest.NewServer(telemetry.Handler(reg, nil, p.Endpoints()...))
+	defer srv.Close()
+
+	var got ProfileSummary
+	c := NewClient(2 * time.Second)
+	if err := c.getJSON(context.Background(), srv.URL, ProfilePath, &got); err != nil {
+		t.Fatalf("fetch: %v", err)
+	}
+	if got.Service != "prof-rt" || got.Captures != want.Captures {
+		t.Fatalf("identity drifted: got %+v want %+v", got, want)
+	}
+	if got.TotalSeconds != want.TotalSeconds || got.LabeledShare != want.LabeledShare {
+		t.Fatalf("CPU accounting drifted: got %v/%v want %v/%v",
+			got.TotalSeconds, got.LabeledShare, want.TotalSeconds, want.LabeledShare)
+	}
+	if got.Hotspot != want.Hotspot || got.HotspotShare != want.HotspotShare {
+		t.Fatalf("hotspot drifted: got %s@%v want %s@%v",
+			got.Hotspot, got.HotspotShare, want.Hotspot, want.HotspotShare)
+	}
+	if len(got.Stages) != len(want.Stages) || len(got.Top) != len(want.Top) {
+		t.Fatalf("tables drifted: %d/%d stages, %d/%d top rows",
+			len(got.Stages), len(want.Stages), len(got.Top), len(want.Top))
+	}
+	for i, gs := range got.Stages {
+		ws := want.Stages[i]
+		if gs.Stage != ws.Stage || gs.Place != ws.Place || gs.Seconds != ws.Seconds || gs.Share != ws.Share {
+			t.Fatalf("stage %d drifted: got %+v want %+v", i, gs, ws)
+		}
+	}
+	var verifyRow *ProfileStage
+	for i := range got.Stages {
+		if got.Stages[i].Stage == "verify" && got.Stages[i].Place == "sw1" {
+			verifyRow = &got.Stages[i]
+		}
+	}
+	if verifyRow == nil || verifyRow.Seconds <= 0 {
+		t.Fatalf("no (verify, sw1) stage row on the wire: %+v", got.Stages)
+	}
+}
+
 // ScrapeTarget succeeds against a plain telemetry server (no watchdog,
 // no recorder): the optional surfaces 404 and that is a target shape,
 // not an error.
@@ -147,7 +230,7 @@ func TestScrapeTargetMetricsOnly(t *testing.T) {
 	if s.Metrics == nil {
 		t.Fatal("metrics missing")
 	}
-	if s.Coverage != nil || s.Alerts != nil || s.Observatory != nil {
+	if s.Coverage != nil || s.Alerts != nil || s.Observatory != nil || s.Profile != nil {
 		t.Fatal("absent surfaces should stay nil")
 	}
 	if s.Series != -1 {

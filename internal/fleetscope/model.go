@@ -24,6 +24,12 @@ type TargetStatus struct {
 	Places int `json:"places"` // coverage rows reported
 	Firing int `json:"firing"` // alerts firing at the target
 	Series int `json:"series"` // history series (-1: no recorder)
+
+	// Profiler rollup (zero values when the target serves no
+	// /profile.json): where this process burns its CPU.
+	Hotspot      string  `json:"hotspot,omitempty"`
+	HotspotShare float64 `json:"hotspot_share,omitempty"`
+	LabeledShare float64 `json:"labeled_share,omitempty"`
 }
 
 // PlaceReport is one target's claim about one place.
@@ -68,6 +74,9 @@ const (
 	FindingConflict = "status-conflict"
 	// FindingTargetDown: a fleet member stopped answering scrapes.
 	FindingTargetDown = "target-down"
+	// FindingProfileRegression: a target's continuous profiler reports a
+	// hot-path regression against its pinned baseline.
+	FindingProfileRegression = "profile-regression"
 )
 
 // Finding is one fleet-level signal.
@@ -104,6 +113,14 @@ type Rollup struct {
 	Verdicts     float64 `json:"verdicts"`
 	VerifyFails  float64 `json:"verify_fails"`
 	Anomalies    float64 `json:"anomalies"`
+
+	// Profiled counts targets serving /profile.json; HotFuncs is the
+	// fleet-wide top-function table — per-target top rows merged by
+	// function name with shares recomputed against the fleet's summed
+	// profile seconds, so one process's hotspot is weighted by how much
+	// CPU that process actually burned.
+	Profiled int           `json:"profiled,omitempty"`
+	HotFuncs []ProfileFunc `json:"hot_funcs,omitempty"`
 
 	PerTarget []TargetRollup `json:"per_target"`
 }
@@ -173,6 +190,8 @@ func (a *Aggregator) View() FleetView {
 	}
 	places := make(map[string]*placeAcc)
 	alerts := make(map[alertKey]*FleetAlert)
+	hotFuncs := make(map[string]float64) // function name -> summed seconds
+	var profSeconds float64              // fleet-wide profiled CPU seconds
 
 	for _, name := range sortedNames(a.targets) {
 		ts := a.targets[name]
@@ -235,12 +254,30 @@ func (a *Aggregator) View() FleetView {
 				})
 			}
 		}
+		if s.Profile != nil {
+			v.Rollup.Profiled++
+			row.Hotspot = s.Profile.Hotspot
+			row.HotspotShare = s.Profile.HotspotShare
+			row.LabeledShare = s.Profile.LabeledShare
+			profSeconds += s.Profile.TotalSeconds
+			for _, f := range s.Profile.Top {
+				hotFuncs[f.Name] += f.Seconds
+			}
+			for _, reg := range s.Profile.Regressions {
+				v.Findings = append(v.Findings, Finding{
+					Kind: FindingProfileRegression, Target: name,
+					Detail: fmt.Sprintf("target %s: %s %s: %s", name, reg.Kind, reg.What, reg.Reason),
+				})
+			}
+		}
 		v.Rollup.Verdicts += tr.Verdicts
 		v.Rollup.VerifyFails += tr.VerifyFails
 		v.Rollup.Anomalies += tr.Anomalies
 		v.Rollup.PerTarget = append(v.Rollup.PerTarget, tr)
 		v.Targets = append(v.Targets, row)
 	}
+
+	v.Rollup.HotFuncs = mergeHotFuncs(hotFuncs, profSeconds)
 
 	// Merge the trust map: freshest live report wins; conflicts among
 	// live reporters become findings.
@@ -288,6 +325,35 @@ func (a *Aggregator) View() FleetView {
 		return v.Alerts[i].Rule+v.Alerts[i].Place < v.Alerts[j].Rule+v.Alerts[j].Place
 	})
 	return v
+}
+
+// fleetTopFuncs caps the merged fleet-wide top-function table.
+const fleetTopFuncs = 5
+
+// mergeHotFuncs ranks the summed per-function seconds and recomputes
+// each share against the fleet's total profiled seconds.
+func mergeHotFuncs(funcs map[string]float64, totalSeconds float64) []ProfileFunc {
+	if len(funcs) == 0 {
+		return nil
+	}
+	out := make([]ProfileFunc, 0, len(funcs))
+	for name, secs := range funcs {
+		f := ProfileFunc{Name: name, Seconds: secs}
+		if totalSeconds > 0 {
+			f.Share = secs / totalSeconds
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Name < out[j].Name
+	})
+	if len(out) > fleetTopFuncs {
+		out = out[:fleetTopFuncs]
+	}
+	return out
 }
 
 // alertKey is the fleet feed's dedup key.

@@ -218,6 +218,87 @@ func TestViewRollupSums(t *testing.T) {
 	}
 }
 
+// Profile summaries roll up: each target keeps its own hotspot, the
+// fleet-wide top-function table merges per-target rows weighted by the
+// CPU each process actually burned, and reported regressions surface as
+// fleet findings.
+func TestViewProfileRollup(t *testing.T) {
+	a := newModelAggregator("n1", "n2")
+	p1 := &ProfileSummary{
+		Service: "n1", TotalSeconds: 3, LabeledShare: 0.8,
+		Hotspot: "crypto/ed25519.Verify", HotspotShare: 0.6,
+		Top: []ProfileFunc{
+			{Name: "crypto/ed25519.Verify", Seconds: 1.8, Share: 0.6},
+			{Name: "crypto/sha256.block", Seconds: 0.6, Share: 0.2},
+		},
+	}
+	p2 := &ProfileSummary{
+		Service: "n2", TotalSeconds: 1, LabeledShare: 0.5,
+		Hotspot: "crypto/sha256.block", HotspotShare: 0.5,
+		Top: []ProfileFunc{{Name: "crypto/sha256.block", Seconds: 0.5, Share: 0.5}},
+	}
+	p2.Regressions = append(p2.Regressions, struct {
+		Kind   string `json:"kind"`
+		What   string `json:"what"`
+		Reason string `json:"reason"`
+	}{Kind: "stage", What: "verify@ap", Reason: "share 0.20 -> 0.60"})
+	inject(a, "n1", &Scrape{Series: -1, Profile: p1}, false)
+	inject(a, "n2", &Scrape{Series: -1, Profile: p2}, false)
+
+	v := a.View()
+	if v.Rollup.Profiled != 2 {
+		t.Fatalf("profiled targets = %d, want 2", v.Rollup.Profiled)
+	}
+	byName := map[string]TargetStatus{}
+	for _, ts := range v.Targets {
+		byName[ts.Name] = ts
+	}
+	if byName["n1"].Hotspot != "crypto/ed25519.Verify" || byName["n1"].LabeledShare != 0.8 {
+		t.Fatalf("n1 profile row = %+v", byName["n1"])
+	}
+	if byName["n2"].Hotspot != "crypto/sha256.block" {
+		t.Fatalf("n2 profile row = %+v", byName["n2"])
+	}
+
+	// Fleet hot path: ed25519 1.8s, sha256 0.6+0.5=1.1s, of 4 total
+	// profiled seconds.
+	hf := v.Rollup.HotFuncs
+	if len(hf) != 2 {
+		t.Fatalf("hot funcs = %+v, want 2 merged rows", hf)
+	}
+	if hf[0].Name != "crypto/ed25519.Verify" || hf[0].Seconds != 1.8 {
+		t.Fatalf("top fleet func = %+v, want ed25519 1.8s", hf[0])
+	}
+	if hf[1].Name != "crypto/sha256.block" || hf[1].Seconds < 1.09 || hf[1].Seconds > 1.11 {
+		t.Fatalf("second fleet func = %+v, want sha256 ~1.1s (merged across targets)", hf[1])
+	}
+	if got, want := hf[0].Share, 1.8/4.0; got < want-0.001 || got > want+0.001 {
+		t.Fatalf("top share = %v, want %v (recomputed vs fleet seconds)", got, want)
+	}
+
+	var reg *Finding
+	for i := range v.Findings {
+		if v.Findings[i].Kind == FindingProfileRegression {
+			reg = &v.Findings[i]
+		}
+	}
+	if reg == nil || reg.Target != "n2" || !strings.Contains(reg.Detail, "verify@ap") {
+		t.Fatalf("profile regression finding = %+v, want n2 verify@ap", reg)
+	}
+
+	// Renders surface the profile plane.
+	var status, targets strings.Builder
+	RenderStatus(&status, v)
+	if !strings.Contains(status.String(), "fleet hot path") ||
+		!strings.Contains(status.String(), "crypto/ed25519.Verify") {
+		t.Fatalf("status render missing fleet hot path:\n%s", status.String())
+	}
+	RenderTargets(&targets, v)
+	if !strings.Contains(targets.String(), "hotspot crypto/ed25519.Verify") {
+		t.Fatalf("targets render missing hotspot row:\n%s", targets.String())
+	}
+}
+
 // The trust map sorts worst-first so renders lead with the problems.
 func TestViewTrustMapOrder(t *testing.T) {
 	a := newModelAggregator("n1")

@@ -18,6 +18,14 @@ func RenderStatus(w io.Writer, v FleetView) {
 		len(v.TrustMap), r.PlacesFresh, r.PlacesStale, r.PlacesLapsed, r.PlacesNever, r.Conflicts)
 	fmt.Fprintf(w, "rollup: %d alerts firing, %.0f verdicts, %.0f verify fails, %.0f anomalies\n",
 		r.AlertsFiring, r.Verdicts, r.VerifyFails, r.Anomalies)
+	if r.Profiled > 0 {
+		funcs := make([]string, 0, len(r.HotFuncs))
+		for _, f := range r.HotFuncs {
+			funcs = append(funcs, fmt.Sprintf("%s %.0f%%", f.Name, f.Share*100))
+		}
+		fmt.Fprintf(w, "profiles: %d targets profiled — fleet hot path: %s\n",
+			r.Profiled, strings.Join(funcs, ", "))
+	}
 
 	if len(v.Findings) > 0 {
 		fmt.Fprintf(w, "\nfindings (%d):\n", len(v.Findings))
@@ -87,6 +95,10 @@ func RenderTargets(w io.Writer, v FleetView) {
 		}
 		fmt.Fprintf(w, "%-12s %-6s %8d %7d %9s %7s %7d %7d  %s\n",
 			t.Name, t.State, t.Scrapes, t.Errors, lastOK, latency, t.Places, t.Firing, t.URL)
+		if t.Hotspot != "" {
+			fmt.Fprintf(w, "             └ hotspot %s %.0f%% (%.0f%% of CPU stage-labeled)\n",
+				t.Hotspot, t.HotspotShare*100, t.LabeledShare*100)
+		}
 		if t.LastErr != "" {
 			fmt.Fprintf(w, "             └ %s\n", t.LastErr)
 		}

@@ -66,9 +66,17 @@ type alertState struct {
 // Alert.Reason the detector's explanation.
 const KindAnomaly = "anomaly"
 
+// KindProfile marks events emitted by the continuous profiler's
+// baseline diff engine (internal/profiler): a stage or function whose
+// CPU share regressed past the configured delta. Like anomalies, they
+// share the alert Sink pipeline — Alert.Rule carries
+// "profile_regression:<kind>:<what>", Alert.Place the attributed place
+// for stage findings, and Alert.Reason the share comparison.
+const KindProfile = "profile_regression"
+
 // Event is one sink-visible alert transition.
 type Event struct {
-	Kind     string `json:"kind"` // fired | resolved | probe | anomaly
+	Kind     string `json:"kind"` // fired | resolved | probe | anomaly | profile_regression
 	Alert    Alert  `json:"alert"`
 	ProbeOK  bool   `json:"probe_ok,omitempty"`
 	ProbeErr string `json:"probe_err,omitempty"`

@@ -51,6 +51,8 @@ func (s *LogSink) Emit(e Event) {
 			a.Place, a.Rule, outcome)
 	case KindAnomaly:
 		fmt.Fprintf(s.w, "recorder: ANOMALY rule=%s place=%s — %s\n", a.Rule, a.Place, a.Reason)
+	case KindProfile:
+		fmt.Fprintf(s.w, "profiler: REGRESSION rule=%s place=%s — %s\n", a.Rule, a.Place, a.Reason)
 	}
 }
 
@@ -126,6 +128,12 @@ func (s *AuditSink) Emit(e Event) {
 		// as the alert lifecycle — no parallel alerting path.
 		rec.Event = auditlog.EventAnomaly
 		rec.Verdict = "ANOMALY"
+		rec.Note = a.Reason
+	case KindProfile:
+		// Profiler hot-path regressions ride the same trail too, so a
+		// perf cliff is as attributable after the fact as a verdict.
+		rec.Event = auditlog.EventProfileRegression
+		rec.Verdict = "REGRESSION"
 		rec.Note = a.Reason
 	default:
 		return

@@ -11,6 +11,7 @@ import (
 	"pera/internal/nac"
 	"pera/internal/observatory"
 	"pera/internal/pera"
+	"pera/internal/profiler"
 	"pera/internal/recorder"
 	"pera/internal/telemetry"
 	"pera/internal/usecases"
@@ -91,6 +92,12 @@ type ThroughputOptions struct {
 	// BenchmarkThroughput_Recorder measures.
 	Recorder      *recorder.Recorder
 	RecorderEvery int // default 256
+	// Profiler, when non-nil, wraps the timed appraisal phase in one
+	// deterministic CPU-profile capture (profiler.CaptureWhile) so the
+	// run's /profile.json attributes the phase's samples to RATS stages
+	// — the continuous-profiling overhead BenchmarkThroughput_Profile
+	// measures.
+	Profiler *profiler.Profiler
 }
 
 // ThroughputCorpus sends one attested packet per flow through the UC1
@@ -242,26 +249,31 @@ func RunThroughputOpts(o ThroughputOptions) (*ThroughputResult, error) {
 	}
 	start := time.Now()
 	var results []appraiser.Result
-	if o.Recorder != nil {
-		// Appraise in chunks with a scrape between each, so the timed
-		// phase pays the real steady-state recorder cost at a
-		// deterministic cadence (default: one scrape per 256 packets).
-		every := o.RecorderEvery
-		if every <= 0 {
-			every = 256
-		}
-		results = make([]appraiser.Result, 0, len(jobs))
-		for lo := 0; lo < len(jobs); lo += every {
-			hi := lo + every
-			if hi > len(jobs) {
-				hi = len(jobs)
+	appraise := func() {
+		if o.Recorder != nil {
+			// Appraise in chunks with a scrape between each, so the timed
+			// phase pays the real steady-state recorder cost at a
+			// deterministic cadence (default: one scrape per 256 packets).
+			every := o.RecorderEvery
+			if every <= 0 {
+				every = 256
 			}
-			results = append(results, pool.AppraiseAll(jobs[lo:hi])...)
-			o.Recorder.Scrape()
+			results = make([]appraiser.Result, 0, len(jobs))
+			for lo := 0; lo < len(jobs); lo += every {
+				hi := lo + every
+				if hi > len(jobs) {
+					hi = len(jobs)
+				}
+				results = append(results, pool.AppraiseAll(jobs[lo:hi])...)
+				o.Recorder.Scrape()
+			}
+		} else {
+			results = pool.AppraiseAll(jobs)
 		}
-	} else {
-		results = pool.AppraiseAll(jobs)
 	}
+	// CaptureWhile is nil-safe: without a profiler the phase runs
+	// unobserved; with one, the whole phase lands in one CPU window.
+	o.Profiler.CaptureWhile(appraise)
 	elapsed := time.Since(start)
 	pool.Close()
 

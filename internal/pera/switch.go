@@ -120,6 +120,14 @@ type switchMetrics struct {
 
 	signSeconds   telemetry.Histogram // Fig. 3 Sign stage latency
 	verifySeconds telemetry.Histogram // Fig. 3 Verify stage latency (in-band)
+
+	// Profiling label regions (internal/profiler). Enter is an atomic
+	// load + branch while the profiler is disarmed, so the packet path
+	// pays nothing unless continuous profiling is on.
+	profSign     *telemetry.ProfRegion
+	profEvidence *telemetry.ProfRegion
+	profCompose  *telemetry.ProfRegion
+	profVerify   *telemetry.ProfRegion
 }
 
 func (m *switchMetrics) init(name string) {
@@ -140,6 +148,10 @@ func (m *switchMetrics) init(name string) {
 	m.hopSpanDrops.Init("pera_hop_span_drops_total", sw)
 	m.signSeconds.Init("pera_sign_seconds", nil, sw)
 	m.verifySeconds.Init("pera_switch_verify_seconds", nil, sw)
+	m.profSign = telemetry.NewProfRegion(telemetry.StageSign, name)
+	m.profEvidence = telemetry.NewProfRegion(telemetry.StageEvidence, name)
+	m.profCompose = telemetry.NewProfRegion(telemetry.StageCompose, name)
+	m.profVerify = telemetry.NewProfRegion(telemetry.StageVerify, name)
 }
 
 func (m *switchMetrics) instruments() []telemetry.Instrument {
@@ -504,6 +516,7 @@ func (s *Switch) claimTarget(d evidence.Detail) (string, error) {
 // hop-span context (zero/nil when off); recorded spans parent under
 // the hop or attest span.
 func (s *Switch) claimEvidence(d evidence.Detail, frame []byte, flow string, parent telemetry.SpanContext, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) (*evidence.Evidence, error) {
+	defer telemetry.ProfExit(s.met.profEvidence.Enter())
 	s.mu.RLock()
 	cache := s.cfg.Cache
 	s.mu.RUnlock()
@@ -626,6 +639,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 		if cfg.VerifyIncoming != nil {
 			s.met.verifyOps.Inc()
 			start := s.met.start(tr, sp)
+			ventered := s.met.profVerify.Enter()
 			var err error
 			if cfg.VerifyMemo != nil {
 				// Batch path: gather the chain's signatures, settle them
@@ -639,6 +653,7 @@ func (s *Switch) Receive(port uint64, frame []byte) ([]netsim.Emission, error) {
 			} else {
 				_, err = evidence.VerifySignaturesMemo(hdr.Evidence, cfg.VerifyIncoming, nil)
 			}
+			telemetry.ProfExit(ventered)
 			s.met.verifySeconds.ObserveSinceExemplar(start, hopCtx.TraceID)
 			if err != nil {
 				s.met.verifyFails.Inc()
@@ -850,7 +865,9 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, fl
 		// Thread the incoming chain through this hop: local evidence is
 		// sequenced after everything accumulated so far, and the switch
 		// signs the whole chain, committing to its position on the path.
+		centered := s.met.profCompose.Enter()
 		composed := evidence.Seq(hdr.Evidence, local)
+		telemetry.ProfExit(centered)
 		tr.RecordChild(parent, flow, s.name, telemetry.StageCompose, time.Time{}, 0, "chained")
 		if aud != nil {
 			aud.Emit(auditlog.Record{
@@ -876,7 +893,9 @@ func (s *Switch) obligationEvidence(o *Obligation, frame []byte, hdr *Header, fl
 func (s *Switch) signEvidence(ev *evidence.Evidence, flow string, parent telemetry.SpanContext, tr *telemetry.FlowTracer, aud *auditlog.Writer, sp *HopSpan) *evidence.Evidence {
 	s.met.signOps.Inc()
 	start := s.met.start(tr, sp)
+	sentered := s.met.profSign.Enter()
 	signed := evidence.Sign(s.currentSigner(), ev)
+	telemetry.ProfExit(sentered)
 	s.met.signSeconds.ObserveSinceExemplar(start, parent.TraceID)
 	if sp != nil {
 		sp.SignNS += uint64(elapsed(start))

@@ -1,0 +1,92 @@
+package profiler
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+// Serving surfaces, mounted as telemetry extras alongside /metrics.
+const (
+	// ProfilePath serves the decoded summary + top tables.
+	ProfilePath = "/profile.json"
+	// ArtifactPath serves raw captured pprof artifacts
+	// (?kind=cpu|heap|mutex|block|goroutine).
+	ArtifactPath = "/profile/pprof"
+)
+
+// Endpoints returns the profiler's serving surfaces for telemetry.Serve.
+func (p *Profiler) Endpoints() []telemetry.Endpoint {
+	return []telemetry.Endpoint{
+		{
+			Path:    ProfilePath,
+			Desc:    "continuous-profiling summary: stage attribution, top functions, baseline diff (param: window)",
+			Handler: http.HandlerFunc(p.handleSummary),
+		},
+		{
+			Path:    ArtifactPath,
+			Desc:    "raw captured pprof artifact (param: kind=cpu|heap|mutex|block|goroutine)",
+			Handler: http.HandlerFunc(p.handleArtifact),
+		},
+	}
+}
+
+// handleSummary serves /profile.json. An unparseable window parameter is
+// a 400 with the application/json error contract, matching the
+// recorder's /history.json behaviour.
+func (p *Profiler) handleSummary(w http.ResponseWriter, req *http.Request) {
+	if p == nil {
+		telemetry.WriteJSONError(w, http.StatusNotFound, "profiler disabled")
+		return
+	}
+	var lookback time.Duration
+	if s := req.URL.Query().Get("window"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			telemetry.WriteJSONError(w, http.StatusBadRequest,
+				"bad window: "+s+" (want a duration like 30s, 5m)")
+			return
+		}
+		lookback = d
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(p.Summary(lookback))
+}
+
+// handleArtifact serves the newest raw profile of one kind. Unknown
+// kinds are a 404: the caller named a profile that does not exist, not
+// one that is merely empty.
+func (p *Profiler) handleArtifact(w http.ResponseWriter, req *http.Request) {
+	if p == nil {
+		telemetry.WriteJSONError(w, http.StatusNotFound, "profiler disabled")
+		return
+	}
+	kind := req.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "cpu"
+	}
+	known := false
+	for _, k := range Kinds {
+		if k == kind {
+			known = true
+			break
+		}
+	}
+	if !known {
+		telemetry.WriteJSONError(w, http.StatusNotFound,
+			"unknown profile kind: "+kind+" (want cpu, heap, mutex, block or goroutine)")
+		return
+	}
+	data, tsNS, ok := p.Artifact(kind)
+	if !ok {
+		telemetry.WriteJSONError(w, http.StatusNotFound,
+			"no "+kind+" profile captured yet")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Pera-Captured-NS", strconv.FormatInt(tsNS, 10))
+	w.Write(data)
+}

@@ -1,0 +1,120 @@
+package profiler
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pera/internal/telemetry"
+)
+
+// serve routes a request through the profiler's endpoint table.
+func serve(t *testing.T, p *Profiler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("GET", url, nil)
+	for _, ep := range p.Endpoints() {
+		if strings.HasPrefix(req.URL.Path, ep.Path) {
+			rec := httptest.NewRecorder()
+			ep.Handler.ServeHTTP(rec, req)
+			return rec
+		}
+	}
+	t.Fatalf("no endpoint for %s", url)
+	return nil
+}
+
+func TestProfileJSONEndpoint(t *testing.T) {
+	p := New(Options{Service: "ep-test"})
+	w := mkWindow(time.Now().UnixNano(), 1.0,
+		map[stageKey]float64{{"verify", "ap"}: 0.6},
+		map[string]float64{"crypto/ed25519.Verify": 0.6})
+	p.mu.Lock()
+	p.windows = append(p.windows, w)
+	p.mu.Unlock()
+
+	rec := serve(t, p, "/profile.json")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var sum Summary
+	if err := json.Unmarshal(rec.Body.Bytes(), &sum); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sum.Service != "ep-test" || sum.TotalSeconds != 1.0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Hotspot != "crypto/ed25519.Verify" {
+		t.Fatalf("hotspot = %q", sum.Hotspot)
+	}
+}
+
+func TestProfileJSONWindowParam(t *testing.T) {
+	p := New(Options{Service: "ep-test"})
+	if rec := serve(t, p, "/profile.json?window=5m"); rec.Code != 200 {
+		t.Fatalf("good window status = %d", rec.Code)
+	}
+	for _, bad := range []string{"nonsense", "-3s", "5"} {
+		rec := serve(t, p, "/profile.json?window="+bad)
+		if rec.Code != 400 {
+			t.Errorf("window=%q status = %d, want 400", bad, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("window=%q error content type = %q, want application/json", bad, ct)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("window=%q error body %s not the JSON contract", bad, rec.Body)
+		}
+	}
+}
+
+func TestProfilePprofEndpoint(t *testing.T) {
+	p := New(Options{Service: "ep-test"})
+
+	// Unknown kind: 404 with the JSON error contract.
+	rec := serve(t, p, "/profile/pprof?kind=flamegraph")
+	if rec.Code != 404 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("unknown kind: status=%d ct=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	// Known kind, nothing captured yet: also 404.
+	if rec := serve(t, p, "/profile/pprof?kind=cpu"); rec.Code != 404 {
+		t.Fatalf("uncaptured kind status = %d, want 404", rec.Code)
+	}
+
+	p.storeArtifact("cpu", 42, []byte("raw-profile-bytes"))
+	rec = serve(t, p, "/profile/pprof?kind=cpu")
+	if rec.Code != 200 {
+		t.Fatalf("captured kind status = %d", rec.Code)
+	}
+	if rec.Body.String() != "raw-profile-bytes" {
+		t.Fatalf("artifact body = %q", rec.Body.String())
+	}
+	if rec.Header().Get("X-Pera-Captured-NS") != "42" {
+		t.Fatalf("capture timestamp header = %q", rec.Header().Get("X-Pera-Captured-NS"))
+	}
+	// kind defaults to cpu.
+	if rec := serve(t, p, "/profile/pprof"); rec.Code != 200 {
+		t.Fatalf("default kind status = %d", rec.Code)
+	}
+}
+
+func TestEndpointsDescribed(t *testing.T) {
+	p := New(Options{})
+	eps := p.Endpoints()
+	if len(eps) != 2 {
+		t.Fatalf("endpoint count = %d", len(eps))
+	}
+	for _, ep := range eps {
+		if ep.Desc == "" || ep.Handler == nil {
+			t.Fatalf("endpoint %q missing desc or handler", ep.Path)
+		}
+	}
+	_ = telemetry.Endpoint{} // pin the extras type this table feeds
+}

@@ -168,6 +168,62 @@ func TestRateSpikeIgnoresDecreaseAndReset(t *testing.T) {
 	_ = c
 }
 
+func TestRateSpikeBaselineRestartsAfterReset(t *testing.T) {
+	// A counter reset must restart the rate baseline from scratch: the
+	// engine re-enters warmup (a post-reset burst inside it never pages,
+	// even though the pre-reset baseline would have scored it), and once
+	// re-warmed a genuine spike pages again.
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("pera_verify_fails_total")
+	s := NewStore(StoreConfig{})
+	e := NewEngine(s, DetectorConfig{Warmup: 12, Cooldown: time.Second})
+	var got []Anomaly
+	tick := 0
+	scrape := func() {
+		now := sec(tick)
+		tick++
+		s.Observe(now, reg.Snapshot())
+		got = append(got, e.Evaluate(now)...)
+	}
+	// Warm a steady 1/s baseline.
+	for i := 0; i < 20; i++ {
+		c.Inc()
+		scrape()
+	}
+	if len(got) != 0 {
+		t.Fatalf("steady warmup paged: %+v", got)
+	}
+	// Reset: swap the registry so the same series name restarts at zero.
+	reg2 := telemetry.NewRegistry()
+	c2 := reg2.Counter("pera_verify_fails_total")
+	reg = reg2
+	scrape() // the negative-rate sample that must clear the baseline
+	if st := e.states["pera_verify_fails_total"]; st == nil || st.samples != 0 || len(st.rates) != 0 {
+		t.Fatalf("baseline not restarted after reset: %+v", st)
+	}
+	// A burst while re-warming must stay silent — only the restarted
+	// baseline's own warmup counts, not the 20 pre-reset samples.
+	c2.Add(100)
+	scrape()
+	for i := 0; i < 9; i++ {
+		c2.Inc()
+		scrape()
+	}
+	if len(got) != 0 {
+		t.Fatalf("post-reset warmup paged: %+v", got)
+	}
+	// Finish re-warming at 1/s, then a real spike pages once more.
+	for i := 0; i < 10; i++ {
+		c2.Inc()
+		scrape()
+	}
+	c2.Add(100)
+	scrape()
+	if len(got) != 1 || got[0].Rule != RuleRateSpike {
+		t.Fatalf("re-warmed spike: got %+v, want one rate-spike", got)
+	}
+}
+
 func TestEngineWatchesOnlyConfiguredSeries(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	watched := reg.Gauge("pera_pool_queue_depth")

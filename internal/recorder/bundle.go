@@ -117,6 +117,9 @@ type capture struct {
 	alerts      []byte   // watchdog alerts JSON
 	config      []byte   // flattened flag/config JSON
 	anomaly     []byte   // the triggering event JSON
+	profCPU     []byte   // newest captured CPU profile (pprof binary)
+	profMutex   []byte   // newest captured mutex profile (pprof binary)
+	profDiff    []byte   // profiler baseline diff JSON
 	ledgerPath  string   // flushed ledger file to tail
 }
 
@@ -160,6 +163,13 @@ func writeBundle(cfg BundlerConfig, service string, trig Trigger, cap capture) (
 		p.WriteTo(&heap, 0)
 	}
 	add("heap.pprof", heap.Bytes())
+
+	// Continuous-profiler capture: the newest CPU and mutex windows and
+	// the stage/function diff against the pinned baseline — the "why did
+	// it get slow" half (only present when a profiler is wired).
+	add("cpu.pprof", cap.profCPU)
+	add("mutex.pprof", cap.profMutex)
+	add("top_diff.json", cap.profDiff)
 
 	// Chain-verified ledger tail. A verification failure is itself part
 	// of the incident: record the error in the bundle rather than

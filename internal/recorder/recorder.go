@@ -60,6 +60,7 @@ type Recorder struct {
 	audit      *auditlog.Writer
 	ledgerPath string
 	configInfo []byte
+	profiler   ProfileSource
 
 	sinkMu sync.RWMutex
 	sinks  []freshness.Sink
@@ -140,6 +141,25 @@ func (r *Recorder) SetLedger(w *auditlog.Writer, path string) {
 	}
 }
 
+// ProfileSource is the slice of the continuous profiler the recorder
+// consumes: newest raw artifacts for bundling plus the rendered
+// baseline diff. internal/profiler.(*Profiler) implements it; an
+// interface keeps the recorder free of a profiler dependency (and the
+// import cycle a direct one would create through the sink pipeline).
+type ProfileSource interface {
+	Artifact(kind string) (data []byte, tsNS int64, ok bool)
+	TopDiffJSON() []byte
+}
+
+// SetProfiler wires the continuous profiler so incident bundles carry
+// cpu.pprof, mutex.pprof and top_diff.json. Attach r.Sink() to the
+// profiler separately to trigger bundles on profile regressions.
+func (r *Recorder) SetProfiler(p ProfileSource) {
+	if r != nil {
+		r.profiler = p
+	}
+}
+
 // SetConfigInfo records the process configuration (flag values) that
 // lands in every bundle as config.json.
 func (r *Recorder) SetConfigInfo(kv map[string]string) {
@@ -173,16 +193,23 @@ func (r *Recorder) Store() *Store {
 }
 
 // alertSink adapts the Recorder into a freshness.Sink: watchdog alert
-// firings trigger incident bundles. Anomaly events are ignored here —
-// the recorder originated them and has already bundled.
+// firings and profiler regression findings trigger incident bundles.
+// Anomaly events are ignored here — the recorder originated them and
+// has already bundled.
 type alertSink struct{ r *Recorder }
 
 func (s alertSink) Emit(e freshness.Event) {
-	if e.Kind != "fired" {
+	kind := ""
+	switch e.Kind {
+	case "fired":
+		kind = "alert"
+	case freshness.KindProfile:
+		kind = "profile"
+	default:
 		return
 	}
 	s.r.maybeBundle(Trigger{
-		Kind: "alert", Rule: e.Alert.Rule, Place: e.Alert.Place,
+		Kind: kind, Rule: e.Alert.Rule, Place: e.Alert.Place,
 		Reason: e.Alert.Reason, TSNS: s.r.now(),
 	}, nil)
 }
@@ -328,6 +355,13 @@ func (r *Recorder) capture(trig Trigger, anomalyJSON []byte) (string, error) {
 	if r.watchdog != nil {
 		cap.coverage, _ = json.MarshalIndent(r.watchdog.Coverage(), "", " ")
 		cap.alerts, _ = json.MarshalIndent(r.watchdog.Alerts(), "", " ")
+	}
+	if r.profiler != nil {
+		// Newest captured CPU and mutex profiles plus the rendered
+		// baseline diff — the "why did it get slow" half of the bundle.
+		cap.profCPU, _, _ = r.profiler.Artifact("cpu")
+		cap.profMutex, _, _ = r.profiler.Artifact("mutex")
+		cap.profDiff = r.profiler.TopDiffJSON()
 	}
 	if r.ledgerPath != "" {
 		// Synchronous flush so the tail contains the records of this

@@ -368,3 +368,81 @@ func TestRecorderStartClose(t *testing.T) {
 	r.Close()
 	r.Close() // idempotent
 }
+
+// stubProfiler is a canned ProfileSource.
+type stubProfiler struct{ cpu, mutex, diff []byte }
+
+func (s *stubProfiler) Artifact(kind string) ([]byte, int64, bool) {
+	switch kind {
+	case "cpu":
+		return s.cpu, 7, len(s.cpu) > 0
+	case "mutex":
+		return s.mutex, 7, len(s.mutex) > 0
+	}
+	return nil, 0, false
+}
+
+func (s *stubProfiler) TopDiffJSON() []byte { return s.diff }
+
+func TestRecorderProfileRegressionTriggersBundle(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	r := New(Config{Clock: clock.Now, Bundle: BundlerConfig{Dir: dir}})
+	r.SetProfiler(&stubProfiler{
+		cpu:   []byte("cpu-window-bytes"),
+		mutex: []byte("mutex-window-bytes"),
+		diff:  []byte(`{"stages":[{"stage":"verify","delta":0.4}]}`),
+	})
+
+	r.Sink().Emit(freshness.Event{Kind: freshness.KindProfile, Alert: freshness.Alert{
+		Rule: "profile_regression:stage:verify", Place: "ap",
+		Reason: "stage verify at ap grew from 20% to 60% of CPU",
+	}})
+	if r.Bundles() != 1 {
+		t.Fatalf("profile regression produced %d bundles, want 1", r.Bundles())
+	}
+	b, err := OpenBundle(r.LastBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Manifest.Trigger.Kind != "profile" || b.Manifest.Trigger.Place != "ap" {
+		t.Fatalf("trigger: %+v", b.Manifest.Trigger)
+	}
+	if string(b.Files["cpu.pprof"]) != "cpu-window-bytes" {
+		t.Fatalf("cpu.pprof = %q", b.Files["cpu.pprof"])
+	}
+	if string(b.Files["mutex.pprof"]) != "mutex-window-bytes" {
+		t.Fatalf("mutex.pprof = %q", b.Files["mutex.pprof"])
+	}
+	if len(b.Files["top_diff.json"]) == 0 {
+		t.Fatal("bundle missing top_diff.json")
+	}
+	// The manifest checksums cover the profile sections too.
+	names := map[string]bool{}
+	for _, f := range b.Manifest.Files {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"cpu.pprof", "mutex.pprof", "top_diff.json"} {
+		if !names[want] {
+			t.Fatalf("manifest missing %s: %+v", want, b.Manifest.Files)
+		}
+	}
+}
+
+func TestRecorderWithoutProfilerBundlesClean(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	r := New(Config{Clock: clock.Now, Bundle: BundlerConfig{Dir: dir}})
+	if _, err := r.TriggerBundle("manual"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenBundle(r.LastBundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "mutex.pprof", "top_diff.json"} {
+		if _, ok := b.Files[name]; ok {
+			t.Fatalf("unwired profiler left %s in the bundle", name)
+		}
+	}
+}

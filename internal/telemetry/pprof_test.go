@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The /debug/pprof surfaces are mounted as extras behind an explicit
+// daemon flag; these tests pin the mounted path set and that each
+// handler actually answers on its path.
+func TestPprofEndpointPaths(t *testing.T) {
+	eps := PprofEndpoints()
+	want := map[string]bool{
+		"/debug/pprof/":        false,
+		"/debug/pprof/cmdline": false,
+		"/debug/pprof/profile": false,
+		"/debug/pprof/symbol":  false,
+		"/debug/pprof/trace":   false,
+	}
+	for _, ep := range eps {
+		if _, ok := want[ep.Path]; !ok {
+			t.Errorf("unexpected pprof endpoint %q", ep.Path)
+			continue
+		}
+		want[ep.Path] = true
+		if ep.Handler == nil {
+			t.Errorf("endpoint %q has no handler", ep.Path)
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("pprof endpoint %q not mounted", path)
+		}
+	}
+}
+
+func TestPprofIndexServes(t *testing.T) {
+	for _, ep := range PprofEndpoints() {
+		if ep.Path != "/debug/pprof/" {
+			continue
+		}
+		rec := httptest.NewRecorder()
+		ep.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+		if rec.Code != 200 {
+			t.Fatalf("index status = %d", rec.Code)
+		}
+		if body := rec.Body.String(); !strings.Contains(body, "goroutine") {
+			t.Fatalf("index body does not list profiles: %.120s", body)
+		}
+		return
+	}
+	t.Fatal("no index endpoint")
+}
+
+func TestPprofCmdlineAndSymbolServe(t *testing.T) {
+	for _, ep := range PprofEndpoints() {
+		switch ep.Path {
+		case "/debug/pprof/cmdline", "/debug/pprof/symbol":
+			rec := httptest.NewRecorder()
+			ep.Handler.ServeHTTP(rec, httptest.NewRequest("GET", ep.Path, nil))
+			if rec.Code != 200 {
+				t.Errorf("%s status = %d", ep.Path, rec.Code)
+			}
+			if rec.Body.Len() == 0 {
+				t.Errorf("%s returned an empty body", ep.Path)
+			}
+		}
+	}
+}

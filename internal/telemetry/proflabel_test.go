@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"runtime/pprof"
+	"testing"
+)
+
+func TestProfRegionDisarmedIsNoop(t *testing.T) {
+	ArmProfiling(false)
+	r := NewProfRegion(StageVerify, "sw1")
+	if r.Enter() {
+		t.Fatalf("Enter reported true while disarmed")
+	}
+	ProfExit(false) // must not panic or clear anything
+}
+
+func TestProfRegionArmedStampsLabels(t *testing.T) {
+	ArmProfiling(true)
+	defer ArmProfiling(false)
+	r := NewProfRegion(StageSign, "sw2")
+	if !r.Enter() {
+		t.Fatalf("Enter reported false while armed")
+	}
+	// The precomputed context carries the labels Enter stamps.
+	var stage, place string
+	pprof.ForLabels(r.ctx, func(k, v string) bool {
+		switch k {
+		case ProfStageKey:
+			stage = v
+		case ProfPlaceKey:
+			place = v
+		}
+		return true
+	})
+	ProfExit(true)
+	if stage != "sign" || place != "sw2" {
+		t.Fatalf("region labels = (%q, %q), want (sign, sw2)", stage, place)
+	}
+}
+
+func TestProfRegionNilSafe(t *testing.T) {
+	ArmProfiling(true)
+	defer ArmProfiling(false)
+	var r *ProfRegion
+	if r.Enter() {
+		t.Fatalf("nil region Enter reported true")
+	}
+}
+
+func TestArmProfilingToggle(t *testing.T) {
+	ArmProfiling(true)
+	if !ProfilingArmed() {
+		t.Fatalf("armed flag not set")
+	}
+	ArmProfiling(false)
+	if ProfilingArmed() {
+		t.Fatalf("armed flag not cleared")
+	}
+}
